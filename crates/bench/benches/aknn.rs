@@ -1,0 +1,31 @@
+//! Criterion version of Figures 5 and 6: AkNN over k for MBA vs GORDER on
+//! TAC-like (2-D) and FC-like (10-D) data.
+
+use ann_bench::harness::{run, Method, RunConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    let tac = ann_datagen::tac_like(4_000, 1);
+    let fc = ann_datagen::fc_like(2_000, 1);
+    let mut group = c.benchmark_group("aknn");
+    group.sample_size(10);
+    for k in [10usize, 30, 50] {
+        for method in [Method::Mba, Method::Gorder] {
+            let cfg = RunConfig {
+                method,
+                k,
+                ..Default::default()
+            };
+            group.bench_function(format!("fig5 {} k={k}", method.name()), |b| {
+                b.iter(|| run(&tac, &tac, &cfg))
+            });
+            group.bench_function(format!("fig6 {} k={k}", method.name()), |b| {
+                b.iter(|| run(&fc, &fc, &cfg))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(aknn, benches);
+criterion_main!(aknn);

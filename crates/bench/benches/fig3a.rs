@@ -1,0 +1,37 @@
+//! Criterion version of Figure 3(a): every method × metric on a
+//! (bench-sized) TAC-like ANN self-join.
+
+use ann_bench::harness::{run, Method, Metric, RunConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    let data = ann_datagen::tac_like(5_000, 1);
+    let mut group = c.benchmark_group("fig3a");
+    group.sample_size(10);
+    for (method, metric) in [
+        (Method::Bnn, Metric::MaxMax),
+        (Method::Bnn, Metric::Nxn),
+        (Method::Rba, Metric::MaxMax),
+        (Method::Rba, Metric::Nxn),
+        (Method::Mba, Metric::MaxMax),
+        (Method::Mba, Metric::Nxn),
+    ] {
+        let cfg = RunConfig {
+            method,
+            metric,
+            ..Default::default()
+        };
+        group.bench_function(format!("{} {}", method.name(), metric.name()), |b| {
+            b.iter(|| run(&data, &data, &cfg))
+        });
+    }
+    let gorder = RunConfig {
+        method: Method::Gorder,
+        ..Default::default()
+    };
+    group.bench_function("GORDER", |b| b.iter(|| run(&data, &data, &gorder)));
+    group.finish();
+}
+
+criterion_group!(fig3a, benches);
+criterion_main!(fig3a);

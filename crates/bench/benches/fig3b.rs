@@ -1,0 +1,27 @@
+//! Criterion version of Figure 3(b): MBA vs GORDER over buffer pool sizes
+//! on (bench-sized) FC-like 10-D data.
+
+use ann_bench::harness::{run, Method, RunConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    let data = ann_datagen::fc_like(4_000, 1);
+    let mut group = c.benchmark_group("fig3b");
+    group.sample_size(10);
+    for (label, frames) in [("512KB", 64usize), ("1MB", 128), ("4MB", 512), ("8MB", 1024)] {
+        for method in [Method::Mba, Method::Gorder] {
+            let cfg = RunConfig {
+                method,
+                pool_frames: frames,
+                ..Default::default()
+            };
+            group.bench_function(format!("{} {label}", method.name()), |b| {
+                b.iter(|| run(&data, &data, &cfg))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(fig3b, benches);
+criterion_main!(fig3b);

@@ -1,0 +1,30 @@
+//! Criterion version of Figure 4: dimensionality sweep (2D/4D/6D) for MBA
+//! vs GORDER.
+
+use ann_bench::harness::{run, Method, RunConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_dim<const D: usize>(c: &mut Criterion, label: &str) {
+    let data = ann_datagen::synthetic_nd::<D>(5_000, 1);
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for method in [Method::Mba, Method::Gorder] {
+        let cfg = RunConfig {
+            method,
+            ..Default::default()
+        };
+        group.bench_function(format!("{} {label}", method.name()), |b| {
+            b.iter(|| run(&data, &data, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_dim::<2>(c, "2D");
+    bench_dim::<4>(c, "4D");
+    bench_dim::<6>(c, "6D");
+}
+
+criterion_group!(fig4, benches);
+criterion_main!(fig4);

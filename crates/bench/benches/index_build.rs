@@ -1,0 +1,52 @@
+//! Index construction benchmarks: MBRQT vs R*-tree bulk loads and the
+//! R*-tree's incremental insertion path.
+
+use ann_mbrqt::{Mbrqt, MbrqtConfig};
+use ann_rstar::{RStar, RStarConfig};
+use ann_store::{BufferPool, MemDisk};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn benches(c: &mut Criterion) {
+    let data = ann_datagen::tac_like(20_000, 1);
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_function("MBRQT bulk 20k", |b| {
+        b.iter(|| {
+            let pool = Arc::new(BufferPool::new(MemDisk::new(), 1024));
+            Mbrqt::bulk_build(pool, &data, &MbrqtConfig::default()).unwrap()
+        })
+    });
+    group.bench_function("R*-tree STR bulk 20k", |b| {
+        b.iter(|| {
+            let pool = Arc::new(BufferPool::new(MemDisk::new(), 1024));
+            RStar::bulk_build(pool, &data, &RStarConfig::default()).unwrap()
+        })
+    });
+    let small = &data[..2_000];
+    group.bench_function("R*-tree insert 2k", |b| {
+        b.iter(|| {
+            let pool = Arc::new(BufferPool::new(MemDisk::new(), 1024));
+            let mut tree = RStar::create(pool, &RStarConfig::default()).unwrap();
+            for &(oid, p) in small {
+                tree.insert(oid, p).unwrap();
+            }
+            tree
+        })
+    });
+    group.bench_function("MBRQT insert 2k", |b| {
+        b.iter(|| {
+            let pool = Arc::new(BufferPool::new(MemDisk::new(), 1024));
+            let universe = ann_geom::Mbr::new([0.0, -90.0], [360.0, 90.0]);
+            let mut tree = Mbrqt::create(pool, universe, &MbrqtConfig::default()).unwrap();
+            for &(oid, p) in small {
+                tree.insert(oid, p).unwrap();
+            }
+            tree
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(index_build, benches);
+criterion_main!(index_build);

@@ -1,0 +1,69 @@
+//! Microbenchmarks of the distance metrics — the §3.1.2 claim that
+//! Algorithm 1 computes NXNDIST in `O(D)` time, measured against the
+//! other MBR metrics across dimensionalities.
+
+use ann_geom::{max_max_dist_sq, min_min_dist_sq, nxn_dist_sq, Mbr};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_mbr_pairs<const D: usize>(n: usize, seed: u64) -> Vec<(Mbr<D>, Mbr<D>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mk = |rng: &mut StdRng| {
+                let mut lo = [0.0; D];
+                let mut hi = [0.0; D];
+                for d in 0..D {
+                    lo[d] = rng.gen_range(-100.0..100.0);
+                    hi[d] = lo[d] + rng.gen_range(0.0..50.0);
+                }
+                Mbr::new(lo, hi)
+            };
+            (mk(&mut rng), mk(&mut rng))
+        })
+        .collect()
+}
+
+fn bench_dim<const D: usize>(c: &mut Criterion, label: &str) {
+    let pairs = random_mbr_pairs::<D>(1024, 42);
+    let mut group = c.benchmark_group(format!("metrics/{label}"));
+    group.bench_function("NXNDIST", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (m, n) in &pairs {
+                acc += nxn_dist_sq(black_box(m), black_box(n));
+            }
+            acc
+        })
+    });
+    group.bench_function("MAXMAXDIST", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (m, n) in &pairs {
+                acc += max_max_dist_sq(black_box(m), black_box(n));
+            }
+            acc
+        })
+    });
+    group.bench_function("MINMINDIST", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (m, n) in &pairs {
+                acc += min_min_dist_sq(black_box(m), black_box(n));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_dim::<2>(c, "2d");
+    bench_dim::<4>(c, "4d");
+    bench_dim::<6>(c, "6d");
+    bench_dim::<10>(c, "10d");
+}
+
+criterion_group!(metrics, benches);
+criterion_main!(metrics);

@@ -1,0 +1,298 @@
+//! Run one (algorithm, metric, dataset, k) cell and measure it.
+
+use ann_core::bnn::{bnn, BnnConfig};
+use ann_core::hnn::{hnn, HnnConfig};
+use ann_core::mba::{mba, Expansion, MbaConfig, Traversal};
+use ann_core::mnn::{mnn, MnnConfig};
+use ann_core::stats::AnnOutput;
+use ann_geom::{MaxMaxDist, NxnDist, Point};
+use ann_gorder::{gorder_join, GorderConfig};
+use ann_mbrqt::{Mbrqt, MbrqtConfig};
+use ann_rstar::{RStar, RStarConfig};
+use ann_store::{BufferPool, MemDisk};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Simulated cost of one physical page transfer, in seconds.
+///
+/// The paper's testbed (1.2 GHz Pentium M laptop disk, 2007) serviced a
+/// random 8 KB page in roughly 10 ms; the figures' "I/O" bars are page
+/// faults × this constant.
+pub const IO_SECONDS_PER_PAGE: f64 = 0.010;
+
+/// Default buffer pool: the paper's 64 frames = 512 KiB.
+pub const DEFAULT_POOL_FRAMES: usize = 64;
+
+/// Pruning metric selector (runtime dispatch over the compile-time
+/// [`ann_geom::PruneMetric`] strategies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Metric {
+    /// The paper's NXNDIST.
+    Nxn,
+    /// The traditional MAXMAXDIST.
+    MaxMax,
+}
+
+impl Metric {
+    /// Display name matching the paper's bar labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::Nxn => "NXNDIST",
+            Metric::MaxMax => "MAXMAXDIST",
+        }
+    }
+}
+
+/// Algorithm selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Method {
+    /// MBRQT-based ANN (the paper's contribution).
+    Mba,
+    /// The same traversal over R*-trees.
+    Rba,
+    /// Batched NN over an R*-tree (Zhang et al.).
+    Bnn,
+    /// Index nested loops (one best-first search per query).
+    Mnn,
+    /// Spatial-hash grid, no index (Zhang et al.'s HNN).
+    Hnn,
+    /// The GORDER block nested-loops join (Xia et al.).
+    Gorder,
+}
+
+impl Method {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Mba => "MBA",
+            Method::Rba => "RBA",
+            Method::Bnn => "BNN",
+            Method::Mnn => "MNN",
+            Method::Hnn => "HNN",
+            Method::Gorder => "GORDER",
+        }
+    }
+}
+
+/// One experiment configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Algorithm under test.
+    pub method: Method,
+    /// Pruning metric (ignored by GORDER, which has no metric knob).
+    pub metric: Metric,
+    /// Neighbors per query point.
+    pub k: usize,
+    /// Self-join mode.
+    pub exclude_self: bool,
+    /// Buffer pool frames (64 = the paper's 512 KiB).
+    pub pool_frames: usize,
+    /// Traversal order for MBA/RBA.
+    pub traversal: Traversal,
+    /// Expansion strategy for MBA/RBA.
+    pub expansion: Expansion,
+    /// MBRQT stores tight subtree MBRs (ablation flag).
+    pub use_subtree_mbrs: bool,
+    /// MBRQT decomposition levels per disk node (0 = adaptive default;
+    /// 1 = the naive one-level-per-page layout, for the packing ablation).
+    pub mbrqt_levels_per_node: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            method: Method::Mba,
+            metric: Metric::Nxn,
+            k: 1,
+            exclude_self: true,
+            pool_frames: DEFAULT_POOL_FRAMES,
+            traversal: Traversal::DepthFirst,
+            expansion: Expansion::Bidirectional,
+            use_subtree_mbrs: true,
+            mbrqt_levels_per_node: 0,
+        }
+    }
+}
+
+/// Measured outcome of one run.
+#[derive(Clone, Debug, Serialize)]
+pub struct Measurement {
+    /// `"MBA NXNDIST"`-style label.
+    pub label: String,
+    /// Query-phase wall time in seconds (the "CPU" bar).
+    pub cpu_seconds: f64,
+    /// Physical page reads + writes during the query phase.
+    pub physical_pages: u64,
+    /// Simulated I/O seconds (`physical_pages * IO_SECONDS_PER_PAGE`).
+    pub io_seconds: f64,
+    /// Logical page reads.
+    pub logical_reads: u64,
+    /// Number of result pairs produced.
+    pub result_pairs: usize,
+    /// Distance computations performed.
+    pub distance_computations: u64,
+    /// Entries enqueued across all queues.
+    pub enqueued: u64,
+    /// Time spent building indices / sorted files (not part of the bars).
+    pub build_seconds: f64,
+}
+
+impl Measurement {
+    fn from_output(label: String, output: &AnnOutput, cpu: f64, build: f64) -> Self {
+        let io = output.stats.io;
+        Measurement {
+            label,
+            cpu_seconds: cpu,
+            physical_pages: io.physical_total(),
+            io_seconds: io.physical_total() as f64 * IO_SECONDS_PER_PAGE,
+            logical_reads: io.logical_reads,
+            result_pairs: output.results.len(),
+            distance_computations: output.stats.distance_computations,
+            enqueued: output.stats.enqueued,
+            build_seconds: build,
+        }
+    }
+
+    /// CPU + simulated I/O, the height of the paper's stacked bars.
+    pub fn total_seconds(&self) -> f64 {
+        self.cpu_seconds + self.io_seconds
+    }
+
+    /// The per-run work counters (distance computations, enqueued).
+    pub fn counters(&self) -> (u64, u64) {
+        (self.distance_computations, self.enqueued)
+    }
+}
+
+/// Runs one configured experiment cell on the given datasets.
+///
+/// Builds whatever structures the method needs into a fresh pool, clears
+/// the pool (cold cache), then measures the query phase.
+pub fn run<const D: usize>(
+    r: &[(u64, Point<D>)],
+    s: &[(u64, Point<D>)],
+    cfg: &RunConfig,
+) -> Measurement {
+    let pool = Arc::new(BufferPool::new(MemDisk::new(), cfg.pool_frames.max(8)));
+    let label = match cfg.method {
+        Method::Gorder | Method::Hnn => cfg.method.name().to_string(),
+        _ => format!("{} {}", cfg.method.name(), cfg.metric.name()),
+    };
+
+    eprintln!("  [harness] {} (k={}, pool={} frames, |R|={}, |S|={})",
+        label, cfg.k, cfg.pool_frames, r.len(), s.len());
+    let mba_cfg = MbaConfig {
+        k: cfg.k,
+        traversal: cfg.traversal,
+        expansion: cfg.expansion,
+        exclude_self: cfg.exclude_self,
+    };
+
+    match cfg.method {
+        Method::Mba => {
+            let qt_cfg = MbrqtConfig {
+                use_subtree_mbrs: cfg.use_subtree_mbrs,
+                levels_per_node: cfg.mbrqt_levels_per_node,
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let ir = Mbrqt::bulk_build(pool.clone(), r, &qt_cfg).expect("build I_R");
+            let is = Mbrqt::bulk_build(pool.clone(), s, &qt_cfg).expect("build I_S");
+            let build = t0.elapsed().as_secs_f64();
+            prepare_query_phase(&pool, cfg.pool_frames);
+            let t0 = Instant::now();
+            let out = match cfg.metric {
+                Metric::Nxn => mba::<D, NxnDist, _, _>(&ir, &is, &mba_cfg),
+                Metric::MaxMax => mba::<D, MaxMaxDist, _, _>(&ir, &is, &mba_cfg),
+            }
+            .expect("MBA run");
+            Measurement::from_output(label, &out, t0.elapsed().as_secs_f64(), build)
+        }
+        Method::Rba => {
+            let t0 = Instant::now();
+            let ir = RStar::bulk_build(pool.clone(), r, &RStarConfig::default()).expect("build");
+            let is = RStar::bulk_build(pool.clone(), s, &RStarConfig::default()).expect("build");
+            let build = t0.elapsed().as_secs_f64();
+            prepare_query_phase(&pool, cfg.pool_frames);
+            let t0 = Instant::now();
+            let out = match cfg.metric {
+                Metric::Nxn => mba::<D, NxnDist, _, _>(&ir, &is, &mba_cfg),
+                Metric::MaxMax => mba::<D, MaxMaxDist, _, _>(&ir, &is, &mba_cfg),
+            }
+            .expect("RBA run");
+            Measurement::from_output(label, &out, t0.elapsed().as_secs_f64(), build)
+        }
+        Method::Bnn => {
+            let t0 = Instant::now();
+            let is = RStar::bulk_build(pool.clone(), s, &RStarConfig::default()).expect("build");
+            let build = t0.elapsed().as_secs_f64();
+            prepare_query_phase(&pool, cfg.pool_frames);
+            let bnn_cfg = BnnConfig {
+                k: cfg.k,
+                group_size: 256,
+                exclude_self: cfg.exclude_self,
+            };
+            let t0 = Instant::now();
+            let out = match cfg.metric {
+                Metric::Nxn => bnn::<D, NxnDist, _>(r, &is, &bnn_cfg),
+                Metric::MaxMax => bnn::<D, MaxMaxDist, _>(r, &is, &bnn_cfg),
+            }
+            .expect("BNN run");
+            Measurement::from_output(label, &out, t0.elapsed().as_secs_f64(), build)
+        }
+        Method::Mnn => {
+            let qt_cfg = MbrqtConfig::default();
+            let t0 = Instant::now();
+            let ir = Mbrqt::bulk_build(pool.clone(), r, &qt_cfg).expect("build");
+            let is = RStar::bulk_build(pool.clone(), s, &RStarConfig::default()).expect("build");
+            let build = t0.elapsed().as_secs_f64();
+            prepare_query_phase(&pool, cfg.pool_frames);
+            let mnn_cfg = MnnConfig {
+                k: cfg.k,
+                exclude_self: cfg.exclude_self,
+            };
+            let t0 = Instant::now();
+            let out = match cfg.metric {
+                Metric::Nxn => mnn::<D, NxnDist, _, _>(&ir, &is, &mnn_cfg),
+                Metric::MaxMax => mnn::<D, MaxMaxDist, _, _>(&ir, &is, &mnn_cfg),
+            }
+            .expect("MNN run");
+            Measurement::from_output(label, &out, t0.elapsed().as_secs_f64(), build)
+        }
+        Method::Hnn => {
+            // HNN is entirely in-memory (the paper's §2 notes it avoids
+            // index construction); no pages are charged.
+            prepare_query_phase(&pool, cfg.pool_frames);
+            let h_cfg = HnnConfig {
+                k: cfg.k,
+                exclude_self: cfg.exclude_self,
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let out = hnn(r, s, &h_cfg);
+            Measurement::from_output(label, &out, t0.elapsed().as_secs_f64(), 0.0)
+        }
+        Method::Gorder => {
+            // GORDER's sort phase is part of its method; the paper charges
+            // it to the run, and so do we (build_seconds stays 0).
+            prepare_query_phase(&pool, cfg.pool_frames);
+            let g_cfg = GorderConfig {
+                k: cfg.k,
+                exclude_self: cfg.exclude_self,
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let out = gorder_join(r, s, pool.clone(), &g_cfg).expect("GORDER run");
+            Measurement::from_output(label, &out, t0.elapsed().as_secs_f64(), 0.0)
+        }
+    }
+}
+
+/// Clears the pool (cold cache), applies the experiment's capacity, and
+/// zeroes the I/O counters.
+fn prepare_query_phase(pool: &BufferPool, frames: usize) {
+    pool.clear().expect("clear pool");
+    pool.set_capacity(frames.max(8)).expect("set capacity");
+    pool.reset_stats();
+}

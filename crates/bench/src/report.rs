@@ -1,0 +1,128 @@
+//! Table formatting and JSON dumping for experiment results.
+
+use crate::harness::Measurement;
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// A complete regenerated figure: its id, workload description, and rows.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure {
+    /// Paper figure id (e.g. `"fig3a"`).
+    pub id: String,
+    /// Human description of the workload.
+    pub workload: String,
+    /// One measurement per bar/series point; `group` labels the x-position
+    /// (e.g. buffer size, dimensionality, k).
+    pub rows: Vec<FigureRow>,
+}
+
+/// One bar / series point.
+#[derive(Clone, Debug, Serialize)]
+pub struct FigureRow {
+    /// X-axis group (dataset, buffer size, dimensionality, k, ...).
+    pub group: String,
+    /// The measurement.
+    #[serde(flatten)]
+    pub measurement: Measurement,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(id: &str, workload: &str) -> Self {
+        Figure {
+            id: id.to_string(),
+            workload: workload.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one measurement under an x-axis group.
+    pub fn push(&mut self, group: &str, m: Measurement) {
+        self.rows.push(FigureRow {
+            group: group.to_string(),
+            measurement: m,
+        });
+    }
+
+    /// Renders the figure as an aligned text table (the same rows/series
+    /// the paper plots).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.workload));
+        out.push_str(&format!(
+            "{:<16} {:<18} {:>9} {:>9} {:>9} {:>10} {:>12} {:>10}\n",
+            "group", "method", "cpu(s)", "io(s)", "total(s)", "pages", "dist-comps", "enqueued"
+        ));
+        for row in &self.rows {
+            let m = &row.measurement;
+            out.push_str(&format!(
+                "{:<16} {:<18} {:>9.3} {:>9.3} {:>9.3} {:>10} {:>12} {:>10}\n",
+                row.group,
+                m.label,
+                m.cpu_seconds,
+                m.io_seconds,
+                m.total_seconds(),
+                m.physical_pages,
+                m.distance_computations,
+                m.enqueued,
+            ));
+        }
+        out
+    }
+
+    /// Writes the figure as JSON under `dir/<id>.json` (for EXPERIMENTS.md
+    /// bookkeeping). Creates the directory when missing.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(path)?;
+        let body = serde_json::to_string_pretty(self).expect("serializable");
+        f.write_all(body.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_measurement(label: &str) -> Measurement {
+        Measurement {
+            label: label.to_string(),
+            cpu_seconds: 1.25,
+            physical_pages: 100,
+            io_seconds: 1.0,
+            logical_reads: 1000,
+            result_pairs: 42,
+            distance_computations: 9000,
+            enqueued: 300,
+            build_seconds: 0.5,
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let mut fig = Figure::new("figX", "test workload");
+        fig.push("g1", sample_measurement("MBA NXNDIST"));
+        fig.push("g2", sample_measurement("GORDER"));
+        let text = fig.render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("MBA NXNDIST"));
+        assert!(text.contains("GORDER"));
+        assert!(text.contains("2.250")); // total = cpu + io
+        assert_eq!(text.lines().count(), 2 + 2); // header x2 + 2 rows
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ann-bench-test-{}", std::process::id()));
+        let mut fig = Figure::new("figY", "json test");
+        fig.push("g", sample_measurement("BNN MAXMAXDIST"));
+        fig.write_json(&dir).unwrap();
+        let body = std::fs::read_to_string(dir.join("figY.json")).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(parsed["id"], "figY");
+        assert_eq!(parsed["rows"][0]["label"], "BNN MAXMAXDIST");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

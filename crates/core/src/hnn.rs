@@ -1,0 +1,360 @@
+//! **HNN** — hash-based ANN over a spatial grid (Zhang et al. SSDBM 2004,
+//! building on the PBSM partitioning of Patel & DeWitt).
+//!
+//! Neither input needs an index: the target set `S` is hashed into a
+//! uniform grid whose cell edge is chosen so the average occupancy is a
+//! small constant, and each query point searches its own cell and then
+//! expanding Chebyshev "rings" of cells, stopping when the nearest
+//! possible point of the next ring is farther than the current `k`-th
+//! best candidate.
+//!
+//! The paper (§2) notes two weaknesses that this implementation makes
+//! measurable rather than hides:
+//!
+//! * **skew** — a uniform grid puts thousands of points in hot cells, and
+//!   ring pruning does not help within a cell;
+//! * **dimensionality** — a ring at Chebyshev radius ρ contains
+//!   `(2ρ+1)^D − (2ρ−1)^D` cells, which explodes with `D`, so HNN is only
+//!   sensible in low dimensions.
+
+#![allow(clippy::needless_range_loop)] // fixed-D kernels index 0..D
+
+use crate::stats::{AnnOutput, NeighborPair};
+use ann_geom::{Mbr, Point};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Configuration for [`hnn`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HnnConfig {
+    /// Neighbors per query object.
+    pub k: usize,
+    /// Target average number of `S` points per grid cell.
+    pub avg_cell_occupancy: f64,
+    /// Self-join mode: skip same-oid pairs.
+    pub exclude_self: bool,
+}
+
+impl Default for HnnConfig {
+    fn default() -> Self {
+        HnnConfig {
+            k: 1,
+            avg_cell_occupancy: 8.0,
+            exclude_self: false,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+struct Best {
+    dist_sq: f64,
+    s_oid: u64,
+}
+impl Eq for Best {}
+impl PartialOrd for Best {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Best {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist_sq
+            .partial_cmp(&other.dist_sq)
+            .expect("finite")
+            .then(self.s_oid.cmp(&other.s_oid))
+    }
+}
+
+struct Grid<const D: usize> {
+    cells: HashMap<[i32; D], Vec<(u64, Point<D>)>>,
+    origin: [f64; D],
+    cell_edge: f64,
+    /// Componentwise bounds of the occupied cells.
+    cell_lo: [i32; D],
+    cell_hi: [i32; D],
+}
+
+impl<const D: usize> Grid<D> {
+    fn build(s: &[(u64, Point<D>)], avg_occupancy: f64) -> Self {
+        let bounds = Mbr::from_points(s.iter().map(|(_, p)| p));
+        // Edge length so that (volume / edge^D) * occupancy ≈ |S|; guard
+        // degenerate extents.
+        let mut volume = 1.0f64;
+        for d in 0..D {
+            volume *= bounds.extent(d).max(1e-9);
+        }
+        let cells_wanted = (s.len() as f64 / avg_occupancy).max(1.0);
+        let cell_edge = (volume / cells_wanted).powf(1.0 / D as f64).max(1e-12);
+        let mut grid = Grid {
+            cells: HashMap::new(),
+            origin: bounds.lo,
+            cell_edge,
+            cell_lo: [i32::MAX; D],
+            cell_hi: [i32::MIN; D],
+        };
+        for &(oid, p) in s {
+            let c = grid.cell_of(&p);
+            for d in 0..D {
+                grid.cell_lo[d] = grid.cell_lo[d].min(c[d]);
+                grid.cell_hi[d] = grid.cell_hi[d].max(c[d]);
+            }
+            grid.cells.entry(c).or_default().push((oid, p));
+        }
+        grid
+    }
+
+    /// Chebyshev distance from `home` to the farthest occupied cell —
+    /// rings beyond this are guaranteed empty.
+    fn max_ring_from(&self, home: &[i32; D]) -> i32 {
+        let mut reach = 0i32;
+        for d in 0..D {
+            reach = reach
+                .max((home[d] - self.cell_lo[d]).abs())
+                .max((self.cell_hi[d] - home[d]).abs());
+        }
+        reach
+    }
+
+    /// Chebyshev distance from `home` to the *nearest* occupied-box cell —
+    /// all smaller rings are guaranteed empty, so the search starts here.
+    fn min_ring_from(&self, home: &[i32; D]) -> i32 {
+        let mut need = 0i32;
+        for d in 0..D {
+            if home[d] < self.cell_lo[d] {
+                need = need.max(self.cell_lo[d] - home[d]);
+            } else if home[d] > self.cell_hi[d] {
+                need = need.max(home[d] - self.cell_hi[d]);
+            }
+        }
+        need
+    }
+
+    fn cell_of(&self, p: &Point<D>) -> [i32; D] {
+        let mut c = [0i32; D];
+        for d in 0..D {
+            c[d] = ((p[d] - self.origin[d]) / self.cell_edge).floor() as i32;
+        }
+        c
+    }
+
+    /// Visits every cell at Chebyshev distance exactly `ring` from `home`.
+    fn for_ring(&self, home: &[i32; D], ring: i32, mut f: impl FnMut(&Vec<(u64, Point<D>)>)) {
+        let mut offset = [0i32; D];
+        self.ring_rec(home, ring, 0, false, &mut offset, &mut f);
+    }
+
+    fn ring_rec(
+        &self,
+        home: &[i32; D],
+        ring: i32,
+        dim: usize,
+        pinned: bool,
+        offset: &mut [i32; D],
+        f: &mut impl FnMut(&Vec<(u64, Point<D>)>),
+    ) {
+        if dim == D {
+            if !pinned {
+                return; // interior cell: belongs to a smaller ring
+            }
+            let mut cell = *home;
+            for d in 0..D {
+                cell[d] += offset[d];
+            }
+            if let Some(points) = self.cells.get(&cell) {
+                f(points);
+            }
+            return;
+        }
+        // Clip the offset range to the occupied cell box: rings mostly
+        // outside the box would otherwise enumerate millions of empty
+        // cells on skewed data.
+        let lo = (-ring).max(self.cell_lo[dim] - home[dim]);
+        let hi = ring.min(self.cell_hi[dim] - home[dim]);
+        for o in lo..=hi {
+            offset[dim] = o;
+            self.ring_rec(home, ring, dim + 1, pinned || o.abs() == ring, offset, f);
+        }
+    }
+}
+
+/// Evaluates AkNN without any index: spatial-hash `S`, ring-search per
+/// query point.
+pub fn hnn<const D: usize>(
+    r: &[(u64, Point<D>)],
+    s: &[(u64, Point<D>)],
+    cfg: &HnnConfig,
+) -> AnnOutput {
+    assert!(cfg.k >= 1, "k must be at least 1");
+    assert!(cfg.avg_cell_occupancy > 0.0);
+    let mut out = AnnOutput::default();
+    if r.is_empty() || s.is_empty() {
+        return out;
+    }
+    let grid = Grid::build(s, cfg.avg_cell_occupancy);
+    let k_eff = cfg.k + usize::from(cfg.exclude_self);
+
+    for &(r_oid, r_pt) in r {
+        let home = grid.cell_of(&r_pt);
+        let max_ring = grid.max_ring_from(&home);
+        let mut best: BinaryHeap<Best> = BinaryHeap::with_capacity(k_eff + 1);
+        let mut ring = grid.min_ring_from(&home);
+        loop {
+            // The nearest any point of ring ρ can be is (ρ-1) cell edges
+            // (the query may sit on its own cell's boundary).
+            let ring_min = (ring - 1).max(0) as f64 * grid.cell_edge;
+            let bound_sq = if best.len() < k_eff {
+                f64::INFINITY
+            } else {
+                best.peek().expect("non-empty").dist_sq
+            };
+            if ring_min * ring_min > bound_sq {
+                break;
+            }
+            grid.for_ring(&home, ring, |points| {
+                for &(s_oid, s_pt) in points {
+                    if cfg.exclude_self && s_oid == r_oid {
+                        continue;
+                    }
+                    out.stats.distance_computations += 1;
+                    let d = r_pt.dist_sq(&s_pt);
+                    if best.len() < k_eff {
+                        best.push(Best {
+                            dist_sq: d,
+                            s_oid,
+                        });
+                    } else if d < best.peek().expect("non-empty").dist_sq {
+                        best.pop();
+                        best.push(Best {
+                            dist_sq: d,
+                            s_oid,
+                        });
+                    }
+                }
+            });
+            ring += 1;
+            // Beyond the farthest occupied cell every further ring is
+            // empty, so the search is complete.
+            if ring > max_ring {
+                break;
+            }
+        }
+
+        let mut hits: Vec<Best> = best.into_vec();
+        hits.sort_by(|a, b| {
+            (a.dist_sq, a.s_oid)
+                .partial_cmp(&(b.dist_sq, b.s_oid))
+                .expect("finite")
+        });
+        for h in hits.into_iter().take(cfg.k) {
+            out.results.push(NeighborPair {
+                r_oid,
+                s_oid: h.s_oid,
+                dist: h.dist_sq.sqrt(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_aknn;
+
+    fn pts(n: usize, seed: u64) -> Vec<(u64, Point<2>)> {
+        // Simple LCG so this module needs no dev-deps.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|i| (i as u64, Point::new([next() * 100.0, next() * 100.0])))
+            .collect()
+    }
+
+    fn check(r: &[(u64, Point<2>)], s: &[(u64, Point<2>)], cfg: &HnnConfig) {
+        let mut got = hnn(r, s, cfg);
+        got.sort();
+        let mut want = brute_force_aknn(r, s, cfg.k, cfg.exclude_self);
+        want.sort_by(|a, b| {
+            (a.r_oid, a.dist, a.s_oid)
+                .partial_cmp(&(b.r_oid, b.dist, b.s_oid))
+                .unwrap()
+        });
+        assert_eq!(got.results.len(), want.len());
+        for (g, w) in got.results.iter().zip(&want) {
+            assert_eq!(g.r_oid, w.r_oid);
+            assert!((g.dist - w.dist).abs() < 1e-9, "{g:?} vs {w:?}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let r = pts(500, 1);
+        let s = pts(600, 2);
+        check(&r, &s, &HnnConfig::default());
+    }
+
+    #[test]
+    fn matches_brute_force_k5_self_join() {
+        let p = pts(400, 3);
+        check(
+            &p,
+            &p,
+            &HnnConfig {
+                k: 5,
+                exclude_self: true,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn skewed_data_still_exact() {
+        // All of S crammed into one corner: the hot-cell weakness the
+        // paper mentions — slow, but must stay exact.
+        let r = pts(200, 4);
+        let s: Vec<(u64, Point<2>)> = pts(500, 5)
+            .into_iter()
+            .map(|(o, p)| (o, Point::new([p[0] * 0.01, p[1] * 0.01])))
+            .collect();
+        check(&r, &s, &HnnConfig::default());
+    }
+
+    #[test]
+    fn k_exceeding_cardinality() {
+        let r = pts(50, 6);
+        let s = pts(5, 7);
+        check(
+            &r,
+            &s,
+            &HnnConfig {
+                k: 20,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let p = pts(10, 8);
+        assert!(hnn::<2>(&[], &p, &HnnConfig::default()).results.is_empty());
+        assert!(hnn::<2>(&p, &[], &HnnConfig::default()).results.is_empty());
+    }
+
+    #[test]
+    fn occupancy_knob_is_performance_only() {
+        let r = pts(300, 9);
+        let s = pts(300, 10);
+        for occ in [1.0, 8.0, 64.0] {
+            check(
+                &r,
+                &s,
+                &HnnConfig {
+                    avg_cell_occupancy: occ,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+}

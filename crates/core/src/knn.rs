@@ -1,0 +1,165 @@
+//! Single-query k-nearest-neighbor search — the point-query counterpart
+//! of the ANN join, exposed as a standalone primitive.
+//!
+//! This is the classic best-first (Hjaltason–Samet) search augmented with
+//! the paper's pruning-metric upper bound, shared with the MNN baseline.
+//! Use it when you need neighbors of a handful of query points; use
+//! [`crate::mba`] when you need neighbors of *every* indexed point.
+
+use crate::index::SpatialIndex;
+use crate::lpq::BoundTracker;
+use crate::node::Entry;
+use ann_geom::{min_min_dist_sq, Mbr, Point, PruneMetric};
+use ann_store::Result;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct HeapItem<const D: usize> {
+    mind_sq: f64,
+    maxd_sq: f64,
+    entry: Entry<D>,
+}
+
+impl<const D: usize> PartialEq for HeapItem<D> {
+    fn eq(&self, other: &Self) -> bool {
+        self.mind_sq == other.mind_sq
+    }
+}
+impl<const D: usize> Eq for HeapItem<D> {}
+impl<const D: usize> PartialOrd for HeapItem<D> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<const D: usize> Ord for HeapItem<D> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .mind_sq
+            .partial_cmp(&self.mind_sq)
+            .expect("distances are finite")
+    }
+}
+
+/// Finds the `k` nearest indexed points to `query`, closest first.
+///
+/// Returns fewer than `k` results only when the index holds fewer than
+/// `k` points.
+///
+/// ```no_run
+/// use ann_core::knn::knn;
+/// use ann_core::SpatialIndex;
+/// use ann_geom::{NxnDist, Point};
+/// # fn demo<I: SpatialIndex<2>>(index: &I) -> ann_store::Result<()> {
+/// let hits = knn::<2, NxnDist, _>(index, &Point::new([1.0, 2.0]), 5)?;
+/// for (oid, dist) in hits {
+///     println!("#{oid} at {dist}");
+/// }
+/// # Ok(()) }
+/// ```
+pub fn knn<const D: usize, M, I>(
+    index: &I,
+    query: &Point<D>,
+    k: usize,
+) -> Result<Vec<(u64, f64)>>
+where
+    M: PruneMetric,
+    I: SpatialIndex<D>,
+{
+    assert!(k >= 1, "k must be at least 1");
+    let mut out = Vec::with_capacity(k);
+    if index.num_points() == 0 {
+        return Ok(out);
+    }
+    let qmbr = Mbr::from_point(query);
+    let mut bound = BoundTracker::new(k, f64::INFINITY);
+    let mut heap: BinaryHeap<HeapItem<D>> = BinaryHeap::new();
+
+    let root_mbr = index.bounds();
+    let root = Entry::Node(crate::node::NodeEntry {
+        page: index.root_page(),
+        count: index.num_points(),
+        mbr: root_mbr,
+    });
+    let maxd_sq = M::upper_sq(&qmbr, &root_mbr);
+    bound.offer(maxd_sq);
+    heap.push(HeapItem {
+        mind_sq: min_min_dist_sq(&qmbr, &root_mbr),
+        maxd_sq,
+        entry: root,
+    });
+
+    while let Some(item) = heap.pop() {
+        if bound.prunes(item.mind_sq) {
+            break;
+        }
+        bound.remove(item.maxd_sq);
+        match item.entry {
+            Entry::Object(o) => {
+                out.push((o.oid, item.mind_sq.sqrt()));
+                bound.satisfy_one();
+                if out.len() == k {
+                    break;
+                }
+            }
+            Entry::Node(n) => {
+                let node = index.read_node(n.page)?;
+                for e in node.entries {
+                    let embr = e.mbr();
+                    let mind_sq = min_min_dist_sq(&qmbr, &embr);
+                    let maxd_sq = M::upper_sq(&qmbr, &embr);
+                    if !bound.prunes(mind_sq) {
+                        bound.offer(maxd_sq);
+                        heap.push(HeapItem {
+                            mind_sq,
+                            maxd_sq,
+                            entry: e,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Finds every indexed point within `radius` of `query`, closest first.
+///
+/// A range counterpart to [`knn`]; subtrees are pruned with the same
+/// `MINMINDIST` lower bound.
+pub fn within_radius<const D: usize, I>(
+    index: &I,
+    query: &Point<D>,
+    radius: f64,
+) -> Result<Vec<(u64, f64)>>
+where
+    I: SpatialIndex<D>,
+{
+    assert!(radius >= 0.0, "radius must be non-negative");
+    let mut out = Vec::new();
+    if index.num_points() == 0 {
+        return Ok(out);
+    }
+    let qmbr = Mbr::from_point(query);
+    let radius_sq = radius * radius;
+    let mut stack = vec![index.root_page()];
+    while let Some(page) = stack.pop() {
+        let node = index.read_node(page)?;
+        for e in &node.entries {
+            match e {
+                Entry::Object(o) => {
+                    let d2 = query.dist_sq(&o.point);
+                    if d2 <= radius_sq {
+                        out.push((o.oid, d2.sqrt()));
+                    }
+                }
+                Entry::Node(n) => {
+                    if min_min_dist_sq(&qmbr, &n.mbr) <= radius_sq {
+                        stack.push(n.page);
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.1, a.0).partial_cmp(&(b.1, b.0)).expect("finite"));
+    Ok(out)
+}

@@ -1,0 +1,57 @@
+//! The paper's primary contribution: all-nearest-neighbor (ANN) and
+//! all-k-nearest-neighbor (AkNN) query evaluation over disk-resident
+//! spatial indices.
+//!
+//! This crate implements, from Chen & Patel (ICDE 2007):
+//!
+//! * the shared disk-resident node model and the [`SpatialIndex`] trait
+//!   ([`node`], [`index`]) that both the MBRQT (`ann-mbrqt`) and the
+//!   R*-tree (`ann-rstar`) implement;
+//! * the **Local Priority Queue** with the Three-Stage (Expand / Filter /
+//!   Gather) pruning heuristic ([`lpq`], paper §3.3.1, §3.3.3);
+//! * the **MBA** algorithm — depth-first traversal with bi-directional
+//!   node expansion (paper Algorithms 2-4) — generic over index structure
+//!   (over an R*-tree it is the paper's **RBA**), pruning metric
+//!   (NXNDIST vs MAXMAXDIST) and `k` ([`mba`]);
+//! * the alternative traversal/expansion combinations the paper ablates in
+//!   §3.3.2 ([`mba::Traversal`], [`mba::Expansion`]);
+//! * the **BNN** (batched nearest neighbors, Zhang et al. SSDBM'04),
+//!   **MNN** (index nested loops) and **HNN** (spatial-hash, no index)
+//!   baselines ([`bnn`], [`mnn`], [`hnn`]);
+//! * brute-force ground truth for testing ([`brute`]);
+//! * per-run counters ([`stats::AnnStats`]) covering distance
+//!   computations, queue traffic, node expansions and buffer-pool I/O.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use ann_core::mba::{mba, MbaConfig};
+//! use ann_core::SpatialIndex;
+//! use ann_geom::NxnDist;
+//! # fn demo<I: SpatialIndex<2>>(ir: &I, is: &I) -> ann_store::Result<()> {
+//! // `ir` indexes the query set R, `is` the target set S.
+//! let output = mba::<2, NxnDist, _, _>(ir, is, &MbaConfig::default())?;
+//! for pair in &output.results {
+//!     println!("r#{} -> s#{} at distance {}", pair.r_oid, pair.s_oid, pair.dist);
+//! }
+//! # Ok(()) }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bnn;
+pub mod brute;
+pub mod closest_pairs;
+pub mod hnn;
+pub mod index;
+pub mod knn;
+pub mod lpq;
+pub mod mba;
+pub mod mnn;
+pub mod node;
+pub mod stats;
+
+pub use index::SpatialIndex;
+pub use node::{Entry, Node, NodeEntry, ObjectEntry};
+pub use stats::{AnnOutput, AnnStats, NeighborPair};

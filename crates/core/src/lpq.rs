@@ -1,0 +1,450 @@
+//! The **Local Priority Queue** (LPQ) and its pruning bound (paper §3.3.1).
+//!
+//! During ANN evaluation every entry of the query index `I_R` owns exactly
+//! one LPQ holding candidate entries from the target index `I_S`. Each
+//! queued entry carries:
+//!
+//! * `MIND` — `MINMINDIST(owner, entry)`, the priority (lower bound);
+//! * `MAXD` — the pruning metric (NXNDIST or MAXMAXDIST), an upper bound on
+//!   the distance within which the entry guarantees neighbors.
+//!
+//! The LPQ also maintains the owner's pruning bound `MAXD`:
+//! for ANN (`k = 1`) the minimum of all offered entry `MAXD`s, and for AkNN
+//! the `k`-th smallest (each queued `I_S` entry is a disjoint subtree
+//! guaranteeing at least one point within its own `MAXD` of every point in
+//! the owner, so `k` entries guarantee `k` candidates — §3.4). Both are
+//! additionally clipped by the bound inherited from the parent LPQ, making
+//! the bound monotonically non-increasing over the whole search, which is
+//! the property the Three-Stage pruning relies on (§3.3.3).
+//!
+//! The queue is kept as a `MIND`-sorted vector. That makes the **Filter
+//! stage** — "entries with a MIND greater than the MAXD of the new entry
+//! are immediately discarded" — a truncation of the sorted tail whenever
+//! the bound tightens.
+
+use crate::node::Entry;
+use ann_geom::{min_min_dist_sq, PruneMetric};
+
+/// Non-NaN `f64` with a total order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("bounds are never NaN")
+    }
+}
+
+/// Relative tolerance for pruning comparisons.
+///
+/// `MIND` and `MAXD` of the *same* geometric configuration are computed
+/// through different floating-point expression trees; when the true values
+/// coincide (the nearest neighbor sits exactly on the face of the MBR that
+/// determines the bound) the computed `MIND` can exceed the computed
+/// `MAXD` by a few ulps, and an exact comparison would prune the true
+/// result. All pruning tests therefore allow this relative slack —
+/// pruning slightly *less* is always sound.
+pub const PRUNE_EPS: f64 = 1e-12;
+
+/// Tracks the owner's pruning bound `MAXD`.
+///
+/// Soundness for `k > 1` requires care: the `k` entries backing the bound
+/// must guarantee `k` *distinct* points, which holds only while they are
+/// pairwise-disjoint subtrees. Entries in a queue are always disjoint
+/// (a popped node is replaced by its children), so the tracker counts only
+/// *live* entries: [`offer`](Self::offer) on enqueue,
+/// [`remove`](Self::remove) on dequeue/filter. Each emitted result lowers
+/// the requirement by one ([`satisfy_one`](Self::satisfy_one)). Once a
+/// single neighbor remains wanted, the tracker switches to the tighter
+/// min-over-everything-ever-offered bound, which is sound for one point
+/// regardless of entry overlap.
+#[derive(Clone, Debug)]
+pub struct BoundTracker {
+    /// Neighbors originally requested.
+    k_original: usize,
+    /// Neighbors still wanted.
+    k_remaining: usize,
+    /// Bound inherited from the parent LPQ (squared).
+    inherited_sq: f64,
+    /// Minimum upper bound ever offered (squared) — sound for `k == 1`.
+    min_ever_sq: f64,
+    /// Multiset of live entries' upper bounds (squared), for `k > 1`.
+    /// Never maintained when `k_original == 1` (the dominant ANN case):
+    /// the min-ever bound is strictly tighter there and the map would be
+    /// pure overhead in the hottest loop of the whole system.
+    live: std::collections::BTreeMap<OrdF64, usize>,
+    live_len: usize,
+    /// Cached result of the k-th-smallest scan; `None` after a mutation.
+    cached_kth: std::cell::Cell<Option<f64>>,
+}
+
+impl BoundTracker {
+    /// Creates a tracker for `k` neighbors with an inherited initial bound
+    /// (squared). Pass `f64::INFINITY` at the root.
+    pub fn new(k: usize, inherited_sq: f64) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        BoundTracker {
+            k_original: k,
+            k_remaining: k,
+            inherited_sq,
+            min_ever_sq: f64::INFINITY,
+            live: std::collections::BTreeMap::new(),
+            live_len: 0,
+            cached_kth: std::cell::Cell::new(None),
+        }
+    }
+
+    /// Records the squared upper bound of an entry entering the queue.
+    pub fn offer(&mut self, maxd_sq: f64) {
+        if maxd_sq < self.min_ever_sq {
+            self.min_ever_sq = maxd_sq;
+        }
+        if self.k_original > 1 {
+            *self.live.entry(OrdF64(maxd_sq)).or_insert(0) += 1;
+            self.live_len += 1;
+            self.cached_kth.set(None);
+        }
+    }
+
+    /// Records that an entry with this squared upper bound left the queue
+    /// (dequeued or filtered).
+    pub fn remove(&mut self, maxd_sq: f64) {
+        if self.k_original == 1 {
+            return; // no live multiset in the min-ever regime
+        }
+        if let Some(n) = self.live.get_mut(&OrdF64(maxd_sq)) {
+            *n -= 1;
+            if *n == 0 {
+                self.live.remove(&OrdF64(maxd_sq));
+            }
+            self.live_len -= 1;
+            self.cached_kth.set(None);
+        } else {
+            debug_assert!(false, "removed a bound that was never offered");
+        }
+    }
+
+    /// Records one emitted result: one fewer neighbor is wanted.
+    pub fn satisfy_one(&mut self) {
+        self.k_remaining = self.k_remaining.saturating_sub(1);
+        self.cached_kth.set(None);
+    }
+
+    /// Current squared pruning bound.
+    pub fn bound_sq(&self) -> f64 {
+        if self.k_remaining == 0 {
+            // Nothing more is wanted: prune everything.
+            return 0.0;
+        }
+        if self.k_original == 1 {
+            // Plain ANN: the min over everything ever offered is sound
+            // (each offer guarantees one point, and expanding the entry
+            // that backs the minimum re-offers a child that still covers
+            // its guaranteed point). This is the tightest bound and never
+            // taints, because the search ends at the first emission.
+            return self.inherited_sq.min(self.min_ever_sq);
+        }
+        // AkNN: only live (still-queued, pairwise-disjoint) entries may
+        // back the bound — an emitted or historical offer might alias a
+        // point a live descendant also guarantees.
+        if self.live_len < self.k_remaining {
+            return self.inherited_sq;
+        }
+        if let Some(kth) = self.cached_kth.get() {
+            return self.inherited_sq.min(kth);
+        }
+        // k_remaining-th smallest live upper bound (with multiplicity);
+        // O(k) scan, amortized by the mutation-invalidated cache.
+        let mut need = self.k_remaining;
+        for (v, n) in &self.live {
+            if *n >= need {
+                self.cached_kth.set(Some(v.0));
+                return self.inherited_sq.min(v.0);
+            }
+            need -= n;
+        }
+        unreachable!("live_len >= k_remaining guarantees termination")
+    }
+
+    /// Epsilon-tolerant pruning test: `true` when an entry at squared
+    /// lower-bound distance `mind_sq` cannot contribute a result.
+    #[inline]
+    pub fn prunes(&self, mind_sq: f64) -> bool {
+        let b = self.bound_sq();
+        mind_sq > b * (1.0 + PRUNE_EPS)
+    }
+}
+
+/// An `I_S` entry queued in an LPQ, with its distance fields.
+#[derive(Clone, Copy, Debug)]
+pub struct QueuedEntry<const D: usize> {
+    /// Squared `MINMINDIST(owner, entry)` — the queue priority.
+    pub mind_sq: f64,
+    /// Squared pruning-metric upper bound.
+    pub maxd_sq: f64,
+    /// The target-index entry itself.
+    pub entry: Entry<D>,
+}
+
+/// The `Distances` procedure of the paper's Algorithm 4: computes the
+/// `(MIND², MAXD²)` pair between an owner entry (from `I_R`) and a target
+/// entry (from `I_S`) under pruning metric `M`.
+#[inline]
+pub fn distances<const D: usize, M: PruneMetric>(
+    owner: &Entry<D>,
+    target: &Entry<D>,
+) -> (f64, f64) {
+    let om = owner.mbr();
+    let tm = target.mbr();
+    (min_min_dist_sq(&om, &tm), M::upper_sq(&om, &tm))
+}
+
+/// A Local Priority Queue: `MIND`-ordered candidates from `I_S`, owned by
+/// one unique entry of `I_R`.
+#[derive(Clone, Debug)]
+pub struct Lpq<const D: usize> {
+    /// The owning `I_R` entry (node or object).
+    pub owner: Entry<D>,
+    entries: Vec<QueuedEntry<D>>,
+    head: usize,
+    bound: BoundTracker,
+}
+
+impl<const D: usize> Lpq<D> {
+    /// Creates an LPQ for `owner` seeking `k` neighbors, inheriting the
+    /// parent LPQ's squared bound (Expand stage, Algorithm 4 line 12).
+    pub fn new(owner: Entry<D>, k: usize, inherited_bound_sq: f64) -> Self {
+        Lpq {
+            owner,
+            entries: Vec::new(),
+            head: 0,
+            bound: BoundTracker::new(k, inherited_bound_sq),
+        }
+    }
+
+    /// Current squared pruning bound (`LPQ.MAXD` in the paper).
+    #[inline]
+    pub fn bound_sq(&self) -> f64 {
+        self.bound.bound_sq()
+    }
+
+    /// Entries currently queued (not yet dequeued, not filtered).
+    pub fn len(&self) -> usize {
+        self.entries.len() - self.head
+    }
+
+    /// `true` when nothing remains to dequeue.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.entries.len()
+    }
+
+    /// Attempts to enqueue `entry` with the given distance fields.
+    ///
+    /// Implements the probe test (reject when `MIND > MAXD`, Algorithm 4
+    /// lines 8/17) and the **Filter stage**: when the new entry tightens
+    /// the bound, queued entries whose `MIND` now exceeds it are discarded.
+    ///
+    /// Returns `(accepted, filtered)`: whether the entry was queued, and
+    /// how many queued entries the Filter stage evicted.
+    pub fn try_enqueue(&mut self, e: QueuedEntry<D>) -> (bool, u64) {
+        if self.bound.prunes(e.mind_sq) {
+            return (false, 0);
+        }
+        self.bound.offer(e.maxd_sq);
+        // Insertion position: ties on MIND broken by MAXD (paper §3.3.3).
+        let key = (e.mind_sq, e.maxd_sq);
+        let pos = self.entries[self.head..]
+            .partition_point(|q| (q.mind_sq, q.maxd_sq) <= key)
+            + self.head;
+        self.entries.insert(pos, e);
+        // Filter stage: drop the tail that the (possibly tightened) bound
+        // now excludes. The vector is MIND-sorted, so the victims form a
+        // suffix.
+        let bound = self.bound.bound_sq() * (1.0 + PRUNE_EPS);
+        let cut = self.entries[self.head..].partition_point(|q| q.mind_sq <= bound) + self.head;
+        let filtered = (self.entries.len() - cut) as u64;
+        for victim in &self.entries[cut..] {
+            self.bound.remove(victim.maxd_sq);
+        }
+        self.entries.truncate(cut);
+        (true, filtered)
+    }
+
+    /// Pops the entry with the smallest `MIND`, if any. The entry leaves
+    /// the live-bound multiset; callers expanding a popped node re-offer
+    /// its children through [`try_enqueue`](Self::try_enqueue).
+    pub fn dequeue(&mut self) -> Option<QueuedEntry<D>> {
+        if self.head < self.entries.len() {
+            let e = self.entries[self.head];
+            self.head += 1;
+            self.bound.remove(e.maxd_sq);
+            Some(e)
+        } else {
+            None
+        }
+    }
+
+    /// Epsilon-tolerant pruning test against this LPQ's bound.
+    #[inline]
+    pub fn prunes(&self, mind_sq: f64) -> bool {
+        self.bound.prunes(mind_sq)
+    }
+
+    /// Records one emitted result for this LPQ's owner (AkNN bookkeeping).
+    pub fn satisfy_one(&mut self) {
+        self.bound.satisfy_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{NodeEntry, ObjectEntry};
+    use ann_geom::{Mbr, NxnDist, Point};
+
+    fn obj(oid: u64, x: f64, y: f64) -> Entry<2> {
+        Entry::Object(ObjectEntry {
+            oid,
+            point: Point::new([x, y]),
+        })
+    }
+
+    fn node(page: u32, lo: [f64; 2], hi: [f64; 2]) -> Entry<2> {
+        Entry::Node(NodeEntry {
+            page,
+            count: 10,
+            mbr: Mbr::new(lo, hi),
+        })
+    }
+
+    fn qe(entry: Entry<2>, mind: f64, maxd: f64) -> QueuedEntry<2> {
+        QueuedEntry {
+            mind_sq: mind,
+            maxd_sq: maxd,
+            entry,
+        }
+    }
+
+    #[test]
+    fn bound_tracker_k1_takes_minimum() {
+        let mut b = BoundTracker::new(1, f64::INFINITY);
+        b.offer(9.0);
+        assert_eq!(b.bound_sq(), 9.0);
+        b.offer(16.0);
+        assert_eq!(b.bound_sq(), 9.0);
+        b.offer(4.0);
+        assert_eq!(b.bound_sq(), 4.0);
+    }
+
+    #[test]
+    fn bound_tracker_k1_respects_inherited() {
+        let mut b = BoundTracker::new(1, 2.0);
+        assert_eq!(b.bound_sq(), 2.0);
+        b.offer(5.0);
+        assert_eq!(b.bound_sq(), 2.0, "looser offers cannot widen the bound");
+    }
+
+    #[test]
+    fn bound_tracker_k3_takes_third_smallest() {
+        let mut b = BoundTracker::new(3, f64::INFINITY);
+        b.offer(10.0);
+        b.offer(2.0);
+        assert_eq!(
+            b.bound_sq(),
+            f64::INFINITY,
+            "fewer than k entries guarantee nothing"
+        );
+        b.offer(6.0);
+        assert_eq!(b.bound_sq(), 10.0);
+        b.offer(3.0); // smallest three now 2, 3, 6
+        assert_eq!(b.bound_sq(), 6.0);
+        b.offer(100.0); // no change
+        assert_eq!(b.bound_sq(), 6.0);
+        b.offer(1.0); // smallest three now 1, 2, 3
+        assert_eq!(b.bound_sq(), 3.0);
+    }
+
+    #[test]
+    fn enqueue_orders_by_mind() {
+        let mut lpq = Lpq::new(node(0, [0.0, 0.0], [1.0, 1.0]), 1, f64::INFINITY);
+        lpq.try_enqueue(qe(obj(1, 0.0, 0.0), 9.0, 9.0));
+        lpq.try_enqueue(qe(obj(2, 0.0, 0.0), 1.0, 1.0));
+        lpq.try_enqueue(qe(obj(3, 0.0, 0.0), 1.0, 1.0));
+        let order: Vec<f64> = std::iter::from_fn(|| lpq.dequeue())
+            .map(|e| e.mind_sq)
+            .collect();
+        // The 9.0 entry was filtered when the 1.0 bound arrived.
+        assert_eq!(order, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn probe_test_rejects_beyond_bound() {
+        let mut lpq = Lpq::new(node(0, [0.0, 0.0], [1.0, 1.0]), 1, 4.0);
+        let (accepted, _) = lpq.try_enqueue(qe(obj(1, 0.0, 0.0), 5.0, 6.0));
+        assert!(!accepted);
+        assert!(lpq.is_empty());
+        // Within the bound: accepted.
+        let (accepted, _) = lpq.try_enqueue(qe(obj(2, 0.0, 0.0), 3.0, 3.5));
+        assert!(accepted);
+        assert_eq!(lpq.len(), 1);
+    }
+
+    #[test]
+    fn filter_stage_evicts_tail() {
+        let mut lpq = Lpq::new(node(0, [0.0, 0.0], [1.0, 1.0]), 1, f64::INFINITY);
+        // Three loose node entries...
+        lpq.try_enqueue(qe(node(1, [5.0, 5.0], [6.0, 6.0]), 7.0, 50.0));
+        lpq.try_enqueue(qe(node(2, [5.0, 5.0], [6.0, 6.0]), 8.0, 50.0));
+        lpq.try_enqueue(qe(node(3, [5.0, 5.0], [6.0, 6.0]), 9.0, 50.0));
+        assert_eq!(lpq.len(), 3);
+        // ...then a tight object: bound drops to 7.5, filtering MIND 8 & 9.
+        let (accepted, filtered) = lpq.try_enqueue(qe(obj(9, 0.0, 0.0), 7.5, 7.5));
+        assert!(accepted);
+        assert_eq!(filtered, 2);
+        assert_eq!(lpq.len(), 2);
+        assert_eq!(lpq.bound_sq(), 7.5);
+    }
+
+    #[test]
+    fn ties_on_mind_break_on_maxd() {
+        let mut lpq = Lpq::new(node(0, [0.0, 0.0], [1.0, 1.0]), 1, f64::INFINITY);
+        lpq.try_enqueue(qe(node(1, [0.0, 0.0], [1.0, 1.0]), 2.0, 90.0));
+        lpq.try_enqueue(qe(node(2, [0.0, 0.0], [1.0, 1.0]), 2.0, 10.0));
+        let first = lpq.dequeue().unwrap();
+        assert_eq!(first.maxd_sq, 10.0, "tighter MAXD wins the tie");
+    }
+
+    #[test]
+    fn aknn_bound_needs_k_entries() {
+        let mut lpq = Lpq::new(node(0, [0.0, 0.0], [1.0, 1.0]), 2, f64::INFINITY);
+        lpq.try_enqueue(qe(node(1, [0.0, 0.0], [1.0, 1.0]), 1.0, 4.0));
+        assert_eq!(lpq.bound_sq(), f64::INFINITY);
+        // A second disjoint subtree establishes the k=2 guarantee.
+        lpq.try_enqueue(qe(node(2, [0.0, 0.0], [1.0, 1.0]), 2.0, 9.0));
+        assert_eq!(lpq.bound_sq(), 9.0);
+    }
+
+    #[test]
+    fn distances_for_objects_is_exact() {
+        let owner = obj(1, 0.0, 0.0);
+        let target = obj(2, 3.0, 4.0);
+        let (mind, maxd) = distances::<2, NxnDist>(&owner, &target);
+        assert_eq!(mind, 25.0);
+        assert_eq!(maxd, 25.0);
+    }
+
+    #[test]
+    fn distances_node_vs_node() {
+        let owner = node(1, [0.0, 5.0], [4.0, 7.0]);
+        let target = node(2, [5.0, 0.0], [9.0, 2.0]);
+        let (mind, maxd) = distances::<2, NxnDist>(&owner, &target);
+        assert_eq!(mind, 1.0 + 9.0); // gap (1, 3)
+        assert_eq!(maxd, 74.0); // the Figure 1(a) example
+    }
+}

@@ -1,0 +1,445 @@
+//! The **MBA** algorithm (paper §3.3.2, Algorithms 2-4) and its traversal /
+//! expansion variants (§3.3.2's four-way design space).
+//!
+//! [`mba`] evaluates ANN (or AkNN for `k > 1`) between two indexed point
+//! sets by descending both indices simultaneously. Each reached entry of
+//! the query index `I_R` owns a [`Lpq`] of candidate `I_S` entries; the
+//! `ExpandAndPrune` equivalent in this module applies the Three-Stage
+//! pruning of §3.3.3:
+//!
+//! * **Expand stage** — an internal owner spawns one child LPQ per child
+//!   entry (inheriting the parent's bound), then drains its own queue,
+//!   probing each drained entry (or, under bi-directional expansion, that
+//!   entry's children) against every child LPQ;
+//! * **Filter stage** — inside [`Lpq::try_enqueue`]: queued entries whose
+//!   `MIND` exceeds a newly tightened bound are evicted;
+//! * **Gather stage** — an object owner drains its queue in `MIND` order;
+//!   the first `k` objects popped are its `k` nearest neighbors.
+//!
+//! The function is generic over the index type — run it over MBRQT indices
+//! and it is the paper's MBA; over R*-trees it is **RBA** — and over the
+//! pruning metric ([`ann_geom::NxnDist`] vs [`ann_geom::MaxMaxDist`]),
+//! which is the comparison of Figure 3(a).
+
+use crate::index::SpatialIndex;
+use crate::lpq::{distances, Lpq, QueuedEntry};
+use crate::node::{Entry, NodeEntry};
+use crate::stats::{AnnOutput, NeighborPair};
+use ann_geom::PruneMetric;
+use ann_store::Result;
+use std::collections::VecDeque;
+
+/// Index traversal order for the query-side recursion (§3.3.2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Traversal {
+    /// Depth-first: recurse into each child LPQ before its siblings —
+    /// the paper's choice (bounded memory, maximal locality).
+    #[default]
+    DepthFirst,
+    /// Breadth-first: process LPQs level by level from a global FIFO.
+    BreadthFirst,
+}
+
+/// Node-expansion strategy (§3.3.2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Expansion {
+    /// Bi-directional: when an `I_R` node is expanded, drained `I_S` node
+    /// entries are expanded too (synchronous descent) — the paper's choice.
+    #[default]
+    Bidirectional,
+    /// Uni-directional: only `I_R` descends during the Expand stage;
+    /// `I_S` entries are re-probed unexpanded and only open up during the
+    /// Gather stage.
+    Unidirectional,
+}
+
+/// Configuration for [`mba`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MbaConfig {
+    /// Number of nearest neighbors per query object (`k = 1` is ANN).
+    pub k: usize,
+    /// Query-side traversal order.
+    pub traversal: Traversal,
+    /// Node-expansion strategy.
+    pub expansion: Expansion,
+    /// Self-join mode: skip the pair `(r, s)` when both sides carry the
+    /// same object id. The pruning bound is computed for `k + 1` neighbors
+    /// internally so that excluding the self match never starves a query.
+    pub exclude_self: bool,
+}
+
+impl Default for MbaConfig {
+    fn default() -> Self {
+        MbaConfig {
+            k: 1,
+            traversal: Traversal::DepthFirst,
+            expansion: Expansion::Bidirectional,
+            exclude_self: false,
+        }
+    }
+}
+
+struct Ctx<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> {
+    is: &'a IS,
+    cfg: MbaConfig,
+    /// `cfg.k`, plus one in self-join mode (the self match may have to be
+    /// discarded, so bounds must guarantee one extra candidate).
+    k_eff: usize,
+    out: AnnOutput,
+    _metric: std::marker::PhantomData<M>,
+}
+
+impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> {
+    /// Probes `target` against `lpq`, computing distances and enqueueing
+    /// when the probe test passes.
+    fn probe(&mut self, lpq: &mut Lpq<D>, target: Entry<D>) {
+        let (mind_sq, maxd_sq) = distances::<D, M>(&lpq.owner, &target);
+        self.out.stats.distance_computations += 1;
+        let (accepted, filtered) = lpq.try_enqueue(QueuedEntry {
+            mind_sq,
+            maxd_sq,
+            entry: target,
+        });
+        if accepted {
+            self.out.stats.enqueued += 1;
+        } else {
+            self.out.stats.pruned_on_probe += 1;
+        }
+        self.out.stats.pruned_in_queue += filtered;
+    }
+
+    /// The Gather stage: `lpq.owner` is a data object; drain in `MIND`
+    /// order and report the first `k` objects popped.
+    fn gather(&mut self, mut lpq: Lpq<D>) -> Result<()> {
+        let Entry::Object(owner) = lpq.owner else {
+            unreachable!("gather called with a node owner")
+        };
+        let mut found = 0;
+        while let Some(q) = lpq.dequeue() {
+            match q.entry {
+                Entry::Object(s) => {
+                    if self.cfg.exclude_self && s.oid == owner.oid {
+                        continue;
+                    }
+                    self.out.results.push(NeighborPair {
+                        r_oid: owner.oid,
+                        s_oid: s.oid,
+                        dist: q.mind_sq.sqrt(),
+                    });
+                    lpq.satisfy_one();
+                    found += 1;
+                    if found == self.cfg.k {
+                        return Ok(());
+                    }
+                }
+                Entry::Node(n) => {
+                    let node = self.is.read_node(n.page)?;
+                    self.out.stats.s_nodes_expanded += 1;
+                    for child in node.entries {
+                        self.probe(&mut lpq, child);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The Expand stage: `lpq.owner` is an internal `I_R` node; spawn one
+    /// child LPQ per child entry and redistribute the drained queue.
+    fn expand<IR: SpatialIndex<D>>(
+        &mut self,
+        ir: &IR,
+        mut lpq: Lpq<D>,
+        queue: &mut VecDeque<Lpq<D>>,
+    ) -> Result<()> {
+        let Entry::Node(owner) = lpq.owner else {
+            unreachable!("expand called with an object owner")
+        };
+        let node = ir.read_node(owner.page)?;
+        self.out.stats.r_nodes_expanded += 1;
+        let inherited = lpq.bound_sq();
+        let mut children: Vec<Lpq<D>> = node
+            .entries
+            .iter()
+            .map(|c| Lpq::new(*c, self.k_eff, inherited))
+            .collect();
+        self.out.stats.lpqs_created += children.len() as u64;
+
+        while let Some(q) = lpq.dequeue() {
+            // Algorithm 4 lines 13-18: a popped entry is only worth
+            // processing if its MIND passes at least one child LPQ's MAXD —
+            // MIND against the parent owner lower-bounds MIND against every
+            // child, so this rejection is safe and saves the node read.
+            if children.iter().all(|c| c.prunes(q.mind_sq)) {
+                self.out.stats.pruned_on_probe += 1;
+                continue;
+            }
+            match (self.cfg.expansion, q.entry) {
+                (Expansion::Bidirectional, Entry::Node(n)) => {
+                    // Bi-directional: descend the I_S side one level too.
+                    let s_node = self.is.read_node(n.page)?;
+                    self.out.stats.s_nodes_expanded += 1;
+                    for e in s_node.entries {
+                        for child in children.iter_mut() {
+                            self.probe(child, e);
+                        }
+                    }
+                }
+                // Objects cannot be expanded; under uni-directional
+                // expansion nodes are re-probed as-is.
+                (_, entry) => {
+                    for child in children.iter_mut() {
+                        self.probe(child, entry);
+                    }
+                }
+            }
+        }
+
+        // Algorithm 4 line 19: enqueue all non-empty child LPQs.
+        for child in children {
+            if !child.is_empty() {
+                queue.push_back(child);
+            }
+        }
+        Ok(())
+    }
+
+    /// One `ExpandAndPrune` step (Algorithm 4): dispatches on the owner.
+    fn expand_and_prune<IR: SpatialIndex<D>>(
+        &mut self,
+        ir: &IR,
+        lpq: Lpq<D>,
+        queue: &mut VecDeque<Lpq<D>>,
+    ) -> Result<()> {
+        match lpq.owner {
+            Entry::Object(_) => self.gather(lpq),
+            Entry::Node(_) => self.expand(ir, lpq, queue),
+        }
+    }
+
+    /// `ANN-DFBI` (Algorithm 3): depth-first recursion over child LPQs.
+    fn dfbi<IR: SpatialIndex<D>>(&mut self, ir: &IR, lpq: Lpq<D>) -> Result<()> {
+        let mut queue = VecDeque::new();
+        self.expand_and_prune(ir, lpq, &mut queue)?;
+        while let Some(child) = queue.pop_front() {
+            self.dfbi(ir, child)?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates the all-`k`-nearest-neighbor join: for every point indexed by
+/// `ir`, find its `cfg.k` nearest neighbors among the points indexed by
+/// `is` (paper Algorithm 2).
+///
+/// With the default configuration this is the paper's MBA/RBA algorithm
+/// (depth-first, bi-directional); other [`Traversal`] × [`Expansion`]
+/// combinations reproduce the §3.3.2 design-space ablation.
+pub fn mba<const D: usize, M, IR, IS>(ir: &IR, is: &IS, cfg: &MbaConfig) -> Result<AnnOutput>
+where
+    M: PruneMetric,
+    IR: SpatialIndex<D>,
+    IS: SpatialIndex<D>,
+{
+    assert!(cfg.k >= 1, "k must be at least 1");
+    let mut ctx: Ctx<D, M, IS> = Ctx {
+        is,
+        cfg: *cfg,
+        k_eff: cfg.k + usize::from(cfg.exclude_self),
+        out: AnnOutput::default(),
+        _metric: std::marker::PhantomData,
+    };
+
+    let io_r0 = ir.pool().stats();
+    let shared_pool = std::ptr::eq(
+        ir.pool() as *const _ as *const u8,
+        is.pool() as *const _ as *const u8,
+    );
+    let io_s0 = is.pool().stats();
+
+    if ir.num_points() > 0 && is.num_points() > 0 {
+        // Algorithm 2: root LPQ owns I_R's root, seeded with I_S's root.
+        let root_owner = Entry::Node(NodeEntry {
+            page: ir.root_page(),
+            count: ir.num_points(),
+            mbr: ir.bounds(),
+        });
+        let mut root_lpq = Lpq::new(root_owner, ctx.k_eff, f64::INFINITY);
+        ctx.out.stats.lpqs_created += 1;
+        let root_target = Entry::Node(NodeEntry {
+            page: is.root_page(),
+            count: is.num_points(),
+            mbr: is.bounds(),
+        });
+        ctx.probe(&mut root_lpq, root_target);
+
+        let mut queue = VecDeque::new();
+        queue.push_back(root_lpq);
+        match cfg.traversal {
+            Traversal::DepthFirst => {
+                while let Some(lpq) = queue.pop_front() {
+                    ctx.dfbi(ir, lpq)?;
+                }
+            }
+            Traversal::BreadthFirst => {
+                while let Some(lpq) = queue.pop_front() {
+                    ctx.expand_and_prune(ir, lpq, &mut queue)?;
+                }
+            }
+        }
+    }
+
+    let mut io = ir.pool().stats().since(&io_r0);
+    if !shared_pool {
+        let s_io = is.pool().stats().since(&io_s0);
+        io.logical_reads += s_io.logical_reads;
+        io.physical_reads += s_io.physical_reads;
+        io.physical_writes += s_io.physical_writes;
+    }
+    ctx.out.stats.io = io;
+    Ok(ctx.out)
+}
+
+/// Merges per-thread counter sets (I/O is measured globally by the
+/// caller, so it is not merged here).
+fn merge_stats(into: &mut crate::stats::AnnStats, from: &crate::stats::AnnStats) {
+    into.distance_computations += from.distance_computations;
+    into.lpqs_created += from.lpqs_created;
+    into.enqueued += from.enqueued;
+    into.pruned_on_probe += from.pruned_on_probe;
+    into.pruned_in_queue += from.pruned_in_queue;
+    into.r_nodes_expanded += from.r_nodes_expanded;
+    into.s_nodes_expanded += from.s_nodes_expanded;
+}
+
+/// Parallel MBA: identical results to [`mba`], with the depth-first
+/// recursion over the root's child LPQs fanned out across `threads` OS
+/// threads (0 = one per available core).
+///
+/// The expansion of the root is inherently serial (it produces the
+/// first-level LPQs); everything below is independent per subtree because
+/// the indices are read-only and the buffer pool is internally
+/// synchronized. With a shared pool the threads also share cache capacity,
+/// exactly as concurrent scans would in a database.
+///
+/// This is an extension beyond the paper (which evaluates single-threaded
+/// on a 2007 laptop); it exists to show the algorithm parallelizes
+/// naturally, and by how much — see the `parallel_speedup` test and the
+/// bench harness.
+pub fn mba_parallel<const D: usize, M, IR, IS>(
+    ir: &IR,
+    is: &IS,
+    cfg: &MbaConfig,
+    threads: usize,
+) -> Result<AnnOutput>
+where
+    M: PruneMetric,
+    IR: SpatialIndex<D> + Sync,
+    IS: SpatialIndex<D> + Sync,
+{
+    assert!(cfg.k >= 1, "k must be at least 1");
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+
+    let io_r0 = ir.pool().stats();
+    let shared_pool = std::ptr::eq(
+        ir.pool() as *const _ as *const u8,
+        is.pool() as *const _ as *const u8,
+    );
+    let io_s0 = is.pool().stats();
+
+    let mut out = AnnOutput::default();
+    if ir.num_points() > 0 && is.num_points() > 0 {
+        // Serial seeding phase: expand breadth-first until there are
+        // enough independent LPQ subtrees to keep the workers busy.
+        // Spatial data is heavy-tailed (a few dense cells own most of the
+        // points), so a single root expansion rarely yields balanced
+        // units; descending a couple of levels does.
+        let mut ctx: Ctx<D, M, IS> = Ctx {
+            is,
+            cfg: *cfg,
+            k_eff: cfg.k + usize::from(cfg.exclude_self),
+            out: AnnOutput::default(),
+            _metric: std::marker::PhantomData,
+        };
+        let root_owner = Entry::Node(NodeEntry {
+            page: ir.root_page(),
+            count: ir.num_points(),
+            mbr: ir.bounds(),
+        });
+        let mut root_lpq = Lpq::new(root_owner, ctx.k_eff, f64::INFINITY);
+        ctx.out.stats.lpqs_created += 1;
+        ctx.probe(
+            &mut root_lpq,
+            Entry::Node(NodeEntry {
+                page: is.root_page(),
+                count: is.num_points(),
+                mbr: is.bounds(),
+            }),
+        );
+        let target_units = threads * 16;
+        let mut queue = VecDeque::new();
+        queue.push_back(root_lpq);
+        while queue.len() < target_units {
+            // Only node-owned LPQs can be expanded into more units.
+            let Some(at) = queue.iter().position(|l| matches!(l.owner, Entry::Node(_)))
+            else {
+                break;
+            };
+            let lpq = queue.remove(at).expect("position just found");
+            ctx.expand_and_prune(ir, lpq, &mut queue)?;
+        }
+        out = ctx.out;
+
+        // Dynamic scheduling: workers pull the next unit from a shared
+        // queue, so one dense subtree cannot starve the rest.
+        let work = std::sync::Mutex::new(queue);
+        let results: Vec<Result<AnnOutput>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|_| -> Result<AnnOutput> {
+                        let mut ctx: Ctx<D, M, IS> = Ctx {
+                            is,
+                            cfg: *cfg,
+                            k_eff: cfg.k + usize::from(cfg.exclude_self),
+                            out: AnnOutput::default(),
+                            _metric: std::marker::PhantomData,
+                        };
+                        loop {
+                            let unit = work.lock().expect("work queue").pop_front();
+                            match unit {
+                                Some(lpq) => ctx.dfbi(ir, lpq)?,
+                                None => break,
+                            }
+                        }
+                        Ok(ctx.out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+
+        for r in results {
+            let part = r?;
+            out.results.extend(part.results);
+            merge_stats(&mut out.stats, &part.stats);
+        }
+    }
+
+    let mut io = ir.pool().stats().since(&io_r0);
+    if !shared_pool {
+        let s_io = is.pool().stats().since(&io_s0);
+        io.logical_reads += s_io.logical_reads;
+        io.physical_reads += s_io.physical_reads;
+        io.physical_writes += s_io.physical_writes;
+    }
+    out.stats.io = io;
+    Ok(out)
+}

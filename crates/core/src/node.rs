@@ -1,0 +1,526 @@
+//! The disk-resident node model shared by every index in the workspace.
+//!
+//! Both the MBRQT and the R*-tree serialize their nodes with the codec in
+//! this module, one node per page (with transparent continuation-page
+//! chaining for nodes whose fanout exceeds one page — a PR quadtree in 10
+//! dimensions has up to 2¹⁰ children). Sharing the representation keeps the
+//! traversal algorithms in [`crate::mba`] completely index-agnostic: an
+//! index only has to say where its root page is.
+//!
+//! # On-page format
+//!
+//! First page of a node:
+//!
+//! ```text
+//! version: u8 | flags: u8 (bit0 = leaf) | aux: u8 | reserved: u8
+//! entry_count: u32 | next_page: u32 (continuation, INVALID_PAGE if none)
+//! mbr: 2 * D * f64
+//! entry stream ...
+//! ```
+//!
+//! Continuation page: `next_page: u32 | reserved: u32 | entry stream ...`.
+//! The entry stream is treated as one contiguous byte string split across
+//! the chain, so entries may straddle page boundaries.
+//!
+//! Entry encodings:
+//!
+//! * child entry: `page: u32 | count: u64 | mbr: 2 * D * f64`
+//! * object entry: `oid: u64 | point: D * f64`
+
+use ann_geom::{Mbr, Point};
+use ann_store::{BufferPool, PageId, Result, StoreError, INVALID_PAGE, PAGE_SIZE};
+
+const VERSION: u8 = 1;
+/// Marks a continuation page as written-by-us, so that a stale or zeroed
+/// `next` pointer is never mistaken for a real page id.
+const CONT_MAGIC: u32 = 0xC047_1AB5;
+const FIRST_HEADER: usize = 12;
+const CONT_HEADER: usize = 8;
+
+/// A reference to a child node, as stored inside its parent.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeEntry<const D: usize> {
+    /// First page of the child node.
+    pub page: PageId,
+    /// Number of data objects in the child's subtree.
+    pub count: u64,
+    /// Tight MBR of the child's subtree.
+    ///
+    /// For the MBRQT this is the *enhancement* the paper adds to the plain
+    /// PR quadtree: the true bounding box of the points below, not the
+    /// quadrant box.
+    pub mbr: Mbr<D>,
+}
+
+/// A data object stored in a leaf.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ObjectEntry<const D: usize> {
+    /// Caller-assigned object identifier.
+    pub oid: u64,
+    /// The object's location.
+    pub point: Point<D>,
+}
+
+/// One entry of a node: either a child pointer or a data object.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Entry<const D: usize> {
+    /// Child subtree.
+    Node(NodeEntry<D>),
+    /// Data object.
+    Object(ObjectEntry<D>),
+}
+
+impl<const D: usize> Entry<D> {
+    /// The MBR of this entry (degenerate for objects).
+    #[inline]
+    pub fn mbr(&self) -> Mbr<D> {
+        match self {
+            Entry::Node(n) => n.mbr,
+            Entry::Object(o) => Mbr::from_point(&o.point),
+        }
+    }
+
+    /// Number of data objects under this entry.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        match self {
+            Entry::Node(n) => n.count,
+            Entry::Object(_) => 1,
+        }
+    }
+}
+
+/// An in-memory, decoded index node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Node<const D: usize> {
+    /// `true` when the node stores objects, `false` when it stores children.
+    pub is_leaf: bool,
+    /// One byte of index-private metadata, persisted in the node header.
+    /// The MBRQT stores the number of packed decomposition levels here so
+    /// insertion can re-derive each child entry's grid cell; the R*-tree
+    /// leaves it 0.
+    pub aux: u8,
+    /// Tight MBR over everything below this node.
+    pub mbr: Mbr<D>,
+    /// The node's entries (homogeneous: all objects or all children).
+    pub entries: Vec<Entry<D>>,
+}
+
+impl<const D: usize> Node<D> {
+    /// An empty leaf.
+    pub fn empty_leaf() -> Self {
+        Node {
+            is_leaf: true,
+            aux: 0,
+            mbr: Mbr::empty(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Recomputes this node's MBR from its entries.
+    pub fn recompute_mbr(&mut self) {
+        let mut mbr = Mbr::empty();
+        for e in &self.entries {
+            mbr.expand(&e.mbr());
+        }
+        self.mbr = mbr;
+    }
+
+    /// Total objects under this node (sum of entry counts).
+    pub fn count(&self) -> u64 {
+        self.entries.iter().map(Entry::count).sum()
+    }
+
+    /// Serialized size of one entry for this dimensionality.
+    pub const fn entry_size(is_leaf: bool) -> usize {
+        if is_leaf {
+            8 + 8 * D
+        } else {
+            4 + 8 + 16 * D
+        }
+    }
+
+    /// How many entries fit in a single (non-chained) page.
+    pub const fn single_page_capacity(is_leaf: bool) -> usize {
+        (PAGE_SIZE - FIRST_HEADER - 16 * D) / Self::entry_size(is_leaf)
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let s = self
+            .bytes
+            .get(self.at..self.at + n)
+            .ok_or(StoreError::Corrupt("node entry stream truncated"))?;
+        self.at += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+fn encode_mbr<const D: usize>(buf: &mut Vec<u8>, mbr: &Mbr<D>) {
+    for d in 0..D {
+        put_f64(buf, mbr.lo[d]);
+    }
+    for d in 0..D {
+        put_f64(buf, mbr.hi[d]);
+    }
+}
+
+fn decode_mbr<const D: usize>(c: &mut Cursor) -> Result<Mbr<D>> {
+    let mut lo = [0.0; D];
+    let mut hi = [0.0; D];
+    for v in lo.iter_mut() {
+        *v = c.f64()?;
+    }
+    for v in hi.iter_mut() {
+        *v = c.f64()?;
+    }
+    Ok(Mbr { lo, hi })
+}
+
+/// Writes `node` starting at `first_page`, reusing the existing
+/// continuation chain where possible and allocating more pages when the
+/// node outgrew it.
+///
+/// Pages freed by a shrinking node are left orphaned on the chain's tail
+/// (they keep their `next` pointers but `entry_count` stops before them);
+/// index bulk-builds write each node once, so in practice nothing leaks.
+pub fn write_node<const D: usize>(
+    pool: &BufferPool,
+    first_page: PageId,
+    node: &Node<D>,
+) -> Result<()> {
+    // Serialize the entry stream.
+    let mut stream =
+        Vec::with_capacity(node.entries.len() * Node::<D>::entry_size(node.is_leaf));
+    for e in &node.entries {
+        match (node.is_leaf, e) {
+            (false, Entry::Node(n)) => {
+                put_u32(&mut stream, n.page);
+                put_u64(&mut stream, n.count);
+                encode_mbr(&mut stream, &n.mbr);
+            }
+            (true, Entry::Object(o)) => {
+                put_u64(&mut stream, o.oid);
+                for d in 0..D {
+                    put_f64(&mut stream, o.point[d]);
+                }
+            }
+            _ => {
+                return Err(StoreError::Corrupt(
+                    "node entries do not match its leaf flag",
+                ))
+            }
+        }
+    }
+
+    // Header of the first page.
+    let mut header = Vec::with_capacity(FIRST_HEADER + 16 * D);
+    header.push(VERSION);
+    header.push(u8::from(node.is_leaf));
+    header.push(node.aux);
+    header.push(0);
+    put_u32(&mut header, node.entries.len() as u32);
+    put_u32(&mut header, INVALID_PAGE); // patched below if chained
+    encode_mbr(&mut header, &node.mbr);
+
+    let first_payload = PAGE_SIZE - header.len();
+    let cont_payload = PAGE_SIZE - CONT_HEADER;
+
+    let mut remaining: &[u8] = &stream;
+    let mut page = first_page;
+    let mut is_first = true;
+    loop {
+        let payload = if is_first { first_payload } else { cont_payload };
+        let (chunk, rest) = remaining.split_at(remaining.len().min(payload));
+        remaining = rest;
+        let need_next = !remaining.is_empty();
+
+        // Determine the continuation page: reuse the one already linked
+        // from this page, else allocate. A fresh (zeroed) or foreign page
+        // has no valid link — detect that via the version / magic marker.
+        let existing_next = pool.with_page(page, |bytes| {
+            if is_first {
+                if bytes[0] == VERSION {
+                    u32::from_le_bytes(bytes[8..12].try_into().unwrap())
+                } else {
+                    INVALID_PAGE
+                }
+            } else if u32::from_le_bytes(bytes[4..8].try_into().unwrap()) == CONT_MAGIC {
+                u32::from_le_bytes(bytes[0..4].try_into().unwrap())
+            } else {
+                INVALID_PAGE
+            }
+        })?;
+        let next = if need_next && existing_next == INVALID_PAGE {
+            pool.allocate()?
+        } else {
+            // Keep the existing link even when this write does not use it:
+            // `entry_count` bounds how much of the chain is read, and a
+            // later, larger rewrite can then reuse the orphaned tail.
+            existing_next
+        };
+
+        pool.with_page_mut(page, |bytes| {
+            if is_first {
+                bytes[..header.len()].copy_from_slice(&header);
+                bytes[8..12].copy_from_slice(&next.to_le_bytes());
+                bytes[header.len()..header.len() + chunk.len()].copy_from_slice(chunk);
+            } else {
+                bytes[0..4].copy_from_slice(&next.to_le_bytes());
+                bytes[4..8].copy_from_slice(&CONT_MAGIC.to_le_bytes());
+                bytes[CONT_HEADER..CONT_HEADER + chunk.len()].copy_from_slice(chunk);
+            }
+        })?;
+
+        if !need_next {
+            return Ok(());
+        }
+        page = next;
+        is_first = false;
+    }
+}
+
+/// Reads and decodes the node starting at `first_page`.
+pub fn read_node<const D: usize>(pool: &BufferPool, first_page: PageId) -> Result<Node<D>> {
+    // Read the first page: header + initial chunk of the entry stream.
+    let (is_leaf, aux, entry_count, mut next, mbr, mut stream) =
+        pool.with_page(first_page, |bytes| -> Result<_> {
+            if bytes[0] != VERSION {
+                return Err(StoreError::Corrupt("unknown node version"));
+            }
+            let is_leaf = match bytes[1] {
+                0 => false,
+                1 => true,
+                _ => return Err(StoreError::Corrupt("bad leaf flag")),
+            };
+            let aux = bytes[2];
+            let entry_count = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+            let next = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+            let mut c = Cursor {
+                bytes,
+                at: FIRST_HEADER,
+            };
+            let mbr = decode_mbr::<D>(&mut c)?;
+            let entry_size = Node::<D>::entry_size(is_leaf);
+            let total = entry_count * entry_size;
+            let here = total.min(PAGE_SIZE - c.at);
+            let mut stream = Vec::with_capacity(total);
+            stream.extend_from_slice(c.take(here)?);
+            Ok((is_leaf, aux, entry_count, next, mbr, stream))
+        })??;
+
+    let entry_size = Node::<D>::entry_size(is_leaf);
+    let total = entry_count * entry_size;
+    while stream.len() < total {
+        if next == INVALID_PAGE {
+            return Err(StoreError::Corrupt("node chain ended early"));
+        }
+        next = pool.with_page(next, |bytes| {
+            let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+            let here = (total - stream.len()).min(PAGE_SIZE - CONT_HEADER);
+            stream.extend_from_slice(&bytes[CONT_HEADER..CONT_HEADER + here]);
+            n
+        })?;
+    }
+
+    let mut c = Cursor {
+        bytes: &stream,
+        at: 0,
+    };
+    let mut entries = Vec::with_capacity(entry_count);
+    for _ in 0..entry_count {
+        if is_leaf {
+            let oid = c.u64()?;
+            let mut coords = [0.0; D];
+            for v in coords.iter_mut() {
+                *v = c.f64()?;
+            }
+            entries.push(Entry::Object(ObjectEntry {
+                oid,
+                point: Point::new(coords),
+            }));
+        } else {
+            let page = c.u32()?;
+            let count = c.u64()?;
+            let mbr = decode_mbr::<D>(&mut c)?;
+            entries.push(Entry::Node(NodeEntry { page, count, mbr }));
+        }
+    }
+    Ok(Node {
+        is_leaf,
+        aux,
+        mbr,
+        entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann_store::MemDisk;
+    use std::sync::Arc;
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(MemDisk::new(), 16))
+    }
+
+    fn sample_leaf(n: usize) -> Node<2> {
+        let mut node = Node::empty_leaf();
+        for i in 0..n {
+            node.entries.push(Entry::Object(ObjectEntry {
+                oid: i as u64,
+                point: Point::new([i as f64, -(i as f64)]),
+            }));
+        }
+        node.recompute_mbr();
+        node
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let pool = pool();
+        let page = pool.allocate().unwrap();
+        let node = sample_leaf(10);
+        write_node(&pool, page, &node).unwrap();
+        let back = read_node::<2>(&pool, page).unwrap();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let pool = pool();
+        let page = pool.allocate().unwrap();
+        let mut node = Node {
+            is_leaf: false,
+            aux: 0,
+            mbr: Mbr::empty(),
+            entries: vec![],
+        };
+        for i in 0..5u32 {
+            node.entries.push(Entry::Node(NodeEntry {
+                page: i + 100,
+                count: (i as u64 + 1) * 7,
+                mbr: Mbr::new([i as f64, 0.0], [i as f64 + 1.0, 2.0]),
+            }));
+        }
+        node.recompute_mbr();
+        write_node(&pool, page, &node).unwrap();
+        let back = read_node::<2>(&pool, page).unwrap();
+        assert_eq!(back, node);
+        assert_eq!(back.count(), 7 + 14 + 21 + 28 + 35);
+    }
+
+    #[test]
+    fn empty_node_roundtrip() {
+        let pool = pool();
+        let page = pool.allocate().unwrap();
+        let node = Node::<2>::empty_leaf();
+        write_node(&pool, page, &node).unwrap();
+        let back = read_node::<2>(&pool, page).unwrap();
+        assert!(back.entries.is_empty());
+        assert!(back.mbr.is_empty());
+    }
+
+    #[test]
+    fn oversized_node_chains_across_pages() {
+        let pool = pool();
+        let page = pool.allocate().unwrap();
+        // 2-D leaf entries are 24 bytes; ~340 fit on one page. Store 2000.
+        let node = sample_leaf(2000);
+        let before = pool.num_pages();
+        write_node(&pool, page, &node).unwrap();
+        assert!(pool.num_pages() > before, "continuation pages allocated");
+        let back = read_node::<2>(&pool, page).unwrap();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn rewrite_reuses_continuation_chain() {
+        let pool = pool();
+        let page = pool.allocate().unwrap();
+        write_node(&pool, page, &sample_leaf(2000)).unwrap();
+        let pages_after_first = pool.num_pages();
+        // Rewriting the same node must not allocate fresh pages.
+        write_node(&pool, page, &sample_leaf(2000)).unwrap();
+        assert_eq!(pool.num_pages(), pages_after_first);
+        // A smaller rewrite also reuses the chain head.
+        write_node(&pool, page, &sample_leaf(10)).unwrap();
+        assert_eq!(pool.num_pages(), pages_after_first);
+        assert_eq!(read_node::<2>(&pool, page).unwrap(), sample_leaf(10));
+        // Growing again reuses the orphaned tail.
+        write_node(&pool, page, &sample_leaf(2000)).unwrap();
+        assert_eq!(pool.num_pages(), pages_after_first);
+    }
+
+    #[test]
+    fn high_dimensional_roundtrip() {
+        let pool = pool();
+        let page = pool.allocate().unwrap();
+        let mut node = Node::<10>::empty_leaf();
+        for i in 0..200u64 {
+            node.entries.push(Entry::Object(ObjectEntry {
+                oid: i,
+                point: Point::new([i as f64 * 0.1; 10]),
+            }));
+        }
+        node.recompute_mbr();
+        write_node(&pool, page, &node).unwrap();
+        assert_eq!(read_node::<10>(&pool, page).unwrap(), node);
+    }
+
+    #[test]
+    fn mixed_entries_rejected() {
+        let pool = pool();
+        let page = pool.allocate().unwrap();
+        let node = Node::<2> {
+            is_leaf: true,
+            aux: 0,
+            mbr: Mbr::empty(),
+            entries: vec![Entry::Node(NodeEntry {
+                page: 1,
+                count: 1,
+                mbr: Mbr::empty(),
+            })],
+        };
+        assert!(write_node(&pool, page, &node).is_err());
+    }
+
+    #[test]
+    fn capacities_are_sane() {
+        // 2-D: leaf entries 24 B, internal 44 B.
+        assert_eq!(Node::<2>::entry_size(true), 24);
+        assert_eq!(Node::<2>::entry_size(false), 44);
+        assert!(Node::<2>::single_page_capacity(true) >= 300);
+        assert!(Node::<2>::single_page_capacity(false) >= 180);
+        // 10-D still fits a healthy fanout on one page.
+        assert!(Node::<10>::single_page_capacity(true) >= 90);
+        assert!(Node::<10>::single_page_capacity(false) >= 45);
+    }
+}

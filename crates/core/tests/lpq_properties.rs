@@ -1,0 +1,167 @@
+//! Property-based tests of the LPQ / BoundTracker machinery — the pruning
+//! data structures the whole MBA algorithm rests on.
+
+use ann_core::lpq::{BoundTracker, Lpq, QueuedEntry};
+use ann_core::node::{Entry, NodeEntry, ObjectEntry};
+use ann_geom::{Mbr, Point};
+use proptest::prelude::*;
+
+fn obj_entry(oid: u64) -> Entry<2> {
+    Entry::Object(ObjectEntry {
+        oid,
+        point: Point::new([0.0, 0.0]),
+    })
+}
+
+fn owner() -> Entry<2> {
+    Entry::Node(NodeEntry {
+        page: 0,
+        count: 1,
+        mbr: Mbr::new([0.0, 0.0], [1.0, 1.0]),
+    })
+}
+
+/// A queued entry with mind <= maxd, as geometry guarantees.
+fn qe(oid: u64, mind: f64, slack: f64) -> QueuedEntry<2> {
+    QueuedEntry {
+        mind_sq: mind,
+        maxd_sq: mind + slack,
+        entry: obj_entry(oid),
+    }
+}
+
+proptest! {
+    /// Dequeue order is always ascending MIND, whatever the insert order.
+    #[test]
+    fn dequeue_is_sorted(
+        entries in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..60)
+    ) {
+        let mut lpq = Lpq::new(owner(), 1, f64::INFINITY);
+        for (i, (mind, slack)) in entries.iter().enumerate() {
+            lpq.try_enqueue(qe(i as u64, *mind, *slack));
+        }
+        let mut last = f64::NEG_INFINITY;
+        while let Some(e) = lpq.dequeue() {
+            prop_assert!(e.mind_sq >= last);
+            last = e.mind_sq;
+        }
+    }
+
+    /// Every entry surviving in the queue respects the bound, and the
+    /// bound equals the minimum MAXD that was ever accepted (k = 1,
+    /// no inherited bound).
+    #[test]
+    fn k1_bound_is_min_accepted_maxd(
+        entries in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..60)
+    ) {
+        let mut lpq = Lpq::new(owner(), 1, f64::INFINITY);
+        let mut min_accepted: f64 = f64::INFINITY;
+        for (i, (mind, slack)) in entries.iter().enumerate() {
+            let e = qe(i as u64, *mind, *slack);
+            let (accepted, _) = lpq.try_enqueue(e);
+            if accepted {
+                min_accepted = min_accepted.min(e.maxd_sq);
+            }
+        }
+        prop_assert_eq!(lpq.bound_sq(), min_accepted);
+        let bound = lpq.bound_sq() * (1.0 + 1e-12);
+        while let Some(e) = lpq.dequeue() {
+            prop_assert!(e.mind_sq <= bound);
+        }
+    }
+
+    /// The Filter stage never drops an entry whose MIND is within the
+    /// final bound — i.e. filtering is exactly the tail truncation.
+    #[test]
+    fn filter_only_drops_beyond_bound(
+        entries in proptest::collection::vec((0.0f64..100.0, 0.0f64..20.0), 1..60)
+    ) {
+        let mut lpq = Lpq::new(owner(), 1, f64::INFINITY);
+        let mut accepted: Vec<QueuedEntry<2>> = vec![];
+        for (i, (mind, slack)) in entries.iter().enumerate() {
+            let e = qe(i as u64, *mind, *slack);
+            let (acc, _) = lpq.try_enqueue(e);
+            if acc {
+                accepted.push(e);
+            }
+        }
+        let bound = lpq.bound_sq() * (1.0 + 1e-12);
+        let surviving: Vec<u64> = std::iter::from_fn(|| lpq.dequeue())
+            .filter_map(|e| match e.entry {
+                Entry::Object(o) => Some(o.oid),
+                _ => None,
+            })
+            .collect();
+        // Everything accepted whose mind is within the final bound must
+        // still be present.
+        for e in &accepted {
+            let Entry::Object(o) = e.entry else { unreachable!() };
+            if e.mind_sq <= bound {
+                prop_assert!(
+                    surviving.contains(&o.oid),
+                    "entry {} (mind {}) missing though within bound {}",
+                    o.oid, e.mind_sq, bound
+                );
+            }
+        }
+    }
+
+    /// BoundTracker with k entries: the bound is never below the true
+    /// k-th smallest live offer and never above the inherited bound… and
+    /// satisfy_one only ever tightens or keeps it.
+    #[test]
+    fn tracker_bound_is_kth_smallest_live(
+        offers in proptest::collection::vec(0.0f64..100.0, 1..40),
+        k in 2usize..6,
+    ) {
+        let mut t = BoundTracker::new(k, f64::INFINITY);
+        for &o in &offers {
+            t.offer(o);
+        }
+        let mut sorted = offers.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if offers.len() >= k {
+            prop_assert_eq!(t.bound_sq(), sorted[k - 1]);
+        } else {
+            prop_assert_eq!(t.bound_sq(), f64::INFINITY);
+        }
+        // Removing the largest live offer can only tighten or keep the
+        // k-th smallest of the rest… recompute and compare.
+        if offers.len() > k {
+            let largest = *sorted.last().unwrap();
+            t.remove(largest);
+            prop_assert_eq!(t.bound_sq(), sorted[k - 1]);
+        }
+    }
+
+    /// satisfy_one monotonically tightens the tracker's bound.
+    #[test]
+    fn satisfy_one_never_loosens(
+        offers in proptest::collection::vec(0.0f64..100.0, 4..40),
+    ) {
+        let mut t = BoundTracker::new(4, f64::INFINITY);
+        for &o in &offers {
+            t.offer(o);
+        }
+        let mut prev = t.bound_sq();
+        for _ in 0..4 {
+            t.satisfy_one();
+            let now = t.bound_sq();
+            prop_assert!(now <= prev);
+            prev = now;
+        }
+    }
+
+    /// An inherited bound caps the tracker regardless of offers.
+    #[test]
+    fn inherited_bound_caps(
+        offers in proptest::collection::vec(0.0f64..100.0, 0..40),
+        inherited in 0.0f64..50.0,
+    ) {
+        let mut t = BoundTracker::new(1, inherited);
+        for &o in &offers {
+            t.offer(o);
+        }
+        prop_assert!(t.bound_sq() <= inherited);
+    }
+}

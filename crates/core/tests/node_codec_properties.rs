@@ -1,0 +1,113 @@
+//! Property-based round-trip tests of the shared node codec, including
+//! nodes that chain across continuation pages.
+
+use ann_core::node::{read_node, write_node, Entry, Node, NodeEntry, ObjectEntry};
+use ann_geom::{Mbr, Point};
+use ann_store::{BufferPool, MemDisk};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn leaf_strategy() -> impl Strategy<Value = Node<3>> {
+    proptest::collection::vec(
+        (any::<u64>(), proptest::array::uniform3(-1e6f64..1e6)),
+        0..900, // up to ~3 pages of 3-D leaf entries
+    )
+    .prop_map(|objs| {
+        let mut node = Node::empty_leaf();
+        node.entries = objs
+            .into_iter()
+            .map(|(oid, c)| {
+                Entry::Object(ObjectEntry {
+                    oid,
+                    point: Point::new(c),
+                })
+            })
+            .collect();
+        node.recompute_mbr();
+        node
+    })
+}
+
+fn internal_strategy() -> impl Strategy<Value = Node<3>> {
+    proptest::collection::vec(
+        (
+            0u32..1_000_000,
+            any::<u64>(),
+            proptest::array::uniform3(-1e6f64..1e6),
+            proptest::array::uniform3(0.0f64..1e3),
+        ),
+        1..400,
+    )
+    .prop_map(|children| {
+        let mut node = Node {
+            is_leaf: false,
+            aux: 0,
+            mbr: Mbr::empty(),
+            entries: children
+                .into_iter()
+                .map(|(page, count, lo, ext)| {
+                    let mut hi = lo;
+                    for d in 0..3 {
+                        hi[d] += ext[d];
+                    }
+                    Entry::Node(NodeEntry {
+                        page,
+                        count,
+                        mbr: Mbr::new(lo, hi),
+                    })
+                })
+                .collect(),
+        };
+        node.recompute_mbr();
+        node
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn leaf_round_trips(mut node in leaf_strategy(), aux in any::<u8>()) {
+        node.aux = aux;
+        let pool = Arc::new(BufferPool::new(MemDisk::new(), 32));
+        let page = pool.allocate().unwrap();
+        write_node(&pool, page, &node).unwrap();
+        let back = read_node::<3>(&pool, page).unwrap();
+        prop_assert_eq!(back, node);
+    }
+
+    #[test]
+    fn internal_round_trips(mut node in internal_strategy(), aux in any::<u8>()) {
+        node.aux = aux;
+        let pool = Arc::new(BufferPool::new(MemDisk::new(), 32));
+        let page = pool.allocate().unwrap();
+        write_node(&pool, page, &node).unwrap();
+        let back = read_node::<3>(&pool, page).unwrap();
+        prop_assert_eq!(back, node);
+    }
+
+    /// Rewriting a page with a sequence of different nodes always reads
+    /// back the last one (chains are reused safely).
+    #[test]
+    fn sequential_rewrites_read_back_latest(
+        sizes in proptest::collection::vec(0usize..900, 1..6)
+    ) {
+        let pool = Arc::new(BufferPool::new(MemDisk::new(), 32));
+        let page = pool.allocate().unwrap();
+        for (round, size) in sizes.iter().enumerate() {
+            let mut node = Node::<3>::empty_leaf();
+            node.entries = (0..*size as u64)
+                .map(|i| {
+                    Entry::Object(ObjectEntry {
+                        oid: i * 1000 + round as u64,
+                        point: Point::new([i as f64, round as f64, 0.0]),
+                    })
+                })
+                .collect();
+            node.recompute_mbr();
+            write_node(&pool, page, &node).unwrap();
+            let back = read_node::<3>(&pool, page).unwrap();
+            prop_assert_eq!(back, node);
+        }
+    }
+}

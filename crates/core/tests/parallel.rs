@@ -1,0 +1,144 @@
+//! Tests for the parallel MBA extension: identical results to the serial
+//! algorithm, across thread counts, configurations and index types.
+
+use ann_core::brute::brute_force_aknn;
+use ann_core::mba::{mba, mba_parallel, MbaConfig};
+use ann_geom::{NxnDist, Point};
+use ann_mbrqt::{Mbrqt, MbrqtConfig};
+use ann_rstar::{RStar, RStarConfig};
+use ann_store::{BufferPool, MemDisk};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn pool(frames: usize) -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(MemDisk::new(), frames))
+}
+
+fn random_points<const D: usize>(n: usize, seed: u64) -> Vec<(u64, Point<D>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let mut c = [0.0; D];
+            for v in c.iter_mut() {
+                *v = rng.gen_range(0.0..100.0);
+            }
+            (i as u64, Point::new(c))
+        })
+        .collect()
+}
+
+fn canonical(mut out: ann_core::stats::AnnOutput) -> Vec<(u64, u64)> {
+    out.sort();
+    out.results
+        .into_iter()
+        .map(|p| (p.r_oid, p.dist.to_bits()))
+        .collect()
+}
+
+#[test]
+fn parallel_matches_serial_exactly() {
+    let r = random_points::<2>(3000, 41);
+    let s = random_points::<2>(3200, 42);
+    let p = pool(1024);
+    let ir = Mbrqt::bulk_build(p.clone(), &r, &MbrqtConfig::default()).unwrap();
+    let is = Mbrqt::bulk_build(p, &s, &MbrqtConfig::default()).unwrap();
+    let cfg = MbaConfig::default();
+    let serial = canonical(mba::<2, NxnDist, _, _>(&ir, &is, &cfg).unwrap());
+    for threads in [1usize, 2, 4, 7] {
+        let par = canonical(mba_parallel::<2, NxnDist, _, _>(&ir, &is, &cfg, threads).unwrap());
+        assert_eq!(par, serial, "threads={threads}");
+    }
+}
+
+#[test]
+fn parallel_matches_brute_force_aknn() {
+    let pts = random_points::<3>(1500, 43);
+    let p = pool(1024);
+    let tree = RStar::bulk_build(p, &pts, &RStarConfig::default()).unwrap();
+    let cfg = MbaConfig {
+        k: 4,
+        exclude_self: true,
+        ..Default::default()
+    };
+    let mut out = mba_parallel::<3, NxnDist, _, _>(&tree, &tree, &cfg, 0).unwrap();
+    out.sort();
+    let mut truth = brute_force_aknn(&pts, &pts, 4, true);
+    truth.sort_by(|a, b| {
+        (a.r_oid, a.dist, a.s_oid)
+            .partial_cmp(&(b.r_oid, b.dist, b.s_oid))
+            .unwrap()
+    });
+    assert_eq!(out.results.len(), truth.len());
+    for (g, t) in out.results.iter().zip(&truth) {
+        assert_eq!(g.r_oid, t.r_oid);
+        assert!((g.dist - t.dist).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn parallel_on_empty_and_tiny_inputs() {
+    let p = pool(64);
+    let empty = Mbrqt::<2>::bulk_build(p.clone(), &[], &MbrqtConfig::default()).unwrap();
+    let one = Mbrqt::bulk_build(
+        p,
+        &[(7, Point::new([1.0, 1.0]))],
+        &MbrqtConfig::default(),
+    )
+    .unwrap();
+    assert!(
+        mba_parallel::<2, NxnDist, _, _>(&empty, &one, &MbaConfig::default(), 4)
+            .unwrap()
+            .results
+            .is_empty()
+    );
+    let out = mba_parallel::<2, NxnDist, _, _>(&one, &one, &MbaConfig::default(), 4).unwrap();
+    assert_eq!(out.results.len(), 1);
+}
+
+#[test]
+fn parallel_work_counters_match_serial() {
+    // Same pruning decisions happen in each subtree regardless of which
+    // thread runs it, so the aggregate counters are identical.
+    let pts = random_points::<2>(4000, 44);
+    let p = pool(4096);
+    let tree = Mbrqt::bulk_build(p, &pts, &MbrqtConfig::default()).unwrap();
+    let cfg = MbaConfig::default();
+    let serial = mba::<2, NxnDist, _, _>(&tree, &tree, &cfg).unwrap().stats;
+    let par = mba_parallel::<2, NxnDist, _, _>(&tree, &tree, &cfg, 4)
+        .unwrap()
+        .stats;
+    assert_eq!(serial.distance_computations, par.distance_computations);
+    assert_eq!(serial.enqueued, par.enqueued);
+    assert_eq!(serial.r_nodes_expanded, par.r_nodes_expanded);
+    assert_eq!(serial.s_nodes_expanded, par.s_nodes_expanded);
+}
+
+#[test]
+fn parallel_speedup_on_large_input() {
+    // Not a strict benchmark — just assert the parallel path is not
+    // pathologically slower than serial on a workload big enough to
+    // amortize thread startup.
+    if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+        return; // single-core runner: nothing to measure
+    }
+    let pts = ann_datagen::tac_like(40_000, 45);
+    let p = pool(16384);
+    let tree = Mbrqt::bulk_build(p, &pts, &MbrqtConfig::default()).unwrap();
+    let cfg = MbaConfig {
+        exclude_self: true,
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    let serial = mba::<2, NxnDist, _, _>(&tree, &tree, &cfg).unwrap();
+    let t_serial = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let par = mba_parallel::<2, NxnDist, _, _>(&tree, &tree, &cfg, 0).unwrap();
+    let t_par = t0.elapsed();
+    assert_eq!(serial.results.len(), par.results.len());
+    assert!(
+        t_par < t_serial * 2,
+        "parallel run degenerated: {t_par:?} vs serial {t_serial:?}"
+    );
+    eprintln!("serial {t_serial:?}, parallel {t_par:?}");
+}

@@ -1,0 +1,229 @@
+//! **NXNDIST** (`MINMAXMINDIST`) — the paper's new pruning metric (§3.1).
+//!
+//! `NXNDIST(M, N)` is the smallest value `v` such that *every* point `r`
+//! covered by `M` is guaranteed to have a nearest neighbor among the points
+//! bounded by `N` within distance `v` — provided `N` is a *minimum* bounding
+//! rectangle (every face of `N` touches at least one point).
+//!
+//! Geometrically (paper Figure 1): pick a dimension `i`; sweeping a
+//! `(D-1)`-dimensional slab of half-extent `MAXDIST_d(M,N)` in every
+//! dimension `d != i` across `MAXMIN_i(M,N)` in dimension `i` is guaranteed
+//! to engulf a whole face of `N` — and faces of minimum bounding rectangles
+//! are never empty. `NXNDIST` is the shortest such search-region diagonal
+//! over the `D` choices of sweep dimension:
+//!
+//! ```text
+//! NXNDIST(M,N)² = min over i of ( Σ_{d≠i} MAXDIST_d² + MAXMIN_i² )
+//!               = S − max over i of ( MAXDIST_i² − MAXMIN_i² ),
+//!                 where S = Σ_d MAXDIST_d²
+//! ```
+//!
+//! [`nxn_dist_sq`] implements the paper's Algorithm 1: one pass accumulates
+//! `S`, a second pass evaluates the `D` candidates — `O(D)` total, which
+//! matters because this metric is evaluated for every (owner, entry) pair
+//! the ANN traversal considers.
+
+use crate::Mbr;
+
+/// `MAXDIST_d(M, N)`: the maximum distance in dimension `d` between any
+/// point within `m` and any point within `n`.
+///
+/// Evaluated exactly as in Algorithm 1 line 4, as the maximum over the four
+/// endpoint pairings.
+#[inline]
+pub fn max_dist_d<const D: usize>(m: &Mbr<D>, n: &Mbr<D>, d: usize) -> f64 {
+    // The four endpoint pairings of Algorithm 1 line 4 reduce to two for
+    // valid intervals: the maximum separation is always between opposite
+    // extremes, max(u^M - l^N, u^N - l^M), and at least one of the two is
+    // non-negative.
+    (m.hi[d] - n.lo[d]).max(n.hi[d] - m.lo[d])
+}
+
+/// `MAXMIN_d(M, N)` (paper Definition 3.1): the maximum, over all points
+/// `p ∈ M`, of the distance from `p_d` to the *nearer* of `N`'s two
+/// endpoints in dimension `d`:
+///
+/// ```text
+/// MAXMIN_d(M, N) = max_{p ∈ M} min(|p_d − l_d^N|, |p_d − u_d^N|)
+/// ```
+///
+/// The function `f(p) = min(|p − l|, |p − u|)` is piecewise linear with its
+/// interior maximum at the midpoint of `[l, u]`, so the maximum over the
+/// interval `[l^M, u^M]` is attained at one of the interval's endpoints or
+/// at that midpoint — a constant-time evaluation (the `MAXMIN` procedure of
+/// Algorithm 1).
+#[inline]
+pub fn max_min_d<const D: usize>(m: &Mbr<D>, n: &Mbr<D>, d: usize) -> f64 {
+    let (lm, um) = (m.lo[d], m.hi[d]);
+    let (ln, un) = (n.lo[d], n.hi[d]);
+    let f = |p: f64| (p - ln).abs().min((p - un).abs());
+    let mut best = f(lm).max(f(um));
+    let mid = 0.5 * (ln + un);
+    if lm <= mid && mid <= um {
+        best = best.max(f(mid));
+    }
+    best
+}
+
+/// Squared `NXNDIST(M, N)` via the paper's `O(D)` Algorithm 1.
+///
+/// `m` is the query-side MBR (from index `I_R`), `n` the target-side MBR
+/// (from index `I_S`). The metric is **not** symmetric; see the paper's
+/// remark after Lemma 3.3 and the `not_commutative` test below.
+#[inline]
+pub fn nxn_dist_sq<const D: usize>(m: &Mbr<D>, n: &Mbr<D>) -> f64 {
+    // First pass (Algorithm 1 lines 3-5): accumulate S = Σ MAXDIST_d².
+    let mut max_dist_sq = [0.0f64; D];
+    let mut s = 0.0;
+    for d in 0..D {
+        let md = max_dist_d(m, n, d);
+        max_dist_sq[d] = md * md;
+        s += max_dist_sq[d];
+    }
+    // Second pass (lines 6-9): try replacing each dimension's MAXDIST² with
+    // its MAXMIN² and keep the minimum.
+    let mut min_s = s;
+    for d in 0..D {
+        let mm = max_min_d(m, n, d);
+        min_s = min_s.min(s - max_dist_sq[d] + mm * mm);
+    }
+    min_s
+}
+
+/// `NXNDIST(M, N)` — see [`nxn_dist_sq`].
+#[inline]
+pub fn nxn_dist<const D: usize>(m: &Mbr<D>, n: &Mbr<D>) -> f64 {
+    nxn_dist_sq(m, n).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{max_max_dist_sq, min_min_dist_sq, Point};
+
+    #[test]
+    fn max_min_d_interval_cases() {
+        // M = [0,10], N = [4,6] in a 1-D slice of a 2-D MBR.
+        let m = Mbr::new([0.0, 0.0], [10.0, 0.0]);
+        let n = Mbr::new([4.0, 0.0], [6.0, 0.0]);
+        // Worst point is p = 0: nearer endpoint of N is 4 at distance 4.
+        assert_eq!(max_min_d(&m, &n, 0), 4.0);
+        // Degenerate dimension: both intervals are {0}.
+        assert_eq!(max_min_d(&m, &n, 1), 0.0);
+    }
+
+    #[test]
+    fn max_min_d_interior_midpoint_dominates() {
+        // M = [4.9, 5.1] sits astride the midpoint (5.0) of N = [0, 10]:
+        // the midpoint itself is the worst point, at distance 5 - 0.1 ≈ f(5)?
+        // f(4.9) = min(4.9, 5.1) = 4.9; f(5.1) = 4.9; f(5.0) = 5.0.
+        let m = Mbr::new([4.9], [5.1]);
+        let n = Mbr::new([0.0], [10.0]);
+        assert_eq!(max_min_d(&m, &n, 0), 5.0);
+    }
+
+    #[test]
+    fn max_dist_d_cases() {
+        let m = Mbr::new([0.0], [10.0]);
+        let n = Mbr::new([4.0], [6.0]);
+        assert_eq!(max_dist_d(&m, &n, 0), 6.0); // |0 - 6|
+        let far = Mbr::new([20.0], [25.0]);
+        assert_eq!(max_dist_d(&m, &far, 0), 25.0); // |0 - 25|
+    }
+
+    /// The Figure 1(a) construction, hand-checked: M and N diagonal from
+    /// each other, both sweep regions computed explicitly.
+    #[test]
+    fn two_d_example_matches_sweep_construction() {
+        let m = Mbr::new([0.0, 4.0], [3.0, 7.0]);
+        let n = Mbr::new([5.0, 0.0], [9.0, 2.0]);
+        let mdx = max_dist_d(&m, &n, 0); // max(|0-9|,|0-5|,|3-9|,|3-5|) = 9
+        let mdy = max_dist_d(&m, &n, 1); // max(|4-2|,|4-0|,|7-2|,|7-0|) = 7
+        assert_eq!((mdx, mdy), (9.0, 7.0));
+        let mmx = max_min_d(&m, &n, 0); // f(0)=5, f(3)=2, mid=7∉[0,3] → 5
+        let mmy = max_min_d(&m, &n, 1); // f(4)=2, f(7)=5, mid=1∉[4,7] → 5
+        assert_eq!((mmx, mmy), (5.0, 5.0));
+        // Region α (sweep along x): diag² = MAXMIN_x² + MAXDIST_y² = 25+49.
+        // Region β (sweep along y): diag² = MAXDIST_x² + MAXMIN_y² = 81+25.
+        assert_eq!(nxn_dist_sq(&m, &n), 74.0);
+    }
+
+    /// Lemma 3.3 / Figure 2(b): MINMINDIST between *children* is not always
+    /// below NXNDIST between the parents. Coordinates reconstructed to
+    /// reproduce the paper's exact values √74 and √89.
+    #[test]
+    fn fig2b_counterexample() {
+        let m_parent = Mbr::new([0.0, 5.0], [4.0, 7.0]);
+        let n_parent = Mbr::new([5.0, 0.0], [9.0, 2.0]);
+        // NXNDIST(M, N) = √74:
+        assert!((nxn_dist(&m_parent, &n_parent) - 74.0f64.sqrt()).abs() < 1e-12);
+
+        // Children m ⊂ M and n ⊂ N at opposite extremes:
+        let m_child = Mbr::from_point(&Point::new([0.0, 7.0]));
+        let n_child = Mbr::from_point(&Point::new([8.0, 2.0]));
+        assert!(m_parent.contains(&m_child));
+        assert!(n_parent.contains(&n_child));
+        // MINMINDIST(m, n) = √(8² + 5²) = √89 > √74.
+        assert!((min_min_dist_sq(&m_child, &n_child) - 89.0).abs() < 1e-12);
+        assert!(min_min_dist_sq(&m_child, &n_child) > nxn_dist_sq(&m_parent, &n_parent));
+    }
+
+    /// Figure 1(b): a 3-D instance, checked against a direct evaluation of
+    /// Definition 3.2.
+    #[test]
+    fn three_d_example() {
+        let m = Mbr::new([0.0, 0.0, 0.0], [2.0, 3.0, 1.0]);
+        let n = Mbr::new([4.0, 5.0, 2.0], [7.0, 9.0, 6.0]);
+        let mut s = 0.0;
+        let mut md = [0.0; 3];
+        let mut mm = [0.0; 3];
+        for d in 0..3 {
+            md[d] = max_dist_d(&m, &n, d);
+            mm[d] = max_min_d(&m, &n, d);
+            s += md[d] * md[d];
+        }
+        let expected = (0..3)
+            .map(|d| s - md[d] * md[d] + mm[d] * mm[d])
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(nxn_dist_sq(&m, &n), expected);
+    }
+
+    #[test]
+    fn nxn_dist_not_commutative() {
+        // The paper notes NXNDIST(M, N) ≠ NXNDIST(N, M) in general.
+        let m = Mbr::new([0.0, 0.0], [10.0, 1.0]);
+        let n = Mbr::new([12.0, 0.0], [13.0, 0.5]);
+        assert_ne!(nxn_dist_sq(&m, &n), nxn_dist_sq(&n, &m));
+    }
+
+    #[test]
+    fn bounded_by_classical_metrics() {
+        let m = Mbr::new([0.0, 5.0], [4.0, 7.0]);
+        let n = Mbr::new([5.0, 0.0], [9.0, 2.0]);
+        assert!(min_min_dist_sq(&m, &n) <= nxn_dist_sq(&m, &n));
+        assert!(nxn_dist_sq(&m, &n) <= max_max_dist_sq(&m, &n));
+    }
+
+    #[test]
+    fn identical_mbrs() {
+        // For M == N the bound is the shorter "semi-diagonal" region; it
+        // must still be positive for a non-degenerate box and zero for a
+        // point.
+        let m = Mbr::new([0.0, 0.0], [4.0, 4.0]);
+        assert!(nxn_dist_sq(&m, &m) > 0.0);
+        assert!(nxn_dist_sq(&m, &m) <= m.diagonal_sq());
+        let p = Mbr::from_point(&Point::new([1.0, 1.0]));
+        assert_eq!(nxn_dist_sq(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn point_owner_inside_target() {
+        // r inside N: the NN can still be as far as the nearer face sweep.
+        let r = Mbr::from_point(&Point::new([5.0, 5.0]));
+        let n = Mbr::new([0.0, 0.0], [10.0, 10.0]);
+        let v = nxn_dist_sq(&r, &n);
+        // MAXDIST = 5 per dim (wait: max(|5-0|,|5-10|) = 5), MAXMIN = 5.
+        // Candidates are all 25 + 25 = 50.
+        assert_eq!(v, 50.0);
+    }
+}

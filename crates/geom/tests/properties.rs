@@ -1,0 +1,210 @@
+//! Property-based tests for the metric layer: these check the paper's
+//! Lemmas 3.1-3.3 on randomized inputs rather than hand-picked examples.
+
+use ann_geom::{
+    max_max_dist_sq, min_min_dist_sq, nxn_dist, nxn_dist_sq, max_dist_d, max_min_d, Mbr, Point,
+};
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-9;
+
+/// Strategy: a valid D-dimensional MBR with coordinates in [-100, 100].
+fn mbr_strategy<const D: usize>() -> impl Strategy<Value = Mbr<D>> {
+    (
+        proptest::array::uniform(-100.0f64..100.0),
+        proptest::array::uniform(0.0f64..50.0),
+    )
+        .prop_map(|(lo, ext): ([f64; D], [f64; D])| {
+            let mut hi = lo;
+            for d in 0..D {
+                hi[d] += ext[d];
+            }
+            Mbr::new(lo, hi)
+        })
+}
+
+/// Strategy: a point uniformly inside a given MBR, driven by D unit floats.
+fn point_in<const D: usize>(m: &Mbr<D>, t: [f64; D]) -> Point<D> {
+    let mut c = [0.0; D];
+    for d in 0..D {
+        c[d] = m.lo[d] + t[d] * (m.hi[d] - m.lo[d]);
+    }
+    Point::new(c)
+}
+
+/// Strategy: a small point set together with its exact MBR.
+fn point_set_strategy<const D: usize>() -> impl Strategy<Value = Vec<Point<D>>> {
+    proptest::collection::vec(proptest::array::uniform(-100.0f64..100.0), 1..20)
+        .prop_map(|v| v.into_iter().map(Point::new).collect())
+}
+
+proptest! {
+    /// Lemma 3.1: for any point set with MBR N and any r in M, the distance
+    /// from r to its nearest neighbor in the set is at most NXNDIST(M, N).
+    #[test]
+    fn lemma_3_1_nxndist_upper_bounds_nn_distance(
+        set in point_set_strategy::<3>(),
+        m in mbr_strategy::<3>(),
+        t in proptest::array::uniform3(0.0f64..=1.0),
+    ) {
+        let n = Mbr::from_points(set.iter());
+        let r = point_in(&m, t);
+        let nn_dist = set
+            .iter()
+            .map(|s| r.dist(s))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(
+            nn_dist <= nxn_dist(&m, &n) + EPS,
+            "NN dist {} exceeds NXNDIST {}",
+            nn_dist,
+            nxn_dist(&m, &n)
+        );
+    }
+
+    /// Lemma 3.2: shrinking the query-side MBR never increases NXNDIST.
+    #[test]
+    fn lemma_3_2_monotone_in_query_side(
+        m in mbr_strategy::<2>(),
+        n in mbr_strategy::<2>(),
+        t_lo in proptest::array::uniform2(0.0f64..=1.0),
+        t_hi in proptest::array::uniform2(0.0f64..=1.0),
+    ) {
+        // Build a child MBR inside m.
+        let a = point_in(&m, t_lo);
+        let b = point_in(&m, t_hi);
+        let child = Mbr::new(
+            [a[0].min(b[0]), a[1].min(b[1])],
+            [a[0].max(b[0]), a[1].max(b[1])],
+        );
+        prop_assert!(m.contains(&child));
+        prop_assert!(nxn_dist_sq(&child, &n) <= nxn_dist_sq(&m, &n) + EPS);
+    }
+
+    /// NXNDIST always sits between MINMINDIST and MAXMAXDIST.
+    #[test]
+    fn nxndist_between_classical_bounds(
+        m in mbr_strategy::<4>(),
+        n in mbr_strategy::<4>(),
+    ) {
+        let nxn = nxn_dist_sq(&m, &n);
+        prop_assert!(min_min_dist_sq(&m, &n) <= nxn + EPS);
+        prop_assert!(nxn <= max_max_dist_sq(&m, &n) + EPS);
+    }
+
+    /// MINMINDIST / MAXMAXDIST really do bound every realized pair distance.
+    #[test]
+    fn pair_distances_bracketed(
+        m in mbr_strategy::<3>(),
+        n in mbr_strategy::<3>(),
+        tp in proptest::array::uniform3(0.0f64..=1.0),
+        tq in proptest::array::uniform3(0.0f64..=1.0),
+    ) {
+        let p = point_in(&m, tp);
+        let q = point_in(&n, tq);
+        let d2 = p.dist_sq(&q);
+        prop_assert!(min_min_dist_sq(&m, &n) <= d2 + EPS);
+        prop_assert!(d2 <= max_max_dist_sq(&m, &n) + EPS);
+    }
+
+    /// Algorithm 1 agrees with a direct evaluation of Definition 3.2.
+    #[test]
+    fn algorithm_1_matches_definition(
+        m in mbr_strategy::<4>(),
+        n in mbr_strategy::<4>(),
+    ) {
+        let mut s = 0.0;
+        let mut best = f64::INFINITY;
+        for d in 0..4 {
+            let md = max_dist_d(&m, &n, d);
+            s += md * md;
+        }
+        for d in 0..4 {
+            let md = max_dist_d(&m, &n, d);
+            let mm = max_min_d(&m, &n, d);
+            best = best.min(s - md * md + mm * mm);
+        }
+        let alg = nxn_dist_sq(&m, &n);
+        prop_assert!((alg - best).abs() <= EPS.max(best.abs() * 1e-12));
+    }
+
+    /// MAXMIN_d matches a dense 1-D sampling of Definition 3.1.
+    #[test]
+    fn max_min_d_matches_sampled_definition(
+        m in mbr_strategy::<2>(),
+        n in mbr_strategy::<2>(),
+    ) {
+        for dim in 0..2 {
+            let analytic = max_min_d(&m, &n, dim);
+            let mut sampled: f64 = 0.0;
+            const STEPS: usize = 500;
+            for i in 0..=STEPS {
+                let p = m.lo[dim]
+                    + (m.hi[dim] - m.lo[dim]) * (i as f64 / STEPS as f64);
+                let f = (p - n.lo[dim]).abs().min((p - n.hi[dim]).abs());
+                sampled = sampled.max(f);
+            }
+            // The sampled value can only underestimate the true maximum.
+            prop_assert!(sampled <= analytic + EPS);
+            // ...and must get close to it (f is 1-Lipschitz).
+            let step = (m.hi[dim] - m.lo[dim]) / STEPS as f64;
+            prop_assert!(analytic <= sampled + step + EPS);
+        }
+    }
+
+    /// MAXDIST_d matches its definition on realized pairs.
+    #[test]
+    fn max_dist_d_bounds_pairs(
+        m in mbr_strategy::<2>(),
+        n in mbr_strategy::<2>(),
+        tp in proptest::array::uniform2(0.0f64..=1.0),
+        tq in proptest::array::uniform2(0.0f64..=1.0),
+    ) {
+        let p = point_in(&m, tp);
+        let q = point_in(&n, tq);
+        for d in 0..2 {
+            prop_assert!(p.dist_d(&q, d) <= max_dist_d(&m, &n, d) + EPS);
+        }
+    }
+
+    /// The degenerate-MBR route gives exact point-to-point distance for all
+    /// metrics.
+    #[test]
+    fn all_metrics_collapse_for_points(
+        a in proptest::array::uniform3(-100.0f64..100.0),
+        b in proptest::array::uniform3(-100.0f64..100.0),
+    ) {
+        let p = Point::new(a);
+        let q = Point::new(b);
+        let pm = Mbr::from_point(&p);
+        let qm = Mbr::from_point(&q);
+        let d2 = p.dist_sq(&q);
+        prop_assert!((min_min_dist_sq(&pm, &qm) - d2).abs() <= EPS.max(d2 * 1e-12));
+        prop_assert!((max_max_dist_sq(&pm, &qm) - d2).abs() <= EPS.max(d2 * 1e-12));
+        prop_assert!((nxn_dist_sq(&pm, &qm) - d2).abs() <= EPS.max(d2 * 1e-12));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hilbert keys of distinct cells are distinct (bijectivity spot check
+    /// on random cell pairs at full 2-D resolution).
+    #[test]
+    fn hilbert_injective_on_random_cells(
+        a in proptest::array::uniform2(0u32..(1 << 21)),
+        b in proptest::array::uniform2(0u32..(1 << 21)),
+    ) {
+        prop_assume!(a != b);
+        prop_assert_ne!(ann_geom::curve::hilbert(&a, 21), ann_geom::curve::hilbert(&b, 21));
+    }
+
+    /// Z-order keys of distinct cells are distinct.
+    #[test]
+    fn z_order_injective_on_random_cells(
+        a in proptest::array::uniform3(0u32..(1 << 20)),
+        b in proptest::array::uniform3(0u32..(1 << 20)),
+    ) {
+        prop_assume!(a != b);
+        prop_assert_ne!(ann_geom::curve::z_order(&a, 20), ann_geom::curve::z_order(&b, 20));
+    }
+}

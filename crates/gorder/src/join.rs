@@ -1,0 +1,274 @@
+//! The scheduled block nested-loops kNN join over G-ordered data.
+
+use crate::grid::GridOrder;
+use crate::pca::Pca;
+use ann_core::stats::{AnnOutput, NeighborPair};
+use ann_geom::{min_min_dist_sq, Mbr, Point};
+use ann_store::{BufferPool, HeapFile, Result};
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Configuration for [`gorder_join`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GorderConfig {
+    /// Neighbors per query object.
+    pub k: usize,
+    /// Grid segments per (principal) dimension; the GORDER paper's
+    /// recommended operating range is tens-to-hundreds depending on
+    /// dimensionality.
+    pub segments_per_dim: u32,
+    /// Weight grid resolution by each principal component's variance
+    /// share (the GORDER paper's recommendation): the leading components
+    /// get proportionally more segments, trailing near-constant ones as
+    /// few as one. Defaults to `false` (uniform grid) — the configuration
+    /// used for all recorded EXPERIMENTS.md runs; flip it on to match the
+    /// original paper's tuning.
+    pub variance_weighted_grid: bool,
+    /// Pages per outer (`R`) block held in memory at a time.
+    pub r_block_pages: usize,
+    /// Pages per inner (`S`) block.
+    pub s_block_pages: usize,
+    /// Self-join mode: skip same-oid pairs.
+    pub exclude_self: bool,
+}
+
+impl Default for GorderConfig {
+    fn default() -> Self {
+        GorderConfig {
+            k: 1,
+            segments_per_dim: 64,
+            variance_weighted_grid: false,
+            r_block_pages: 8,
+            s_block_pages: 2,
+            exclude_self: false,
+        }
+    }
+}
+
+/// A G-order-sorted dataset materialized on pages, chopped into blocks
+/// with per-block bounding boxes (computed in the transformed space).
+struct BlockFile<const D: usize> {
+    heap: HeapFile,
+    /// `(first_record_index, record_count, bbox)` per block.
+    blocks: Vec<(u64, usize, Mbr<D>)>,
+}
+
+impl<const D: usize> BlockFile<D> {
+    fn record_size() -> usize {
+        8 + 8 * D
+    }
+
+    fn write(
+        pool: Arc<BufferPool>,
+        sorted: &[(u64, Point<D>)],
+        block_pages: usize,
+    ) -> Result<Self> {
+        let mut heap = HeapFile::create(pool, Self::record_size())?;
+        let records_per_block = (heap.records_per_page() * block_pages).max(1);
+        let mut blocks = Vec::new();
+        let mut buf = vec![0u8; Self::record_size()];
+        for (i, (oid, p)) in sorted.iter().enumerate() {
+            buf[..8].copy_from_slice(&oid.to_le_bytes());
+            for d in 0..D {
+                buf[8 + d * 8..16 + d * 8].copy_from_slice(&p[d].to_le_bytes());
+            }
+            heap.append(&buf)?;
+            if i % records_per_block == 0 {
+                blocks.push((i as u64, 0, Mbr::empty()));
+            }
+            let last = blocks.last_mut().expect("block started");
+            last.1 += 1;
+            last.2.expand_point(p);
+        }
+        Ok(BlockFile { heap, blocks })
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Reads block `b` into memory (through the buffer pool; each page of
+    /// the block is fetched once).
+    fn read_block(&self, b: usize) -> Result<Vec<(u64, Point<D>)>> {
+        let (first, count, _) = self.blocks[b];
+        let mut out = Vec::with_capacity(count);
+        self.heap.scan_range(first, count as u64, |_, bytes| {
+            let oid = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+            let mut c = [0.0; D];
+            for (d, v) in c.iter_mut().enumerate() {
+                *v = f64::from_le_bytes(bytes[8 + d * 8..16 + d * 8].try_into().unwrap());
+            }
+            out.push((oid, Point::new(c)));
+        })?;
+        Ok(out)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+struct Best {
+    dist_sq: f64,
+    s_oid: u64,
+}
+impl Eq for Best {}
+impl PartialOrd for Best {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Best {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist_sq
+            .partial_cmp(&other.dist_sq)
+            .expect("finite")
+            .then(self.s_oid.cmp(&other.s_oid))
+    }
+}
+
+struct PointState<const D: usize> {
+    oid: u64,
+    point: Point<D>,
+    best: BinaryHeap<Best>,
+    want: usize,
+}
+
+impl<const D: usize> PointState<D> {
+    fn bound_sq(&self) -> f64 {
+        if self.best.len() < self.want {
+            f64::INFINITY
+        } else {
+            self.best.peek().expect("non-empty").dist_sq
+        }
+    }
+
+    fn offer(&mut self, dist_sq: f64, s_oid: u64) {
+        if self.best.len() < self.want {
+            self.best.push(Best { dist_sq, s_oid });
+        } else if dist_sq < self.best.peek().expect("non-empty").dist_sq {
+            self.best.pop();
+            self.best.push(Best { dist_sq, s_oid });
+        }
+    }
+}
+
+/// Evaluates the kNN join of `r` against `s` with the GORDER method.
+///
+/// `pool` hosts the sorted block files; pass the same pool the competing
+/// index-based algorithms use so I/O comparisons are like-for-like.
+pub fn gorder_join<const D: usize>(
+    r: &[(u64, Point<D>)],
+    s: &[(u64, Point<D>)],
+    pool: Arc<BufferPool>,
+    cfg: &GorderConfig,
+) -> Result<AnnOutput> {
+    assert!(cfg.k >= 1, "k must be at least 1");
+    let mut out = AnnOutput::default();
+    let io0 = pool.stats();
+    if r.is_empty() || s.is_empty() {
+        return Ok(out);
+    }
+
+    // Phase 1: PCA on the union of both inputs.
+    let union: Vec<Point<D>> = r.iter().chain(s.iter()).map(|&(_, p)| p).collect();
+    let pca = Pca::fit(&union);
+    let mut tr: Vec<(u64, Point<D>)> = r.iter().map(|&(o, p)| (o, pca.transform(&p))).collect();
+    let mut ts: Vec<(u64, Point<D>)> = s.iter().map(|&(o, p)| (o, pca.transform(&p))).collect();
+
+    // Phase 2: grid-order sort and write back in sorted blocks.
+    let bounds = Mbr::from_points(tr.iter().chain(ts.iter()).map(|(_, p)| p));
+    let grid = if cfg.variance_weighted_grid {
+        // Distribute the total cell budget (segments_per_dim^D) over the
+        // principal axes in proportion to their standard deviation, so
+        // near-constant trailing components stop fragmenting the order.
+        let mut segments = [1u32; D];
+        let total_sigma: f64 = pca.variances.iter().map(|v| v.max(0.0).sqrt()).sum();
+        if total_sigma > 0.0 {
+            let log_budget = (cfg.segments_per_dim.max(1) as f64).ln() * D as f64;
+            for d in 0..D {
+                let share = pca.variances[d].max(0.0).sqrt() / total_sigma;
+                segments[d] = (share * log_budget)
+                    .exp()
+                    .round()
+                    .clamp(1.0, 4096.0) as u32;
+            }
+        }
+        GridOrder::new(bounds, segments)
+    } else {
+        GridOrder::with_uniform_segments(bounds, cfg.segments_per_dim)
+    };
+    grid.sort(&mut tr);
+    grid.sort(&mut ts);
+    let rf = BlockFile::write(pool.clone(), &tr, cfg.r_block_pages)?;
+    let sf = BlockFile::write(pool.clone(), &ts, cfg.s_block_pages)?;
+    drop(tr);
+    drop(ts);
+
+    let k_eff = cfg.k + usize::from(cfg.exclude_self);
+
+    // Phase 3: scheduled block nested-loops join.
+    for rb in 0..rf.num_blocks() {
+        let r_bbox = rf.blocks[rb].2;
+        let r_pts = rf.read_block(rb)?;
+        let mut states: Vec<PointState<D>> = r_pts
+            .into_iter()
+            .map(|(oid, point)| PointState {
+                oid,
+                point,
+                best: BinaryHeap::with_capacity(k_eff + 1),
+                want: k_eff,
+            })
+            .collect();
+
+        // Schedule: inner blocks in ascending MINMINDIST to the outer block.
+        let mut schedule: Vec<(f64, usize)> = (0..sf.num_blocks())
+            .map(|sb| (min_min_dist_sq(&r_bbox, &sf.blocks[sb].2), sb))
+            .collect();
+        schedule.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+
+        let mut block_bound = f64::INFINITY;
+        for &(mind_sq, sb) in &schedule {
+            if mind_sq > block_bound {
+                break; // ascending schedule: all later blocks farther
+            }
+            let s_bbox = sf.blocks[sb].2;
+            let s_pts = sf.read_block(sb)?;
+            for st in states.iter_mut() {
+                // Per-point block filter.
+                let pm = Mbr::from_point(&st.point);
+                out.stats.distance_computations += 1;
+                if min_min_dist_sq(&pm, &s_bbox) > st.bound_sq() {
+                    continue;
+                }
+                for &(s_oid, s_pt) in &s_pts {
+                    if cfg.exclude_self && s_oid == st.oid {
+                        continue;
+                    }
+                    out.stats.distance_computations += 1;
+                    st.offer(st.point.dist_sq(&s_pt), s_oid);
+                }
+            }
+            block_bound = states
+                .iter()
+                .map(PointState::bound_sq)
+                .fold(0.0f64, f64::max);
+        }
+
+        for st in states {
+            let mut best: Vec<Best> = st.best.into_vec();
+            best.sort_by(|a, b| {
+                (a.dist_sq, a.s_oid)
+                    .partial_cmp(&(b.dist_sq, b.s_oid))
+                    .expect("finite")
+            });
+            for b in best.into_iter().take(cfg.k) {
+                out.results.push(NeighborPair {
+                    r_oid: st.oid,
+                    s_oid: b.s_oid,
+                    dist: b.dist_sq.sqrt(),
+                });
+            }
+        }
+    }
+
+    out.stats.io = pool.stats().since(&io0);
+    Ok(out)
+}

@@ -1,0 +1,274 @@
+//! Principal Components Analysis via cyclic Jacobi rotations.
+//!
+//! GORDER transforms the union of both input datasets into its principal
+//! component space so that the leading dimensions carry the most variance
+//! (and hence most of the inter-point distance). `D` is small (≤ 16), so a
+//! plain cyclic Jacobi eigensolver on the covariance matrix is both simple
+//! and numerically robust — no external linear-algebra crate needed.
+
+use ann_geom::Point;
+
+/// A `D × D` symmetric matrix in row-major order.
+pub type Matrix<const D: usize> = [[f64; D]; D];
+
+/// Sample mean and covariance matrix of a point set.
+///
+/// Returns zeros for an empty input.
+pub fn covariance<const D: usize>(points: &[Point<D>]) -> ([f64; D], Matrix<D>) {
+    let mut mean = [0.0; D];
+    let mut cov = [[0.0; D]; D];
+    if points.is_empty() {
+        return (mean, cov);
+    }
+    let n = points.len() as f64;
+    for p in points {
+        for d in 0..D {
+            mean[d] += p[d];
+        }
+    }
+    for m in mean.iter_mut() {
+        *m /= n;
+    }
+    for p in points {
+        for i in 0..D {
+            let di = p[i] - mean[i];
+            for j in i..D {
+                cov[i][j] += di * (p[j] - mean[j]);
+            }
+        }
+    }
+    for i in 0..D {
+        for j in i..D {
+            cov[i][j] /= n;
+            cov[j][i] = cov[i][j];
+        }
+    }
+    (mean, cov)
+}
+
+/// Eigen-decomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, eigenvectors)` sorted by descending eigenvalue;
+/// `eigenvectors[i]` is the unit eigenvector for `eigenvalues[i]`.
+pub fn jacobi_eigen<const D: usize>(a: &Matrix<D>) -> ([f64; D], Matrix<D>) {
+    let mut a = *a;
+    // v accumulates the rotations; starts as identity.
+    let mut v = [[0.0; D]; D];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+
+    for _sweep in 0..64 {
+        // Off-diagonal Frobenius norm — convergence test.
+        let mut off = 0.0;
+        for i in 0..D {
+            for j in (i + 1)..D {
+                off += a[i][j] * a[i][j];
+            }
+        }
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..D {
+            for q in (p + 1)..D {
+                if a[p][q].abs() < 1e-300 {
+                    continue;
+                }
+                // Classic Jacobi rotation annihilating a[p][q].
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..D {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..D {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for row in v.iter_mut() {
+                    let vp = row[p];
+                    let vq = row[q];
+                    row[p] = c * vp - s * vq;
+                    row[q] = s * vp + c * vq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort by descending eigenvalue.
+    let mut order: Vec<usize> = (0..D).collect();
+    let mut evals = [0.0; D];
+    for d in 0..D {
+        evals[d] = a[d][d];
+    }
+    order.sort_by(|&i, &j| evals[j].partial_cmp(&evals[i]).expect("finite"));
+    let mut sorted_vals = [0.0; D];
+    let mut sorted_vecs = [[0.0; D]; D];
+    for (rank, &idx) in order.iter().enumerate() {
+        sorted_vals[rank] = evals[idx];
+        for k in 0..D {
+            sorted_vecs[rank][k] = v[k][idx]; // column idx of v
+        }
+    }
+    (sorted_vals, sorted_vecs)
+}
+
+/// A fitted PCA transform: center on the mean and rotate onto the
+/// principal axes (descending variance).
+#[derive(Clone, Debug)]
+pub struct Pca<const D: usize> {
+    /// Mean of the fitted data.
+    pub mean: [f64; D],
+    /// Row `i` is the `i`-th principal axis (unit vector).
+    pub axes: Matrix<D>,
+    /// Variance along each principal axis, descending.
+    pub variances: [f64; D],
+}
+
+impl<const D: usize> Pca<D> {
+    /// Fits the transform on `points` (typically the union of `R` and `S`).
+    pub fn fit(points: &[Point<D>]) -> Self {
+        let (mean, cov) = covariance(points);
+        let (variances, axes) = jacobi_eigen(&cov);
+        Pca {
+            mean,
+            axes,
+            variances,
+        }
+    }
+
+    /// Projects one point into principal-component space.
+    pub fn transform(&self, p: &Point<D>) -> Point<D> {
+        let mut out = [0.0; D];
+        for (i, axis) in self.axes.iter().enumerate() {
+            let mut acc = 0.0;
+            for d in 0..D {
+                acc += axis[d] * (p[d] - self.mean[d]);
+            }
+            out[i] = acc;
+        }
+        Point::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covariance_of_known_data() {
+        // Points on the line y = 2x: cov = [[var, 2var], [2var, 4var]].
+        let pts: Vec<Point<2>> = (0..5).map(|i| Point::new([i as f64, 2.0 * i as f64])).collect();
+        let (mean, cov) = covariance(&pts);
+        assert_eq!(mean, [2.0, 4.0]);
+        assert!((cov[0][0] - 2.0).abs() < 1e-12);
+        assert!((cov[0][1] - 4.0).abs() < 1e-12);
+        assert!((cov[1][1] - 8.0).abs() < 1e-12);
+        assert_eq!(cov[0][1], cov[1][0]);
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix_is_fixed_point() {
+        let a: Matrix<3> = [[3.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 2.0]];
+        let (vals, vecs) = jacobi_eigen(&a);
+        assert_eq!(vals, [3.0, 2.0, 1.0]);
+        // Eigenvectors are the (signed) standard basis, in sorted order.
+        for (rank, dim) in [(0usize, 0usize), (1, 2), (2, 1)] {
+            assert!((vecs[rank][dim].abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jacobi_known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1 with axes (1,1)/√2 and
+        // (1,-1)/√2.
+        let a: Matrix<2> = [[2.0, 1.0], [1.0, 2.0]];
+        let (vals, vecs) = jacobi_eigen(&a);
+        assert!((vals[0] - 3.0).abs() < 1e-12);
+        assert!((vals[1] - 1.0).abs() < 1e-12);
+        let v0 = vecs[0];
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((v0[0] - v0[1]).abs() < 1e-12, "axis of λ=3 is (1,1)");
+    }
+
+    #[test]
+    fn eigenvectors_reconstruct_matrix() {
+        // A = V diag(λ) Vᵀ must hold.
+        let a: Matrix<4> = [
+            [4.0, 1.0, 0.5, 0.0],
+            [1.0, 3.0, 0.2, 0.1],
+            [0.5, 0.2, 2.0, 0.3],
+            [0.0, 0.1, 0.3, 1.0],
+        ];
+        let (vals, vecs) = jacobi_eigen(&a);
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut acc = 0.0;
+                for k in 0..4 {
+                    acc += vecs[k][i] * vals[k] * vecs[k][j];
+                }
+                assert!(
+                    (acc - a[i][j]).abs() < 1e-9,
+                    "reconstruction mismatch at ({i},{j}): {acc} vs {}",
+                    a[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pca_rotates_correlated_data_onto_first_axis() {
+        // Strongly correlated 2-D data: after PCA nearly all variance is on
+        // component 0.
+        let pts: Vec<Point<2>> = (0..1000)
+            .map(|i| {
+                let t = i as f64 / 1000.0;
+                // Line plus small perpendicular noise.
+                let noise = ((i * 37) % 100) as f64 / 100.0 - 0.5;
+                Point::new([t + 0.01 * noise, 2.0 * t - 0.01 * noise])
+            })
+            .collect();
+        let pca = Pca::fit(&pts);
+        assert!(pca.variances[0] > 50.0 * pca.variances[1]);
+        // Transform preserves pairwise distances (rotation + translation).
+        let a = Point::new([0.25, 0.5]);
+        let b = Point::new([0.75, 1.5]);
+        let (ta, tb) = (pca.transform(&a), pca.transform(&b));
+        assert!((ta.dist(&tb) - a.dist(&b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transform_is_distance_preserving_in_10d() {
+        let pts: Vec<Point<10>> = ann_datagen::fc_like(500, 3)
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect();
+        let pca = Pca::fit(&pts);
+        for w in pts.windows(2).take(100) {
+            let d0 = w[0].dist(&w[1]);
+            let d1 = pca.transform(&w[0]).dist(&pca.transform(&w[1]));
+            assert!((d0 - d1).abs() < 1e-9 * (1.0 + d0));
+        }
+        // Variances are sorted descending.
+        for w in pca.variances.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_point_inputs() {
+        let pca = Pca::<3>::fit(&[]);
+        assert_eq!(pca.variances, [0.0; 3]);
+        let one = [Point::new([1.0, 2.0, 3.0])];
+        let pca = Pca::fit(&one);
+        assert_eq!(pca.mean, [1.0, 2.0, 3.0]);
+        let t = pca.transform(&one[0]);
+        assert!(t.coords().iter().all(|&c| c.abs() < 1e-12));
+    }
+}

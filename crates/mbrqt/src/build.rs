@@ -1,0 +1,173 @@
+//! Top-down bulk construction of an MBRQT.
+
+use crate::{cell_of_point, cell_quadrant, Mbrqt, MbrqtConfig};
+use ann_core::node::{write_node, Entry, Node, NodeEntry, ObjectEntry};
+use ann_geom::{Mbr, Point};
+use ann_store::{BufferPool, Result, StoreError};
+use std::sync::Arc;
+
+/// Builds the tree for `points`; see [`Mbrqt::bulk_build`].
+pub(crate) fn bulk_build<const D: usize>(
+    pool: Arc<BufferPool>,
+    points: &[(u64, Point<D>)],
+    config: &MbrqtConfig,
+) -> Result<Mbrqt<D>> {
+    if points.iter().any(|(_, p)| !p.is_finite()) {
+        return Err(StoreError::Corrupt("points must have finite coordinates"));
+    }
+    let bounds = Mbr::from_points(points.iter().map(|(_, p)| p));
+    // The universe needs positive extent in every dimension for halving to
+    // make progress; degenerate (or empty) input gets a unit-padded box.
+    let universe = if points.is_empty() {
+        Mbr::new([0.0; D], {
+            let mut hi = [0.0; D];
+            hi.iter_mut().for_each(|v| *v = 1.0);
+            hi
+        })
+    } else {
+        let mut u = bounds;
+        for d in 0..D {
+            if u.extent(d) <= 0.0 {
+                u.hi[d] = u.lo[d] + 1.0;
+            }
+        }
+        u
+    };
+
+    let meta_page = pool.allocate()?;
+    let bucket_capacity = config.resolved_bucket_capacity::<D>();
+    let levels_per_node = config.resolved_levels_per_node::<D>();
+    let mut builder = Builder {
+        pool: &pool,
+        bucket_capacity,
+        levels_per_node,
+        max_depth: config.max_depth,
+        use_subtree_mbrs: config.use_subtree_mbrs,
+    };
+    let mut owned: Vec<(u64, Point<D>)> = points.to_vec();
+    let root_entry = builder.build(&mut owned, universe, 0)?;
+
+    let tree = Mbrqt {
+        pool,
+        meta_page,
+        root: root_entry.page,
+        universe,
+        bounds,
+        num_points: points.len() as u64,
+        bucket_capacity,
+        levels_per_node,
+        max_depth: config.max_depth,
+        use_subtree_mbrs: config.use_subtree_mbrs,
+    };
+    tree.save_meta()?;
+    Ok(tree)
+}
+
+pub(crate) struct Builder<'a> {
+    pub(crate) pool: &'a BufferPool,
+    pub(crate) bucket_capacity: usize,
+    pub(crate) levels_per_node: usize,
+    pub(crate) max_depth: usize,
+    pub(crate) use_subtree_mbrs: bool,
+}
+
+impl<'a> Builder<'a> {
+    /// Recursively builds the subtree for `points` within `quadrant`,
+    /// returning the child entry describing it. `points` is consumed
+    /// (drained into leaves or partitions).
+    pub(crate) fn build<const D: usize>(
+        &mut self,
+        points: &mut Vec<(u64, Point<D>)>,
+        quadrant: Mbr<D>,
+        depth: usize,
+    ) -> Result<NodeEntry<D>> {
+        if points.len() <= self.bucket_capacity || depth >= self.max_depth {
+            return self.write_leaf(points, &quadrant);
+        }
+        // Partition into the 2^(D * levels) cells of this node's packed
+        // decomposition, choosing just enough levels that the expected
+        // cell population is bucket-sized — deeper packing on a small node
+        // would scatter one bucket across many near-empty leaf pages.
+        // Only non-empty cells are materialized (sparse, sorted vector
+        // keyed by cell index).
+        let levels = self.pick_levels::<D>(points.len(), depth);
+        let mut parts: Vec<(usize, Vec<(u64, Point<D>)>)> = Vec::new();
+        for (oid, p) in points.drain(..) {
+            let idx = cell_of_point(&quadrant, &p, levels);
+            match parts.binary_search_by_key(&idx, |(i, _)| *i) {
+                Ok(at) => parts[at].1.push((oid, p)),
+                Err(at) => parts.insert(at, (idx, vec![(oid, p)])),
+            }
+        }
+        // Degenerate split (all points in one cell at every level) is
+        // bounded by max_depth; recursion proceeds normally here.
+        let mut node = Node {
+            is_leaf: false,
+            aux: 0,
+            mbr: Mbr::empty(),
+            entries: Vec::with_capacity(parts.len()),
+        };
+        for (idx, mut part) in parts {
+            let child_q = cell_quadrant(&quadrant, idx, levels);
+            let entry = self.build(&mut part, child_q, depth + levels)?;
+            node.entries.push(Entry::Node(entry));
+        }
+        node.recompute_mbr();
+        node.aux = levels as u8;
+        let count = node.count();
+        let page = self.pool.allocate()?;
+        write_node(self.pool, page, &node)?;
+        Ok(NodeEntry {
+            page,
+            count,
+            mbr: if self.use_subtree_mbrs {
+                node.mbr
+            } else {
+                quadrant
+            },
+        })
+    }
+
+    /// Decomposition levels for a node over `n` points at `depth`: enough
+    /// halvings that cells come out bucket-sized, capped by the per-page
+    /// packing limit and the remaining depth budget.
+    pub(crate) fn pick_levels<const D: usize>(&self, n: usize, depth: usize) -> usize {
+        let ratio = (n.max(1) as f64 / self.bucket_capacity.max(1) as f64).max(2.0);
+        let needed = (ratio.log2() / D as f64).ceil() as usize;
+        needed
+            .clamp(1, self.levels_per_node)
+            .min((self.max_depth - depth).max(1))
+    }
+
+    fn write_leaf<const D: usize>(
+        &mut self,
+        points: &mut Vec<(u64, Point<D>)>,
+        quadrant: &Mbr<D>,
+    ) -> Result<NodeEntry<D>> {
+        let mut node = Node {
+            is_leaf: true,
+            aux: 0,
+            mbr: Mbr::empty(),
+            entries: points
+                .drain(..)
+                .map(|(oid, point)| Entry::Object(ObjectEntry { oid, point }))
+                .collect(),
+        };
+        node.recompute_mbr();
+        let count = node.entries.len() as u64;
+        // Leaves always carry their tight MBR in `node.mbr`; the parent
+        // entry's MBR is the ablation knob.
+        let entry_mbr = if self.use_subtree_mbrs || count == 0 {
+            node.mbr
+        } else {
+            *quadrant
+        };
+        let page = self.pool.allocate()?;
+        write_node(self.pool, page, &node)?;
+        Ok(NodeEntry {
+            page,
+            count,
+            mbr: entry_mbr,
+        })
+    }
+}

@@ -1,0 +1,99 @@
+//! Metadata-page persistence for [`Mbrqt`].
+
+use crate::Mbrqt;
+use ann_geom::Mbr;
+use ann_store::{BufferPool, PageId, Result, StoreError};
+use std::sync::Arc;
+
+const MAGIC: &[u8; 8] = b"MBRQTv1\0";
+
+/// Serializes the tree's metadata into its meta page.
+pub(crate) fn save<const D: usize>(tree: &Mbrqt<D>) -> Result<()> {
+    tree.pool.with_page_mut(tree.meta_page, |bytes| {
+        let mut at = 0usize;
+        let mut put = |src: &[u8]| {
+            bytes[at..at + src.len()].copy_from_slice(src);
+            at += src.len();
+        };
+        put(MAGIC);
+        put(&(D as u32).to_le_bytes());
+        put(&tree.root.to_le_bytes());
+        put(&tree.num_points.to_le_bytes());
+        put(&(tree.bucket_capacity as u32).to_le_bytes());
+        put(&(tree.levels_per_node as u32).to_le_bytes());
+        put(&(tree.max_depth as u32).to_le_bytes());
+        put(&[u8::from(tree.use_subtree_mbrs), 0, 0, 0]);
+        for d in 0..D {
+            put(&tree.universe.lo[d].to_le_bytes());
+        }
+        for d in 0..D {
+            put(&tree.universe.hi[d].to_le_bytes());
+        }
+        for d in 0..D {
+            put(&tree.bounds.lo[d].to_le_bytes());
+        }
+        for d in 0..D {
+            put(&tree.bounds.hi[d].to_le_bytes());
+        }
+    })
+}
+
+/// Loads a tree from its meta page; see [`Mbrqt::open`].
+pub(crate) fn load<const D: usize>(pool: Arc<BufferPool>, meta_page: PageId) -> Result<Mbrqt<D>> {
+    let (root, num_points, bucket_capacity, levels_per_node, max_depth, use_subtree_mbrs, universe, bounds) = pool
+        .with_page(meta_page, |bytes| -> Result<_> {
+            if &bytes[0..8] != MAGIC {
+                return Err(StoreError::Corrupt("not an MBRQT meta page"));
+            }
+            let mut at = 8usize;
+            let mut take = |n: usize| {
+                let s = &bytes[at..at + n];
+                at += n;
+                s
+            };
+            let dim = u32::from_le_bytes(take(4).try_into().unwrap());
+            if dim as usize != D {
+                return Err(StoreError::Corrupt("dimensionality mismatch"));
+            }
+            let root = u32::from_le_bytes(take(4).try_into().unwrap());
+            let num_points = u64::from_le_bytes(take(8).try_into().unwrap());
+            let bucket_capacity = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+            let levels_per_node = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+            let max_depth = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+            let use_subtree_mbrs = take(4)[0] != 0;
+            let mut mbrs = [Mbr::<D>::empty(), Mbr::<D>::empty()];
+            for m in mbrs.iter_mut() {
+                let mut lo = [0.0; D];
+                let mut hi = [0.0; D];
+                for v in lo.iter_mut() {
+                    *v = f64::from_le_bytes(take(8).try_into().unwrap());
+                }
+                for v in hi.iter_mut() {
+                    *v = f64::from_le_bytes(take(8).try_into().unwrap());
+                }
+                *m = Mbr { lo, hi };
+            }
+            Ok((
+                root,
+                num_points,
+                bucket_capacity,
+                levels_per_node,
+                max_depth,
+                use_subtree_mbrs,
+                mbrs[0],
+                mbrs[1],
+            ))
+        })??;
+    Ok(Mbrqt {
+        pool,
+        meta_page,
+        root,
+        universe,
+        bounds,
+        num_points,
+        bucket_capacity,
+        levels_per_node,
+        max_depth,
+        use_subtree_mbrs,
+    })
+}

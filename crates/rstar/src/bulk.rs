@@ -1,0 +1,193 @@
+//! STR (Sort-Tile-Recursive) bulk loading.
+//!
+//! STR packs a static dataset into a near-100%-full R-tree: sort by the
+//! first dimension, cut into vertical slabs, recursively tile each slab by
+//! the remaining dimensions, and emit full leaves; then pack the leaf
+//! entries the same way into internal levels until one node remains.
+
+use crate::{RStar, RStarConfig};
+use ann_core::node::{write_node, Entry, Node, NodeEntry, ObjectEntry};
+use ann_geom::{Mbr, Point};
+use ann_store::{BufferPool, Result, StoreError};
+use std::sync::Arc;
+
+/// Builds a packed tree over `points`; see [`RStar::bulk_build`].
+pub(crate) fn bulk_build<const D: usize>(
+    pool: Arc<BufferPool>,
+    points: &[(u64, Point<D>)],
+    config: &RStarConfig,
+) -> Result<RStar<D>> {
+    if points.iter().any(|(_, p)| !p.is_finite()) {
+        return Err(StoreError::Corrupt("points must have finite coordinates"));
+    }
+    let max_leaf = config.resolved_max::<D>(true);
+    let max_internal = config.resolved_max::<D>(false);
+    let meta_page = pool.allocate()?;
+
+    // Pack leaves: tile the points, one leaf per tile.
+    let mut leaf_fill = (max_leaf * 9) / 10; // leave headroom for inserts
+    leaf_fill = leaf_fill.max(1);
+    let mut internal_fill = ((max_internal * 9) / 10).max(2);
+
+    let mut current: Vec<Entry<D>> = Vec::new();
+    let mut height = 1u32;
+    {
+        let mut pts: Vec<(u64, Point<D>)> = points.to_vec();
+        let mut tiles: Vec<Vec<(u64, Point<D>)>> = Vec::new();
+        tile_points(&mut pts, leaf_fill, 0, &mut tiles);
+        for tile in tiles {
+            let mut node = Node {
+                is_leaf: true,
+                aux: 0,
+                mbr: Mbr::empty(),
+                entries: tile
+                    .into_iter()
+                    .map(|(oid, point)| Entry::Object(ObjectEntry { oid, point }))
+                    .collect(),
+            };
+            node.recompute_mbr();
+            let page = pool.allocate()?;
+            write_node(&pool, page, &node)?;
+            current.push(Entry::Node(NodeEntry {
+                page,
+                count: node.entries.len() as u64,
+                mbr: node.mbr,
+            }));
+        }
+    }
+
+    // Handle the empty dataset: a single empty leaf as the root.
+    if current.is_empty() {
+        let page = pool.allocate()?;
+        write_node::<D>(&pool, page, &Node::empty_leaf())?;
+        let tree = RStar {
+            pool,
+            meta_page,
+            root: page,
+            height: 1,
+            num_points: 0,
+            bounds: Mbr::empty(),
+            max_leaf,
+            max_internal,
+            min_fill_percent: config.min_fill_percent.clamp(10, 50),
+            reinsert_percent: config.reinsert_percent.min(45),
+        };
+        tree.save_meta()?;
+        return Ok(tree);
+    }
+
+    // Pack internal levels until a single entry remains.
+    internal_fill = internal_fill.max(2);
+    while current.len() > 1 {
+        let mut tiles: Vec<Vec<Entry<D>>> = Vec::new();
+        tile_entries(&mut current, internal_fill, 0, &mut tiles);
+        let mut next: Vec<Entry<D>> = Vec::with_capacity(tiles.len());
+        for tile in tiles {
+            let mut node = Node {
+                is_leaf: false,
+                aux: 0,
+                mbr: Mbr::empty(),
+                entries: tile,
+            };
+            node.recompute_mbr();
+            let page = pool.allocate()?;
+            write_node(&pool, page, &node)?;
+            next.push(Entry::Node(NodeEntry {
+                page,
+                count: node.count(),
+                mbr: node.mbr,
+            }));
+        }
+        current = next;
+        height += 1;
+    }
+
+    let Entry::Node(root_entry) = current[0] else {
+        unreachable!("packing produces node entries")
+    };
+    // A single leaf needs no extra root; `current[0]` is already it.
+    let tree = RStar {
+        pool,
+        meta_page,
+        root: root_entry.page,
+        height,
+        num_points: points.len() as u64,
+        bounds: Mbr::from_points(points.iter().map(|(_, p)| p)),
+        max_leaf,
+        max_internal,
+        min_fill_percent: config.min_fill_percent.clamp(10, 50),
+        reinsert_percent: config.reinsert_percent.min(45),
+    };
+    tree.save_meta()?;
+    Ok(tree)
+}
+
+/// Recursively tiles `pts` into chunks of `cap`, sorting by dimension
+/// `dim` and slicing into `ceil((n/cap)^(1/(D-dim)))` slabs.
+fn tile_points<const D: usize>(
+    pts: &mut [(u64, Point<D>)],
+    cap: usize,
+    dim: usize,
+    out: &mut Vec<Vec<(u64, Point<D>)>>,
+) {
+    let n = pts.len();
+    if n == 0 {
+        return;
+    }
+    if n <= cap {
+        out.push(pts.to_vec());
+        return;
+    }
+    if dim + 1 >= D {
+        // Last dimension: emit consecutive runs of `cap`.
+        pts.sort_by(|a, b| a.1[dim].partial_cmp(&b.1[dim]).expect("finite"));
+        for chunk in pts.chunks(cap) {
+            out.push(chunk.to_vec());
+        }
+        return;
+    }
+    pts.sort_by(|a, b| a.1[dim].partial_cmp(&b.1[dim]).expect("finite"));
+    let tiles_total = n.div_ceil(cap);
+    let slabs = (tiles_total as f64)
+        .powf(1.0 / (D - dim) as f64)
+        .ceil()
+        .max(1.0) as usize;
+    let per_slab = n.div_ceil(slabs);
+    for slab in pts.chunks_mut(per_slab) {
+        tile_points(slab, cap, dim + 1, out);
+    }
+}
+
+/// Same tiling for already-built node entries, keyed by MBR centers.
+fn tile_entries<const D: usize>(
+    entries: &mut [Entry<D>],
+    cap: usize,
+    dim: usize,
+    out: &mut Vec<Vec<Entry<D>>>,
+) {
+    let n = entries.len();
+    if n == 0 {
+        return;
+    }
+    if n <= cap {
+        out.push(entries.to_vec());
+        return;
+    }
+    let key = |e: &Entry<D>, d: usize| e.mbr().center()[d];
+    entries.sort_by(|a, b| key(a, dim).partial_cmp(&key(b, dim)).expect("finite"));
+    if dim + 1 >= D {
+        for chunk in entries.chunks(cap) {
+            out.push(chunk.to_vec());
+        }
+        return;
+    }
+    let tiles_total = n.div_ceil(cap);
+    let slabs = (tiles_total as f64)
+        .powf(1.0 / (D - dim) as f64)
+        .ceil()
+        .max(1.0) as usize;
+    let per_slab = n.div_ceil(slabs);
+    for slab in entries.chunks_mut(per_slab) {
+        tile_entries(slab, cap, dim + 1, out);
+    }
+}

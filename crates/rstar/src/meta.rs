@@ -1,0 +1,91 @@
+//! Metadata-page persistence for [`RStar`].
+
+use crate::RStar;
+use ann_geom::Mbr;
+use ann_store::{BufferPool, PageId, Result, StoreError};
+use std::sync::Arc;
+
+const MAGIC: &[u8; 8] = b"RSTARv1\0";
+
+/// Serializes the tree's metadata into its meta page.
+pub(crate) fn save<const D: usize>(tree: &RStar<D>) -> Result<()> {
+    tree.pool.with_page_mut(tree.meta_page, |bytes| {
+        let mut at = 0usize;
+        let mut put = |src: &[u8]| {
+            bytes[at..at + src.len()].copy_from_slice(src);
+            at += src.len();
+        };
+        put(MAGIC);
+        put(&(D as u32).to_le_bytes());
+        put(&tree.root.to_le_bytes());
+        put(&tree.height.to_le_bytes());
+        put(&tree.num_points.to_le_bytes());
+        put(&(tree.max_leaf as u32).to_le_bytes());
+        put(&(tree.max_internal as u32).to_le_bytes());
+        put(&(tree.min_fill_percent as u32).to_le_bytes());
+        put(&(tree.reinsert_percent as u32).to_le_bytes());
+        for d in 0..D {
+            put(&tree.bounds.lo[d].to_le_bytes());
+        }
+        for d in 0..D {
+            put(&tree.bounds.hi[d].to_le_bytes());
+        }
+    })
+}
+
+/// Loads a tree from its meta page; see [`RStar::open`].
+pub(crate) fn load<const D: usize>(pool: Arc<BufferPool>, meta_page: PageId) -> Result<RStar<D>> {
+    let (root, height, num_points, max_leaf, max_internal, min_fill, reinsert, bounds) = pool
+        .with_page(meta_page, |bytes| -> Result<_> {
+            if &bytes[0..8] != MAGIC {
+                return Err(StoreError::Corrupt("not an R*-tree meta page"));
+            }
+            let mut at = 8usize;
+            let mut take = |n: usize| {
+                let s = &bytes[at..at + n];
+                at += n;
+                s
+            };
+            let dim = u32::from_le_bytes(take(4).try_into().unwrap());
+            if dim as usize != D {
+                return Err(StoreError::Corrupt("dimensionality mismatch"));
+            }
+            let root = u32::from_le_bytes(take(4).try_into().unwrap());
+            let height = u32::from_le_bytes(take(4).try_into().unwrap());
+            let num_points = u64::from_le_bytes(take(8).try_into().unwrap());
+            let max_leaf = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+            let max_internal = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+            let min_fill = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+            let reinsert = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+            let mut lo = [0.0; D];
+            let mut hi = [0.0; D];
+            for v in lo.iter_mut() {
+                *v = f64::from_le_bytes(take(8).try_into().unwrap());
+            }
+            for v in hi.iter_mut() {
+                *v = f64::from_le_bytes(take(8).try_into().unwrap());
+            }
+            Ok((
+                root,
+                height,
+                num_points,
+                max_leaf,
+                max_internal,
+                min_fill,
+                reinsert,
+                Mbr { lo, hi },
+            ))
+        })??;
+    Ok(RStar {
+        pool,
+        meta_page,
+        root,
+        height,
+        num_points,
+        bounds,
+        max_leaf,
+        max_internal,
+        min_fill_percent: min_fill,
+        reinsert_percent: reinsert,
+    })
+}

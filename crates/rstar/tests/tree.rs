@@ -1,0 +1,196 @@
+//! Structural tests for the R*-tree: STR bulk builds, incremental R*
+//! insertion with forced reinsertion, fanout invariants, persistence.
+
+use ann_core::index::{collect_objects, validate, SpatialIndex};
+use ann_core::node::Entry;
+use ann_geom::Point;
+use ann_rstar::{RStar, RStarConfig};
+use ann_store::{BufferPool, MemDisk};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+fn pool(frames: usize) -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(MemDisk::new(), frames))
+}
+
+fn random_points<const D: usize>(n: usize, seed: u64) -> Vec<(u64, Point<D>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let mut c = [0.0; D];
+            for v in c.iter_mut() {
+                *v = rng.gen_range(-1000.0..1000.0);
+            }
+            (i as u64, Point::new(c))
+        })
+        .collect()
+}
+
+/// Small fanout to force deep trees in tests.
+fn small_cfg() -> RStarConfig {
+    RStarConfig {
+        max_leaf_entries: 16,
+        max_internal_entries: 8,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn bulk_build_validates_and_contains_all_points() {
+    let pts = random_points::<2>(5000, 41);
+    let tree = RStar::bulk_build(pool(64), &pts, &RStarConfig::default()).unwrap();
+    let shape = validate(&tree).unwrap();
+    assert_eq!(shape.objects, 5000);
+    assert!(tree.height() >= 2);
+
+    let got: HashSet<u64> = collect_objects(&tree).unwrap().iter().map(|(o, _)| *o).collect();
+    assert_eq!(got.len(), 5000);
+}
+
+#[test]
+fn incremental_insert_validates() {
+    let pts = random_points::<2>(3000, 43);
+    let mut tree = RStar::create(pool(64), &small_cfg()).unwrap();
+    for &(oid, p) in &pts {
+        tree.insert(oid, p).unwrap();
+    }
+    assert_eq!(tree.num_points(), 3000);
+    let shape = validate(&tree).unwrap();
+    assert_eq!(shape.objects, 3000);
+    assert!(tree.height() >= 3, "small fanout must give a deep tree");
+}
+
+#[test]
+fn fanout_bounds_hold_after_incremental_build() {
+    let pts = random_points::<2>(4000, 47);
+    let mut tree = RStar::create(pool(64), &small_cfg()).unwrap();
+    for &(oid, p) in &pts {
+        tree.insert(oid, p).unwrap();
+    }
+    let (max_leaf, max_internal) = tree.capacities();
+    let mut stack = vec![(tree.root_page(), true)];
+    while let Some((page, is_root)) = stack.pop() {
+        let node = tree.read_node(page).unwrap();
+        let max = if node.is_leaf { max_leaf } else { max_internal };
+        assert!(node.entries.len() <= max, "node exceeds max fanout");
+        if !is_root {
+            let min = tree.min_entries(node.is_leaf);
+            assert!(
+                node.entries.len() >= min,
+                "{} node underfull: {} < {}",
+                if node.is_leaf { "leaf" } else { "internal" },
+                node.entries.len(),
+                min
+            );
+        }
+        for e in &node.entries {
+            if let Entry::Node(n) = e {
+                stack.push((n.page, false));
+            }
+        }
+    }
+}
+
+#[test]
+fn reinsert_disabled_still_validates() {
+    let pts = random_points::<2>(2000, 53);
+    let cfg = RStarConfig {
+        reinsert_percent: 0,
+        ..small_cfg()
+    };
+    let mut tree = RStar::create(pool(64), &cfg).unwrap();
+    for &(oid, p) in &pts {
+        tree.insert(oid, p).unwrap();
+    }
+    assert_eq!(validate(&tree).unwrap().objects, 2000);
+}
+
+#[test]
+fn mixed_bulk_then_incremental() {
+    let pts = random_points::<2>(2000, 59);
+    let (bulk_half, inc_half) = pts.split_at(1000);
+    let mut tree = RStar::bulk_build(pool(64), bulk_half, &small_cfg()).unwrap();
+    for &(oid, p) in inc_half {
+        tree.insert(oid, p).unwrap();
+    }
+    assert_eq!(validate(&tree).unwrap().objects, 2000);
+    let got: HashSet<u64> = collect_objects(&tree).unwrap().iter().map(|(o, _)| *o).collect();
+    assert_eq!(got.len(), 2000);
+}
+
+#[test]
+fn str_build_packs_efficiently() {
+    // STR should use close to the minimum number of leaves.
+    let pts = random_points::<2>(10_000, 61);
+    let cfg = RStarConfig {
+        max_leaf_entries: 100,
+        max_internal_entries: 100,
+        ..Default::default()
+    };
+    let tree = RStar::bulk_build(pool(64), &pts, &cfg).unwrap();
+    let shape = validate(&tree).unwrap();
+    // 10k points at 90-point fill → ~112 leaves; allow generous slack.
+    assert!(shape.leaves <= 140, "too many leaves: {}", shape.leaves);
+}
+
+#[test]
+fn open_round_trips_through_meta_page() {
+    let pts = random_points::<4>(1500, 67);
+    let pool = pool(64);
+    let tree = RStar::bulk_build(pool.clone(), &pts, &RStarConfig::default()).unwrap();
+    let meta = tree.meta_page();
+    let (height, bounds) = (tree.height(), tree.bounds());
+    drop(tree);
+    let reopened: RStar<4> = RStar::open(pool, meta).unwrap();
+    assert_eq!(reopened.height(), height);
+    assert_eq!(reopened.bounds(), bounds);
+    assert_eq!(validate(&reopened).unwrap().objects, 1500);
+}
+
+#[test]
+fn wrong_dimension_open_fails() {
+    let pts = random_points::<2>(100, 71);
+    let pool = pool(64);
+    let tree = RStar::bulk_build(pool.clone(), &pts, &RStarConfig::default()).unwrap();
+    let meta = tree.meta_page();
+    assert!(RStar::<3>::open(pool, meta).is_err());
+}
+
+#[test]
+fn ten_dimensional_build_and_insert() {
+    let pts = random_points::<10>(1200, 73);
+    let mut tree = RStar::bulk_build(pool(128), &pts[..1000], &RStarConfig::default()).unwrap();
+    for &(oid, p) in &pts[1000..] {
+        tree.insert(oid, p).unwrap();
+    }
+    assert_eq!(validate(&tree).unwrap().objects, 1200);
+}
+
+#[test]
+fn empty_and_tiny_trees() {
+    let empty = RStar::<2>::bulk_build(pool(16), &[], &RStarConfig::default()).unwrap();
+    assert_eq!(empty.num_points(), 0);
+    assert_eq!(validate(&empty).unwrap().objects, 0);
+
+    let mut one = RStar::<2>::create(pool(16), &RStarConfig::default()).unwrap();
+    one.insert(9, Point::new([1.0, 2.0])).unwrap();
+    assert_eq!(collect_objects(&one).unwrap(), vec![(9, Point::new([1.0, 2.0]))]);
+}
+
+#[test]
+fn duplicate_points_are_allowed() {
+    let mut tree = RStar::<2>::create(pool(32), &small_cfg()).unwrap();
+    for i in 0..200 {
+        tree.insert(i, Point::new([1.0, 1.0])).unwrap();
+    }
+    assert_eq!(validate(&tree).unwrap().objects, 200);
+}
+
+#[test]
+fn rejects_non_finite_points() {
+    let mut tree = RStar::<2>::create(pool(16), &RStarConfig::default()).unwrap();
+    assert!(tree.insert(0, Point::new([f64::NAN, 0.0])).is_err());
+    assert_eq!(tree.num_points(), 0);
+}

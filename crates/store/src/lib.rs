@@ -1,0 +1,106 @@
+//! Page-based storage substrate for the ANN workspace.
+//!
+//! The paper runs all experiments on indices built over the SHORE storage
+//! manager with **8 KB pages** and a **512 KB (64-page) LRU buffer pool**
+//! (§4.1). This crate is the equivalent substrate, providing exactly the
+//! pieces those experiments depend on:
+//!
+//! * [`PAGE_SIZE`]-byte pages addressed by [`PageId`] ([`page`]);
+//! * a [`DiskBackend`] abstraction with an in-memory ([`MemDisk`]) and a
+//!   real-file ([`FileDisk`]) implementation ([`disk`]);
+//! * an exact-LRU [`BufferPool`] with pluggable capacity ([`pool`]) — the
+//!   capacity knob is what the paper's Figure 3(b) sweeps from 512 KiB to
+//!   8 MiB;
+//! * I/O accounting ([`IoStats`]): logical reads, physical reads and writes
+//!   are counted at the pool boundary, so every figure can report an "I/O"
+//!   component that is measured rather than estimated;
+//! * a slotted-page layout ([`slotted`]) and a [`HeapFile`] of fixed-size
+//!   records ([`heap`]), used by the GORDER baseline's sorted block file
+//!   and by dataset scans.
+//!
+//! # Example
+//!
+//! ```
+//! use ann_store::{BufferPool, MemDisk};
+//!
+//! let pool = BufferPool::new(MemDisk::new(), 64); // 512 KiB, as in the paper
+//! let pid = pool.allocate().unwrap();
+//! pool.with_page_mut(pid, |bytes| bytes[0..4].copy_from_slice(b"ANN!")).unwrap();
+//! let tag = pool.with_page(pid, |bytes| bytes[0..4].to_vec()).unwrap();
+//! assert_eq!(&tag, b"ANN!");
+//! // Both accesses were served from the pool: no physical reads.
+//! assert_eq!(pool.stats().logical_reads, 2);
+//! assert_eq!(pool.stats().physical_reads, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod disk;
+pub mod faulty;
+pub mod heap;
+mod lru;
+pub mod page;
+pub mod pool;
+pub mod slotted;
+mod stats;
+
+pub use disk::{DiskBackend, FileDisk, MemDisk};
+pub use faulty::FaultyDisk;
+pub use heap::HeapFile;
+pub use page::{PageId, INVALID_PAGE, PAGE_SIZE};
+pub use pool::BufferPool;
+pub use stats::{IoSnapshot, IoStats};
+
+/// Errors surfaced by the storage layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The requested page id has never been allocated.
+    PageOutOfBounds(PageId),
+    /// An operating-system I/O error from the file backend.
+    Io(std::io::Error),
+    /// A record or node does not fit in one page.
+    RecordTooLarge {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// Stored bytes failed validation while being decoded.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::PageOutOfBounds(id) => write!(f, "page {id} out of bounds"),
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::RecordTooLarge {
+                requested,
+                available,
+            } => write!(
+                f,
+                "record of {requested} bytes does not fit in {available} available bytes"
+            ),
+            StoreError::Corrupt(what) => write!(f, "corrupt page data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the storage layer.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,27 @@
+//! Page constants and identifiers.
+
+/// Size of a disk page in bytes.
+///
+/// The paper compiles SHORE with 8 KB pages (§4.1); every node of every
+/// index in this workspace occupies exactly one such page.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Identifier of a page within a [`crate::DiskBackend`].
+///
+/// 32 bits address 32 TiB of 8 KiB pages — far beyond any workload here —
+/// while keeping on-page child pointers compact.
+pub type PageId = u32;
+
+/// Sentinel for "no page" (e.g. absent child pointers in serialized nodes).
+pub const INVALID_PAGE: PageId = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(PAGE_SIZE, 8192);
+        assert_ne!(INVALID_PAGE, 0);
+    }
+}

@@ -1,0 +1,389 @@
+//! The buffer pool: a fixed budget of in-memory page frames managed with
+//! exact LRU replacement.
+//!
+//! Every page access made by the indices and join algorithms goes through
+//! [`BufferPool::with_page`] / [`BufferPool::with_page_mut`]; the pool
+//! charges a logical read per access and a physical read per miss. The
+//! default experimental configuration is the paper's: 64 frames × 8 KiB =
+//! 512 KiB (§4.1). [`BufferPool::set_capacity`] changes the budget at run
+//! time, which is how the Figure 3(b) buffer-size sweep is driven.
+
+use crate::lru::LruList;
+use crate::{DiskBackend, IoSnapshot, IoStats, PageId, Result, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Default pool capacity: 64 pages = 512 KiB, the paper's configuration.
+pub const DEFAULT_CAPACITY: usize = 64;
+
+struct Frame {
+    page: PageId,
+    data: Box<[u8]>,
+    dirty: bool,
+}
+
+struct Inner {
+    frames: Vec<Frame>,
+    map: HashMap<PageId, u32>,
+    lru: LruList,
+    free: Vec<u32>,
+    capacity: usize,
+}
+
+/// An LRU buffer pool over a [`DiskBackend`].
+///
+/// The pool is internally synchronized and meant to be shared (e.g. in an
+/// `Arc`) between the indices of both join inputs, so that — exactly as in
+/// the paper's setup — the two trees compete for the same 512 KiB of
+/// memory.
+///
+/// # Re-entrancy
+///
+/// The closures passed to [`with_page`](Self::with_page) and
+/// [`with_page_mut`](Self::with_page_mut) run while the pool lock is held
+/// and must not call back into the pool; decode what you need and return.
+pub struct BufferPool {
+    disk: Box<dyn DiskBackend>,
+    inner: Mutex<Inner>,
+    stats: IoStats,
+}
+
+impl BufferPool {
+    /// Creates a pool with `capacity` frames over `disk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(disk: impl DiskBackend, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            disk: Box::new(disk),
+            inner: Mutex::new(Inner {
+                frames: Vec::new(),
+                map: HashMap::new(),
+                lru: LruList::new(capacity),
+                free: Vec::new(),
+                capacity,
+            }),
+            stats: IoStats::new(),
+        }
+    }
+
+    /// Creates a pool with the paper's default 64-frame (512 KiB) capacity.
+    pub fn with_default_capacity(disk: impl DiskBackend) -> Self {
+        Self::new(disk, DEFAULT_CAPACITY)
+    }
+
+    /// Current capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// Resizes the pool to `capacity` frames, evicting (and flushing) the
+    /// least-recently-used pages if shrinking.
+    pub fn set_capacity(&self, capacity: usize) -> Result<()> {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        let mut inner = self.inner.lock();
+        inner.capacity = capacity;
+        let target = capacity.max(inner.frames.len());
+        inner.lru.grow_to(target);
+        while inner.lru.len() > capacity {
+            self.evict_one(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Reads page `id` and passes its bytes to `f`.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        let frame = self.fetch(&mut inner, id)?;
+        Ok(f(&inner.frames[frame as usize].data))
+    }
+
+    /// Reads page `id`, passes its bytes mutably to `f`, and marks the page
+    /// dirty. The modification reaches disk on eviction or
+    /// [`flush_all`](Self::flush_all).
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        let frame = self.fetch(&mut inner, id)?;
+        let frame = &mut inner.frames[frame as usize];
+        frame.dirty = true;
+        Ok(f(&mut frame.data))
+    }
+
+    /// Allocates a fresh zeroed page, resident in the pool and marked dirty
+    /// (it will be written to disk when evicted or flushed). Returns its id.
+    pub fn allocate(&self) -> Result<PageId> {
+        let id = self.disk.allocate()?;
+        let mut inner = self.inner.lock();
+        let frame = self.acquire_frame(&mut inner)?;
+        {
+            let fr = &mut inner.frames[frame as usize];
+            fr.page = id;
+            fr.data.fill(0);
+            fr.dirty = true;
+        }
+        inner.map.insert(id, frame);
+        inner.lru.touch(frame);
+        Ok(id)
+    }
+
+    /// Writes every dirty resident page back to disk (pages stay resident).
+    pub fn flush_all(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        for frame in inner.frames.iter_mut() {
+            if frame.dirty && frame.page != crate::INVALID_PAGE {
+                self.disk.write_page(frame.page, &frame.data)?;
+                self.stats.record_physical_write();
+                frame.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops every resident page (flushing dirty ones), leaving the pool
+    /// cold. Benchmarks call this between phases so each algorithm starts
+    /// with an empty cache.
+    pub fn clear(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        while inner.lru.len() > 0 {
+            self.evict_one(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Number of pages allocated on the underlying disk.
+    pub fn num_pages(&self) -> PageId {
+        self.disk.num_pages()
+    }
+
+    /// Point-in-time I/O counters.
+    pub fn stats(&self) -> IoSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Zeroes the I/O counters.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Locates (or faults in) page `id`, returning its frame index.
+    fn fetch(&self, inner: &mut Inner, id: PageId) -> Result<u32> {
+        self.stats.record_logical_read();
+        if let Some(&frame) = inner.map.get(&id) {
+            inner.lru.touch(frame);
+            return Ok(frame);
+        }
+        let frame = self.acquire_frame(inner)?;
+        self.disk
+            .read_page(id, &mut inner.frames[frame as usize].data)?;
+        self.stats.record_physical_read();
+        inner.frames[frame as usize].page = id;
+        inner.frames[frame as usize].dirty = false;
+        inner.map.insert(id, frame);
+        inner.lru.touch(frame);
+        Ok(frame)
+    }
+
+    /// Finds a free frame for a page about to become resident, evicting
+    /// the LRU page first when the pool is at capacity.
+    ///
+    /// Residency is governed by `lru.len()`, not by the size of the frame
+    /// vector: after [`BufferPool::set_capacity`] shrinks the pool, the
+    /// old frames sit on the free list, and reusing them must not let the
+    /// resident count exceed the new capacity.
+    fn acquire_frame(&self, inner: &mut Inner) -> Result<u32> {
+        if inner.lru.len() >= inner.capacity {
+            self.evict_one(inner)?;
+        }
+        if let Some(frame) = inner.free.pop() {
+            return Ok(frame);
+        }
+        debug_assert!(inner.frames.len() < inner.capacity);
+        let idx = inner.frames.len() as u32;
+        inner.frames.push(Frame {
+            page: crate::INVALID_PAGE,
+            data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+            dirty: false,
+        });
+        inner.lru.grow_to(inner.frames.len());
+        Ok(idx)
+    }
+
+    /// Evicts the least-recently-used page, flushing it if dirty.
+    fn evict_one(&self, inner: &mut Inner) -> Result<()> {
+        let victim = inner
+            .lru
+            .pop_lru()
+            .expect("evict_one called on empty pool");
+        let frame = &mut inner.frames[victim as usize];
+        if frame.dirty {
+            self.disk.write_page(frame.page, &frame.data)?;
+            self.stats.record_physical_write();
+            frame.dirty = false;
+        }
+        inner.map.remove(&frame.page);
+        frame.page = crate::INVALID_PAGE;
+        inner.free.push(victim);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDisk;
+
+    fn pool(cap: usize) -> BufferPool {
+        BufferPool::new(MemDisk::new(), cap)
+    }
+
+    #[test]
+    fn allocate_then_read_hits_cache() {
+        let p = pool(4);
+        let id = p.allocate().unwrap();
+        p.with_page_mut(id, |b| b[0] = 42).unwrap();
+        let v = p.with_page(id, |b| b[0]).unwrap();
+        assert_eq!(v, 42);
+        let s = p.stats();
+        assert_eq!(s.logical_reads, 2);
+        assert_eq!(s.physical_reads, 0, "page never left the pool");
+    }
+
+    #[test]
+    fn eviction_writes_dirty_pages_and_rereads_them() {
+        let p = pool(2);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.with_page_mut(a, |buf| buf[0] = 1).unwrap();
+        p.with_page_mut(b, |buf| buf[0] = 2).unwrap();
+        // Third page evicts `a` (LRU).
+        let c = p.allocate().unwrap();
+        p.with_page_mut(c, |buf| buf[0] = 3).unwrap();
+        assert!(p.stats().physical_writes >= 1);
+        // Reading `a` again faults it back in with its data intact.
+        let before = p.stats().physical_reads;
+        let v = p.with_page(a, |buf| buf[0]).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(p.stats().physical_reads, before + 1);
+    }
+
+    #[test]
+    fn lru_keeps_hot_page_resident() {
+        let p = pool(2);
+        let hot = p.allocate().unwrap();
+        let cold = p.allocate().unwrap();
+        p.with_page(hot, |_| ()).unwrap(); // hot is MRU
+        let extra = p.allocate().unwrap(); // must evict `cold`
+        p.reset_stats();
+        p.with_page(hot, |_| ()).unwrap();
+        assert_eq!(p.stats().physical_reads, 0, "hot page stayed resident");
+        p.with_page(cold, |_| ()).unwrap();
+        assert_eq!(p.stats().physical_reads, 1, "cold page was evicted");
+        let _ = extra;
+    }
+
+    #[test]
+    fn flush_all_persists_without_eviction() {
+        let disk = MemDisk::new();
+        // Keep a raw handle by allocating through the pool, flushing, then
+        // reading via a second pool over the same disk... MemDisk is moved
+        // into the pool, so instead verify via eviction-free readback:
+        let p = BufferPool::new(disk, 4);
+        let id = p.allocate().unwrap();
+        p.with_page_mut(id, |b| b[7] = 9).unwrap();
+        p.flush_all().unwrap();
+        assert_eq!(p.stats().physical_writes, 1);
+        // Clearing drops the frame; the next read faults from disk and must
+        // see the flushed data.
+        p.clear().unwrap();
+        assert_eq!(p.with_page(id, |b| b[7]).unwrap(), 9);
+    }
+
+    #[test]
+    fn clear_flushes_dirty_pages() {
+        let p = pool(4);
+        let id = p.allocate().unwrap();
+        p.with_page_mut(id, |b| b[0] = 5).unwrap();
+        p.clear().unwrap();
+        assert!(p.stats().physical_writes >= 1);
+        assert_eq!(p.with_page(id, |b| b[0]).unwrap(), 5);
+    }
+
+    #[test]
+    fn shrink_capacity_evicts_excess() {
+        let p = pool(8);
+        let ids: Vec<_> = (0..8).map(|_| p.allocate().unwrap()).collect();
+        p.set_capacity(2).unwrap();
+        assert_eq!(p.capacity(), 2);
+        p.reset_stats();
+        // Only the two most recently used pages can still be resident.
+        let mut faults = 0;
+        for &id in &ids {
+            let before = p.stats().physical_reads;
+            p.with_page(id, |_| ()).unwrap();
+            if p.stats().physical_reads > before {
+                faults += 1;
+            }
+        }
+        assert!(faults >= 6, "expected at least 6 faults, got {faults}");
+    }
+
+    #[test]
+    fn grow_capacity_reduces_faults() {
+        let run = |cap: usize| -> u64 {
+            let p = pool(cap);
+            let ids: Vec<_> = (0..16).map(|_| p.allocate().unwrap()).collect();
+            p.reset_stats();
+            // Three cyclic sweeps: classic LRU-thrash workload.
+            for _ in 0..3 {
+                for &id in &ids {
+                    p.with_page(id, |_| ()).unwrap();
+                }
+            }
+            p.stats().physical_reads
+        };
+        assert!(run(4) > run(16), "bigger pool must fault less");
+        assert_eq!(run(16), 0, "pool holding everything never faults");
+    }
+
+    #[test]
+    fn shrunk_pool_enforces_new_capacity() {
+        // Regression: shrinking used to leave old frames on the free
+        // list, silently keeping the old effective capacity.
+        let p = pool(1024);
+        let ids: Vec<_> = (0..16).map(|_| p.allocate().unwrap()).collect();
+        p.set_capacity(4).unwrap();
+        p.clear().unwrap();
+        p.reset_stats();
+        // Three cyclic sweeps over 16 pages with 4 frames: pure thrash,
+        // every access must miss.
+        for _ in 0..3 {
+            for &id in &ids {
+                p.with_page(id, |_| ()).unwrap();
+            }
+        }
+        assert_eq!(
+            p.stats().physical_reads,
+            48,
+            "shrunken pool must behave exactly like a fresh 4-frame pool"
+        );
+    }
+
+    #[test]
+    fn logical_vs_physical_accounting() {
+        let p = pool(1);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.reset_stats();
+        // Alternating reads with a single frame: every access is a miss.
+        for _ in 0..5 {
+            p.with_page(a, |_| ()).unwrap();
+            p.with_page(b, |_| ()).unwrap();
+        }
+        let s = p.stats();
+        assert_eq!(s.logical_reads, 10);
+        assert_eq!(s.physical_reads, 10);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! A classic slotted-page layout for variable-length records.
+//!
+//! Layout within one [`crate::PAGE_SIZE`]-byte page:
+//!
+//! ```text
+//! +--------------+----------------------------+-------------------+
+//! | header (4 B) | record heap (grows right)  | slot dir (grows   |
+//! | n_slots, free|                            | left from the end)|
+//! +--------------+----------------------------+-------------------+
+//! ```
+//!
+//! * header: `n_slots: u16`, `free: u16` (offset of the first free byte);
+//! * each slot (4 bytes, allocated from the page end backwards):
+//!   `offset: u16`, `len: u16`.
+//!
+//! [`SlottedPage`] is a zero-copy *view* over a page's bytes — it borrows
+//! the buffer-pool frame and never allocates.
+
+use crate::{Result, StoreError};
+
+const HEADER: usize = 4;
+const SLOT: usize = 4;
+
+/// Read-only view of a slotted page.
+pub struct SlottedPage<'a> {
+    bytes: &'a [u8],
+}
+
+/// Mutable view of a slotted page.
+pub struct SlottedPageMut<'a> {
+    bytes: &'a mut [u8],
+}
+
+fn read_u16(bytes: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([bytes[at], bytes[at + 1]])
+}
+
+fn write_u16(bytes: &mut [u8], at: usize, v: u16) {
+    bytes[at..at + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+impl<'a> SlottedPage<'a> {
+    /// Wraps existing page bytes. A zeroed page is a valid empty slotted
+    /// page (0 slots, free pointer interpreted as just past the header).
+    pub fn new(bytes: &'a [u8]) -> Self {
+        SlottedPage { bytes }
+    }
+
+    /// Number of records on the page.
+    pub fn len(&self) -> usize {
+        read_u16(self.bytes, 0) as usize
+    }
+
+    /// `true` when the page holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of the record in `slot`, or `None` when out of range.
+    pub fn get(&self, slot: usize) -> Option<&'a [u8]> {
+        if slot >= self.len() {
+            return None;
+        }
+        let dir = self.bytes.len() - SLOT * (slot + 1);
+        let off = read_u16(self.bytes, dir) as usize;
+        let len = read_u16(self.bytes, dir + 2) as usize;
+        self.bytes.get(off..off + len)
+    }
+
+    /// Iterates over all records in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a [u8]> + '_ {
+        (0..self.len()).filter_map(move |i| self.get(i))
+    }
+
+    /// Free bytes remaining for one more record (including its slot entry).
+    pub fn free_space(&self) -> usize {
+        let n = self.len();
+        let free = if n == 0 {
+            HEADER
+        } else {
+            read_u16(self.bytes, 2) as usize
+        };
+        let dir_start = self.bytes.len() - SLOT * n;
+        dir_start.saturating_sub(free).saturating_sub(SLOT)
+    }
+}
+
+impl<'a> SlottedPageMut<'a> {
+    /// Wraps page bytes mutably. A zeroed page is a valid empty page.
+    pub fn new(bytes: &'a mut [u8]) -> Self {
+        SlottedPageMut { bytes }
+    }
+
+    /// Read-only view of the same page.
+    pub fn as_ref(&self) -> SlottedPage<'_> {
+        SlottedPage { bytes: self.bytes }
+    }
+
+    /// Appends `record`, returning its slot number.
+    ///
+    /// Fails with [`StoreError::RecordTooLarge`] when the page cannot hold
+    /// the record plus its slot entry.
+    pub fn push(&mut self, record: &[u8]) -> Result<usize> {
+        let n = read_u16(self.bytes, 0) as usize;
+        let free = if n == 0 {
+            HEADER
+        } else {
+            read_u16(self.bytes, 2) as usize
+        };
+        let dir_start = self.bytes.len() - SLOT * n;
+        let available = dir_start.saturating_sub(free).saturating_sub(SLOT);
+        if record.len() > available {
+            return Err(StoreError::RecordTooLarge {
+                requested: record.len(),
+                available,
+            });
+        }
+        self.bytes[free..free + record.len()].copy_from_slice(record);
+        let dir = self.bytes.len() - SLOT * (n + 1);
+        write_u16(self.bytes, dir, free as u16);
+        write_u16(self.bytes, dir + 2, record.len() as u16);
+        write_u16(self.bytes, 0, (n + 1) as u16);
+        write_u16(self.bytes, 2, (free + record.len()) as u16);
+        Ok(n)
+    }
+
+    /// Clears the page back to zero records.
+    pub fn clear(&mut self) {
+        write_u16(self.bytes, 0, 0);
+        write_u16(self.bytes, 2, HEADER as u16);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAGE_SIZE;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut page = SlottedPageMut::new(&mut buf);
+        assert_eq!(page.push(b"hello").unwrap(), 0);
+        assert_eq!(page.push(b"").unwrap(), 1);
+        assert_eq!(page.push(b"world!").unwrap(), 2);
+        let view = SlottedPage::new(&buf);
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.get(0).unwrap(), b"hello");
+        assert_eq!(view.get(1).unwrap(), b"");
+        assert_eq!(view.get(2).unwrap(), b"world!");
+        assert_eq!(view.get(3), None);
+    }
+
+    #[test]
+    fn zeroed_page_is_empty() {
+        let buf = vec![0u8; PAGE_SIZE];
+        let view = SlottedPage::new(&buf);
+        assert!(view.is_empty());
+        assert_eq!(view.iter().count(), 0);
+        assert!(view.free_space() > PAGE_SIZE - 16);
+    }
+
+    #[test]
+    fn fills_up_and_rejects_overflow() {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut page = SlottedPageMut::new(&mut buf);
+        let record = [7u8; 100];
+        let mut pushed = 0;
+        while page.push(&record).is_ok() {
+            pushed += 1;
+        }
+        // 104 bytes per record (100 + 4-byte slot): expect ~78 records.
+        assert_eq!(pushed, (PAGE_SIZE - HEADER) / (100 + SLOT));
+        // Too-large record reports the remaining space.
+        match page.push(&[0u8; PAGE_SIZE]) {
+            Err(StoreError::RecordTooLarge { requested, .. }) => {
+                assert_eq!(requested, PAGE_SIZE)
+            }
+            other => panic!("expected RecordTooLarge, got {other:?}"),
+        }
+        // Existing records are intact.
+        let view = page.as_ref();
+        assert_eq!(view.len(), pushed);
+        assert!(view.iter().all(|r| r == record));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut page = SlottedPageMut::new(&mut buf);
+        page.push(b"data").unwrap();
+        page.clear();
+        assert!(page.as_ref().is_empty());
+        page.push(b"fresh").unwrap();
+        assert_eq!(page.as_ref().get(0).unwrap(), b"fresh");
+    }
+
+    #[test]
+    fn free_space_decreases_monotonically() {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut page = SlottedPageMut::new(&mut buf);
+        let mut last = page.as_ref().free_space();
+        for _ in 0..10 {
+            page.push(&[0u8; 64]).unwrap();
+            let now = page.as_ref().free_space();
+            assert!(now < last);
+            last = now;
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! I/O accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic I/O counters, incremented by the buffer pool.
+///
+/// "Logical" reads are page requests served from anywhere; "physical" reads
+/// and writes are the subset that actually reached the disk backend —
+/// physical reads are the buffer-pool misses that the paper's I/O bars
+/// measure.
+#[derive(Default, Debug)]
+pub struct IoStats {
+    logical_reads: AtomicU64,
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_logical_read(&self) {
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_physical_read(&self) {
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_physical_write(&self) {
+        self.physical_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes all counters (used between benchmark phases).
+    pub fn reset(&self) {
+        self.logical_reads.store(0, Ordering::Relaxed);
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`IoStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Page requests served (hit or miss).
+    pub logical_reads: u64,
+    /// Buffer-pool misses that read from the backend.
+    pub physical_reads: u64,
+    /// Dirty-page evictions and flushes that wrote to the backend.
+    pub physical_writes: u64,
+}
+
+impl IoSnapshot {
+    /// Total physical page transfers.
+    pub fn physical_total(&self) -> u64 {
+        self.physical_reads + self.physical_writes
+    }
+
+    /// Buffer-pool hit rate in `[0, 1]`; 1.0 when nothing was read.
+    pub fn hit_rate(&self) -> f64 {
+        if self.logical_reads == 0 {
+            return 1.0;
+        }
+        1.0 - self.physical_reads as f64 / self.logical_reads as f64
+    }
+
+    /// Counter-wise difference (`self - earlier`), for measuring a phase.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            logical_reads: self.logical_reads - earlier.logical_reads,
+            physical_reads: self.physical_reads - earlier.physical_reads,
+            physical_writes: self.physical_writes - earlier.physical_writes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counts() {
+        let s = IoStats::new();
+        s.record_logical_read();
+        s.record_logical_read();
+        s.record_physical_read();
+        s.record_physical_write();
+        let snap = s.snapshot();
+        assert_eq!(snap.logical_reads, 2);
+        assert_eq!(snap.physical_reads, 1);
+        assert_eq!(snap.physical_writes, 1);
+        assert_eq!(snap.physical_total(), 2);
+        assert_eq!(snap.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = IoStats::new();
+        s.record_logical_read();
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+        assert_eq!(s.snapshot().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = IoStats::new();
+        s.record_logical_read();
+        let a = s.snapshot();
+        s.record_logical_read();
+        s.record_physical_read();
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.logical_reads, 1);
+        assert_eq!(d.physical_reads, 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Jarvis-Patrick clustering on top of the AkNN primitive.
+//!
+//! The paper's introduction motivates AkNN with exactly this algorithm:
+//! "A related problem, called AkNN, which reports the kNN for each data
+//! point, is directly used in the Jarvis-Patrick Clustering algorithm."
+//!
+//! Jarvis-Patrick: compute each point's k nearest neighbors; two points
+//! join the same cluster when each is in the other's neighbor list and
+//! they share at least `j` common neighbors.
+//!
+//! ```sh
+//! cargo run --release --example jarvis_patrick [num_points]
+//! ```
+
+use allnn::core::mba::{mba, MbaConfig};
+use allnn::geom::NxnDist;
+use allnn::mbrqt::{Mbrqt, MbrqtConfig};
+use allnn::store::{BufferPool, MemDisk};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+const K: usize = 12; // neighbor list length
+const J: usize = 4; // required common neighbors
+
+/// Union-find with path halving.
+struct Dsu(Vec<u32>);
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu((0..n as u32).collect())
+    }
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.0[x as usize] != x {
+            self.0[x as usize] = self.0[self.0[x as usize] as usize];
+            x = self.0[x as usize];
+        }
+        x
+    }
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.0[ra as usize] = rb;
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(20_000);
+
+    // Clustered synthetic data: Jarvis-Patrick should rediscover the
+    // generator's clusters.
+    let points = allnn::datagen::gaussian_clusters::<2>(n, 12, 0.015, 99);
+
+    // Step 1: AkNN via the paper's MBA algorithm.
+    let pool = Arc::new(BufferPool::new(MemDisk::new(), 256));
+    let index = Mbrqt::bulk_build(pool, &points, &MbrqtConfig::default())?;
+    let cfg = MbaConfig {
+        k: K,
+        exclude_self: true,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let output = mba::<2, NxnDist, _, _>(&index, &index, &cfg)?;
+    println!(
+        "AkNN (k={K}) over {n} points in {:.2?} — {} neighbor pairs",
+        t0.elapsed(),
+        output.results.len()
+    );
+
+    // Step 2: neighbor lists.
+    let mut neighbors: HashMap<u64, Vec<u64>> = HashMap::with_capacity(n);
+    for pair in &output.results {
+        neighbors.entry(pair.r_oid).or_default().push(pair.s_oid);
+    }
+
+    // Step 3: Jarvis-Patrick linking.
+    let t0 = Instant::now();
+    let mut dsu = Dsu::new(n);
+    let empty: Vec<u64> = Vec::new();
+    for (&p, nbrs) in &neighbors {
+        for &q in nbrs {
+            if q <= p {
+                continue; // each unordered pair once
+            }
+            let q_nbrs = neighbors.get(&q).unwrap_or(&empty);
+            // Mutual kNN requirement.
+            if !q_nbrs.contains(&p) {
+                continue;
+            }
+            // Shared-neighbor count.
+            let shared = nbrs.iter().filter(|x| q_nbrs.contains(x)).count();
+            if shared >= J {
+                dsu.union(p as u32, q as u32);
+            }
+        }
+    }
+
+    // Collect cluster sizes.
+    let mut sizes: HashMap<u32, usize> = HashMap::new();
+    for i in 0..n as u32 {
+        *sizes.entry(dsu.find(i)).or_insert(0) += 1;
+    }
+    let mut sizes: Vec<usize> = sizes.into_values().collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let singletons = sizes.iter().filter(|&&s| s == 1).count();
+
+    println!("Jarvis-Patrick linking in {:.2?}", t0.elapsed());
+    println!(
+        "{} clusters ({} singletons/noise); ten largest: {:?}",
+        sizes.len(),
+        singletons,
+        &sizes[..sizes.len().min(10)]
+    );
+    Ok(())
+}

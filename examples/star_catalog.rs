@@ -1,0 +1,75 @@
+//! Star-catalog analysis — the paper's TAC workload as an application.
+//!
+//! For every star in a (simulated) astrographic catalog, find its nearest
+//! companion; stars closer than a threshold are flagged as double-star
+//! candidates. This is a self-join ANN with self-matches excluded, the
+//! exact query shape of the paper's Figure 3(a).
+//!
+//! ```sh
+//! cargo run --release --example star_catalog [num_stars]
+//! ```
+
+use allnn::core::mba::{mba, MbaConfig};
+use allnn::core::SpatialIndex;
+use allnn::geom::NxnDist;
+use allnn::mbrqt::{Mbrqt, MbrqtConfig};
+use allnn::store::{BufferPool, MemDisk};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(100_000);
+
+    println!("generating a {n}-star catalog (RA/Dec degrees)...");
+    let stars = allnn::datagen::tac_like(n, 7);
+
+    let pool = Arc::new(BufferPool::new(MemDisk::new(), 64));
+    let t0 = Instant::now();
+    let index = Mbrqt::bulk_build(pool.clone(), &stars, &MbrqtConfig::default())?;
+    println!(
+        "built MBRQT over {} stars in {:.2?} ({} pages)",
+        index.num_points(),
+        t0.elapsed(),
+        pool.num_pages()
+    );
+
+    let cfg = MbaConfig {
+        exclude_self: true,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let output = mba::<2, NxnDist, _, _>(&index, &index, &cfg)?;
+    println!(
+        "all-nearest-neighbor self-join in {:.2?} ({} distance computations)",
+        t0.elapsed(),
+        output.stats.distance_computations
+    );
+
+    // Separation histogram (log-spaced bins in arcseconds).
+    let mut bins = [0usize; 7];
+    let edges_arcsec = [1.0, 10.0, 60.0, 300.0, 900.0, 3600.0];
+    for pair in &output.results {
+        let arcsec = pair.dist * 3600.0;
+        let bin = edges_arcsec.iter().position(|&e| arcsec < e).unwrap_or(6);
+        bins[bin] += 1;
+    }
+    println!("\nnearest-companion separation histogram:");
+    let labels = [
+        "      < 1\"", "  1\" - 10\"", " 10\" - 1'", "  1' - 5'", "  5' - 15'", " 15' - 1°", "     >= 1°",
+    ];
+    for (label, count) in labels.iter().zip(&bins) {
+        let bar = "#".repeat((count * 60 / output.results.len().max(1)).min(60));
+        println!("  {label}: {count:>8} {bar}");
+    }
+
+    let close = bins[0] + bins[1];
+    println!(
+        "\n{} double-star candidates (companion within 10 arcseconds)",
+        close
+    );
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the full all-nearest-neighbor toolkit.
+pub use ann_core as core;
+pub use ann_datagen as datagen;
+pub use ann_geom as geom;
+pub use ann_gorder as gorder;
+pub use ann_mbrqt as mbrqt;
+pub use ann_rstar as rstar;
+pub use ann_store as store;
