@@ -8,7 +8,12 @@ fn benches(c: &mut Criterion) {
     let data = ann_datagen::fc_like(4_000, 1);
     let mut group = c.benchmark_group("fig3b");
     group.sample_size(10);
-    for (label, frames) in [("512KB", 64usize), ("1MB", 128), ("4MB", 512), ("8MB", 1024)] {
+    for (label, frames) in [
+        ("512KB", 64usize),
+        ("1MB", 128),
+        ("4MB", 512),
+        ("8MB", 1024),
+    ] {
         for method in [Method::Mba, Method::Gorder] {
             let cfg = RunConfig {
                 method,

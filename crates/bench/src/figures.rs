@@ -68,7 +68,10 @@ pub fn fig3a_synthetic(fraction: f64) -> Figure {
     let data = ann_datagen::synthetic_nd::<2>(scaled(500_000, fraction), SEED);
     let mut fig = Figure::new(
         "fig3a-synthetic",
-        &format!("synthetic 500K2D-style self-join ANN (k=1, n={})", data.len()),
+        &format!(
+            "synthetic 500K2D-style self-join ANN (k=1, n={})",
+            data.len()
+        ),
     );
     for (method, metric) in [
         (Method::Bnn, Metric::MaxMax),
@@ -92,7 +95,10 @@ pub fn fig3b(fraction: f64) -> Figure {
     let data = fc(fraction);
     let mut fig = Figure::new(
         "fig3b",
-        &format!("FC-like 10D self-join ANN (k=1, n={}), buffer sweep", data.len()),
+        &format!(
+            "FC-like 10D self-join ANN (k=1, n={}), buffer sweep",
+            data.len()
+        ),
     );
     for (label, frames) in [
         ("512KB", 64usize),
@@ -184,7 +190,10 @@ pub fn ablation_traversal(fraction: f64) -> Figure {
     let data = tac(fraction * 0.5);
     let mut fig = Figure::new(
         "ablation-traversal",
-        &format!("traversal/expansion design space, TAC-like (n={})", data.len()),
+        &format!(
+            "traversal/expansion design space, TAC-like (n={})",
+            data.len()
+        ),
     );
     for (t, tname) in [
         (Traversal::DepthFirst, "DF"),
@@ -214,7 +223,10 @@ pub fn ablation_mbr(fraction: f64) -> Figure {
     let data = tac(fraction * 0.5);
     let mut fig = Figure::new(
         "ablation-mbr",
-        &format!("MBR enhancement of the quadtree, TAC-like (n={})", data.len()),
+        &format!(
+            "MBR enhancement of the quadtree, TAC-like (n={})",
+            data.len()
+        ),
     );
     let mut m = run(
         &data,
@@ -365,7 +377,12 @@ pub fn extra_parallel(fraction: f64) -> Figure {
 
     let t0 = Instant::now();
     let out = mba::<2, NxnDist, _, _>(&ir, &is, &cfg).expect("serial");
-    push("serial", "MBA serial".into(), out, t0.elapsed().as_secs_f64());
+    push(
+        "serial",
+        "MBA serial".into(),
+        out,
+        t0.elapsed().as_secs_f64(),
+    );
     for threads in [1usize, 2, 4, 8] {
         let t0 = Instant::now();
         let out = mba_parallel::<2, NxnDist, _, _>(&ir, &is, &cfg, threads).expect("parallel");

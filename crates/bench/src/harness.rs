@@ -180,8 +180,14 @@ pub fn run<const D: usize>(
         _ => format!("{} {}", cfg.method.name(), cfg.metric.name()),
     };
 
-    eprintln!("  [harness] {} (k={}, pool={} frames, |R|={}, |S|={})",
-        label, cfg.k, cfg.pool_frames, r.len(), s.len());
+    eprintln!(
+        "  [harness] {} (k={}, pool={} frames, |R|={}, |S|={})",
+        label,
+        cfg.k,
+        cfg.pool_frames,
+        r.len(),
+        s.len()
+    );
     let mba_cfg = MbaConfig {
         k: cfg.k,
         traversal: cfg.traversal,

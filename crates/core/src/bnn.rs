@@ -244,7 +244,11 @@ where
                     let bound = metric_bound.bound_sq().min(point_bound);
                     if mind_sq <= bound * (1.0 + PRUNE_EPS) {
                         metric_bound.offer(maxd_sq);
-                        heap.push(HeapItem { mind_sq, maxd_sq, entry: e });
+                        heap.push(HeapItem {
+                            mind_sq,
+                            maxd_sq,
+                            entry: e,
+                        });
                         out.stats.enqueued += 1;
                     } else {
                         out.stats.pruned_on_probe += 1;

@@ -86,7 +86,9 @@ mod tests {
     fn self_join_exclusion() {
         let pts = pts(&[[0.0, 0.0], [1.0, 0.0], [5.0, 0.0]]);
         let with_self = brute_force_aknn(&pts, &pts, 1, false);
-        assert!(with_self.iter().all(|p| p.dist == 0.0 && p.r_oid == p.s_oid));
+        assert!(with_self
+            .iter()
+            .all(|p| p.dist == 0.0 && p.r_oid == p.s_oid));
         let without = brute_force_aknn(&pts, &pts, 1, true);
         assert_eq!(without[0].s_oid, 1);
         assert_eq!(without[1].s_oid, 0);

@@ -188,9 +188,7 @@ where
                     // Expand the side with the larger region (objects and
                     // smaller boxes stay fixed), the classic heuristic.
                     let expand_r = match (&r, &s) {
-                        (Entry::Node(rn), Entry::Node(sn)) => {
-                            rn.mbr.margin() >= sn.mbr.margin()
-                        }
+                        (Entry::Node(rn), Entry::Node(sn)) => rn.mbr.margin() >= sn.mbr.margin(),
                         (Entry::Node(_), Entry::Object(_)) => true,
                         (Entry::Object(_), Entry::Node(_)) => false,
                         _ => unreachable!("object/object handled above"),

@@ -217,16 +217,10 @@ pub fn hnn<const D: usize>(
                     out.stats.distance_computations += 1;
                     let d = r_pt.dist_sq(&s_pt);
                     if best.len() < k_eff {
-                        best.push(Best {
-                            dist_sq: d,
-                            s_oid,
-                        });
+                        best.push(Best { dist_sq: d, s_oid });
                     } else if d < best.peek().expect("non-empty").dist_sq {
                         best.pop();
-                        best.push(Best {
-                            dist_sq: d,
-                            s_oid,
-                        });
+                        best.push(Best { dist_sq: d, s_oid });
                     }
                 }
             });
@@ -264,7 +258,9 @@ mod tests {
         // Simple LCG so this module needs no dev-deps.
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         (0..n)

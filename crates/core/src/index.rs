@@ -95,7 +95,7 @@ pub fn validate<const D: usize, I: SpatialIndex<D> + ?Sized>(index: &I) -> Resul
             union.expand(&e.mbr());
         }
         if !node.entries.is_empty() && union != node.mbr {
-            return Err(StoreError::Corrupt("node MBR is not tight over entries"));
+            return Err(StoreError::corrupt("node MBR is not tight over entries"));
         }
         if node.is_leaf {
             shape.leaves += 1;
@@ -103,7 +103,7 @@ pub fn validate<const D: usize, I: SpatialIndex<D> + ?Sized>(index: &I) -> Resul
             shape.objects += count;
             for e in &node.entries {
                 if let Entry::Node(_) = e {
-                    return Err(StoreError::Corrupt("leaf holds a child entry"));
+                    return Err(StoreError::corrupt("leaf holds a child entry"));
                 }
                 // Invariant 4 is implied by invariant 2 for leaves.
             }
@@ -113,16 +113,16 @@ pub fn validate<const D: usize, I: SpatialIndex<D> + ?Sized>(index: &I) -> Resul
         let mut height = 0;
         for e in node.entries.clone() {
             let Entry::Node(child_ref) = e else {
-                return Err(StoreError::Corrupt("internal node holds an object"));
+                return Err(StoreError::corrupt("internal node holds an object"));
             };
             let (child, child_count, child_height) = recurse(index, child_ref.page, shape)?;
             // Invariant 1.
             if child.mbr != child_ref.mbr {
-                return Err(StoreError::Corrupt("child entry MBR mismatch"));
+                return Err(StoreError::corrupt("child entry MBR mismatch"));
             }
             // Invariant 3.
             if child_count != child_ref.count {
-                return Err(StoreError::Corrupt("child entry count mismatch"));
+                return Err(StoreError::corrupt("child entry count mismatch"));
             }
             count += child_count;
             height = height.max(child_height);
@@ -135,7 +135,7 @@ pub fn validate<const D: usize, I: SpatialIndex<D> + ?Sized>(index: &I) -> Resul
     shape.height = height;
     // Invariant 5.
     if count != index.num_points() {
-        return Err(StoreError::Corrupt("root count != num_points"));
+        return Err(StoreError::corrupt("root count != num_points"));
     }
     Ok(shape)
 }

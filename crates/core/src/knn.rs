@@ -56,11 +56,7 @@ impl<const D: usize> Ord for HeapItem<D> {
 /// }
 /// # Ok(()) }
 /// ```
-pub fn knn<const D: usize, M, I>(
-    index: &I,
-    query: &Point<D>,
-    k: usize,
-) -> Result<Vec<(u64, f64)>>
+pub fn knn<const D: usize, M, I>(index: &I, query: &Point<D>, k: usize) -> Result<Vec<(u64, f64)>>
 where
     M: PruneMetric,
     I: SpatialIndex<D>,

@@ -259,8 +259,7 @@ impl<const D: usize> Lpq<D> {
         self.bound.offer(e.maxd_sq);
         // Insertion position: ties on MIND broken by MAXD (paper §3.3.3).
         let key = (e.mind_sq, e.maxd_sq);
-        let pos = self.entries[self.head..]
-            .partition_point(|q| (q.mind_sq, q.maxd_sq) <= key)
+        let pos = self.entries[self.head..].partition_point(|q| (q.mind_sq, q.maxd_sq) <= key)
             + self.head;
         self.entries.insert(pos, e);
         // Filter stage: drop the tail that the (possibly tightened) bound

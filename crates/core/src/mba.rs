@@ -339,7 +339,9 @@ where
 {
     assert!(cfg.k >= 1, "k must be at least 1");
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         threads
     };
@@ -385,8 +387,7 @@ where
         queue.push_back(root_lpq);
         while queue.len() < target_units {
             // Only node-owned LPQs can be expanded into more units.
-            let Some(at) = queue.iter().position(|l| matches!(l.owner, Entry::Node(_)))
-            else {
+            let Some(at) = queue.iter().position(|l| matches!(l.owner, Entry::Node(_))) else {
                 break;
             };
             let lpq = queue.remove(at).expect("position just found");

@@ -180,7 +180,11 @@ where
                     out.stats.distance_computations += 1;
                     if !bound.prunes(mind_sq) {
                         bound.offer(maxd_sq);
-                        heap.push(HeapItem { mind_sq, maxd_sq, entry: e });
+                        heap.push(HeapItem {
+                            mind_sq,
+                            maxd_sq,
+                            entry: e,
+                        });
                         out.stats.enqueued += 1;
                     } else {
                         out.stats.pruned_on_probe += 1;

@@ -28,7 +28,7 @@
 //! * object entry: `oid: u64 | point: D * f64`
 
 use ann_geom::{Mbr, Point};
-use ann_store::{BufferPool, PageId, Result, StoreError, INVALID_PAGE, PAGE_SIZE};
+use ann_store::{PageId, PageStore, Result, StoreError, INVALID_PAGE, PAGE_SIZE};
 
 const VERSION: u8 = 1;
 /// Marks a continuation page as written-by-us, so that a stale or zeroed
@@ -168,7 +168,7 @@ impl<'a> Cursor<'a> {
         let s = self
             .bytes
             .get(self.at..self.at + n)
-            .ok_or(StoreError::Corrupt("node entry stream truncated"))?;
+            .ok_or(StoreError::corrupt("node entry stream truncated"))?;
         self.at += n;
         Ok(s)
     }
@@ -212,13 +212,12 @@ fn decode_mbr<const D: usize>(c: &mut Cursor) -> Result<Mbr<D>> {
 /// (they keep their `next` pointers but `entry_count` stops before them);
 /// index bulk-builds write each node once, so in practice nothing leaks.
 pub fn write_node<const D: usize>(
-    pool: &BufferPool,
+    store: &impl PageStore,
     first_page: PageId,
     node: &Node<D>,
 ) -> Result<()> {
     // Serialize the entry stream.
-    let mut stream =
-        Vec::with_capacity(node.entries.len() * Node::<D>::entry_size(node.is_leaf));
+    let mut stream = Vec::with_capacity(node.entries.len() * Node::<D>::entry_size(node.is_leaf));
     for e in &node.entries {
         match (node.is_leaf, e) {
             (false, Entry::Node(n)) => {
@@ -233,7 +232,7 @@ pub fn write_node<const D: usize>(
                 }
             }
             _ => {
-                return Err(StoreError::Corrupt(
+                return Err(StoreError::corrupt(
                     "node entries do not match its leaf flag",
                 ))
             }
@@ -257,7 +256,11 @@ pub fn write_node<const D: usize>(
     let mut page = first_page;
     let mut is_first = true;
     loop {
-        let payload = if is_first { first_payload } else { cont_payload };
+        let payload = if is_first {
+            first_payload
+        } else {
+            cont_payload
+        };
         let (chunk, rest) = remaining.split_at(remaining.len().min(payload));
         remaining = rest;
         let need_next = !remaining.is_empty();
@@ -265,7 +268,7 @@ pub fn write_node<const D: usize>(
         // Determine the continuation page: reuse the one already linked
         // from this page, else allocate. A fresh (zeroed) or foreign page
         // has no valid link — detect that via the version / magic marker.
-        let existing_next = pool.with_page(page, |bytes| {
+        let existing_next = store.with_page(page, |bytes| {
             if is_first {
                 if bytes[0] == VERSION {
                     u32::from_le_bytes(bytes[8..12].try_into().unwrap())
@@ -279,7 +282,7 @@ pub fn write_node<const D: usize>(
             }
         })?;
         let next = if need_next && existing_next == INVALID_PAGE {
-            pool.allocate()?
+            store.allocate()?
         } else {
             // Keep the existing link even when this write does not use it:
             // `entry_count` bounds how much of the chain is read, and a
@@ -287,7 +290,7 @@ pub fn write_node<const D: usize>(
             existing_next
         };
 
-        pool.with_page_mut(page, |bytes| {
+        store.with_page_mut(page, |bytes| {
             if is_first {
                 bytes[..header.len()].copy_from_slice(&header);
                 bytes[8..12].copy_from_slice(&next.to_le_bytes());
@@ -308,17 +311,17 @@ pub fn write_node<const D: usize>(
 }
 
 /// Reads and decodes the node starting at `first_page`.
-pub fn read_node<const D: usize>(pool: &BufferPool, first_page: PageId) -> Result<Node<D>> {
+pub fn read_node<const D: usize>(store: &impl PageStore, first_page: PageId) -> Result<Node<D>> {
     // Read the first page: header + initial chunk of the entry stream.
     let (is_leaf, aux, entry_count, mut next, mbr, mut stream) =
-        pool.with_page(first_page, |bytes| -> Result<_> {
+        store.with_page(first_page, |bytes| -> Result<_> {
             if bytes[0] != VERSION {
-                return Err(StoreError::Corrupt("unknown node version"));
+                return Err(StoreError::corrupt_page(first_page, "unknown node version"));
             }
             let is_leaf = match bytes[1] {
                 0 => false,
                 1 => true,
-                _ => return Err(StoreError::Corrupt("bad leaf flag")),
+                _ => return Err(StoreError::corrupt_page(first_page, "bad leaf flag")),
             };
             let aux = bytes[2];
             let entry_count = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
@@ -340,9 +343,12 @@ pub fn read_node<const D: usize>(pool: &BufferPool, first_page: PageId) -> Resul
     let total = entry_count * entry_size;
     while stream.len() < total {
         if next == INVALID_PAGE {
-            return Err(StoreError::Corrupt("node chain ended early"));
+            return Err(StoreError::corrupt_page(
+                first_page,
+                "node chain ended early",
+            ));
         }
-        next = pool.with_page(next, |bytes| {
+        next = store.with_page(next, |bytes| {
             let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
             let here = (total - stream.len()).min(PAGE_SIZE - CONT_HEADER);
             stream.extend_from_slice(&bytes[CONT_HEADER..CONT_HEADER + here]);
@@ -384,7 +390,7 @@ pub fn read_node<const D: usize>(pool: &BufferPool, first_page: PageId) -> Resul
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ann_store::MemDisk;
+    use ann_store::{BufferPool, MemDisk};
     use std::sync::Arc;
 
     fn pool() -> Arc<BufferPool> {

@@ -290,14 +290,18 @@ fn empty_inputs_produce_empty_results() {
     let p = pool(64);
     let empty = Mbrqt::<2>::bulk_build(p.clone(), &[], &mbrqt_cfg()).unwrap();
     let full = Mbrqt::bulk_build(p, &pts, &mbrqt_cfg()).unwrap();
-    assert!(mba::<2, NxnDist, _, _>(&empty, &full, &MbaConfig::default())
-        .unwrap()
-        .results
-        .is_empty());
-    assert!(mba::<2, NxnDist, _, _>(&full, &empty, &MbaConfig::default())
-        .unwrap()
-        .results
-        .is_empty());
+    assert!(
+        mba::<2, NxnDist, _, _>(&empty, &full, &MbaConfig::default())
+            .unwrap()
+            .results
+            .is_empty()
+    );
+    assert!(
+        mba::<2, NxnDist, _, _>(&full, &empty, &MbaConfig::default())
+            .unwrap()
+            .results
+            .is_empty()
+    );
 }
 
 #[test]

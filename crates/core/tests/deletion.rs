@@ -3,8 +3,8 @@
 
 use ann_core::brute::brute_force_aknn;
 use ann_core::index::{collect_objects, validate};
-use ann_core::SpatialIndex;
 use ann_core::mba::{mba, MbaConfig};
+use ann_core::SpatialIndex;
 use ann_geom::{NxnDist, Point};
 use ann_mbrqt::{Mbrqt, MbrqtConfig};
 use ann_rstar::{RStar, RStarConfig};
@@ -56,7 +56,11 @@ fn rstar_delete_half_keeps_tree_valid() {
     validate(&tree).unwrap();
 
     // Remaining objects are exactly the undeleted ones.
-    let mut got: Vec<u64> = collect_objects(&tree).unwrap().iter().map(|(o, _)| *o).collect();
+    let mut got: Vec<u64> = collect_objects(&tree)
+        .unwrap()
+        .iter()
+        .map(|(o, _)| *o)
+        .collect();
     got.sort_unstable();
     let mut want: Vec<u64> = order.iter().skip(1000).map(|(o, _)| *o).collect();
     want.sort_unstable();
@@ -145,7 +149,9 @@ fn delete_missing_returns_false() {
     assert!(!rs.delete(9999, &p).unwrap());
     assert!(!rs.delete(oid, &Point::new([-5.0, -5.0])).unwrap());
     assert!(!qt.delete(9999, &p).unwrap());
-    assert!(!qt.delete(oid, &Point::new([5.0, 5.0])).unwrap() || pts[0].1 == Point::new([5.0, 5.0]));
+    assert!(
+        !qt.delete(oid, &Point::new([5.0, 5.0])).unwrap() || pts[0].1 == Point::new([5.0, 5.0])
+    );
     assert_eq!(rs.num_points(), 100);
     assert_eq!(qt.num_points(), 100);
 }
@@ -183,7 +189,11 @@ fn duplicate_positions_delete_by_oid() {
     let mut tree = RStar::bulk_build(pool(), &pts, &RStarConfig::default()).unwrap();
     assert!(tree.delete(7, &p).unwrap());
     assert!(!tree.delete(7, &p).unwrap(), "already gone");
-    let left: Vec<u64> = collect_objects(&tree).unwrap().iter().map(|(o, _)| *o).collect();
+    let left: Vec<u64> = collect_objects(&tree)
+        .unwrap()
+        .iter()
+        .map(|(o, _)| *o)
+        .collect();
     assert_eq!(left.len(), 19);
     assert!(!left.contains(&7));
 }

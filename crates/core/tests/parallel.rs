@@ -80,12 +80,8 @@ fn parallel_matches_brute_force_aknn() {
 fn parallel_on_empty_and_tiny_inputs() {
     let p = pool(64);
     let empty = Mbrqt::<2>::bulk_build(p.clone(), &[], &MbrqtConfig::default()).unwrap();
-    let one = Mbrqt::bulk_build(
-        p,
-        &[(7, Point::new([1.0, 1.0]))],
-        &MbrqtConfig::default(),
-    )
-    .unwrap();
+    let one =
+        Mbrqt::bulk_build(p, &[(7, Point::new([1.0, 1.0]))], &MbrqtConfig::default()).unwrap();
     assert!(
         mba_parallel::<2, NxnDist, _, _>(&empty, &one, &MbaConfig::default(), 4)
             .unwrap()
@@ -119,7 +115,11 @@ fn parallel_speedup_on_large_input() {
     // Not a strict benchmark — just assert the parallel path is not
     // pathologically slower than serial on a workload big enough to
     // amortize thread startup.
-    if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+    if std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        < 2
+    {
         return; // single-core runner: nothing to measure
     }
     let pts = ann_datagen::tac_like(40_000, 45);

@@ -64,9 +64,7 @@ fn fields(line: &str) -> impl Iterator<Item = &str> {
 /// sequentially from 0) or `D + 1` fields with an integer id first.
 /// Extra columns beyond `D + 1` are an error — slice your file first, so
 /// silent truncation never misreads a dataset.
-pub fn read_csv<const D: usize, P: AsRef<Path>>(
-    path: P,
-) -> Result<Vec<(u64, Point<D>)>, IoError> {
+pub fn read_csv<const D: usize, P: AsRef<Path>>(path: P) -> Result<Vec<(u64, Point<D>)>, IoError> {
     let reader = BufReader::new(std::fs::File::open(path)?);
     let mut out = Vec::new();
     for (idx, line) in reader.lines().enumerate() {

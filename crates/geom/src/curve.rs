@@ -252,7 +252,10 @@ mod tests {
         let a = Point::new([0.1, 0.1]);
         let b = Point::new([0.12, 0.11]);
         let far = Point::new([0.9, 0.95]);
-        for key in [GridMapper::z_key as fn(&GridMapper<2>, &Point<2>) -> u128, GridMapper::hilbert_key] {
+        for key in [
+            GridMapper::z_key as fn(&GridMapper<2>, &Point<2>) -> u128,
+            GridMapper::hilbert_key,
+        ] {
             let (ka, kb, kf) = (key(&g, &a), key(&g, &b), key(&g, &far));
             assert!(ka.abs_diff(kb) < ka.abs_diff(kf));
             assert!(kb.abs_diff(kf) > ka.abs_diff(kb));

@@ -2,7 +2,7 @@
 //! Lemmas 3.1-3.3 on randomized inputs rather than hand-picked examples.
 
 use ann_geom::{
-    max_max_dist_sq, min_min_dist_sq, nxn_dist, nxn_dist_sq, max_dist_d, max_min_d, Mbr, Point,
+    max_dist_d, max_max_dist_sq, max_min_d, min_min_dist_sq, nxn_dist, nxn_dist_sq, Mbr, Point,
 };
 use proptest::prelude::*;
 

@@ -185,10 +185,7 @@ pub fn gorder_join<const D: usize>(
             let log_budget = (cfg.segments_per_dim.max(1) as f64).ln() * D as f64;
             for d in 0..D {
                 let share = pca.variances[d].max(0.0).sqrt() / total_sigma;
-                segments[d] = (share * log_budget)
-                    .exp()
-                    .round()
-                    .clamp(1.0, 4096.0) as u32;
+                segments[d] = (share * log_budget).exp().round().clamp(1.0, 4096.0) as u32;
             }
         }
         GridOrder::new(bounds, segments)

@@ -164,7 +164,9 @@ mod tests {
     #[test]
     fn covariance_of_known_data() {
         // Points on the line y = 2x: cov = [[var, 2var], [2var, 4var]].
-        let pts: Vec<Point<2>> = (0..5).map(|i| Point::new([i as f64, 2.0 * i as f64])).collect();
+        let pts: Vec<Point<2>> = (0..5)
+            .map(|i| Point::new([i as f64, 2.0 * i as f64]))
+            .collect();
         let (mean, cov) = covariance(&pts);
         assert_eq!(mean, [2.0, 4.0]);
         assert!((cov[0][0] - 2.0).abs() < 1e-12);

@@ -207,5 +207,8 @@ fn io_is_charged() {
     let out = gorder_join(&r, &s, p, &GorderConfig::default()).unwrap();
     assert!(out.stats.io.logical_reads > 0);
     assert!(out.stats.io.physical_reads > 0);
-    assert!(out.stats.io.physical_writes > 0, "sorted blocks are written");
+    assert!(
+        out.stats.io.physical_writes > 0,
+        "sorted blocks are written"
+    );
 }

@@ -3,7 +3,8 @@
 use crate::{cell_of_point, cell_quadrant, Mbrqt, MbrqtConfig};
 use ann_core::node::{write_node, Entry, Node, NodeEntry, ObjectEntry};
 use ann_geom::{Mbr, Point};
-use ann_store::{BufferPool, Result, StoreError};
+use ann_store::BufferPool;
+use ann_store::{PageStore, Result, StoreError, Txn};
 use std::sync::Arc;
 
 /// Builds the tree for `points`; see [`Mbrqt::bulk_build`].
@@ -13,7 +14,7 @@ pub(crate) fn bulk_build<const D: usize>(
     config: &MbrqtConfig,
 ) -> Result<Mbrqt<D>> {
     if points.iter().any(|(_, p)| !p.is_finite()) {
-        return Err(StoreError::Corrupt("points must have finite coordinates"));
+        return Err(StoreError::corrupt("points must have finite coordinates"));
     }
     let bounds = Mbr::from_points(points.iter().map(|(_, p)| p));
     // The universe needs positive extent in every dimension for halving to
@@ -35,10 +36,16 @@ pub(crate) fn bulk_build<const D: usize>(
     };
 
     let meta_page = pool.allocate()?;
+    let journal = crate::create_journal_after_meta(&pool, meta_page)?;
     let bucket_capacity = config.resolved_bucket_capacity::<D>();
     let levels_per_node = config.resolved_levels_per_node::<D>();
+    // Node pages are written straight through the pool (journaling the
+    // whole build would double its I/O for no benefit): until the meta
+    // page is committed below, nothing references them, so a crash
+    // mid-build leaves an unopenable meta page — `open` then fails with
+    // `Corrupt` instead of exposing a partial tree.
     let mut builder = Builder {
-        pool: &pool,
+        store: pool.as_ref(),
         bucket_capacity,
         levels_per_node,
         max_depth: config.max_depth,
@@ -48,8 +55,9 @@ pub(crate) fn bulk_build<const D: usize>(
     let root_entry = builder.build(&mut owned, universe, 0)?;
 
     let tree = Mbrqt {
-        pool,
+        pool: Arc::clone(&pool),
         meta_page,
+        journal,
         root: root_entry.page,
         universe,
         bounds,
@@ -59,19 +67,24 @@ pub(crate) fn bulk_build<const D: usize>(
         max_depth: config.max_depth,
         use_subtree_mbrs: config.use_subtree_mbrs,
     };
-    tree.save_meta()?;
+    // Make every node page durable before the meta page can point at
+    // them, then commit the meta page through the journal.
+    pool.flush_all()?;
+    let txn = Txn::begin(&pool, journal);
+    tree.save_meta_to(&txn)?;
+    txn.commit()?;
     Ok(tree)
 }
 
-pub(crate) struct Builder<'a> {
-    pub(crate) pool: &'a BufferPool,
+pub(crate) struct Builder<'a, S: PageStore> {
+    pub(crate) store: &'a S,
     pub(crate) bucket_capacity: usize,
     pub(crate) levels_per_node: usize,
     pub(crate) max_depth: usize,
     pub(crate) use_subtree_mbrs: bool,
 }
 
-impl<'a> Builder<'a> {
+impl<S: PageStore> Builder<'_, S> {
     /// Recursively builds the subtree for `points` within `quadrant`,
     /// returning the child entry describing it. `points` is consumed
     /// (drained into leaves or partitions).
@@ -115,8 +128,8 @@ impl<'a> Builder<'a> {
         node.recompute_mbr();
         node.aux = levels as u8;
         let count = node.count();
-        let page = self.pool.allocate()?;
-        write_node(self.pool, page, &node)?;
+        let page = self.store.allocate()?;
+        write_node(self.store, page, &node)?;
         Ok(NodeEntry {
             page,
             count,
@@ -162,8 +175,8 @@ impl<'a> Builder<'a> {
         } else {
             *quadrant
         };
-        let page = self.pool.allocate()?;
-        write_node(self.pool, page, &node)?;
+        let page = self.store.allocate()?;
+        write_node(self.store, page, &node)?;
         Ok(NodeEntry {
             page,
             count,

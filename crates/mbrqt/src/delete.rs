@@ -11,7 +11,8 @@
 use crate::{cell_of_mbr, cell_of_point, Mbrqt};
 use ann_core::node::{read_node, write_node, Entry, Node, NodeEntry, ObjectEntry};
 use ann_geom::{Mbr, Point};
-use ann_store::{PageId, Result, StoreError};
+use ann_store::{PageId, Result, StoreError, Txn};
+use std::sync::Arc;
 
 /// Removes the object `(oid, point)`; see [`Mbrqt::delete`].
 pub(crate) fn delete<const D: usize>(
@@ -22,18 +23,34 @@ pub(crate) fn delete<const D: usize>(
     if tree.num_points == 0 || !tree.universe.contains_point(point) {
         return Ok(false);
     }
+    // Like insertion, the whole removal runs inside one [`Txn`] so node
+    // rewrites, collapses and the meta update land atomically or not at
+    // all.
+    let pool = Arc::clone(&tree.pool);
+    let txn = Txn::begin(&pool, tree.journal);
     let root = tree.root;
     let universe = tree.universe;
-    let Some((_, _)) = remove_rec(tree, root, universe, oid, point)? else {
-        return Ok(false);
-    };
-    tree.num_points -= 1;
-    // Rebuild cached dataset bounds from the root node (deletion can
-    // shrink them).
-    let root_node = read_node::<D>(&tree.pool, tree.root)?;
-    tree.bounds = root_node.mbr;
-    tree.save_meta()?;
-    Ok(true)
+    let (saved_points, saved_bounds) = (tree.num_points, tree.bounds);
+    let result = (|| -> Result<bool> {
+        let Some((_, _)) = remove_rec(tree, &txn, root, universe, oid, point)? else {
+            return Ok(false);
+        };
+        tree.num_points -= 1;
+        // Rebuild cached dataset bounds from the root node (deletion can
+        // shrink them).
+        let root_node = read_node::<D>(&txn, tree.root)?;
+        tree.bounds = root_node.mbr;
+        tree.save_meta_to(&txn)?;
+        Ok(true)
+    })();
+    match result.and_then(|removed| txn.commit().map(|()| removed)) {
+        Ok(removed) => Ok(removed),
+        Err(e) => {
+            tree.num_points = saved_points;
+            tree.bounds = saved_bounds;
+            Err(e)
+        }
+    }
 }
 
 /// Recursive removal below `page` (whose region is `quadrant`).
@@ -41,12 +58,13 @@ pub(crate) fn delete<const D: usize>(
 /// new `(count, tight_mbr)`.
 fn remove_rec<const D: usize>(
     tree: &Mbrqt<D>,
+    txn: &Txn<'_>,
     page: PageId,
     quadrant: Mbr<D>,
     oid: u64,
     point: &Point<D>,
 ) -> Result<Option<(u64, Mbr<D>)>> {
-    let mut node = read_node::<D>(&tree.pool, page)?;
+    let mut node = read_node::<D>(txn, page)?;
 
     if node.is_leaf {
         let before = node.entries.len();
@@ -60,23 +78,25 @@ fn remove_rec<const D: usize>(
         node.recompute_mbr();
         let count = node.entries.len() as u64;
         let mbr = node.mbr;
-        write_node(&tree.pool, page, &node)?;
+        write_node(txn, page, &node)?;
         return Ok(Some((count, mbr)));
     }
 
     // Route to the child cell containing the point.
     let levels = (node.aux as usize).max(1);
     let idx = cell_of_point(&quadrant, point, levels);
-    let Some(at) = node.entries.iter().position(|e| {
-        matches!(e, Entry::Node(n) if cell_of_mbr(&quadrant, &n.mbr, levels) == idx)
-    }) else {
+    let Some(at) = node
+        .entries
+        .iter()
+        .position(|e| matches!(e, Entry::Node(n) if cell_of_mbr(&quadrant, &n.mbr, levels) == idx))
+    else {
         return Ok(None);
     };
     let Entry::Node(child) = node.entries[at] else {
-        return Err(StoreError::Corrupt("internal node holds an object"));
+        return Err(StoreError::corrupt("internal node holds an object"));
     };
     let child_q = crate::cell_quadrant(&quadrant, idx, levels);
-    let Some((count, mbr)) = remove_rec(tree, child.page, child_q, oid, point)? else {
+    let Some((count, mbr)) = remove_rec(tree, txn, child.page, child_q, oid, point)? else {
         return Ok(None);
     };
 
@@ -94,25 +114,25 @@ fn remove_rec<const D: usize>(
     if total <= tree.bucket_capacity as u64 {
         // Collapse the whole subtree back into one leaf bucket.
         let mut objects: Vec<ObjectEntry<D>> = Vec::with_capacity(total as usize);
-        collect_objects(tree, &node, &mut objects)?;
+        collect_objects(txn, &node, &mut objects)?;
         let mut leaf = Node::empty_leaf();
         leaf.entries = objects.into_iter().map(Entry::Object).collect();
         leaf.recompute_mbr();
         let count = leaf.entries.len() as u64;
         let mbr = leaf.mbr;
-        write_node(&tree.pool, page, &leaf)?;
+        write_node(txn, page, &leaf)?;
         return Ok(Some((count, mbr)));
     }
 
     node.recompute_mbr();
     let mbr = node.mbr;
-    write_node(&tree.pool, page, &node)?;
+    write_node(txn, page, &node)?;
     Ok(Some((total, mbr)))
 }
 
 /// Gathers every object below `node`'s child entries.
 fn collect_objects<const D: usize>(
-    tree: &Mbrqt<D>,
+    txn: &Txn<'_>,
     node: &Node<D>,
     out: &mut Vec<ObjectEntry<D>>,
 ) -> Result<()> {
@@ -125,7 +145,7 @@ fn collect_objects<const D: usize>(
         })
         .collect();
     while let Some(page) = stack.pop() {
-        let n = read_node::<D>(&tree.pool, page)?;
+        let n = read_node::<D>(txn, page)?;
         for e in &n.entries {
             match e {
                 Entry::Object(o) => out.push(*o),

@@ -3,22 +3,42 @@
 use crate::{build::Builder, cell_of_mbr, cell_of_point, cell_quadrant, Mbrqt};
 use ann_core::node::{read_node, write_node, Entry, Node, NodeEntry, ObjectEntry};
 use ann_geom::{Mbr, Point};
-use ann_store::{Result, StoreError};
+use ann_store::{PageStore, Result, StoreError, Txn};
+use std::sync::Arc;
 
 /// Inserts one point; see [`Mbrqt::insert`].
+///
+/// The whole update — every rewritten node page plus the meta page — runs
+/// inside one [`Txn`], so it reaches disk atomically: a crash (or an
+/// injected fault) anywhere before the commit point leaves the on-disk
+/// tree exactly as it was.
 pub(crate) fn insert<const D: usize>(tree: &mut Mbrqt<D>, oid: u64, point: Point<D>) -> Result<()> {
     if !point.is_finite() {
-        return Err(StoreError::Corrupt("points must have finite coordinates"));
+        return Err(StoreError::corrupt("points must have finite coordinates"));
     }
     if !tree.universe.contains_point(&point) {
-        return Err(StoreError::Corrupt("point lies outside the universe"));
+        return Err(StoreError::corrupt("point lies outside the universe"));
     }
+    let pool = Arc::clone(&tree.pool);
+    let txn = Txn::begin(&pool, tree.journal);
     let root = tree.root;
     let universe = tree.universe;
-    descend(tree, root, universe, 0, oid, point)?;
-    tree.num_points += 1;
-    tree.bounds.expand_point(&point);
-    tree.save_meta()
+    let (saved_points, saved_bounds) = (tree.num_points, tree.bounds);
+    let result = descend(tree, &txn, root, universe, 0, oid, point).and_then(|_| {
+        tree.num_points += 1;
+        tree.bounds.expand_point(&point);
+        tree.save_meta_to(&txn)
+    });
+    match result.and_then(|()| txn.commit()) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // The on-disk tree is untouched (the txn never committed);
+            // roll the in-memory mirrors back to match it.
+            tree.num_points = saved_points;
+            tree.bounds = saved_bounds;
+            Err(e)
+        }
+    }
 }
 
 /// Recursively routes the point down to its bucket, splitting overflowing
@@ -26,13 +46,14 @@ pub(crate) fn insert<const D: usize>(tree: &mut Mbrqt<D>, oid: u64, point: Point
 /// Returns the subtree's new `(count, tight_mbr)`.
 fn descend<const D: usize>(
     tree: &Mbrqt<D>,
+    txn: &Txn<'_>,
     page: ann_store::PageId,
     quadrant: Mbr<D>,
     depth: usize,
     oid: u64,
     point: Point<D>,
 ) -> Result<(u64, Mbr<D>)> {
-    let mut node = read_node::<D>(&tree.pool, page)?;
+    let mut node = read_node::<D>(txn, page)?;
 
     if node.is_leaf {
         node.entries.push(Entry::Object(ObjectEntry { oid, point }));
@@ -48,7 +69,7 @@ fn descend<const D: usize>(
                 })
                 .collect();
             let mut builder = Builder {
-                pool: &tree.pool,
+                store: txn,
                 bucket_capacity: tree.bucket_capacity,
                 levels_per_node: tree.levels_per_node,
                 max_depth: tree.max_depth,
@@ -78,13 +99,13 @@ fn descend<const D: usize>(
             internal.aux = levels as u8;
             let count = internal.count();
             let tight = tight_mbr_of(&internal);
-            write_node(&tree.pool, page, &internal)?;
+            write_node(txn, page, &internal)?;
             return Ok((count, tight));
         }
         node.recompute_mbr();
         let count = node.entries.len() as u64;
         let tight = node.mbr;
-        write_node(&tree.pool, page, &node)?;
+        write_node(txn, page, &node)?;
         return Ok((count, tight));
     }
 
@@ -95,7 +116,7 @@ fn descend<const D: usize>(
     let mut target: Option<usize> = None;
     for (at, e) in node.entries.iter().enumerate() {
         let Entry::Node(n) = e else {
-            return Err(StoreError::Corrupt("internal node holds an object"));
+            return Err(StoreError::corrupt("internal node holds an object"));
         };
         if cell_of_mbr(&quadrant, &n.mbr, levels) == idx {
             target = Some(at);
@@ -109,26 +130,35 @@ fn descend<const D: usize>(
                 unreachable!()
             };
             let child_q = cell_quadrant(&quadrant, idx, levels);
-            let (count, tight) = descend(tree, child.page, child_q, depth + levels, oid, point)?;
+            let (count, tight) =
+                descend(tree, txn, child.page, child_q, depth + levels, oid, point)?;
             node.entries[at] = Entry::Node(NodeEntry {
                 page: child.page,
                 count,
-                mbr: if tree.use_subtree_mbrs { tight } else { child_q },
+                mbr: if tree.use_subtree_mbrs {
+                    tight
+                } else {
+                    child_q
+                },
             });
         }
         None => {
             // Fresh cell: a one-point leaf.
             let child_q = cell_quadrant(&quadrant, idx, levels);
-            let leaf_page = tree.pool.allocate()?;
+            let leaf_page = txn.allocate()?;
             let mut leaf = Node::empty_leaf();
             leaf.entries.push(Entry::Object(ObjectEntry { oid, point }));
             leaf.recompute_mbr();
             let tight = leaf.mbr;
-            write_node(&tree.pool, leaf_page, &leaf)?;
+            write_node(txn, leaf_page, &leaf)?;
             node.entries.push(Entry::Node(NodeEntry {
                 page: leaf_page,
                 count: 1,
-                mbr: if tree.use_subtree_mbrs { tight } else { child_q },
+                mbr: if tree.use_subtree_mbrs {
+                    tight
+                } else {
+                    child_q
+                },
             }));
         }
     }
@@ -136,7 +166,7 @@ fn descend<const D: usize>(
     node.recompute_mbr();
     let count = node.count();
     let tight = tight_mbr_of(&node);
-    write_node(&tree.pool, page, &node)?;
+    write_node(txn, page, &node)?;
     Ok((count, tight))
 }
 

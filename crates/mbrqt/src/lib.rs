@@ -56,7 +56,7 @@ mod meta;
 use ann_core::index::SpatialIndex;
 use ann_core::node::Node;
 use ann_geom::{Mbr, Point};
-use ann_store::{BufferPool, PageId, Result, StoreError};
+use ann_store::{BufferPool, Journal, PageId, PageStore, Result, StoreError, Txn};
 use std::sync::Arc;
 
 /// Tuning knobs for [`Mbrqt`].
@@ -110,8 +110,7 @@ impl MbrqtConfig {
         }
         let cap = Node::<D>::single_page_capacity(false);
         let mut levels = 1usize;
-        while D * (levels + 1) < usize::BITS as usize - 1 && (1usize << (D * (levels + 1))) <= cap
-        {
+        while D * (levels + 1) < usize::BITS as usize - 1 && (1usize << (D * (levels + 1))) <= cap {
             levels += 1;
         }
         levels
@@ -122,6 +121,7 @@ impl MbrqtConfig {
 pub struct Mbrqt<const D: usize> {
     pub(crate) pool: Arc<BufferPool>,
     pub(crate) meta_page: PageId,
+    pub(crate) journal: Journal,
     pub(crate) root: PageId,
     /// The fixed universe this tree decomposes.
     pub(crate) universe: Mbr<D>,
@@ -141,14 +141,17 @@ impl<const D: usize> Mbrqt<D> {
     /// decompose a fixed space, so the universe cannot grow afterwards.
     pub fn create(pool: Arc<BufferPool>, universe: Mbr<D>, config: &MbrqtConfig) -> Result<Self> {
         if universe.is_empty() {
-            return Err(StoreError::Corrupt("quadtree universe must be non-empty"));
+            return Err(StoreError::corrupt("quadtree universe must be non-empty"));
         }
         let meta_page = pool.allocate()?;
-        let root = pool.allocate()?;
-        ann_core::node::write_node::<D>(&pool, root, &Node::empty_leaf())?;
+        let journal = crate::create_journal_after_meta(&pool, meta_page)?;
+        let txn = Txn::begin(&pool, journal);
+        let root = txn.allocate()?;
+        ann_core::node::write_node::<D>(&txn, root, &Node::empty_leaf())?;
         let tree = Mbrqt {
-            pool,
+            pool: Arc::clone(&pool),
             meta_page,
+            journal,
             root,
             universe,
             bounds: Mbr::empty(),
@@ -158,7 +161,8 @@ impl<const D: usize> Mbrqt<D> {
             max_depth: config.max_depth,
             use_subtree_mbrs: config.use_subtree_mbrs,
         };
-        tree.save_meta()?;
+        tree.save_meta_to(&txn)?;
+        txn.commit()?;
         Ok(tree)
     }
 
@@ -173,8 +177,18 @@ impl<const D: usize> Mbrqt<D> {
     }
 
     /// Opens a previously built tree from its metadata page.
+    ///
+    /// Opening runs crash recovery first — a committed-but-unapplied
+    /// journal batch is replayed, a partial one is discarded — and then
+    /// verifies every structural invariant with
+    /// [`ann_core::index::validate`], so an `Ok` tree is never silently
+    /// partial: after any mid-update crash this either restores a
+    /// consistent tree or reports [`StoreError::Corrupt`].
     pub fn open(pool: Arc<BufferPool>, meta_page: PageId) -> Result<Self> {
-        meta::load(pool, meta_page)
+        let (journal, _recovery) = Journal::open(&pool, meta_page + 1)?;
+        let tree = meta::load(pool, meta_page, journal)?;
+        ann_core::index::validate(&tree)?;
+        Ok(tree)
     }
 
     /// The metadata page identifying this tree on disk.
@@ -222,8 +236,8 @@ impl<const D: usize> Mbrqt<D> {
         self.pool.flush_all()
     }
 
-    pub(crate) fn save_meta(&self) -> Result<()> {
-        meta::save(self)
+    pub(crate) fn save_meta_to(&self, store: &impl PageStore) -> Result<()> {
+        meta::save_to(self, store)
     }
 }
 
@@ -243,6 +257,21 @@ impl<const D: usize> SpatialIndex<D> for Mbrqt<D> {
     fn bounds(&self) -> Mbr<D> {
         self.bounds
     }
+}
+
+/// Creates the tree's journal right after its freshly allocated meta page,
+/// enforcing the `meta_page + 1` adjacency convention that lets
+/// [`Mbrqt::open`] find the journal without persisting its id anywhere.
+/// Interleaved allocations from another thread would break the convention,
+/// so that is reported as an error rather than silently accepted.
+pub(crate) fn create_journal_after_meta(pool: &BufferPool, meta_page: PageId) -> Result<Journal> {
+    let journal = Journal::create(pool)?;
+    if journal.header_page() != meta_page + 1 {
+        return Err(StoreError::corrupt(
+            "journal header page must immediately follow the meta page",
+        ));
+    }
+    Ok(journal)
 }
 
 /// The orthant (child index in `0..2^D`) of `point` within a quadrant

@@ -2,14 +2,16 @@
 
 use crate::Mbrqt;
 use ann_geom::Mbr;
-use ann_store::{BufferPool, PageId, Result, StoreError};
+use ann_store::{BufferPool, Journal, PageId, PageStore, Result, StoreError};
 use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"MBRQTv1\0";
 
-/// Serializes the tree's metadata into its meta page.
-pub(crate) fn save<const D: usize>(tree: &Mbrqt<D>) -> Result<()> {
-    tree.pool.with_page_mut(tree.meta_page, |bytes| {
+/// Serializes the tree's metadata into its meta page through `store` —
+/// normally a [`ann_store::Txn`], so the meta update commits atomically
+/// with the structural changes it describes.
+pub(crate) fn save_to<const D: usize>(tree: &Mbrqt<D>, store: &impl PageStore) -> Result<()> {
+    store.with_page_mut(tree.meta_page, |bytes| {
         let mut at = 0usize;
         let mut put = |src: &[u8]| {
             bytes[at..at + src.len()].copy_from_slice(src);
@@ -39,54 +41,67 @@ pub(crate) fn save<const D: usize>(tree: &Mbrqt<D>) -> Result<()> {
 }
 
 /// Loads a tree from its meta page; see [`Mbrqt::open`].
-pub(crate) fn load<const D: usize>(pool: Arc<BufferPool>, meta_page: PageId) -> Result<Mbrqt<D>> {
-    let (root, num_points, bucket_capacity, levels_per_node, max_depth, use_subtree_mbrs, universe, bounds) = pool
-        .with_page(meta_page, |bytes| -> Result<_> {
-            if &bytes[0..8] != MAGIC {
-                return Err(StoreError::Corrupt("not an MBRQT meta page"));
+pub(crate) fn load<const D: usize>(
+    pool: Arc<BufferPool>,
+    meta_page: PageId,
+    journal: Journal,
+) -> Result<Mbrqt<D>> {
+    let (
+        root,
+        num_points,
+        bucket_capacity,
+        levels_per_node,
+        max_depth,
+        use_subtree_mbrs,
+        universe,
+        bounds,
+    ) = pool.with_page(meta_page, |bytes| -> Result<_> {
+        if &bytes[0..8] != MAGIC {
+            return Err(StoreError::corrupt("not an MBRQT meta page"));
+        }
+        let mut at = 8usize;
+        let mut take = |n: usize| {
+            let s = &bytes[at..at + n];
+            at += n;
+            s
+        };
+        let dim = u32::from_le_bytes(take(4).try_into().unwrap());
+        if dim as usize != D {
+            return Err(StoreError::corrupt("dimensionality mismatch"));
+        }
+        let root = u32::from_le_bytes(take(4).try_into().unwrap());
+        let num_points = u64::from_le_bytes(take(8).try_into().unwrap());
+        let bucket_capacity = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+        let levels_per_node = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+        let max_depth = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+        let use_subtree_mbrs = take(4)[0] != 0;
+        let mut mbrs = [Mbr::<D>::empty(), Mbr::<D>::empty()];
+        for m in mbrs.iter_mut() {
+            let mut lo = [0.0; D];
+            let mut hi = [0.0; D];
+            for v in lo.iter_mut() {
+                *v = f64::from_le_bytes(take(8).try_into().unwrap());
             }
-            let mut at = 8usize;
-            let mut take = |n: usize| {
-                let s = &bytes[at..at + n];
-                at += n;
-                s
-            };
-            let dim = u32::from_le_bytes(take(4).try_into().unwrap());
-            if dim as usize != D {
-                return Err(StoreError::Corrupt("dimensionality mismatch"));
+            for v in hi.iter_mut() {
+                *v = f64::from_le_bytes(take(8).try_into().unwrap());
             }
-            let root = u32::from_le_bytes(take(4).try_into().unwrap());
-            let num_points = u64::from_le_bytes(take(8).try_into().unwrap());
-            let bucket_capacity = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
-            let levels_per_node = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
-            let max_depth = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
-            let use_subtree_mbrs = take(4)[0] != 0;
-            let mut mbrs = [Mbr::<D>::empty(), Mbr::<D>::empty()];
-            for m in mbrs.iter_mut() {
-                let mut lo = [0.0; D];
-                let mut hi = [0.0; D];
-                for v in lo.iter_mut() {
-                    *v = f64::from_le_bytes(take(8).try_into().unwrap());
-                }
-                for v in hi.iter_mut() {
-                    *v = f64::from_le_bytes(take(8).try_into().unwrap());
-                }
-                *m = Mbr { lo, hi };
-            }
-            Ok((
-                root,
-                num_points,
-                bucket_capacity,
-                levels_per_node,
-                max_depth,
-                use_subtree_mbrs,
-                mbrs[0],
-                mbrs[1],
-            ))
-        })??;
+            *m = Mbr { lo, hi };
+        }
+        Ok((
+            root,
+            num_points,
+            bucket_capacity,
+            levels_per_node,
+            max_depth,
+            use_subtree_mbrs,
+            mbrs[0],
+            mbrs[1],
+        ))
+    })??;
     Ok(Mbrqt {
         pool,
         meta_page,
+        journal,
         root,
         universe,
         bounds,

@@ -59,7 +59,11 @@ fn incremental_insert_matches_bulk_validate() {
     assert_eq!(tree.num_points(), 2000);
     let shape = validate(&tree).unwrap();
     assert_eq!(shape.objects, 2000);
-    let got: HashSet<u64> = collect_objects(&tree).unwrap().iter().map(|(o, _)| *o).collect();
+    let got: HashSet<u64> = collect_objects(&tree)
+        .unwrap()
+        .iter()
+        .map(|(o, _)| *o)
+        .collect();
     assert_eq!(got.len(), 2000);
 }
 
@@ -78,7 +82,13 @@ fn sibling_subtrees_never_overlap() {
         for (i, a) in node.entries.iter().enumerate() {
             for b in &node.entries[i + 1..] {
                 let overlap = a.mbr().intersection_volume(&b.mbr());
-                assert_eq!(overlap, 0.0, "siblings overlap: {:?} vs {:?}", a.mbr(), b.mbr());
+                assert_eq!(
+                    overlap,
+                    0.0,
+                    "siblings overlap: {:?} vs {:?}",
+                    a.mbr(),
+                    b.mbr()
+                );
             }
         }
         for e in &node.entries {
@@ -177,9 +187,7 @@ fn plain_quadrant_ablation_builds() {
         for e in &node.entries {
             if let Entry::Node(n) = e {
                 let child = tree.read_node(n.page).unwrap();
-                let child_tight = Mbr::from_points(
-                    collect_node_points(&tree, n.page).iter(),
-                );
+                let child_tight = Mbr::from_points(collect_node_points(&tree, n.page).iter());
                 assert!(
                     n.mbr.contains(&child_tight) || child.entries.is_empty(),
                     "entry box must contain its subtree"
@@ -209,7 +217,10 @@ fn collect_node_points<const D: usize>(tree: &Mbrqt<D>, page: ann_store::PageId)
 fn rejects_bad_input() {
     let universe = Mbr::new([0.0, 0.0], [1.0, 1.0]);
     let mut tree = Mbrqt::create(pool(16), universe, &MbrqtConfig::default()).unwrap();
-    assert!(tree.insert(0, Point::new([2.0, 0.5])).is_err(), "outside universe");
+    assert!(
+        tree.insert(0, Point::new([2.0, 0.5])).is_err(),
+        "outside universe"
+    );
     assert!(tree.insert(0, Point::new([f64::NAN, 0.5])).is_err(), "NaN");
     assert_eq!(tree.num_points(), 0);
 }
@@ -228,5 +239,8 @@ fn empty_and_single_point_trees() {
     )
     .unwrap();
     assert_eq!(one.num_points(), 1);
-    assert_eq!(collect_objects(&one).unwrap(), vec![(42, Point::new([3.0, 4.0]))]);
+    assert_eq!(
+        collect_objects(&one).unwrap(),
+        vec![(42, Point::new([3.0, 4.0]))]
+    );
 }

@@ -8,7 +8,7 @@
 use crate::{RStar, RStarConfig};
 use ann_core::node::{write_node, Entry, Node, NodeEntry, ObjectEntry};
 use ann_geom::{Mbr, Point};
-use ann_store::{BufferPool, Result, StoreError};
+use ann_store::{BufferPool, Result, StoreError, Txn};
 use std::sync::Arc;
 
 /// Builds a packed tree over `points`; see [`RStar::bulk_build`].
@@ -18,11 +18,12 @@ pub(crate) fn bulk_build<const D: usize>(
     config: &RStarConfig,
 ) -> Result<RStar<D>> {
     if points.iter().any(|(_, p)| !p.is_finite()) {
-        return Err(StoreError::Corrupt("points must have finite coordinates"));
+        return Err(StoreError::corrupt("points must have finite coordinates"));
     }
     let max_leaf = config.resolved_max::<D>(true);
     let max_internal = config.resolved_max::<D>(false);
     let meta_page = pool.allocate()?;
+    let journal = crate::create_journal_after_meta(&pool, meta_page)?;
 
     // Pack leaves: tile the points, one leaf per tile.
     let mut leaf_fill = (max_leaf * 9) / 10; // leave headroom for inserts
@@ -61,8 +62,9 @@ pub(crate) fn bulk_build<const D: usize>(
         let page = pool.allocate()?;
         write_node::<D>(&pool, page, &Node::empty_leaf())?;
         let tree = RStar {
-            pool,
+            pool: Arc::clone(&pool),
             meta_page,
+            journal,
             root: page,
             height: 1,
             num_points: 0,
@@ -72,7 +74,7 @@ pub(crate) fn bulk_build<const D: usize>(
             min_fill_percent: config.min_fill_percent.clamp(10, 50),
             reinsert_percent: config.reinsert_percent.min(45),
         };
-        tree.save_meta()?;
+        commit_meta(&pool, &tree)?;
         return Ok(tree);
     }
 
@@ -107,8 +109,9 @@ pub(crate) fn bulk_build<const D: usize>(
     };
     // A single leaf needs no extra root; `current[0]` is already it.
     let tree = RStar {
-        pool,
+        pool: Arc::clone(&pool),
         meta_page,
+        journal,
         root: root_entry.page,
         height,
         num_points: points.len() as u64,
@@ -118,8 +121,19 @@ pub(crate) fn bulk_build<const D: usize>(
         min_fill_percent: config.min_fill_percent.clamp(10, 50),
         reinsert_percent: config.reinsert_percent.min(45),
     };
-    tree.save_meta()?;
+    commit_meta(&pool, &tree)?;
     Ok(tree)
+}
+
+/// Finishes a bulk build durably: node pages (written straight through
+/// the pool — until the meta page exists nothing references them, so a
+/// crash mid-build just leaves an unopenable meta page) are flushed
+/// first, then the meta page commits through the journal.
+fn commit_meta<const D: usize>(pool: &Arc<BufferPool>, tree: &RStar<D>) -> Result<()> {
+    pool.flush_all()?;
+    let txn = Txn::begin(pool, tree.journal);
+    tree.save_meta_to(&txn)?;
+    txn.commit()
 }
 
 /// Recursively tiles `pts` into chunks of `cap`, sorting by dimension

@@ -7,7 +7,8 @@ use crate::insert::insert_entry_at_level;
 use crate::RStar;
 use ann_core::node::{read_node, write_node, Entry, NodeEntry};
 use ann_geom::{Mbr, Point};
-use ann_store::{PageId, Result, StoreError};
+use ann_store::{PageId, Result, StoreError, Txn};
+use std::sync::Arc;
 
 /// Removes the object `(oid, point)`; see [`RStar::delete`].
 ///
@@ -20,41 +21,56 @@ pub(crate) fn delete<const D: usize>(
     if tree.num_points == 0 {
         return Ok(false);
     }
-    // Orphaned entries to re-insert, each with its target level.
-    let mut orphans: Vec<(Entry<D>, u32)> = Vec::new();
-    let root_level = tree.height - 1;
-    let outcome = remove_rec(tree, tree.root, root_level, oid, point, &mut orphans)?;
-    if outcome.is_none() {
-        return Ok(false);
-    }
-    tree.num_points -= 1;
+    // Like insertion, the whole removal — entry removal, CondenseTree
+    // re-insertions, root shrinking and the meta update — runs inside one
+    // [`Txn`] so it lands atomically or not at all.
+    let pool = Arc::clone(&tree.pool);
+    let txn = Txn::begin(&pool, tree.journal);
+    let saved = (tree.root, tree.height, tree.num_points, tree.bounds);
+    let result = (|| -> Result<bool> {
+        // Orphaned entries to re-insert, each with its target level.
+        let mut orphans: Vec<(Entry<D>, u32)> = Vec::new();
+        let root_level = tree.height - 1;
+        let outcome = remove_rec(tree, &txn, tree.root, root_level, oid, point, &mut orphans)?;
+        if outcome.is_none() {
+            return Ok(false);
+        }
+        tree.num_points -= 1;
 
-    // Re-insert orphans (entries of dissolved nodes keep their level).
-    let mut reinsert_done = vec![true; tree.height as usize + 2]; // no forced reinsert here
-    while let Some((entry, level)) = orphans.pop() {
-        insert_entry_at_level(tree, entry, level, &mut reinsert_done, &mut orphans)?;
-    }
+        // Re-insert orphans (entries of dissolved nodes keep their level).
+        let mut reinsert_done = vec![true; tree.height as usize + 2]; // no forced reinsert here
+        while let Some((entry, level)) = orphans.pop() {
+            insert_entry_at_level(tree, &txn, entry, level, &mut reinsert_done, &mut orphans)?;
+        }
 
-    // Shrink a degenerate root: an internal root with one child makes the
-    // child the new root.
-    loop {
-        let root = read_node::<D>(&tree.pool, tree.root)?;
-        if !root.is_leaf && root.entries.len() == 1 {
-            let Entry::Node(only) = root.entries[0] else {
-                return Err(StoreError::Corrupt("internal node holds an object"));
-            };
-            tree.root = only.page;
-            tree.height -= 1;
-        } else {
-            break;
+        // Shrink a degenerate root: an internal root with one child makes
+        // the child the new root.
+        loop {
+            let root = read_node::<D>(&txn, tree.root)?;
+            if !root.is_leaf && root.entries.len() == 1 {
+                let Entry::Node(only) = root.entries[0] else {
+                    return Err(StoreError::corrupt("internal node holds an object"));
+                };
+                tree.root = only.page;
+                tree.height -= 1;
+            } else {
+                break;
+            }
+        }
+
+        // Rebuild the cached dataset bounds (deletion can shrink them).
+        let root = read_node::<D>(&txn, tree.root)?;
+        tree.bounds = root.mbr;
+        tree.save_meta_to(&txn)?;
+        Ok(true)
+    })();
+    match result.and_then(|removed| txn.commit().map(|()| removed)) {
+        Ok(removed) => Ok(removed),
+        Err(e) => {
+            (tree.root, tree.height, tree.num_points, tree.bounds) = saved;
+            Err(e)
         }
     }
-
-    // Rebuild the cached dataset bounds (deletion can shrink them).
-    let root = read_node::<D>(&tree.pool, tree.root)?;
-    tree.bounds = root.mbr;
-    tree.save_meta()?;
-    Ok(true)
 }
 
 /// Recursive removal. Returns `None` when the object was not found below
@@ -64,13 +80,14 @@ pub(crate) fn delete<const D: usize>(
 #[allow(clippy::type_complexity)]
 fn remove_rec<const D: usize>(
     tree: &RStar<D>,
+    txn: &Txn<'_>,
     page: PageId,
     level: u32,
     oid: u64,
     point: &Point<D>,
     orphans: &mut Vec<(Entry<D>, u32)>,
 ) -> Result<Option<(u64, Mbr<D>, bool)>> {
-    let mut node = read_node::<D>(&tree.pool, page)?;
+    let mut node = read_node::<D>(txn, page)?;
     let is_root = level == tree.height - 1;
 
     if node.is_leaf {
@@ -95,7 +112,7 @@ fn remove_rec<const D: usize>(
         node.recompute_mbr();
         let count = node.entries.len() as u64;
         let mbr = node.mbr;
-        write_node(&tree.pool, page, &node)?;
+        write_node(txn, page, &node)?;
         return Ok(Some((count, mbr, false)));
     }
 
@@ -103,13 +120,13 @@ fn remove_rec<const D: usize>(
     // (R-tree MBRs overlap, so several candidates are possible).
     for at in 0..node.entries.len() {
         let Entry::Node(child) = node.entries[at] else {
-            return Err(StoreError::Corrupt("internal node holds an object"));
+            return Err(StoreError::corrupt("internal node holds an object"));
         };
         if !child.mbr.contains_point(point) {
             continue;
         }
         let Some((count, mbr, dissolved)) =
-            remove_rec(tree, child.page, level - 1, oid, point, orphans)?
+            remove_rec(tree, txn, child.page, level - 1, oid, point, orphans)?
         else {
             continue;
         };
@@ -136,7 +153,7 @@ fn remove_rec<const D: usize>(
         node.recompute_mbr();
         let count = node.count();
         let mbr = node.mbr;
-        write_node(&tree.pool, page, &node)?;
+        write_node(txn, page, &node)?;
         return Ok(Some((count, mbr, false)));
     }
     Ok(None)

@@ -4,24 +4,44 @@
 use crate::RStar;
 use ann_core::node::{read_node, write_node, Entry, Node, NodeEntry};
 use ann_geom::{Mbr, Point};
-use ann_store::{PageId, Result, StoreError};
+use ann_store::{PageId, PageStore, Result, StoreError, Txn};
+use std::sync::Arc;
 
 /// Inserts one point; see [`RStar::insert`].
+///
+/// The whole update — every rewritten node page, any split or reinsertion
+/// fallout, and the meta page — runs inside one [`Txn`], so it reaches
+/// disk atomically: a crash (or an injected fault) anywhere before the
+/// commit point leaves the on-disk tree exactly as it was.
 pub(crate) fn insert<const D: usize>(tree: &mut RStar<D>, oid: u64, point: Point<D>) -> Result<()> {
     if !point.is_finite() {
-        return Err(StoreError::Corrupt("points must have finite coordinates"));
+        return Err(StoreError::corrupt("points must have finite coordinates"));
     }
-    let entry = Entry::Object(ann_core::node::ObjectEntry { oid, point });
-    // Forced reinsertion fires at most once per level per logical insert.
-    let mut reinsert_done = vec![false; tree.height as usize + 2];
-    // Pending (entry, target level) work items; reinserted orphans append.
-    let mut pending: Vec<(Entry<D>, u32)> = vec![(entry, 0)];
-    while let Some((e, level)) = pending.pop() {
-        insert_entry_at_level(tree, e, level, &mut reinsert_done, &mut pending)?;
+    let pool = Arc::clone(&tree.pool);
+    let txn = Txn::begin(&pool, tree.journal);
+    let saved = (tree.root, tree.height, tree.num_points, tree.bounds);
+    let result = (|| -> Result<()> {
+        let entry = Entry::Object(ann_core::node::ObjectEntry { oid, point });
+        // Forced reinsertion fires at most once per level per logical insert.
+        let mut reinsert_done = vec![false; tree.height as usize + 2];
+        // Pending (entry, target level) work items; reinserted orphans append.
+        let mut pending: Vec<(Entry<D>, u32)> = vec![(entry, 0)];
+        while let Some((e, level)) = pending.pop() {
+            insert_entry_at_level(tree, &txn, e, level, &mut reinsert_done, &mut pending)?;
+        }
+        tree.num_points += 1;
+        tree.bounds.expand_point(&point);
+        tree.save_meta_to(&txn)
+    })();
+    match result.and_then(|()| txn.commit()) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // The on-disk tree is untouched (the txn never committed);
+            // roll the in-memory mirrors back to match it.
+            (tree.root, tree.height, tree.num_points, tree.bounds) = saved;
+            Err(e)
+        }
     }
-    tree.num_points += 1;
-    tree.bounds.expand_point(&point);
-    tree.save_meta()
 }
 
 /// Places `entry` into some node at `target_level`, handling splits up to
@@ -29,6 +49,7 @@ pub(crate) fn insert<const D: usize>(tree: &mut RStar<D>, oid: u64, point: Point
 /// surviving entries of dissolved nodes through the same path.
 pub(crate) fn insert_entry_at_level<const D: usize>(
     tree: &mut RStar<D>,
+    txn: &Txn<'_>,
     entry: Entry<D>,
     target_level: u32,
     reinsert_done: &mut Vec<bool>,
@@ -37,6 +58,7 @@ pub(crate) fn insert_entry_at_level<const D: usize>(
     let root_level = tree.height - 1;
     let outcome = descend(
         tree,
+        txn,
         tree.root,
         root_level,
         entry,
@@ -58,8 +80,8 @@ pub(crate) fn insert_entry_at_level<const D: usize>(
             entries: vec![Entry::Node(old_root_entry), Entry::Node(sibling)],
         };
         new_root.recompute_mbr();
-        let page = tree.pool.allocate()?;
-        write_node(&tree.pool, page, &new_root)?;
+        let page = txn.allocate()?;
+        write_node(txn, page, &new_root)?;
         tree.root = page;
         tree.height += 1;
         reinsert_done.push(false);
@@ -79,6 +101,7 @@ struct StepOutcome<const D: usize> {
 
 fn descend<const D: usize>(
     tree: &RStar<D>,
+    txn: &Txn<'_>,
     page: PageId,
     level: u32,
     entry: Entry<D>,
@@ -86,17 +109,18 @@ fn descend<const D: usize>(
     reinsert_done: &mut Vec<bool>,
     pending: &mut Vec<(Entry<D>, u32)>,
 ) -> Result<StepOutcome<D>> {
-    let mut node = read_node::<D>(&tree.pool, page)?;
+    let mut node = read_node::<D>(txn, page)?;
 
     if level == target_level {
         node.entries.push(entry);
     } else {
         let at = choose_subtree(&node, &entry.mbr(), level)?;
         let Entry::Node(child) = node.entries[at] else {
-            return Err(StoreError::Corrupt("internal node holds an object"));
+            return Err(StoreError::corrupt("internal node holds an object"));
         };
         let outcome = descend(
             tree,
+            txn,
             child.page,
             level - 1,
             entry,
@@ -119,7 +143,7 @@ fn descend<const D: usize>(
         node.recompute_mbr();
         let count = node.count();
         let mbr = node.mbr;
-        write_node(&tree.pool, page, &node)?;
+        write_node(txn, page, &node)?;
         return Ok(StepOutcome {
             count,
             mbr,
@@ -138,7 +162,7 @@ fn descend<const D: usize>(
         node.recompute_mbr();
         let count = node.count();
         let mbr = node.mbr;
-        write_node(&tree.pool, page, &node)?;
+        write_node(txn, page, &node)?;
         // Evictees are farthest-first; pushing them in that order onto the
         // LIFO work list re-inserts the nearest one first (close reinsert).
         for e in evicted {
@@ -158,7 +182,7 @@ fn descend<const D: usize>(
     node.recompute_mbr();
     let count = node.count();
     let mbr = node.mbr;
-    write_node(&tree.pool, page, &node)?;
+    write_node(txn, page, &node)?;
 
     let mut sibling = Node {
         is_leaf: node.is_leaf,
@@ -167,8 +191,8 @@ fn descend<const D: usize>(
         entries: moved,
     };
     sibling.recompute_mbr();
-    let sib_page = tree.pool.allocate()?;
-    write_node(&tree.pool, sib_page, &sibling)?;
+    let sib_page = txn.allocate()?;
+    write_node(txn, sib_page, &sibling)?;
 
     Ok(StepOutcome {
         count,
@@ -187,7 +211,7 @@ fn descend<const D: usize>(
 /// (ties: smaller area).
 fn choose_subtree<const D: usize>(node: &Node<D>, embr: &Mbr<D>, level: u32) -> Result<usize> {
     if node.entries.is_empty() {
-        return Err(StoreError::Corrupt("cannot route into an empty node"));
+        return Err(StoreError::corrupt("cannot route into an empty node"));
     }
     let children_are_leaves = level == 1;
     let mut best = 0usize;
@@ -301,7 +325,10 @@ pub(crate) fn rstar_split<const D: usize>(
     // points — overlap and area are all zero and margin is the only
     // discriminating measure.
     let mut best: Option<(f64, f64, f64, usize, usize)> = None;
-    for (s, v) in sorted_by[2 * best_axis..2 * best_axis + 2].iter().enumerate() {
+    for (s, v) in sorted_by[2 * best_axis..2 * best_axis + 2]
+        .iter()
+        .enumerate()
+    {
         for split_at in min..=(total - min) {
             let m1 = Mbr::from_entries(&v[..split_at]);
             let m2 = Mbr::from_entries(&v[split_at..]);
@@ -318,10 +345,7 @@ pub(crate) fn rstar_split<const D: usize>(
     }
     let (_, _, _, s, split_at) = best.expect("at least one distribution");
     let chosen = &sorted_by[2 * best_axis + s];
-    (
-        chosen[..split_at].to_vec(),
-        chosen[split_at..].to_vec(),
-    )
+    (chosen[..split_at].to_vec(), chosen[split_at..].to_vec())
 }
 
 /// Helper: tight MBR over a slice of entries.
@@ -411,7 +435,9 @@ mod tests {
             is_leaf: true,
             aux: 0,
             mbr: Mbr::empty(),
-            entries: (0..12).map(|i| obj(i, (i % 4) as f64, (i / 4) as f64)).collect(),
+            entries: (0..12)
+                .map(|i| obj(i, (i % 4) as f64, (i / 4) as f64))
+                .collect(),
         };
         node.recompute_mbr();
         let center = node.mbr.center();

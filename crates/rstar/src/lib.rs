@@ -47,7 +47,7 @@ mod meta;
 use ann_core::index::SpatialIndex;
 use ann_core::node::Node;
 use ann_geom::{Mbr, Point};
-use ann_store::{BufferPool, PageId, Result};
+use ann_store::{BufferPool, Journal, PageId, PageStore, Result, StoreError, Txn};
 use std::sync::Arc;
 
 /// Tuning knobs for [`RStar`].
@@ -96,6 +96,7 @@ impl RStarConfig {
 pub struct RStar<const D: usize> {
     pub(crate) pool: Arc<BufferPool>,
     pub(crate) meta_page: PageId,
+    pub(crate) journal: Journal,
     pub(crate) root: PageId,
     /// Number of levels; leaves are level 0, the root is `height - 1`.
     pub(crate) height: u32,
@@ -111,11 +112,14 @@ impl<const D: usize> RStar<D> {
     /// Creates an empty tree.
     pub fn create(pool: Arc<BufferPool>, config: &RStarConfig) -> Result<Self> {
         let meta_page = pool.allocate()?;
-        let root = pool.allocate()?;
-        ann_core::node::write_node::<D>(&pool, root, &Node::empty_leaf())?;
+        let journal = crate::create_journal_after_meta(&pool, meta_page)?;
+        let txn = Txn::begin(&pool, journal);
+        let root = txn.allocate()?;
+        ann_core::node::write_node::<D>(&txn, root, &Node::empty_leaf())?;
         let tree = RStar {
-            pool,
+            pool: Arc::clone(&pool),
             meta_page,
+            journal,
             root,
             height: 1,
             num_points: 0,
@@ -125,7 +129,8 @@ impl<const D: usize> RStar<D> {
             min_fill_percent: config.min_fill_percent.clamp(10, 50),
             reinsert_percent: config.reinsert_percent.min(45),
         };
-        tree.save_meta()?;
+        tree.save_meta_to(&txn)?;
+        txn.commit()?;
         Ok(tree)
     }
 
@@ -139,8 +144,18 @@ impl<const D: usize> RStar<D> {
     }
 
     /// Opens a previously built tree from its metadata page.
+    ///
+    /// Opening runs crash recovery first — a committed-but-unapplied
+    /// journal batch is replayed, a partial one is discarded — and then
+    /// verifies every structural invariant with
+    /// [`ann_core::index::validate`], so an `Ok` tree is never silently
+    /// partial: after any mid-update crash this either restores a
+    /// consistent tree or reports [`ann_store::StoreError::Corrupt`].
     pub fn open(pool: Arc<BufferPool>, meta_page: PageId) -> Result<Self> {
-        meta::load(pool, meta_page)
+        let (journal, _recovery) = Journal::open(&pool, meta_page + 1)?;
+        let tree = meta::load(pool, meta_page, journal)?;
+        ann_core::index::validate(&tree)?;
+        Ok(tree)
     }
 
     /// The metadata page identifying this tree on disk.
@@ -160,7 +175,11 @@ impl<const D: usize> RStar<D> {
 
     /// Minimum entries per node of each kind (root excepted).
     pub fn min_entries(&self, is_leaf: bool) -> usize {
-        let max = if is_leaf { self.max_leaf } else { self.max_internal };
+        let max = if is_leaf {
+            self.max_leaf
+        } else {
+            self.max_internal
+        };
         (max * self.min_fill_percent / 100).max(2)
     }
 
@@ -182,8 +201,8 @@ impl<const D: usize> RStar<D> {
         self.pool.flush_all()
     }
 
-    pub(crate) fn save_meta(&self) -> Result<()> {
-        meta::save(self)
+    pub(crate) fn save_meta_to(&self, store: &impl PageStore) -> Result<()> {
+        meta::save_to(self, store)
     }
 
     pub(crate) fn max_entries(&self, is_leaf: bool) -> usize {
@@ -193,6 +212,21 @@ impl<const D: usize> RStar<D> {
             self.max_internal
         }
     }
+}
+
+/// Creates the tree's journal right after its freshly allocated meta page,
+/// enforcing the `meta_page + 1` adjacency convention that lets
+/// [`RStar::open`] find the journal without persisting its id anywhere.
+/// Interleaved allocations from another thread would break the convention,
+/// so that is reported as an error rather than silently accepted.
+pub(crate) fn create_journal_after_meta(pool: &BufferPool, meta_page: PageId) -> Result<Journal> {
+    let journal = Journal::create(pool)?;
+    if journal.header_page() != meta_page + 1 {
+        return Err(StoreError::corrupt(
+            "journal header page must immediately follow the meta page",
+        ));
+    }
+    Ok(journal)
 }
 
 impl<const D: usize> SpatialIndex<D> for RStar<D> {

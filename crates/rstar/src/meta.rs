@@ -2,14 +2,16 @@
 
 use crate::RStar;
 use ann_geom::Mbr;
-use ann_store::{BufferPool, PageId, Result, StoreError};
+use ann_store::{BufferPool, Journal, PageId, PageStore, Result, StoreError};
 use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"RSTARv1\0";
 
-/// Serializes the tree's metadata into its meta page.
-pub(crate) fn save<const D: usize>(tree: &RStar<D>) -> Result<()> {
-    tree.pool.with_page_mut(tree.meta_page, |bytes| {
+/// Serializes the tree's metadata into its meta page through `store` —
+/// normally a [`ann_store::Txn`], so the meta update commits atomically
+/// with the structural changes it describes.
+pub(crate) fn save_to<const D: usize>(tree: &RStar<D>, store: &impl PageStore) -> Result<()> {
+    store.with_page_mut(tree.meta_page, |bytes| {
         let mut at = 0usize;
         let mut put = |src: &[u8]| {
             bytes[at..at + src.len()].copy_from_slice(src);
@@ -34,11 +36,15 @@ pub(crate) fn save<const D: usize>(tree: &RStar<D>) -> Result<()> {
 }
 
 /// Loads a tree from its meta page; see [`RStar::open`].
-pub(crate) fn load<const D: usize>(pool: Arc<BufferPool>, meta_page: PageId) -> Result<RStar<D>> {
+pub(crate) fn load<const D: usize>(
+    pool: Arc<BufferPool>,
+    meta_page: PageId,
+    journal: Journal,
+) -> Result<RStar<D>> {
     let (root, height, num_points, max_leaf, max_internal, min_fill, reinsert, bounds) = pool
         .with_page(meta_page, |bytes| -> Result<_> {
             if &bytes[0..8] != MAGIC {
-                return Err(StoreError::Corrupt("not an R*-tree meta page"));
+                return Err(StoreError::corrupt("not an R*-tree meta page"));
             }
             let mut at = 8usize;
             let mut take = |n: usize| {
@@ -48,7 +54,7 @@ pub(crate) fn load<const D: usize>(pool: Arc<BufferPool>, meta_page: PageId) -> 
             };
             let dim = u32::from_le_bytes(take(4).try_into().unwrap());
             if dim as usize != D {
-                return Err(StoreError::Corrupt("dimensionality mismatch"));
+                return Err(StoreError::corrupt("dimensionality mismatch"));
             }
             let root = u32::from_le_bytes(take(4).try_into().unwrap());
             let height = u32::from_le_bytes(take(4).try_into().unwrap());
@@ -79,6 +85,7 @@ pub(crate) fn load<const D: usize>(pool: Arc<BufferPool>, meta_page: PageId) -> 
     Ok(RStar {
         pool,
         meta_page,
+        journal,
         root,
         height,
         num_points,

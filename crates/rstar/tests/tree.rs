@@ -45,7 +45,11 @@ fn bulk_build_validates_and_contains_all_points() {
     assert_eq!(shape.objects, 5000);
     assert!(tree.height() >= 2);
 
-    let got: HashSet<u64> = collect_objects(&tree).unwrap().iter().map(|(o, _)| *o).collect();
+    let got: HashSet<u64> = collect_objects(&tree)
+        .unwrap()
+        .iter()
+        .map(|(o, _)| *o)
+        .collect();
     assert_eq!(got.len(), 5000);
 }
 
@@ -116,7 +120,11 @@ fn mixed_bulk_then_incremental() {
         tree.insert(oid, p).unwrap();
     }
     assert_eq!(validate(&tree).unwrap().objects, 2000);
-    let got: HashSet<u64> = collect_objects(&tree).unwrap().iter().map(|(o, _)| *o).collect();
+    let got: HashSet<u64> = collect_objects(&tree)
+        .unwrap()
+        .iter()
+        .map(|(o, _)| *o)
+        .collect();
     assert_eq!(got.len(), 2000);
 }
 
@@ -176,7 +184,10 @@ fn empty_and_tiny_trees() {
 
     let mut one = RStar::<2>::create(pool(16), &RStarConfig::default()).unwrap();
     one.insert(9, Point::new([1.0, 2.0])).unwrap();
-    assert_eq!(collect_objects(&one).unwrap(), vec![(9, Point::new([1.0, 2.0]))]);
+    assert_eq!(
+        collect_objects(&one).unwrap(),
+        vec![(9, Point::new([1.0, 2.0]))]
+    );
 }
 
 #[test]

@@ -1,42 +1,70 @@
-//! Disk backends: where pages physically live.
+//! Disk backends: where page frames physically live.
 //!
 //! The buffer pool is generic over a [`DiskBackend`]. Two implementations
 //! are provided:
 //!
-//! * [`MemDisk`] — pages in a `Vec`; deterministic and fast, used by tests
+//! * [`MemDisk`] — frames in a `Vec`; deterministic and fast, used by tests
 //!   and by benchmarks that charge I/O analytically from the pool's
 //!   physical-read counters (the paper's methodology: I/O cost is the
 //!   number of page faults under a fixed-size LRU pool).
-//! * [`FileDisk`] — pages in a real file accessed with positioned reads and
-//!   writes, for end-to-end runs that want the operating system in the
+//! * [`FileDisk`] — frames in a real file accessed with positioned reads
+//!   and writes, for end-to-end runs that want the operating system in the
 //!   loop.
+//!
+//! Backends transfer whole [`FRAME_SIZE`] frames: the [`PAGE_SIZE`]
+//! payload the pool's clients see plus the checksum trailer
+//! ([`crate::checksum`]) the pool seals and verifies. Backends treat the
+//! frame as opaque bytes — corruption detection lives entirely at the pool
+//! boundary, which is what lets [`crate::FaultyDisk`] damage trailers too.
 
-use crate::{PageId, Result, StoreError, PAGE_SIZE};
+use crate::{PageId, Result, StoreError, FRAME_SIZE};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
 
-/// A linear array of [`PAGE_SIZE`]-byte pages.
+/// A linear array of [`FRAME_SIZE`]-byte page frames.
 ///
 /// Backends are internally synchronized: all methods take `&self` so a
 /// backend can sit behind the buffer pool's own lock without double
 /// locking gymnastics.
 pub trait DiskBackend: Send + Sync + 'static {
-    /// Reads page `id` into `buf` (which is exactly [`PAGE_SIZE`] long).
+    /// Reads frame `id` into `buf` (which is exactly [`FRAME_SIZE`] long).
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()>;
 
-    /// Writes `buf` (exactly [`PAGE_SIZE`] long) to page `id`.
+    /// Writes `buf` (exactly [`FRAME_SIZE`] long) to frame `id`.
     fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()>;
 
-    /// Appends a zeroed page and returns its id.
+    /// Appends a zeroed frame and returns its id.
     fn allocate(&self) -> Result<PageId>;
 
     /// Number of allocated pages.
     fn num_pages(&self) -> PageId;
 }
 
-/// An in-memory disk: a growable vector of pages.
+/// Shared handles delegate, so tests can keep a handle to a backend (e.g.
+/// the [`MemDisk`] under a [`crate::FaultyDisk`]) while a pool owns a
+/// clone — the way crash-recovery tests "reopen" the surviving media.
+impl<B: DiskBackend> DiskBackend for Arc<B> {
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        (**self).read_page(id, buf)
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        (**self).write_page(id, buf)
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        (**self).allocate()
+    }
+
+    fn num_pages(&self) -> PageId {
+        (**self).num_pages()
+    }
+}
+
+/// An in-memory disk: a growable vector of frames.
 #[derive(Default)]
 pub struct MemDisk {
     pages: Mutex<Vec<Box<[u8]>>>,
@@ -71,7 +99,7 @@ impl DiskBackend for MemDisk {
     fn allocate(&self) -> Result<PageId> {
         let mut pages = self.pages.lock();
         let id = pages.len() as PageId;
-        pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice());
+        pages.push(vec![0u8; FRAME_SIZE].into_boxed_slice());
         Ok(id)
     }
 
@@ -80,7 +108,7 @@ impl DiskBackend for MemDisk {
     }
 }
 
-/// A file-backed disk: page `i` lives at byte offset `i * PAGE_SIZE`.
+/// A file-backed disk: frame `i` lives at byte offset `i * FRAME_SIZE`.
 pub struct FileDisk {
     file: Mutex<File>,
     num_pages: Mutex<PageId>,
@@ -102,16 +130,16 @@ impl FileDisk {
     }
 
     /// Opens an existing disk file; its length must be a whole number of
-    /// pages.
+    /// frames.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         let len = file.metadata()?.len();
-        if len % PAGE_SIZE as u64 != 0 {
-            return Err(StoreError::Corrupt("file length not page aligned"));
+        if len % FRAME_SIZE as u64 != 0 {
+            return Err(StoreError::corrupt("file length not frame aligned"));
         }
         Ok(FileDisk {
             file: Mutex::new(file),
-            num_pages: Mutex::new((len / PAGE_SIZE as u64) as PageId),
+            num_pages: Mutex::new((len / FRAME_SIZE as u64) as PageId),
         })
     }
 }
@@ -122,7 +150,7 @@ impl DiskBackend for FileDisk {
             return Err(StoreError::PageOutOfBounds(id));
         }
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        file.seek(SeekFrom::Start(id as u64 * FRAME_SIZE as u64))?;
         file.read_exact(buf)?;
         Ok(())
     }
@@ -132,7 +160,7 @@ impl DiskBackend for FileDisk {
             return Err(StoreError::PageOutOfBounds(id));
         }
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        file.seek(SeekFrom::Start(id as u64 * FRAME_SIZE as u64))?;
         file.write_all(buf)?;
         Ok(())
     }
@@ -141,8 +169,8 @@ impl DiskBackend for FileDisk {
         let mut n = self.num_pages.lock();
         let id = *n;
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-        file.write_all(&[0u8; PAGE_SIZE])?;
+        file.seek(SeekFrom::Start(id as u64 * FRAME_SIZE as u64))?;
+        file.write_all(&[0u8; FRAME_SIZE])?;
         *n += 1;
         Ok(id)
     }
@@ -155,6 +183,7 @@ impl DiskBackend for FileDisk {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::PAGE_SIZE;
 
     fn roundtrip(disk: &dyn DiskBackend) {
         let a = disk.allocate().unwrap();
@@ -162,12 +191,13 @@ mod tests {
         assert_eq!((a, b), (0, 1));
         assert_eq!(disk.num_pages(), 2);
 
-        let mut page = vec![0u8; PAGE_SIZE];
+        let mut page = vec![0u8; FRAME_SIZE];
         page[0] = 0xAB;
         page[PAGE_SIZE - 1] = 0xCD;
+        page[FRAME_SIZE - 1] = 0xEF;
         disk.write_page(b, &page).unwrap();
 
-        let mut readback = vec![0u8; PAGE_SIZE];
+        let mut readback = vec![0u8; FRAME_SIZE];
         disk.read_page(b, &mut readback).unwrap();
         assert_eq!(readback, page);
 
@@ -179,6 +209,14 @@ mod tests {
     #[test]
     fn mem_disk_roundtrip() {
         roundtrip(&MemDisk::new());
+    }
+
+    #[test]
+    fn arc_backend_delegates() {
+        let disk = Arc::new(MemDisk::new());
+        let other = Arc::clone(&disk);
+        roundtrip(&other);
+        assert_eq!(disk.num_pages(), 2);
     }
 
     #[test]
@@ -198,13 +236,13 @@ mod tests {
         {
             let disk = FileDisk::create(&path).unwrap();
             let id = disk.allocate().unwrap();
-            let mut page = vec![0u8; PAGE_SIZE];
+            let mut page = vec![0u8; FRAME_SIZE];
             page[42] = 7;
             disk.write_page(id, &page).unwrap();
         }
         let disk = FileDisk::open(&path).unwrap();
         assert_eq!(disk.num_pages(), 1);
-        let mut page = vec![0u8; PAGE_SIZE];
+        let mut page = vec![0u8; FRAME_SIZE];
         disk.read_page(0, &mut page).unwrap();
         assert_eq!(page[42], 7);
         std::fs::remove_file(&path).ok();
@@ -213,7 +251,7 @@ mod tests {
     #[test]
     fn out_of_bounds_access_is_an_error() {
         let disk = MemDisk::new();
-        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut buf = vec![0u8; FRAME_SIZE];
         assert!(matches!(
             disk.read_page(3, &mut buf),
             Err(StoreError::PageOutOfBounds(3))

@@ -98,9 +98,9 @@ impl HeapFile {
     /// Panics if `record.len() != record_size`.
     pub fn append(&mut self, record: &[u8]) -> Result<()> {
         assert_eq!(record.len(), self.record_size, "record size mismatch");
-        let count =
-            self.pool
-                .with_page(self.last, |bytes| read_u32(bytes, 4) as usize)?;
+        let count = self
+            .pool
+            .with_page(self.last, |bytes| read_u32(bytes, 4) as usize)?;
         let target = if count < self.per_page {
             self.last
         } else {
@@ -129,7 +129,7 @@ impl HeapFile {
     /// Reads the record at position `idx` (O(1) via the page directory).
     pub fn get(&self, idx: u64) -> Result<Vec<u8>> {
         if idx >= self.len {
-            return Err(StoreError::Corrupt("heap record index out of range"));
+            return Err(StoreError::corrupt("heap record index out of range"));
         }
         let page = self.pages[idx as usize / self.per_page];
         let slot = idx as usize % self.per_page;
@@ -144,7 +144,7 @@ impl HeapFile {
     /// `f(index, bytes)`. Reads each touched page once.
     pub fn scan_range(&self, start: u64, count: u64, mut f: impl FnMut(u64, &[u8])) -> Result<()> {
         if start + count > self.len {
-            return Err(StoreError::Corrupt("heap scan range out of bounds"));
+            return Err(StoreError::corrupt("heap scan range out of bounds"));
         }
         let rec_size = self.record_size;
         let mut idx = start;

@@ -1,0 +1,355 @@
+//! A redo journal giving multi-page updates all-or-nothing semantics.
+//!
+//! Structural index updates (an MBRQT bucket split, an R*-tree split with
+//! forced reinsertion) rewrite many pages; a crash part-way through would
+//! otherwise leave the tree unreadable. The journal implements classic
+//! redo-only write-ahead logging with full-page after-images:
+//!
+//! 1. every page image in the batch is appended to a chain of journal
+//!    data pages and flushed;
+//! 2. the journal header is marked `COMMITTED` and flushed — **this
+//!    single page write is the atomic commit point**;
+//! 3. the images are copied to their home pages and flushed;
+//! 4. the header is marked `EMPTY` again and flushed.
+//!
+//! A crash before step 2 leaves the header `EMPTY`: recovery discards the
+//! partial chain and the tree keeps its old state. A crash after step 2
+//! finds the header `COMMITTED`: recovery replays the images (idempotent
+//! full-page writes, so replaying twice is harmless) and then clears the
+//! header. Torn writes inside the chain or header are caught by the
+//! pool's frame checksums.
+//!
+//! Each index owns one journal whose header page is allocated immediately
+//! after the index's meta page, so `open` can find it without any
+//! discoverable state of its own. Data-chain pages are reused across
+//! commits and the chain only grows.
+
+use crate::checksum::{crc32_finish, crc32_update, CRC_INIT};
+use crate::{BufferPool, PageId, Result, StoreError, INVALID_PAGE, PAGE_SIZE};
+
+const JOURNAL_MAGIC: &[u8; 8] = b"ANNJRNL1";
+const JDATA_MAGIC: u32 = 0x1A2B_3C4D;
+const STATE_EMPTY: u32 = 0;
+const STATE_COMMITTED: u32 = 0xC033_117E;
+
+/// Bytes of payload each data-chain page carries after its
+/// `next`-pointer + magic header.
+const DATA_CAPACITY: usize = PAGE_SIZE - 8;
+
+/// Encoded size of one journal record: page id, CRC32, full page image.
+pub const RECORD_SIZE: usize = 8 + PAGE_SIZE;
+
+/// Encodes one `(page, after-image)` record for the journal stream.
+///
+/// The CRC covers the page id and the image, so replay can tell a record
+/// that was fully persisted from one that was torn mid-write.
+///
+/// # Panics
+///
+/// Panics if `image` is not exactly [`PAGE_SIZE`] bytes.
+pub fn encode_record(page: PageId, image: &[u8]) -> Vec<u8> {
+    assert_eq!(image.len(), PAGE_SIZE, "journal records hold full pages");
+    let mut out = Vec::with_capacity(RECORD_SIZE);
+    out.extend_from_slice(&page.to_le_bytes());
+    let crc = crc32_finish(crc32_update(
+        crc32_update(CRC_INIT, &page.to_le_bytes()),
+        image,
+    ));
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(image);
+    out
+}
+
+/// Decodes (and CRC-checks) one record from the front of `bytes`,
+/// returning the target page and its after-image.
+pub fn decode_record(bytes: &[u8]) -> Result<(PageId, &[u8])> {
+    if bytes.len() < RECORD_SIZE {
+        return Err(StoreError::corrupt("journal record truncated"));
+    }
+    let page = PageId::from_le_bytes(bytes[0..4].try_into().unwrap());
+    let stored = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let image = &bytes[8..RECORD_SIZE];
+    let crc = crc32_finish(crc32_update(crc32_update(CRC_INIT, &bytes[0..4]), image));
+    if crc != stored {
+        return Err(StoreError::corrupt("journal record checksum mismatch"));
+    }
+    Ok((page, image))
+}
+
+/// What [`Journal::open`] found and did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Recovery {
+    /// The journal was empty: the last commit (if any) fully completed.
+    Clean,
+    /// A committed batch had not fully reached its home pages; its
+    /// `pages` after-images were replayed.
+    Replayed {
+        /// Number of page images replayed.
+        pages: u64,
+    },
+    /// The header was torn or unreadable, meaning a crash hit before the
+    /// commit point; the partial batch was discarded.
+    Discarded,
+}
+
+/// Handle to an on-disk journal: just the id of its header page.
+///
+/// All journal state lives on disk (reached through the pool), so the
+/// handle is freely copyable and a reopened index reconstructs it from
+/// the meta page id alone.
+#[derive(Clone, Copy, Debug)]
+pub struct Journal {
+    header: PageId,
+}
+
+impl Journal {
+    /// Allocates and initializes an empty journal, returning its handle.
+    pub fn create(pool: &BufferPool) -> Result<Journal> {
+        let header = pool.allocate()?;
+        let journal = Journal { header };
+        journal.write_header(pool, STATE_EMPTY, 0, INVALID_PAGE)?;
+        pool.flush_pages(&[header])?;
+        Ok(journal)
+    }
+
+    /// Opens the journal at `header`, running recovery: replays a
+    /// committed-but-unapplied batch, or discards a partial one.
+    pub fn open(pool: &BufferPool, header: PageId) -> Result<(Journal, Recovery)> {
+        let journal = Journal { header };
+        let Some((state, num_records, first_data)) = journal.read_header(pool)? else {
+            // Torn or foreign header: the crash hit before the commit
+            // point, so the partial batch is abandoned.
+            journal.write_header(pool, STATE_EMPTY, 0, INVALID_PAGE)?;
+            pool.flush_pages(&[header])?;
+            return Ok((journal, Recovery::Discarded));
+        };
+        if state != STATE_COMMITTED {
+            // EMPTY (or an unknown state from a half-applied header
+            // update, which the frame checksum makes vanishingly
+            // unlikely): nothing to do.
+            return Ok((journal, Recovery::Clean));
+        }
+        let stream = journal.read_stream(pool, first_data, num_records as usize * RECORD_SIZE)?;
+        let mut homes = Vec::with_capacity(num_records as usize);
+        for i in 0..num_records as usize {
+            let (page, image) = decode_record(&stream[i * RECORD_SIZE..])?;
+            pool.overwrite_page(page, image)?;
+            homes.push(page);
+        }
+        pool.flush_pages(&homes)?;
+        journal.write_header(pool, STATE_EMPTY, 0, first_data)?;
+        pool.flush_pages(&[header])?;
+        Ok((
+            journal,
+            Recovery::Replayed {
+                pages: num_records as u64,
+            },
+        ))
+    }
+
+    /// Page id of the journal header.
+    pub fn header_page(&self) -> PageId {
+        self.header
+    }
+
+    /// Durably applies `writes` (sorted `(page, after-image)` pairs) with
+    /// all-or-nothing semantics. On success every image is on its home
+    /// page and flushed. On error nothing is guaranteed to have applied —
+    /// but reopening via [`Journal::open`] always yields either the full
+    /// batch or none of it.
+    pub(crate) fn commit(&self, pool: &BufferPool, writes: &[(PageId, Box<[u8]>)]) -> Result<()> {
+        if writes.is_empty() {
+            return Ok(());
+        }
+        // 1. Serialize the batch into the data-page chain.
+        let mut stream = Vec::with_capacity(writes.len() * RECORD_SIZE);
+        for (page, image) in writes {
+            stream.extend_from_slice(&encode_record(*page, image));
+        }
+        let pages_needed = stream.len().div_ceil(DATA_CAPACITY);
+        let first_data = match self.read_header(pool)? {
+            Some((_, _, first)) => first,
+            None => INVALID_PAGE,
+        };
+        // Reuse the existing chain, extending it if this batch is larger
+        // than any before.
+        let mut chain: Vec<PageId> = Vec::with_capacity(pages_needed);
+        let mut tails: Vec<PageId> = Vec::with_capacity(pages_needed);
+        let mut cursor = first_data;
+        while cursor != INVALID_PAGE && chain.len() < pages_needed {
+            chain.push(cursor);
+            let next = match pool.with_page(cursor, |b| {
+                if u32::from_le_bytes(b[4..8].try_into().unwrap()) == JDATA_MAGIC {
+                    PageId::from_le_bytes(b[0..4].try_into().unwrap())
+                } else {
+                    INVALID_PAGE
+                }
+            }) {
+                Ok(next) => next,
+                // A rotted old chain page is fine to recycle: its
+                // contents are about to be overwritten.
+                Err(StoreError::Corrupt { .. }) => INVALID_PAGE,
+                Err(e) => return Err(e),
+            };
+            tails.push(next);
+            cursor = next;
+        }
+        while chain.len() < pages_needed {
+            chain.push(pool.allocate()?);
+            tails.push(INVALID_PAGE);
+        }
+        for (i, chunk) in stream.chunks(DATA_CAPACITY).enumerate() {
+            let next = if i + 1 < pages_needed {
+                chain[i + 1]
+            } else {
+                // Preserve the link to any longer tail from an earlier,
+                // larger batch so those pages stay reusable.
+                tails[i]
+            };
+            let mut buf = vec![0u8; PAGE_SIZE];
+            buf[0..4].copy_from_slice(&next.to_le_bytes());
+            buf[4..8].copy_from_slice(&JDATA_MAGIC.to_le_bytes());
+            buf[8..8 + chunk.len()].copy_from_slice(chunk);
+            pool.overwrite_page(chain[i], &buf)?;
+        }
+        pool.flush_pages(&chain)?;
+        // 2. Commit point: one flushed header write.
+        self.write_header(pool, STATE_COMMITTED, writes.len() as u32, chain[0])?;
+        pool.flush_pages(&[self.header])?;
+        // 3. Apply to home pages.
+        for (page, image) in writes {
+            pool.overwrite_page(*page, image)?;
+        }
+        let homes: Vec<PageId> = writes.iter().map(|(p, _)| *p).collect();
+        pool.flush_pages(&homes)?;
+        // 4. Clear the commit mark (keeping the chain for reuse).
+        self.write_header(pool, STATE_EMPTY, 0, chain[0])?;
+        pool.flush_pages(&[self.header])?;
+        Ok(())
+    }
+
+    fn write_header(
+        &self,
+        pool: &BufferPool,
+        state: u32,
+        num_records: u32,
+        first_data: PageId,
+    ) -> Result<()> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[0..8].copy_from_slice(JOURNAL_MAGIC);
+        buf[8..12].copy_from_slice(&state.to_le_bytes());
+        buf[12..16].copy_from_slice(&num_records.to_le_bytes());
+        buf[16..20].copy_from_slice(&first_data.to_le_bytes());
+        pool.overwrite_page(self.header, &buf)
+    }
+
+    /// Reads the header, returning `Ok(None)` when it is torn, foreign or
+    /// checksum-invalid (recovery treats that as "before the commit
+    /// point") and propagating genuine I/O failures.
+    fn read_header(&self, pool: &BufferPool) -> Result<Option<(u32, u32, PageId)>> {
+        match pool.with_page(self.header, |b| {
+            if &b[0..8] != JOURNAL_MAGIC {
+                return None;
+            }
+            let state = u32::from_le_bytes(b[8..12].try_into().unwrap());
+            let num_records = u32::from_le_bytes(b[12..16].try_into().unwrap());
+            let first_data = PageId::from_le_bytes(b[16..20].try_into().unwrap());
+            Some((state, num_records, first_data))
+        }) {
+            Ok(parsed) => Ok(parsed),
+            Err(StoreError::Corrupt { .. }) | Err(StoreError::PageOutOfBounds(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Reads `len` stream bytes by walking the data chain from `first`.
+    fn read_stream(&self, pool: &BufferPool, first: PageId, len: usize) -> Result<Vec<u8>> {
+        let mut stream = Vec::with_capacity(len);
+        let mut cursor = first;
+        while stream.len() < len {
+            if cursor == INVALID_PAGE {
+                return Err(StoreError::corrupt("journal data chain ends early"));
+            }
+            let take = (len - stream.len()).min(DATA_CAPACITY);
+            cursor = pool
+                .with_page(cursor, |b| {
+                    if u32::from_le_bytes(b[4..8].try_into().unwrap()) != JDATA_MAGIC {
+                        return Err(StoreError::corrupt("journal data chain broken"));
+                    }
+                    stream.extend_from_slice(&b[8..8 + take]);
+                    Ok(PageId::from_le_bytes(b[0..4].try_into().unwrap()))
+                })
+                .map_err(|e| match e {
+                    StoreError::Corrupt { page, .. } => StoreError::Corrupt {
+                        page,
+                        what: "journal data chain unreadable",
+                    },
+                    other => other,
+                })??;
+        }
+        Ok(stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BufferPool, MemDisk};
+
+    #[test]
+    fn record_roundtrip() {
+        let image = vec![7u8; PAGE_SIZE];
+        let rec = encode_record(42, &image);
+        assert_eq!(rec.len(), RECORD_SIZE);
+        let (page, back) = decode_record(&rec).unwrap();
+        assert_eq!(page, 42);
+        assert_eq!(back, &image[..]);
+    }
+
+    #[test]
+    fn fresh_journal_opens_clean() {
+        let pool = BufferPool::new(MemDisk::new(), 8);
+        let journal = Journal::create(&pool).unwrap();
+        let (_, recovery) = Journal::open(&pool, journal.header_page()).unwrap();
+        assert_eq!(recovery, Recovery::Clean);
+    }
+
+    #[test]
+    fn commit_applies_and_clears() {
+        let pool = BufferPool::new(MemDisk::new(), 8);
+        let journal = Journal::create(&pool).unwrap();
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap();
+        let writes = vec![
+            (a, vec![1u8; PAGE_SIZE].into_boxed_slice()),
+            (b, vec![2u8; PAGE_SIZE].into_boxed_slice()),
+        ];
+        journal.commit(&pool, &writes).unwrap();
+        assert_eq!(pool.with_page(a, |p| p[0]).unwrap(), 1);
+        assert_eq!(pool.with_page(b, |p| p[0]).unwrap(), 2);
+        let (_, recovery) = Journal::open(&pool, journal.header_page()).unwrap();
+        assert_eq!(recovery, Recovery::Clean);
+    }
+
+    #[test]
+    fn chain_pages_are_reused_across_commits() {
+        let pool = BufferPool::new(MemDisk::new(), 8);
+        let journal = Journal::create(&pool).unwrap();
+        let a = pool.allocate().unwrap();
+        journal
+            .commit(&pool, &[(a, vec![1u8; PAGE_SIZE].into_boxed_slice())])
+            .unwrap();
+        let pages_after_first = pool.num_pages();
+        for round in 2..6u8 {
+            journal
+                .commit(&pool, &[(a, vec![round; PAGE_SIZE].into_boxed_slice())])
+                .unwrap();
+        }
+        assert_eq!(
+            pool.num_pages(),
+            pages_after_first,
+            "same-size commits must not grow the disk"
+        );
+        assert_eq!(pool.with_page(a, |p| p[0]).unwrap(), 5);
+    }
+}

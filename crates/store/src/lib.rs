@@ -18,6 +18,20 @@
 //!   records ([`heap`]), used by the GORDER baseline's sorted block file
 //!   and by dataset scans.
 //!
+//! SHORE also gave the paper's indices durability and corruption detection
+//! for free; this crate reproduces that too:
+//!
+//! * every physical frame carries a CRC32 trailer ([`checksum`]), sealed on
+//!   write and verified on read, so torn writes and bit rot surface as
+//!   [`StoreError::Corrupt`] with the offending page id;
+//! * a redo journal ([`journal`]) plus a transaction side-buffer ([`txn`])
+//!   give multi-page structural updates all-or-nothing semantics with
+//!   recovery on open;
+//! * a bounded [`RetryPolicy`] at the pool boundary retries transient
+//!   faults, with retry and corruption counters in [`IoStats`];
+//! * [`FaultyDisk`] injects deterministic torn writes, bit flips, transient
+//!   errors and crashes for the fault-sweep test suites.
+//!
 //! # Example
 //!
 //! ```
@@ -36,21 +50,26 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checksum;
 pub mod disk;
 pub mod faulty;
 pub mod heap;
+pub mod journal;
 mod lru;
 pub mod page;
 pub mod pool;
 pub mod slotted;
 mod stats;
+pub mod txn;
 
 pub use disk::{DiskBackend, FileDisk, MemDisk};
-pub use faulty::FaultyDisk;
+pub use faulty::{splitmix64, FaultyDisk, InjectedFault};
 pub use heap::HeapFile;
-pub use page::{PageId, INVALID_PAGE, PAGE_SIZE};
-pub use pool::BufferPool;
+pub use journal::{Journal, Recovery};
+pub use page::{PageId, FRAME_SIZE, INVALID_PAGE, PAGE_SIZE, PAGE_TRAILER};
+pub use pool::{BufferPool, PageStore, RetryPolicy};
 pub use stats::{IoSnapshot, IoStats};
+pub use txn::Txn;
 
 /// Errors surfaced by the storage layer.
 #[derive(Debug)]
@@ -66,8 +85,51 @@ pub enum StoreError {
         /// Bytes available.
         available: usize,
     },
-    /// Stored bytes failed validation while being decoded.
-    Corrupt(&'static str),
+    /// Stored bytes failed validation while being decoded or checked.
+    Corrupt {
+        /// The offending page, when the failure is attributable to one
+        /// (checksum mismatches always are; higher-level decode errors
+        /// may not be).
+        page: Option<PageId>,
+        /// What failed.
+        what: &'static str,
+    },
+    /// A fault injected by [`FaultyDisk`]; `transient` faults succeed when
+    /// the operation is retried, permanent ones never do.
+    Injected {
+        /// Whether a retry can succeed.
+        transient: bool,
+    },
+}
+
+impl StoreError {
+    /// A [`StoreError::Corrupt`] not tied to a specific page.
+    pub fn corrupt(what: &'static str) -> Self {
+        StoreError::Corrupt { page: None, what }
+    }
+
+    /// A [`StoreError::Corrupt`] attributed to `page`.
+    pub fn corrupt_page(page: PageId, what: &'static str) -> Self {
+        StoreError::Corrupt {
+            page: Some(page),
+            what,
+        }
+    }
+
+    /// Whether retrying the failed operation may succeed: injected
+    /// transient faults and interrupted/timed-out OS errors.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StoreError::Injected { transient } => *transient,
+            StoreError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -82,7 +144,13 @@ impl std::fmt::Display for StoreError {
                 f,
                 "record of {requested} bytes does not fit in {available} available bytes"
             ),
-            StoreError::Corrupt(what) => write!(f, "corrupt page data: {what}"),
+            StoreError::Corrupt {
+                page: Some(id),
+                what,
+            } => write!(f, "corrupt page {id}: {what}"),
+            StoreError::Corrupt { page: None, what } => write!(f, "corrupt page data: {what}"),
+            StoreError::Injected { transient: true } => write!(f, "injected transient fault"),
+            StoreError::Injected { transient: false } => write!(f, "injected permanent fault"),
         }
     }
 }

@@ -15,6 +15,18 @@ pub type PageId = u32;
 /// Sentinel for "no page" (e.g. absent child pointers in serialized nodes).
 pub const INVALID_PAGE: PageId = u32::MAX;
 
+/// Bytes of the per-frame integrity trailer: a CRC32 of the page payload
+/// plus a seal magic (see [`crate::checksum`]).
+pub const PAGE_TRAILER: usize = 8;
+
+/// Size of a physical frame as stored by a [`crate::DiskBackend`]:
+/// the [`PAGE_SIZE`] client payload followed by the [`PAGE_TRAILER`].
+///
+/// Clients of the buffer pool only ever see [`PAGE_SIZE`] bytes; the
+/// trailer is sealed on physical write and verified on physical read at
+/// the pool boundary.
+pub const FRAME_SIZE: usize = PAGE_SIZE + PAGE_TRAILER;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -22,6 +34,7 @@ mod tests {
     #[test]
     fn constants() {
         assert_eq!(PAGE_SIZE, 8192);
+        assert_eq!(FRAME_SIZE, PAGE_SIZE + PAGE_TRAILER);
         assert_ne!(INVALID_PAGE, 0);
     }
 }

@@ -7,14 +7,67 @@
 //! default experimental configuration is the paper's: 64 frames × 8 KiB =
 //! 512 KiB (§4.1). [`BufferPool::set_capacity`] changes the budget at run
 //! time, which is how the Figure 3(b) buffer-size sweep is driven.
+//!
+//! The pool is also the integrity boundary: frames are sealed with a CRC32
+//! trailer ([`crate::checksum`]) on every physical write and verified on
+//! every physical read, so a torn or bit-rotted frame surfaces as
+//! [`StoreError::Corrupt`] naming the page instead of reaching a codec.
+//! Transient backend failures are retried under a [`RetryPolicy`]; both
+//! retries and checksum failures are counted in [`crate::IoStats`].
 
+use crate::checksum::{seal_frame, verify_frame};
 use crate::lru::LruList;
-use crate::{DiskBackend, IoSnapshot, IoStats, PageId, Result, PAGE_SIZE};
+use crate::{DiskBackend, IoSnapshot, IoStats, PageId, Result, StoreError, FRAME_SIZE, PAGE_SIZE};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Default pool capacity: 64 pages = 512 KiB, the paper's configuration.
 pub const DEFAULT_CAPACITY: usize = 64;
+
+/// How the pool reacts to transient physical-I/O failures (injected
+/// transient faults, interrupted/timed-out OS calls).
+///
+/// Each failed attempt is retried up to `max_attempts` total attempts,
+/// sleeping `backoff × attempt` between tries (linear backoff; the default
+/// is no sleep, which keeps fault-sweep tests fast). Permanent errors —
+/// out-of-bounds, corruption, injected permanent faults — are never
+/// retried.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (minimum 1).
+    pub max_attempts: u32,
+    /// Base sleep between attempts.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// Uniform page-access interface over the buffer pool and the structures
+/// that wrap it (shared handles, [`crate::Txn`] side-buffers).
+///
+/// The node codecs and index write paths are generic over this trait, so
+/// the same code serves direct pool access and buffered transactional
+/// access.
+pub trait PageStore {
+    /// Reads page `id` and passes its [`PAGE_SIZE`] bytes to `f`.
+    fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R>;
+
+    /// Reads page `id`, passes its bytes mutably to `f`, and records the
+    /// modification (dirty frame or transaction write-set entry).
+    fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R>;
+
+    /// Allocates a fresh zeroed page and returns its id.
+    fn allocate(&self) -> Result<PageId>;
+}
 
 struct Frame {
     page: PageId,
@@ -28,6 +81,8 @@ struct Inner {
     lru: LruList,
     free: Vec<u32>,
     capacity: usize,
+    /// Staging buffer for physical transfers: payload + checksum trailer.
+    scratch: Box<[u8]>,
 }
 
 /// An LRU buffer pool over a [`DiskBackend`].
@@ -46,6 +101,7 @@ pub struct BufferPool {
     disk: Box<dyn DiskBackend>,
     inner: Mutex<Inner>,
     stats: IoStats,
+    retry: Mutex<RetryPolicy>,
 }
 
 impl BufferPool {
@@ -64,8 +120,10 @@ impl BufferPool {
                 lru: LruList::new(capacity),
                 free: Vec::new(),
                 capacity,
+                scratch: vec![0u8; FRAME_SIZE].into_boxed_slice(),
             }),
             stats: IoStats::new(),
+            retry: Mutex::new(RetryPolicy::default()),
         }
     }
 
@@ -77,6 +135,16 @@ impl BufferPool {
     /// Current capacity in frames.
     pub fn capacity(&self) -> usize {
         self.inner.lock().capacity
+    }
+
+    /// Current transient-fault retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.retry.lock()
+    }
+
+    /// Replaces the transient-fault retry policy.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.lock() = policy;
     }
 
     /// Resizes the pool to `capacity` frames, evicting (and flushing) the
@@ -111,10 +179,40 @@ impl BufferPool {
         Ok(f(&mut frame.data))
     }
 
+    /// Replaces the full contents of page `id` with `payload` without
+    /// reading the page's current — possibly corrupt — bytes from the
+    /// backend. Journal recovery uses this to rewrite torn pages; regular
+    /// code should prefer [`with_page_mut`](Self::with_page_mut).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` is not exactly [`PAGE_SIZE`] bytes.
+    pub fn overwrite_page(&self, id: PageId, payload: &[u8]) -> Result<()> {
+        assert_eq!(payload.len(), PAGE_SIZE, "overwrite_page needs a full page");
+        if id >= self.disk.num_pages() {
+            return Err(StoreError::PageOutOfBounds(id));
+        }
+        let mut inner = self.inner.lock();
+        let frame = match inner.map.get(&id) {
+            Some(&f) => f,
+            None => {
+                let f = self.acquire_frame(&mut inner)?;
+                inner.frames[f as usize].page = id;
+                inner.map.insert(id, f);
+                f
+            }
+        };
+        inner.lru.touch(frame);
+        let fr = &mut inner.frames[frame as usize];
+        fr.data.copy_from_slice(payload);
+        fr.dirty = true;
+        Ok(())
+    }
+
     /// Allocates a fresh zeroed page, resident in the pool and marked dirty
     /// (it will be written to disk when evicted or flushed). Returns its id.
     pub fn allocate(&self) -> Result<PageId> {
-        let id = self.disk.allocate()?;
+        let id = self.retrying(|| self.disk.allocate())?;
         let mut inner = self.inner.lock();
         let frame = self.acquire_frame(&mut inner)?;
         {
@@ -130,12 +228,43 @@ impl BufferPool {
 
     /// Writes every dirty resident page back to disk (pages stay resident).
     pub fn flush_all(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        for frame in inner.frames.iter_mut() {
-            if frame.dirty && frame.page != crate::INVALID_PAGE {
-                self.disk.write_page(frame.page, &frame.data)?;
-                self.stats.record_physical_write();
-                frame.dirty = false;
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let dirty: Vec<usize> = inner
+            .frames
+            .iter()
+            .enumerate()
+            .filter(|(_, fr)| fr.dirty && fr.page != crate::INVALID_PAGE)
+            .map(|(i, _)| i)
+            .collect();
+        for i in dirty {
+            let Inner {
+                frames, scratch, ..
+            } = &mut *inner;
+            self.write_frame(frames[i].page, &frames[i].data, scratch)?;
+            inner.frames[i].dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Writes the listed pages back to disk if they are resident and dirty
+    /// (pages stay resident). The commit protocol uses this for granular
+    /// durability barriers: journal stream, then commit mark, then home
+    /// pages.
+    pub fn flush_pages(&self, ids: &[PageId]) -> Result<()> {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        for &id in ids {
+            let Some(&f) = inner.map.get(&id) else {
+                continue;
+            };
+            let i = f as usize;
+            if inner.frames[i].dirty {
+                let Inner {
+                    frames, scratch, ..
+                } = &mut *inner;
+                self.write_frame(id, &frames[i].data, scratch)?;
+                inner.frames[i].dirty = false;
             }
         }
         Ok(())
@@ -167,6 +296,37 @@ impl BufferPool {
         self.stats.reset();
     }
 
+    /// Runs a physical operation under the retry policy: transient
+    /// failures are re-attempted (counting each re-attempt) with linear
+    /// backoff; anything else returns immediately.
+    fn retrying<T>(&self, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        let policy = *self.retry.lock();
+        let max_attempts = policy.max_attempts.max(1);
+        let mut attempt = 1;
+        loop {
+            match op() {
+                Err(e) if attempt < max_attempts && e.is_transient() => {
+                    self.stats.record_retry();
+                    if policy.backoff > Duration::ZERO {
+                        std::thread::sleep(policy.backoff.saturating_mul(attempt));
+                    }
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Seals `payload` into `scratch` and writes the frame out with
+    /// retries, counting one physical write on success.
+    fn write_frame(&self, id: PageId, payload: &[u8], scratch: &mut [u8]) -> Result<()> {
+        scratch[..PAGE_SIZE].copy_from_slice(payload);
+        seal_frame(scratch);
+        self.retrying(|| self.disk.write_page(id, scratch))?;
+        self.stats.record_physical_write();
+        Ok(())
+    }
+
     /// Locates (or faults in) page `id`, returning its frame index.
     fn fetch(&self, inner: &mut Inner, id: PageId) -> Result<u32> {
         self.stats.record_logical_read();
@@ -175,13 +335,35 @@ impl BufferPool {
             return Ok(frame);
         }
         let frame = self.acquire_frame(inner)?;
-        self.disk
-            .read_page(id, &mut inner.frames[frame as usize].data)?;
+        let Inner {
+            frames,
+            scratch,
+            free,
+            map,
+            lru,
+            ..
+        } = &mut *inner;
+        let read = self
+            .retrying(|| self.disk.read_page(id, scratch))
+            .and_then(|()| match verify_frame(scratch) {
+                Ok(()) => Ok(()),
+                Err(what) => {
+                    self.stats.record_checksum_failure();
+                    Err(StoreError::corrupt_page(id, what))
+                }
+            });
+        if let Err(e) = read {
+            // Hand the frame back so failed reads don't leak capacity.
+            free.push(frame);
+            return Err(e);
+        }
         self.stats.record_physical_read();
-        inner.frames[frame as usize].page = id;
-        inner.frames[frame as usize].dirty = false;
-        inner.map.insert(id, frame);
-        inner.lru.touch(frame);
+        let fr = &mut frames[frame as usize];
+        fr.data.copy_from_slice(&scratch[..PAGE_SIZE]);
+        fr.page = id;
+        fr.dirty = false;
+        map.insert(id, frame);
+        lru.touch(frame);
         Ok(frame)
     }
 
@@ -212,27 +394,60 @@ impl BufferPool {
 
     /// Evicts the least-recently-used page, flushing it if dirty.
     fn evict_one(&self, inner: &mut Inner) -> Result<()> {
-        let victim = inner
-            .lru
-            .pop_lru()
-            .expect("evict_one called on empty pool");
-        let frame = &mut inner.frames[victim as usize];
+        let victim = inner.lru.pop_lru().expect("evict_one called on empty pool");
+        let Inner {
+            frames,
+            scratch,
+            map,
+            free,
+            ..
+        } = &mut *inner;
+        let frame = &mut frames[victim as usize];
         if frame.dirty {
-            self.disk.write_page(frame.page, &frame.data)?;
-            self.stats.record_physical_write();
+            self.write_frame(frame.page, &frame.data, scratch)?;
             frame.dirty = false;
         }
-        inner.map.remove(&frame.page);
+        map.remove(&frame.page);
         frame.page = crate::INVALID_PAGE;
-        inner.free.push(victim);
+        free.push(victim);
         Ok(())
+    }
+}
+
+impl PageStore for BufferPool {
+    fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        BufferPool::with_page(self, id, f)
+    }
+
+    fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        BufferPool::with_page_mut(self, id, f)
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        BufferPool::allocate(self)
+    }
+}
+
+/// Shared handles access pages like the store they wrap, so code generic
+/// over [`PageStore`] accepts `&Arc<BufferPool>` directly.
+impl<S: PageStore> PageStore for Arc<S> {
+    fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        (**self).with_page(id, f)
+    }
+
+    fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        (**self).with_page_mut(id, f)
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        (**self).allocate()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::MemDisk;
+    use crate::{FaultyDisk, InjectedFault, MemDisk};
 
     fn pool(cap: usize) -> BufferPool {
         BufferPool::new(MemDisk::new(), cap)
@@ -385,5 +600,94 @@ mod tests {
         assert_eq!(s.logical_reads, 10);
         assert_eq!(s.physical_reads, 10);
         assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn retry_policy_recovers_transient_faults() {
+        let disk = FaultyDisk::unlimited(MemDisk::new());
+        let op_after_setup = 3; // allocate, allocate, eviction write
+        disk.inject_at(op_after_setup, InjectedFault::Transient);
+        let p = BufferPool::new(disk, 1);
+        let a = p.allocate().unwrap();
+        p.with_page_mut(a, |b| b[0] = 9).unwrap();
+        let _b = p.allocate().unwrap(); // evicts `a` (dirty write, op 2)
+                                        // Fault fires on the physical read of `a`; the default policy
+                                        // retries and succeeds.
+        assert_eq!(p.with_page(a, |b| b[0]).unwrap(), 9);
+        assert_eq!(p.stats().retries, 1);
+    }
+
+    #[test]
+    fn single_attempt_policy_surfaces_transient_faults() {
+        let disk = FaultyDisk::unlimited(MemDisk::new());
+        disk.inject_at(3, InjectedFault::Transient);
+        let p = BufferPool::new(disk, 1);
+        p.set_retry_policy(RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        });
+        let a = p.allocate().unwrap();
+        p.with_page_mut(a, |b| b[0] = 9).unwrap();
+        let _b = p.allocate().unwrap();
+        assert!(matches!(
+            p.with_page(a, |_| ()),
+            Err(StoreError::Injected { transient: true })
+        ));
+        assert_eq!(p.stats().retries, 0);
+    }
+
+    #[test]
+    fn corrupted_frame_is_detected_on_read() {
+        let mem = Arc::new(MemDisk::new());
+        let p = BufferPool::new(Arc::clone(&mem), 4);
+        let id = p.allocate().unwrap();
+        p.with_page_mut(id, |b| b[0] = 1).unwrap();
+        p.clear().unwrap();
+        // Flip a payload byte behind the pool's back.
+        let mut frame = vec![0u8; FRAME_SIZE];
+        mem.read_page(id, &mut frame).unwrap();
+        frame[100] ^= 0xFF;
+        mem.write_page(id, &frame).unwrap();
+        match p.with_page(id, |_| ()) {
+            Err(StoreError::Corrupt { page, .. }) => assert_eq!(page, Some(id)),
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+        assert_eq!(p.stats().checksum_failures, 1);
+    }
+
+    #[test]
+    fn failed_read_does_not_leak_frames() {
+        // Regression: a failed fetch used to leak its frame slot.
+        let mem = Arc::new(MemDisk::new());
+        let p = BufferPool::new(Arc::clone(&mem), 2);
+        let id = p.allocate().unwrap();
+        p.clear().unwrap();
+        let mut frame = vec![0u8; FRAME_SIZE];
+        mem.read_page(id, &mut frame).unwrap();
+        frame[0] = 1; // unsealed damage
+        mem.write_page(id, &frame).unwrap();
+        for _ in 0..10 {
+            assert!(p.with_page(id, |_| ()).is_err());
+        }
+        // The pool still has working frames for healthy pages.
+        let fresh = p.allocate().unwrap();
+        p.with_page_mut(fresh, |b| b[0] = 2).unwrap();
+        assert_eq!(p.with_page(fresh, |b| b[0]).unwrap(), 2);
+    }
+
+    #[test]
+    fn overwrite_and_flush_pages_roundtrip() {
+        let p = pool(4);
+        let id = p.allocate().unwrap();
+        let payload = vec![0xA5u8; PAGE_SIZE];
+        p.overwrite_page(id, &payload).unwrap();
+        p.flush_pages(&[id]).unwrap();
+        assert_eq!(p.stats().physical_writes, 1);
+        p.clear().unwrap();
+        assert!(p.with_page(id, |b| b.to_vec()).unwrap() == payload);
+        assert!(matches!(
+            p.overwrite_page(99, &payload),
+            Err(StoreError::PageOutOfBounds(99))
+        ));
     }
 }

@@ -7,12 +7,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// "Logical" reads are page requests served from anywhere; "physical" reads
 /// and writes are the subset that actually reached the disk backend —
 /// physical reads are the buffer-pool misses that the paper's I/O bars
-/// measure.
+/// measure. `retries` counts re-attempts of transient physical failures
+/// under the pool's [`crate::RetryPolicy`]; `checksum_failures` counts
+/// frames that came back from the backend failing CRC verification.
 #[derive(Default, Debug)]
 pub struct IoStats {
     logical_reads: AtomicU64,
     physical_reads: AtomicU64,
     physical_writes: AtomicU64,
+    retries: AtomicU64,
+    checksum_failures: AtomicU64,
 }
 
 impl IoStats {
@@ -33,12 +37,22 @@ impl IoStats {
         self.physical_writes.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_checksum_failure(&self) {
+        self.checksum_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
             logical_reads: self.logical_reads.load(Ordering::Relaxed),
             physical_reads: self.physical_reads.load(Ordering::Relaxed),
             physical_writes: self.physical_writes.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -47,6 +61,8 @@ impl IoStats {
         self.logical_reads.store(0, Ordering::Relaxed);
         self.physical_reads.store(0, Ordering::Relaxed);
         self.physical_writes.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.checksum_failures.store(0, Ordering::Relaxed);
     }
 }
 
@@ -59,6 +75,10 @@ pub struct IoSnapshot {
     pub physical_reads: u64,
     /// Dirty-page evictions and flushes that wrote to the backend.
     pub physical_writes: u64,
+    /// Transient-fault re-attempts made under the retry policy.
+    pub retries: u64,
+    /// Frames read from the backend that failed CRC verification.
+    pub checksum_failures: u64,
 }
 
 impl IoSnapshot {
@@ -81,6 +101,8 @@ impl IoSnapshot {
             logical_reads: self.logical_reads - earlier.logical_reads,
             physical_reads: self.physical_reads - earlier.physical_reads,
             physical_writes: self.physical_writes - earlier.physical_writes,
+            retries: self.retries - earlier.retries,
+            checksum_failures: self.checksum_failures - earlier.checksum_failures,
         }
     }
 }
@@ -96,10 +118,14 @@ mod tests {
         s.record_logical_read();
         s.record_physical_read();
         s.record_physical_write();
+        s.record_retry();
+        s.record_checksum_failure();
         let snap = s.snapshot();
         assert_eq!(snap.logical_reads, 2);
         assert_eq!(snap.physical_reads, 1);
         assert_eq!(snap.physical_writes, 1);
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.checksum_failures, 1);
         assert_eq!(snap.physical_total(), 2);
         assert_eq!(snap.hit_rate(), 0.5);
     }
@@ -108,6 +134,7 @@ mod tests {
     fn reset_zeroes() {
         let s = IoStats::new();
         s.record_logical_read();
+        s.record_retry();
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
         assert_eq!(s.snapshot().hit_rate(), 1.0);
@@ -120,9 +147,11 @@ mod tests {
         let a = s.snapshot();
         s.record_logical_read();
         s.record_physical_read();
+        s.record_retry();
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.logical_reads, 1);
         assert_eq!(d.physical_reads, 1);
+        assert_eq!(d.retries, 1);
     }
 }

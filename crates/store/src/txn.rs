@@ -1,0 +1,160 @@
+//! Transactions: a write side-buffer over the pool, committed atomically
+//! through the [`Journal`].
+//!
+//! A [`Txn`] implements [`PageStore`], so any code generic over page
+//! access (the node codecs, the index write paths) runs unchanged inside
+//! a transaction. Reads see the transaction's own writes first and fall
+//! through to the pool; writes are buffered copy-on-write and touch
+//! neither the pool's frames nor the disk until [`Txn::commit`], which
+//! hands the full batch to the journal's all-or-nothing protocol. This
+//! sidesteps every steal/no-steal eviction hazard: an uncommitted page
+//! image simply never exists outside the buffer.
+//!
+//! Dropping a transaction without committing discards its writes. Pages
+//! allocated inside an abandoned transaction remain allocated (zeroed and
+//! unreferenced) — page ids are append-only in this substrate, so leaked
+//! pages waste space but never harm correctness.
+
+use crate::journal::Journal;
+use crate::pool::PageStore;
+use crate::{BufferPool, PageId, Result, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// An uncommitted batch of page writes against a pool.
+pub struct Txn<'p> {
+    pool: &'p BufferPool,
+    journal: Journal,
+    writes: Mutex<HashMap<PageId, Box<[u8]>>>,
+}
+
+impl<'p> Txn<'p> {
+    /// Starts an empty transaction writing through `journal`.
+    pub fn begin(pool: &'p BufferPool, journal: Journal) -> Txn<'p> {
+        Txn {
+            pool,
+            journal,
+            writes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of distinct pages written so far.
+    pub fn page_count(&self) -> usize {
+        self.writes.lock().len()
+    }
+
+    /// Atomically applies every buffered write via the journal. On `Ok`
+    /// the batch is durable; on `Err` the on-disk state is either fully
+    /// rolled forward by the next [`Journal::open`] or untouched.
+    pub fn commit(self) -> Result<()> {
+        let writes = self.writes.into_inner();
+        if writes.is_empty() {
+            return Ok(());
+        }
+        let mut batch: Vec<(PageId, Box<[u8]>)> = writes.into_iter().collect();
+        batch.sort_by_key(|(page, _)| *page);
+        self.journal.commit(self.pool, &batch)
+    }
+}
+
+impl PageStore for Txn<'_> {
+    fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let writes = self.writes.lock();
+        if let Some(image) = writes.get(&id) {
+            return Ok(f(image));
+        }
+        drop(writes);
+        self.pool.with_page(id, f)
+    }
+
+    fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let mut writes = self.writes.lock();
+        if let Some(image) = writes.get_mut(&id) {
+            return Ok(f(image));
+        }
+        // Copy-on-write: pull the current image from the pool, mutate the
+        // private copy.
+        let mut image = self.pool.with_page(id, |b| b.to_vec().into_boxed_slice())?;
+        let out = f(&mut image);
+        writes.insert(id, image);
+        Ok(out)
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        let id = self.pool.allocate()?;
+        self.writes
+            .lock()
+            .insert(id, vec![0u8; PAGE_SIZE].into_boxed_slice());
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemDisk, StoreError};
+
+    fn setup() -> (BufferPool, Journal) {
+        let pool = BufferPool::new(MemDisk::new(), 8);
+        let journal = Journal::create(&pool).unwrap();
+        (pool, journal)
+    }
+
+    #[test]
+    fn writes_are_invisible_until_commit() {
+        let (pool, journal) = setup();
+        let page = pool.allocate().unwrap();
+        let txn = Txn::begin(&pool, journal);
+        txn.with_page_mut(page, |b| b[0] = 9).unwrap();
+        // The txn sees its own write; the pool does not.
+        assert_eq!(txn.with_page(page, |b| b[0]).unwrap(), 9);
+        assert_eq!(pool.with_page(page, |b| b[0]).unwrap(), 0);
+        txn.commit().unwrap();
+        assert_eq!(pool.with_page(page, |b| b[0]).unwrap(), 9);
+    }
+
+    #[test]
+    fn dropped_txn_changes_nothing() {
+        let (pool, journal) = setup();
+        let page = pool.allocate().unwrap();
+        {
+            let txn = Txn::begin(&pool, journal);
+            txn.with_page_mut(page, |b| b[0] = 9).unwrap();
+        }
+        assert_eq!(pool.with_page(page, |b| b[0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_commit_is_a_noop() {
+        let (pool, journal) = setup();
+        let before = pool.stats();
+        let txn = Txn::begin(&pool, journal);
+        assert_eq!(txn.page_count(), 0);
+        txn.commit().unwrap();
+        assert_eq!(pool.stats().physical_writes, before.physical_writes);
+    }
+
+    #[test]
+    fn txn_allocate_is_visible_inside() {
+        let (pool, journal) = setup();
+        let txn = Txn::begin(&pool, journal);
+        let page = txn.allocate().unwrap();
+        txn.with_page_mut(page, |b| b[1] = 4).unwrap();
+        assert_eq!(txn.with_page(page, |b| b[1]).unwrap(), 4);
+        txn.commit().unwrap();
+        assert_eq!(pool.with_page(page, |b| b[1]).unwrap(), 4);
+    }
+
+    #[test]
+    fn read_through_misses_go_to_pool() {
+        let (pool, journal) = setup();
+        let page = pool.allocate().unwrap();
+        pool.with_page_mut(page, |b| b[3] = 7).unwrap();
+        let txn = Txn::begin(&pool, journal);
+        assert_eq!(txn.with_page(page, |b| b[3]).unwrap(), 7);
+        assert!(matches!(
+            txn.with_page(999, |_| ()),
+            Err(StoreError::PageOutOfBounds(999))
+        ));
+    }
+}

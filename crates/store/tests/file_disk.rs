@@ -1,0 +1,119 @@
+//! `FileDisk` integration coverage: round-trips, reopen-read-back,
+//! out-of-bounds handling, and corruption detection through the pool,
+//! all under a scratch directory that is removed afterwards.
+
+use ann_store::{BufferPool, FileDisk, StoreError, FRAME_SIZE, PAGE_SIZE};
+use std::path::PathBuf;
+
+/// A unique scratch path under the OS temp dir; removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ann_store_file_disk_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        Scratch(p)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn pool_round_trip_over_file_disk() {
+    let scratch = Scratch::new("roundtrip");
+    let pool = BufferPool::new(FileDisk::create(scratch.path()).unwrap(), 4);
+    let mut pages = Vec::new();
+    for i in 0..10u8 {
+        let id = pool.allocate().unwrap();
+        pool.with_page_mut(id, |bytes| {
+            bytes[0] = i;
+            bytes[PAGE_SIZE - 1] = 0xA0 | i;
+        })
+        .unwrap();
+        pages.push(id);
+    }
+    // More pages than pool frames: evictions already exercised the disk.
+    for (i, &id) in pages.iter().enumerate() {
+        pool.with_page(id, |bytes| {
+            assert_eq!(bytes[0], i as u8);
+            assert_eq!(bytes[PAGE_SIZE - 1], 0xA0 | i as u8);
+        })
+        .unwrap();
+    }
+}
+
+#[test]
+fn reopen_reads_back_flushed_pages() {
+    let scratch = Scratch::new("reopen");
+    {
+        let pool = BufferPool::new(FileDisk::create(scratch.path()).unwrap(), 8);
+        for i in 0..5u8 {
+            let id = pool.allocate().unwrap();
+            pool.with_page_mut(id, |bytes| bytes[100] = i + 1).unwrap();
+        }
+        pool.flush_all().unwrap();
+    }
+    let disk = FileDisk::open(scratch.path()).unwrap();
+    let pool = BufferPool::new(disk, 8);
+    assert_eq!(pool.num_pages(), 5);
+    for i in 0..5u8 {
+        pool.with_page(i as u32, |bytes| assert_eq!(bytes[100], i + 1))
+            .unwrap();
+    }
+}
+
+#[test]
+fn out_of_bounds_pages_are_rejected() {
+    let scratch = Scratch::new("oob");
+    let pool = BufferPool::new(FileDisk::create(scratch.path()).unwrap(), 4);
+    let id = pool.allocate().unwrap();
+    assert!(matches!(
+        pool.with_page(id + 1, |_| ()),
+        Err(StoreError::PageOutOfBounds(_))
+    ));
+    assert!(matches!(
+        pool.with_page_mut(id + 7, |_| ()),
+        Err(StoreError::PageOutOfBounds(_))
+    ));
+}
+
+#[test]
+fn non_frame_aligned_file_is_rejected_on_open() {
+    let scratch = Scratch::new("aligned");
+    std::fs::write(scratch.path(), vec![0u8; FRAME_SIZE + 17]).unwrap();
+    assert!(matches!(
+        FileDisk::open(scratch.path()),
+        Err(StoreError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn on_disk_damage_is_detected_as_corrupt() {
+    let scratch = Scratch::new("damage");
+    {
+        let pool = BufferPool::new(FileDisk::create(scratch.path()).unwrap(), 4);
+        let id = pool.allocate().unwrap();
+        pool.with_page_mut(id, |bytes| bytes[0] = 0x5A).unwrap();
+        pool.flush_all().unwrap();
+    }
+    // Flip one payload byte directly in the file.
+    let mut raw = std::fs::read(scratch.path()).unwrap();
+    raw[10] ^= 0x01;
+    std::fs::write(scratch.path(), &raw).unwrap();
+
+    let pool = BufferPool::new(FileDisk::open(scratch.path()).unwrap(), 4);
+    match pool.with_page(0, |_| ()) {
+        Err(StoreError::Corrupt { page, .. }) => assert_eq!(page, Some(0)),
+        other => panic!("damaged page must read as Corrupt, got {other:?}"),
+    }
+    assert_eq!(pool.stats().checksum_failures, 1);
+}

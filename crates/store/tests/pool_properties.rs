@@ -10,8 +10,13 @@ use proptest::prelude::*;
 enum Op {
     Allocate,
     /// Write `value` into page `page_choice % allocated`.
-    Write { page_choice: u8, value: u8 },
-    Read { page_choice: u8 },
+    Write {
+        page_choice: u8,
+        value: u8,
+    },
+    Read {
+        page_choice: u8,
+    },
     FlushAll,
     Clear,
     SetCapacity(u8),

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut output = mba::<2, NxnDist, _, _>(&sensor_index, &event_index, &MbaConfig::default())?;
     output.sort();
 
-    println!("nearest event per sensor (first 10 of {}):", output.results.len());
+    println!(
+        "nearest event per sensor (first 10 of {}):",
+        output.results.len()
+    );
     for pair in output.results.iter().take(10) {
         println!(
             "  sensor #{:<3} -> event #{:<4} at distance {:.3}",

@@ -59,7 +59,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nnearest-companion separation histogram:");
     let labels = [
-        "      < 1\"", "  1\" - 10\"", " 10\" - 1'", "  1' - 5'", "  5' - 15'", " 15' - 1°", "     >= 1°",
+        "      < 1\"",
+        "  1\" - 10\"",
+        " 10\" - 1'",
+        "  1' - 5'",
+        "  5' - 15'",
+        " 15' - 1°",
+        "     >= 1°",
     ];
     for (label, count) in labels.iter().zip(&bins) {
         let bar = "#".repeat((count * 60 / output.results.len().max(1)).min(60));

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, build, and the full test suite.
+#
+# Requires network access to the cargo registry (or a pre-populated
+# vendor/registry cache). In the offline growth container, use
+# target/devcheck/{build,test,itest}.sh instead, which compile the
+# workspace crates directly with rustc against dependency shims.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+
+# Tier-1 gate (ROADMAP.md).
+cargo build --release
+cargo test -q
