@@ -6,6 +6,7 @@
 //! commands:
 //!   fig3a | fig3a-synthetic | fig3b | fig4 | fig5 | fig6
 //!   ablation-traversal | ablation-mbr | extra-mnn
+//!   parallel-scaling    thread-scaling study (BENCH_parallel_scaling.json)
 //!   all                 run every figure
 //!   list-datasets       print Table 2 (with the scaled cardinalities)
 //! ```
@@ -57,7 +58,8 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: figures <fig3a|fig3a-synthetic|fig3b|fig4|fig5|fig6|\
-     ablation-traversal|ablation-mbr|ablation-packing|extra-mnn|extra-hnn|extra-parallel|all|list-datasets> \
+     ablation-traversal|ablation-mbr|ablation-packing|extra-mnn|extra-hnn|extra-parallel|\
+     parallel-scaling|all|list-datasets> \
      [--scale F] [--full] [--json DIR]"
         .to_string()
 }
@@ -68,6 +70,16 @@ fn emit(fig: Figure, json_dir: &Option<PathBuf>) {
     if let Some(dir) = json_dir {
         if let Err(e) = fig.write_json(dir) {
             eprintln!("warning: could not write JSON for {}: {e}", fig.id);
+        }
+    }
+}
+
+fn emit_scaling(rep: ann_bench::report::ScalingReport, json_dir: &Option<PathBuf>) {
+    print!("{}", rep.render());
+    println!();
+    if let Some(dir) = json_dir {
+        if let Err(e) = rep.write_json(dir) {
+            eprintln!("warning: could not write JSON for {}: {e}", rep.id);
         }
     }
 }
@@ -98,10 +110,12 @@ fn main() -> ExitCode {
         "extra-hnn" => emit(figures::extra_hnn(f), &args.json_dir),
         "ablation-packing" => emit(figures::ablation_packing(f), &args.json_dir),
         "extra-parallel" => emit(figures::extra_parallel(f), &args.json_dir),
+        "parallel-scaling" => emit_scaling(figures::parallel_scaling(f), &args.json_dir),
         "all" => {
             for fig in figures::all(f) {
                 emit(fig, &args.json_dir);
             }
+            emit_scaling(figures::parallel_scaling(f), &args.json_dir);
         }
         "list-datasets" => print!("{}", figures::table2(f)),
         other => {

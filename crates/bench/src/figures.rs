@@ -396,6 +396,104 @@ pub fn extra_parallel(fraction: f64) -> Figure {
     fig
 }
 
+/// Thread-scaling figure for the concurrency work: the same AkNN
+/// self-join at 1/2/4/8/… worker threads, against the default sharded
+/// buffer pool and against a single-shard pool (the seed's one-big-mutex
+/// design), with the pool hit/miss/contention and node-cache counters
+/// that explain the curves. Emitted as `BENCH_parallel_scaling.json`.
+pub fn parallel_scaling(fraction: f64) -> crate::report::ScalingReport {
+    use crate::report::{ScalingReport, ScalingRow};
+    use ann_core::index::SpatialIndex;
+    use ann_core::mba::{mba_parallel, MbaConfig};
+    use ann_geom::NxnDist;
+    use ann_mbrqt::{Mbrqt, MbrqtConfig};
+    use ann_store::{BufferPool, MemDisk};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let data = tac(fraction);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut thread_counts = vec![1usize, 2, 4, 8];
+    if cores > 1 && !thread_counts.contains(&cores) {
+        thread_counts.push(cores);
+        thread_counts.sort_unstable();
+    }
+
+    let mut report = ScalingReport {
+        id: "BENCH_parallel_scaling".into(),
+        workload: format!(
+            "parallel MBA AkNN self-join, TAC-like (n={}), sharded vs single-mutex pool",
+            data.len()
+        ),
+        host_cores: cores,
+        rows: Vec::new(),
+    };
+
+    // Big enough to hold both trees: the study isolates lock/cache
+    // behavior, not eviction policy.
+    const FRAMES: usize = 1 << 16;
+    let cfg = MbaConfig {
+        exclude_self: true,
+        ..Default::default()
+    };
+
+    for (kind, shards) in [("single-mutex", Some(1)), ("sharded", None)] {
+        let pool = Arc::new(match shards {
+            Some(n) => BufferPool::with_shards(MemDisk::new(), FRAMES, n),
+            None => BufferPool::new(MemDisk::new(), FRAMES),
+        });
+        let ir = Mbrqt::bulk_build(pool.clone(), &data, &MbrqtConfig::default()).expect("build");
+        let is = Mbrqt::bulk_build(pool.clone(), &data, &MbrqtConfig::default()).expect("build");
+
+        let mut wall_1t = None;
+        for &threads in &thread_counts {
+            // Cold decoded-node caches each run so every row pays the
+            // same first-visit decode cost and the counters compare.
+            for tree in [&ir, &is] {
+                if let Some(c) = tree.node_cache() {
+                    c.clear();
+                    c.reset_stats();
+                }
+            }
+            let t0 = Instant::now();
+            let out = mba_parallel::<2, NxnDist, _, _>(&ir, &is, &cfg, threads).expect("join");
+            let wall = t0.elapsed().as_secs_f64();
+            let wall_1t = *wall_1t.get_or_insert(wall);
+
+            let io = out.stats.io;
+            let (mut nc_hits, mut nc_misses) = (0u64, 0u64);
+            for tree in [&ir, &is] {
+                if let Some(c) = tree.node_cache() {
+                    let s = c.stats();
+                    nc_hits += s.hits;
+                    nc_misses += s.misses;
+                }
+            }
+            let vs_mutex = report
+                .rows
+                .iter()
+                .find(|r| r.pool == "single-mutex" && r.threads == threads && kind == "sharded")
+                .map(|r| r.wall_seconds / wall);
+            report.rows.push(ScalingRow {
+                pool: kind.into(),
+                threads,
+                wall_seconds: wall,
+                speedup_vs_one_thread: wall_1t / wall,
+                speedup_vs_single_mutex: vs_mutex,
+                pool_hits: io.pool_hits,
+                pool_misses: io.pool_misses,
+                lock_contention: io.lock_contention,
+                node_cache_hits: nc_hits,
+                node_cache_misses: nc_misses,
+                result_pairs: out.results.len(),
+            });
+        }
+    }
+    report
+}
+
 /// All figures at the given fraction (the `figures all` command).
 pub fn all(fraction: f64) -> Vec<Figure> {
     vec![

@@ -82,6 +82,96 @@ impl Figure {
     }
 }
 
+/// One row of the thread-scaling study (`BENCH_parallel_scaling`).
+#[derive(Clone, Debug, Serialize)]
+pub struct ScalingRow {
+    /// Pool variant the row ran against: `"sharded"` or `"single-mutex"`.
+    pub pool: String,
+    /// Worker threads handed to `mba_parallel`.
+    pub threads: usize,
+    /// Wall-clock seconds for the join.
+    pub wall_seconds: f64,
+    /// Wall(1 thread, same pool) / wall(this row).
+    pub speedup_vs_one_thread: f64,
+    /// Wall(single-mutex, same threads) / wall(this row); `None` on the
+    /// single-mutex rows themselves.
+    pub speedup_vs_single_mutex: Option<f64>,
+    /// Buffer-pool accesses served by a resident frame.
+    pub pool_hits: u64,
+    /// Buffer-pool accesses that faulted the page in.
+    pub pool_misses: u64,
+    /// Shard-lock acquisitions that found the lock held.
+    pub lock_contention: u64,
+    /// Decoded-node cache hits across both trees.
+    pub node_cache_hits: u64,
+    /// Decoded-node cache misses across both trees.
+    pub node_cache_misses: u64,
+    /// Result pairs produced (sanity: identical on every row).
+    pub result_pairs: usize,
+}
+
+/// The thread-scaling figure: sharded pool vs a single-mutex pool across
+/// worker-thread counts, with the concurrency counters that explain the
+/// difference.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScalingReport {
+    /// Output id (`BENCH_parallel_scaling` — also the JSON file stem).
+    pub id: String,
+    /// Human description of the workload.
+    pub workload: String,
+    /// Cores the host reported; speedup flattens beyond this.
+    pub host_cores: usize,
+    /// One row per (pool variant, thread count).
+    pub rows: Vec<ScalingRow>,
+}
+
+impl ScalingReport {
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.workload));
+        out.push_str(&format!(
+            "{:<14} {:>7} {:>9} {:>8} {:>9} {:>10} {:>9} {:>10} {:>9} {:>9}\n",
+            "pool",
+            "threads",
+            "wall(s)",
+            "x1T",
+            "x1mutex",
+            "hits",
+            "misses",
+            "contention",
+            "nc-hits",
+            "nc-miss"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<14} {:>7} {:>9.3} {:>8.2} {:>9} {:>10} {:>9} {:>10} {:>9} {:>9}\n",
+                r.pool,
+                r.threads,
+                r.wall_seconds,
+                r.speedup_vs_one_thread,
+                r.speedup_vs_single_mutex
+                    .map_or("-".to_string(), |s| format!("{s:.2}")),
+                r.pool_hits,
+                r.pool_misses,
+                r.lock_contention,
+                r.node_cache_hits,
+                r.node_cache_misses,
+            ));
+        }
+        out
+    }
+
+    /// Writes the report as JSON under `dir/<id>.json`.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(path)?;
+        let body = serde_json::to_string_pretty(self).expect("serializable");
+        f.write_all(body.as_bytes())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

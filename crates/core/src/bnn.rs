@@ -234,9 +234,9 @@ where
                 }
             }
             Entry::Node(n) => {
-                let node = is.read_node(n.page)?;
+                let node = is.read_node_cached(n.page)?;
                 out.stats.s_nodes_expanded += 1;
-                for e in node.entries {
+                for e in node.entries.iter().copied() {
                     let embr = e.mbr();
                     let mind_sq = min_min_dist_sq(&gmbr, &embr);
                     let maxd_sq = M::upper_sq(&gmbr, &embr);

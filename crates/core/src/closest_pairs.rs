@@ -201,16 +201,16 @@ where
                         (sn.page, r, true)
                     };
                     let node = if expand_r {
-                        ir.read_node(node_page)?
+                        ir.read_node_cached(node_page)?
                     } else {
-                        is.read_node(node_page)?
+                        is.read_node_cached(node_page)?
                     };
                     if expand_r {
                         out.stats.r_nodes_expanded += 1;
                     } else {
                         out.stats.s_nodes_expanded += 1;
                     }
-                    for child in node.entries {
+                    for child in node.entries.iter().copied() {
                         let (re, se) = if fixed_is_r {
                             (fixed, child)
                         } else {
@@ -257,10 +257,7 @@ where
 
     let mut io = ir.pool().stats().since(&io_r0);
     if !shared_pool {
-        let s_io = is.pool().stats().since(&io_s0);
-        io.logical_reads += s_io.logical_reads;
-        io.physical_reads += s_io.physical_reads;
-        io.physical_writes += s_io.physical_writes;
+        io = io.merge(&is.pool().stats().since(&io_s0));
     }
     out.stats.io = io;
     Ok(out)

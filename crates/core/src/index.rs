@@ -2,8 +2,10 @@
 //! algorithms to traverse it.
 
 use crate::node::{read_node, Entry, Node};
+use crate::node_cache::NodeCache;
 use ann_geom::{Mbr, Point};
 use ann_store::{BufferPool, PageId, Result, StoreError};
+use std::sync::Arc;
 
 /// A disk-resident spatial index over `D`-dimensional points.
 ///
@@ -36,6 +38,42 @@ pub trait SpatialIndex<const D: usize> {
     /// Reads the root node.
     fn read_root(&self) -> Result<Node<D>> {
         self.read_node(self.root_page())
+    }
+
+    /// The index's decoded-node cache, when it keeps one.
+    ///
+    /// Indices that return `Some` must bump the cache's epoch on every
+    /// structural mutation, so
+    /// [`read_node_cached`](Self::read_node_cached) can never serve a
+    /// pre-mutation node.
+    fn node_cache(&self) -> Option<&NodeCache<D>> {
+        None
+    }
+
+    /// Reads the node starting at `page` through the decoded-node cache:
+    /// a hit returns the shared decoded node without touching the buffer
+    /// pool; a miss decodes via [`read_node`](Self::read_node) and caches
+    /// the result. Falls back to a plain (uncached) read when the index
+    /// keeps no cache.
+    ///
+    /// The traversal hot paths (MBA/RBA, BNN, MNN, kNN, closest pairs)
+    /// read through this; structural validation and collection deliberately
+    /// use the uncached [`read_node`](Self::read_node) so they observe the
+    /// on-disk bytes.
+    fn read_node_cached(&self, page: PageId) -> Result<Arc<Node<D>>> {
+        let Some(cache) = self.node_cache() else {
+            return Ok(Arc::new(self.read_node(page)?));
+        };
+        // Snapshot the epoch before the pool read: if a mutation lands in
+        // between, the insert goes under the superseded epoch and stays
+        // invisible instead of poisoning the new one.
+        let epoch = cache.epoch();
+        if let Some(node) = cache.get(epoch, page) {
+            return Ok(node);
+        }
+        let node = Arc::new(self.read_node(page)?);
+        cache.insert(epoch, page, Arc::clone(&node));
+        Ok(node)
     }
 }
 

@@ -98,8 +98,8 @@ where
                 }
             }
             Entry::Node(n) => {
-                let node = index.read_node(n.page)?;
-                for e in node.entries {
+                let node = index.read_node_cached(n.page)?;
+                for e in node.entries.iter().copied() {
                     let embr = e.mbr();
                     let mind_sq = min_min_dist_sq(&qmbr, &embr);
                     let maxd_sq = M::upper_sq(&qmbr, &embr);
@@ -139,7 +139,7 @@ where
     let radius_sq = radius * radius;
     let mut stack = vec![index.root_page()];
     while let Some(page) = stack.pop() {
-        let node = index.read_node(page)?;
+        let node = index.read_node_cached(page)?;
         for e in &node.entries {
             match e {
                 Entry::Object(o) => {

@@ -50,8 +50,10 @@ pub mod lpq;
 pub mod mba;
 pub mod mnn;
 pub mod node;
+pub mod node_cache;
 pub mod stats;
 
 pub use index::SpatialIndex;
 pub use node::{Entry, Node, NodeEntry, ObjectEntry};
+pub use node_cache::{NodeCache, NodeCacheStats};
 pub use stats::{AnnOutput, AnnStats, NeighborPair};

@@ -23,7 +23,7 @@
 //! the bound tightens.
 
 use crate::node::Entry;
-use ann_geom::{min_min_dist_sq, PruneMetric};
+use ann_geom::{min_min_dist_sq, min_min_dist_sq_within, PruneMetric};
 
 /// Non-NaN `f64` with a total order.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -205,6 +205,27 @@ pub fn distances<const D: usize, M: PruneMetric>(
     (min_min_dist_sq(&om, &tm), M::upper_sq(&om, &tm))
 }
 
+/// Early-exit `Distances`: computes `(MIND², MAXD²)` only when the entry
+/// can survive a pruning test at `threshold_sq` (pass
+/// [`Lpq::prune_threshold_sq`]). Returns `None` — without computing the
+/// upper bound at all — exactly when `MIND² > threshold_sq`, i.e. exactly
+/// when [`Lpq::try_enqueue`] would reject the entry, whose `MAXD²` is then
+/// never consulted. The MIND accumulation stops at the first dimension
+/// where the running sum exceeds the threshold
+/// ([`min_min_dist_sq_within`]), which is where high-dimensional LPQ
+/// filtering spends most of its arithmetic.
+#[inline]
+pub fn distances_within<const D: usize, M: PruneMetric>(
+    owner: &Entry<D>,
+    target: &Entry<D>,
+    threshold_sq: f64,
+) -> Option<(f64, f64)> {
+    let om = owner.mbr();
+    let tm = target.mbr();
+    let mind_sq = min_min_dist_sq_within(&om, &tm, threshold_sq)?;
+    Some((mind_sq, M::upper_sq(&om, &tm)))
+}
+
 /// A Local Priority Queue: `MIND`-ordered candidates from `I_S`, owned by
 /// one unique entry of `I_R`.
 #[derive(Clone, Debug)]
@@ -232,6 +253,16 @@ impl<const D: usize> Lpq<D> {
     #[inline]
     pub fn bound_sq(&self) -> f64 {
         self.bound.bound_sq()
+    }
+
+    /// The exact epsilon-tolerant rejection threshold
+    /// [`try_enqueue`](Self::try_enqueue) applies: an entry with
+    /// `MIND² > prune_threshold_sq()` is rejected. Exposed so probing can
+    /// hand it to [`distances_within`] and skip distance work for entries
+    /// that cannot be accepted.
+    #[inline]
+    pub fn prune_threshold_sq(&self) -> f64 {
+        self.bound.bound_sq() * (1.0 + PRUNE_EPS)
     }
 
     /// Entries currently queued (not yet dequeued, not filtered).

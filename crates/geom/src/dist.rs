@@ -35,6 +35,31 @@ pub fn min_min_dist<const D: usize>(m: &Mbr<D>, n: &Mbr<D>) -> f64 {
     min_min_dist_sq(m, n).sqrt()
 }
 
+/// Early-exit variant of [`min_min_dist_sq`] for pruning checks: returns
+/// `Some(MINMINDIST²)` when it is `<= bound_sq`, or `None` as soon as the
+/// running per-dimension sum exceeds `bound_sq`.
+///
+/// Per-dimension contributions are non-negative and accumulated in the
+/// same order as [`min_min_dist_sq`], so the result is bit-exact with the
+/// full computation whenever it is produced, and `None` is returned *iff*
+/// the full `MINMINDIST² > bound_sq` — callers deciding "does this entry
+/// survive the bound" get exactly the same answer, just without paying for
+/// the remaining dimensions of hopeless entries. The savings grow with
+/// `D`, which is where LPQ filtering spends its time on high-dimensional
+/// workloads.
+#[inline]
+pub fn min_min_dist_sq_within<const D: usize>(m: &Mbr<D>, n: &Mbr<D>, bound_sq: f64) -> Option<f64> {
+    let mut acc = 0.0;
+    for d in 0..D {
+        let gap = (m.lo[d] - n.hi[d]).max(n.lo[d] - m.hi[d]).max(0.0);
+        acc += gap * gap;
+        if acc > bound_sq {
+            return None;
+        }
+    }
+    Some(acc)
+}
+
 /// Squared `MAXMAXDIST(M, N)`: the squared maximum possible distance between
 /// any point in `m` and any point in `n`.
 ///

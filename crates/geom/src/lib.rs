@@ -52,6 +52,7 @@ mod point;
 
 pub use dist::{
     max_max_dist, max_max_dist_sq, min_max_dist, min_max_dist_sq, min_min_dist, min_min_dist_sq,
+    min_min_dist_sq_within,
 };
 pub use mbr::Mbr;
 pub use metric::{MaxMaxDist, NxnDist, PruneMetric};

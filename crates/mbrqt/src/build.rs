@@ -66,6 +66,7 @@ pub(crate) fn bulk_build<const D: usize>(
         levels_per_node,
         max_depth: config.max_depth,
         use_subtree_mbrs: config.use_subtree_mbrs,
+        cache: ann_core::node_cache::NodeCache::default(),
     };
     // Make every node page durable before the meta page can point at
     // them, then commit the meta page through the journal.

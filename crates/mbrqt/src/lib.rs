@@ -54,6 +54,7 @@ mod insert;
 mod meta;
 
 use ann_core::index::SpatialIndex;
+use ann_core::node_cache::NodeCache;
 use ann_core::node::Node;
 use ann_geom::{Mbr, Point};
 use ann_store::{BufferPool, Journal, PageId, PageStore, Result, StoreError, Txn};
@@ -132,6 +133,9 @@ pub struct Mbrqt<const D: usize> {
     pub(crate) levels_per_node: usize,
     pub(crate) max_depth: usize,
     pub(crate) use_subtree_mbrs: bool,
+    /// Decoded-node cache for query traversals; its epoch is bumped on
+    /// every structural mutation (insert/delete).
+    pub(crate) cache: NodeCache<D>,
 }
 
 impl<const D: usize> Mbrqt<D> {
@@ -160,6 +164,7 @@ impl<const D: usize> Mbrqt<D> {
             levels_per_node: config.resolved_levels_per_node::<D>(),
             max_depth: config.max_depth,
             use_subtree_mbrs: config.use_subtree_mbrs,
+            cache: NodeCache::default(),
         };
         tree.save_meta_to(&txn)?;
         txn.commit()?;
@@ -220,7 +225,9 @@ impl<const D: usize> Mbrqt<D> {
     /// Inserts one point. Fails if the point is non-finite or outside the
     /// universe.
     pub fn insert(&mut self, oid: u64, point: Point<D>) -> Result<()> {
-        insert::insert(self, oid, point)
+        insert::insert(self, oid, point)?;
+        self.cache.bump_epoch();
+        Ok(())
     }
 
     /// Deletes the object `(oid, point)` (both must match an indexed
@@ -228,7 +235,11 @@ impl<const D: usize> Mbrqt<D> {
     /// size collapse back into single leaf buckets. Returns whether the
     /// object existed.
     pub fn delete(&mut self, oid: u64, point: &Point<D>) -> Result<bool> {
-        delete::delete(self, oid, point)
+        let existed = delete::delete(self, oid, point)?;
+        if existed {
+            self.cache.bump_epoch();
+        }
+        Ok(existed)
     }
 
     /// Writes all dirty pages through to the backing disk.
@@ -256,6 +267,10 @@ impl<const D: usize> SpatialIndex<D> for Mbrqt<D> {
 
     fn bounds(&self) -> Mbr<D> {
         self.bounds
+    }
+
+    fn node_cache(&self) -> Option<&NodeCache<D>> {
+        Some(&self.cache)
     }
 }
 

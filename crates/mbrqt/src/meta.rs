@@ -110,5 +110,6 @@ pub(crate) fn load<const D: usize>(
         levels_per_node,
         max_depth,
         use_subtree_mbrs,
+        cache: ann_core::node_cache::NodeCache::default(),
     })
 }

@@ -244,3 +244,64 @@ fn empty_and_single_point_trees() {
         vec![(42, Point::new([3.0, 4.0]))]
     );
 }
+
+#[test]
+fn node_cache_serves_repeat_traversals_and_invalidates_on_mutation() {
+    let pts = random_points::<2>(2000, 21);
+    let mut tree = Mbrqt::bulk_build(pool(64), &pts, &MbrqtConfig::default()).unwrap();
+    let cache = tree.node_cache().expect("MBRQT keeps a node cache");
+
+    // First cached traversal fills the cache; second is mostly hits.
+    let root1 = tree.read_node_cached(tree.root_page()).unwrap();
+    cache.reset_stats();
+    let root2 = tree.read_node_cached(tree.root_page()).unwrap();
+    assert_eq!(cache.stats().hits, 1, "repeat read of the root is a hit");
+    assert_eq!(*root1, *root2);
+    let epoch_before = cache.epoch();
+
+    // Insert: the epoch bumps and the post-insert traversal must see the
+    // new point — stale cached nodes would hide it.
+    let extra = Point::new([12.5, -3.25]);
+    tree.insert(999_999, extra).unwrap();
+    let cache = tree.node_cache().unwrap();
+    assert_ne!(cache.epoch(), epoch_before, "insert bumps the epoch");
+
+    let mut stack = vec![tree.root_page()];
+    let mut found = false;
+    while let Some(page) = stack.pop() {
+        let node = tree.read_node_cached(page).unwrap();
+        for e in node.entries.iter() {
+            match e {
+                Entry::Object(o) if o.oid == 999_999 => found = true,
+                Entry::Node(n) => stack.push(n.page),
+                _ => {}
+            }
+        }
+    }
+    assert!(found, "cached traversal observes the inserted point");
+
+    // Delete: epoch bumps again; the cached traversal must stop seeing it.
+    let epoch_before = cache.epoch();
+    assert!(tree.delete(999_999, &extra).unwrap());
+    let cache = tree.node_cache().unwrap();
+    assert_ne!(cache.epoch(), epoch_before, "delete bumps the epoch");
+    let mut stack = vec![tree.root_page()];
+    while let Some(page) = stack.pop() {
+        let node = tree.read_node_cached(page).unwrap();
+        for e in node.entries.iter() {
+            match e {
+                Entry::Object(o) => assert_ne!(o.oid, 999_999, "stale cache"),
+                Entry::Node(n) => stack.push(n.page),
+            }
+        }
+    }
+
+    // A failed delete (nothing removed) must NOT invalidate the cache.
+    let epoch_before = cache.epoch();
+    assert!(!tree.delete(123_456_789, &extra).unwrap());
+    assert_eq!(
+        tree.node_cache().unwrap().epoch(),
+        epoch_before,
+        "no-op delete keeps the cache"
+    );
+}

@@ -73,6 +73,7 @@ pub(crate) fn bulk_build<const D: usize>(
             max_internal,
             min_fill_percent: config.min_fill_percent.clamp(10, 50),
             reinsert_percent: config.reinsert_percent.min(45),
+            cache: ann_core::node_cache::NodeCache::default(),
         };
         commit_meta(&pool, &tree)?;
         return Ok(tree);
@@ -120,6 +121,7 @@ pub(crate) fn bulk_build<const D: usize>(
         max_internal,
         min_fill_percent: config.min_fill_percent.clamp(10, 50),
         reinsert_percent: config.reinsert_percent.min(45),
+        cache: ann_core::node_cache::NodeCache::default(),
     };
     commit_meta(&pool, &tree)?;
     Ok(tree)

@@ -45,6 +45,7 @@ mod insert;
 mod meta;
 
 use ann_core::index::SpatialIndex;
+use ann_core::node_cache::NodeCache;
 use ann_core::node::Node;
 use ann_geom::{Mbr, Point};
 use ann_store::{BufferPool, Journal, PageId, PageStore, Result, StoreError, Txn};
@@ -106,6 +107,9 @@ pub struct RStar<const D: usize> {
     pub(crate) max_internal: usize,
     pub(crate) min_fill_percent: usize,
     pub(crate) reinsert_percent: usize,
+    /// Decoded-node cache for query traversals; its epoch is bumped on
+    /// every structural mutation (insert/delete).
+    pub(crate) cache: NodeCache<D>,
 }
 
 impl<const D: usize> RStar<D> {
@@ -128,6 +132,7 @@ impl<const D: usize> RStar<D> {
             max_internal: config.resolved_max::<D>(false),
             min_fill_percent: config.min_fill_percent.clamp(10, 50),
             reinsert_percent: config.reinsert_percent.min(45),
+            cache: NodeCache::default(),
         };
         tree.save_meta_to(&txn)?;
         txn.commit()?;
@@ -185,7 +190,9 @@ impl<const D: usize> RStar<D> {
 
     /// Inserts one point (R\* insertion with forced reinsertion).
     pub fn insert(&mut self, oid: u64, point: Point<D>) -> Result<()> {
-        insert::insert(self, oid, point)
+        insert::insert(self, oid, point)?;
+        self.cache.bump_epoch();
+        Ok(())
     }
 
     /// Deletes the object `(oid, point)` (both must match an indexed
@@ -193,7 +200,11 @@ impl<const D: usize> RStar<D> {
     /// re-insert, per the classic CondenseTree treatment. Returns whether
     /// the object existed.
     pub fn delete(&mut self, oid: u64, point: &Point<D>) -> Result<bool> {
-        delete::delete(self, oid, point)
+        let existed = delete::delete(self, oid, point)?;
+        if existed {
+            self.cache.bump_epoch();
+        }
+        Ok(existed)
     }
 
     /// Writes all dirty pages through to the backing disk.
@@ -244,5 +255,9 @@ impl<const D: usize> SpatialIndex<D> for RStar<D> {
 
     fn bounds(&self) -> Mbr<D> {
         self.bounds
+    }
+
+    fn node_cache(&self) -> Option<&NodeCache<D>> {
+        Some(&self.cache)
     }
 }

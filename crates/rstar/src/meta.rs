@@ -94,5 +94,6 @@ pub(crate) fn load<const D: usize>(
         max_internal,
         min_fill_percent: min_fill,
         reinsert_percent: reinsert,
+        cache: ann_core::node_cache::NodeCache::default(),
     })
 }

@@ -205,3 +205,60 @@ fn rejects_non_finite_points() {
     assert!(tree.insert(0, Point::new([f64::NAN, 0.0])).is_err());
     assert_eq!(tree.num_points(), 0);
 }
+
+#[test]
+fn node_cache_invalidated_by_insert_and_delete() {
+    let pts = random_points::<2>(1500, 31);
+    let mut tree = RStar::bulk_build(pool(64), &pts, &small_cfg()).unwrap();
+    let cache = tree.node_cache().expect("R*-tree keeps a node cache");
+
+    cache.reset_stats();
+    tree.read_node_cached(tree.root_page()).unwrap();
+    tree.read_node_cached(tree.root_page()).unwrap();
+    let s = cache.stats();
+    assert_eq!(s.misses, 1);
+    assert_eq!(s.hits, 1);
+    let epoch_before = cache.epoch();
+
+    // Mutations bump the epoch, so cached traversals see the new shape.
+    let extra = Point::new([3.5, -8.75]);
+    tree.insert(77_777, extra).unwrap();
+    let cache = tree.node_cache().unwrap();
+    assert_ne!(cache.epoch(), epoch_before, "insert bumps the epoch");
+
+    let mut stack = vec![tree.root_page()];
+    let mut found = false;
+    while let Some(page) = stack.pop() {
+        let node = tree.read_node_cached(page).unwrap();
+        for e in node.entries.iter() {
+            match e {
+                Entry::Object(o) if o.oid == 77_777 => found = true,
+                Entry::Node(n) => stack.push(n.page),
+                _ => {}
+            }
+        }
+    }
+    assert!(found, "cached traversal observes the inserted point");
+
+    let epoch_before = cache.epoch();
+    assert!(tree.delete(77_777, &extra).unwrap());
+    let cache = tree.node_cache().unwrap();
+    assert_ne!(cache.epoch(), epoch_before, "delete bumps the epoch");
+    let mut stack = vec![tree.root_page()];
+    while let Some(page) = stack.pop() {
+        let node = tree.read_node_cached(page).unwrap();
+        for e in node.entries.iter() {
+            match e {
+                Entry::Object(o) => assert_ne!(o.oid, 77_777, "stale cache"),
+                Entry::Node(n) => stack.push(n.page),
+            }
+        }
+    }
+    let epoch_before = cache.epoch();
+    assert!(!tree.delete(424_242, &extra).unwrap());
+    assert_eq!(
+        tree.node_cache().unwrap().epoch(),
+        epoch_before,
+        "no-op delete keeps the cache"
+    );
+}

@@ -39,6 +39,9 @@ impl LruList {
         }
     }
 
+    /// Number of indices currently in the list. With pinned frames kept
+    /// out of the list, this can be less than the shard's resident count.
+    #[cfg_attr(not(test), allow(dead_code))] // part of the LRU API, exercised in tests
     pub(crate) fn len(&self) -> usize {
         self.len
     }

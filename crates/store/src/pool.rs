@@ -1,5 +1,5 @@
 //! The buffer pool: a fixed budget of in-memory page frames managed with
-//! exact LRU replacement.
+//! exact LRU replacement, lock-striped into shards for concurrent readers.
 //!
 //! Every page access made by the indices and join algorithms goes through
 //! [`BufferPool::with_page`] / [`BufferPool::with_page_mut`]; the pool
@@ -7,6 +7,28 @@
 //! default experimental configuration is the paper's: 64 frames × 8 KiB =
 //! 512 KiB (§4.1). [`BufferPool::set_capacity`] changes the budget at run
 //! time, which is how the Figure 3(b) buffer-size sweep is driven.
+//!
+//! # Sharding
+//!
+//! The paper runs single-threaded against SHORE's one buffer pool; our
+//! `mba_parallel` extension fans the traversal across cores, and a single
+//! pool mutex serializes every page touch. The pool is therefore striped
+//! into [`DEFAULT_SHARDS`] sub-pools (see [`BufferPool::with_shards`]),
+//! each an exact-LRU pool over the pages with `page % shards == i`, each
+//! behind its own lock with its own counters. Aggregate behavior remains
+//! exact LRU *per stripe*; with striping by page id the hot set spreads
+//! uniformly, so the global miss count matches a single LRU closely (and
+//! exactly, in the common benchmark case of a pool sized to its working
+//! set). Construct with one shard to recover the paper's single exact LRU.
+//!
+//! Physical reads happen *outside* the shard lock: a missing page reserves
+//! a pinned frame, releases the lock, performs the disk read + CRC check
+//! into a private buffer, and re-locks to publish the frame. Concurrent
+//! requests for a page being loaded wait (yielding) for the loader;
+//! concurrent requests for other pages of the same shard proceed, evicting
+//! around the pinned frame. When every frame of a shard is pinned by
+//! in-flight loads the shard temporarily over-provisions rather than
+//! deadlock, and returns to budget as subsequent accesses evict.
 //!
 //! The pool is also the integrity boundary: frames are sealed with a CRC32
 //! trailer ([`crate::checksum`]) on every physical write and verified on
@@ -20,11 +42,20 @@ use crate::lru::LruList;
 use crate::{DiskBackend, IoSnapshot, IoStats, PageId, Result, StoreError, FRAME_SIZE, PAGE_SIZE};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Default pool capacity: 64 pages = 512 KiB, the paper's configuration.
 pub const DEFAULT_CAPACITY: usize = 64;
+
+/// Default number of lock stripes.
+///
+/// A fixed constant (clamped to the frame budget) rather than a
+/// core-count-derived value, so page→shard placement — and with it every
+/// deterministic eviction/fault-injection schedule — is identical on every
+/// machine.
+pub const DEFAULT_SHARDS: usize = 8;
 
 /// How the pool reacts to transient physical-I/O failures (injected
 /// transient faults, interrupted/timed-out OS calls).
@@ -73,19 +104,81 @@ struct Frame {
     page: PageId,
     data: Box<[u8]>,
     dirty: bool,
+    /// Pin count: a pinned frame is never an eviction candidate (it is
+    /// kept out of the LRU list). Today the only pinner is the miss path,
+    /// which holds one pin across its out-of-lock physical read.
+    pins: u32,
+    /// `false` while the owning thread is still reading the page from
+    /// disk; other threads requesting the same page wait for this flag.
+    loaded: bool,
 }
 
-struct Inner {
+impl Frame {
+    fn empty() -> Self {
+        Frame {
+            page: crate::INVALID_PAGE,
+            data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+            dirty: false,
+            pins: 0,
+            loaded: false,
+        }
+    }
+}
+
+struct ShardInner {
     frames: Vec<Frame>,
     map: HashMap<PageId, u32>,
     lru: LruList,
     free: Vec<u32>,
     capacity: usize,
-    /// Staging buffer for physical transfers: payload + checksum trailer.
+    /// Staging buffer for physical writes: payload + checksum trailer.
     scratch: Box<[u8]>,
 }
 
-/// An LRU buffer pool over a [`DiskBackend`].
+struct Shard {
+    inner: Mutex<ShardInner>,
+    stats: IoStats,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            inner: Mutex::new(ShardInner {
+                frames: Vec::new(),
+                map: HashMap::new(),
+                lru: LruList::new(capacity),
+                free: Vec::new(),
+                capacity,
+                scratch: vec![0u8; FRAME_SIZE].into_boxed_slice(),
+            }),
+            stats: IoStats::new(),
+        }
+    }
+
+    /// Locks the shard, counting the acquisition as contended when the
+    /// lock was already held.
+    fn lock(&self) -> parking_lot::MutexGuard<'_, ShardInner> {
+        match self.inner.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.stats.record_lock_contention();
+                self.inner.lock()
+            }
+        }
+    }
+}
+
+/// Splits `total` frames across `shards` stripes as evenly as possible,
+/// giving every stripe at least one frame.
+fn shard_capacities(total: usize, shards: usize) -> Vec<usize> {
+    let base = total / shards;
+    let rem = total % shards;
+    (0..shards)
+        .map(|i| (base + usize::from(i < rem)).max(1))
+        .collect()
+}
+
+/// An LRU buffer pool over a [`DiskBackend`], lock-striped into shards.
 ///
 /// The pool is internally synchronized and meant to be shared (e.g. in an
 /// `Arc`) between the indices of both join inputs, so that — exactly as in
@@ -95,33 +188,49 @@ struct Inner {
 /// # Re-entrancy
 ///
 /// The closures passed to [`with_page`](Self::with_page) and
-/// [`with_page_mut`](Self::with_page_mut) run while the pool lock is held
-/// and must not call back into the pool; decode what you need and return.
+/// [`with_page_mut`](Self::with_page_mut) run while a shard lock is held
+/// and must not call back into the same pool; decode what you need and
+/// return. In debug builds a re-entrant call panics with a diagnostic
+/// instead of deadlocking on the shard lock.
 pub struct BufferPool {
     disk: Box<dyn DiskBackend>,
-    inner: Mutex<Inner>,
+    shards: Box<[Shard]>,
+    /// Requested total frame budget (the per-shard budgets derive from it).
+    capacity: AtomicUsize,
+    /// Pool-level counters not attributable to one shard (allocation
+    /// retries); folded into [`stats`](Self::stats) with the shard counters.
     stats: IoStats,
     retry: Mutex<RetryPolicy>,
 }
 
 impl BufferPool {
-    /// Creates a pool with `capacity` frames over `disk`.
+    /// Creates a pool with `capacity` frames over `disk`, striped into
+    /// [`DEFAULT_SHARDS`] shards (fewer when `capacity` is smaller).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(disk: impl DiskBackend, capacity: usize) -> Self {
+        let shards = DEFAULT_SHARDS.min(capacity.max(1));
+        Self::with_shards(disk, capacity, shards)
+    }
+
+    /// Creates a pool with `capacity` frames striped into exactly `shards`
+    /// lock stripes (clamped to `capacity`, so every stripe owns at least
+    /// one frame). One shard reproduces the paper's single exact-LRU pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `shards` is zero.
+    pub fn with_shards(disk: impl DiskBackend, capacity: usize, shards: usize) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
+        assert!(shards > 0, "buffer pool needs at least one shard");
+        let shards = shards.min(capacity);
+        let caps = shard_capacities(capacity, shards);
         BufferPool {
             disk: Box::new(disk),
-            inner: Mutex::new(Inner {
-                frames: Vec::new(),
-                map: HashMap::new(),
-                lru: LruList::new(capacity),
-                free: Vec::new(),
-                capacity,
-                scratch: vec![0u8; FRAME_SIZE].into_boxed_slice(),
-            }),
+            shards: caps.into_iter().map(Shard::new).collect(),
+            capacity: AtomicUsize::new(capacity),
             stats: IoStats::new(),
             retry: Mutex::new(RetryPolicy::default()),
         }
@@ -132,9 +241,23 @@ impl BufferPool {
         Self::new(disk, DEFAULT_CAPACITY)
     }
 
-    /// Current capacity in frames.
+    /// Current requested capacity in frames.
+    ///
+    /// With more shards than frames-per-shard rounding allows, the
+    /// *enforced* budget is `max(capacity, num_shards)` — every shard keeps
+    /// at least one frame.
     pub fn capacity(&self) -> usize {
-        self.inner.lock().capacity
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Number of lock stripes.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard_of(&self, id: PageId) -> &Shard {
+        &self.shards[id as usize % self.shards.len()]
     }
 
     /// Current transient-fault retry policy.
@@ -148,35 +271,107 @@ impl BufferPool {
     }
 
     /// Resizes the pool to `capacity` frames, evicting (and flushing) the
-    /// least-recently-used pages if shrinking.
+    /// least-recently-used pages of each shard if shrinking. The stripe
+    /// count is fixed at construction, so each shard keeps at least one
+    /// frame (see [`capacity`](Self::capacity)).
     pub fn set_capacity(&self, capacity: usize) -> Result<()> {
         assert!(capacity > 0, "buffer pool needs at least one frame");
-        let mut inner = self.inner.lock();
-        inner.capacity = capacity;
-        let target = capacity.max(inner.frames.len());
-        inner.lru.grow_to(target);
-        while inner.lru.len() > capacity {
-            self.evict_one(&mut inner)?;
+        self.assert_not_reentrant();
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let caps = shard_capacities(capacity, self.shards.len());
+        for (shard, cap) in self.shards.iter().zip(caps) {
+            let mut inner = shard.lock();
+            inner.capacity = cap;
+            while inner.map.len() > inner.capacity {
+                if !self.evict_one(shard, &mut inner)? {
+                    break; // every remaining frame is pinned by a loader
+                }
+            }
         }
         Ok(())
     }
 
     /// Reads page `id` and passes its bytes to `f`.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
-        let mut inner = self.inner.lock();
-        let frame = self.fetch(&mut inner, id)?;
-        Ok(f(&inner.frames[frame as usize].data))
+        self.with_frame(id, |frame| f(&frame.data))
     }
 
     /// Reads page `id`, passes its bytes mutably to `f`, and marks the page
     /// dirty. The modification reaches disk on eviction or
     /// [`flush_all`](Self::flush_all).
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
-        let mut inner = self.inner.lock();
-        let frame = self.fetch(&mut inner, id)?;
-        let frame = &mut inner.frames[frame as usize];
-        frame.dirty = true;
-        Ok(f(&mut frame.data))
+        self.with_frame(id, |frame| {
+            frame.dirty = true;
+            f(&mut frame.data)
+        })
+    }
+
+    /// Locates (or faults in) page `id` and runs `f` on its frame under
+    /// the shard lock.
+    fn with_frame<R>(&self, id: PageId, f: impl FnOnce(&mut Frame) -> R) -> Result<R> {
+        let _guard = ReentrancyGuard::enter(self);
+        let shard = self.shard_of(id);
+        shard.stats.record_logical_read();
+        loop {
+            let mut inner = shard.lock();
+            if let Some(&fi) = inner.map.get(&id) {
+                if inner.frames[fi as usize].loaded {
+                    shard.stats.record_pool_hit();
+                    if inner.frames[fi as usize].pins == 0 {
+                        inner.lru.touch(fi);
+                    }
+                    return Ok(f(&mut inner.frames[fi as usize]));
+                }
+                // Another thread is mid-read on this page: let it finish.
+                drop(inner);
+                std::thread::yield_now();
+                continue;
+            }
+
+            // Miss: reserve a pinned frame, then read outside the lock.
+            shard.stats.record_pool_miss();
+            let fi = self.acquire_frame(shard, &mut inner)?;
+            {
+                let fr = &mut inner.frames[fi as usize];
+                fr.page = id;
+                fr.dirty = false;
+                fr.loaded = false;
+                fr.pins = 1;
+            }
+            inner.map.insert(id, fi);
+            drop(inner);
+
+            let mut buf = vec![0u8; FRAME_SIZE].into_boxed_slice();
+            let read = self
+                .retrying(&shard.stats, || self.disk.read_page(id, &mut buf))
+                .and_then(|()| match verify_frame(&buf) {
+                    Ok(()) => Ok(()),
+                    Err(what) => {
+                        shard.stats.record_checksum_failure();
+                        Err(StoreError::corrupt_page(id, what))
+                    }
+                });
+
+            let mut inner = shard.lock();
+            let fr = &mut inner.frames[fi as usize];
+            debug_assert_eq!(fr.page, id, "pinned frame was stolen");
+            if let Err(e) = read {
+                // Hand the frame back so failed reads don't leak capacity.
+                fr.page = crate::INVALID_PAGE;
+                fr.pins = 0;
+                inner.map.remove(&id);
+                inner.free.push(fi);
+                return Err(e);
+            }
+            shard.stats.record_physical_read();
+            fr.data.copy_from_slice(&buf[..PAGE_SIZE]);
+            fr.loaded = true;
+            fr.pins -= 1;
+            if fr.pins == 0 {
+                inner.lru.touch(fi);
+            }
+            return Ok(f(&mut inner.frames[fi as usize]));
+        }
     }
 
     /// Replaces the full contents of page `id` with `payload` without
@@ -189,81 +384,108 @@ impl BufferPool {
     /// Panics if `payload` is not exactly [`PAGE_SIZE`] bytes.
     pub fn overwrite_page(&self, id: PageId, payload: &[u8]) -> Result<()> {
         assert_eq!(payload.len(), PAGE_SIZE, "overwrite_page needs a full page");
+        let _guard = ReentrancyGuard::enter(self);
         if id >= self.disk.num_pages() {
             return Err(StoreError::PageOutOfBounds(id));
         }
-        let mut inner = self.inner.lock();
-        let frame = match inner.map.get(&id) {
-            Some(&f) => f,
-            None => {
-                let f = self.acquire_frame(&mut inner)?;
-                inner.frames[f as usize].page = id;
-                inner.map.insert(id, f);
-                f
+        let shard = self.shard_of(id);
+        loop {
+            let mut inner = shard.lock();
+            let fi = match inner.map.get(&id) {
+                Some(&fi) => {
+                    if !inner.frames[fi as usize].loaded {
+                        // A concurrent loader owns the frame; its read
+                        // would clobber our payload. Wait it out.
+                        drop(inner);
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    fi
+                }
+                None => {
+                    let fi = self.acquire_frame(shard, &mut inner)?;
+                    inner.frames[fi as usize].page = id;
+                    inner.map.insert(id, fi);
+                    fi
+                }
+            };
+            {
+                let fr = &mut inner.frames[fi as usize];
+                fr.data.copy_from_slice(payload);
+                fr.dirty = true;
+                fr.loaded = true;
             }
-        };
-        inner.lru.touch(frame);
-        let fr = &mut inner.frames[frame as usize];
-        fr.data.copy_from_slice(payload);
-        fr.dirty = true;
-        Ok(())
+            if inner.frames[fi as usize].pins == 0 {
+                inner.lru.touch(fi);
+            }
+            return Ok(());
+        }
     }
 
     /// Allocates a fresh zeroed page, resident in the pool and marked dirty
     /// (it will be written to disk when evicted or flushed). Returns its id.
     pub fn allocate(&self) -> Result<PageId> {
-        let id = self.retrying(|| self.disk.allocate())?;
-        let mut inner = self.inner.lock();
-        let frame = self.acquire_frame(&mut inner)?;
+        let _guard = ReentrancyGuard::enter(self);
+        let id = self.retrying(&self.stats, || self.disk.allocate())?;
+        let shard = self.shard_of(id);
+        let mut inner = shard.lock();
+        let fi = self.acquire_frame(shard, &mut inner)?;
         {
-            let fr = &mut inner.frames[frame as usize];
+            let fr = &mut inner.frames[fi as usize];
             fr.page = id;
             fr.data.fill(0);
             fr.dirty = true;
+            fr.loaded = true;
         }
-        inner.map.insert(id, frame);
-        inner.lru.touch(frame);
+        inner.map.insert(id, fi);
+        inner.lru.touch(fi);
         Ok(id)
     }
 
     /// Writes every dirty resident page back to disk (pages stay resident).
+    /// Shards are flushed in stripe order, frames in residency order.
     pub fn flush_all(&self) -> Result<()> {
-        let mut guard = self.inner.lock();
-        let inner = &mut *guard;
-        let dirty: Vec<usize> = inner
-            .frames
-            .iter()
-            .enumerate()
-            .filter(|(_, fr)| fr.dirty && fr.page != crate::INVALID_PAGE)
-            .map(|(i, _)| i)
-            .collect();
-        for i in dirty {
-            let Inner {
-                frames, scratch, ..
-            } = &mut *inner;
-            self.write_frame(frames[i].page, &frames[i].data, scratch)?;
-            inner.frames[i].dirty = false;
+        self.assert_not_reentrant();
+        for shard in self.shards.iter() {
+            let mut guard = shard.lock();
+            let inner = &mut *guard;
+            let dirty: Vec<usize> = inner
+                .frames
+                .iter()
+                .enumerate()
+                .filter(|(_, fr)| fr.dirty && fr.loaded && fr.page != crate::INVALID_PAGE)
+                .map(|(i, _)| i)
+                .collect();
+            for i in dirty {
+                let ShardInner {
+                    frames, scratch, ..
+                } = &mut *inner;
+                self.write_frame(&shard.stats, frames[i].page, &frames[i].data, scratch)?;
+                inner.frames[i].dirty = false;
+            }
         }
         Ok(())
     }
 
     /// Writes the listed pages back to disk if they are resident and dirty
-    /// (pages stay resident). The commit protocol uses this for granular
-    /// durability barriers: journal stream, then commit mark, then home
-    /// pages.
+    /// (pages stay resident), in the order given. The commit protocol uses
+    /// this for granular durability barriers: journal stream, then commit
+    /// mark, then home pages.
     pub fn flush_pages(&self, ids: &[PageId]) -> Result<()> {
-        let mut guard = self.inner.lock();
-        let inner = &mut *guard;
+        self.assert_not_reentrant();
         for &id in ids {
-            let Some(&f) = inner.map.get(&id) else {
+            let shard = self.shard_of(id);
+            let mut guard = shard.lock();
+            let inner = &mut *guard;
+            let Some(&fi) = inner.map.get(&id) else {
                 continue;
             };
-            let i = f as usize;
-            if inner.frames[i].dirty {
-                let Inner {
+            let i = fi as usize;
+            if inner.frames[i].dirty && inner.frames[i].loaded {
+                let ShardInner {
                     frames, scratch, ..
                 } = &mut *inner;
-                self.write_frame(id, &frames[i].data, scratch)?;
+                self.write_frame(&shard.stats, id, &frames[i].data, scratch)?;
                 inner.frames[i].dirty = false;
             }
         }
@@ -272,11 +494,12 @@ impl BufferPool {
 
     /// Drops every resident page (flushing dirty ones), leaving the pool
     /// cold. Benchmarks call this between phases so each algorithm starts
-    /// with an empty cache.
+    /// with an empty cache. Frames pinned by concurrent loads survive.
     pub fn clear(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        while inner.lru.len() > 0 {
-            self.evict_one(&mut inner)?;
+        self.assert_not_reentrant();
+        for shard in self.shards.iter() {
+            let mut inner = shard.lock();
+            while self.evict_one(shard, &mut inner)? {}
         }
         Ok(())
     }
@@ -286,27 +509,34 @@ impl BufferPool {
         self.disk.num_pages()
     }
 
-    /// Point-in-time I/O counters.
+    /// Point-in-time I/O counters, folded across all shards.
     pub fn stats(&self) -> IoSnapshot {
-        self.stats.snapshot()
+        self.shards
+            .iter()
+            .fold(self.stats.snapshot(), |acc, shard| {
+                acc.merge(&shard.stats.snapshot())
+            })
     }
 
-    /// Zeroes the I/O counters.
+    /// Zeroes the I/O counters of every shard.
     pub fn reset_stats(&self) {
         self.stats.reset();
+        for shard in self.shards.iter() {
+            shard.stats.reset();
+        }
     }
 
     /// Runs a physical operation under the retry policy: transient
-    /// failures are re-attempted (counting each re-attempt) with linear
-    /// backoff; anything else returns immediately.
-    fn retrying<T>(&self, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    /// failures are re-attempted (counting each re-attempt in `stats`)
+    /// with linear backoff; anything else returns immediately.
+    fn retrying<T>(&self, stats: &IoStats, mut op: impl FnMut() -> Result<T>) -> Result<T> {
         let policy = *self.retry.lock();
         let max_attempts = policy.max_attempts.max(1);
         let mut attempt = 1;
         loop {
             match op() {
                 Err(e) if attempt < max_attempts && e.is_transient() => {
-                    self.stats.record_retry();
+                    stats.record_retry();
                     if policy.backoff > Duration::ZERO {
                         std::thread::sleep(policy.backoff.saturating_mul(attempt));
                     }
@@ -319,83 +549,49 @@ impl BufferPool {
 
     /// Seals `payload` into `scratch` and writes the frame out with
     /// retries, counting one physical write on success.
-    fn write_frame(&self, id: PageId, payload: &[u8], scratch: &mut [u8]) -> Result<()> {
+    fn write_frame(
+        &self,
+        stats: &IoStats,
+        id: PageId,
+        payload: &[u8],
+        scratch: &mut [u8],
+    ) -> Result<()> {
         scratch[..PAGE_SIZE].copy_from_slice(payload);
         seal_frame(scratch);
-        self.retrying(|| self.disk.write_page(id, scratch))?;
-        self.stats.record_physical_write();
+        self.retrying(stats, || self.disk.write_page(id, scratch))?;
+        stats.record_physical_write();
         Ok(())
     }
 
-    /// Locates (or faults in) page `id`, returning its frame index.
-    fn fetch(&self, inner: &mut Inner, id: PageId) -> Result<u32> {
-        self.stats.record_logical_read();
-        if let Some(&frame) = inner.map.get(&id) {
-            inner.lru.touch(frame);
-            return Ok(frame);
-        }
-        let frame = self.acquire_frame(inner)?;
-        let Inner {
-            frames,
-            scratch,
-            free,
-            map,
-            lru,
-            ..
-        } = &mut *inner;
-        let read = self
-            .retrying(|| self.disk.read_page(id, scratch))
-            .and_then(|()| match verify_frame(scratch) {
-                Ok(()) => Ok(()),
-                Err(what) => {
-                    self.stats.record_checksum_failure();
-                    Err(StoreError::corrupt_page(id, what))
-                }
-            });
-        if let Err(e) = read {
-            // Hand the frame back so failed reads don't leak capacity.
-            free.push(frame);
-            return Err(e);
-        }
-        self.stats.record_physical_read();
-        let fr = &mut frames[frame as usize];
-        fr.data.copy_from_slice(&scratch[..PAGE_SIZE]);
-        fr.page = id;
-        fr.dirty = false;
-        map.insert(id, frame);
-        lru.touch(frame);
-        Ok(frame)
-    }
-
     /// Finds a free frame for a page about to become resident, evicting
-    /// the LRU page first when the pool is at capacity.
+    /// the shard's LRU page first when the shard is at capacity.
     ///
-    /// Residency is governed by `lru.len()`, not by the size of the frame
-    /// vector: after [`BufferPool::set_capacity`] shrinks the pool, the
-    /// old frames sit on the free list, and reusing them must not let the
-    /// resident count exceed the new capacity.
-    fn acquire_frame(&self, inner: &mut Inner) -> Result<u32> {
-        if inner.lru.len() >= inner.capacity {
-            self.evict_one(inner)?;
+    /// Residency is governed by `map.len()` (which includes frames pinned
+    /// by in-flight loads), not by the size of the frame vector: after
+    /// [`BufferPool::set_capacity`] shrinks the pool, the old frames sit
+    /// on the free list, and reusing them must not let the resident count
+    /// exceed the new capacity. When every resident frame is pinned the
+    /// shard over-provisions temporarily instead of deadlocking.
+    fn acquire_frame(&self, shard: &Shard, inner: &mut ShardInner) -> Result<u32> {
+        if inner.map.len() >= inner.capacity {
+            self.evict_one(shard, inner)?;
         }
-        if let Some(frame) = inner.free.pop() {
-            return Ok(frame);
+        if let Some(fi) = inner.free.pop() {
+            return Ok(fi);
         }
-        debug_assert!(inner.frames.len() < inner.capacity);
         let idx = inner.frames.len() as u32;
-        inner.frames.push(Frame {
-            page: crate::INVALID_PAGE,
-            data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
-            dirty: false,
-        });
+        inner.frames.push(Frame::empty());
         inner.lru.grow_to(inner.frames.len());
         Ok(idx)
     }
 
-    /// Evicts the least-recently-used page, flushing it if dirty.
-    fn evict_one(&self, inner: &mut Inner) -> Result<()> {
-        let victim = inner.lru.pop_lru().expect("evict_one called on empty pool");
-        let Inner {
+    /// Evicts the shard's least-recently-used unpinned page, flushing it
+    /// if dirty. Returns whether a victim existed.
+    fn evict_one(&self, shard: &Shard, inner: &mut ShardInner) -> Result<bool> {
+        let Some(victim) = inner.lru.pop_lru() else {
+            return Ok(false);
+        };
+        let ShardInner {
             frames,
             scratch,
             map,
@@ -403,14 +599,98 @@ impl BufferPool {
             ..
         } = &mut *inner;
         let frame = &mut frames[victim as usize];
+        debug_assert_eq!(frame.pins, 0, "pinned frame reached the LRU list");
         if frame.dirty {
-            self.write_frame(frame.page, &frame.data, scratch)?;
+            self.write_frame(&shard.stats, frame.page, &frame.data, scratch)?;
             frame.dirty = false;
         }
         map.remove(&frame.page);
         frame.page = crate::INVALID_PAGE;
+        frame.loaded = false;
         free.push(victim);
-        Ok(())
+        Ok(true)
+    }
+
+    /// Debug-build check used by the lock-taking entry points that do not
+    /// run user closures: panics when called from inside a `with_page`
+    /// closure on this same pool, where it would deadlock.
+    #[inline]
+    fn assert_not_reentrant(&self) {
+        #[cfg(debug_assertions)]
+        reentrancy::assert_not_active(self as *const _ as usize);
+    }
+}
+
+/// Debug-build re-entrancy detection: a thread-local stack of pools whose
+/// shard locks the current thread may be holding inside a `with_page` /
+/// `with_page_mut` closure. Re-entering the same pool panics with a
+/// diagnostic instead of deadlocking on the (non-reentrant) shard mutex.
+/// Nested access to *different* pools is legitimate and allowed.
+#[cfg(debug_assertions)]
+mod reentrancy {
+    use std::cell::RefCell;
+
+    thread_local! {
+        static ACTIVE_POOLS: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) struct Guard(usize);
+
+    impl Guard {
+        pub(super) fn activate(pool: usize) -> Guard {
+            ACTIVE_POOLS.with(|stack| {
+                assert_not_active_in(&stack.borrow(), pool);
+                stack.borrow_mut().push(pool);
+            });
+            Guard(pool)
+        }
+    }
+
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            ACTIVE_POOLS.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                let top = stack.pop();
+                debug_assert_eq!(top, Some(self.0), "re-entrancy guard stack corrupted");
+            });
+        }
+    }
+
+    pub(super) fn assert_not_active(pool: usize) {
+        ACTIVE_POOLS.with(|stack| assert_not_active_in(&stack.borrow(), pool));
+    }
+
+    fn assert_not_active_in(stack: &[usize], pool: usize) {
+        assert!(
+            !stack.contains(&pool),
+            "re-entrant BufferPool access: a closure passed to \
+             with_page/with_page_mut called back into the same pool while \
+             its shard lock is held; this deadlocks in release builds. \
+             Copy what you need out of the page and return instead."
+        );
+    }
+}
+
+#[cfg(debug_assertions)]
+use reentrancy::Guard as ReentrancyGuard;
+
+/// Release builds compile the guard away.
+#[cfg(not(debug_assertions))]
+struct ReentrancyGuard;
+
+#[cfg(not(debug_assertions))]
+impl ReentrancyGuard {
+    #[inline(always)]
+    fn enter(_pool: &BufferPool) -> ReentrancyGuard {
+        ReentrancyGuard
+    }
+}
+
+#[cfg(debug_assertions)]
+impl ReentrancyGuard {
+    #[inline]
+    fn enter(pool: &BufferPool) -> ReentrancyGuard {
+        reentrancy::Guard::activate(pool as *const _ as usize)
     }
 }
 
@@ -463,6 +743,8 @@ mod tests {
         let s = p.stats();
         assert_eq!(s.logical_reads, 2);
         assert_eq!(s.physical_reads, 0, "page never left the pool");
+        assert_eq!(s.pool_hits, 2);
+        assert_eq!(s.pool_misses, 0);
     }
 
     #[test]
@@ -472,7 +754,7 @@ mod tests {
         let b = p.allocate().unwrap();
         p.with_page_mut(a, |buf| buf[0] = 1).unwrap();
         p.with_page_mut(b, |buf| buf[0] = 2).unwrap();
-        // Third page evicts `a` (LRU).
+        // Third page evicts `a` (LRU of its stripe).
         let c = p.allocate().unwrap();
         p.with_page_mut(c, |buf| buf[0] = 3).unwrap();
         assert!(p.stats().physical_writes >= 1);
@@ -485,7 +767,8 @@ mod tests {
 
     #[test]
     fn lru_keeps_hot_page_resident() {
-        let p = pool(2);
+        // Single shard: the test asserts *global* exact-LRU order.
+        let p = BufferPool::with_shards(MemDisk::new(), 2, 1);
         let hot = p.allocate().unwrap();
         let cold = p.allocate().unwrap();
         p.with_page(hot, |_| ()).unwrap(); // hot is MRU
@@ -527,7 +810,8 @@ mod tests {
 
     #[test]
     fn shrink_capacity_evicts_excess() {
-        let p = pool(8);
+        // Single shard: the test asserts a *global* LRU residency set.
+        let p = BufferPool::with_shards(MemDisk::new(), 8, 1);
         let ids: Vec<_> = (0..8).map(|_| p.allocate().unwrap()).collect();
         p.set_capacity(2).unwrap();
         assert_eq!(p.capacity(), 2);
@@ -571,8 +855,8 @@ mod tests {
         p.set_capacity(4).unwrap();
         p.clear().unwrap();
         p.reset_stats();
-        // Three cyclic sweeps over 16 pages with 4 frames: pure thrash,
-        // every access must miss.
+        // Three cyclic sweeps over 16 pages with (effectively) one frame
+        // per stripe: pure thrash, every access must miss.
         for _ in 0..3 {
             for &id in &ids {
                 p.with_page(id, |_| ()).unwrap();
@@ -581,7 +865,7 @@ mod tests {
         assert_eq!(
             p.stats().physical_reads,
             48,
-            "shrunken pool must behave exactly like a fresh 4-frame pool"
+            "shrunken pool must behave exactly like a freshly small pool"
         );
     }
 
@@ -599,7 +883,81 @@ mod tests {
         let s = p.stats();
         assert_eq!(s.logical_reads, 10);
         assert_eq!(s.physical_reads, 10);
+        assert_eq!(s.pool_misses, 10);
+        assert_eq!(s.pool_hits, 0);
         assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_miss_counters_partition_logical_reads() {
+        let p = pool(8);
+        let ids: Vec<_> = (0..4).map(|_| p.allocate().unwrap()).collect();
+        p.clear().unwrap();
+        p.reset_stats();
+        for _ in 0..3 {
+            for &id in &ids {
+                p.with_page(id, |_| ()).unwrap();
+            }
+        }
+        let s = p.stats();
+        assert_eq!(s.logical_reads, 12);
+        assert_eq!(s.pool_misses, 4, "first sweep faults each page once");
+        assert_eq!(s.pool_hits, 8, "later sweeps hit resident frames");
+        assert_eq!(s.pool_hits + s.pool_misses, s.logical_reads);
+    }
+
+    #[test]
+    fn shards_clamped_to_capacity() {
+        let p = pool(3);
+        assert_eq!(p.num_shards(), 3);
+        let p = BufferPool::with_shards(MemDisk::new(), 64, 4);
+        assert_eq!(p.num_shards(), 4);
+        let p = BufferPool::with_shards(MemDisk::new(), 2, 16);
+        assert_eq!(p.num_shards(), 2);
+    }
+
+    #[test]
+    fn shard_capacities_cover_budget() {
+        assert_eq!(shard_capacities(64, 8), vec![8; 8]);
+        assert_eq!(shard_capacities(10, 4), vec![3, 3, 2, 2]);
+        // Below one frame per stripe, every stripe still gets one.
+        assert_eq!(shard_capacities(2, 4), vec![1, 1, 1, 1]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "re-entrant BufferPool access")]
+    fn reentrant_access_panics_instead_of_deadlocking() {
+        let p = pool(4);
+        let a = p.allocate().unwrap();
+        let _ = p.with_page(a, |_| {
+            // Same pool, same page, same shard: would deadlock.
+            let _ = p.with_page(a, |_| ());
+        });
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "re-entrant BufferPool access")]
+    fn reentrant_flush_panics() {
+        let p = pool(4);
+        let a = p.allocate().unwrap();
+        let _ = p.with_page(a, |_| {
+            let _ = p.flush_all();
+        });
+    }
+
+    #[test]
+    fn nested_access_to_distinct_pools_is_allowed() {
+        let p1 = pool(4);
+        let p2 = pool(4);
+        let a = p1.allocate().unwrap();
+        let b = p2.allocate().unwrap();
+        p2.with_page_mut(b, |buf| buf[0] = 7).unwrap();
+        let v = p1
+            .with_page(a, |_| p2.with_page(b, |buf| buf[0]).unwrap())
+            .unwrap();
+        assert_eq!(v, 7);
     }
 
     #[test]

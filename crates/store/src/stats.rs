@@ -10,6 +10,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// measure. `retries` counts re-attempts of transient physical failures
 /// under the pool's [`crate::RetryPolicy`]; `checksum_failures` counts
 /// frames that came back from the backend failing CRC verification.
+///
+/// The sharded pool additionally keeps per-shard cache counters:
+/// `pool_hits` / `pool_misses` split the logical reads by whether the page
+/// was resident, and `lock_contention` counts accesses that found their
+/// shard lock already held by another thread (each such event is one
+/// blocked lock acquisition — the scalability signal the thread-scaling
+/// benchmark tracks).
 #[derive(Default, Debug)]
 pub struct IoStats {
     logical_reads: AtomicU64,
@@ -17,6 +24,9 @@ pub struct IoStats {
     physical_writes: AtomicU64,
     retries: AtomicU64,
     checksum_failures: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
+    lock_contention: AtomicU64,
 }
 
 impl IoStats {
@@ -45,6 +55,18 @@ impl IoStats {
         self.checksum_failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_pool_hit(&self) {
+        self.pool_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_pool_miss(&self) {
+        self.pool_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_lock_contention(&self) {
+        self.lock_contention.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -53,6 +75,9 @@ impl IoStats {
             physical_writes: self.physical_writes.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            pool_misses: self.pool_misses.load(Ordering::Relaxed),
+            lock_contention: self.lock_contention.load(Ordering::Relaxed),
         }
     }
 
@@ -63,6 +88,9 @@ impl IoStats {
         self.physical_writes.store(0, Ordering::Relaxed);
         self.retries.store(0, Ordering::Relaxed);
         self.checksum_failures.store(0, Ordering::Relaxed);
+        self.pool_hits.store(0, Ordering::Relaxed);
+        self.pool_misses.store(0, Ordering::Relaxed);
+        self.lock_contention.store(0, Ordering::Relaxed);
     }
 }
 
@@ -79,6 +107,13 @@ pub struct IoSnapshot {
     pub retries: u64,
     /// Frames read from the backend that failed CRC verification.
     pub checksum_failures: u64,
+    /// Page accesses served by a resident, decoded-and-verified frame.
+    pub pool_hits: u64,
+    /// Page accesses that had to fault the page in from the backend
+    /// (counted even when the physical read then fails).
+    pub pool_misses: u64,
+    /// Shard-lock acquisitions that found the lock already held.
+    pub lock_contention: u64,
 }
 
 impl IoSnapshot {
@@ -103,6 +138,24 @@ impl IoSnapshot {
             physical_writes: self.physical_writes - earlier.physical_writes,
             retries: self.retries - earlier.retries,
             checksum_failures: self.checksum_failures - earlier.checksum_failures,
+            pool_hits: self.pool_hits - earlier.pool_hits,
+            pool_misses: self.pool_misses - earlier.pool_misses,
+            lock_contention: self.lock_contention - earlier.lock_contention,
+        }
+    }
+
+    /// Counter-wise sum, for folding per-shard or per-pool snapshots into
+    /// one aggregate.
+    pub fn merge(&self, other: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            logical_reads: self.logical_reads + other.logical_reads,
+            physical_reads: self.physical_reads + other.physical_reads,
+            physical_writes: self.physical_writes + other.physical_writes,
+            retries: self.retries + other.retries,
+            checksum_failures: self.checksum_failures + other.checksum_failures,
+            pool_hits: self.pool_hits + other.pool_hits,
+            pool_misses: self.pool_misses + other.pool_misses,
+            lock_contention: self.lock_contention + other.lock_contention,
         }
     }
 }
@@ -120,12 +173,18 @@ mod tests {
         s.record_physical_write();
         s.record_retry();
         s.record_checksum_failure();
+        s.record_pool_hit();
+        s.record_pool_miss();
+        s.record_lock_contention();
         let snap = s.snapshot();
         assert_eq!(snap.logical_reads, 2);
         assert_eq!(snap.physical_reads, 1);
         assert_eq!(snap.physical_writes, 1);
         assert_eq!(snap.retries, 1);
         assert_eq!(snap.checksum_failures, 1);
+        assert_eq!(snap.pool_hits, 1);
+        assert_eq!(snap.pool_misses, 1);
+        assert_eq!(snap.lock_contention, 1);
         assert_eq!(snap.physical_total(), 2);
         assert_eq!(snap.hit_rate(), 0.5);
     }
@@ -135,6 +194,7 @@ mod tests {
         let s = IoStats::new();
         s.record_logical_read();
         s.record_retry();
+        s.record_pool_hit();
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
         assert_eq!(s.snapshot().hit_rate(), 1.0);
@@ -148,10 +208,24 @@ mod tests {
         s.record_logical_read();
         s.record_physical_read();
         s.record_retry();
+        s.record_pool_miss();
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.logical_reads, 1);
         assert_eq!(d.physical_reads, 1);
         assert_eq!(d.retries, 1);
+        assert_eq!(d.pool_misses, 1);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let s = IoStats::new();
+        s.record_logical_read();
+        s.record_pool_hit();
+        let a = s.snapshot();
+        let m = a.merge(&a);
+        assert_eq!(m.logical_reads, 2);
+        assert_eq!(m.pool_hits, 2);
+        assert_eq!(m.physical_reads, 0);
     }
 }

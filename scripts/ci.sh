@@ -14,3 +14,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 # Tier-1 gate (ROADMAP.md).
 cargo build --release
 cargo test -q
+
+# Concurrency gate: the sharded-pool / node-cache stress tests must run
+# with the test harness's thread pool unconstrained so the schedules
+# actually interleave (an inherited RUST_TEST_THREADS=1 would serialize
+# them into meaninglessness). CI runners have real cores, so also opt in
+# to the parallel-MBA wall-clock speedup assertion.
+env -u RUST_TEST_THREADS ANN_ASSERT_SPEEDUP=1 \
+  cargo test -q -p ann-store --test concurrent_pool
+env -u RUST_TEST_THREADS ANN_ASSERT_SPEEDUP=1 \
+  cargo test -q -p ann-core --test parallel
+
+# Benches must at least compile; the scaling figure itself is run on
+# demand (results/BENCH_*.json are committed artifacts).
+cargo bench --no-run
