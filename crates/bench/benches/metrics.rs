@@ -2,6 +2,7 @@
 //! Algorithm 1 computes NXNDIST in `O(D)` time, measured against the
 //! other MBR metrics across dimensionalities.
 
+use ann_core::trace::{PruneReason, TraceEvent, Tracer};
 use ann_geom::{max_max_dist_sq, min_min_dist_sq, nxn_dist_sq, Mbr};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -58,11 +59,46 @@ fn bench_dim<const D: usize>(c: &mut Criterion, label: &str) {
     group.finish();
 }
 
+/// The observability-layer overhead policy: a hot loop with a disabled
+/// [`Tracer`] call per iteration must be indistinguishable from the same
+/// loop without it (the event closure is never run, the call is a single
+/// `Option` check).
+fn bench_trace_noop(c: &mut Criterion) {
+    let pairs = random_mbr_pairs::<2>(1024, 7);
+    let mut group = c.benchmark_group("trace/noop-sink");
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (m, n) in &pairs {
+                acc += nxn_dist_sq(black_box(m), black_box(n));
+            }
+            acc
+        })
+    });
+    group.bench_function("disabled-tracer", |b| {
+        let tracer = Tracer::disabled();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (m, n) in &pairs {
+                acc += nxn_dist_sq(black_box(m), black_box(n));
+                tracer.event(|| TraceEvent::Pruned {
+                    metric: "NXNDIST",
+                    reason: PruneReason::OnProbe,
+                    count: 1,
+                });
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
 fn benches(c: &mut Criterion) {
     bench_dim::<2>(c, "2d");
     bench_dim::<4>(c, "4d");
     bench_dim::<6>(c, "6d");
     bench_dim::<10>(c, "10d");
+    bench_trace_noop(c);
 }
 
 criterion_group!(metrics, benches);

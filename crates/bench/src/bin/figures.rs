@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures <command> [--scale FRACTION | --full] [--json DIR]
+//! figures <command> [--scale FRACTION | --full] [--json DIR] [--trace DIR]
 //!
 //! commands:
 //!   fig3a | fig3a-synthetic | fig3b | fig4 | fig5 | fig6
@@ -14,6 +14,11 @@
 //! `--scale 0.1` (the default) runs each workload at 10 % of the paper's
 //! cardinality; `--full` is paper scale (700 K × 700 K joins — expect a
 //! long run).
+//!
+//! `--trace DIR` attaches an execution tracer to every run and writes one
+//! structured `ExecutionReport` JSON per run into `DIR` (phase wall times
+//! with I/O deltas, per-level node-expansion histograms, and the
+//! pruning-effectiveness breakdown). Measured counters are unaffected.
 
 use ann_bench::{figures, report::Figure};
 use std::path::PathBuf;
@@ -23,6 +28,7 @@ struct Args {
     command: String,
     fraction: f64,
     json_dir: Option<PathBuf>,
+    trace_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
     let command = args.next().ok_or_else(usage)?;
     let mut fraction = 0.1;
     let mut json_dir = None;
+    let mut trace_dir = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--full" => fraction = 1.0,
@@ -46,6 +53,10 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--json needs a directory")?;
                 json_dir = Some(PathBuf::from(v));
             }
+            "--trace" => {
+                let v = args.next().ok_or("--trace needs a directory")?;
+                trace_dir = Some(PathBuf::from(v));
+            }
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
@@ -53,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
         command,
         fraction,
         json_dir,
+        trace_dir,
     })
 }
 
@@ -60,7 +72,7 @@ fn usage() -> String {
     "usage: figures <fig3a|fig3a-synthetic|fig3b|fig4|fig5|fig6|\
      ablation-traversal|ablation-mbr|ablation-packing|extra-mnn|extra-hnn|extra-parallel|\
      parallel-scaling|all|list-datasets> \
-     [--scale F] [--full] [--json DIR]"
+     [--scale F] [--full] [--json DIR] [--trace DIR]"
         .to_string()
 }
 
@@ -93,6 +105,13 @@ fn main() -> ExitCode {
         }
     };
     let f = args.fraction;
+    if let Some(dir) = &args.trace_dir {
+        if let Err(e) = ann_bench::harness::enable_tracing(dir) {
+            eprintln!("could not create trace directory {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("tracing every run into {}", dir.display());
+    }
     eprintln!(
         "running {} at scale {:.3} of the paper's cardinalities",
         args.command, f

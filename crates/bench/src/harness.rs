@@ -1,17 +1,24 @@
 //! Run one (algorithm, metric, dataset, k) cell and measure it.
+//!
+//! All index-based methods dispatch through the unified
+//! [`ann_core::query::run`] entrypoint; GORDER (which lives downstream of
+//! `ann-core`) goes through its own traced entrypoint. When tracing is
+//! enabled ([`enable_tracing`]) each run records into a
+//! [`RecordingSink`] and writes one `ExecutionReport` JSON per run.
 
-use ann_core::bnn::{bnn, BnnConfig};
-use ann_core::hnn::{hnn, HnnConfig};
-use ann_core::mba::{mba, Expansion, MbaConfig, Traversal};
-use ann_core::mnn::{mnn, MnnConfig};
+use ann_core::mba::{Expansion, Traversal};
+use ann_core::query::{Algorithm, AnnRequest, Input, MetricChoice, NoIndex};
 use ann_core::stats::AnnOutput;
-use ann_geom::{MaxMaxDist, NxnDist, Point};
-use ann_gorder::{gorder_join, GorderConfig};
+use ann_core::trace::{RecordingSink, Side, TraceSink, Tracer};
+use ann_geom::Point;
+use ann_gorder::{gorder_join_traced, GorderConfig};
 use ann_mbrqt::{Mbrqt, MbrqtConfig};
 use ann_rstar::{RStar, RStarConfig};
 use ann_store::{BufferPool, MemDisk};
 use serde::Serialize;
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Simulated cost of one physical page transfer, in seconds.
@@ -165,14 +172,66 @@ impl Measurement {
     }
 }
 
+/// Directory for per-run `ExecutionReport` JSON files, once tracing is
+/// enabled; paired with a process-wide run sequence number.
+static TRACE_DIR: OnceLock<PathBuf> = OnceLock::new();
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Turns on per-run execution tracing for every subsequent [`run`] in
+/// this process: each run records into a [`RecordingSink`] and writes
+/// `<seq>_<label>.json` into `dir`. Returns an error if the directory
+/// cannot be created; enabling twice keeps the first directory.
+pub fn enable_tracing(dir: impl Into<PathBuf>) -> std::io::Result<()> {
+    let dir = dir.into();
+    std::fs::create_dir_all(&dir)?;
+    let _ = TRACE_DIR.set(dir);
+    Ok(())
+}
+
 /// Runs one configured experiment cell on the given datasets.
 ///
 /// Builds whatever structures the method needs into a fresh pool, clears
-/// the pool (cold cache), then measures the query phase.
+/// the pool (cold cache), then measures the query phase. With tracing
+/// enabled ([`enable_tracing`]) the run additionally writes one
+/// `ExecutionReport` JSON; the measured counters are identical either
+/// way (the tracer's no-op path is free).
 pub fn run<const D: usize>(
     r: &[(u64, Point<D>)],
     s: &[(u64, Point<D>)],
     cfg: &RunConfig,
+) -> Measurement {
+    let Some(dir) = TRACE_DIR.get() else {
+        return run_with_sink(r, s, cfg, None);
+    };
+    let sink = RecordingSink::new();
+    let m = run_with_sink(r, s, cfg, Some(&sink));
+    let report = sink.report(&m.label);
+    let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let slug: String = m
+        .label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    let path = dir.join(format!("{seq:04}_{slug}.json"));
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("warning: could not write trace report {}: {e}", path.display());
+    }
+    m
+}
+
+/// [`run`] against an explicit optional [`TraceSink`] (the sink used when
+/// process-wide tracing is enabled; tests pass their own).
+pub fn run_with_sink<const D: usize>(
+    r: &[(u64, Point<D>)],
+    s: &[(u64, Point<D>)],
+    cfg: &RunConfig,
+    sink: Option<&dyn TraceSink>,
 ) -> Measurement {
     let pool = Arc::new(BufferPool::new(MemDisk::new(), cfg.pool_frames.max(8)));
     let label = match cfg.method {
@@ -188,11 +247,25 @@ pub fn run<const D: usize>(
         r.len(),
         s.len()
     );
-    let mba_cfg = MbaConfig {
-        k: cfg.k,
+    let tracer = sink.map_or(Tracer::disabled(), Tracer::new);
+    let metric = match cfg.metric {
+        Metric::Nxn => MetricChoice::Nxn,
+        Metric::MaxMax => MetricChoice::MaxMax,
+    };
+    let request = |alg: Algorithm| {
+        let mut req = AnnRequest::new(alg)
+            .k(cfg.k)
+            .exclude_self(cfg.exclude_self)
+            .metric(metric);
+        if let Some(sink) = sink {
+            req = req.trace(sink);
+        }
+        req
+    };
+    let mba_alg = Algorithm::Mba {
         traversal: cfg.traversal,
         expansion: cfg.expansion,
-        exclude_self: cfg.exclude_self,
+        threads: 1,
     };
 
     match cfg.method {
@@ -203,80 +276,68 @@ pub fn run<const D: usize>(
                 ..Default::default()
             };
             let t0 = Instant::now();
-            let ir = Mbrqt::bulk_build(pool.clone(), r, &qt_cfg).expect("build I_R");
-            let is = Mbrqt::bulk_build(pool.clone(), s, &qt_cfg).expect("build I_S");
+            let ir = Mbrqt::bulk_build_traced(pool.clone(), r, &qt_cfg, Side::R, tracer)
+                .expect("build I_R");
+            let is = Mbrqt::bulk_build_traced(pool.clone(), s, &qt_cfg, Side::S, tracer)
+                .expect("build I_S");
             let build = t0.elapsed().as_secs_f64();
             prepare_query_phase(&pool, cfg.pool_frames);
             let t0 = Instant::now();
-            let out = match cfg.metric {
-                Metric::Nxn => mba::<D, NxnDist, _, _>(&ir, &is, &mba_cfg),
-                Metric::MaxMax => mba::<D, MaxMaxDist, _, _>(&ir, &is, &mba_cfg),
-            }
-            .expect("MBA run");
+            let out = request(mba_alg)
+                .run(Input::Index(&ir), Input::Index(&is))
+                .expect("MBA run");
             Measurement::from_output(label, &out, t0.elapsed().as_secs_f64(), build)
         }
         Method::Rba => {
+            let rs_cfg = RStarConfig::default();
             let t0 = Instant::now();
-            let ir = RStar::bulk_build(pool.clone(), r, &RStarConfig::default()).expect("build");
-            let is = RStar::bulk_build(pool.clone(), s, &RStarConfig::default()).expect("build");
+            let ir =
+                RStar::bulk_build_traced(pool.clone(), r, &rs_cfg, Side::R, tracer).expect("build");
+            let is =
+                RStar::bulk_build_traced(pool.clone(), s, &rs_cfg, Side::S, tracer).expect("build");
             let build = t0.elapsed().as_secs_f64();
             prepare_query_phase(&pool, cfg.pool_frames);
             let t0 = Instant::now();
-            let out = match cfg.metric {
-                Metric::Nxn => mba::<D, NxnDist, _, _>(&ir, &is, &mba_cfg),
-                Metric::MaxMax => mba::<D, MaxMaxDist, _, _>(&ir, &is, &mba_cfg),
-            }
-            .expect("RBA run");
+            let out = request(mba_alg)
+                .run(Input::Index(&ir), Input::Index(&is))
+                .expect("RBA run");
             Measurement::from_output(label, &out, t0.elapsed().as_secs_f64(), build)
         }
         Method::Bnn => {
             let t0 = Instant::now();
-            let is = RStar::bulk_build(pool.clone(), s, &RStarConfig::default()).expect("build");
+            let is = RStar::bulk_build_traced(pool.clone(), s, &RStarConfig::default(), Side::S, tracer)
+                .expect("build");
             let build = t0.elapsed().as_secs_f64();
             prepare_query_phase(&pool, cfg.pool_frames);
-            let bnn_cfg = BnnConfig {
-                k: cfg.k,
-                group_size: 256,
-                exclude_self: cfg.exclude_self,
-            };
             let t0 = Instant::now();
-            let out = match cfg.metric {
-                Metric::Nxn => bnn::<D, NxnDist, _>(r, &is, &bnn_cfg),
-                Metric::MaxMax => bnn::<D, MaxMaxDist, _>(r, &is, &bnn_cfg),
-            }
-            .expect("BNN run");
+            let out = request(Algorithm::Bnn { group_size: 256 })
+                .run(Input::<D, NoIndex>::Points(r), Input::Index(&is))
+                .expect("BNN run");
             Measurement::from_output(label, &out, t0.elapsed().as_secs_f64(), build)
         }
         Method::Mnn => {
             let qt_cfg = MbrqtConfig::default();
             let t0 = Instant::now();
-            let ir = Mbrqt::bulk_build(pool.clone(), r, &qt_cfg).expect("build");
-            let is = RStar::bulk_build(pool.clone(), s, &RStarConfig::default()).expect("build");
+            let ir = Mbrqt::bulk_build_traced(pool.clone(), r, &qt_cfg, Side::R, tracer)
+                .expect("build");
+            let is = RStar::bulk_build_traced(pool.clone(), s, &RStarConfig::default(), Side::S, tracer)
+                .expect("build");
             let build = t0.elapsed().as_secs_f64();
             prepare_query_phase(&pool, cfg.pool_frames);
-            let mnn_cfg = MnnConfig {
-                k: cfg.k,
-                exclude_self: cfg.exclude_self,
-            };
             let t0 = Instant::now();
-            let out = match cfg.metric {
-                Metric::Nxn => mnn::<D, NxnDist, _, _>(&ir, &is, &mnn_cfg),
-                Metric::MaxMax => mnn::<D, MaxMaxDist, _, _>(&ir, &is, &mnn_cfg),
-            }
-            .expect("MNN run");
+            let out = request(Algorithm::Mnn)
+                .run(Input::Index(&ir), Input::Index(&is))
+                .expect("MNN run");
             Measurement::from_output(label, &out, t0.elapsed().as_secs_f64(), build)
         }
         Method::Hnn => {
             // HNN is entirely in-memory (the paper's §2 notes it avoids
             // index construction); no pages are charged.
             prepare_query_phase(&pool, cfg.pool_frames);
-            let h_cfg = HnnConfig {
-                k: cfg.k,
-                exclude_self: cfg.exclude_self,
-                ..Default::default()
-            };
             let t0 = Instant::now();
-            let out = hnn(r, s, &h_cfg);
+            let out = request(Algorithm::hnn())
+                .run(Input::<D, NoIndex>::Points(r), Input::<D, NoIndex>::Points(s))
+                .expect("HNN run");
             Measurement::from_output(label, &out, t0.elapsed().as_secs_f64(), 0.0)
         }
         Method::Gorder => {
@@ -289,7 +350,7 @@ pub fn run<const D: usize>(
                 ..Default::default()
             };
             let t0 = Instant::now();
-            let out = gorder_join(r, s, pool.clone(), &g_cfg).expect("GORDER run");
+            let out = gorder_join_traced(r, s, pool.clone(), &g_cfg, tracer).expect("GORDER run");
             Measurement::from_output(label, &out, t0.elapsed().as_secs_f64(), 0.0)
         }
     }

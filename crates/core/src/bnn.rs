@@ -16,6 +16,7 @@ use crate::index::SpatialIndex;
 use crate::lpq::{BoundTracker, PRUNE_EPS};
 use crate::node::Entry;
 use crate::stats::{AnnOutput, NeighborPair};
+use crate::trace::{Phase, PruneReason, Side, TraceEvent, Tracer};
 use ann_geom::{curve::GridMapper, min_min_dist_sq, Mbr, Point, PruneMetric};
 use ann_store::Result;
 use std::cmp::Ordering;
@@ -137,23 +138,64 @@ where
     M: PruneMetric,
     IS: SpatialIndex<D>,
 {
+    bnn_traced::<D, M, IS>(r, is, cfg, Tracer::disabled())
+}
+
+/// [`bnn`] with an attached [`Tracer`]. With `Tracer::disabled()` this is
+/// exactly [`bnn`]: all instrumentation sites are guarded.
+pub fn bnn_traced<const D: usize, M, IS>(
+    r: &[(u64, Point<D>)],
+    is: &IS,
+    cfg: &BnnConfig,
+    tracer: Tracer<'_>,
+) -> Result<AnnOutput>
+where
+    M: PruneMetric,
+    IS: SpatialIndex<D>,
+{
     assert!(cfg.k >= 1, "k must be at least 1");
     assert!(cfg.group_size >= 1, "group size must be at least 1");
     let mut out = AnnOutput::default();
     let io0 = is.pool().stats();
+    let io_now = || is.pool().stats();
+    let span_q = tracer.span_enter(Phase::Query, io_now);
 
     if !r.is_empty() && is.num_points() > 0 {
         // Sort queries in Hilbert order over their own bounding box, then
         // chunk into groups.
+        let span_sort = tracer.span_enter(Phase::Sort, io_now);
         let bounds = Mbr::from_points(r.iter().map(|(_, p)| p));
         let mapper = GridMapper::new(bounds);
         let mut sorted: Vec<&(u64, Point<D>)> = r.iter().collect();
         sorted.sort_by_key(|(_, p)| mapper.hilbert_key(p));
+        tracer.span_exit(Phase::Sort, span_sort, io_now);
 
+        tracer.event(|| TraceEvent::Root {
+            side: Side::S,
+            page: is.root_page(),
+        });
+        let span_j = tracer.span_enter(Phase::Join, io_now);
+        let mut cutoff_total = 0u64;
         for group in sorted.chunks(cfg.group_size) {
-            run_group::<D, M, IS>(group, is, cfg, &mut out)?;
+            run_group::<D, M, IS>(group, is, cfg, &mut out, tracer, &mut cutoff_total)?;
         }
+        if tracer.enabled() {
+            for (reason, count) in [
+                (PruneReason::OnProbe, out.stats.pruned_on_probe),
+                (PruneReason::HeapCutoff, cutoff_total),
+            ] {
+                if count > 0 {
+                    tracer.event(|| TraceEvent::Pruned {
+                        metric: M::NAME,
+                        reason,
+                        count,
+                    });
+                }
+            }
+        }
+        tracer.span_exit(Phase::Join, span_j, io_now);
     }
+    tracer.span_exit(Phase::Query, span_q, io_now);
 
     out.stats.io = is.pool().stats().since(&io0);
     Ok(out)
@@ -164,11 +206,14 @@ fn run_group<const D: usize, M, IS>(
     is: &IS,
     cfg: &BnnConfig,
     out: &mut AnnOutput,
+    tracer: Tracer<'_>,
+    cutoff_total: &mut u64,
 ) -> Result<()>
 where
     M: PruneMetric,
     IS: SpatialIndex<D>,
 {
+    let mut heap_pops = 0u64;
     let k_eff = cfg.k + usize::from(cfg.exclude_self);
     let gmbr = Mbr::from_points(group.iter().map(|(_, p)| p));
     let mut states: Vec<PointState<D>> = group
@@ -210,8 +255,13 @@ where
     out.stats.enqueued += 1;
 
     while let Some(item) = heap.pop() {
+        heap_pops += 1;
         let bound = metric_bound.bound_sq().min(point_bound);
         if item.mind_sq > bound * (1.0 + PRUNE_EPS) {
+            if tracer.enabled() {
+                // The popped item and everything still queued are cut off.
+                *cutoff_total += heap.len() as u64 + 1;
+            }
             break; // min-heap: everything remaining is at least this far
         }
         metric_bound.remove(item.maxd_sq);
@@ -236,6 +286,7 @@ where
             Entry::Node(n) => {
                 let node = is.read_node_cached(n.page)?;
                 out.stats.s_nodes_expanded += 1;
+                tracer.node_expanded(Side::S, n.page, &node.entries);
                 for e in node.entries.iter().copied() {
                     let embr = e.mbr();
                     let mind_sq = min_min_dist_sq(&gmbr, &embr);
@@ -257,6 +308,11 @@ where
             }
         }
     }
+
+    tracer.event(|| TraceEvent::BnnBatch {
+        size: group.len() as u32,
+        heap_pops,
+    });
 
     // Emit: per point, best candidates in ascending distance, at most k
     // (the k_eff-th candidate only existed to keep the bound sound in

@@ -20,7 +20,9 @@
 #![allow(clippy::needless_range_loop)] // fixed-D kernels index 0..D
 
 use crate::stats::{AnnOutput, NeighborPair};
+use crate::trace::{Phase, PruneReason, TraceEvent, Tracer};
 use ann_geom::{Mbr, Point};
+use ann_store::IoSnapshot;
 use std::collections::{BinaryHeap, HashMap};
 
 /// Configuration for [`hnn`].
@@ -183,14 +185,32 @@ pub fn hnn<const D: usize>(
     s: &[(u64, Point<D>)],
     cfg: &HnnConfig,
 ) -> AnnOutput {
+    hnn_traced(r, s, cfg, Tracer::disabled())
+}
+
+/// [`hnn`] with an attached [`Tracer`]. HNN reads no buffer pool, so its
+/// span I/O deltas are all-zero; the interesting signals are the phase
+/// wall times (grid build vs ring search) and the ring-cutoff prunes.
+/// With `Tracer::disabled()` this is exactly [`hnn`].
+pub fn hnn_traced<const D: usize>(
+    r: &[(u64, Point<D>)],
+    s: &[(u64, Point<D>)],
+    cfg: &HnnConfig,
+    tracer: Tracer<'_>,
+) -> AnnOutput {
     assert!(cfg.k >= 1, "k must be at least 1");
     assert!(cfg.avg_cell_occupancy > 0.0);
     let mut out = AnnOutput::default();
     if r.is_empty() || s.is_empty() {
         return out;
     }
+    let span_q = tracer.span_enter(Phase::Query, IoSnapshot::default);
+    let span_b = tracer.span_enter(Phase::Build, IoSnapshot::default);
     let grid = Grid::build(s, cfg.avg_cell_occupancy);
+    tracer.span_exit(Phase::Build, span_b, IoSnapshot::default);
     let k_eff = cfg.k + usize::from(cfg.exclude_self);
+    let span_j = tracer.span_enter(Phase::Join, IoSnapshot::default);
+    let mut rings_cut_total = 0u64;
 
     for &(r_oid, r_pt) in r {
         let home = grid.cell_of(&r_pt);
@@ -207,6 +227,10 @@ pub fn hnn<const D: usize>(
                 best.peek().expect("non-empty").dist_sq
             };
             if ring_min * ring_min > bound_sq {
+                if tracer.enabled() && ring <= max_ring {
+                    // Rings `ring..=max_ring` are never visited.
+                    rings_cut_total += (max_ring - ring + 1) as u64;
+                }
                 break;
             }
             grid.for_ring(&home, ring, |points| {
@@ -246,6 +270,15 @@ pub fn hnn<const D: usize>(
             });
         }
     }
+    if rings_cut_total > 0 {
+        tracer.event(|| TraceEvent::Pruned {
+            metric: "euclidean",
+            reason: PruneReason::RingCutoff,
+            count: rings_cut_total,
+        });
+    }
+    tracer.span_exit(Phase::Join, span_j, IoSnapshot::default);
+    tracer.span_exit(Phase::Query, span_q, IoSnapshot::default);
     out
 }
 

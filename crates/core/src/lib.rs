@@ -51,9 +51,14 @@ pub mod mba;
 pub mod mnn;
 pub mod node;
 pub mod node_cache;
+pub mod prelude;
+pub mod query;
 pub mod stats;
+pub mod trace;
 
 pub use index::SpatialIndex;
 pub use node::{Entry, Node, NodeEntry, ObjectEntry};
 pub use node_cache::{NodeCache, NodeCacheStats};
+pub use query::{Algorithm, AnnRequest, MetricChoice};
 pub use stats::{AnnOutput, AnnStats, NeighborPair};
+pub use trace::{ExecutionReport, RecordingSink, TraceSink, Tracer};

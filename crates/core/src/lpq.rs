@@ -235,6 +235,13 @@ pub struct Lpq<const D: usize> {
     entries: Vec<QueuedEntry<D>>,
     head: usize,
     bound: BoundTracker,
+    /// Lifetime tallies for observability ([`crate::trace`]): entries ever
+    /// accepted, entries the Filter stage evicted, and the queue-length
+    /// high-water mark. Maintained unconditionally — three integer ops per
+    /// accepted entry, invisible next to the sorted insert they ride on.
+    enqueued_total: u64,
+    filtered_total: u64,
+    high_water: u32,
 }
 
 impl<const D: usize> Lpq<D> {
@@ -246,6 +253,9 @@ impl<const D: usize> Lpq<D> {
             entries: Vec::new(),
             head: 0,
             bound: BoundTracker::new(k, inherited_bound_sq),
+            enqueued_total: 0,
+            filtered_total: 0,
+            high_water: 0,
         }
     }
 
@@ -293,6 +303,11 @@ impl<const D: usize> Lpq<D> {
         let pos = self.entries[self.head..].partition_point(|q| (q.mind_sq, q.maxd_sq) <= key)
             + self.head;
         self.entries.insert(pos, e);
+        self.enqueued_total += 1;
+        let len = (self.entries.len() - self.head) as u32;
+        if len > self.high_water {
+            self.high_water = len;
+        }
         // Filter stage: drop the tail that the (possibly tightened) bound
         // now excludes. The vector is MIND-sorted, so the victims form a
         // suffix.
@@ -303,7 +318,27 @@ impl<const D: usize> Lpq<D> {
             self.bound.remove(victim.maxd_sq);
         }
         self.entries.truncate(cut);
+        self.filtered_total += filtered;
         (true, filtered)
+    }
+
+    /// Entries this queue ever accepted (observability tally).
+    #[inline]
+    pub fn enqueued_total(&self) -> u64 {
+        self.enqueued_total
+    }
+
+    /// Entries the Filter stage ever evicted from this queue
+    /// (observability tally).
+    #[inline]
+    pub fn filtered_total(&self) -> u64 {
+        self.filtered_total
+    }
+
+    /// Largest queue length this queue ever reached (observability tally).
+    #[inline]
+    pub fn high_water(&self) -> u32 {
+        self.high_water
     }
 
     /// Pops the entry with the smallest `MIND`, if any. The entry leaves

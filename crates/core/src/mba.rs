@@ -25,6 +25,7 @@ use crate::index::SpatialIndex;
 use crate::lpq::{distances_within, Lpq, QueuedEntry};
 use crate::node::{Entry, NodeEntry};
 use crate::stats::{AnnOutput, AtomicAnnStats, NeighborPair};
+use crate::trace::{Phase, PruneReason, Side, TraceEvent, Tracer};
 use ann_geom::PruneMetric;
 use ann_store::Result;
 use std::collections::VecDeque;
@@ -86,6 +87,11 @@ struct Ctx<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> {
     /// discarded, so bounds must guarantee one extra candidate).
     k_eff: usize,
     out: AnnOutput,
+    tracer: Tracer<'a>,
+    /// Of `out.stats.pruned_on_probe`, how many came from the parent-level
+    /// rejection in [`Ctx::expand`]. Tallied only while tracing, to split
+    /// the prune-reason breakdown without a new `AnnStats` field.
+    parent_rejects: u64,
     _metric: std::marker::PhantomData<M>,
 }
 
@@ -138,19 +144,32 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
                     lpq.satisfy_one();
                     found += 1;
                     if found == self.cfg.k {
+                        self.trace_lpq_retired(&lpq);
                         return Ok(());
                     }
                 }
                 Entry::Node(n) => {
                     let node = self.is.read_node_cached(n.page)?;
                     self.out.stats.s_nodes_expanded += 1;
+                    self.tracer.node_expanded(Side::S, n.page, &node.entries);
                     for child in node.entries.iter().copied() {
                         self.probe(&mut lpq, child);
                     }
                 }
             }
         }
+        self.trace_lpq_retired(&lpq);
         Ok(())
+    }
+
+    /// Emits the queue-lifecycle summary for a retired object LPQ.
+    #[inline]
+    fn trace_lpq_retired(&self, lpq: &Lpq<D>) {
+        self.tracer.event(|| TraceEvent::LpqRetired {
+            enqueued: lpq.enqueued_total(),
+            filtered: lpq.filtered_total(),
+            high_water: lpq.high_water(),
+        });
     }
 
     /// The Expand stage: `lpq.owner` is an internal `I_R` node; spawn one
@@ -166,6 +185,7 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
         };
         let node = ir.read_node_cached(owner.page)?;
         self.out.stats.r_nodes_expanded += 1;
+        self.tracer.node_expanded(Side::R, owner.page, &node.entries);
         let inherited = lpq.bound_sq();
         let mut children: Vec<Lpq<D>> = node
             .entries
@@ -181,6 +201,9 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
             // child, so this rejection is safe and saves the node read.
             if children.iter().all(|c| c.prunes(q.mind_sq)) {
                 self.out.stats.pruned_on_probe += 1;
+                if self.tracer.enabled() {
+                    self.parent_rejects += 1;
+                }
                 continue;
             }
             match (self.cfg.expansion, q.entry) {
@@ -188,6 +211,7 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
                     // Bi-directional: descend the I_S side one level too.
                     let s_node = self.is.read_node_cached(n.page)?;
                     self.out.stats.s_nodes_expanded += 1;
+                    self.tracer.node_expanded(Side::S, n.page, &s_node.entries);
                     for e in s_node.entries.iter().copied() {
                         for child in children.iter_mut() {
                             self.probe(child, e);
@@ -235,6 +259,29 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
         }
         Ok(())
     }
+
+    /// Emits this context's prune-reason breakdown. Safe to call from
+    /// several worker contexts sharing one sink: the sink sums the counts.
+    fn emit_prune_summary(&self) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let s = &self.out.stats;
+        let on_probe = s.pruned_on_probe - self.parent_rejects;
+        for (reason, count) in [
+            (PruneReason::OnProbe, on_probe),
+            (PruneReason::ParentReject, self.parent_rejects),
+            (PruneReason::InQueue, s.pruned_in_queue),
+        ] {
+            if count > 0 {
+                self.tracer.event(|| TraceEvent::Pruned {
+                    metric: M::NAME,
+                    reason,
+                    count,
+                });
+            }
+        }
+    }
 }
 
 /// Evaluates the all-`k`-nearest-neighbor join: for every point indexed by
@@ -250,12 +297,31 @@ where
     IR: SpatialIndex<D>,
     IS: SpatialIndex<D>,
 {
+    mba_traced::<D, M, IR, IS>(ir, is, cfg, Tracer::disabled())
+}
+
+/// [`mba`] with an attached [`Tracer`]. With `Tracer::disabled()` this is
+/// exactly [`mba`]: every instrumentation site is guarded, so decisions,
+/// counters and physical page-op order are identical.
+pub fn mba_traced<const D: usize, M, IR, IS>(
+    ir: &IR,
+    is: &IS,
+    cfg: &MbaConfig,
+    tracer: Tracer<'_>,
+) -> Result<AnnOutput>
+where
+    M: PruneMetric,
+    IR: SpatialIndex<D>,
+    IS: SpatialIndex<D>,
+{
     assert!(cfg.k >= 1, "k must be at least 1");
     let mut ctx: Ctx<D, M, IS> = Ctx {
         is,
         cfg: *cfg,
         k_eff: cfg.k + usize::from(cfg.exclude_self),
         out: AnnOutput::default(),
+        tracer,
+        parent_rejects: 0,
         _metric: std::marker::PhantomData,
     };
 
@@ -265,8 +331,25 @@ where
         is.pool() as *const _ as *const u8,
     );
     let io_s0 = is.pool().stats();
+    let io_now = || {
+        let mut io = ir.pool().stats();
+        if !shared_pool {
+            io = io.merge(&is.pool().stats());
+        }
+        io
+    };
+    let span_q = tracer.span_enter(Phase::Query, io_now);
 
     if ir.num_points() > 0 && is.num_points() > 0 {
+        tracer.event(|| TraceEvent::Root {
+            side: Side::R,
+            page: ir.root_page(),
+        });
+        tracer.event(|| TraceEvent::Root {
+            side: Side::S,
+            page: is.root_page(),
+        });
+        let span_j = tracer.span_enter(Phase::Join, io_now);
         // Algorithm 2: root LPQ owns I_R's root, seeded with I_S's root.
         let root_owner = Entry::Node(NodeEntry {
             page: ir.root_page(),
@@ -296,7 +379,11 @@ where
                 }
             }
         }
+        tracer.span_exit(Phase::Join, span_j, io_now);
     }
+
+    ctx.emit_prune_summary();
+    tracer.span_exit(Phase::Query, span_q, io_now);
 
     let mut io = ir.pool().stats().since(&io_r0);
     if !shared_pool {
@@ -331,6 +418,25 @@ where
     IR: SpatialIndex<D> + Sync,
     IS: SpatialIndex<D> + Sync,
 {
+    mba_parallel_traced::<D, M, IR, IS>(ir, is, cfg, threads, Tracer::disabled())
+}
+
+/// [`mba_parallel`] with an attached [`Tracer`]. The sink is shared by all
+/// workers (hence the `Send + Sync` bound on [`crate::trace::TraceSink`]);
+/// per-worker prune summaries are emitted separately and summed by the
+/// sink. With `Tracer::disabled()` this is exactly [`mba_parallel`].
+pub fn mba_parallel_traced<const D: usize, M, IR, IS>(
+    ir: &IR,
+    is: &IS,
+    cfg: &MbaConfig,
+    threads: usize,
+    tracer: Tracer<'_>,
+) -> Result<AnnOutput>
+where
+    M: PruneMetric,
+    IR: SpatialIndex<D> + Sync,
+    IS: SpatialIndex<D> + Sync,
+{
     assert!(cfg.k >= 1, "k must be at least 1");
     let threads = if threads == 0 {
         std::thread::available_parallelism()
@@ -346,9 +452,26 @@ where
         is.pool() as *const _ as *const u8,
     );
     let io_s0 = is.pool().stats();
+    let io_now = || {
+        let mut io = ir.pool().stats();
+        if !shared_pool {
+            io = io.merge(&is.pool().stats());
+        }
+        io
+    };
+    let span_q = tracer.span_enter(Phase::Query, io_now);
 
     let mut out = AnnOutput::default();
     if ir.num_points() > 0 && is.num_points() > 0 {
+        tracer.event(|| TraceEvent::Root {
+            side: Side::R,
+            page: ir.root_page(),
+        });
+        tracer.event(|| TraceEvent::Root {
+            side: Side::S,
+            page: is.root_page(),
+        });
+        let span_seed = tracer.span_enter(Phase::Seed, io_now);
         // Serial seeding phase: expand breadth-first until there are
         // enough independent LPQ subtrees to keep the workers busy.
         // Spatial data is heavy-tailed (a few dense cells own most of the
@@ -359,6 +482,8 @@ where
             cfg: *cfg,
             k_eff: cfg.k + usize::from(cfg.exclude_self),
             out: AnnOutput::default(),
+            tracer,
+            parent_rejects: 0,
             _metric: std::marker::PhantomData,
         };
         let root_owner = Entry::Node(NodeEntry {
@@ -387,39 +512,48 @@ where
             let lpq = queue.remove(at).expect("position just found");
             ctx.expand_and_prune(ir, lpq, &mut queue)?;
         }
+        ctx.emit_prune_summary();
+        tracer.span_exit(Phase::Seed, span_seed, io_now);
         // Per-thread counters fold into one set of relaxed atomics —
         // workers tally locally (no synchronization in the traversal) and
         // add their totals on exit, the seeding phase included.
         let shared_stats = AtomicAnnStats::new();
         shared_stats.add(&ctx.out.stats);
+        let seed_stats = ctx.out.stats;
         out.results = ctx.out.results;
 
+        let span_j = tracer.span_enter(Phase::Join, io_now);
         // Dynamic scheduling: workers pull the next unit from a shared
         // queue, so one dense subtree cannot starve the rest.
         let work = std::sync::Mutex::new(queue);
         let shared_stats = &shared_stats;
-        let results: Vec<Result<Vec<crate::stats::NeighborPair>>> =
+        let results: Vec<Result<(Vec<crate::stats::NeighborPair>, crate::stats::AnnStats)>> =
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
-                        scope.spawn(|_| -> Result<Vec<crate::stats::NeighborPair>> {
-                            let mut ctx: Ctx<D, M, IS> = Ctx {
-                                is,
-                                cfg: *cfg,
-                                k_eff: cfg.k + usize::from(cfg.exclude_self),
-                                out: AnnOutput::default(),
-                                _metric: std::marker::PhantomData,
-                            };
-                            loop {
-                                let unit = work.lock().expect("work queue").pop_front();
-                                match unit {
-                                    Some(lpq) => ctx.dfbi(ir, lpq)?,
-                                    None => break,
+                        scope.spawn(
+                            |_| -> Result<(Vec<crate::stats::NeighborPair>, crate::stats::AnnStats)> {
+                                let mut ctx: Ctx<D, M, IS> = Ctx {
+                                    is,
+                                    cfg: *cfg,
+                                    k_eff: cfg.k + usize::from(cfg.exclude_self),
+                                    out: AnnOutput::default(),
+                                    tracer,
+                                    parent_rejects: 0,
+                                    _metric: std::marker::PhantomData,
+                                };
+                                loop {
+                                    let unit = work.lock().expect("work queue").pop_front();
+                                    match unit {
+                                        Some(lpq) => ctx.dfbi(ir, lpq)?,
+                                        None => break,
+                                    }
                                 }
-                            }
-                            shared_stats.add(&ctx.out.stats);
-                            Ok(ctx.out.results)
-                        })
+                                shared_stats.add(&ctx.out.stats);
+                                ctx.emit_prune_summary();
+                                Ok((ctx.out.results, ctx.out.stats))
+                            },
+                        )
                     })
                     .collect();
                 handles
@@ -429,11 +563,23 @@ where
             })
             .expect("crossbeam scope");
 
+        // The atomic fold and the per-worker returns are two accounts of
+        // the same work; they must agree exactly (the seeding phase and
+        // the workers never race on a counter they both own).
+        let mut per_worker_sum = seed_stats;
         for r in results {
-            out.results.extend(r?);
+            let (pairs, worker_stats) = r?;
+            out.results.extend(pairs);
+            per_worker_sum.merge(&worker_stats);
         }
         out.stats = shared_stats.load();
+        debug_assert_eq!(
+            out.stats, per_worker_sum,
+            "atomic fold diverged from the sum of per-worker stats"
+        );
+        tracer.span_exit(Phase::Join, span_j, io_now);
     }
+    tracer.span_exit(Phase::Query, span_q, io_now);
 
     let mut io = ir.pool().stats().since(&io_r0);
     if !shared_pool {

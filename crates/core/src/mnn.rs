@@ -13,6 +13,7 @@ use crate::index::SpatialIndex;
 use crate::lpq::BoundTracker;
 use crate::node::Entry;
 use crate::stats::{AnnOutput, NeighborPair};
+use crate::trace::{Phase, PruneReason, Side, TraceEvent, Tracer};
 use ann_geom::{min_min_dist_sq, Mbr, Point, PruneMetric};
 use ann_store::Result;
 use std::cmp::Ordering;
@@ -72,6 +73,22 @@ where
     IR: SpatialIndex<D>,
     IS: SpatialIndex<D>,
 {
+    mnn_traced::<D, M, IR, IS>(ir, is, cfg, Tracer::disabled())
+}
+
+/// [`mnn`] with an attached [`Tracer`]. With `Tracer::disabled()` this is
+/// exactly [`mnn`]: all instrumentation sites are guarded.
+pub fn mnn_traced<const D: usize, M, IR, IS>(
+    ir: &IR,
+    is: &IS,
+    cfg: &MnnConfig,
+    tracer: Tracer<'_>,
+) -> Result<AnnOutput>
+where
+    M: PruneMetric,
+    IR: SpatialIndex<D>,
+    IS: SpatialIndex<D>,
+{
     assert!(cfg.k >= 1, "k must be at least 1");
     let mut out = AnnOutput::default();
     let io_r0 = ir.pool().stats();
@@ -80,23 +97,66 @@ where
         is.pool() as *const _ as *const u8,
     );
     let io_s0 = is.pool().stats();
+    let io_now = || {
+        let mut io = ir.pool().stats();
+        if !shared_pool {
+            io = io.merge(&is.pool().stats());
+        }
+        io
+    };
+    let span_q = tracer.span_enter(Phase::Query, io_now);
 
     if ir.num_points() > 0 && is.num_points() > 0 {
+        tracer.event(|| TraceEvent::Root {
+            side: Side::R,
+            page: ir.root_page(),
+        });
+        tracer.event(|| TraceEvent::Root {
+            side: Side::S,
+            page: is.root_page(),
+        });
+        let span_j = tracer.span_enter(Phase::Join, io_now);
+        let mut cutoff_total = 0u64;
         // Depth-first walk of I_R: queries in index (spatial) order.
         let mut stack = vec![ir.root_page()];
         while let Some(page) = stack.pop() {
             let node = ir.read_node_cached(page)?;
             out.stats.r_nodes_expanded += 1;
+            tracer.node_expanded(Side::R, page, &node.entries);
             for e in &node.entries {
                 match e {
                     Entry::Node(n) => stack.push(n.page),
                     Entry::Object(o) => {
-                        knn_search::<D, M, IS>(is, o.oid, &o.point, cfg, &mut out)?;
+                        knn_search::<D, M, IS>(
+                            is,
+                            o.oid,
+                            &o.point,
+                            cfg,
+                            &mut out,
+                            tracer,
+                            &mut cutoff_total,
+                        )?;
                     }
                 }
             }
         }
+        if tracer.enabled() {
+            for (reason, count) in [
+                (PruneReason::OnProbe, out.stats.pruned_on_probe),
+                (PruneReason::HeapCutoff, cutoff_total),
+            ] {
+                if count > 0 {
+                    tracer.event(|| TraceEvent::Pruned {
+                        metric: M::NAME,
+                        reason,
+                        count,
+                    });
+                }
+            }
+        }
+        tracer.span_exit(Phase::Join, span_j, io_now);
     }
+    tracer.span_exit(Phase::Query, span_q, io_now);
 
     let mut io = ir.pool().stats().since(&io_r0);
     if !shared_pool {
@@ -115,6 +175,8 @@ fn knn_search<const D: usize, M, IS>(
     point: &Point<D>,
     cfg: &MnnConfig,
     out: &mut AnnOutput,
+    tracer: Tracer<'_>,
+    cutoff_total: &mut u64,
 ) -> Result<()>
 where
     M: PruneMetric,
@@ -148,6 +210,9 @@ where
             // The min-heap yields ascending MIND: everything else is at
             // least this far, and the bound is backed by entries we have
             // already processed or emitted.
+            if tracer.enabled() {
+                *cutoff_total += heap.len() as u64 + 1;
+            }
             break;
         }
         bound.remove(item.maxd_sq);
@@ -170,6 +235,7 @@ where
             Entry::Node(n) => {
                 let node = is.read_node_cached(n.page)?;
                 out.stats.s_nodes_expanded += 1;
+                tracer.node_expanded(Side::S, n.page, &node.entries);
                 for e in node.entries.iter().copied() {
                     let embr = e.mbr();
                     let mind_sq = min_min_dist_sq(&qmbr, &embr);

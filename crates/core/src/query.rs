@@ -1,0 +1,375 @@
+//! The unified ANN query entrypoint: one request builder, one `run`.
+//!
+//! The crate grew five divergent entrypoints (`mba`, `bnn`, `mnn`, `hnn`,
+//! plus `gorder_join` in `ann-gorder`), each with its own `*Config` — so
+//! calling, comparing, or instrumenting them meant five slightly different
+//! dances. [`AnnRequest`] carries the fields they all share (`k`,
+//! `exclude_self`, the pruning-metric choice, and the [`Tracer`] hookup),
+//! while [`Algorithm`] carries each method's extras as variant payload.
+//! The legacy entrypoints remain as thin wrappers and behave identically.
+//!
+//! GORDER lives downstream of this crate (`ann-gorder` depends on
+//! `ann-core`), so it cannot appear in [`Algorithm`]; it follows the same
+//! pattern with `ann_gorder::gorder_join_traced`.
+//!
+//! ```no_run
+//! use ann_core::prelude::*;
+//! # fn demo<I: SpatialIndex<2> + Sync>(ir: &I, is: &I) -> ann_store::Result<()> {
+//! let out = AnnRequest::new(Algorithm::mba())
+//!     .k(10)
+//!     .metric(MetricChoice::Nxn)
+//!     .run(Input::Index(ir), Input::Index(is))?;
+//! # let _ = out; Ok(()) }
+//! ```
+
+use crate::bnn::{bnn_traced, BnnConfig};
+use crate::hnn::{hnn_traced, HnnConfig};
+use crate::index::{collect_objects, SpatialIndex};
+use crate::mba::{mba_parallel_traced, mba_traced, Expansion, MbaConfig, Traversal};
+use crate::mnn::{mnn_traced, MnnConfig};
+use crate::node_cache::NodeCache;
+use crate::stats::AnnOutput;
+use crate::trace::{TraceSink, Tracer};
+use ann_geom::{MaxMaxDist, Mbr, NxnDist, Point, PruneMetric};
+use ann_store::{BufferPool, PageId, Result};
+
+/// Which pruning metric bounds the search (Figure 3(a)'s comparison).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MetricChoice {
+    /// `NXNDIST` — the paper's contributed tighter bound.
+    #[default]
+    Nxn,
+    /// `MAXMAXDIST` — the classical loose bound.
+    MaxMax,
+}
+
+impl MetricChoice {
+    /// The metric's display name ([`PruneMetric::NAME`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricChoice::Nxn => NxnDist::NAME,
+            MetricChoice::MaxMax => MaxMaxDist::NAME,
+        }
+    }
+}
+
+/// Which join algorithm evaluates the request, with its method-specific
+/// knobs as payload. Construct via the [`Algorithm::mba`]-style helpers
+/// for the defaults each legacy `*Config` used.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Algorithm {
+    /// The paper's MBA (over MBRQTs) / RBA (over R*-trees): depth-first
+    /// bi-directional traversal with Three-Stage pruning. Requires
+    /// [`Input::Index`] on both sides.
+    Mba {
+        /// Query-side traversal order (§3.3.2).
+        traversal: Traversal,
+        /// Node-expansion strategy (§3.3.2).
+        expansion: Expansion,
+        /// Worker threads: `1` = the serial algorithm, `0` = one per
+        /// core, otherwise that many workers.
+        threads: usize,
+    },
+    /// Batched NN baseline (Zhang et al. SSDBM'04): Hilbert-grouped
+    /// best-first searches over the `S` index. `R` may be plain points.
+    Bnn {
+        /// Query objects per Hilbert-contiguous group.
+        group_size: usize,
+    },
+    /// Index-nested-loops baseline: one best-first kNN search per query
+    /// object. Requires [`Input::Index`] on both sides.
+    Mnn,
+    /// Spatial-hash baseline: no index at all; both sides may be plain
+    /// points. Ignores the metric choice (it prunes on exact grid-ring
+    /// geometry).
+    Hnn {
+        /// Target average number of `S` points per grid cell.
+        avg_cell_occupancy: f64,
+    },
+}
+
+impl Algorithm {
+    /// MBA/RBA with the paper's defaults: depth-first, bi-directional,
+    /// serial.
+    pub fn mba() -> Self {
+        Algorithm::Mba {
+            traversal: Traversal::default(),
+            expansion: Expansion::default(),
+            threads: 1,
+        }
+    }
+
+    /// BNN with the default group size ([`BnnConfig::default`]).
+    pub fn bnn() -> Self {
+        Algorithm::Bnn {
+            group_size: BnnConfig::default().group_size,
+        }
+    }
+
+    /// HNN with the default occupancy ([`HnnConfig::default`]).
+    pub fn hnn() -> Self {
+        Algorithm::Hnn {
+            avg_cell_occupancy: HnnConfig::default().avg_cell_occupancy,
+        }
+    }
+
+    /// Short display name for reports and labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Mba { .. } => "mba",
+            Algorithm::Bnn { .. } => "bnn",
+            Algorithm::Mnn => "mnn",
+            Algorithm::Hnn { .. } => "hnn",
+        }
+    }
+}
+
+/// One side of the join: an index, or plain points.
+///
+/// Algorithms that need an index on a side will panic when handed
+/// [`Input::Points`] there (building an index implicitly would need a
+/// pool and build configuration this API deliberately does not own).
+/// Algorithms that need points will accept [`Input::Index`] and collect
+/// the objects with a full traversal first — convenient, but the
+/// collection's page reads happen *outside* the query's I/O accounting,
+/// exactly like the bench harness's explicit materialization.
+pub enum Input<'a, const D: usize, I: SpatialIndex<D>> {
+    /// A disk-resident spatial index over the side's points.
+    Index(&'a I),
+    /// The side's `(oid, point)` pairs directly.
+    Points(&'a [(u64, Point<D>)]),
+}
+
+/// Placeholder index type for point-only [`Input`] sides: an empty enum,
+/// so the index paths are statically unreachable. Use as
+/// `Input::<D, NoIndex>::Points(..)` when a side has no index type to
+/// name.
+#[derive(Clone, Copy, Debug)]
+pub enum NoIndex {}
+
+impl<const D: usize> SpatialIndex<D> for NoIndex {
+    fn pool(&self) -> &BufferPool {
+        match *self {}
+    }
+    fn root_page(&self) -> PageId {
+        match *self {}
+    }
+    fn num_points(&self) -> u64 {
+        match *self {}
+    }
+    fn bounds(&self) -> Mbr<D> {
+        match *self {}
+    }
+    fn node_cache(&self) -> Option<&NodeCache<D>> {
+        match *self {}
+    }
+}
+
+/// A unified ANN/AkNN query: the shared knobs every algorithm honors,
+/// plus the [`Algorithm`] selection and an optional [`TraceSink`].
+///
+/// Build with [`AnnRequest::new`] and the chained setters, then call
+/// [`run`](AnnRequest::run) (or the free function [`run`]).
+#[derive(Clone, Copy)]
+pub struct AnnRequest<'a> {
+    /// Neighbors per query object (`1` = plain ANN).
+    pub k: usize,
+    /// Self-join mode: skip same-oid pairs (bounds are computed for one
+    /// extra neighbor internally so no query starves).
+    pub exclude_self: bool,
+    /// Pruning metric.
+    pub metric: MetricChoice,
+    /// Algorithm and its method-specific knobs.
+    pub algorithm: Algorithm,
+    tracer: Tracer<'a>,
+}
+
+impl<'a> AnnRequest<'a> {
+    /// A request for `algorithm` with `k = 1`, no self-exclusion,
+    /// NXNDIST, and tracing disabled.
+    pub fn new(algorithm: Algorithm) -> Self {
+        AnnRequest {
+            k: 1,
+            exclude_self: false,
+            metric: MetricChoice::default(),
+            algorithm,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Sets the neighbors-per-object count.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets self-join mode.
+    pub fn exclude_self(mut self, exclude: bool) -> Self {
+        self.exclude_self = exclude;
+        self
+    }
+
+    /// Sets the pruning metric.
+    pub fn metric(mut self, metric: MetricChoice) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Attaches a trace sink — the single point where observability plugs
+    /// into every algorithm.
+    pub fn trace(mut self, sink: &'a dyn TraceSink) -> Self {
+        self.tracer = Tracer::new(sink);
+        self
+    }
+
+    /// The tracer this request will thread through the algorithm.
+    pub fn tracer(&self) -> Tracer<'a> {
+        self.tracer
+    }
+
+    /// Evaluates the request — method-call sugar for the free [`run`].
+    pub fn run<const D: usize, IR, IS>(
+        &self,
+        r: Input<'_, D, IR>,
+        s: Input<'_, D, IS>,
+    ) -> Result<AnnOutput>
+    where
+        IR: SpatialIndex<D> + Sync,
+        IS: SpatialIndex<D> + Sync,
+    {
+        run(self, r, s)
+    }
+}
+
+impl std::fmt::Debug for AnnRequest<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnnRequest")
+            .field("k", &self.k)
+            .field("exclude_self", &self.exclude_self)
+            .field("metric", &self.metric)
+            .field("algorithm", &self.algorithm)
+            .field("traced", &self.tracer.enabled())
+            .finish()
+    }
+}
+
+/// Evaluates `req` joining `r` against `s`: for every object on the `r`
+/// side, find its `req.k` nearest neighbors on the `s` side.
+///
+/// Dispatches the runtime [`MetricChoice`] onto the compile-time
+/// [`PruneMetric`] generics of the legacy entrypoints, which this calls
+/// unchanged — results, stats, and page-op order are identical to calling
+/// those directly with the equivalent `*Config`.
+///
+/// # Panics
+///
+/// When the algorithm requires an index on a side that was passed
+/// [`Input::Points`] (see [`Algorithm`] variant docs), or when `k == 0`.
+pub fn run<const D: usize, IR, IS>(
+    req: &AnnRequest<'_>,
+    r: Input<'_, D, IR>,
+    s: Input<'_, D, IS>,
+) -> Result<AnnOutput>
+where
+    IR: SpatialIndex<D> + Sync,
+    IS: SpatialIndex<D> + Sync,
+{
+    match req.metric {
+        MetricChoice::Nxn => run_with_metric::<D, NxnDist, IR, IS>(req, r, s),
+        MetricChoice::MaxMax => run_with_metric::<D, MaxMaxDist, IR, IS>(req, r, s),
+    }
+}
+
+fn run_with_metric<const D: usize, M, IR, IS>(
+    req: &AnnRequest<'_>,
+    r: Input<'_, D, IR>,
+    s: Input<'_, D, IS>,
+) -> Result<AnnOutput>
+where
+    M: PruneMetric,
+    IR: SpatialIndex<D> + Sync,
+    IS: SpatialIndex<D> + Sync,
+{
+    let tracer = req.tracer;
+    match req.algorithm {
+        Algorithm::Mba {
+            traversal,
+            expansion,
+            threads,
+        } => {
+            let Input::Index(ir) = r else {
+                panic!("Algorithm::Mba requires Input::Index on the r side")
+            };
+            let Input::Index(is) = s else {
+                panic!("Algorithm::Mba requires Input::Index on the s side")
+            };
+            let cfg = MbaConfig {
+                k: req.k,
+                traversal,
+                expansion,
+                exclude_self: req.exclude_self,
+            };
+            if threads == 1 {
+                mba_traced::<D, M, IR, IS>(ir, is, &cfg, tracer)
+            } else {
+                mba_parallel_traced::<D, M, IR, IS>(ir, is, &cfg, threads, tracer)
+            }
+        }
+        Algorithm::Bnn { group_size } => {
+            let Input::Index(is) = s else {
+                panic!("Algorithm::Bnn requires Input::Index on the s side")
+            };
+            let cfg = BnnConfig {
+                k: req.k,
+                group_size,
+                exclude_self: req.exclude_self,
+            };
+            let collected;
+            let r_pts = match r {
+                Input::Points(p) => p,
+                Input::Index(ir) => {
+                    collected = collect_objects(ir)?;
+                    &collected
+                }
+            };
+            bnn_traced::<D, M, IS>(r_pts, is, &cfg, tracer)
+        }
+        Algorithm::Mnn => {
+            let Input::Index(ir) = r else {
+                panic!("Algorithm::Mnn requires Input::Index on the r side")
+            };
+            let Input::Index(is) = s else {
+                panic!("Algorithm::Mnn requires Input::Index on the s side")
+            };
+            let cfg = MnnConfig {
+                k: req.k,
+                exclude_self: req.exclude_self,
+            };
+            mnn_traced::<D, M, IR, IS>(ir, is, &cfg, tracer)
+        }
+        Algorithm::Hnn { avg_cell_occupancy } => {
+            let cfg = HnnConfig {
+                k: req.k,
+                avg_cell_occupancy,
+                exclude_self: req.exclude_self,
+            };
+            let r_collected;
+            let r_pts = match r {
+                Input::Points(p) => p,
+                Input::Index(ir) => {
+                    r_collected = collect_objects(ir)?;
+                    &r_collected
+                }
+            };
+            let s_collected;
+            let s_pts = match s {
+                Input::Points(p) => p,
+                Input::Index(is) => {
+                    s_collected = collect_objects(is)?;
+                    &s_collected
+                }
+            };
+            Ok(hnn_traced(r_pts, s_pts, &cfg, tracer))
+        }
+    }
+}

@@ -45,6 +45,18 @@ impl AnnStats {
     pub fn entries_probed(&self) -> u64 {
         self.enqueued + self.pruned_on_probe
     }
+
+    /// Adds another run's counters field-wise, I/O included.
+    pub fn merge(&mut self, other: &AnnStats) {
+        self.distance_computations += other.distance_computations;
+        self.lpqs_created += other.lpqs_created;
+        self.enqueued += other.enqueued;
+        self.pruned_on_probe += other.pruned_on_probe;
+        self.pruned_in_queue += other.pruned_in_queue;
+        self.r_nodes_expanded += other.r_nodes_expanded;
+        self.s_nodes_expanded += other.s_nodes_expanded;
+        self.io = self.io.merge(&other.io);
+    }
 }
 
 /// Shared, thread-safe work counters for parallel runs.

@@ -1,0 +1,326 @@
+//! The unified-entrypoint contract: every [`Algorithm`] variant driven
+//! through `ann_core::query::run` must match brute-force ground truth,
+//! stay counter-identical to the legacy entrypoints, and stay
+//! counter-identical with a recording [`TraceSink`] attached (tracing
+//! observes; it never steers).
+
+use ann_core::bnn::{bnn, BnnConfig};
+use ann_core::brute::brute_force_aknn;
+use ann_core::hnn::{hnn, HnnConfig};
+use ann_core::mba::{mba, Expansion, MbaConfig, Traversal};
+use ann_core::mnn::{mnn, MnnConfig};
+use ann_core::prelude::*;
+use ann_core::trace::Side;
+use ann_geom::{NxnDist, Point};
+use ann_mbrqt::{Mbrqt, MbrqtConfig};
+use ann_rstar::{RStar, RStarConfig};
+use ann_store::{BufferPool, MemDisk};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn pool(frames: usize) -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(MemDisk::new(), frames))
+}
+
+fn random_points<const D: usize>(n: usize, seed: u64) -> Vec<(u64, Point<D>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let mut c = [0.0; D];
+            for v in c.iter_mut() {
+                *v = rng.gen_range(0.0..100.0);
+            }
+            (i as u64, Point::new(c))
+        })
+        .collect()
+}
+
+fn mbrqt_cfg() -> MbrqtConfig {
+    MbrqtConfig {
+        bucket_capacity: 16,
+        ..Default::default()
+    }
+}
+
+fn rstar_cfg() -> RStarConfig {
+    RStarConfig {
+        max_leaf_entries: 16,
+        max_internal_entries: 8,
+        ..Default::default()
+    }
+}
+
+/// The variants the suite drives; BNN's group size is shrunk so the test
+/// trees still produce multiple batches.
+fn algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::mba(),
+        Algorithm::Mba {
+            traversal: Traversal::default(),
+            expansion: Expansion::default(),
+            threads: 2,
+        },
+        Algorithm::Bnn { group_size: 64 },
+        Algorithm::Mnn,
+        Algorithm::hnn(),
+    ]
+}
+
+fn truth_sorted<const D: usize>(
+    r: &[(u64, Point<D>)],
+    s: &[(u64, Point<D>)],
+    k: usize,
+    exclude_self: bool,
+) -> Vec<NeighborPair> {
+    let mut t = brute_force_aknn(r, s, k, exclude_self);
+    t.sort_by(|a, b| {
+        (a.r_oid, a.dist, a.s_oid)
+            .partial_cmp(&(b.r_oid, b.dist, b.s_oid))
+            .unwrap()
+    });
+    t
+}
+
+/// Neighbor *ids* may differ on exact distance ties; compare on
+/// `(r_oid, rank, dist)`.
+fn assert_matches_truth(mut got: AnnOutput, truth: &[NeighborPair], label: &str) {
+    got.sort();
+    assert_eq!(got.results.len(), truth.len(), "{label}: result count");
+    for (g, t) in got.results.iter().zip(truth) {
+        assert_eq!(g.r_oid, t.r_oid, "{label}: query order");
+        assert!(
+            (g.dist - t.dist).abs() <= 1e-9 * (1.0 + t.dist),
+            "{label}: r#{} got dist {} want {}",
+            g.r_oid,
+            g.dist,
+            t.dist
+        );
+    }
+}
+
+/// Drives every algorithm × metric through the unified entrypoint against
+/// one dataset pair and checks all of them against brute force.
+fn check_all_variants<const D: usize>(
+    r: &[(u64, Point<D>)],
+    s: &[(u64, Point<D>)],
+    k: usize,
+    exclude_self: bool,
+) {
+    let truth = truth_sorted(r, s, k, exclude_self);
+    let p = pool(256);
+    // Mixed index kinds on purpose: the entrypoint is generic per side.
+    let ir = Mbrqt::bulk_build(p.clone(), r, &mbrqt_cfg()).unwrap();
+    let is = RStar::bulk_build(p, s, &rstar_cfg()).unwrap();
+    for alg in algorithms() {
+        for metric in [MetricChoice::Nxn, MetricChoice::MaxMax] {
+            let label = format!(
+                "{} {:?} D={D} k={k} exclude_self={exclude_self}",
+                alg.name(),
+                metric
+            );
+            let out = AnnRequest::new(alg)
+                .k(k)
+                .exclude_self(exclude_self)
+                .metric(metric)
+                .run(Input::Index(&ir), Input::Index(&is))
+                .unwrap();
+            assert_matches_truth(out, &truth, &label);
+        }
+    }
+}
+
+#[test]
+fn every_variant_matches_brute_force_2d() {
+    let r = random_points::<2>(300, 11);
+    let s = random_points::<2>(320, 22);
+    for k in [1, 10] {
+        check_all_variants(&r, &s, k, false);
+    }
+}
+
+#[test]
+fn every_variant_matches_brute_force_2d_self_join() {
+    let pts = random_points::<2>(280, 33);
+    for k in [1, 10] {
+        check_all_variants(&pts, &pts, k, true);
+    }
+}
+
+#[test]
+fn every_variant_matches_brute_force_10d() {
+    let r = random_points::<10>(150, 44);
+    let s = random_points::<10>(160, 55);
+    for k in [1, 10] {
+        check_all_variants(&r, &s, k, false);
+    }
+    let pts = random_points::<10>(140, 66);
+    check_all_variants(&pts, &pts, 1, true);
+}
+
+/// Builds a fresh (pool, I_R: Mbrqt, I_S: R*) pair — fresh state for every
+/// run so cold-cache I/O counters are comparable across runs.
+fn fresh_indexes<const D: usize>(
+    r: &[(u64, Point<D>)],
+    s: &[(u64, Point<D>)],
+) -> (Mbrqt<D>, RStar<D>) {
+    let p = pool(64);
+    let ir = Mbrqt::bulk_build(p.clone(), r, &mbrqt_cfg()).unwrap();
+    let is = RStar::bulk_build(p, s, &rstar_cfg()).unwrap();
+    (ir, is)
+}
+
+/// With no sink (and with one), the unified entrypoint must produce the
+/// very same `AnnStats` — including logical/physical page counters — as
+/// the legacy per-algorithm entrypoints. Each run gets freshly built
+/// indices so every comparison starts from the same cold state.
+#[test]
+fn unified_entrypoint_is_counter_identical_to_legacy() {
+    let r = random_points::<2>(400, 77);
+    let s = random_points::<2>(420, 88);
+
+    type Variant<'a> = (
+        &'a str,
+        Algorithm,
+        Box<dyn Fn(&Mbrqt<2>, &RStar<2>) -> AnnOutput>,
+    );
+    let k = 3;
+    let r2 = r.clone();
+    let variants: Vec<Variant> = vec![
+        (
+            "mba",
+            Algorithm::Mba {
+                traversal: Traversal::default(),
+                expansion: Expansion::default(),
+                threads: 1,
+            },
+            Box::new(move |ir, is| {
+                let cfg = MbaConfig {
+                    k,
+                    ..Default::default()
+                };
+                mba::<2, NxnDist, _, _>(ir, is, &cfg).unwrap()
+            }),
+        ),
+        (
+            "bnn",
+            Algorithm::Bnn { group_size: 64 },
+            Box::new(move |_ir, is| {
+                let cfg = BnnConfig {
+                    k,
+                    group_size: 64,
+                    exclude_self: false,
+                };
+                bnn::<2, NxnDist, _>(&r2, is, &cfg).unwrap()
+            }),
+        ),
+        (
+            "mnn",
+            Algorithm::Mnn,
+            Box::new(move |ir, is| {
+                let cfg = MnnConfig {
+                    k,
+                    exclude_self: false,
+                };
+                mnn::<2, NxnDist, _, _>(ir, is, &cfg).unwrap()
+            }),
+        ),
+    ];
+
+    for (name, alg, legacy) in variants {
+        let (ir, is) = fresh_indexes(&r, &s);
+        let legacy_out = legacy(&ir, &is);
+
+        let (ir, is) = fresh_indexes(&r, &s);
+        let req = AnnRequest::new(alg).k(k);
+        let plain_out = match alg {
+            Algorithm::Bnn { .. } => req.run(Input::<2, NoIndex>::Points(&r), Input::Index(&is)),
+            _ => req.run(Input::Index(&ir), Input::Index(&is)),
+        }
+        .unwrap();
+
+        let (ir, is) = fresh_indexes(&r, &s);
+        let sink = RecordingSink::new();
+        let req = AnnRequest::new(alg).k(k).trace(&sink);
+        let traced_out = match alg {
+            Algorithm::Bnn { .. } => req.run(Input::<2, NoIndex>::Points(&r), Input::Index(&is)),
+            _ => req.run(Input::Index(&ir), Input::Index(&is)),
+        }
+        .unwrap();
+
+        assert_eq!(
+            plain_out.stats, legacy_out.stats,
+            "{name}: unified vs legacy stats"
+        );
+        assert_eq!(
+            traced_out.stats, plain_out.stats,
+            "{name}: recording sink must not perturb counters"
+        );
+        assert_eq!(
+            plain_out.results, legacy_out.results,
+            "{name}: unified vs legacy results"
+        );
+        assert_eq!(
+            traced_out.results, plain_out.results,
+            "{name}: recording sink must not perturb results"
+        );
+    }
+
+    // HNN is poolless; one dataset pair suffices.
+    let h_cfg = HnnConfig {
+        k,
+        ..Default::default()
+    };
+    let legacy_out = hnn(&r, &s, &h_cfg);
+    let sink = RecordingSink::new();
+    let traced_out = AnnRequest::new(Algorithm::hnn())
+        .k(k)
+        .trace(&sink)
+        .run(
+            Input::<2, NoIndex>::Points(&r),
+            Input::<2, NoIndex>::Points(&s),
+        )
+        .unwrap();
+    assert_eq!(traced_out.stats, legacy_out.stats, "hnn stats");
+    assert_eq!(traced_out.results, legacy_out.results, "hnn results");
+}
+
+/// Every span a traced run opens must be closed by the time it returns,
+/// for every algorithm, including the traced index builds.
+#[test]
+fn recording_sink_sees_balanced_spans() {
+    let r = random_points::<2>(300, 99);
+    let s = random_points::<2>(310, 110);
+    for alg in algorithms() {
+        let sink = RecordingSink::new();
+        let tracer = Tracer::new(&sink);
+        let p = pool(64);
+        let ir = Mbrqt::bulk_build_traced(p.clone(), &r, &mbrqt_cfg(), Side::R, tracer).unwrap();
+        let is = RStar::bulk_build_traced(p, &s, &rstar_cfg(), Side::S, tracer).unwrap();
+        AnnRequest::new(alg)
+            .k(2)
+            .trace(&sink)
+            .run(Input::Index(&ir), Input::Index(&is))
+            .unwrap();
+        assert_eq!(sink.open_spans(), 0, "{}: spans left open", alg.name());
+        let (entered, exited) = sink.span_counts();
+        assert_eq!(entered, exited, "{}: span balance", alg.name());
+        assert!(entered > 0, "{}: no spans recorded", alg.name());
+        let json = sink.report(alg.name()).to_json();
+        assert!(
+            json.starts_with('{') && json.ends_with('}'),
+            "{}: report JSON malformed",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "requires Input::Index")]
+fn mba_rejects_point_inputs() {
+    let pts = random_points::<2>(10, 5);
+    let _ = AnnRequest::new(Algorithm::mba()).run(
+        Input::<2, NoIndex>::Points(&pts),
+        Input::<2, NoIndex>::Points(&pts),
+    );
+}

@@ -3,6 +3,7 @@
 use crate::grid::GridOrder;
 use crate::pca::Pca;
 use ann_core::stats::{AnnOutput, NeighborPair};
+use ann_core::trace::{Phase, PruneReason, TraceEvent, Tracer};
 use ann_geom::{min_min_dist_sq, Mbr, Point};
 use ann_store::{BufferPool, HeapFile, Result};
 use std::collections::BinaryHeap;
@@ -160,20 +161,40 @@ pub fn gorder_join<const D: usize>(
     pool: Arc<BufferPool>,
     cfg: &GorderConfig,
 ) -> Result<AnnOutput> {
+    gorder_join_traced(r, s, pool, cfg, Tracer::disabled())
+}
+
+/// [`gorder_join`] with an attached [`Tracer`]: per-phase spans (PCA,
+/// sort+materialize, scheduled join) with pool I/O deltas, plus one
+/// [`TraceEvent::GorderBlock`] per outer block recording how much of the
+/// inner schedule the block bound cut off. With `Tracer::disabled()` this
+/// is exactly [`gorder_join`].
+pub fn gorder_join_traced<const D: usize>(
+    r: &[(u64, Point<D>)],
+    s: &[(u64, Point<D>)],
+    pool: Arc<BufferPool>,
+    cfg: &GorderConfig,
+    tracer: Tracer<'_>,
+) -> Result<AnnOutput> {
     assert!(cfg.k >= 1, "k must be at least 1");
     let mut out = AnnOutput::default();
     let io0 = pool.stats();
     if r.is_empty() || s.is_empty() {
         return Ok(out);
     }
+    let io_now = || pool.stats();
+    let span_q = tracer.span_enter(Phase::Query, io_now);
 
     // Phase 1: PCA on the union of both inputs.
+    let span_pca = tracer.span_enter(Phase::Pca, io_now);
     let union: Vec<Point<D>> = r.iter().chain(s.iter()).map(|&(_, p)| p).collect();
     let pca = Pca::fit(&union);
     let mut tr: Vec<(u64, Point<D>)> = r.iter().map(|&(o, p)| (o, pca.transform(&p))).collect();
     let mut ts: Vec<(u64, Point<D>)> = s.iter().map(|&(o, p)| (o, pca.transform(&p))).collect();
+    tracer.span_exit(Phase::Pca, span_pca, io_now);
 
     // Phase 2: grid-order sort and write back in sorted blocks.
+    let span_sort = tracer.span_enter(Phase::Sort, io_now);
     let bounds = Mbr::from_points(tr.iter().chain(ts.iter()).map(|(_, p)| p));
     let grid = if cfg.variance_weighted_grid {
         // Distribute the total cell budget (segments_per_dim^D) over the
@@ -198,10 +219,13 @@ pub fn gorder_join<const D: usize>(
     let sf = BlockFile::write(pool.clone(), &ts, cfg.s_block_pages)?;
     drop(tr);
     drop(ts);
+    tracer.span_exit(Phase::Sort, span_sort, io_now);
 
     let k_eff = cfg.k + usize::from(cfg.exclude_self);
 
     // Phase 3: scheduled block nested-loops join.
+    let span_j = tracer.span_enter(Phase::Join, io_now);
+    let mut blocks_skipped_total = 0u64;
     for rb in 0..rf.num_blocks() {
         let r_bbox = rf.blocks[rb].2;
         let r_pts = rf.read_block(rb)?;
@@ -222,10 +246,12 @@ pub fn gorder_join<const D: usize>(
         schedule.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
 
         let mut block_bound = f64::INFINITY;
+        let mut scanned = 0u32;
         for &(mind_sq, sb) in &schedule {
             if mind_sq > block_bound {
                 break; // ascending schedule: all later blocks farther
             }
+            scanned += 1;
             let s_bbox = sf.blocks[sb].2;
             let s_pts = sf.read_block(sb)?;
             for st in states.iter_mut() {
@@ -248,6 +274,15 @@ pub fn gorder_join<const D: usize>(
                 .map(PointState::bound_sq)
                 .fold(0.0f64, f64::max);
         }
+        if tracer.enabled() {
+            let skipped = schedule.len() as u32 - scanned;
+            blocks_skipped_total += u64::from(skipped);
+            tracer.event(|| TraceEvent::GorderBlock {
+                outer: rb as u32,
+                scanned,
+                skipped,
+            });
+        }
 
         for st in states {
             let mut best: Vec<Best> = st.best.into_vec();
@@ -265,6 +300,16 @@ pub fn gorder_join<const D: usize>(
             }
         }
     }
+
+    if blocks_skipped_total > 0 {
+        tracer.event(|| TraceEvent::Pruned {
+            metric: "euclidean",
+            reason: PruneReason::BlockSkip,
+            count: blocks_skipped_total,
+        });
+    }
+    tracer.span_exit(Phase::Join, span_j, io_now);
+    tracer.span_exit(Phase::Query, span_q, io_now);
 
     out.stats.io = pool.stats().since(&io0);
     Ok(out)

@@ -30,4 +30,4 @@ pub mod grid;
 pub mod join;
 pub mod pca;
 
-pub use join::{gorder_join, GorderConfig};
+pub use join::{gorder_join, gorder_join_traced, GorderConfig};

@@ -2,6 +2,7 @@
 
 use crate::{cell_of_point, cell_quadrant, Mbrqt, MbrqtConfig};
 use ann_core::node::{write_node, Entry, Node, NodeEntry, ObjectEntry};
+use ann_core::trace::{Phase, Side, TraceEvent, Tracer};
 use ann_geom::{Mbr, Point};
 use ann_store::BufferPool;
 use ann_store::{PageStore, Result, StoreError, Txn};
@@ -12,10 +13,14 @@ pub(crate) fn bulk_build<const D: usize>(
     pool: Arc<BufferPool>,
     points: &[(u64, Point<D>)],
     config: &MbrqtConfig,
+    side: Side,
+    tracer: Tracer<'_>,
 ) -> Result<Mbrqt<D>> {
     if points.iter().any(|(_, p)| !p.is_finite()) {
         return Err(StoreError::corrupt("points must have finite coordinates"));
     }
+    let io_now = || pool.stats();
+    let span_b = tracer.span_enter(Phase::Build, io_now);
     let bounds = Mbr::from_points(points.iter().map(|(_, p)| p));
     // The universe needs positive extent in every dimension for halving to
     // make progress; degenerate (or empty) input gets a unit-padded box.
@@ -50,9 +55,21 @@ pub(crate) fn bulk_build<const D: usize>(
         levels_per_node,
         max_depth: config.max_depth,
         use_subtree_mbrs: config.use_subtree_mbrs,
+        level_tally: tracer.enabled().then(Vec::new),
     };
     let mut owned: Vec<(u64, Point<D>)> = points.to_vec();
-    let root_entry = builder.build(&mut owned, universe, 0)?;
+    let root_entry = builder.build(&mut owned, universe, 0, 0)?;
+    if let Some(tally) = builder.level_tally.take() {
+        for (level, &nodes) in tally.iter().enumerate() {
+            if nodes > 0 {
+                tracer.event(|| TraceEvent::IndexLevelBuilt {
+                    side,
+                    level: level as u32,
+                    nodes,
+                });
+            }
+        }
+    }
 
     let tree = Mbrqt {
         pool: Arc::clone(&pool),
@@ -74,6 +91,7 @@ pub(crate) fn bulk_build<const D: usize>(
     let txn = Txn::begin(&pool, journal);
     tree.save_meta_to(&txn)?;
     txn.commit()?;
+    tracer.span_exit(Phase::Build, span_b, io_now);
     Ok(tree)
 }
 
@@ -83,18 +101,31 @@ pub(crate) struct Builder<'a, S: PageStore> {
     pub(crate) levels_per_node: usize,
     pub(crate) max_depth: usize,
     pub(crate) use_subtree_mbrs: bool,
+    /// When tracing a bulk build: nodes written per disk-node level
+    /// (index = distance from the subtree root being built).
+    pub(crate) level_tally: Option<Vec<u64>>,
 }
 
 impl<S: PageStore> Builder<'_, S> {
     /// Recursively builds the subtree for `points` within `quadrant`,
     /// returning the child entry describing it. `points` is consumed
-    /// (drained into leaves or partitions).
+    /// (drained into leaves or partitions). `depth` counts quadtree
+    /// decomposition levels (for the `max_depth` budget); `level` counts
+    /// disk nodes from the subtree root (for the build tally only).
     pub(crate) fn build<const D: usize>(
         &mut self,
         points: &mut Vec<(u64, Point<D>)>,
         quadrant: Mbr<D>,
         depth: usize,
+        level: u32,
     ) -> Result<NodeEntry<D>> {
+        if let Some(tally) = self.level_tally.as_mut() {
+            let level = level as usize;
+            if tally.len() <= level {
+                tally.resize(level + 1, 0);
+            }
+            tally[level] += 1;
+        }
         if points.len() <= self.bucket_capacity || depth >= self.max_depth {
             return self.write_leaf(points, &quadrant);
         }
@@ -123,7 +154,7 @@ impl<S: PageStore> Builder<'_, S> {
         };
         for (idx, mut part) in parts {
             let child_q = cell_quadrant(&quadrant, idx, levels);
-            let entry = self.build(&mut part, child_q, depth + levels)?;
+            let entry = self.build(&mut part, child_q, depth + levels, level + 1)?;
             node.entries.push(Entry::Node(entry));
         }
         node.recompute_mbr();

@@ -74,6 +74,7 @@ fn descend<const D: usize>(
                 levels_per_node: tree.levels_per_node,
                 max_depth: tree.max_depth,
                 use_subtree_mbrs: tree.use_subtree_mbrs,
+                level_tally: None,
             };
             let levels = builder.pick_levels::<D>(points.len(), depth);
             let mut parts: Vec<(usize, Vec<(u64, Point<D>)>)> = Vec::new();
@@ -92,7 +93,7 @@ fn descend<const D: usize>(
             };
             for (idx, mut part) in parts {
                 let child_q = cell_quadrant(&quadrant, idx, levels);
-                let entry = builder.build(&mut part, child_q, depth + levels)?;
+                let entry = builder.build(&mut part, child_q, depth + levels, 0)?;
                 internal.entries.push(Entry::Node(entry));
             }
             internal.recompute_mbr();

@@ -7,6 +7,7 @@
 
 use crate::{RStar, RStarConfig};
 use ann_core::node::{write_node, Entry, Node, NodeEntry, ObjectEntry};
+use ann_core::trace::{Phase, Side, TraceEvent, Tracer};
 use ann_geom::{Mbr, Point};
 use ann_store::{BufferPool, Result, StoreError, Txn};
 use std::sync::Arc;
@@ -16,10 +17,14 @@ pub(crate) fn bulk_build<const D: usize>(
     pool: Arc<BufferPool>,
     points: &[(u64, Point<D>)],
     config: &RStarConfig,
+    side: Side,
+    tracer: Tracer<'_>,
 ) -> Result<RStar<D>> {
     if points.iter().any(|(_, p)| !p.is_finite()) {
         return Err(StoreError::corrupt("points must have finite coordinates"));
     }
+    let io_now = || pool.stats();
+    let span_b = tracer.span_enter(Phase::Build, io_now);
     let max_leaf = config.resolved_max::<D>(true);
     let max_internal = config.resolved_max::<D>(false);
     let meta_page = pool.allocate()?;
@@ -32,6 +37,8 @@ pub(crate) fn bulk_build<const D: usize>(
 
     let mut current: Vec<Entry<D>> = Vec::new();
     let mut height = 1u32;
+    // Nodes written per packing round; round 0 is the leaf level.
+    let mut round_nodes: Vec<u64> = Vec::new();
     {
         let mut pts: Vec<(u64, Point<D>)> = points.to_vec();
         let mut tiles: Vec<Vec<(u64, Point<D>)>> = Vec::new();
@@ -76,8 +83,15 @@ pub(crate) fn bulk_build<const D: usize>(
             cache: ann_core::node_cache::NodeCache::default(),
         };
         commit_meta(&pool, &tree)?;
+        tracer.event(|| TraceEvent::IndexLevelBuilt {
+            side,
+            level: 0,
+            nodes: 1,
+        });
+        tracer.span_exit(Phase::Build, span_b, io_now);
         return Ok(tree);
     }
+    round_nodes.push(current.len() as u64);
 
     // Pack internal levels until a single entry remains.
     internal_fill = internal_fill.max(2);
@@ -101,6 +115,7 @@ pub(crate) fn bulk_build<const D: usize>(
                 mbr: node.mbr,
             }));
         }
+        round_nodes.push(next.len() as u64);
         current = next;
         height += 1;
     }
@@ -124,6 +139,15 @@ pub(crate) fn bulk_build<const D: usize>(
         cache: ann_core::node_cache::NodeCache::default(),
     };
     commit_meta(&pool, &tree)?;
+    if tracer.enabled() {
+        // round 0 = leaves; report levels with 0 = root to match the
+        // query-side per-level accounting.
+        for (round, &nodes) in round_nodes.iter().enumerate() {
+            let level = round_nodes.len() as u32 - 1 - round as u32;
+            tracer.event(|| TraceEvent::IndexLevelBuilt { side, level, nodes });
+        }
+    }
+    tracer.span_exit(Phase::Build, span_b, io_now);
     Ok(tree)
 }
 

@@ -47,6 +47,7 @@ mod meta;
 use ann_core::index::SpatialIndex;
 use ann_core::node_cache::NodeCache;
 use ann_core::node::Node;
+use ann_core::trace::{Side, Tracer};
 use ann_geom::{Mbr, Point};
 use ann_store::{BufferPool, Journal, PageId, PageStore, Result, StoreError, Txn};
 use std::sync::Arc;
@@ -145,7 +146,23 @@ impl<const D: usize> RStar<D> {
         points: &[(u64, Point<D>)],
         config: &RStarConfig,
     ) -> Result<Self> {
-        bulk::bulk_build(pool, points, config)
+        bulk::bulk_build(pool, points, config, Side::R, Tracer::disabled())
+    }
+
+    /// [`bulk_build`](Self::bulk_build) with an attached [`Tracer`]:
+    /// wraps construction in a `Build` span (pool I/O deltas included)
+    /// and emits one [`ann_core::trace::TraceEvent::IndexLevelBuilt`] per
+    /// tree level (level 0 is the root, matching the query-side per-level
+    /// accounting), tagged with `side`. With `Tracer::disabled()` this is
+    /// exactly [`bulk_build`](Self::bulk_build).
+    pub fn bulk_build_traced(
+        pool: Arc<BufferPool>,
+        points: &[(u64, Point<D>)],
+        config: &RStarConfig,
+        side: Side,
+        tracer: Tracer<'_>,
+    ) -> Result<Self> {
+        bulk::bulk_build(pool, points, config, side, tracer)
     }
 
     /// Opens a previously built tree from its metadata page.

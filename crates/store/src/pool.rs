@@ -591,6 +591,7 @@ impl BufferPool {
         let Some(victim) = inner.lru.pop_lru() else {
             return Ok(false);
         };
+        shard.stats.record_eviction();
         let ShardInner {
             frames,
             scratch,

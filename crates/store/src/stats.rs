@@ -16,7 +16,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// was resident, and `lock_contention` counts accesses that found their
 /// shard lock already held by another thread (each such event is one
 /// blocked lock acquisition — the scalability signal the thread-scaling
-/// benchmark tracks).
+/// benchmark tracks). `evictions` counts resident pages pushed out to make
+/// room, which together with `pool_misses` shows whether a phase is
+/// thrashing the pool or merely cold.
 #[derive(Default, Debug)]
 pub struct IoStats {
     logical_reads: AtomicU64,
@@ -27,6 +29,7 @@ pub struct IoStats {
     pool_hits: AtomicU64,
     pool_misses: AtomicU64,
     lock_contention: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl IoStats {
@@ -67,6 +70,10 @@ impl IoStats {
         self.lock_contention.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -78,6 +85,7 @@ impl IoStats {
             pool_hits: self.pool_hits.load(Ordering::Relaxed),
             pool_misses: self.pool_misses.load(Ordering::Relaxed),
             lock_contention: self.lock_contention.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -91,6 +99,7 @@ impl IoStats {
         self.pool_hits.store(0, Ordering::Relaxed);
         self.pool_misses.store(0, Ordering::Relaxed);
         self.lock_contention.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -114,6 +123,9 @@ pub struct IoSnapshot {
     pub pool_misses: u64,
     /// Shard-lock acquisitions that found the lock already held.
     pub lock_contention: u64,
+    /// Resident pages evicted to make room (dirty victims additionally
+    /// count one `physical_writes`).
+    pub evictions: u64,
 }
 
 impl IoSnapshot {
@@ -141,6 +153,7 @@ impl IoSnapshot {
             pool_hits: self.pool_hits - earlier.pool_hits,
             pool_misses: self.pool_misses - earlier.pool_misses,
             lock_contention: self.lock_contention - earlier.lock_contention,
+            evictions: self.evictions - earlier.evictions,
         }
     }
 
@@ -156,6 +169,7 @@ impl IoSnapshot {
             pool_hits: self.pool_hits + other.pool_hits,
             pool_misses: self.pool_misses + other.pool_misses,
             lock_contention: self.lock_contention + other.lock_contention,
+            evictions: self.evictions + other.evictions,
         }
     }
 }
@@ -176,6 +190,7 @@ mod tests {
         s.record_pool_hit();
         s.record_pool_miss();
         s.record_lock_contention();
+        s.record_eviction();
         let snap = s.snapshot();
         assert_eq!(snap.logical_reads, 2);
         assert_eq!(snap.physical_reads, 1);
@@ -185,6 +200,7 @@ mod tests {
         assert_eq!(snap.pool_hits, 1);
         assert_eq!(snap.pool_misses, 1);
         assert_eq!(snap.lock_contention, 1);
+        assert_eq!(snap.evictions, 1);
         assert_eq!(snap.physical_total(), 2);
         assert_eq!(snap.hit_rate(), 0.5);
     }

@@ -1,13 +1,13 @@
 //! Quickstart: index two point sets and evaluate the all-nearest-neighbor
-//! join with the paper's MBA algorithm.
+//! join through the unified query API, with an execution trace attached.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use allnn::core::mba::{mba, MbaConfig};
-use allnn::geom::{NxnDist, Point};
+use allnn::geom::Point;
 use allnn::mbrqt::{Mbrqt, MbrqtConfig};
+use allnn::prelude::*;
 use allnn::store::{BufferPool, MemDisk};
 use std::sync::Arc;
 
@@ -35,8 +35,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sensor_index = Mbrqt::bulk_build(pool.clone(), &sensors, &MbrqtConfig::default())?;
     let event_index = Mbrqt::bulk_build(pool.clone(), &events, &MbrqtConfig::default())?;
 
-    // For every sensor, the nearest event — one call.
-    let mut output = mba::<2, NxnDist, _, _>(&sensor_index, &event_index, &MbaConfig::default())?;
+    // For every sensor, the nearest event — one request, one call. Attach
+    // a RecordingSink to capture a structured execution report; drop the
+    // `.trace(..)` line and the run is bit-identical with zero overhead.
+    let sink = RecordingSink::new();
+    let mut output = AnnRequest::new(Algorithm::mba())
+        .k(1)
+        .metric(MetricChoice::Nxn)
+        .trace(&sink)
+        .run(Input::Index(&sensor_index), Input::Index(&event_index))?;
     output.sort();
 
     println!(
@@ -58,5 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  page reads            : {} logical / {} physical",
         st.io.logical_reads, st.io.physical_reads
     );
+
+    // The execution report: phase wall times with I/O deltas, per-level
+    // expansion histograms, pruning breakdown — serializable to JSON.
+    println!("\nexecution report:\n{}", sink.report("quickstart").to_json());
     Ok(())
 }

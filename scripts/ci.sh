@@ -25,6 +25,28 @@ env -u RUST_TEST_THREADS ANN_ASSERT_SPEEDUP=1 \
 env -u RUST_TEST_THREADS ANN_ASSERT_SPEEDUP=1 \
   cargo test -q -p ann-core --test parallel
 
+# Observability gate: every Algorithm variant through the unified
+# entrypoint must match brute force, stay counter-identical to the
+# legacy entrypoints, and stay counter-identical with a recording
+# TraceSink attached (query_equivalence covers sink-on/sink-off).
+cargo test -q -p ann-core --test query_equivalence
+
+# Trace-report smoke: a tiny figure run with --trace must emit one valid
+# JSON ExecutionReport per run.
+trace_dir=$(mktemp -d)
+cargo run --release -p ann-bench --bin figures -- fig3a --scale 0.01 \
+  --trace "$trace_dir" > /dev/null
+python3 - "$trace_dir" <<'EOF'
+import json, pathlib, sys
+files = sorted(pathlib.Path(sys.argv[1]).glob("*.json"))
+assert files, "figures --trace wrote no reports"
+for f in files:
+    json.loads(f.read_text())
+print(f"validated {len(files)} trace reports")
+EOF
+rm -rf "$trace_dir"
+
 # Benches must at least compile; the scaling figure itself is run on
-# demand (results/BENCH_*.json are committed artifacts).
+# demand (results/BENCH_*.json are committed artifacts). The metrics
+# bench carries the no-op-sink overhead comparison (trace/noop-sink).
 cargo bench --no-run

@@ -6,3 +6,9 @@ pub use ann_gorder as gorder;
 pub use ann_mbrqt as mbrqt;
 pub use ann_rstar as rstar;
 pub use ann_store as store;
+
+/// The common-case imports: unified query API, tracing, and the
+/// [`ann_core::SpatialIndex`] trait. `use allnn::prelude::*;`.
+pub mod prelude {
+    pub use ann_core::prelude::*;
+}
