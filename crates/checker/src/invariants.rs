@@ -1,0 +1,335 @@
+//! Structural invariant checks: the NXNDIST bound property, the classical
+//! metric orderings, index-tree well-formedness under random mutation
+//! interleavings, and journal-recovery idempotence under injected crashes.
+
+use crate::rng::Rng;
+use ann_core::index::validate;
+use ann_core::prelude::*;
+use ann_geom::{max_max_dist_sq, min_min_dist_sq, nxn_dist_sq, Mbr, Point};
+use ann_mbrqt::{Mbrqt, MbrqtConfig};
+use ann_rstar::{RStar, RStarConfig};
+use ann_store::{splitmix64, BufferPool, FaultyDisk, InjectedFault, MemDisk, FRAME_SIZE};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Relative slack for cross-expression-tree float comparisons (a point
+/// distance and an MBR metric of the same configuration are computed
+/// through different formulas and may differ by a few ulps).
+const REL_EPS: f64 = 1.0e-9;
+
+fn lattice_coord(rng: &mut Rng, scale: f64, offset: f64) -> f64 {
+    rng.range(0, 9) as f64 * scale + offset
+}
+
+/// One NXNDIST property case: `S` points define the (minimum, by
+/// construction) target MBR `N`; `M` is a random query box that may be
+/// point-degenerate, touching, overlapping, or disjoint. Checks, for
+/// sampled query points `r ∈ M`:
+///
+/// * `NXNDIST(M, N)` is finite, non-negative, and never NaN;
+/// * `MINMINDIST(M, N) ≤ NXNDIST(M, N) ≤ MAXMAXDIST(M, N)` **exactly**;
+/// * `min_{s ∈ S} dist(r, s) ≤ NXNDIST(M, N)` — the defining guarantee;
+/// * `MINMINDIST(M, N) ≤ dist(r, s) ≤ MAXMAXDIST(M, N)` for all `s ∈ S`.
+pub fn check_nxn_case<const D: usize>(rng: &mut Rng) -> Option<String> {
+    let scale = *rng.pick(&crate::gen::SCALES);
+    let offset = *rng.pick(&crate::gen::OFFSETS);
+    let n_s = rng.range(1, 9);
+    let s: Vec<Point<D>> = (0..n_s)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for v in c.iter_mut() {
+                *v = lattice_coord(rng, scale, offset);
+            }
+            Point::new(c)
+        })
+        .collect();
+    let n_mbr = Mbr::from_points(s.iter());
+
+    // M: a lattice box; degenerate (point) per dimension with prob 1/3,
+    // which also produces shared-face "touching" configurations.
+    let mut lo = [0.0; D];
+    let mut hi = [0.0; D];
+    for d in 0..D {
+        let a = lattice_coord(rng, scale, offset);
+        let b = if rng.chance(1.0 / 3.0) {
+            a
+        } else {
+            lattice_coord(rng, scale, offset)
+        };
+        lo[d] = a.min(b);
+        hi[d] = a.max(b);
+    }
+    let m_mbr = Mbr::new(lo, hi);
+
+    let nxn = nxn_dist_sq(&m_mbr, &n_mbr);
+    let minmin = min_min_dist_sq(&m_mbr, &n_mbr);
+    let maxmax = max_max_dist_sq(&m_mbr, &n_mbr);
+    if nxn.is_nan() || nxn < 0.0 {
+        return Some(format!("NXNDIST² = {nxn:?} for M={m_mbr:?} N={n_mbr:?}"));
+    }
+    if nxn < minmin {
+        return Some(format!(
+            "NXNDIST² {nxn:?} < MINMINDIST² {minmin:?} for M={m_mbr:?} N={n_mbr:?}"
+        ));
+    }
+    if nxn > maxmax {
+        return Some(format!(
+            "NXNDIST² {nxn:?} > MAXMAXDIST² {maxmax:?} for M={m_mbr:?} N={n_mbr:?}"
+        ));
+    }
+
+    // Query points: every corner-ish extreme plus random interior points.
+    let mut queries: Vec<Point<D>> = vec![Point::new(m_mbr.lo), Point::new(m_mbr.hi)];
+    for _ in 0..4 {
+        let mut c = [0.0; D];
+        for d in 0..D {
+            c[d] = m_mbr.lo[d] + rng.f64() * (m_mbr.hi[d] - m_mbr.lo[d]);
+        }
+        queries.push(Point::new(c));
+    }
+    for r in &queries {
+        let mut nn = f64::INFINITY;
+        for p in &s {
+            let d2 = r.dist_sq(p);
+            nn = nn.min(d2);
+            if d2 > maxmax * (1.0 + REL_EPS) {
+                return Some(format!(
+                    "dist²(r, s) = {d2:?} > MAXMAXDIST² {maxmax:?} for r={r:?} s={p:?} M={m_mbr:?} N={n_mbr:?}"
+                ));
+            }
+            if d2 * (1.0 + REL_EPS) < minmin {
+                return Some(format!(
+                    "dist²(r, s) = {d2:?} < MINMINDIST² {minmin:?} for r={r:?} s={p:?} M={m_mbr:?} N={n_mbr:?}"
+                ));
+            }
+        }
+        if nn > nxn * (1.0 + REL_EPS) {
+            return Some(format!(
+                "true NN dist² {nn:?} exceeds NXNDIST² {nxn:?} for r={r:?} M={m_mbr:?} N={n_mbr:?} S={s:?}"
+            ));
+        }
+    }
+    None
+}
+
+fn qt_cfg() -> MbrqtConfig {
+    MbrqtConfig {
+        bucket_capacity: 8,
+        ..Default::default()
+    }
+}
+
+fn rs_cfg() -> RStarConfig {
+    RStarConfig {
+        max_leaf_entries: 8,
+        max_internal_entries: 4,
+        ..Default::default()
+    }
+}
+
+/// Replays a random insert/delete interleaving against both index kinds,
+/// validating the full structural invariant set ([`validate`]) and the
+/// object census after every batch. Duplicate and coincident points are
+/// deliberately common (lattice coordinates).
+pub fn check_tree_case<const D: usize>(rng: &mut Rng) -> Option<String> {
+    let scale = *rng.pick(&crate::gen::SCALES);
+    let universe = {
+        let mut hi = [0.0; D];
+        hi.iter_mut().for_each(|v| *v = 9.0 * scale);
+        Mbr::new([0.0; D], hi)
+    };
+    let pool = Arc::new(BufferPool::new(MemDisk::new(), 128));
+    let mut qt = match Mbrqt::<D>::create(pool.clone(), universe, &qt_cfg()) {
+        Ok(t) => t,
+        Err(e) => return Some(format!("mbrqt create failed: {e:?}")),
+    };
+    let mut rs = match RStar::<D>::create(pool, &rs_cfg()) {
+        Ok(t) => t,
+        Err(e) => return Some(format!("rstar create failed: {e:?}")),
+    };
+
+    let mut live: BTreeMap<u64, Point<D>> = BTreeMap::new();
+    let mut next_oid = 0u64;
+    let ops = rng.range(10, 120);
+    for step in 0..ops {
+        let deleting = !live.is_empty() && rng.chance(0.35);
+        if deleting {
+            let idx = rng.range(0, live.len());
+            let (&oid, &point) = live.iter().nth(idx).expect("index in range");
+            for (name, deleted) in [
+                ("mbrqt", qt.delete(oid, &point)),
+                ("rstar", rs.delete(oid, &point)),
+            ] {
+                match deleted {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        return Some(format!(
+                            "{name}: delete of live oid {oid} at step {step} reported absent"
+                        ))
+                    }
+                    Err(e) => return Some(format!("{name}: delete failed at step {step}: {e:?}")),
+                }
+            }
+            live.remove(&oid);
+        } else {
+            let mut c = [0.0; D];
+            for v in c.iter_mut() {
+                *v = rng.range(0, 9) as f64 * scale;
+            }
+            let p = Point::new(c);
+            let oid = next_oid;
+            next_oid += 1;
+            for (name, inserted) in [("mbrqt", qt.insert(oid, p)), ("rstar", rs.insert(oid, p))] {
+                if let Err(e) = inserted {
+                    return Some(format!("{name}: insert failed at step {step}: {e:?}"));
+                }
+            }
+            live.insert(oid, p);
+        }
+
+        if step % 7 == 0 || step + 1 == ops {
+            for (name, shape) in [("mbrqt", validate(&qt)), ("rstar", validate(&rs))] {
+                match shape {
+                    Ok(shape) => {
+                        if shape.objects != live.len() as u64 {
+                            return Some(format!(
+                                "{name}: {} objects after step {step}, expected {}",
+                                shape.objects,
+                                live.len()
+                            ));
+                        }
+                    }
+                    Err(e) => {
+                        return Some(format!(
+                            "{name}: invariant violation after step {step}: {e:?}"
+                        ))
+                    }
+                }
+            }
+        }
+    }
+
+    // Census: the exact (oid, point) multiset must survive.
+    for (name, got) in [
+        ("mbrqt", collect_objects(&qt)),
+        ("rstar", collect_objects(&rs)),
+    ] {
+        let mut got = match got {
+            Ok(g) => g,
+            Err(e) => return Some(format!("{name}: collect failed: {e:?}")),
+        };
+        got.sort_by_key(|(oid, _)| *oid);
+        let want: Vec<(u64, Point<D>)> = live.iter().map(|(&o, &p)| (o, p)).collect();
+        if got != want {
+            return Some(format!(
+                "{name}: object census diverged: {} live vs {} expected",
+                got.len(),
+                want.len()
+            ));
+        }
+    }
+    None
+}
+
+/// Crashes a create+insert sequence at a random disk operation (torn
+/// write), then checks that reopening recovers a valid tree holding the
+/// committed prefix — and that recovery is **idempotent**: a second
+/// reopen of the same surviving media yields the identical tree.
+pub fn check_recovery_case(rng: &mut Rng) -> Option<String> {
+    let n = rng.range(5, 60);
+    let mut pts: Vec<(u64, Point<2>)> = Vec::with_capacity(n);
+    for i in 0..n {
+        pts.push((
+            i as u64,
+            Point::new([rng.range(0, 9) as f64, rng.range(0, 9) as f64]),
+        ));
+    }
+    let universe = Mbr::new([0.0, 0.0], [9.0, 9.0]);
+
+    // Ops a healthy run consumes, to place the crash inside the sequence.
+    let total = {
+        let fd = Arc::new(FaultyDisk::unlimited(MemDisk::new()));
+        let pool = Arc::new(BufferPool::new(Arc::clone(&fd), 8));
+        let mut tree = Mbrqt::create(pool, universe, &qt_cfg()).expect("healthy create");
+        for &(oid, p) in &pts {
+            tree.insert(oid, p).expect("healthy insert");
+        }
+        fd.op_count()
+    };
+    let crash_op = 1 + rng.next_u64() % total.max(1);
+
+    let mem = Arc::new(MemDisk::new());
+    let fd = Arc::new(FaultyDisk::unlimited(Arc::clone(&mem)));
+    fd.inject_at(
+        crash_op,
+        InjectedFault::TornWrite {
+            persist: (splitmix64(crash_op) as usize) % FRAME_SIZE,
+        },
+    );
+    let pool = Arc::new(BufferPool::new(Arc::clone(&fd), 8));
+    let mut inserted = 0u64;
+    let crashed = match Mbrqt::create(pool, universe, &qt_cfg()) {
+        Err(_) => true,
+        Ok(mut tree) => {
+            let mut hit = false;
+            for &(oid, p) in &pts {
+                match tree.insert(oid, p) {
+                    Ok(()) => inserted += 1,
+                    Err(_) => {
+                        hit = true;
+                        break;
+                    }
+                }
+            }
+            hit
+        }
+    };
+    if !crashed {
+        // The injected op landed after the workload finished; vacuous.
+        return None;
+    }
+
+    let reopen = |mem: &Arc<MemDisk>| -> Result<u64, String> {
+        let pool = Arc::new(BufferPool::new(Arc::clone(mem), 64));
+        match Mbrqt::<2>::open(pool, 0) {
+            Ok(tree) => match validate(&tree) {
+                Ok(shape) => Ok(shape.objects),
+                Err(e) => Err(format!("recovered tree fails validation: {e:?}")),
+            },
+            Err(e) => Err(format!("open failed: {e:?}")),
+        }
+    };
+    match reopen(&mem) {
+        Ok(objects) => {
+            // Each insert is one atomic journal commit: recovery must land
+            // on the successful prefix, or prefix + 1 when the crash hit
+            // after the commit point.
+            if objects != inserted && objects != inserted + 1 {
+                return Some(format!(
+                    "crash at op {crash_op}: recovered {objects} objects, expected {inserted} or {}",
+                    inserted + 1
+                ));
+            }
+            // Idempotence: recovering again must not change the tree.
+            match reopen(&mem) {
+                Ok(second) if second == objects => None,
+                Ok(second) => Some(format!(
+                    "crash at op {crash_op}: second recovery saw {second} objects, first saw {objects}"
+                )),
+                Err(e) => Some(format!(
+                    "crash at op {crash_op}: second recovery failed after first succeeded: {e}"
+                )),
+            }
+        }
+        Err(e) => {
+            // Only acceptable when nothing was ever durably committed.
+            if inserted == 0 {
+                None
+            } else {
+                Some(format!(
+                    "crash at op {crash_op} after {inserted} inserts: {e}"
+                ))
+            }
+        }
+    }
+}

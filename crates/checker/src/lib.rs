@@ -1,0 +1,176 @@
+//! Deterministic differential fuzzing and invariant checking for the ANN
+//! evaluation stack.
+//!
+//! Four invariant classes, each seed-driven and fully reproducible:
+//!
+//! * [`Class::Diff`] — every [`Algorithm`](ann_core::Algorithm) variant
+//!   must match brute force byte-for-byte under the canonical tie-break
+//!   (per query, ascending `(distance, s_oid)`), across adversarial
+//!   workloads: duplicates, coincident/collinear/clustered/skewed sets,
+//!   `k ∈ {0, 1, |S|−1, |S|, >|S|}`, empty sides, `exclude_self`
+//!   self-joins with duplicates, and `D ∈ {1, 2, 8}`. Failures shrink to
+//!   a minimal reproducer and carry the diverging run's
+//!   `ExecutionReport`.
+//! * [`Class::Nxn`] — NXNDIST upper-bounds the true per-point NN
+//!   distance, is never negative or NaN, and respects
+//!   `MINMINDIST ≤ NXNDIST ≤ MAXMAXDIST` exactly, including degenerate
+//!   (point, touching, coincident) MBR pairs at cancellation-prone
+//!   offsets.
+//! * [`Class::Tree`] — MBRQT and R*-tree structural invariants and the
+//!   exact object census survive random insert/delete interleavings.
+//! * [`Class::Recovery`] — journal recovery after an injected torn-write
+//!   crash lands on a committed prefix and is idempotent across reopens.
+//!
+//! Run via `cargo run -p checker --bin fuzz -- --seed 1 --cases 200`.
+
+pub mod diff;
+pub mod gen;
+pub mod invariants;
+pub mod report;
+pub mod rng;
+pub mod shrink;
+
+use report::Failure;
+use rng::Rng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The invariant classes the fuzzer can exercise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Class {
+    Diff,
+    Nxn,
+    Tree,
+    Recovery,
+}
+
+impl Class {
+    pub const ALL: [Class; 4] = [Class::Diff, Class::Nxn, Class::Tree, Class::Recovery];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Class::Diff => "diff",
+            Class::Nxn => "nxn",
+            Class::Tree => "tree",
+            Class::Recovery => "recovery",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Class> {
+        Class::ALL.into_iter().find(|c| c.name() == s)
+    }
+}
+
+/// Runs `cases` cases of one class from `seed`; returns every failure.
+pub fn run_class(class: Class, seed: u64, cases: usize) -> Vec<Failure> {
+    let mut parent = Rng::new(seed ^ splitmix_tag(class));
+    let mut failures = Vec::new();
+    for i in 0..cases {
+        let case_seed = parent.next_u64();
+        let f = match class {
+            // Round-robin the dimensionalities the paper's analysis
+            // spans: the planar base case, the 1-D degenerate case, and
+            // a high-D case where MBR faces dominate.
+            Class::Diff => match i % 3 {
+                0 => diff_one::<2>(case_seed, i),
+                1 => diff_one::<1>(case_seed, i),
+                _ => diff_one::<8>(case_seed, i),
+            },
+            Class::Nxn => match i % 3 {
+                0 => invariant_one::<2>(class, case_seed, i),
+                1 => invariant_one::<1>(class, case_seed, i),
+                _ => invariant_one::<8>(class, case_seed, i),
+            },
+            Class::Tree => match i % 3 {
+                0 => invariant_one::<2>(class, case_seed, i),
+                1 => invariant_one::<1>(class, case_seed, i),
+                _ => invariant_one::<8>(class, case_seed, i),
+            },
+            Class::Recovery => invariant_one::<2>(class, case_seed, i),
+        };
+        failures.extend(f);
+    }
+    failures
+}
+
+/// Runs every class with the same seed and case budget.
+pub fn run_all(seed: u64, cases: usize) -> Vec<Failure> {
+    Class::ALL
+        .into_iter()
+        .flat_map(|c| run_class(c, seed, cases))
+        .collect()
+}
+
+/// Distinct per-class seed streams so `--class nxn` replays the exact
+/// cases the all-classes run saw.
+fn splitmix_tag(class: Class) -> u64 {
+    match class {
+        Class::Diff => 0xD1FF,
+        Class::Nxn => 0x0171,
+        Class::Tree => 0x7EEE,
+        Class::Recovery => 0x6EC0,
+    }
+}
+
+fn diff_one<const D: usize>(case_seed: u64, index: usize) -> Option<Failure> {
+    let mut rng = Rng::new(case_seed);
+    let case = gen::diff_case::<D>(&mut rng);
+    let div = diff::check_case(&case)?;
+    let (min_case, min_div) = shrink::shrink(case, div);
+    let trace = catch_unwind(AssertUnwindSafe(|| {
+        diff::trace_divergence(&min_case, &min_div)
+    }))
+    .ok();
+    Some(Failure {
+        class: "diff",
+        seed: case_seed,
+        case_index: index,
+        dims: D,
+        message: format!("{}: {}", min_div.label, min_div.detail),
+        repro: format!(
+            "k={} exclude_self={} group_size={} occupancy={} r={:?} s={:?}",
+            min_case.k,
+            min_case.exclude_self,
+            min_case.group_size,
+            min_case.avg_cell_occupancy,
+            min_case.r,
+            min_case.s
+        ),
+        trace_json: trace,
+    })
+}
+
+fn invariant_one<const D: usize>(class: Class, case_seed: u64, index: usize) -> Option<Failure> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut rng = Rng::new(case_seed);
+        match class {
+            Class::Nxn => invariants::check_nxn_case::<D>(&mut rng),
+            Class::Tree => invariants::check_tree_case::<D>(&mut rng),
+            Class::Recovery => invariants::check_recovery_case(&mut rng),
+            Class::Diff => unreachable!("diff has its own driver"),
+        }
+    }));
+    let message = match outcome {
+        Ok(None) => return None,
+        Ok(Some(m)) => m,
+        Err(e) => format!("panicked: {}", panic_text(&e)),
+    };
+    Some(Failure {
+        class: class.name(),
+        seed: case_seed,
+        case_index: index,
+        dims: D,
+        message,
+        repro: format!("rerun with Rng::new({case_seed:#x}) in {}", class.name()),
+        trace_json: None,
+    })
+}
+
+fn panic_text(e: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -1,0 +1,43 @@
+//! Failure records: everything needed to reproduce and debug a checker
+//! finding — the class, the per-case seed, the (shrunk) case itself, and
+//! the execution trace of the diverging run when one exists.
+
+/// One confirmed checker failure.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Invariant class name (`diff`, `nxn`, `tree`, `recovery`).
+    pub class: &'static str,
+    /// The per-case seed: `Rng::new(seed)` regenerates the exact case.
+    pub seed: u64,
+    /// Ordinal of the case within its run.
+    pub case_index: usize,
+    /// Coordinate dimensionality of the case.
+    pub dims: usize,
+    /// What went wrong (first mismatch, violated bound, or panic text).
+    pub message: String,
+    /// Human-readable minimal reproducer (the shrunk case, or the seed).
+    pub repro: String,
+    /// `ExecutionReport` JSON of the diverging run, when traceable.
+    pub trace_json: Option<String>,
+}
+
+impl Failure {
+    /// Multi-line rendering for the fuzz binary's output.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "FAIL [{} D={} case #{} seed {:#018x}]\n  {}\n  repro: {}",
+            self.class, self.dims, self.case_index, self.seed, self.message, self.repro
+        );
+        if let Some(trace) = &self.trace_json {
+            out.push_str("\n  trace: ");
+            // Keep console output bounded; the full JSON is one line.
+            if trace.len() > 2000 {
+                out.push_str(&trace[..2000]);
+                out.push_str("… (truncated)");
+            } else {
+                out.push_str(trace);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,74 @@
+//! Deterministic RNG for workload generation — a SplitMix64 stream, so
+//! the checker needs no external RNG dependency and a failure's seed
+//! reproduces the exact same case on any platform.
+
+use ann_store::splitmix64;
+
+/// Seed-driven generator; every case derives from one `u64`.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a stream; equal seeds yield equal streams forever.
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            state: splitmix64(seed),
+        }
+    }
+
+    /// Derives an independent child stream (for per-case seeds).
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`; `hi > lo` required.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(hi > lo);
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Uniform pick from a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.range(0, xs.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            let v = r.range(3, 9);
+            assert!((3..9).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Case minimization: greedily shrinks a failing [`DiffCase`] to a small
+//! reproducer while the divergence persists. Deterministic — no
+//! randomness, bounded by a fixed re-check budget.
+
+use crate::diff::{check_case, Divergence};
+use crate::gen::DiffCase;
+
+/// Re-check budget; each attempt re-runs every algorithm variant, so the
+/// bound keeps worst-case shrink time proportional to one fuzz case.
+const MAX_ATTEMPTS: usize = 300;
+
+struct Budget {
+    left: usize,
+}
+
+impl Budget {
+    fn check<const D: usize>(&mut self, case: &DiffCase<D>) -> Option<Divergence> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        check_case(case)
+    }
+}
+
+/// Removes `[start, start + len)` from one side — or both sides in
+/// lockstep when the case is a coupled self-join (`exclude_self` only
+/// makes sense when `r` and `s` are the same set).
+fn without_chunk<const D: usize>(
+    case: &DiffCase<D>,
+    from_s: bool,
+    start: usize,
+    len: usize,
+) -> DiffCase<D> {
+    let mut c = case.clone();
+    let coupled = c.exclude_self;
+    if coupled || from_s {
+        c.s.drain(start..start + len);
+    }
+    if coupled || !from_s {
+        c.r.drain(start..start + len);
+    }
+    c
+}
+
+/// Shrinks `case` while it keeps failing; returns the smallest failing
+/// case found and its divergence. The input divergence is returned
+/// unchanged when no shrink succeeds.
+pub fn shrink<const D: usize>(
+    mut case: DiffCase<D>,
+    mut div: Divergence,
+) -> (DiffCase<D>, Divergence) {
+    let mut budget = Budget { left: MAX_ATTEMPTS };
+
+    // Phase 1: delta-debug the point sets, largest chunks first.
+    loop {
+        let mut progressed = false;
+        for from_s in [true, false] {
+            if case.exclude_self && !from_s {
+                continue; // coupled: handled by the from_s pass
+            }
+            let side_len = if from_s { case.s.len() } else { case.r.len() };
+            let mut chunk = (side_len / 2).max(1);
+            loop {
+                let side_len = if from_s { case.s.len() } else { case.r.len() };
+                if side_len == 0 {
+                    break;
+                }
+                let chunk_now = chunk.min(side_len);
+                let mut start = 0;
+                let mut removed_any = false;
+                while start + chunk_now <= {
+                    if from_s {
+                        case.s.len()
+                    } else {
+                        case.r.len()
+                    }
+                } {
+                    let cand = without_chunk(&case, from_s, start, chunk_now);
+                    if let Some(d) = budget.check(&cand) {
+                        case = cand;
+                        div = d;
+                        progressed = true;
+                        removed_any = true;
+                        // Same start now names the next chunk.
+                    } else {
+                        start += chunk_now;
+                    }
+                }
+                if chunk == 1 && !removed_any {
+                    break;
+                }
+                if !removed_any {
+                    chunk = (chunk / 2).max(1);
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Phase 2: smallest k that still fails.
+    for k in 0..case.k {
+        let cand = DiffCase { k, ..case.clone() };
+        if let Some(d) = budget.check(&cand) {
+            case = cand;
+            div = d;
+            break;
+        }
+    }
+
+    // Phase 3: drop exclude_self if the bug doesn't need it.
+    if case.exclude_self {
+        let cand = DiffCase {
+            exclude_self: false,
+            ..case.clone()
+        };
+        if let Some(d) = budget.check(&cand) {
+            case = cand;
+            div = d;
+        }
+    }
+
+    (case, div)
+}

@@ -1,0 +1,41 @@
+//! Fixed-seed checker runs as a permanent regression gate: the exact
+//! cases these seeds generate were clean at the time the suite landed;
+//! any future failure is a behavior change in the algorithms, the
+//! geometry kernels, the index trees, or recovery.
+
+use checker::{run_class, Class};
+
+fn assert_clean(class: Class, seed: u64, cases: usize) {
+    let failures = run_class(class, seed, cases);
+    assert!(
+        failures.is_empty(),
+        "{} failures in class {}:\n{}",
+        failures.len(),
+        class.name(),
+        failures
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn differential_cases_stay_clean() {
+    assert_clean(Class::Diff, 0xD1FF_0001, 45);
+}
+
+#[test]
+fn nxn_invariants_stay_clean() {
+    assert_clean(Class::Nxn, 0x0171_0001, 300);
+}
+
+#[test]
+fn tree_invariants_stay_clean() {
+    assert_clean(Class::Tree, 0x7EEE_0001, 30);
+}
+
+#[test]
+fn recovery_stays_idempotent() {
+    assert_clean(Class::Recovery, 0x6EC0_0001, 60);
+}

@@ -114,12 +114,16 @@ impl<const D: usize> PointState<D> {
     }
 
     fn offer(&mut self, dist_sq: f64, s_oid: u64) -> bool {
+        let cand = Best { dist_sq, s_oid };
         if self.best.len() < self.want {
-            self.best.push(Best { dist_sq, s_oid });
+            self.best.push(cand);
             true
-        } else if dist_sq < self.best.peek().expect("non-empty").dist_sq {
+        } else if cand < *self.best.peek().expect("non-empty") {
+            // Lexicographic (dist_sq, s_oid): a tied candidate with a
+            // smaller oid must displace the current worst, or results
+            // diverge from the canonical brute-force tie-break.
             self.best.pop();
-            self.best.push(Best { dist_sq, s_oid });
+            self.best.push(cand);
             true
         } else {
             false
@@ -153,8 +157,10 @@ where
     M: PruneMetric,
     IS: SpatialIndex<D>,
 {
-    assert!(cfg.k >= 1, "k must be at least 1");
     assert!(cfg.group_size >= 1, "group size must be at least 1");
+    if cfg.k == 0 {
+        return Ok(AnnOutput::default());
+    }
     let mut out = AnnOutput::default();
     let io0 = is.pool().stats();
     let io_now = || is.pool().stats();

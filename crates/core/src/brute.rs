@@ -5,8 +5,14 @@ use crate::stats::NeighborPair;
 use ann_geom::Point;
 
 /// Computes, for every `(oid, point)` in `r`, its `k` nearest neighbors in
-/// `s` by exhaustive search. Ties on distance are broken by smaller
-/// `s_oid`, matching the canonical order of
+/// `s` by exhaustive search.
+///
+/// This is the reference implementation of the **canonical tie-breaking
+/// contract** every index-based algorithm must reproduce byte-for-byte:
+/// per query object, candidates are ranked by `(distance, s_oid)`
+/// ascending, so equal-distance neighbors are won by the smaller target
+/// oid. `k = 0` returns an empty result; `k > |s|` returns all of `s`.
+/// This matches the canonical order of
 /// [`AnnOutput::sort`](crate::stats::AnnOutput::sort).
 ///
 /// When `exclude_self` is set, candidate pairs with equal object ids are
@@ -17,7 +23,9 @@ pub fn brute_force_aknn<const D: usize>(
     k: usize,
     exclude_self: bool,
 ) -> Vec<NeighborPair> {
-    assert!(k >= 1, "k must be at least 1");
+    if k == 0 {
+        return Vec::new();
+    }
     let mut out = Vec::with_capacity(r.len() * k);
     // (dist_sq, s_oid) candidates per query; a simple select-k via sort is
     // fine at test scales.

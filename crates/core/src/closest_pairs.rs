@@ -107,7 +107,9 @@ where
     IR: SpatialIndex<D>,
     IS: SpatialIndex<D>,
 {
-    assert!(cfg.k >= 1, "k must be at least 1");
+    if cfg.k == 0 {
+        return Ok(AnnOutput::default());
+    }
     let mut out = AnnOutput::default();
     let io_r0 = ir.pool().stats();
     let shared_pool = std::ptr::eq(

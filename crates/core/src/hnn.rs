@@ -78,14 +78,27 @@ struct Grid<const D: usize> {
 impl<const D: usize> Grid<D> {
     fn build(s: &[(u64, Point<D>)], avg_occupancy: f64) -> Self {
         let bounds = Mbr::from_points(s.iter().map(|(_, p)| p));
-        // Edge length so that (volume / edge^D) * occupancy ≈ |S|; guard
-        // degenerate extents.
-        let mut volume = 1.0f64;
-        for d in 0..D {
-            volume *= bounds.extent(d).max(1e-9);
-        }
         let cells_wanted = (s.len() as f64 / avg_occupancy).max(1.0);
-        let cell_edge = (volume / cells_wanted).powf(1.0 / D as f64).max(1e-12);
+        // Edge length so the grid has ≈ cells_wanted cells. Naively that
+        // is (volume / cells_wanted)^(1/D), but flat or near-flat extents
+        // (collinear data, duplicated coordinates) would drive the
+        // geometric mean toward zero and explode the per-dimension cell
+        // counts of the wide extents. Water-fill instead: find the prefix
+        // of the largest extents whose edge swallows every smaller extent
+        // in a single cell, so only genuinely wide dimensions are split.
+        let mut ext: Vec<f64> = (0..D).map(|d| bounds.extent(d)).filter(|e| *e > 0.0).collect();
+        ext.sort_by(|a, b| b.partial_cmp(a).expect("finite extents"));
+        let mut cell_edge = 1.0; // all points coincident: one cell
+        let mut prod = 1.0f64;
+        for (j, &e) in ext.iter().enumerate() {
+            prod *= e;
+            let edge = (prod / cells_wanted).powf(1.0 / (j + 1) as f64);
+            let next = ext.get(j + 1).copied().unwrap_or(0.0);
+            if edge >= next {
+                cell_edge = edge.max(1e-12);
+                break;
+            }
+        }
         let mut grid = Grid {
             cells: HashMap::new(),
             origin: bounds.lo,
@@ -198,10 +211,9 @@ pub fn hnn_traced<const D: usize>(
     cfg: &HnnConfig,
     tracer: Tracer<'_>,
 ) -> AnnOutput {
-    assert!(cfg.k >= 1, "k must be at least 1");
     assert!(cfg.avg_cell_occupancy > 0.0);
     let mut out = AnnOutput::default();
-    if r.is_empty() || s.is_empty() {
+    if cfg.k == 0 || r.is_empty() || s.is_empty() {
         return out;
     }
     let span_q = tracer.span_enter(Phase::Query, IoSnapshot::default);
@@ -217,6 +229,7 @@ pub fn hnn_traced<const D: usize>(
         let max_ring = grid.max_ring_from(&home);
         let mut best: BinaryHeap<Best> = BinaryHeap::with_capacity(k_eff + 1);
         let mut ring = grid.min_ring_from(&home);
+        let mut seen = 0usize;
         loop {
             // The nearest any point of ring ρ can be is (ρ-1) cell edges
             // (the query may sit on its own cell's boundary).
@@ -234,24 +247,31 @@ pub fn hnn_traced<const D: usize>(
                 break;
             }
             grid.for_ring(&home, ring, |points| {
+                seen += points.len();
                 for &(s_oid, s_pt) in points {
                     if cfg.exclude_self && s_oid == r_oid {
                         continue;
                     }
                     out.stats.distance_computations += 1;
                     let d = r_pt.dist_sq(&s_pt);
+                    let cand = Best { dist_sq: d, s_oid };
                     if best.len() < k_eff {
-                        best.push(Best { dist_sq: d, s_oid });
-                    } else if d < best.peek().expect("non-empty").dist_sq {
+                        best.push(cand);
+                    } else if cand < *best.peek().expect("non-empty") {
+                        // Lexicographic (dist_sq, s_oid): equal-distance
+                        // candidates with smaller oids must win, matching
+                        // the canonical brute-force tie-break.
                         best.pop();
-                        best.push(Best { dist_sq: d, s_oid });
+                        best.push(cand);
                     }
                 }
             });
             ring += 1;
             // Beyond the farthest occupied cell every further ring is
-            // empty, so the search is complete.
-            if ring > max_ring {
+            // empty — and once every point of S has been seen, no ring
+            // can add candidates (`k_eff ≥ |S|` never yields a finite
+            // bound, so this is the only cutoff that fires there).
+            if ring > max_ring || seen >= s.len() {
                 break;
             }
         }

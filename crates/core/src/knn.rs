@@ -20,9 +20,23 @@ struct HeapItem<const D: usize> {
     entry: Entry<D>,
 }
 
+impl<const D: usize> HeapItem<D> {
+    /// Pop order: ascending `(MIND, nodes-before-objects, oid)`. A child's
+    /// MIND never undercuts its parent's, so popping tied nodes first
+    /// guarantees every object at distance `d` is in the heap before any
+    /// tied object is emitted — equal-distance hits then surface in the
+    /// canonical smaller-oid-first order.
+    fn key(&self) -> (f64, u8, u64) {
+        match self.entry {
+            Entry::Node(n) => (self.mind_sq, 0, u64::from(n.page)),
+            Entry::Object(o) => (self.mind_sq, 1, o.oid),
+        }
+    }
+}
+
 impl<const D: usize> PartialEq for HeapItem<D> {
     fn eq(&self, other: &Self) -> bool {
-        self.mind_sq == other.mind_sq
+        self.key() == other.key()
     }
 }
 impl<const D: usize> Eq for HeapItem<D> {}
@@ -34,8 +48,8 @@ impl<const D: usize> PartialOrd for HeapItem<D> {
 impl<const D: usize> Ord for HeapItem<D> {
     fn cmp(&self, other: &Self) -> Ordering {
         other
-            .mind_sq
-            .partial_cmp(&self.mind_sq)
+            .key()
+            .partial_cmp(&self.key())
             .expect("distances are finite")
     }
 }
@@ -61,9 +75,8 @@ where
     M: PruneMetric,
     I: SpatialIndex<D>,
 {
-    assert!(k >= 1, "k must be at least 1");
     let mut out = Vec::with_capacity(k);
-    if index.num_points() == 0 {
+    if k == 0 || index.num_points() == 0 {
         return Ok(out);
     }
     let qmbr = Mbr::from_point(query);

@@ -259,6 +259,18 @@ impl<const D: usize> Lpq<D> {
         }
     }
 
+    /// Dequeue-order key: ascending `(MIND, nodes-before-objects, MAXD,
+    /// oid)`. Child MIND never undercuts its parent's, so dequeuing tied
+    /// nodes first guarantees all objects at a tied distance are queued
+    /// before any of them is emitted.
+    #[inline]
+    fn order_key(q: &QueuedEntry<D>) -> (f64, u8, f64, u64) {
+        match q.entry {
+            Entry::Node(n) => (q.mind_sq, 0, q.maxd_sq, u64::from(n.page)),
+            Entry::Object(o) => (q.mind_sq, 1, q.maxd_sq, o.oid),
+        }
+    }
+
     /// Current squared pruning bound (`LPQ.MAXD` in the paper).
     #[inline]
     pub fn bound_sq(&self) -> f64 {
@@ -298,9 +310,13 @@ impl<const D: usize> Lpq<D> {
             return (false, 0);
         }
         self.bound.offer(e.maxd_sq);
-        // Insertion position: ties on MIND broken by MAXD (paper §3.3.3).
-        let key = (e.mind_sq, e.maxd_sq);
-        let pos = self.entries[self.head..].partition_point(|q| (q.mind_sq, q.maxd_sq) <= key)
+        // Insertion position: ties on MIND dequeue nodes before objects (a
+        // tied node may still hold a smaller-oid object at the same
+        // distance), then break on MAXD (paper §3.3.3), then on oid so
+        // equal-distance objects dequeue in the canonical smaller-oid-first
+        // order.
+        let key = Self::order_key(&e);
+        let pos = self.entries[self.head..].partition_point(|q| Self::order_key(q) <= key)
             + self.head;
         self.entries.insert(pos, e);
         self.enqueued_total += 1;

@@ -314,7 +314,9 @@ where
     IR: SpatialIndex<D>,
     IS: SpatialIndex<D>,
 {
-    assert!(cfg.k >= 1, "k must be at least 1");
+    if cfg.k == 0 {
+        return Ok(AnnOutput::default());
+    }
     let mut ctx: Ctx<D, M, IS> = Ctx {
         is,
         cfg: *cfg,
@@ -437,7 +439,9 @@ where
     IR: SpatialIndex<D> + Sync,
     IS: SpatialIndex<D> + Sync,
 {
-    assert!(cfg.k >= 1, "k must be at least 1");
+    if cfg.k == 0 {
+        return Ok(AnnOutput::default());
+    }
     let threads = if threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())

@@ -44,9 +44,23 @@ struct HeapItem<const D: usize> {
     entry: Entry<D>,
 }
 
+impl<const D: usize> HeapItem<D> {
+    /// Pop order: ascending `(MIND, nodes-before-objects, oid)`. A child's
+    /// MIND never undercuts its parent's, so popping tied nodes first
+    /// guarantees every object at distance `d` is in the heap before any
+    /// tied object is emitted — equal-distance results then surface in the
+    /// canonical smaller-oid-first order.
+    fn key(&self) -> (f64, u8, u64) {
+        match self.entry {
+            Entry::Node(n) => (self.mind_sq, 0, u64::from(n.page)),
+            Entry::Object(o) => (self.mind_sq, 1, o.oid),
+        }
+    }
+}
+
 impl<const D: usize> PartialEq for HeapItem<D> {
     fn eq(&self, other: &Self) -> bool {
-        self.mind_sq == other.mind_sq
+        self.key() == other.key()
     }
 }
 impl<const D: usize> Eq for HeapItem<D> {}
@@ -57,10 +71,10 @@ impl<const D: usize> PartialOrd for HeapItem<D> {
 }
 impl<const D: usize> Ord for HeapItem<D> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we need the smallest MIND.
+        // Reverse: BinaryHeap is a max-heap, we need the smallest key.
         other
-            .mind_sq
-            .partial_cmp(&self.mind_sq)
+            .key()
+            .partial_cmp(&self.key())
             .expect("distances are finite")
     }
 }
@@ -89,7 +103,9 @@ where
     IR: SpatialIndex<D>,
     IS: SpatialIndex<D>,
 {
-    assert!(cfg.k >= 1, "k must be at least 1");
+    if cfg.k == 0 {
+        return Ok(AnnOutput::default());
+    }
     let mut out = AnnOutput::default();
     let io_r0 = ir.pool().stats();
     let shared_pool = std::ptr::eq(

@@ -261,10 +261,16 @@ impl std::fmt::Debug for AnnRequest<'_> {
 /// unchanged — results, stats, and page-op order are identical to calling
 /// those directly with the equivalent `*Config`.
 ///
+/// Degenerate requests are uniform across algorithms: `k == 0` or an
+/// empty side yields an empty result, and `k > |S|` yields fewer than `k`
+/// neighbors per query — never a panic. Equal-distance neighbors follow
+/// the canonical tie-break of [`brute_force_aknn`](crate::brute): per
+/// query, ascending `(distance, s_oid)`.
+///
 /// # Panics
 ///
 /// When the algorithm requires an index on a side that was passed
-/// [`Input::Points`] (see [`Algorithm`] variant docs), or when `k == 0`.
+/// [`Input::Points`] (see [`Algorithm`] variant docs).
 pub fn run<const D: usize, IR, IS>(
     req: &AnnRequest<'_>,
     r: Input<'_, D, IR>,

@@ -82,16 +82,19 @@ fn truth_sorted<const D: usize>(
     t
 }
 
-/// Neighbor *ids* may differ on exact distance ties; compare on
-/// `(r_oid, rank, dist)`.
+/// Byte-exact comparison: under the canonical tie-break (per query,
+/// ascending `(distance, s_oid)`) every algorithm must reproduce brute
+/// force's neighbor ids and bit-identical distances.
 fn assert_matches_truth(mut got: AnnOutput, truth: &[NeighborPair], label: &str) {
     got.sort();
     assert_eq!(got.results.len(), truth.len(), "{label}: result count");
     for (g, t) in got.results.iter().zip(truth) {
         assert_eq!(g.r_oid, t.r_oid, "{label}: query order");
-        assert!(
-            (g.dist - t.dist).abs() <= 1e-9 * (1.0 + t.dist),
-            "{label}: r#{} got dist {} want {}",
+        assert_eq!(g.s_oid, t.s_oid, "{label}: r#{} neighbor id", g.r_oid);
+        assert_eq!(
+            g.dist.to_bits(),
+            t.dist.to_bits(),
+            "{label}: r#{} got dist {:?} want {:?}",
             g.r_oid,
             g.dist,
             t.dist

@@ -87,7 +87,13 @@ pub fn nxn_dist_sq<const D: usize>(m: &Mbr<D>, n: &Mbr<D>) -> f64 {
         let mm = max_min_d(m, n, d);
         min_s = min_s.min(s - max_dist_sq[d] + mm * mm);
     }
-    min_s
+    // `s - MAXDIST_d² + MAXMIN_d²` cancels catastrophically when the two
+    // terms are large and nearly equal (touching or point-degenerate MBRs
+    // at large coordinates): the computed value can dip below the true
+    // MINMINDIST ≤ NXNDIST floor — or below zero — by an absolute error of
+    // ~ulp(MAXDIST²). Clamping restores MINMINDIST ≤ NXNDIST exactly,
+    // which downstream pruning comparisons rely on.
+    min_s.max(crate::dist::min_min_dist_sq(m, n))
 }
 
 /// `NXNDIST(M, N)` — see [`nxn_dist_sq`].

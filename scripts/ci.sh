@@ -31,6 +31,12 @@ env -u RUST_TEST_THREADS ANN_ASSERT_SPEEDUP=1 \
 # TraceSink attached (query_equivalence covers sink-on/sink-off).
 cargo test -q -p ann-core --test query_equivalence
 
+# Correctness-harness gate (DESIGN.md §10): fixed-seed differential fuzz
+# over every Algorithm variant plus the NXNDIST / tree / recovery
+# invariant classes. ~200 cases per class; deterministic, so a failure
+# here is a real regression with a printed minimal reproducer.
+cargo run --release -p checker --bin fuzz -- --seed 0xC1C1 --cases 200
+
 # Trace-report smoke: a tiny figure run with --trace must emit one valid
 # JSON ExecutionReport per run.
 trace_dir=$(mktemp -d)
