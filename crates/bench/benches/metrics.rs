@@ -3,7 +3,9 @@
 //! other MBR metrics across dimensionalities.
 
 use ann_core::trace::{PruneReason, TraceEvent, Tracer};
-use ann_geom::{max_max_dist_sq, min_min_dist_sq, nxn_dist_sq, Mbr};
+use ann_geom::{
+    kernels, max_max_dist_sq, min_min_dist_sq, nxn_dist_sq, Mbr, Point, SoaMbrs, SoaPoints,
+};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -59,6 +61,156 @@ fn bench_dim<const D: usize>(c: &mut Criterion, label: &str) {
     group.finish();
 }
 
+/// The batched SoA kernels against the scalar AoS loops they replaced in
+/// the leaf scans and node probes (DESIGN.md §11) — one candidate set,
+/// both layouts, bit-identical outputs by construction (the checker's
+/// `kernels` class is the correctness gate; this group is the speed
+/// claim). As in `figures kernels`, every pipeline ends with the serial
+/// pruning-bound replay the algorithms perform: the scalar side
+/// interleaves it with the metric evaluation (the pre-kernel loop shape,
+/// whose loop-carried dependency blocks vectorization), the batched side
+/// runs the kernel and replays the decisions over the output buffers.
+fn bench_kernels<const D: usize>(c: &mut Criterion, label: &str) {
+    const N: usize = 4096;
+    let mut rng = StdRng::seed_from_u64(20070415);
+    let pts: Vec<Point<D>> = (0..N)
+        .map(|_| {
+            let mut p = [0.0; D];
+            for v in p.iter_mut() {
+                *v = rng.gen_range(0.0..100.0);
+            }
+            Point::new(p)
+        })
+        .collect();
+    let mut cols = vec![0.0f64; D * N];
+    for d in 0..D {
+        for i in 0..N {
+            cols[d * N + i] = pts[i].coords()[d];
+        }
+    }
+    let mbrs: Vec<Mbr<D>> = (0..N)
+        .map(|_| {
+            let mut lo = [0.0; D];
+            let mut hi = [0.0; D];
+            for d in 0..D {
+                lo[d] = rng.gen_range(0.0..100.0);
+                hi[d] = lo[d] + rng.gen_range(0.0..5.0);
+            }
+            Mbr::new(lo, hi)
+        })
+        .collect();
+    let mut lo_cols = vec![0.0f64; D * N];
+    let mut hi_cols = vec![0.0f64; D * N];
+    for d in 0..D {
+        for i in 0..N {
+            lo_cols[d * N + i] = mbrs[i].lo[d];
+            hi_cols[d * N + i] = mbrs[i].hi[d];
+        }
+    }
+    let q = pts[0];
+    let qm = mbrs[0];
+
+    fn replay(omin: &[f64], oup: &[f64]) -> f64 {
+        let mut bound = f64::INFINITY;
+        for i in 0..omin.len() {
+            if omin[i] <= bound {
+                bound = bound.min(oup[i]);
+            }
+        }
+        bound
+    }
+
+    let mut group = c.benchmark_group(format!("kernels/{label}"));
+    group.bench_function("point-scan/scalar", |b| {
+        let mut out = vec![0.0f64; N];
+        b.iter(|| {
+            let mut best = f64::INFINITY;
+            let mut improved = 0u64;
+            for (o, p) in out.iter_mut().zip(&pts) {
+                let d2 = black_box(&q).dist_sq(p);
+                *o = d2;
+                if d2 < best {
+                    best = d2;
+                    improved += 1;
+                }
+            }
+            best + improved as f64
+        })
+    });
+    group.bench_function("point-scan/batched", |b| {
+        let mut out = Vec::with_capacity(N);
+        b.iter(|| {
+            let sp = SoaPoints::new(N, &cols);
+            kernels::dist_sq_batch(black_box(&q), &sp, &mut out);
+            let mut best = f64::INFINITY;
+            let mut improved = 0u64;
+            for &d2 in out.iter() {
+                if d2 < best {
+                    best = d2;
+                    improved += 1;
+                }
+            }
+            best + improved as f64
+        })
+    });
+    group.bench_function("leaf-scan/scalar", |b| {
+        let mut omin = vec![0.0f64; N];
+        let mut oup = vec![0.0f64; N];
+        b.iter(|| {
+            let mut bound = f64::INFINITY;
+            for i in 0..N {
+                let pm = Mbr::from_point(&pts[i]);
+                let mind = min_min_dist_sq(black_box(&qm), &pm);
+                let up = nxn_dist_sq(black_box(&qm), &pm);
+                omin[i] = mind;
+                oup[i] = up;
+                if mind <= bound {
+                    bound = bound.min(up);
+                }
+            }
+            bound
+        })
+    });
+    group.bench_function("leaf-scan/batched", |b| {
+        let mut omin = Vec::with_capacity(N);
+        let mut oup = Vec::with_capacity(N);
+        b.iter(|| {
+            let sm = SoaPoints::new(N, &cols).as_mbrs();
+            kernels::min_min_dist_sq_batch(black_box(&qm), &sm, &mut omin);
+            kernels::nxn_dist_sq_batch(black_box(&qm), &sm, &mut oup);
+            replay(&omin, &oup)
+        })
+    });
+    group.bench_function("mbr-probe/scalar", |b| {
+        let mut omin = vec![0.0f64; N];
+        let mut oup = vec![0.0f64; N];
+        b.iter(|| {
+            let mut bound = f64::INFINITY;
+            for i in 0..N {
+                let mind = min_min_dist_sq(black_box(&qm), &mbrs[i]);
+                let up = nxn_dist_sq(black_box(&qm), &mbrs[i]);
+                omin[i] = mind;
+                oup[i] = up;
+                if mind <= bound {
+                    bound = bound.min(up);
+                }
+            }
+            bound
+        })
+    });
+    group.bench_function("mbr-probe/batched", |b| {
+        let mut omin = Vec::with_capacity(N);
+        let mut oup = Vec::with_capacity(N);
+        b.iter(|| {
+            let sm = SoaMbrs::new(N, &lo_cols, &hi_cols);
+            kernels::min_min_dist_sq_batch(black_box(&qm), &sm, &mut omin);
+            kernels::nxn_dist_sq_batch(black_box(&qm), &sm, &mut oup);
+            replay(&omin, &oup)
+        })
+    });
+    group.finish();
+}
+
 /// The observability-layer overhead policy: a hot loop with a disabled
 /// [`Tracer`] call per iteration must be indistinguishable from the same
 /// loop without it (the event closure is never run, the call is a single
@@ -98,6 +250,9 @@ fn benches(c: &mut Criterion) {
     bench_dim::<4>(c, "4d");
     bench_dim::<6>(c, "6d");
     bench_dim::<10>(c, "10d");
+    bench_kernels::<2>(c, "2d");
+    bench_kernels::<8>(c, "8d");
+    bench_kernels::<10>(c, "10d");
     bench_trace_noop(c);
 }
 

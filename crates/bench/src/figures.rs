@@ -494,6 +494,404 @@ pub fn parallel_scaling(fraction: f64) -> crate::report::ScalingReport {
     report
 }
 
+/// SplitMix64 step — a tiny deterministic generator so the kernels study
+/// (and its offline mirror under `target/devcheck`) needs no RNG crate.
+fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(state: &mut u64) -> f64 {
+    (splitmix_next(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Timings for one benchmark pipeline: cold and warm seconds for each
+/// side, plus the bitwise comparison of their output buffers.
+struct PipelineTimings {
+    scalar_cold: f64,
+    batched_cold: f64,
+    scalar_warm: f64,
+    batched_warm: f64,
+    bit_identical: bool,
+}
+
+/// Times one scalar/batched pipeline pair. Both closures fill the same
+/// output buffers and return the final value of their serial decision
+/// replay (so neither side can be dead-code-eliminated and both make the
+/// same pruning decisions). "Cold" passes run right after streaming the
+/// evictor buffer (larger than any L3) to push the candidate columns out
+/// of cache; "warm" is the mean of `warm_reps` back-to-back passes after
+/// one untimed warm-up. The buffers are compared bit-for-bit at the end.
+fn measure_pipeline(
+    evictor: &mut [u8],
+    sink: &mut u64,
+    warm_reps: usize,
+    scalar: &mut dyn FnMut(&mut Vec<f64>, &mut Vec<f64>) -> f64,
+    batched: &mut dyn FnMut(&mut Vec<f64>, &mut Vec<f64>) -> f64,
+    scalar_bufs: (&mut Vec<f64>, &mut Vec<f64>),
+    batched_bufs: (&mut Vec<f64>, &mut Vec<f64>),
+) -> PipelineTimings {
+    use std::hint::black_box;
+    use std::time::Instant;
+    let (out_a, out_b) = scalar_bufs;
+    let (bout_a, bout_b) = batched_bufs;
+
+    let mut evict = |sink: &mut u64| {
+        for b in evictor.iter_mut() {
+            *b = b.wrapping_add(1);
+        }
+        *sink ^= evictor[*sink as usize % evictor.len()] as u64;
+    };
+
+    evict(sink);
+    let t0 = Instant::now();
+    let r = scalar(out_a, out_b);
+    let scalar_cold = t0.elapsed().as_secs_f64();
+    *sink ^= black_box(r).to_bits();
+
+    evict(sink);
+    let t0 = Instant::now();
+    let r = batched(bout_a, bout_b);
+    let batched_cold = t0.elapsed().as_secs_f64();
+    *sink ^= black_box(r).to_bits();
+
+    scalar(out_a, out_b);
+    let t0 = Instant::now();
+    for _ in 0..warm_reps {
+        *sink ^= black_box(scalar(out_a, out_b)).to_bits();
+    }
+    let scalar_warm = t0.elapsed().as_secs_f64() / warm_reps as f64;
+
+    batched(bout_a, bout_b);
+    let t0 = Instant::now();
+    for _ in 0..warm_reps {
+        *sink ^= black_box(batched(bout_a, bout_b)).to_bits();
+    }
+    let batched_warm = t0.elapsed().as_secs_f64() / warm_reps as f64;
+
+    let bit_identical = out_a
+        .iter()
+        .zip(bout_a.iter())
+        .chain(out_b.iter().zip(bout_b.iter()))
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+    PipelineTimings {
+        scalar_cold,
+        batched_cold,
+        scalar_warm,
+        batched_warm,
+        bit_identical,
+    }
+}
+
+/// Batched-kernel throughput study (DESIGN.md §11): the scalar AoS
+/// per-entry loops the query algorithms used before the SoA kernels
+/// landed, against [`ann_geom::kernels`] over the same candidates in
+/// column-major layout. Three pipelines — the point scan of
+/// HNN/BNN/brute force (`DIST²` per candidate point), the MBA/kNN leaf
+/// scan (MINMINDIST + NXNDIST per leaf point as a degenerate MBR), and
+/// the internal-node probe (the same metrics per candidate MBR) — measured
+/// cold (candidate columns evicted from cache) and warm (averaged repeat
+/// passes), at D ∈ {2, 8, 10}.
+///
+/// Every pipeline ends with the serial decision replay the algorithms
+/// perform: an evolving pruning bound consumes each value in candidate
+/// order. The scalar side interleaves it with the metric evaluation —
+/// the exact shape of the pre-kernel per-entry loops, whose loop-carried
+/// bound dependency is what kept them from vectorizing — while the
+/// batched side runs the kernel first and replays the decisions over the
+/// output buffers, the compute-full/decide-after structure the
+/// algorithms use today. Both sides compute every metric, produce the
+/// same buffers (re-checked bit-for-bit on every row's data), and reach
+/// the same final bound. Emitted as `BENCH_kernels.json`; `fraction`
+/// scales the candidate count (the 0.1 default → 100 000 candidates per
+/// pass).
+pub fn kernels_bench(fraction: f64) -> crate::report::KernelsReport {
+    use crate::report::{KernelRow, KernelsReport};
+    use ann_geom::{kernels, min_min_dist_sq, nxn_dist_sq, Mbr, SoaMbrs, SoaPoints};
+    use std::hint::black_box;
+
+    let n = scaled(1_000_000, fraction);
+    const WARM_REPS: usize = 16;
+    let mut report = KernelsReport {
+        id: "BENCH_kernels".into(),
+        workload: format!(
+            "scalar AoS loops vs batched SoA kernels + decision replay, {n} uniform \
+             candidates per pass, warm = mean of {WARM_REPS} passes"
+        ),
+        lanes: kernels::LANES,
+        rows: Vec::new(),
+    };
+
+    fn mk_row(
+        kernel: &str,
+        dims: usize,
+        cache: &str,
+        n: usize,
+        scalar_seconds: f64,
+        batched_seconds: f64,
+        bit_identical: bool,
+    ) -> KernelRow {
+        KernelRow {
+            kernel: kernel.into(),
+            dims,
+            cache: cache.into(),
+            candidates: n,
+            scalar_seconds,
+            batched_seconds,
+            scalar_melems_per_sec: n as f64 / scalar_seconds / 1e6,
+            batched_melems_per_sec: n as f64 / batched_seconds / 1e6,
+            speedup: scalar_seconds / batched_seconds,
+            bit_identical,
+        }
+    }
+
+    // Streaming through a buffer larger than L3 evicts the candidate
+    // columns, so "cold" rows pay the memory-bound cost the first probe
+    // of a node pays after a buffer-pool miss.
+    let mut evictor = vec![1u8; 64 << 20];
+    let mut sink = 0u64;
+
+    macro_rules! sweep {
+        ($dim:literal) => {{
+            let mut st: u64 = SEED ^ ($dim as u64);
+            let pts: Vec<Point<$dim>> = (0..n)
+                .map(|_| {
+                    let mut c = [0.0; $dim];
+                    for v in c.iter_mut() {
+                        *v = unit_f64(&mut st) * 100.0;
+                    }
+                    Point::new(c)
+                })
+                .collect();
+            let mut pt_cols = vec![0.0f64; $dim * n];
+            for d in 0..$dim {
+                for i in 0..n {
+                    pt_cols[d * n + i] = pts[i].coords()[d];
+                }
+            }
+            let mbrs: Vec<Mbr<$dim>> = (0..n)
+                .map(|_| {
+                    let mut lo = [0.0; $dim];
+                    let mut hi = [0.0; $dim];
+                    for d in 0..$dim {
+                        lo[d] = unit_f64(&mut st) * 100.0;
+                        hi[d] = lo[d] + unit_f64(&mut st) * 5.0;
+                    }
+                    Mbr::new(lo, hi)
+                })
+                .collect();
+            let mut lo_cols = vec![0.0f64; $dim * n];
+            let mut hi_cols = vec![0.0f64; $dim * n];
+            for d in 0..$dim {
+                for i in 0..n {
+                    lo_cols[d * n + i] = mbrs[i].lo[d];
+                    hi_cols[d * n + i] = mbrs[i].hi[d];
+                }
+            }
+            let mut qc = [0.0; $dim];
+            let mut qlo = [0.0; $dim];
+            let mut qhi = [0.0; $dim];
+            for d in 0..$dim {
+                qc[d] = unit_f64(&mut st) * 100.0;
+                qlo[d] = unit_f64(&mut st) * 100.0;
+                qhi[d] = qlo[d] + unit_f64(&mut st) * 10.0;
+            }
+            let q = Point::new(qc);
+            let qm = Mbr::new(qlo, qhi);
+
+            let mut out_a = vec![0.0f64; n];
+            let mut out_b = vec![0.0f64; n];
+            let mut bout_a: Vec<f64> = Vec::with_capacity(n);
+            let mut bout_b: Vec<f64> = Vec::with_capacity(n);
+
+            // -- point-leaf-scan: DIST² of one query point against every
+            //    candidate point, the HNN/BNN/brute inner loop. The
+            //    replay is the running best the k-best heap maintains.
+            {
+                let mut scalar = |out: &mut Vec<f64>, _unused: &mut Vec<f64>| {
+                    let mut best = f64::INFINITY;
+                    let mut improved = 0u64;
+                    for i in 0..n {
+                        let d2 = q.dist_sq(&pts[i]);
+                        out[i] = d2;
+                        if d2 < best {
+                            best = d2;
+                            improved += 1;
+                        }
+                    }
+                    best + improved as f64
+                };
+                let mut batched = |out: &mut Vec<f64>, _unused: &mut Vec<f64>| {
+                    let sp = SoaPoints::new(n, &pt_cols);
+                    kernels::dist_sq_batch(&q, &sp, out);
+                    let mut best = f64::INFINITY;
+                    let mut improved = 0u64;
+                    for &d2 in out.iter() {
+                        if d2 < best {
+                            best = d2;
+                            improved += 1;
+                        }
+                    }
+                    best + improved as f64
+                };
+                let t = measure_pipeline(
+                    &mut evictor,
+                    &mut sink,
+                    WARM_REPS,
+                    &mut scalar,
+                    &mut batched,
+                    (&mut out_a, &mut out_b),
+                    (&mut bout_a, &mut bout_b),
+                );
+                report.rows.push(mk_row(
+                    "point-leaf-scan",
+                    $dim,
+                    "cold",
+                    n,
+                    t.scalar_cold,
+                    t.batched_cold,
+                    t.bit_identical,
+                ));
+                report.rows.push(mk_row(
+                    "point-leaf-scan",
+                    $dim,
+                    "warm",
+                    n,
+                    t.scalar_warm,
+                    t.batched_warm,
+                    t.bit_identical,
+                ));
+            }
+
+            // -- leaf-scan: MINMINDIST + NXNDIST of one LPQ-owner MBR
+            //    against every leaf point viewed as a degenerate MBR —
+            //    exactly the MBA/kNN leaf scan (`soa_mbrs()` on a leaf
+            //    aliases lo = hi to the point columns; the scalar path
+            //    gathered each entry through `Mbr::from_point`).
+            {
+                let mut scalar = |omin: &mut Vec<f64>, oup: &mut Vec<f64>| {
+                    let mut bound = f64::INFINITY;
+                    for i in 0..n {
+                        let pm = Mbr::from_point(&pts[i]);
+                        let mind = min_min_dist_sq(&qm, &pm);
+                        let up = nxn_dist_sq(&qm, &pm);
+                        omin[i] = mind;
+                        oup[i] = up;
+                        if mind <= bound {
+                            bound = bound.min(up);
+                        }
+                    }
+                    bound
+                };
+                let mut batched = |omin: &mut Vec<f64>, oup: &mut Vec<f64>| {
+                    let sm = SoaPoints::new(n, &pt_cols).as_mbrs();
+                    kernels::min_min_dist_sq_batch(&qm, &sm, omin);
+                    kernels::nxn_dist_sq_batch(&qm, &sm, oup);
+                    let mut bound = f64::INFINITY;
+                    for i in 0..n {
+                        if omin[i] <= bound {
+                            bound = bound.min(oup[i]);
+                        }
+                    }
+                    bound
+                };
+                let t = measure_pipeline(
+                    &mut evictor,
+                    &mut sink,
+                    WARM_REPS,
+                    &mut scalar,
+                    &mut batched,
+                    (&mut out_a, &mut out_b),
+                    (&mut bout_a, &mut bout_b),
+                );
+                report.rows.push(mk_row(
+                    "leaf-scan",
+                    $dim,
+                    "cold",
+                    n,
+                    t.scalar_cold,
+                    t.batched_cold,
+                    t.bit_identical,
+                ));
+                report.rows.push(mk_row(
+                    "leaf-scan",
+                    $dim,
+                    "warm",
+                    n,
+                    t.scalar_warm,
+                    t.batched_warm,
+                    t.bit_identical,
+                ));
+            }
+
+            // -- mbr-probe: MINMINDIST + NXNDIST of one query MBR against
+            //    every candidate MBR, the MBA/MNN/kNN node-probe loop.
+            {
+                let mut scalar = |omin: &mut Vec<f64>, oup: &mut Vec<f64>| {
+                    let mut bound = f64::INFINITY;
+                    for i in 0..n {
+                        let mind = min_min_dist_sq(&qm, &mbrs[i]);
+                        let up = nxn_dist_sq(&qm, &mbrs[i]);
+                        omin[i] = mind;
+                        oup[i] = up;
+                        if mind <= bound {
+                            bound = bound.min(up);
+                        }
+                    }
+                    bound
+                };
+                let mut batched = |omin: &mut Vec<f64>, oup: &mut Vec<f64>| {
+                    let sm = SoaMbrs::new(n, &lo_cols, &hi_cols);
+                    kernels::min_min_dist_sq_batch(&qm, &sm, omin);
+                    kernels::nxn_dist_sq_batch(&qm, &sm, oup);
+                    let mut bound = f64::INFINITY;
+                    for i in 0..n {
+                        if omin[i] <= bound {
+                            bound = bound.min(oup[i]);
+                        }
+                    }
+                    bound
+                };
+                let t = measure_pipeline(
+                    &mut evictor,
+                    &mut sink,
+                    WARM_REPS,
+                    &mut scalar,
+                    &mut batched,
+                    (&mut out_a, &mut out_b),
+                    (&mut bout_a, &mut bout_b),
+                );
+                report.rows.push(mk_row(
+                    "mbr-probe",
+                    $dim,
+                    "cold",
+                    n,
+                    t.scalar_cold,
+                    t.batched_cold,
+                    t.bit_identical,
+                ));
+                report.rows.push(mk_row(
+                    "mbr-probe",
+                    $dim,
+                    "warm",
+                    n,
+                    t.scalar_warm,
+                    t.batched_warm,
+                    t.bit_identical,
+                ));
+            }
+        }};
+    }
+    sweep!(2);
+    sweep!(8);
+    sweep!(10);
+    black_box(sink);
+    report
+}
+
 /// All figures at the given fraction (the `figures all` command).
 pub fn all(fraction: f64) -> Vec<Figure> {
     vec![

@@ -172,6 +172,98 @@ impl ScalingReport {
     }
 }
 
+/// One row of the batched-kernel throughput study (`BENCH_kernels`).
+#[derive(Clone, Debug, Serialize)]
+pub struct KernelRow {
+    /// Pipeline measured: `"point-leaf-scan"` (point→candidate-points
+    /// distances, the HNN/BNN/brute inner loop) or `"mbr-probe"`
+    /// (MINMINDIST + NXNDIST per candidate MBR, the tree-probe inner
+    /// loop).
+    pub kernel: String,
+    /// Dimensionality of the candidate set.
+    pub dims: usize,
+    /// `"cold"` (candidate columns evicted from cache before the timed
+    /// pass) or `"warm"` (averaged over repeat passes on resident data).
+    pub cache: String,
+    /// Candidate entries scanned per pass.
+    pub candidates: usize,
+    /// Seconds per pass over the AoS scalar loop.
+    pub scalar_seconds: f64,
+    /// Seconds per pass over the SoA batched kernels.
+    pub batched_seconds: f64,
+    /// Scalar throughput in million candidate entries per second.
+    pub scalar_melems_per_sec: f64,
+    /// Batched throughput in million candidate entries per second.
+    pub batched_melems_per_sec: f64,
+    /// `scalar_seconds / batched_seconds`.
+    pub speedup: f64,
+    /// Whether the batched outputs matched the scalar outputs
+    /// bit-for-bit on this row's data (must always be `true`).
+    pub bit_identical: bool,
+}
+
+/// The batched-kernel throughput figure: the scalar per-entry loops the
+/// algorithms used before the SoA kernels landed, against the batched
+/// kernels, on the same candidate sets — cold and warm cache, across
+/// dimensionalities. Emitted as `BENCH_kernels.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct KernelsReport {
+    /// Output id (`BENCH_kernels` — also the JSON file stem).
+    pub id: String,
+    /// Human description of the workload.
+    pub workload: String,
+    /// Unroll width of the batched kernels ([`ann_geom::kernels::LANES`]).
+    pub lanes: usize,
+    /// One row per (kernel, dims, cache state).
+    pub rows: Vec<KernelRow>,
+}
+
+impl KernelsReport {
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.workload));
+        out.push_str(&format!(
+            "{:<16} {:>4} {:>5} {:>10} {:>12} {:>12} {:>10} {:>10} {:>8} {:>6}\n",
+            "kernel",
+            "dims",
+            "cache",
+            "candidates",
+            "scalar(s)",
+            "batched(s)",
+            "scalar-Me/s",
+            "batch-Me/s",
+            "speedup",
+            "bits"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<16} {:>4} {:>5} {:>10} {:>12.6} {:>12.6} {:>10.1} {:>10.1} {:>7.2}x {:>6}\n",
+                r.kernel,
+                r.dims,
+                r.cache,
+                r.candidates,
+                r.scalar_seconds,
+                r.batched_seconds,
+                r.scalar_melems_per_sec,
+                r.batched_melems_per_sec,
+                r.speedup,
+                if r.bit_identical { "ok" } else { "DIFF" },
+            ));
+        }
+        out
+    }
+
+    /// Writes the report as JSON under `dir/<id>.json`.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(path)?;
+        let body = serde_json::to_string_pretty(self).expect("serializable");
+        f.write_all(body.as_bytes())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +293,35 @@ mod tests {
         assert!(text.contains("GORDER"));
         assert!(text.contains("2.250")); // total = cpu + io
         assert_eq!(text.lines().count(), 2 + 2); // header x2 + 2 rows
+    }
+
+    #[test]
+    fn kernels_report_renders_and_serializes() {
+        let rep = KernelsReport {
+            id: "BENCH_kernels".into(),
+            workload: "test".into(),
+            lanes: 4,
+            rows: vec![KernelRow {
+                kernel: "point-leaf-scan".into(),
+                dims: 2,
+                cache: "warm".into(),
+                candidates: 100_000,
+                scalar_seconds: 2e-4,
+                batched_seconds: 1e-4,
+                scalar_melems_per_sec: 500.0,
+                batched_melems_per_sec: 1000.0,
+                speedup: 2.0,
+                bit_identical: true,
+            }],
+        };
+        let text = rep.render();
+        assert!(text.contains("BENCH_kernels"));
+        assert!(text.contains("point-leaf-scan"));
+        assert!(text.contains("2.00x"));
+        let parsed: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string_pretty(&rep).unwrap()).unwrap();
+        assert_eq!(parsed["rows"][0]["speedup"], 2.0);
+        assert_eq!(parsed["rows"][0]["bit_identical"], true);
     }
 
     #[test]

@@ -5,7 +5,10 @@
 use crate::rng::Rng;
 use ann_core::index::validate;
 use ann_core::prelude::*;
-use ann_geom::{max_max_dist_sq, min_min_dist_sq, nxn_dist_sq, Mbr, Point};
+use ann_geom::{
+    kernels, max_max_dist_sq, min_min_dist_sq, min_min_dist_sq_within, nxn_dist_sq, Mbr, Point,
+    SoaMbrs, SoaPoints,
+};
 use ann_mbrqt::{Mbrqt, MbrqtConfig};
 use ann_rstar::{RStar, RStarConfig};
 use ann_store::{splitmix64, BufferPool, FaultyDisk, InjectedFault, MemDisk, FRAME_SIZE};
@@ -107,6 +110,142 @@ pub fn check_nxn_case<const D: usize>(rng: &mut Rng) -> Option<String> {
             return Some(format!(
                 "true NN dist² {nn:?} exceeds NXNDIST² {nxn:?} for r={r:?} M={m_mbr:?} N={n_mbr:?} S={s:?}"
             ));
+        }
+    }
+    None
+}
+
+/// One batched-kernel bit-identity case: a random adversarial candidate
+/// set (lattice shapes with duplicates/coincident points, power-of-two
+/// scales, `1e8` offsets that force cancellation, degenerate boxes) is
+/// laid out column-major, and every kernel in [`ann_geom::kernels`] must
+/// reproduce its scalar counterpart **bit-for-bit** on every candidate —
+/// the contract the batched query paths rely on for decision-identical
+/// traversals.
+pub fn check_kernels_case<const D: usize>(rng: &mut Rng) -> Option<String> {
+    let shape = *rng.pick(&crate::gen::SHAPES);
+    let scale = *rng.pick(&crate::gen::SCALES);
+    let offset = *rng.pick(&crate::gen::OFFSETS);
+    // Boundary sizes get extra mass; the upper range crosses several
+    // LANES blocks plus a remainder.
+    let n = match rng.range(0, 8) {
+        0 => 0,
+        1 => 1,
+        _ => rng.range(2, 48),
+    };
+    let pts = crate::gen::points::<D>(rng, n, shape, scale, offset, 1);
+
+    // Column-major mirror of the candidate points…
+    let mut cols = vec![0.0; D * n];
+    for (i, (_, p)) in pts.iter().enumerate() {
+        for d in 0..D {
+            cols[d * n + i] = p[d];
+        }
+    }
+    // …and candidate boxes grown from them: degenerate (point) with
+    // probability 1/3, otherwise extended by a lattice extent.
+    let lo = cols.clone();
+    let mut hi = cols.clone();
+    for i in 0..n {
+        if !rng.chance(1.0 / 3.0) {
+            for d in 0..D {
+                hi[d * n + i] += rng.range(0, 4) as f64 * scale;
+            }
+        }
+    }
+    let mbrs = SoaMbrs::new(n, &lo, &hi);
+    let points = SoaPoints::new(n, &cols);
+
+    // Owner box on the same lattice (point-degenerate with prob 1/3) and
+    // a query point at its corner.
+    let mut olo = [0.0; D];
+    let mut ohi = [0.0; D];
+    for d in 0..D {
+        let a = lattice_coord(rng, scale, offset);
+        let b = if rng.chance(1.0 / 3.0) {
+            a
+        } else {
+            lattice_coord(rng, scale, offset)
+        };
+        olo[d] = a.min(b);
+        ohi[d] = a.max(b);
+    }
+    let m = Mbr::new(olo, ohi);
+    let q = Point::new(olo);
+
+    let mut out = Vec::new();
+    kernels::dist_sq_batch(&q, &points, &mut out);
+    for i in 0..n {
+        let want = q.dist_sq(&points.point::<D>(i));
+        if out[i].to_bits() != want.to_bits() {
+            return Some(format!(
+                "dist_sq_batch[{i}] = {:?} != scalar {want:?} (q={q:?} p={:?})",
+                out[i],
+                points.point::<D>(i)
+            ));
+        }
+    }
+    kernels::min_min_dist_sq_batch(&m, &mbrs, &mut out);
+    for i in 0..n {
+        let want = min_min_dist_sq(&m, &mbrs.mbr::<D>(i));
+        if out[i].to_bits() != want.to_bits() {
+            return Some(format!(
+                "min_min_dist_sq_batch[{i}] = {:?} != scalar {want:?} (m={m:?} n={:?})",
+                out[i],
+                mbrs.mbr::<D>(i)
+            ));
+        }
+    }
+    kernels::max_max_dist_sq_batch(&m, &mbrs, &mut out);
+    for i in 0..n {
+        let want = max_max_dist_sq(&m, &mbrs.mbr::<D>(i));
+        if out[i].to_bits() != want.to_bits() {
+            return Some(format!(
+                "max_max_dist_sq_batch[{i}] = {:?} != scalar {want:?} (m={m:?} n={:?})",
+                out[i],
+                mbrs.mbr::<D>(i)
+            ));
+        }
+    }
+    kernels::nxn_dist_sq_batch(&m, &mbrs, &mut out);
+    for i in 0..n {
+        let want = nxn_dist_sq(&m, &mbrs.mbr::<D>(i));
+        if out[i].to_bits() != want.to_bits() {
+            return Some(format!(
+                "nxn_dist_sq_batch[{i}] = {:?} != scalar {want:?} (m={m:?} n={:?})",
+                out[i],
+                mbrs.mbr::<D>(i)
+            ));
+        }
+    }
+    // `within`: zero, infinite, and a *realized* MINMINDIST as the bound
+    // — the exact-tie case (`v == bound`) is the adversarial one.
+    let mut bounds = vec![0.0, f64::INFINITY];
+    if n > 0 {
+        kernels::min_min_dist_sq_batch(&m, &mbrs, &mut out);
+        bounds.push(out[rng.range(0, n)]);
+    }
+    for bound in bounds {
+        kernels::min_min_dist_sq_within_batch(&m, &mbrs, bound, &mut out);
+        for i in 0..n {
+            match min_min_dist_sq_within(&m, &mbrs.mbr::<D>(i), bound) {
+                Some(v) => {
+                    if out[i] > bound || out[i].to_bits() != v.to_bits() {
+                        return Some(format!(
+                            "within_batch[{i}] = {:?} != accepted scalar {v:?} at bound {bound:?}",
+                            out[i]
+                        ));
+                    }
+                }
+                None => {
+                    if out[i] <= bound {
+                        return Some(format!(
+                            "within_batch[{i}] = {:?} accepted, scalar rejects at bound {bound:?}",
+                            out[i]
+                        ));
+                    }
+                }
+            }
         }
     }
     None

@@ -1,7 +1,7 @@
 //! Deterministic differential fuzzing and invariant checking for the ANN
 //! evaluation stack.
 //!
-//! Four invariant classes, each seed-driven and fully reproducible:
+//! Five invariant classes, each seed-driven and fully reproducible:
 //!
 //! * [`Class::Diff`] — every [`Algorithm`](ann_core::Algorithm) variant
 //!   must match brute force byte-for-byte under the canonical tie-break
@@ -16,6 +16,11 @@
 //!   `MINMINDIST ≤ NXNDIST ≤ MAXMAXDIST` exactly, including degenerate
 //!   (point, touching, coincident) MBR pairs at cancellation-prone
 //!   offsets.
+//! * [`Class::Kernels`] — every batched SoA kernel in
+//!   [`ann_geom::kernels`] reproduces its scalar counterpart bit-for-bit
+//!   on adversarial candidate sets (coincident/duplicate points, `1e8`
+//!   offsets, degenerate boxes, `D ∈ {1, 2, 8}`), including the shared
+//!   accept/reject decision of the `_within` variant.
 //! * [`Class::Tree`] — MBRQT and R*-tree structural invariants and the
 //!   exact object census survive random insert/delete interleavings.
 //! * [`Class::Recovery`] — journal recovery after an injected torn-write
@@ -39,17 +44,25 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 pub enum Class {
     Diff,
     Nxn,
+    Kernels,
     Tree,
     Recovery,
 }
 
 impl Class {
-    pub const ALL: [Class; 4] = [Class::Diff, Class::Nxn, Class::Tree, Class::Recovery];
+    pub const ALL: [Class; 5] = [
+        Class::Diff,
+        Class::Nxn,
+        Class::Kernels,
+        Class::Tree,
+        Class::Recovery,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
             Class::Diff => "diff",
             Class::Nxn => "nxn",
+            Class::Kernels => "kernels",
             Class::Tree => "tree",
             Class::Recovery => "recovery",
         }
@@ -80,6 +93,11 @@ pub fn run_class(class: Class, seed: u64, cases: usize) -> Vec<Failure> {
                 1 => invariant_one::<1>(class, case_seed, i),
                 _ => invariant_one::<8>(class, case_seed, i),
             },
+            Class::Kernels => match i % 3 {
+                0 => invariant_one::<2>(class, case_seed, i),
+                1 => invariant_one::<1>(class, case_seed, i),
+                _ => invariant_one::<8>(class, case_seed, i),
+            },
             Class::Tree => match i % 3 {
                 0 => invariant_one::<2>(class, case_seed, i),
                 1 => invariant_one::<1>(class, case_seed, i),
@@ -106,6 +124,7 @@ fn splitmix_tag(class: Class) -> u64 {
     match class {
         Class::Diff => 0xD1FF,
         Class::Nxn => 0x0171,
+        Class::Kernels => 0xB175,
         Class::Tree => 0x7EEE,
         Class::Recovery => 0x6EC0,
     }
@@ -144,6 +163,7 @@ fn invariant_one<const D: usize>(class: Class, case_seed: u64, index: usize) -> 
         let mut rng = Rng::new(case_seed);
         match class {
             Class::Nxn => invariants::check_nxn_case::<D>(&mut rng),
+            Class::Kernels => invariants::check_kernels_case::<D>(&mut rng),
             Class::Tree => invariants::check_tree_case::<D>(&mut rng),
             Class::Recovery => invariants::check_recovery_case(&mut rng),
             Class::Diff => unreachable!("diff has its own driver"),

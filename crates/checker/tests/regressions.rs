@@ -30,6 +30,16 @@ fn nxn_invariants_stay_clean() {
     assert_clean(Class::Nxn, 0x0171_0001, 300);
 }
 
+/// The kernels class is cheap (no index builds), so it runs across a
+/// spread of fixed seeds — bit-identity of the batched kernels is the
+/// load-bearing assumption behind every batched query path.
+#[test]
+fn kernel_bit_identity_stays_clean() {
+    for seed in [1, 2, 3, 42, 0xDEAD] {
+        assert_clean(Class::Kernels, seed, 150);
+    }
+}
+
 #[test]
 fn tree_invariants_stay_clean() {
     assert_clean(Class::Tree, 0x7EEE_0001, 30);

@@ -15,11 +15,11 @@
 use crate::index::SpatialIndex;
 use crate::lpq::{BoundTracker, PRUNE_EPS};
 use crate::node::Entry;
+use crate::scratch::{GroupHeapItem, KBest, QueryScratch};
 use crate::stats::{AnnOutput, NeighborPair};
 use crate::trace::{Phase, PruneReason, Side, TraceEvent, Tracer};
-use ann_geom::{curve::GridMapper, min_min_dist_sq, Mbr, Point, PruneMetric};
+use ann_geom::{curve::GridMapper, kernels, min_min_dist_sq, Mbr, Point, PruneMetric, SoaPoints};
 use ann_store::Result;
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Configuration for [`bnn`].
@@ -44,61 +44,12 @@ impl Default for BnnConfig {
     }
 }
 
-struct HeapItem<const D: usize> {
-    mind_sq: f64,
-    maxd_sq: f64,
-    entry: Entry<D>,
-}
-
-impl<const D: usize> PartialEq for HeapItem<D> {
-    fn eq(&self, other: &Self) -> bool {
-        self.mind_sq == other.mind_sq
-    }
-}
-impl<const D: usize> Eq for HeapItem<D> {}
-impl<const D: usize> PartialOrd for HeapItem<D> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<const D: usize> Ord for HeapItem<D> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .mind_sq
-            .partial_cmp(&self.mind_sq)
-            .expect("distances are finite")
-    }
-}
-
-/// Max-heap entry of a per-point k-best list.
-#[derive(Clone, Copy, PartialEq)]
-struct Best {
-    dist_sq: f64,
-    s_oid: u64,
-}
-impl Eq for Best {}
-impl PartialOrd for Best {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Best {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // For equal distances the larger oid is "greater" (evicted first),
-        // matching the brute-force tie-break of keeping the smaller oid.
-        self.dist_sq
-            .partial_cmp(&other.dist_sq)
-            .expect("finite")
-            .then(self.s_oid.cmp(&other.s_oid))
-    }
-}
-
 /// Per-query-point state within a group.
 struct PointState<const D: usize> {
     oid: u64,
     point: Point<D>,
     /// Max-heap of the k best candidates so far.
-    best: BinaryHeap<Best>,
+    best: BinaryHeap<KBest>,
     want: usize,
 }
 
@@ -114,7 +65,7 @@ impl<const D: usize> PointState<D> {
     }
 
     fn offer(&mut self, dist_sq: f64, s_oid: u64) -> bool {
-        let cand = Best { dist_sq, s_oid };
+        let cand = KBest { dist_sq, s_oid };
         if self.best.len() < self.want {
             self.best.push(cand);
             true
@@ -157,6 +108,23 @@ where
     M: PruneMetric,
     IS: SpatialIndex<D>,
 {
+    bnn_traced_scratch::<D, M, IS>(r, is, cfg, tracer, &mut QueryScratch::new())
+}
+
+/// [`bnn_traced`] with a caller-owned [`QueryScratch`] — the group heap,
+/// per-point k-best heaps and kernel distance buffers are all recycled
+/// through the scratch from one group to the next.
+pub fn bnn_traced_scratch<const D: usize, M, IS>(
+    r: &[(u64, Point<D>)],
+    is: &IS,
+    cfg: &BnnConfig,
+    tracer: Tracer<'_>,
+    scratch: &mut QueryScratch<D>,
+) -> Result<AnnOutput>
+where
+    M: PruneMetric,
+    IS: SpatialIndex<D>,
+{
     assert!(cfg.group_size >= 1, "group size must be at least 1");
     if cfg.k == 0 {
         return Ok(AnnOutput::default());
@@ -183,7 +151,7 @@ where
         let span_j = tracer.span_enter(Phase::Join, io_now);
         let mut cutoff_total = 0u64;
         for group in sorted.chunks(cfg.group_size) {
-            run_group::<D, M, IS>(group, is, cfg, &mut out, tracer, &mut cutoff_total)?;
+            run_group::<D, M, IS>(group, is, cfg, &mut out, tracer, &mut cutoff_total, scratch)?;
         }
         if tracer.enabled() {
             for (reason, count) in [
@@ -207,6 +175,7 @@ where
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_group<const D: usize, M, IS>(
     group: &[&(u64, Point<D>)],
     is: &IS,
@@ -214,6 +183,7 @@ fn run_group<const D: usize, M, IS>(
     out: &mut AnnOutput,
     tracer: Tracer<'_>,
     cutoff_total: &mut u64,
+    scratch: &mut QueryScratch<D>,
 ) -> Result<()>
 where
     M: PruneMetric,
@@ -227,10 +197,19 @@ where
         .map(|&&(oid, point)| PointState {
             oid,
             point,
-            best: BinaryHeap::with_capacity(k_eff + 1),
+            best: scratch.take_kbest(),
             want: k_eff,
         })
         .collect();
+    // Column-major mirror of the group's query points, so each popped
+    // object batches its distances to the whole group in one kernel call.
+    let mut gcols = scratch.take_f64();
+    for d in 0..D {
+        gcols.extend(states.iter().map(|st| st.point[d]));
+    }
+    let mut dist_buf = scratch.take_f64();
+    let mut mind_buf = scratch.take_f64();
+    let mut maxd_buf = scratch.take_f64();
 
     // The group bound combines the metric guarantee (each probed I_S entry
     // guarantees k_eff candidates for *every* group point once k_eff
@@ -244,12 +223,12 @@ where
             .fold(0.0f64, f64::max)
     };
 
-    let mut heap: BinaryHeap<HeapItem<D>> = BinaryHeap::new();
+    let mut heap = scratch.take_group_heap();
     let root_mbr = is.bounds();
     out.stats.distance_computations += 1;
     let root_maxd = M::upper_sq(&gmbr, &root_mbr);
     metric_bound.offer(root_maxd);
-    heap.push(HeapItem {
+    heap.push(GroupHeapItem {
         mind_sq: min_min_dist_sq(&gmbr, &root_mbr),
         maxd_sq: root_maxd,
         entry: Entry::Node(crate::node::NodeEntry {
@@ -273,15 +252,20 @@ where
         metric_bound.remove(item.maxd_sq);
         match item.entry {
             Entry::Object(s) => {
+                // One kernel call for the whole group: (s - p)^2 sums the
+                // same squares as the scalar (p - s)^2, bit for bit. The
+                // self-pair's distance is computed but never offered or
+                // counted, exactly like the scalar skip.
+                let gpoints = SoaPoints::new(states.len(), &gcols);
+                kernels::dist_sq_batch(&s.point, &gpoints, &mut dist_buf);
                 let mut improved_max = false;
-                for st in states.iter_mut() {
+                for (i, st) in states.iter_mut().enumerate() {
                     if cfg.exclude_self && st.oid == s.oid {
                         continue;
                     }
-                    let d = st.point.dist_sq(&s.point);
                     out.stats.distance_computations += 1;
                     let old = st.bound_sq();
-                    if st.offer(d, s.oid) && old >= point_bound {
+                    if st.offer(dist_buf[i], s.oid) && old >= point_bound {
                         improved_max = true;
                     }
                 }
@@ -293,18 +277,21 @@ where
                 let node = is.read_node_cached(n.page)?;
                 out.stats.s_nodes_expanded += 1;
                 tracer.node_expanded(Side::S, n.page, &node.entries);
-                for e in node.entries.iter().copied() {
-                    let embr = e.mbr();
-                    let mind_sq = min_min_dist_sq(&gmbr, &embr);
-                    let maxd_sq = M::upper_sq(&gmbr, &embr);
+                // Batch both bounds over the node's SoA columns, then
+                // replay the accept/prune decisions sequentially under the
+                // evolving bound — bit-identical to the scalar loop.
+                let cols = node.soa_mbrs();
+                kernels::min_min_dist_sq_batch(&gmbr, &cols, &mut mind_buf);
+                M::upper_sq_batch(&gmbr, &cols, &mut maxd_buf);
+                for (i, e) in node.entries.iter().enumerate() {
                     out.stats.distance_computations += 1;
                     let bound = metric_bound.bound_sq().min(point_bound);
-                    if mind_sq <= bound * (1.0 + PRUNE_EPS) {
-                        metric_bound.offer(maxd_sq);
-                        heap.push(HeapItem {
-                            mind_sq,
-                            maxd_sq,
-                            entry: e,
+                    if mind_buf[i] <= bound * (1.0 + PRUNE_EPS) {
+                        metric_bound.offer(maxd_buf[i]);
+                        heap.push(GroupHeapItem {
+                            mind_sq: mind_buf[i],
+                            maxd_sq: maxd_buf[i],
+                            entry: *e,
                         });
                         out.stats.enqueued += 1;
                     } else {
@@ -324,19 +311,25 @@ where
     // (the k_eff-th candidate only existed to keep the bound sound in
     // self-join mode).
     for st in states {
-        let mut best: Vec<Best> = st.best.into_vec();
+        let mut best: Vec<KBest> = st.best.into_vec();
         best.sort_by(|a, b| {
             (a.dist_sq, a.s_oid)
                 .partial_cmp(&(b.dist_sq, b.s_oid))
                 .expect("finite")
         });
-        for b in best.into_iter().take(cfg.k) {
+        for b in best.iter().take(cfg.k) {
             out.results.push(NeighborPair {
                 r_oid: st.oid,
                 s_oid: b.s_oid,
                 dist: b.dist_sq.sqrt(),
             });
         }
+        scratch.put_kbest(BinaryHeap::from(best));
     }
+    scratch.put_group_heap(heap);
+    scratch.put_f64(gcols);
+    scratch.put_f64(dist_buf);
+    scratch.put_f64(mind_buf);
+    scratch.put_f64(maxd_buf);
     Ok(())
 }

@@ -2,7 +2,7 @@
 //! algorithm is validated against in the test suites.
 
 use crate::stats::NeighborPair;
-use ann_geom::Point;
+use ann_geom::{kernels, Point, SoaPoints};
 
 /// Computes, for every `(oid, point)` in `r`, its `k` nearest neighbors in
 /// `s` by exhaustive search.
@@ -27,16 +27,25 @@ pub fn brute_force_aknn<const D: usize>(
         return Vec::new();
     }
     let mut out = Vec::with_capacity(r.len() * k);
+    // Column-major mirror of S, built once: every query point then runs
+    // one batched kernel call over all of S instead of |S| scalar calls.
+    let mut s_cols: Vec<f64> = Vec::with_capacity(D * s.len());
+    for d in 0..D {
+        s_cols.extend(s.iter().map(|(_, p)| p[d]));
+    }
+    let s_points = SoaPoints::new(s.len(), &s_cols);
+    let mut dists: Vec<f64> = Vec::new();
     // (dist_sq, s_oid) candidates per query; a simple select-k via sort is
     // fine at test scales.
     let mut candidates: Vec<(f64, u64)> = Vec::with_capacity(s.len());
     for &(r_oid, r_point) in r {
         candidates.clear();
-        for &(s_oid, s_point) in s {
+        kernels::dist_sq_batch(&r_point, &s_points, &mut dists);
+        for (i, &(s_oid, _)) in s.iter().enumerate() {
             if exclude_self && s_oid == r_oid {
                 continue;
             }
-            candidates.push((r_point.dist_sq(&s_point), s_oid));
+            candidates.push((dists[i], s_oid));
         }
         candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
         for &(dist_sq, s_oid) in candidates.iter().take(k) {

@@ -1,7 +1,7 @@
 //! The [`SpatialIndex`] trait: what an index must expose for the ANN
 //! algorithms to traverse it.
 
-use crate::node::{read_node, Entry, Node};
+use crate::node::{read_node, DecodedNode, Entry, Node};
 use crate::node_cache::NodeCache;
 use ann_geom::{Mbr, Point};
 use ann_store::{BufferPool, PageId, Result, StoreError};
@@ -51,18 +51,19 @@ pub trait SpatialIndex<const D: usize> {
     }
 
     /// Reads the node starting at `page` through the decoded-node cache:
-    /// a hit returns the shared decoded node without touching the buffer
-    /// pool; a miss decodes via [`read_node`](Self::read_node) and caches
-    /// the result. Falls back to a plain (uncached) read when the index
-    /// keeps no cache.
+    /// a hit returns the shared decoded node — with its column-major SoA
+    /// mirror for the batched kernels — without touching the buffer pool;
+    /// a miss decodes via [`read_node`](Self::read_node), builds the
+    /// columns, and caches the result. Falls back to a plain (uncached)
+    /// read-and-decode when the index keeps no cache.
     ///
     /// The traversal hot paths (MBA/RBA, BNN, MNN, kNN, closest pairs)
     /// read through this; structural validation and collection deliberately
     /// use the uncached [`read_node`](Self::read_node) so they observe the
     /// on-disk bytes.
-    fn read_node_cached(&self, page: PageId) -> Result<Arc<Node<D>>> {
+    fn read_node_cached(&self, page: PageId) -> Result<Arc<DecodedNode<D>>> {
         let Some(cache) = self.node_cache() else {
-            return Ok(Arc::new(self.read_node(page)?));
+            return Ok(Arc::new(DecodedNode::new(self.read_node(page)?)));
         };
         // Snapshot the epoch before the pool read: if a mutation lands in
         // between, the insert goes under the superseded epoch and stays
@@ -71,7 +72,7 @@ pub trait SpatialIndex<const D: usize> {
         if let Some(node) = cache.get(epoch, page) {
             return Ok(node);
         }
-        let node = Arc::new(self.read_node(page)?);
+        let node = Arc::new(DecodedNode::new(self.read_node(page)?));
         cache.insert(epoch, page, Arc::clone(&node));
         Ok(node)
     }

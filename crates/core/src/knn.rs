@@ -9,50 +9,9 @@
 use crate::index::SpatialIndex;
 use crate::lpq::BoundTracker;
 use crate::node::Entry;
-use ann_geom::{min_min_dist_sq, Mbr, Point, PruneMetric};
+use crate::scratch::{BestFirstItem, QueryScratch};
+use ann_geom::{kernels, min_min_dist_sq, Mbr, Point, PruneMetric};
 use ann_store::Result;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-struct HeapItem<const D: usize> {
-    mind_sq: f64,
-    maxd_sq: f64,
-    entry: Entry<D>,
-}
-
-impl<const D: usize> HeapItem<D> {
-    /// Pop order: ascending `(MIND, nodes-before-objects, oid)`. A child's
-    /// MIND never undercuts its parent's, so popping tied nodes first
-    /// guarantees every object at distance `d` is in the heap before any
-    /// tied object is emitted — equal-distance hits then surface in the
-    /// canonical smaller-oid-first order.
-    fn key(&self) -> (f64, u8, u64) {
-        match self.entry {
-            Entry::Node(n) => (self.mind_sq, 0, u64::from(n.page)),
-            Entry::Object(o) => (self.mind_sq, 1, o.oid),
-        }
-    }
-}
-
-impl<const D: usize> PartialEq for HeapItem<D> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key() == other.key()
-    }
-}
-impl<const D: usize> Eq for HeapItem<D> {}
-impl<const D: usize> PartialOrd for HeapItem<D> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<const D: usize> Ord for HeapItem<D> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .key()
-            .partial_cmp(&self.key())
-            .expect("distances are finite")
-    }
-}
 
 /// Finds the `k` nearest indexed points to `query`, closest first.
 ///
@@ -75,13 +34,31 @@ where
     M: PruneMetric,
     I: SpatialIndex<D>,
 {
+    knn_scratch::<D, M, I>(index, query, k, &mut QueryScratch::new())
+}
+
+/// [`knn`] with a caller-owned [`QueryScratch`]: repeated queries through
+/// the same scratch reuse its heap and distance buffers instead of
+/// allocating fresh ones per call.
+pub fn knn_scratch<const D: usize, M, I>(
+    index: &I,
+    query: &Point<D>,
+    k: usize,
+    scratch: &mut QueryScratch<D>,
+) -> Result<Vec<(u64, f64)>>
+where
+    M: PruneMetric,
+    I: SpatialIndex<D>,
+{
     let mut out = Vec::with_capacity(k);
     if k == 0 || index.num_points() == 0 {
         return Ok(out);
     }
     let qmbr = Mbr::from_point(query);
     let mut bound = BoundTracker::new(k, f64::INFINITY);
-    let mut heap: BinaryHeap<HeapItem<D>> = BinaryHeap::new();
+    let mut heap = scratch.take_best_first();
+    let mut mind_buf = scratch.take_f64();
+    let mut maxd_buf = scratch.take_f64();
 
     let root_mbr = index.bounds();
     let root = Entry::Node(crate::node::NodeEntry {
@@ -91,7 +68,7 @@ where
     });
     let maxd_sq = M::upper_sq(&qmbr, &root_mbr);
     bound.offer(maxd_sq);
-    heap.push(HeapItem {
+    heap.push(BestFirstItem {
         mind_sq: min_min_dist_sq(&qmbr, &root_mbr),
         maxd_sq,
         entry: root,
@@ -112,22 +89,28 @@ where
             }
             Entry::Node(n) => {
                 let node = index.read_node_cached(n.page)?;
-                for e in node.entries.iter().copied() {
-                    let embr = e.mbr();
-                    let mind_sq = min_min_dist_sq(&qmbr, &embr);
-                    let maxd_sq = M::upper_sq(&qmbr, &embr);
-                    if !bound.prunes(mind_sq) {
-                        bound.offer(maxd_sq);
-                        heap.push(HeapItem {
-                            mind_sq,
-                            maxd_sq,
-                            entry: e,
+                // Batch the per-entry bounds over the node's SoA columns,
+                // then replay the accept/prune decisions sequentially under
+                // the evolving bound — bit-identical to the scalar loop.
+                let cols = node.soa_mbrs();
+                kernels::min_min_dist_sq_batch(&qmbr, &cols, &mut mind_buf);
+                M::upper_sq_batch(&qmbr, &cols, &mut maxd_buf);
+                for (i, e) in node.entries.iter().enumerate() {
+                    if !bound.prunes(mind_buf[i]) {
+                        bound.offer(maxd_buf[i]);
+                        heap.push(BestFirstItem {
+                            mind_sq: mind_buf[i],
+                            maxd_sq: maxd_buf[i],
+                            entry: *e,
                         });
                     }
                 }
             }
         }
     }
+    scratch.put_best_first(heap);
+    scratch.put_f64(mind_buf);
+    scratch.put_f64(maxd_buf);
     Ok(out)
 }
 

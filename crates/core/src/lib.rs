@@ -53,11 +53,13 @@ pub mod node;
 pub mod node_cache;
 pub mod prelude;
 pub mod query;
+pub mod scratch;
 pub mod stats;
 pub mod trace;
 
 pub use index::SpatialIndex;
-pub use node::{Entry, Node, NodeEntry, ObjectEntry};
+pub use node::{DecodedNode, Entry, Node, NodeColumns, NodeEntry, ObjectEntry};
+pub use scratch::QueryScratch;
 pub use node_cache::{NodeCache, NodeCacheStats};
 pub use query::{Algorithm, AnnRequest, MetricChoice};
 pub use stats::{AnnOutput, AnnStats, NeighborPair};

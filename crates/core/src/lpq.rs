@@ -248,15 +248,37 @@ impl<const D: usize> Lpq<D> {
     /// Creates an LPQ for `owner` seeking `k` neighbors, inheriting the
     /// parent LPQ's squared bound (Expand stage, Algorithm 4 line 12).
     pub fn new(owner: Entry<D>, k: usize, inherited_bound_sq: f64) -> Self {
+        Self::new_in(owner, k, inherited_bound_sq, Vec::new())
+    }
+
+    /// [`new`](Self::new) with caller-provided backing storage, typically
+    /// recycled through [`crate::scratch::QueryScratch`]; the storage is
+    /// cleared, its capacity is kept.
+    pub fn new_in(
+        owner: Entry<D>,
+        k: usize,
+        inherited_bound_sq: f64,
+        mut storage: Vec<QueuedEntry<D>>,
+    ) -> Self {
+        storage.clear();
         Lpq {
             owner,
-            entries: Vec::new(),
+            entries: storage,
             head: 0,
             bound: BoundTracker::new(k, inherited_bound_sq),
             enqueued_total: 0,
             filtered_total: 0,
             high_water: 0,
         }
+    }
+
+    /// Consumes the queue and hands its backing storage back (cleared,
+    /// capacity kept) for recycling via
+    /// [`crate::scratch::QueryScratch::put_entries`].
+    pub fn into_storage(self) -> Vec<QueuedEntry<D>> {
+        let mut v = self.entries;
+        v.clear();
+        v
     }
 
     /// Dequeue-order key: ascending `(MIND, nodes-before-objects, MAXD,

@@ -23,10 +23,11 @@
 
 use crate::index::SpatialIndex;
 use crate::lpq::{distances_within, Lpq, QueuedEntry};
-use crate::node::{Entry, NodeEntry};
+use crate::node::{DecodedNode, Entry, NodeEntry};
+use crate::scratch::QueryScratch;
 use crate::stats::{AnnOutput, AtomicAnnStats, NeighborPair};
 use crate::trace::{Phase, PruneReason, Side, TraceEvent, Tracer};
-use ann_geom::PruneMetric;
+use ann_geom::{kernels, PruneMetric};
 use ann_store::Result;
 use std::collections::VecDeque;
 
@@ -92,10 +93,46 @@ struct Ctx<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> {
     /// rejection in [`Ctx::expand`]. Tallied only while tracing, to split
     /// the prune-reason breakdown without a new `AnnStats` field.
     parent_rejects: u64,
+    /// Buffer arena for LPQ storage, traversal queues and kernel outputs.
+    scratch: &'a mut QueryScratch<D>,
+    /// Checked-out kernel output buffers (returned by [`Ctx::finish`]).
+    mind_buf: Vec<f64>,
+    maxd_buf: Vec<f64>,
     _metric: std::marker::PhantomData<M>,
 }
 
 impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> {
+    fn new(is: &'a IS, cfg: &MbaConfig, tracer: Tracer<'a>, scratch: &'a mut QueryScratch<D>) -> Self {
+        let mind_buf = scratch.take_f64();
+        let maxd_buf = scratch.take_f64();
+        Ctx {
+            is,
+            cfg: *cfg,
+            k_eff: cfg.k + usize::from(cfg.exclude_self),
+            out: AnnOutput::default(),
+            tracer,
+            parent_rejects: 0,
+            scratch,
+            mind_buf,
+            maxd_buf,
+            _metric: std::marker::PhantomData,
+        }
+    }
+
+    /// Returns the checked-out buffers to the arena and yields the output.
+    fn finish(self) -> AnnOutput {
+        let Ctx {
+            scratch,
+            mind_buf,
+            maxd_buf,
+            out,
+            ..
+        } = self;
+        scratch.put_f64(mind_buf);
+        scratch.put_f64(maxd_buf);
+        out
+    }
+
     /// Probes `target` against `lpq`, computing distances and enqueueing
     /// when the probe test passes.
     fn probe(&mut self, lpq: &mut Lpq<D>, target: Entry<D>) {
@@ -123,6 +160,44 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
         self.out.stats.pruned_in_queue += filtered;
     }
 
+    /// Probes every entry of a decoded `I_S` node against `lpq` with the
+    /// batched SoA kernels instead of one [`Ctx::probe`] per entry.
+    ///
+    /// Per-candidate `(MIND², MAXD²)` values are bit-identical to the
+    /// scalar path's ([`ann_geom::kernels`]' contract), and the
+    /// accept/reject decisions are then applied *sequentially* under the
+    /// same evolving bound the scalar probe sequence would see, so queue
+    /// contents and every counter match exactly. The scalar path computes
+    /// `MAXD` only for surviving entries and early-exits `MIND`; the batch
+    /// computes both in full for all entries — pure value computation with
+    /// no observable effect, traded for the SoA scan's throughput.
+    fn probe_node(&mut self, lpq: &mut Lpq<D>, node: &DecodedNode<D>) {
+        let om = lpq.owner.mbr();
+        let cols = node.soa_mbrs();
+        kernels::min_min_dist_sq_batch(&om, &cols, &mut self.mind_buf);
+        M::upper_sq_batch(&om, &cols, &mut self.maxd_buf);
+        for (i, e) in node.entries.iter().enumerate() {
+            self.out.stats.distance_computations += 1;
+            // Same rejection `distances_within` performs, against the same
+            // threshold the scalar probe would read at this point.
+            if self.mind_buf[i] > lpq.prune_threshold_sq() {
+                self.out.stats.pruned_on_probe += 1;
+                continue;
+            }
+            let (accepted, filtered) = lpq.try_enqueue(QueuedEntry {
+                mind_sq: self.mind_buf[i],
+                maxd_sq: self.maxd_buf[i],
+                entry: *e,
+            });
+            if accepted {
+                self.out.stats.enqueued += 1;
+            } else {
+                self.out.stats.pruned_on_probe += 1;
+            }
+            self.out.stats.pruned_in_queue += filtered;
+        }
+    }
+
     /// The Gather stage: `lpq.owner` is a data object; drain in `MIND`
     /// order and report the first `k` objects popped.
     fn gather(&mut self, mut lpq: Lpq<D>) -> Result<()> {
@@ -144,21 +219,19 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
                     lpq.satisfy_one();
                     found += 1;
                     if found == self.cfg.k {
-                        self.trace_lpq_retired(&lpq);
-                        return Ok(());
+                        break;
                     }
                 }
                 Entry::Node(n) => {
                     let node = self.is.read_node_cached(n.page)?;
                     self.out.stats.s_nodes_expanded += 1;
                     self.tracer.node_expanded(Side::S, n.page, &node.entries);
-                    for child in node.entries.iter().copied() {
-                        self.probe(&mut lpq, child);
-                    }
+                    self.probe_node(&mut lpq, &node);
                 }
             }
         }
         self.trace_lpq_retired(&lpq);
+        self.scratch.put_entries(lpq.into_storage());
         Ok(())
     }
 
@@ -187,11 +260,11 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
         self.out.stats.r_nodes_expanded += 1;
         self.tracer.node_expanded(Side::R, owner.page, &node.entries);
         let inherited = lpq.bound_sq();
-        let mut children: Vec<Lpq<D>> = node
-            .entries
-            .iter()
-            .map(|c| Lpq::new(*c, self.k_eff, inherited))
-            .collect();
+        let mut children = self.scratch.take_lpq_list();
+        for c in node.entries.iter() {
+            let storage = self.scratch.take_entries();
+            children.push(Lpq::new_in(*c, self.k_eff, inherited, storage));
+        }
         self.out.stats.lpqs_created += children.len() as u64;
 
         while let Some(q) = lpq.dequeue() {
@@ -212,10 +285,15 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
                     let s_node = self.is.read_node_cached(n.page)?;
                     self.out.stats.s_nodes_expanded += 1;
                     self.tracer.node_expanded(Side::S, n.page, &s_node.entries);
-                    for e in s_node.entries.iter().copied() {
-                        for child in children.iter_mut() {
-                            self.probe(child, e);
-                        }
+                    // The scalar path iterated entry-outer / child-inner;
+                    // batching flips that so each child scans the node's SoA
+                    // columns once. Children are independent queues, so each
+                    // child still sees the same entries in the same order
+                    // under the same own-bound evolution, and the summed
+                    // counters are nesting-order-invariant: decisions and
+                    // stats are unchanged.
+                    for child in children.iter_mut() {
+                        self.probe_node(child, &s_node);
                     }
                 }
                 // Objects cannot be expanded; under uni-directional
@@ -228,12 +306,18 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
             }
         }
 
-        // Algorithm 4 line 19: enqueue all non-empty child LPQs.
-        for child in children {
+        // Algorithm 4 line 19: enqueue all non-empty child LPQs; empty
+        // ones hand their storage straight back to the arena, as does the
+        // fully drained parent.
+        for child in children.drain(..) {
             if !child.is_empty() {
                 queue.push_back(child);
+            } else {
+                self.scratch.put_entries(child.into_storage());
             }
         }
+        self.scratch.put_lpq_list(children);
+        self.scratch.put_entries(lpq.into_storage());
         Ok(())
     }
 
@@ -252,11 +336,12 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
 
     /// `ANN-DFBI` (Algorithm 3): depth-first recursion over child LPQs.
     fn dfbi<IR: SpatialIndex<D>>(&mut self, ir: &IR, lpq: Lpq<D>) -> Result<()> {
-        let mut queue = VecDeque::new();
+        let mut queue = self.scratch.take_lpq_queue();
         self.expand_and_prune(ir, lpq, &mut queue)?;
         while let Some(child) = queue.pop_front() {
             self.dfbi(ir, child)?;
         }
+        self.scratch.put_lpq_queue(queue);
         Ok(())
     }
 
@@ -314,18 +399,44 @@ where
     IR: SpatialIndex<D>,
     IS: SpatialIndex<D>,
 {
+    mba_traced_scratch::<D, M, IR, IS>(ir, is, cfg, tracer, &mut QueryScratch::new())
+}
+
+/// [`mba`] with a caller-owned [`QueryScratch`]: repeated queries through
+/// the same arena reach an allocation-free steady state. Results, stats
+/// and page-op order are identical to [`mba`].
+pub fn mba_scratch<const D: usize, M, IR, IS>(
+    ir: &IR,
+    is: &IS,
+    cfg: &MbaConfig,
+    scratch: &mut QueryScratch<D>,
+) -> Result<AnnOutput>
+where
+    M: PruneMetric,
+    IR: SpatialIndex<D>,
+    IS: SpatialIndex<D>,
+{
+    mba_traced_scratch::<D, M, IR, IS>(ir, is, cfg, Tracer::disabled(), scratch)
+}
+
+/// [`mba_traced`] with a caller-owned [`QueryScratch`] — the fully general
+/// serial entrypoint the other serial variants delegate to.
+pub fn mba_traced_scratch<const D: usize, M, IR, IS>(
+    ir: &IR,
+    is: &IS,
+    cfg: &MbaConfig,
+    tracer: Tracer<'_>,
+    scratch: &mut QueryScratch<D>,
+) -> Result<AnnOutput>
+where
+    M: PruneMetric,
+    IR: SpatialIndex<D>,
+    IS: SpatialIndex<D>,
+{
     if cfg.k == 0 {
         return Ok(AnnOutput::default());
     }
-    let mut ctx: Ctx<D, M, IS> = Ctx {
-        is,
-        cfg: *cfg,
-        k_eff: cfg.k + usize::from(cfg.exclude_self),
-        out: AnnOutput::default(),
-        tracer,
-        parent_rejects: 0,
-        _metric: std::marker::PhantomData,
-    };
+    let mut ctx: Ctx<D, M, IS> = Ctx::new(is, cfg, tracer, scratch);
 
     let io_r0 = ir.pool().stats();
     let shared_pool = std::ptr::eq(
@@ -358,7 +469,8 @@ where
             count: ir.num_points(),
             mbr: ir.bounds(),
         });
-        let mut root_lpq = Lpq::new(root_owner, ctx.k_eff, f64::INFINITY);
+        let storage = ctx.scratch.take_entries();
+        let mut root_lpq = Lpq::new_in(root_owner, ctx.k_eff, f64::INFINITY, storage);
         ctx.out.stats.lpqs_created += 1;
         let root_target = Entry::Node(NodeEntry {
             page: is.root_page(),
@@ -367,7 +479,7 @@ where
         });
         ctx.probe(&mut root_lpq, root_target);
 
-        let mut queue = VecDeque::new();
+        let mut queue = ctx.scratch.take_lpq_queue();
         queue.push_back(root_lpq);
         match cfg.traversal {
             Traversal::DepthFirst => {
@@ -381,6 +493,7 @@ where
                 }
             }
         }
+        ctx.scratch.put_lpq_queue(queue);
         tracer.span_exit(Phase::Join, span_j, io_now);
     }
 
@@ -391,8 +504,9 @@ where
     if !shared_pool {
         io = io.merge(&is.pool().stats().since(&io_s0));
     }
-    ctx.out.stats.io = io;
-    Ok(ctx.out)
+    let mut out = ctx.finish();
+    out.stats.io = io;
+    Ok(out)
 }
 
 /// Parallel MBA: identical results to [`mba`], with the depth-first
@@ -481,21 +595,15 @@ where
         // Spatial data is heavy-tailed (a few dense cells own most of the
         // points), so a single root expansion rarely yields balanced
         // units; descending a couple of levels does.
-        let mut ctx: Ctx<D, M, IS> = Ctx {
-            is,
-            cfg: *cfg,
-            k_eff: cfg.k + usize::from(cfg.exclude_self),
-            out: AnnOutput::default(),
-            tracer,
-            parent_rejects: 0,
-            _metric: std::marker::PhantomData,
-        };
+        let mut seed_scratch = QueryScratch::new();
+        let mut ctx: Ctx<D, M, IS> = Ctx::new(is, cfg, tracer, &mut seed_scratch);
         let root_owner = Entry::Node(NodeEntry {
             page: ir.root_page(),
             count: ir.num_points(),
             mbr: ir.bounds(),
         });
-        let mut root_lpq = Lpq::new(root_owner, ctx.k_eff, f64::INFINITY);
+        let storage = ctx.scratch.take_entries();
+        let mut root_lpq = Lpq::new_in(root_owner, ctx.k_eff, f64::INFINITY, storage);
         ctx.out.stats.lpqs_created += 1;
         ctx.probe(
             &mut root_lpq,
@@ -522,9 +630,10 @@ where
         // workers tally locally (no synchronization in the traversal) and
         // add their totals on exit, the seeding phase included.
         let shared_stats = AtomicAnnStats::new();
-        shared_stats.add(&ctx.out.stats);
-        let seed_stats = ctx.out.stats;
-        out.results = ctx.out.results;
+        let seed_out = ctx.finish();
+        shared_stats.add(&seed_out.stats);
+        let seed_stats = seed_out.stats;
+        out.results = seed_out.results;
 
         let span_j = tracer.span_enter(Phase::Join, io_now);
         // Dynamic scheduling: workers pull the next unit from a shared
@@ -537,15 +646,9 @@ where
                     .map(|_| {
                         scope.spawn(
                             |_| -> Result<(Vec<crate::stats::NeighborPair>, crate::stats::AnnStats)> {
-                                let mut ctx: Ctx<D, M, IS> = Ctx {
-                                    is,
-                                    cfg: *cfg,
-                                    k_eff: cfg.k + usize::from(cfg.exclude_self),
-                                    out: AnnOutput::default(),
-                                    tracer,
-                                    parent_rejects: 0,
-                                    _metric: std::marker::PhantomData,
-                                };
+                                let mut scratch = QueryScratch::new();
+                                let mut ctx: Ctx<D, M, IS> =
+                                    Ctx::new(is, cfg, tracer, &mut scratch);
                                 loop {
                                     let unit = work.lock().expect("work queue").pop_front();
                                     match unit {
@@ -553,9 +656,10 @@ where
                                         None => break,
                                     }
                                 }
-                                shared_stats.add(&ctx.out.stats);
                                 ctx.emit_prune_summary();
-                                Ok((ctx.out.results, ctx.out.stats))
+                                let wout = ctx.finish();
+                                shared_stats.add(&wout.stats);
+                                Ok((wout.results, wout.stats))
                             },
                         )
                     })

@@ -12,12 +12,11 @@
 use crate::index::SpatialIndex;
 use crate::lpq::BoundTracker;
 use crate::node::Entry;
+use crate::scratch::{BestFirstItem, QueryScratch};
 use crate::stats::{AnnOutput, NeighborPair};
 use crate::trace::{Phase, PruneReason, Side, TraceEvent, Tracer};
-use ann_geom::{min_min_dist_sq, Mbr, Point, PruneMetric};
+use ann_geom::{kernels, min_min_dist_sq, Mbr, Point, PruneMetric};
 use ann_store::Result;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Configuration for [`mnn`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,48 +33,6 @@ impl Default for MnnConfig {
             k: 1,
             exclude_self: false,
         }
-    }
-}
-
-/// Min-heap entry for the best-first search.
-struct HeapItem<const D: usize> {
-    mind_sq: f64,
-    maxd_sq: f64,
-    entry: Entry<D>,
-}
-
-impl<const D: usize> HeapItem<D> {
-    /// Pop order: ascending `(MIND, nodes-before-objects, oid)`. A child's
-    /// MIND never undercuts its parent's, so popping tied nodes first
-    /// guarantees every object at distance `d` is in the heap before any
-    /// tied object is emitted — equal-distance results then surface in the
-    /// canonical smaller-oid-first order.
-    fn key(&self) -> (f64, u8, u64) {
-        match self.entry {
-            Entry::Node(n) => (self.mind_sq, 0, u64::from(n.page)),
-            Entry::Object(o) => (self.mind_sq, 1, o.oid),
-        }
-    }
-}
-
-impl<const D: usize> PartialEq for HeapItem<D> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key() == other.key()
-    }
-}
-impl<const D: usize> Eq for HeapItem<D> {}
-impl<const D: usize> PartialOrd for HeapItem<D> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<const D: usize> Ord for HeapItem<D> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we need the smallest key.
-        other
-            .key()
-            .partial_cmp(&self.key())
-            .expect("distances are finite")
     }
 }
 
@@ -97,6 +54,24 @@ pub fn mnn_traced<const D: usize, M, IR, IS>(
     is: &IS,
     cfg: &MnnConfig,
     tracer: Tracer<'_>,
+) -> Result<AnnOutput>
+where
+    M: PruneMetric,
+    IR: SpatialIndex<D>,
+    IS: SpatialIndex<D>,
+{
+    mnn_traced_scratch::<D, M, IR, IS>(ir, is, cfg, tracer, &mut QueryScratch::new())
+}
+
+/// [`mnn_traced`] with a caller-owned [`QueryScratch`] — every per-query
+/// best-first heap and batch distance buffer is recycled through the
+/// scratch, so the steady state of the R-side walk allocates nothing.
+pub fn mnn_traced_scratch<const D: usize, M, IR, IS>(
+    ir: &IR,
+    is: &IS,
+    cfg: &MnnConfig,
+    tracer: Tracer<'_>,
+    scratch: &mut QueryScratch<D>,
 ) -> Result<AnnOutput>
 where
     M: PruneMetric,
@@ -134,7 +109,8 @@ where
         let span_j = tracer.span_enter(Phase::Join, io_now);
         let mut cutoff_total = 0u64;
         // Depth-first walk of I_R: queries in index (spatial) order.
-        let mut stack = vec![ir.root_page()];
+        let mut stack = scratch.take_pages();
+        stack.push(ir.root_page());
         while let Some(page) = stack.pop() {
             let node = ir.read_node_cached(page)?;
             out.stats.r_nodes_expanded += 1;
@@ -151,11 +127,13 @@ where
                             &mut out,
                             tracer,
                             &mut cutoff_total,
+                            scratch,
                         )?;
                     }
                 }
             }
         }
+        scratch.put_pages(stack);
         if tracer.enabled() {
             for (reason, count) in [
                 (PruneReason::OnProbe, out.stats.pruned_on_probe),
@@ -185,6 +163,7 @@ where
 /// One best-first (Hjaltason-Samet) kNN search from `point` over `is`,
 /// with the pruning-metric upper bound tightening the search exactly as
 /// the LPQ bound does in MBA.
+#[allow(clippy::too_many_arguments)]
 fn knn_search<const D: usize, M, IS>(
     is: &IS,
     r_oid: u64,
@@ -193,6 +172,7 @@ fn knn_search<const D: usize, M, IS>(
     out: &mut AnnOutput,
     tracer: Tracer<'_>,
     cutoff_total: &mut u64,
+    scratch: &mut QueryScratch<D>,
 ) -> Result<()>
 where
     M: PruneMetric,
@@ -201,7 +181,9 @@ where
     let k_eff = cfg.k + usize::from(cfg.exclude_self);
     let mut bound = BoundTracker::new(k_eff, f64::INFINITY);
     let qmbr = Mbr::from_point(point);
-    let mut heap: BinaryHeap<HeapItem<D>> = BinaryHeap::new();
+    let mut heap = scratch.take_best_first();
+    let mut mind_buf = scratch.take_f64();
+    let mut maxd_buf = scratch.take_f64();
     let root = Entry::Node(crate::node::NodeEntry {
         page: is.root_page(),
         count: is.num_points(),
@@ -213,7 +195,7 @@ where
     );
     out.stats.distance_computations += 1;
     bound.offer(maxd_sq);
-    heap.push(HeapItem {
+    heap.push(BestFirstItem {
         mind_sq,
         maxd_sq,
         entry: root,
@@ -252,17 +234,20 @@ where
                 let node = is.read_node_cached(n.page)?;
                 out.stats.s_nodes_expanded += 1;
                 tracer.node_expanded(Side::S, n.page, &node.entries);
-                for e in node.entries.iter().copied() {
-                    let embr = e.mbr();
-                    let mind_sq = min_min_dist_sq(&qmbr, &embr);
-                    let maxd_sq = M::upper_sq(&qmbr, &embr);
+                // Batch both bounds over the node's SoA columns, then
+                // replay the accept/prune decisions sequentially under the
+                // evolving bound — bit-identical to the scalar loop.
+                let cols = node.soa_mbrs();
+                kernels::min_min_dist_sq_batch(&qmbr, &cols, &mut mind_buf);
+                M::upper_sq_batch(&qmbr, &cols, &mut maxd_buf);
+                for (i, e) in node.entries.iter().enumerate() {
                     out.stats.distance_computations += 1;
-                    if !bound.prunes(mind_sq) {
-                        bound.offer(maxd_sq);
-                        heap.push(HeapItem {
-                            mind_sq,
-                            maxd_sq,
-                            entry: e,
+                    if !bound.prunes(mind_buf[i]) {
+                        bound.offer(maxd_buf[i]);
+                        heap.push(BestFirstItem {
+                            mind_sq: mind_buf[i],
+                            maxd_sq: maxd_buf[i],
+                            entry: *e,
                         });
                         out.stats.enqueued += 1;
                     } else {
@@ -272,5 +257,8 @@ where
             }
         }
     }
+    scratch.put_best_first(heap);
+    scratch.put_f64(mind_buf);
+    scratch.put_f64(maxd_buf);
     Ok(())
 }

@@ -27,8 +27,9 @@
 //! * child entry: `page: u32 | count: u64 | mbr: 2 * D * f64`
 //! * object entry: `oid: u64 | point: D * f64`
 
-use ann_geom::{Mbr, Point};
+use ann_geom::{Mbr, Point, SoaMbrs, SoaPoints};
 use ann_store::{PageId, PageStore, Result, StoreError, INVALID_PAGE, PAGE_SIZE};
+use std::ops::Deref;
 
 const VERSION: u8 = 1;
 /// Marks a continuation page as written-by-us, so that a stale or zeroed
@@ -143,6 +144,165 @@ impl<const D: usize> Node<D> {
     /// How many entries fit in a single (non-chained) page.
     pub const fn single_page_capacity(is_leaf: bool) -> usize {
         (PAGE_SIZE - FIRST_HEADER - 16 * D) / Self::entry_size(is_leaf)
+    }
+}
+
+/// Column-major (SoA) mirror of a node's entry list, built once at decode
+/// time so the batched kernels in [`ann_geom::kernels`] can scan a node
+/// without per-entry AoS gathers.
+///
+/// A node's entries are homogeneous, so the mirror is an enum: leaves keep
+/// parallel oid + coordinate columns, internal nodes keep parallel page /
+/// count arrays plus MBR bound columns. Coordinate/bound `d` of entry `i`
+/// lives at `d * len + i`, matching [`SoaPoints`] / [`SoaMbrs`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeColumns {
+    /// Leaf: `oids[i]` owns coordinates `coords[d * len + i]`.
+    Leaf {
+        /// Object identifiers in entry order.
+        oids: Vec<u64>,
+        /// Column-major point coordinates, `D * len` long.
+        coords: Vec<f64>,
+    },
+    /// Internal node: parallel child metadata + MBR bound columns.
+    Internal {
+        /// First page of each child, in entry order.
+        pages: Vec<PageId>,
+        /// Subtree object count of each child, in entry order.
+        counts: Vec<u64>,
+        /// Column-major MBR lower bounds, `D * len` long.
+        lo: Vec<f64>,
+        /// Column-major MBR upper bounds, `D * len` long.
+        hi: Vec<f64>,
+    },
+}
+
+/// A decoded node plus its [`NodeColumns`] SoA mirror — the unit the
+/// [`crate::node_cache::NodeCache`] stores and
+/// [`crate::index::SpatialIndex::read_node_cached`] returns.
+///
+/// `DerefMut` is deliberately absent and both fields are private: the
+/// columns are derived from the entries at construction, so the pair is
+/// immutable-by-construction and can never drift apart. `Deref` keeps
+/// every existing `node.entries` / `node.mbr` call site compiling
+/// unchanged.
+#[derive(Clone, Debug)]
+pub struct DecodedNode<const D: usize> {
+    node: Node<D>,
+    columns: NodeColumns,
+}
+
+impl<const D: usize> DecodedNode<D> {
+    /// Builds the SoA mirror for `node`.
+    ///
+    /// # Panics
+    ///
+    /// When an entry disagrees with the node's leaf flag. The codec rejects
+    /// such nodes on both write and read, so a decoded node can never trip
+    /// this.
+    pub fn new(node: Node<D>) -> Self {
+        let len = node.entries.len();
+        let columns = if node.is_leaf {
+            let mut oids = Vec::with_capacity(len);
+            let mut coords = vec![0.0; D * len];
+            for (i, e) in node.entries.iter().enumerate() {
+                let Entry::Object(o) = e else {
+                    panic!("child entry in a leaf node")
+                };
+                oids.push(o.oid);
+                for d in 0..D {
+                    coords[d * len + i] = o.point[d];
+                }
+            }
+            NodeColumns::Leaf { oids, coords }
+        } else {
+            let mut pages = Vec::with_capacity(len);
+            let mut counts = Vec::with_capacity(len);
+            let mut lo = vec![0.0; D * len];
+            let mut hi = vec![0.0; D * len];
+            for (i, e) in node.entries.iter().enumerate() {
+                let Entry::Node(n) = e else {
+                    panic!("object entry in an internal node")
+                };
+                pages.push(n.page);
+                counts.push(n.count);
+                for d in 0..D {
+                    lo[d * len + i] = n.mbr.lo[d];
+                    hi[d * len + i] = n.mbr.hi[d];
+                }
+            }
+            NodeColumns::Internal {
+                pages,
+                counts,
+                lo,
+                hi,
+            }
+        };
+        DecodedNode { node, columns }
+    }
+
+    /// The decoded node (also reachable through `Deref`).
+    #[inline]
+    pub fn node(&self) -> &Node<D> {
+        &self.node
+    }
+
+    /// The SoA mirror of the entry list.
+    #[inline]
+    pub fn columns(&self) -> &NodeColumns {
+        &self.columns
+    }
+
+    /// Column-major view of every entry's MBR: degenerate (`lo == hi`,
+    /// aliasing the coordinate columns) for leaves — exactly how the
+    /// scalar path treats objects via [`Entry::mbr`] /
+    /// [`Mbr::from_point`] — and the child MBRs for internal nodes.
+    #[inline]
+    pub fn soa_mbrs(&self) -> SoaMbrs<'_> {
+        let len = self.node.entries.len();
+        match &self.columns {
+            NodeColumns::Leaf { coords, .. } => SoaPoints::new(len, coords).as_mbrs(),
+            NodeColumns::Internal { lo, hi, .. } => SoaMbrs::new(len, lo, hi),
+        }
+    }
+
+    /// Column-major view of a leaf's points; `None` for internal nodes.
+    #[inline]
+    pub fn leaf_points(&self) -> Option<SoaPoints<'_>> {
+        match &self.columns {
+            NodeColumns::Leaf { coords, .. } => {
+                Some(SoaPoints::new(self.node.entries.len(), coords))
+            }
+            NodeColumns::Internal { .. } => None,
+        }
+    }
+}
+
+impl<const D: usize> Deref for DecodedNode<D> {
+    type Target = Node<D>;
+    #[inline]
+    fn deref(&self) -> &Node<D> {
+        &self.node
+    }
+}
+
+impl<const D: usize> PartialEq for DecodedNode<D> {
+    fn eq(&self, other: &Self) -> bool {
+        // The columns are a pure function of the node, so comparing them
+        // too would be redundant.
+        self.node == other.node
+    }
+}
+
+impl<const D: usize> PartialEq<Node<D>> for DecodedNode<D> {
+    fn eq(&self, other: &Node<D>) -> bool {
+        self.node == *other
+    }
+}
+
+impl<const D: usize> From<Node<D>> for DecodedNode<D> {
+    fn from(node: Node<D>) -> Self {
+        DecodedNode::new(node)
     }
 }
 
@@ -516,6 +676,71 @@ mod tests {
             })],
         };
         assert!(write_node(&pool, page, &node).is_err());
+    }
+
+    #[test]
+    fn decoded_leaf_columns_mirror_entries() {
+        let node = sample_leaf(13);
+        let dec = DecodedNode::new(node.clone());
+        assert_eq!(*dec, node, "Deref target is the node itself");
+        let NodeColumns::Leaf { oids, coords } = dec.columns() else {
+            panic!("leaf must decode to leaf columns")
+        };
+        assert_eq!(coords.len(), 2 * 13);
+        let pts = dec.leaf_points().expect("leaf has points");
+        let mbrs = dec.soa_mbrs();
+        for (i, e) in node.entries.iter().enumerate() {
+            let Entry::Object(o) = e else { unreachable!() };
+            assert_eq!(oids[i], o.oid);
+            assert_eq!(pts.point::<2>(i), o.point);
+            // The MBR view is degenerate and aliases the same columns.
+            assert_eq!(mbrs.mbr::<2>(i), Mbr::from_point(&o.point));
+        }
+    }
+
+    #[test]
+    fn decoded_internal_columns_mirror_entries() {
+        let mut node = Node::<2> {
+            is_leaf: false,
+            aux: 0,
+            mbr: Mbr::empty(),
+            entries: vec![],
+        };
+        for i in 0..7u32 {
+            node.entries.push(Entry::Node(NodeEntry {
+                page: i + 10,
+                count: u64::from(i) * 3 + 1,
+                mbr: Mbr::new([f64::from(i), -1.0], [f64::from(i) + 0.5, 4.0]),
+            }));
+        }
+        node.recompute_mbr();
+        let dec = DecodedNode::new(node.clone());
+        let NodeColumns::Internal {
+            pages,
+            counts,
+            lo,
+            hi,
+        } = dec.columns()
+        else {
+            panic!("internal node must decode to internal columns")
+        };
+        assert_eq!(lo.len(), 2 * 7);
+        assert_eq!(hi.len(), 2 * 7);
+        assert!(dec.leaf_points().is_none());
+        let mbrs = dec.soa_mbrs();
+        for (i, e) in node.entries.iter().enumerate() {
+            let Entry::Node(n) = e else { unreachable!() };
+            assert_eq!(pages[i], n.page);
+            assert_eq!(counts[i], n.count);
+            assert_eq!(mbrs.mbr::<2>(i), n.mbr);
+        }
+    }
+
+    #[test]
+    fn decoded_empty_leaf_is_empty_everywhere() {
+        let dec = DecodedNode::new(Node::<2>::empty_leaf());
+        assert_eq!(dec.soa_mbrs().len, 0);
+        assert_eq!(dec.leaf_points().unwrap().len, 0);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! The buffer pool caches page bytes; every traversal that revisits a node
 //! still pays `read_node`'s decode (header parse, entry unpacking,
 //! continuation-chain walk) plus a trip through the pool's shard lock. The
-//! `NodeCache` sits above the pool and memoizes the decoded [`Node<D>`]
-//! behind an `Arc`, so repeat visits — ubiquitous in MBA's bidirectional
+//! `NodeCache` sits above the pool and memoizes the decoded node — as a
+//! [`DecodedNode`], i.e. together with its column-major SoA mirror for the
+//! batched kernels — behind an `Arc`, so repeat visits — ubiquitous in MBA's bidirectional
 //! expansion, kNN re-descents and the BNN/MNN baselines — are a lock-brief
 //! hash probe returning a shared pointer.
 //!
@@ -30,7 +31,7 @@
 //! purely an accelerator: it never holds the only copy of anything, and
 //! any entry may be evicted at any time.
 
-use crate::node::Node;
+use crate::node::DecodedNode;
 use ann_store::PageId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,7 +46,7 @@ pub const DEFAULT_NODE_CACHE_CAPACITY: usize = 1024;
 const DEFAULT_SHARDS: usize = 8;
 
 struct Slot<const D: usize> {
-    node: Arc<Node<D>>,
+    node: Arc<DecodedNode<D>>,
     /// Last-access stamp from the cache-wide clock; the per-shard eviction
     /// victim is the minimum-stamp slot.
     stamp: u64,
@@ -122,7 +123,7 @@ impl<const D: usize> NodeCache<D> {
     }
 
     /// Looks up `page` under `epoch`, refreshing its access stamp.
-    pub fn get(&self, epoch: u64, page: PageId) -> Option<Arc<Node<D>>> {
+    pub fn get(&self, epoch: u64, page: PageId) -> Option<Arc<DecodedNode<D>>> {
         let mut shard = self.shard(page).lock().unwrap_or_else(|e| e.into_inner());
         match shard.get_mut(&(epoch, page)) {
             Some(slot) => {
@@ -141,7 +142,7 @@ impl<const D: usize> NodeCache<D> {
     /// least-recently-stamped slot if the shard is full. Inserts under a
     /// superseded epoch are harmless: they can never match a lookup and
     /// are evicted like any other slot.
-    pub fn insert(&self, epoch: u64, page: PageId, node: Arc<Node<D>>) {
+    pub fn insert(&self, epoch: u64, page: PageId, node: Arc<DecodedNode<D>>) {
         let mut shard = self.shard(page).lock().unwrap_or_else(|e| e.into_inner());
         if shard.len() >= self.per_shard_capacity && !shard.contains_key(&(epoch, page)) {
             if let Some(victim) = shard
@@ -215,13 +216,13 @@ impl<const D: usize> std::fmt::Debug for NodeCache<D> {
 mod tests {
     use super::*;
 
-    fn leaf(tag: u8) -> Arc<Node<2>> {
-        Arc::new(Node {
+    fn leaf(tag: u8) -> Arc<DecodedNode<2>> {
+        Arc::new(DecodedNode::new(crate::node::Node {
             is_leaf: true,
             aux: tag,
             mbr: ann_geom::Mbr::empty(),
             entries: vec![],
-        })
+        }))
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   MAXMAXDIST upper bound (the switch that produces the paper's Figure 3a).
 //! * Space-filling curves ([`curve::z_order`], [`curve::hilbert`]) used for
 //!   bulk loading and for grouping points in the BNN baseline.
+//! * Batched SoA kernels ([`kernels`]) — the same metrics evaluated over
+//!   column-major candidate sets, unrolled across candidates so every
+//!   result is bit-identical to the scalar path.
 //!
 //! All metrics come in squared form (`*_sq`) as the primary primitive;
 //! square roots are taken only at API boundaries, because ANN inner loops
@@ -45,6 +48,7 @@
 
 pub mod curve;
 mod dist;
+pub mod kernels;
 mod mbr;
 mod metric;
 mod nxndist;
@@ -54,6 +58,7 @@ pub use dist::{
     max_max_dist, max_max_dist_sq, min_max_dist, min_max_dist_sq, min_min_dist, min_min_dist_sq,
     min_min_dist_sq_within,
 };
+pub use kernels::{SoaMbrs, SoaPoints};
 pub use mbr::Mbr;
 pub use metric::{MaxMaxDist, NxnDist, PruneMetric};
 pub use nxndist::{max_dist_d, max_min_d, nxn_dist, nxn_dist_sq};

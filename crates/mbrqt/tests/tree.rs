@@ -305,3 +305,50 @@ fn node_cache_serves_repeat_traversals_and_invalidates_on_mutation() {
         "no-op delete keeps the cache"
     );
 }
+
+#[test]
+fn decoded_soa_columns_round_trip_every_node() {
+    // Every node of a multi-level tree: the decode-time SoA mirror must
+    // gather back to exactly the entry list — bit-for-bit coordinates —
+    // because the batched kernels read the columns while decisions and
+    // results are still expressed against the entries.
+    let pts = random_points::<3>(3000, 33);
+    let tree = Mbrqt::bulk_build(pool(64), &pts, &MbrqtConfig::default()).unwrap();
+    let mut stack = vec![tree.root_page()];
+    let mut leaves = 0;
+    let mut internals = 0;
+    while let Some(page) = stack.pop() {
+        let node = tree.read_node_cached(page).unwrap();
+        let mbrs = node.soa_mbrs();
+        assert_eq!(mbrs.len, node.entries.len());
+        for (i, e) in node.entries.iter().enumerate() {
+            let got = mbrs.mbr::<3>(i);
+            let want = e.mbr();
+            assert_eq!(got.lo.map(f64::to_bits), want.lo.map(f64::to_bits));
+            assert_eq!(got.hi.map(f64::to_bits), want.hi.map(f64::to_bits));
+        }
+        if node.is_leaf {
+            leaves += 1;
+            let points = node.leaf_points().expect("leaf has point columns");
+            for (i, e) in node.entries.iter().enumerate() {
+                let Entry::Object(o) = e else {
+                    panic!("leaf holds a child")
+                };
+                assert_eq!(
+                    points.point::<3>(i).coords().map(f64::to_bits),
+                    o.point.coords().map(f64::to_bits)
+                );
+            }
+        } else {
+            internals += 1;
+            assert!(node.leaf_points().is_none());
+            for e in node.entries.iter() {
+                let Entry::Node(n) = e else {
+                    panic!("internal holds an object")
+                };
+                stack.push(n.page);
+            }
+        }
+    }
+    assert!(leaves > 1 && internals >= 1, "tree too small to be probative");
+}

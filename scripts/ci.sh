@@ -37,6 +37,34 @@ cargo test -q -p ann-core --test query_equivalence
 # here is a real regression with a printed minimal reproducer.
 cargo run --release -p checker --bin fuzz -- --seed 0xC1C1 --cases 200
 
+# Kernel bit-identity gate (DESIGN.md §11): the batched SoA kernels must
+# match the scalar metrics bit-for-bit on adversarial candidate sets
+# (degenerate points, shared coordinates, extreme magnitudes). The `all`
+# run above already includes the class; the dedicated run gives it an
+# independent seed so its budget doesn't shrink as other classes grow.
+cargo run --release -p checker --bin fuzz -- --class kernels --seed 0x50A0 --cases 200
+
+# The committed kernel-throughput artifact must stay schema-valid and
+# keep its headline claim (regenerate with `figures kernels --json
+# results`, or offline with target/devcheck/kernels_fig).
+python3 - results/BENCH_kernels.json <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+assert rep["id"] == "BENCH_kernels"
+assert rep["lanes"] >= 1
+req = {"kernel", "dims", "cache", "candidates", "scalar_seconds",
+       "batched_seconds", "scalar_melems_per_sec", "batched_melems_per_sec",
+       "speedup", "bit_identical"}
+assert rep["rows"], "no rows"
+for row in rep["rows"]:
+    assert req <= row.keys(), f"missing fields: {req - row.keys()}"
+    assert row["bit_identical"] is True, f"non-bit-identical row: {row}"
+assert any(r["kernel"] == "leaf-scan" and r["dims"] == 2
+           and r["cache"] == "warm" and r["speedup"] >= 1.5
+           for r in rep["rows"]), "leaf-scan D=2 warm speedup < 1.5x"
+print(f"validated {len(rep['rows'])} kernel rows")
+EOF
+
 # Trace-report smoke: a tiny figure run with --trace must emit one valid
 # JSON ExecutionReport per run.
 trace_dir=$(mktemp -d)
