@@ -8,6 +8,7 @@
 //!   ablation-traversal | ablation-mbr | extra-mnn
 //!   parallel-scaling    thread-scaling study (BENCH_parallel_scaling.json)
 //!   kernels             batched-kernel throughput study (BENCH_kernels.json)
+//!   robustness          resilience fault-free-overhead study (BENCH_robustness.json)
 //!   all                 run every figure
 //!   list-datasets       print Table 2 (with the scaled cardinalities)
 //! ```
@@ -72,7 +73,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: figures <fig3a|fig3a-synthetic|fig3b|fig4|fig5|fig6|\
      ablation-traversal|ablation-mbr|ablation-packing|extra-mnn|extra-hnn|extra-parallel|\
-     parallel-scaling|kernels|all|list-datasets> \
+     parallel-scaling|kernels|robustness|all|list-datasets> \
      [--scale F] [--full] [--json DIR] [--trace DIR]"
         .to_string()
 }
@@ -98,6 +99,16 @@ fn emit_scaling(rep: ann_bench::report::ScalingReport, json_dir: &Option<PathBuf
 }
 
 fn emit_kernels(rep: ann_bench::report::KernelsReport, json_dir: &Option<PathBuf>) {
+    print!("{}", rep.render());
+    println!();
+    if let Some(dir) = json_dir {
+        if let Err(e) = rep.write_json(dir) {
+            eprintln!("warning: could not write JSON for {}: {e}", rep.id);
+        }
+    }
+}
+
+fn emit_robustness(rep: ann_bench::report::RobustnessReport, json_dir: &Option<PathBuf>) {
     print!("{}", rep.render());
     println!();
     if let Some(dir) = json_dir {
@@ -142,12 +153,14 @@ fn main() -> ExitCode {
         "extra-parallel" => emit(figures::extra_parallel(f), &args.json_dir),
         "parallel-scaling" => emit_scaling(figures::parallel_scaling(f), &args.json_dir),
         "kernels" => emit_kernels(figures::kernels_bench(f), &args.json_dir),
+        "robustness" => emit_robustness(figures::robustness_bench(f), &args.json_dir),
         "all" => {
             for fig in figures::all(f) {
                 emit(fig, &args.json_dir);
             }
             emit_scaling(figures::parallel_scaling(f), &args.json_dir);
             emit_kernels(figures::kernels_bench(f), &args.json_dir);
+            emit_robustness(figures::robustness_bench(f), &args.json_dir);
         }
         "list-datasets" => print!("{}", figures::table2(f)),
         other => {

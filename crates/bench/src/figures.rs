@@ -892,6 +892,120 @@ pub fn kernels_bench(fraction: f64) -> crate::report::KernelsReport {
     report
 }
 
+/// The resilience fault-free-overhead study: every pool-backed algorithm
+/// variant (plus the poolless HNN) through the unified entrypoint, first
+/// ungoverned (no limits — the guard is one branch per expansion), then
+/// with every resilience feature armed but never firing: a live cancel
+/// token, a one-hour deadline, effectively-unbounded visit and I/O
+/// budgets, and a per-request retry override. The armed run must be
+/// decision-identical — same pairs, same work counters — and its wall
+/// time is the measured cost of resilience on the fault-free path.
+/// Emitted as `BENCH_robustness.json`.
+pub fn robustness_bench(fraction: f64) -> crate::report::RobustnessReport {
+    use ann_core::prelude::*;
+    use ann_mbrqt::{Mbrqt, MbrqtConfig};
+    use ann_rstar::{RStar, RStarConfig};
+    use ann_store::{BufferPool, MemDisk, RetryPolicy};
+    use std::hint::black_box;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let n = scaled(60_000, fraction);
+    let data = ann_datagen::tac_like(n, SEED);
+    let k = 2;
+    let pool = Arc::new(BufferPool::new(MemDisk::new(), 2_048));
+    let ir = Mbrqt::bulk_build(pool.clone(), &data, &MbrqtConfig::default()).expect("build R");
+    let is = RStar::bulk_build(pool, &data, &RStarConfig::default()).expect("build S");
+
+    let mut report = crate::report::RobustnessReport {
+        id: "BENCH_robustness".into(),
+        workload: format!(
+            "TAC-like 2D self-join AkNN (k={k}, |R|=|S|={n}, warm 2048-frame \
+             pool): ungoverned vs fully-armed resilience, per-run average"
+        ),
+        max_overhead_percent: 0.0,
+        rows: Vec::new(),
+    };
+
+    // Canonical decision content: sorted pairs + counters with the I/O
+    // block zeroed (cache state differs across repeats; decisions must
+    // not).
+    let canon = |out: &AnnOutput| {
+        let mut o = out.clone();
+        o.sort();
+        let mut stats = o.stats;
+        stats.io = Default::default();
+        (o.results, stats)
+    };
+
+    let variants: Vec<(&str, Algorithm)> = vec![
+        ("mba", Algorithm::mba()),
+        (
+            "mba-2t",
+            Algorithm::Mba {
+                traversal: Traversal::default(),
+                expansion: Expansion::default(),
+                threads: 2,
+            },
+        ),
+        ("bnn", Algorithm::Bnn { group_size: 256 }),
+        ("mnn", Algorithm::Mnn),
+        ("hnn", Algorithm::hnn()),
+    ];
+    const RUNS: usize = 9;
+    for (name, alg) in variants {
+        let baseline_req = || AnnRequest::new(alg).k(k).exclude_self(true);
+        let armed_req = || {
+            baseline_req()
+                .cancel_token(CancelToken::new())
+                .deadline_in(Duration::from_secs(3_600))
+                .visit_budget(u64::MAX / 2)
+                .io_budget(u64::MAX / 2)
+                .retry(RetryPolicy::default())
+        };
+        // The entrypoint is input-generic: point-based algorithms (BNN's
+        // R side, HNN) extract objects from the index, identically on
+        // both timed paths.
+        let run_one = |req: AnnRequest<'static>| -> AnnOutput {
+            req.run(Input::Index(&ir), Input::Index(&is))
+                .expect("fault-free run")
+        };
+
+        // Warm every cache, and pin down the reference decisions.
+        let reference = canon(&run_one(baseline_req()));
+        let armed_out = canon(&run_one(armed_req()));
+        let decision_identical = armed_out == reference;
+
+        // Interleave the two timed paths so slow machine-load drift hits
+        // both equally instead of biasing whichever ran second.
+        let mut baseline_total = 0.0;
+        let mut armed_total = 0.0;
+        for _ in 0..RUNS {
+            let t0 = Instant::now();
+            black_box(run_one(baseline_req()));
+            baseline_total += t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            black_box(run_one(armed_req()));
+            armed_total += t0.elapsed().as_secs_f64();
+        }
+        let baseline_seconds = baseline_total / RUNS as f64;
+        let armed_seconds = armed_total / RUNS as f64;
+
+        let overhead_percent = (armed_seconds / baseline_seconds - 1.0) * 100.0;
+        report.max_overhead_percent = report.max_overhead_percent.max(overhead_percent);
+        report.rows.push(crate::report::RobustnessRow {
+            algorithm: name.to_string(),
+            n,
+            runs: RUNS,
+            baseline_seconds,
+            armed_seconds,
+            overhead_percent,
+            decision_identical,
+        });
+    }
+    report
+}
+
 /// All figures at the given fraction (the `figures all` command).
 pub fn all(fraction: f64) -> Vec<Figure> {
     vec![

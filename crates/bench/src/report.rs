@@ -264,6 +264,82 @@ impl KernelsReport {
     }
 }
 
+/// One row of the resilience-overhead study (`BENCH_robustness`).
+#[derive(Clone, Debug, Serialize)]
+pub struct RobustnessRow {
+    /// Algorithm variant measured (e.g. `"mba"`, `"mba-2t"`, `"bnn"`).
+    pub algorithm: String,
+    /// Points per side of the self-join.
+    pub n: usize,
+    /// Timed repetitions each figure is averaged over.
+    pub runs: usize,
+    /// Seconds per run through the unified entrypoint with no resilience
+    /// limits configured (the guard reduces to one branch per expansion).
+    pub baseline_seconds: f64,
+    /// Seconds per run with every resilience feature armed but
+    /// non-firing: a live cancel token, a far deadline, generous visit
+    /// and I/O budgets, and a per-request retry override.
+    pub armed_seconds: f64,
+    /// `(armed_seconds / baseline_seconds - 1) * 100`.
+    pub overhead_percent: f64,
+    /// Whether the armed run's results and work counters (I/O block
+    /// excluded) matched the baseline exactly (must always be `true`).
+    pub decision_identical: bool,
+}
+
+/// The resilience fault-free-overhead figure: every pool-backed variant
+/// (plus HNN) through the unified entrypoint, ungoverned vs fully armed,
+/// on the same warm indexes. Emitted as `BENCH_robustness.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct RobustnessReport {
+    /// Output id (`BENCH_robustness` — also the JSON file stem).
+    pub id: String,
+    /// Human description of the workload.
+    pub workload: String,
+    /// Largest `overhead_percent` across the rows (the gated headline).
+    pub max_overhead_percent: f64,
+    /// One row per algorithm variant.
+    pub rows: Vec<RobustnessRow>,
+}
+
+impl RobustnessReport {
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.workload));
+        out.push_str(&format!(
+            "{:<8} {:>8} {:>5} {:>12} {:>12} {:>10} {:>10}\n",
+            "variant", "n", "runs", "baseline(s)", "armed(s)", "overhead", "decisions"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<8} {:>8} {:>5} {:>12.6} {:>12.6} {:>9.2}% {:>10}\n",
+                r.algorithm,
+                r.n,
+                r.runs,
+                r.baseline_seconds,
+                r.armed_seconds,
+                r.overhead_percent,
+                if r.decision_identical { "ok" } else { "DIFF" },
+            ));
+        }
+        out.push_str(&format!(
+            "max overhead: {:.2}%\n",
+            self.max_overhead_percent
+        ));
+        out
+    }
+
+    /// Writes the report as JSON under `dir/<id>.json`.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(path)?;
+        let body = serde_json::to_string_pretty(self).expect("serializable");
+        f.write_all(body.as_bytes())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -103,7 +103,7 @@ fn run_variant<const D: usize>(
     is: &RStar<D>,
     alg: Algorithm,
     metric: MetricChoice,
-) -> std::thread::Result<ann_store::Result<AnnOutput>> {
+) -> std::thread::Result<QueryResult<AnnOutput>> {
     catch_unwind(AssertUnwindSafe(|| {
         AnnRequest::new(alg)
             .k(case.k)

@@ -1,7 +1,7 @@
 //! Deterministic differential fuzzing and invariant checking for the ANN
 //! evaluation stack.
 //!
-//! Five invariant classes, each seed-driven and fully reproducible:
+//! Six invariant classes, each seed-driven and fully reproducible:
 //!
 //! * [`Class::Diff`] — every [`Algorithm`](ann_core::Algorithm) variant
 //!   must match brute force byte-for-byte under the canonical tie-break
@@ -25,10 +25,17 @@
 //!   exact object census survive random insert/delete interleavings.
 //! * [`Class::Recovery`] — journal recovery after an injected torn-write
 //!   crash lands on a committed prefix and is idempotent across reopens.
+//! * [`Class::Faults`] — a query hit by a scheduled transient fault, bit
+//!   flip, or device crash lands in exactly one of three clean outcomes:
+//!   retried-and-byte-identical, a structured [`QueryError`]
+//!   (`ann_core::QueryError`) with every pin released and a byte-identical
+//!   re-run, or a quarantined page that fails fast until healed — never a
+//!   panic, wrong answer, or poisoned pool.
 //!
 //! Run via `cargo run -p checker --bin fuzz -- --seed 1 --cases 200`.
 
 pub mod diff;
+pub mod faults;
 pub mod gen;
 pub mod invariants;
 pub mod report;
@@ -47,15 +54,17 @@ pub enum Class {
     Kernels,
     Tree,
     Recovery,
+    Faults,
 }
 
 impl Class {
-    pub const ALL: [Class; 5] = [
+    pub const ALL: [Class; 6] = [
         Class::Diff,
         Class::Nxn,
         Class::Kernels,
         Class::Tree,
         Class::Recovery,
+        Class::Faults,
     ];
 
     pub fn name(self) -> &'static str {
@@ -65,6 +74,7 @@ impl Class {
             Class::Kernels => "kernels",
             Class::Tree => "tree",
             Class::Recovery => "recovery",
+            Class::Faults => "faults",
         }
     }
 
@@ -104,6 +114,9 @@ pub fn run_class(class: Class, seed: u64, cases: usize) -> Vec<Failure> {
                 _ => invariant_one::<8>(class, case_seed, i),
             },
             Class::Recovery => invariant_one::<2>(class, case_seed, i),
+            // Fault scheduling is op-index-based; the 2-D planar case
+            // already exercises every pool-backed traversal.
+            Class::Faults => invariant_one::<2>(class, case_seed, i),
         };
         failures.extend(f);
     }
@@ -127,6 +140,7 @@ fn splitmix_tag(class: Class) -> u64 {
         Class::Kernels => 0xB175,
         Class::Tree => 0x7EEE,
         Class::Recovery => 0x6EC0,
+        Class::Faults => 0xFA17,
     }
 }
 
@@ -166,6 +180,7 @@ fn invariant_one<const D: usize>(class: Class, case_seed: u64, index: usize) -> 
             Class::Kernels => invariants::check_kernels_case::<D>(&mut rng),
             Class::Tree => invariants::check_tree_case::<D>(&mut rng),
             Class::Recovery => invariants::check_recovery_case(&mut rng),
+            Class::Faults => faults::check_faults_case(&mut rng),
             Class::Diff => unreachable!("diff has its own driver"),
         }
     }));

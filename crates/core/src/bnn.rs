@@ -15,11 +15,11 @@
 use crate::index::SpatialIndex;
 use crate::lpq::{BoundTracker, PRUNE_EPS};
 use crate::node::Entry;
+use crate::resilience::{attach_partial_stats, QueryGuard, QueryResult};
 use crate::scratch::{GroupHeapItem, KBest, QueryScratch};
 use crate::stats::{AnnOutput, NeighborPair};
 use crate::trace::{Phase, PruneReason, Side, TraceEvent, Tracer};
 use ann_geom::{curve::GridMapper, kernels, min_min_dist_sq, Mbr, Point, PruneMetric, SoaPoints};
-use ann_store::Result;
 use std::collections::BinaryHeap;
 
 /// Configuration for [`bnn`].
@@ -88,7 +88,7 @@ pub fn bnn<const D: usize, M, IS>(
     r: &[(u64, Point<D>)],
     is: &IS,
     cfg: &BnnConfig,
-) -> Result<AnnOutput>
+) -> QueryResult<AnnOutput>
 where
     M: PruneMetric,
     IS: SpatialIndex<D>,
@@ -103,7 +103,7 @@ pub fn bnn_traced<const D: usize, M, IS>(
     is: &IS,
     cfg: &BnnConfig,
     tracer: Tracer<'_>,
-) -> Result<AnnOutput>
+) -> QueryResult<AnnOutput>
 where
     M: PruneMetric,
     IS: SpatialIndex<D>,
@@ -120,21 +120,45 @@ pub fn bnn_traced_scratch<const D: usize, M, IS>(
     cfg: &BnnConfig,
     tracer: Tracer<'_>,
     scratch: &mut QueryScratch<D>,
-) -> Result<AnnOutput>
+) -> QueryResult<AnnOutput>
+where
+    M: PruneMetric,
+    IS: SpatialIndex<D>,
+{
+    bnn_guarded::<D, M, IS>(r, is, cfg, tracer, scratch, &QueryGuard::disabled())
+}
+
+/// [`bnn_traced_scratch`] under a [`QueryGuard`], consulted before every
+/// `I_S` node read. Aborts close the open spans, record a
+/// [`TraceEvent::QueryAborted`], and report the stats accumulated so far.
+pub fn bnn_guarded<const D: usize, M, IS>(
+    r: &[(u64, Point<D>)],
+    is: &IS,
+    cfg: &BnnConfig,
+    tracer: Tracer<'_>,
+    scratch: &mut QueryScratch<D>,
+    guard: &QueryGuard<'_>,
+) -> QueryResult<AnnOutput>
 where
     M: PruneMetric,
     IS: SpatialIndex<D>,
 {
     assert!(cfg.group_size >= 1, "group size must be at least 1");
     if cfg.k == 0 {
+        guard.tick()?;
         return Ok(AnnOutput::default());
     }
     let mut out = AnnOutput::default();
     let io0 = is.pool().stats();
     let io_now = || is.pool().stats();
     let span_q = tracer.span_enter(Phase::Query, io_now);
+    let abort_phase = std::cell::Cell::new(Phase::Query.name());
 
-    if !r.is_empty() && is.num_points() > 0 {
+    let walk = (|out: &mut AnnOutput| -> QueryResult<()> {
+        guard.tick()?;
+        if r.is_empty() || is.num_points() == 0 {
+            return Ok(());
+        }
         // Sort queries in Hilbert order over their own bounding box, then
         // chunk into groups.
         let span_sort = tracer.span_enter(Phase::Sort, io_now);
@@ -149,10 +173,23 @@ where
             page: is.root_page(),
         });
         let span_j = tracer.span_enter(Phase::Join, io_now);
+        abort_phase.set(Phase::Join.name());
         let mut cutoff_total = 0u64;
-        for group in sorted.chunks(cfg.group_size) {
-            run_group::<D, M, IS>(group, is, cfg, &mut out, tracer, &mut cutoff_total, scratch)?;
-        }
+        let join = (|| -> QueryResult<()> {
+            for group in sorted.chunks(cfg.group_size) {
+                run_group::<D, M, IS>(
+                    group,
+                    is,
+                    cfg,
+                    out,
+                    tracer,
+                    &mut cutoff_total,
+                    scratch,
+                    guard,
+                )?;
+            }
+            Ok(())
+        })();
         if tracer.enabled() {
             for (reason, count) in [
                 (PruneReason::OnProbe, out.stats.pruned_on_probe),
@@ -168,11 +205,21 @@ where
             }
         }
         tracer.span_exit(Phase::Join, span_j, io_now);
-    }
+        join
+    })(&mut out);
     tracer.span_exit(Phase::Query, span_q, io_now);
 
     out.stats.io = is.pool().stats().since(&io0);
-    Ok(out)
+    match walk {
+        Ok(()) => Ok(out),
+        Err(e) => {
+            tracer.event(|| TraceEvent::QueryAborted {
+                reason: e.reason(),
+                phase: abort_phase.get(),
+            });
+            Err(attach_partial_stats(e, &out.stats))
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -184,7 +231,8 @@ fn run_group<const D: usize, M, IS>(
     tracer: Tracer<'_>,
     cutoff_total: &mut u64,
     scratch: &mut QueryScratch<D>,
-) -> Result<()>
+    guard: &QueryGuard<'_>,
+) -> QueryResult<()>
 where
     M: PruneMetric,
     IS: SpatialIndex<D>,
@@ -274,6 +322,7 @@ where
                 }
             }
             Entry::Node(n) => {
+                guard.tick()?;
                 let node = is.read_node_cached(n.page)?;
                 out.stats.s_nodes_expanded += 1;
                 tracer.node_expanded(Side::S, n.page, &node.entries);

@@ -19,9 +19,9 @@
 use crate::index::SpatialIndex;
 use crate::lpq::BoundTracker;
 use crate::node::Entry;
+use crate::resilience::{attach_partial_stats, QueryGuard, QueryResult};
 use crate::stats::{AnnOutput, NeighborPair};
 use ann_geom::{max_max_dist_sq, min_min_dist_sq};
-use ann_store::Result;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -102,12 +102,30 @@ pub fn closest_pairs<const D: usize, IR, IS>(
     ir: &IR,
     is: &IS,
     cfg: &ClosestPairsConfig,
-) -> Result<AnnOutput>
+) -> QueryResult<AnnOutput>
+where
+    IR: SpatialIndex<D>,
+    IS: SpatialIndex<D>,
+{
+    closest_pairs_guarded(ir, is, cfg, &QueryGuard::disabled())
+}
+
+/// [`closest_pairs`] under a [`QueryGuard`], consulted before every node
+/// read on either side. On abort the partially accumulated counters are
+/// carried in the error; partially found pairs are discarded (the k-best
+/// set is only meaningful once the heap cutoff fires).
+pub fn closest_pairs_guarded<const D: usize, IR, IS>(
+    ir: &IR,
+    is: &IS,
+    cfg: &ClosestPairsConfig,
+    guard: &QueryGuard<'_>,
+) -> QueryResult<AnnOutput>
 where
     IR: SpatialIndex<D>,
     IS: SpatialIndex<D>,
 {
     if cfg.k == 0 {
+        guard.tick()?;
         return Ok(AnnOutput::default());
     }
     let mut out = AnnOutput::default();
@@ -118,7 +136,11 @@ where
     );
     let io_s0 = is.pool().stats();
 
-    if ir.num_points() > 0 && is.num_points() > 0 {
+    let walk = (|out: &mut AnnOutput| -> QueryResult<()> {
+        guard.tick()?;
+        if ir.num_points() == 0 || is.num_points() == 0 {
+            return Ok(());
+        }
         // Guarantee soundness under self-exclusion: MAXMAXDIST bounds
         // *every* pair of a product, so any product other than a
         // same-single-point `{a}×{a}` guarantees a non-self pair within
@@ -202,6 +224,7 @@ where
                         let Entry::Node(sn) = s else { unreachable!() };
                         (sn.page, r, true)
                     };
+                    guard.tick()?;
                     let node = if expand_r {
                         ir.read_node_cached(node_page)?
                     } else {
@@ -255,12 +278,19 @@ where
                 dist: p.dist_sq.sqrt(),
             });
         }
-    }
+        Ok(())
+    })(&mut out);
 
     let mut io = ir.pool().stats().since(&io_r0);
     if !shared_pool {
         io = io.merge(&is.pool().stats().since(&io_s0));
     }
     out.stats.io = io;
-    Ok(out)
+    match walk {
+        Ok(()) => Ok(out),
+        Err(e) => {
+            out.results.clear();
+            Err(attach_partial_stats(e, &out.stats))
+        }
+    }
 }

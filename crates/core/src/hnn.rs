@@ -24,6 +24,7 @@
 
 #![allow(clippy::needless_range_loop)] // fixed-D kernels index 0..D
 
+use crate::resilience::{attach_partial_stats, QueryGuard, QueryResult};
 use crate::scratch::{KBest, QueryScratch};
 use crate::stats::{AnnOutput, NeighborPair};
 use crate::trace::{Phase, PruneReason, TraceEvent, Tracer};
@@ -218,7 +219,7 @@ pub fn hnn<const D: usize>(
     r: &[(u64, Point<D>)],
     s: &[(u64, Point<D>)],
     cfg: &HnnConfig,
-) -> AnnOutput {
+) -> QueryResult<AnnOutput> {
     hnn_traced(r, s, cfg, Tracer::disabled())
 }
 
@@ -231,7 +232,7 @@ pub fn hnn_traced<const D: usize>(
     s: &[(u64, Point<D>)],
     cfg: &HnnConfig,
     tracer: Tracer<'_>,
-) -> AnnOutput {
+) -> QueryResult<AnnOutput> {
     hnn_traced_scratch(r, s, cfg, tracer, &mut QueryScratch::new())
 }
 
@@ -243,22 +244,102 @@ pub fn hnn_traced_scratch<const D: usize>(
     cfg: &HnnConfig,
     tracer: Tracer<'_>,
     scratch: &mut QueryScratch<D>,
-) -> AnnOutput {
+) -> QueryResult<AnnOutput> {
+    hnn_guarded(r, s, cfg, tracer, scratch, &QueryGuard::disabled())
+}
+
+/// [`hnn_traced_scratch`] under a [`QueryGuard`]. HNN performs no I/O, so
+/// an I/O budget never trips here; cancellation, deadlines and the visit
+/// budget are checked once per query point (the poolless analogue of one
+/// node expansion).
+pub fn hnn_guarded<const D: usize>(
+    r: &[(u64, Point<D>)],
+    s: &[(u64, Point<D>)],
+    cfg: &HnnConfig,
+    tracer: Tracer<'_>,
+    scratch: &mut QueryScratch<D>,
+    guard: &QueryGuard<'_>,
+) -> QueryResult<AnnOutput> {
     assert!(cfg.avg_cell_occupancy > 0.0);
     let mut out = AnnOutput::default();
     if cfg.k == 0 || r.is_empty() || s.is_empty() {
-        return out;
+        guard.tick()?;
+        return Ok(out);
     }
     let span_q = tracer.span_enter(Phase::Query, IoSnapshot::default);
-    let span_b = tracer.span_enter(Phase::Build, IoSnapshot::default);
-    let grid = Grid::build(s, cfg.avg_cell_occupancy);
-    tracer.span_exit(Phase::Build, span_b, IoSnapshot::default);
-    let k_eff = cfg.k + usize::from(cfg.exclude_self);
-    let span_j = tracer.span_enter(Phase::Join, IoSnapshot::default);
-    let mut rings_cut_total = 0u64;
-    let mut dist_buf = scratch.take_f64();
+    let abort_phase = std::cell::Cell::new(Phase::Query.name());
+    let walk = (|out: &mut AnnOutput| -> QueryResult<()> {
+        guard.tick()?;
+        let span_b = tracer.span_enter(Phase::Build, IoSnapshot::default);
+        abort_phase.set(Phase::Build.name());
+        let grid = Grid::build(s, cfg.avg_cell_occupancy);
+        tracer.span_exit(Phase::Build, span_b, IoSnapshot::default);
+        let k_eff = cfg.k + usize::from(cfg.exclude_self);
+        let span_j = tracer.span_enter(Phase::Join, IoSnapshot::default);
+        abort_phase.set(Phase::Join.name());
+        let mut rings_cut_total = 0u64;
+        let mut dist_buf = scratch.take_f64();
 
-    for &(r_oid, r_pt) in r {
+        let join = (|| -> QueryResult<()> {
+            for &(r_oid, r_pt) in r {
+                guard.tick()?;
+                run_point(
+                    r_oid,
+                    r_pt,
+                    s,
+                    cfg,
+                    k_eff,
+                    &grid,
+                    out,
+                    tracer,
+                    &mut rings_cut_total,
+                    &mut dist_buf,
+                    scratch,
+                );
+            }
+            Ok(())
+        })();
+        scratch.put_f64(dist_buf);
+        if rings_cut_total > 0 {
+            tracer.event(|| TraceEvent::Pruned {
+                metric: "euclidean",
+                reason: PruneReason::RingCutoff,
+                count: rings_cut_total,
+            });
+        }
+        tracer.span_exit(Phase::Join, span_j, IoSnapshot::default);
+        join
+    })(&mut out);
+    tracer.span_exit(Phase::Query, span_q, IoSnapshot::default);
+    match walk {
+        Ok(()) => Ok(out),
+        Err(e) => {
+            tracer.event(|| TraceEvent::QueryAborted {
+                reason: e.reason(),
+                phase: abort_phase.get(),
+            });
+            Err(attach_partial_stats(e, &out.stats))
+        }
+    }
+}
+
+/// The ring search for one query point (the body of the [`hnn`] join
+/// loop, factored out so the guarded entrypoint stays readable).
+#[allow(clippy::too_many_arguments)]
+fn run_point<const D: usize>(
+    r_oid: u64,
+    r_pt: Point<D>,
+    s: &[(u64, Point<D>)],
+    cfg: &HnnConfig,
+    k_eff: usize,
+    grid: &Grid<D>,
+    out: &mut AnnOutput,
+    tracer: Tracer<'_>,
+    rings_cut_total: &mut u64,
+    dist_buf: &mut Vec<f64>,
+    scratch: &mut QueryScratch<D>,
+) {
+    {
         let home = grid.cell_of(&r_pt);
         let max_ring = grid.max_ring_from(&home);
         let mut best = scratch.take_kbest();
@@ -276,7 +357,7 @@ pub fn hnn_traced_scratch<const D: usize>(
             if ring_min * ring_min > bound_sq {
                 if tracer.enabled() && ring <= max_ring {
                     // Rings `ring..=max_ring` are never visited.
-                    rings_cut_total += (max_ring - ring + 1) as u64;
+                    *rings_cut_total += (max_ring - ring + 1) as u64;
                 }
                 break;
             }
@@ -285,7 +366,7 @@ pub fn hnn_traced_scratch<const D: usize>(
                 // One kernel call per cell; an excluded self-pair's
                 // distance lands in the buffer but is never offered or
                 // counted, exactly like the scalar skip.
-                kernels::dist_sq_batch(&r_pt, &cell.points(), &mut dist_buf);
+                kernels::dist_sq_batch(&r_pt, &cell.points(), dist_buf);
                 for (i, &s_oid) in cell.oids.iter().enumerate() {
                     if cfg.exclude_self && s_oid == r_oid {
                         continue;
@@ -331,17 +412,6 @@ pub fn hnn_traced_scratch<const D: usize>(
         }
         scratch.put_kbest(BinaryHeap::from(hits));
     }
-    scratch.put_f64(dist_buf);
-    if rings_cut_total > 0 {
-        tracer.event(|| TraceEvent::Pruned {
-            metric: "euclidean",
-            reason: PruneReason::RingCutoff,
-            count: rings_cut_total,
-        });
-    }
-    tracer.span_exit(Phase::Join, span_j, IoSnapshot::default);
-    tracer.span_exit(Phase::Query, span_q, IoSnapshot::default);
-    out
 }
 
 #[cfg(test)]
@@ -364,7 +434,7 @@ mod tests {
     }
 
     fn check(r: &[(u64, Point<2>)], s: &[(u64, Point<2>)], cfg: &HnnConfig) {
-        let mut got = hnn(r, s, cfg);
+        let mut got = hnn(r, s, cfg).unwrap();
         got.sort();
         let mut want = brute_force_aknn(r, s, cfg.k, cfg.exclude_self);
         want.sort_by(|a, b| {
@@ -429,8 +499,10 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let p = pts(10, 8);
-        assert!(hnn::<2>(&[], &p, &HnnConfig::default()).results.is_empty());
-        assert!(hnn::<2>(&p, &[], &HnnConfig::default()).results.is_empty());
+        let empty_r = hnn::<2>(&[], &p, &HnnConfig::default()).unwrap();
+        assert!(empty_r.results.is_empty());
+        let empty_s = hnn::<2>(&p, &[], &HnnConfig::default()).unwrap();
+        assert!(empty_s.results.is_empty());
     }
 
     #[test]

@@ -9,9 +9,9 @@
 use crate::index::SpatialIndex;
 use crate::lpq::BoundTracker;
 use crate::node::Entry;
+use crate::resilience::{QueryGuard, QueryResult};
 use crate::scratch::{BestFirstItem, QueryScratch};
 use ann_geom::{kernels, min_min_dist_sq, Mbr, Point, PruneMetric};
-use ann_store::Result;
 
 /// Finds the `k` nearest indexed points to `query`, closest first.
 ///
@@ -22,14 +22,18 @@ use ann_store::Result;
 /// use ann_core::knn::knn;
 /// use ann_core::SpatialIndex;
 /// use ann_geom::{NxnDist, Point};
-/// # fn demo<I: SpatialIndex<2>>(index: &I) -> ann_store::Result<()> {
+/// # fn demo<I: SpatialIndex<2>>(index: &I) -> ann_core::QueryResult<()> {
 /// let hits = knn::<2, NxnDist, _>(index, &Point::new([1.0, 2.0]), 5)?;
 /// for (oid, dist) in hits {
 ///     println!("#{oid} at {dist}");
 /// }
 /// # Ok(()) }
 /// ```
-pub fn knn<const D: usize, M, I>(index: &I, query: &Point<D>, k: usize) -> Result<Vec<(u64, f64)>>
+pub fn knn<const D: usize, M, I>(
+    index: &I,
+    query: &Point<D>,
+    k: usize,
+) -> QueryResult<Vec<(u64, f64)>>
 where
     M: PruneMetric,
     I: SpatialIndex<D>,
@@ -45,12 +49,29 @@ pub fn knn_scratch<const D: usize, M, I>(
     query: &Point<D>,
     k: usize,
     scratch: &mut QueryScratch<D>,
-) -> Result<Vec<(u64, f64)>>
+) -> QueryResult<Vec<(u64, f64)>>
+where
+    M: PruneMetric,
+    I: SpatialIndex<D>,
+{
+    knn_guarded::<D, M, I>(index, query, k, scratch, &QueryGuard::disabled())
+}
+
+/// [`knn_scratch`] under a [`QueryGuard`], consulted before every node
+/// read.
+pub fn knn_guarded<const D: usize, M, I>(
+    index: &I,
+    query: &Point<D>,
+    k: usize,
+    scratch: &mut QueryScratch<D>,
+    guard: &QueryGuard<'_>,
+) -> QueryResult<Vec<(u64, f64)>>
 where
     M: PruneMetric,
     I: SpatialIndex<D>,
 {
     let mut out = Vec::with_capacity(k);
+    guard.tick()?;
     if k == 0 || index.num_points() == 0 {
         return Ok(out);
     }
@@ -88,6 +109,7 @@ where
                 }
             }
             Entry::Node(n) => {
+                guard.tick()?;
                 let node = index.read_node_cached(n.page)?;
                 // Batch the per-entry bounds over the node's SoA columns,
                 // then replay the accept/prune decisions sequentially under
@@ -122,12 +144,27 @@ pub fn within_radius<const D: usize, I>(
     index: &I,
     query: &Point<D>,
     radius: f64,
-) -> Result<Vec<(u64, f64)>>
+) -> QueryResult<Vec<(u64, f64)>>
+where
+    I: SpatialIndex<D>,
+{
+    within_radius_guarded(index, query, radius, &QueryGuard::disabled())
+}
+
+/// [`within_radius`] under a [`QueryGuard`], consulted before every node
+/// read.
+pub fn within_radius_guarded<const D: usize, I>(
+    index: &I,
+    query: &Point<D>,
+    radius: f64,
+    guard: &QueryGuard<'_>,
+) -> QueryResult<Vec<(u64, f64)>>
 where
     I: SpatialIndex<D>,
 {
     assert!(radius >= 0.0, "radius must be non-negative");
     let mut out = Vec::new();
+    guard.tick()?;
     if index.num_points() == 0 {
         return Ok(out);
     }
@@ -135,6 +172,7 @@ where
     let radius_sq = radius * radius;
     let mut stack = vec![index.root_page()];
     while let Some(page) = stack.pop() {
+        guard.tick()?;
         let node = index.read_node_cached(page)?;
         for e in &node.entries {
             match e {

@@ -39,6 +39,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Store-error paths in the traversals must propagate typed errors, not
+// panic: flag any unwrap that sneaks into non-test code.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod bnn;
 pub mod brute;
@@ -53,6 +56,7 @@ pub mod node;
 pub mod node_cache;
 pub mod prelude;
 pub mod query;
+pub mod resilience;
 pub mod scratch;
 pub mod stats;
 pub mod trace;
@@ -62,5 +66,6 @@ pub use node::{DecodedNode, Entry, Node, NodeColumns, NodeEntry, ObjectEntry};
 pub use scratch::QueryScratch;
 pub use node_cache::{NodeCache, NodeCacheStats};
 pub use query::{Algorithm, AnnRequest, MetricChoice};
+pub use resilience::{BudgetKind, CancelToken, QueryError, QueryGuard, QueryResult};
 pub use stats::{AnnOutput, AnnStats, NeighborPair};
 pub use trace::{ExecutionReport, RecordingSink, TraceSink, Tracer};

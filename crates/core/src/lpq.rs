@@ -37,7 +37,10 @@ impl PartialOrd for OrdF64 {
 }
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("bounds are never NaN")
+        // Bounds are never NaN, and the squared distances compared here
+        // are never negative zero, so the total order agrees with the
+        // partial one — without a panic path.
+        self.0.total_cmp(&other.0)
     }
 }
 

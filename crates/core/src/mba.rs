@@ -24,11 +24,11 @@
 use crate::index::SpatialIndex;
 use crate::lpq::{distances_within, Lpq, QueuedEntry};
 use crate::node::{DecodedNode, Entry, NodeEntry};
+use crate::resilience::{attach_partial_stats, QueryError, QueryGuard, QueryResult};
 use crate::scratch::QueryScratch;
 use crate::stats::{AnnOutput, AtomicAnnStats, NeighborPair};
 use crate::trace::{Phase, PruneReason, Side, TraceEvent, Tracer};
 use ann_geom::{kernels, PruneMetric};
-use ann_store::Result;
 use std::collections::VecDeque;
 
 /// Index traversal order for the query-side recursion (§3.3.2).
@@ -200,7 +200,7 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
 
     /// The Gather stage: `lpq.owner` is a data object; drain in `MIND`
     /// order and report the first `k` objects popped.
-    fn gather(&mut self, mut lpq: Lpq<D>) -> Result<()> {
+    fn gather(&mut self, guard: &QueryGuard<'_>, mut lpq: Lpq<D>) -> QueryResult<()> {
         let Entry::Object(owner) = lpq.owner else {
             unreachable!("gather called with a node owner")
         };
@@ -223,6 +223,7 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
                     }
                 }
                 Entry::Node(n) => {
+                    guard.tick()?;
                     let node = self.is.read_node_cached(n.page)?;
                     self.out.stats.s_nodes_expanded += 1;
                     self.tracer.node_expanded(Side::S, n.page, &node.entries);
@@ -250,12 +251,14 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
     fn expand<IR: SpatialIndex<D>>(
         &mut self,
         ir: &IR,
+        guard: &QueryGuard<'_>,
         mut lpq: Lpq<D>,
         queue: &mut VecDeque<Lpq<D>>,
-    ) -> Result<()> {
+    ) -> QueryResult<()> {
         let Entry::Node(owner) = lpq.owner else {
             unreachable!("expand called with an object owner")
         };
+        guard.tick()?;
         let node = ir.read_node_cached(owner.page)?;
         self.out.stats.r_nodes_expanded += 1;
         self.tracer.node_expanded(Side::R, owner.page, &node.entries);
@@ -282,6 +285,7 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
             match (self.cfg.expansion, q.entry) {
                 (Expansion::Bidirectional, Entry::Node(n)) => {
                     // Bi-directional: descend the I_S side one level too.
+                    guard.tick()?;
                     let s_node = self.is.read_node_cached(n.page)?;
                     self.out.stats.s_nodes_expanded += 1;
                     self.tracer.node_expanded(Side::S, n.page, &s_node.entries);
@@ -325,24 +329,38 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
     fn expand_and_prune<IR: SpatialIndex<D>>(
         &mut self,
         ir: &IR,
+        guard: &QueryGuard<'_>,
         lpq: Lpq<D>,
         queue: &mut VecDeque<Lpq<D>>,
-    ) -> Result<()> {
+    ) -> QueryResult<()> {
         match lpq.owner {
-            Entry::Object(_) => self.gather(lpq),
-            Entry::Node(_) => self.expand(ir, lpq, queue),
+            Entry::Object(_) => self.gather(guard, lpq),
+            Entry::Node(_) => self.expand(ir, guard, lpq, queue),
         }
     }
 
     /// `ANN-DFBI` (Algorithm 3): depth-first recursion over child LPQs.
-    fn dfbi<IR: SpatialIndex<D>>(&mut self, ir: &IR, lpq: Lpq<D>) -> Result<()> {
+    fn dfbi<IR: SpatialIndex<D>>(
+        &mut self,
+        ir: &IR,
+        guard: &QueryGuard<'_>,
+        lpq: Lpq<D>,
+    ) -> QueryResult<()> {
         let mut queue = self.scratch.take_lpq_queue();
-        self.expand_and_prune(ir, lpq, &mut queue)?;
-        while let Some(child) = queue.pop_front() {
-            self.dfbi(ir, child)?;
+        let walk = (|| -> QueryResult<()> {
+            self.expand_and_prune(ir, guard, lpq, &mut queue)?;
+            while let Some(child) = queue.pop_front() {
+                self.dfbi(ir, guard, child)?;
+            }
+            Ok(())
+        })();
+        // On abort the queue may still hold live LPQs; hand their storage
+        // (and the queue itself) back so the scratch stays reusable.
+        for child in queue.drain(..) {
+            self.scratch.put_entries(child.into_storage());
         }
         self.scratch.put_lpq_queue(queue);
-        Ok(())
+        walk
     }
 
     /// Emits this context's prune-reason breakdown. Safe to call from
@@ -376,7 +394,7 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
 /// With the default configuration this is the paper's MBA/RBA algorithm
 /// (depth-first, bi-directional); other [`Traversal`] × [`Expansion`]
 /// combinations reproduce the §3.3.2 design-space ablation.
-pub fn mba<const D: usize, M, IR, IS>(ir: &IR, is: &IS, cfg: &MbaConfig) -> Result<AnnOutput>
+pub fn mba<const D: usize, M, IR, IS>(ir: &IR, is: &IS, cfg: &MbaConfig) -> QueryResult<AnnOutput>
 where
     M: PruneMetric,
     IR: SpatialIndex<D>,
@@ -393,7 +411,7 @@ pub fn mba_traced<const D: usize, M, IR, IS>(
     is: &IS,
     cfg: &MbaConfig,
     tracer: Tracer<'_>,
-) -> Result<AnnOutput>
+) -> QueryResult<AnnOutput>
 where
     M: PruneMetric,
     IR: SpatialIndex<D>,
@@ -410,7 +428,7 @@ pub fn mba_scratch<const D: usize, M, IR, IS>(
     is: &IS,
     cfg: &MbaConfig,
     scratch: &mut QueryScratch<D>,
-) -> Result<AnnOutput>
+) -> QueryResult<AnnOutput>
 where
     M: PruneMetric,
     IR: SpatialIndex<D>,
@@ -419,21 +437,50 @@ where
     mba_traced_scratch::<D, M, IR, IS>(ir, is, cfg, Tracer::disabled(), scratch)
 }
 
-/// [`mba_traced`] with a caller-owned [`QueryScratch`] — the fully general
-/// serial entrypoint the other serial variants delegate to.
+/// [`mba_traced`] with a caller-owned [`QueryScratch`] — delegates to
+/// [`mba_guarded`] with resilience checks disabled.
 pub fn mba_traced_scratch<const D: usize, M, IR, IS>(
     ir: &IR,
     is: &IS,
     cfg: &MbaConfig,
     tracer: Tracer<'_>,
     scratch: &mut QueryScratch<D>,
-) -> Result<AnnOutput>
+) -> QueryResult<AnnOutput>
+where
+    M: PruneMetric,
+    IR: SpatialIndex<D>,
+    IS: SpatialIndex<D>,
+{
+    mba_guarded::<D, M, IR, IS>(ir, is, cfg, tracer, scratch, &QueryGuard::disabled())
+}
+
+/// [`mba_traced_scratch`] under a [`QueryGuard`] — the fully general serial
+/// entrypoint the other serial variants delegate to.
+///
+/// The guard is consulted once before the traversal starts (so a
+/// pre-cancelled request returns without touching either index) and then
+/// before every node read, bounding abort latency to one node expansion.
+/// On abort the open trace spans are closed, a
+/// [`TraceEvent::QueryAborted`] records the reason and phase, every
+/// checked-out scratch buffer returns to the arena, and — because node
+/// reads pin pages only for the duration of the copy — no buffer-pool pin
+/// outlives the call. [`QueryError::BudgetExhausted`] carries the counters
+/// accumulated up to the abort point.
+pub fn mba_guarded<const D: usize, M, IR, IS>(
+    ir: &IR,
+    is: &IS,
+    cfg: &MbaConfig,
+    tracer: Tracer<'_>,
+    scratch: &mut QueryScratch<D>,
+    guard: &QueryGuard<'_>,
+) -> QueryResult<AnnOutput>
 where
     M: PruneMetric,
     IR: SpatialIndex<D>,
     IS: SpatialIndex<D>,
 {
     if cfg.k == 0 {
+        guard.tick()?;
         return Ok(AnnOutput::default());
     }
     let mut ctx: Ctx<D, M, IS> = Ctx::new(is, cfg, tracer, scratch);
@@ -452,8 +499,13 @@ where
         io
     };
     let span_q = tracer.span_enter(Phase::Query, io_now);
+    let abort_phase = std::cell::Cell::new(Phase::Query.name());
 
-    if ir.num_points() > 0 && is.num_points() > 0 {
+    let walk = (|ctx: &mut Ctx<D, M, IS>| -> QueryResult<()> {
+        guard.tick()?;
+        if ir.num_points() == 0 || is.num_points() == 0 {
+            return Ok(());
+        }
         tracer.event(|| TraceEvent::Root {
             side: Side::R,
             page: ir.root_page(),
@@ -463,6 +515,7 @@ where
             page: is.root_page(),
         });
         let span_j = tracer.span_enter(Phase::Join, io_now);
+        abort_phase.set(Phase::Join.name());
         // Algorithm 2: root LPQ owns I_R's root, seeded with I_S's root.
         let root_owner = Entry::Node(NodeEntry {
             page: ir.root_page(),
@@ -481,21 +534,30 @@ where
 
         let mut queue = ctx.scratch.take_lpq_queue();
         queue.push_back(root_lpq);
-        match cfg.traversal {
-            Traversal::DepthFirst => {
-                while let Some(lpq) = queue.pop_front() {
-                    ctx.dfbi(ir, lpq)?;
+        let join = (|| -> QueryResult<()> {
+            match cfg.traversal {
+                Traversal::DepthFirst => {
+                    while let Some(lpq) = queue.pop_front() {
+                        ctx.dfbi(ir, guard, lpq)?;
+                    }
+                }
+                Traversal::BreadthFirst => {
+                    while let Some(lpq) = queue.pop_front() {
+                        ctx.expand_and_prune(ir, guard, lpq, &mut queue)?;
+                    }
                 }
             }
-            Traversal::BreadthFirst => {
-                while let Some(lpq) = queue.pop_front() {
-                    ctx.expand_and_prune(ir, lpq, &mut queue)?;
-                }
-            }
+            Ok(())
+        })();
+        // On abort the queue may still hold live LPQs; recycle them so the
+        // scratch arena is fully reusable by the next query.
+        for lpq in queue.drain(..) {
+            ctx.scratch.put_entries(lpq.into_storage());
         }
         ctx.scratch.put_lpq_queue(queue);
         tracer.span_exit(Phase::Join, span_j, io_now);
-    }
+        join
+    })(&mut ctx);
 
     ctx.emit_prune_summary();
     tracer.span_exit(Phase::Query, span_q, io_now);
@@ -506,7 +568,16 @@ where
     }
     let mut out = ctx.finish();
     out.stats.io = io;
-    Ok(out)
+    match walk {
+        Ok(()) => Ok(out),
+        Err(e) => {
+            tracer.event(|| TraceEvent::QueryAborted {
+                reason: e.reason(),
+                phase: abort_phase.get(),
+            });
+            Err(attach_partial_stats(e, &out.stats))
+        }
+    }
 }
 
 /// Parallel MBA: identical results to [`mba`], with the depth-first
@@ -528,7 +599,7 @@ pub fn mba_parallel<const D: usize, M, IR, IS>(
     is: &IS,
     cfg: &MbaConfig,
     threads: usize,
-) -> Result<AnnOutput>
+) -> QueryResult<AnnOutput>
 where
     M: PruneMetric,
     IR: SpatialIndex<D> + Sync,
@@ -547,13 +618,38 @@ pub fn mba_parallel_traced<const D: usize, M, IR, IS>(
     cfg: &MbaConfig,
     threads: usize,
     tracer: Tracer<'_>,
-) -> Result<AnnOutput>
+) -> QueryResult<AnnOutput>
+where
+    M: PruneMetric,
+    IR: SpatialIndex<D> + Sync,
+    IS: SpatialIndex<D> + Sync,
+{
+    mba_parallel_guarded::<D, M, IR, IS>(ir, is, cfg, threads, tracer, &QueryGuard::disabled())
+}
+
+/// [`mba_parallel_traced`] under a [`QueryGuard`].
+///
+/// The guard's counters are interior atomics, so the one guard is shared
+/// by every worker: a deadline, cancellation or budget trip observed by
+/// any worker is observed by all of them within one node expansion. The
+/// first error (in worker index order) is the one reported; its partial
+/// stats cover the seeding phase plus every worker that completed or
+/// aborted cleanly enough to fold its tallies.
+pub fn mba_parallel_guarded<const D: usize, M, IR, IS>(
+    ir: &IR,
+    is: &IS,
+    cfg: &MbaConfig,
+    threads: usize,
+    tracer: Tracer<'_>,
+    guard: &QueryGuard<'_>,
+) -> QueryResult<AnnOutput>
 where
     M: PruneMetric,
     IR: SpatialIndex<D> + Sync,
     IS: SpatialIndex<D> + Sync,
 {
     if cfg.k == 0 {
+        guard.tick()?;
         return Ok(AnnOutput::default());
     }
     let threads = if threads == 0 {
@@ -578,6 +674,8 @@ where
         io
     };
     let span_q = tracer.span_enter(Phase::Query, io_now);
+    let abort_phase = std::cell::Cell::new(Phase::Query.name());
+    let mut failure: Option<QueryError> = None;
 
     let mut out = AnnOutput::default();
     if ir.num_points() > 0 && is.num_points() > 0 {
@@ -590,6 +688,7 @@ where
             page: is.root_page(),
         });
         let span_seed = tracer.span_enter(Phase::Seed, io_now);
+        abort_phase.set(Phase::Seed.name());
         // Serial seeding phase: expand breadth-first until there are
         // enough independent LPQ subtrees to keep the workers busy.
         // Spatial data is heavy-tailed (a few dense cells own most of the
@@ -597,33 +696,38 @@ where
         // units; descending a couple of levels does.
         let mut seed_scratch = QueryScratch::new();
         let mut ctx: Ctx<D, M, IS> = Ctx::new(is, cfg, tracer, &mut seed_scratch);
-        let root_owner = Entry::Node(NodeEntry {
-            page: ir.root_page(),
-            count: ir.num_points(),
-            mbr: ir.bounds(),
-        });
-        let storage = ctx.scratch.take_entries();
-        let mut root_lpq = Lpq::new_in(root_owner, ctx.k_eff, f64::INFINITY, storage);
-        ctx.out.stats.lpqs_created += 1;
-        ctx.probe(
-            &mut root_lpq,
-            Entry::Node(NodeEntry {
-                page: is.root_page(),
-                count: is.num_points(),
-                mbr: is.bounds(),
-            }),
-        );
-        let target_units = threads * 16;
         let mut queue = VecDeque::new();
-        queue.push_back(root_lpq);
-        while queue.len() < target_units {
-            // Only node-owned LPQs can be expanded into more units.
-            let Some(at) = queue.iter().position(|l| matches!(l.owner, Entry::Node(_))) else {
-                break;
-            };
-            let lpq = queue.remove(at).expect("position just found");
-            ctx.expand_and_prune(ir, lpq, &mut queue)?;
-        }
+        let seeded = (|ctx: &mut Ctx<D, M, IS>| -> QueryResult<()> {
+            guard.tick()?;
+            let root_owner = Entry::Node(NodeEntry {
+                page: ir.root_page(),
+                count: ir.num_points(),
+                mbr: ir.bounds(),
+            });
+            let storage = ctx.scratch.take_entries();
+            let mut root_lpq = Lpq::new_in(root_owner, ctx.k_eff, f64::INFINITY, storage);
+            ctx.out.stats.lpqs_created += 1;
+            ctx.probe(
+                &mut root_lpq,
+                Entry::Node(NodeEntry {
+                    page: is.root_page(),
+                    count: is.num_points(),
+                    mbr: is.bounds(),
+                }),
+            );
+            let target_units = threads * 16;
+            queue.push_back(root_lpq);
+            while queue.len() < target_units {
+                // Only node-owned LPQs can be expanded into more units.
+                let Some(at) = queue.iter().position(|l| matches!(l.owner, Entry::Node(_)))
+                else {
+                    break;
+                };
+                let Some(lpq) = queue.remove(at) else { break };
+                ctx.expand_and_prune(ir, guard, lpq, &mut queue)?;
+            }
+            Ok(())
+        })(&mut ctx);
         ctx.emit_prune_summary();
         tracer.span_exit(Phase::Seed, span_seed, io_now);
         // Per-thread counters fold into one set of relaxed atomics —
@@ -635,57 +739,91 @@ where
         let seed_stats = seed_out.stats;
         out.results = seed_out.results;
 
-        let span_j = tracer.span_enter(Phase::Join, io_now);
-        // Dynamic scheduling: workers pull the next unit from a shared
-        // queue, so one dense subtree cannot starve the rest.
-        let work = std::sync::Mutex::new(queue);
-        let shared_stats = &shared_stats;
-        let results: Vec<Result<(Vec<crate::stats::NeighborPair>, crate::stats::AnnStats)>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        scope.spawn(
-                            |_| -> Result<(Vec<crate::stats::NeighborPair>, crate::stats::AnnStats)> {
-                                let mut scratch = QueryScratch::new();
-                                let mut ctx: Ctx<D, M, IS> =
-                                    Ctx::new(is, cfg, tracer, &mut scratch);
-                                loop {
-                                    let unit = work.lock().expect("work queue").pop_front();
-                                    match unit {
-                                        Some(lpq) => ctx.dfbi(ir, lpq)?,
-                                        None => break,
-                                    }
-                                }
-                                ctx.emit_prune_summary();
-                                let wout = ctx.finish();
-                                shared_stats.add(&wout.stats);
-                                Ok((wout.results, wout.stats))
-                            },
-                        )
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker thread panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope");
+        match seeded {
+            Err(e) => {
+                drop(queue);
+                out.stats = seed_stats;
+                failure = Some(e);
+            }
+            Ok(()) => {
+                let span_j = tracer.span_enter(Phase::Join, io_now);
+                abort_phase.set(Phase::Join.name());
+                // Dynamic scheduling: workers pull the next unit from a
+                // shared queue, so one dense subtree cannot starve the rest.
+                let work = std::sync::Mutex::new(queue);
+                let shared_stats = &shared_stats;
+                let results: Vec<
+                    QueryResult<(Vec<crate::stats::NeighborPair>, crate::stats::AnnStats)>,
+                > = crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            scope.spawn(
+                                |_| -> QueryResult<(
+                                    Vec<crate::stats::NeighborPair>,
+                                    crate::stats::AnnStats,
+                                )> {
+                                    let mut scratch = QueryScratch::new();
+                                    let mut ctx: Ctx<D, M, IS> =
+                                        Ctx::new(is, cfg, tracer, &mut scratch);
+                                    let walk = loop {
+                                        let unit = work
+                                            .lock()
+                                            .unwrap_or_else(|e| e.into_inner())
+                                            .pop_front();
+                                        match unit {
+                                            Some(lpq) => {
+                                                if let Err(e) = ctx.dfbi(ir, guard, lpq) {
+                                                    break Err(e);
+                                                }
+                                            }
+                                            None => break Ok(()),
+                                        }
+                                    };
+                                    // Even an aborting worker folds its tallies
+                                    // and emits its prune summary, so partial
+                                    // stats account for all work actually done.
+                                    ctx.emit_prune_summary();
+                                    let wout = ctx.finish();
+                                    shared_stats.add(&wout.stats);
+                                    walk.map(|()| (wout.results, wout.stats))
+                                },
+                            )
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker thread panicked"))
+                        .collect()
+                })
+                .expect("crossbeam scope");
 
-        // The atomic fold and the per-worker returns are two accounts of
-        // the same work; they must agree exactly (the seeding phase and
-        // the workers never race on a counter they both own).
-        let mut per_worker_sum = seed_stats;
-        for r in results {
-            let (pairs, worker_stats) = r?;
-            out.results.extend(pairs);
-            per_worker_sum.merge(&worker_stats);
+                // The atomic fold and the per-worker returns are two accounts
+                // of the same work; they must agree exactly (the seeding phase
+                // and the workers never race on a counter they both own).
+                let mut per_worker_sum = seed_stats;
+                let mut complete = true;
+                for r in results {
+                    match r {
+                        Ok((pairs, worker_stats)) => {
+                            out.results.extend(pairs);
+                            per_worker_sum.merge(&worker_stats);
+                        }
+                        Err(e) => {
+                            complete = false;
+                            if failure.is_none() {
+                                failure = Some(e);
+                            }
+                        }
+                    }
+                }
+                out.stats = shared_stats.load();
+                debug_assert!(
+                    !complete || out.stats == per_worker_sum,
+                    "atomic fold diverged from the sum of per-worker stats"
+                );
+                tracer.span_exit(Phase::Join, span_j, io_now);
+            }
         }
-        out.stats = shared_stats.load();
-        debug_assert_eq!(
-            out.stats, per_worker_sum,
-            "atomic fold diverged from the sum of per-worker stats"
-        );
-        tracer.span_exit(Phase::Join, span_j, io_now);
     }
     tracer.span_exit(Phase::Query, span_q, io_now);
 
@@ -694,5 +832,14 @@ where
         io = io.merge(&is.pool().stats().since(&io_s0));
     }
     out.stats.io = io;
-    Ok(out)
+    match failure {
+        None => Ok(out),
+        Some(e) => {
+            tracer.event(|| TraceEvent::QueryAborted {
+                reason: e.reason(),
+                phase: abort_phase.get(),
+            });
+            Err(attach_partial_stats(e, &out.stats))
+        }
+    }
 }

@@ -12,11 +12,11 @@
 use crate::index::SpatialIndex;
 use crate::lpq::BoundTracker;
 use crate::node::Entry;
+use crate::resilience::{attach_partial_stats, QueryGuard, QueryResult};
 use crate::scratch::{BestFirstItem, QueryScratch};
 use crate::stats::{AnnOutput, NeighborPair};
 use crate::trace::{Phase, PruneReason, Side, TraceEvent, Tracer};
 use ann_geom::{kernels, min_min_dist_sq, Mbr, Point, PruneMetric};
-use ann_store::Result;
 
 /// Configuration for [`mnn`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,7 +38,7 @@ impl Default for MnnConfig {
 
 /// Evaluates AkNN by running an independent best-first kNN search on `is`
 /// for every object indexed by `ir`.
-pub fn mnn<const D: usize, M, IR, IS>(ir: &IR, is: &IS, cfg: &MnnConfig) -> Result<AnnOutput>
+pub fn mnn<const D: usize, M, IR, IS>(ir: &IR, is: &IS, cfg: &MnnConfig) -> QueryResult<AnnOutput>
 where
     M: PruneMetric,
     IR: SpatialIndex<D>,
@@ -54,7 +54,7 @@ pub fn mnn_traced<const D: usize, M, IR, IS>(
     is: &IS,
     cfg: &MnnConfig,
     tracer: Tracer<'_>,
-) -> Result<AnnOutput>
+) -> QueryResult<AnnOutput>
 where
     M: PruneMetric,
     IR: SpatialIndex<D>,
@@ -72,13 +72,33 @@ pub fn mnn_traced_scratch<const D: usize, M, IR, IS>(
     cfg: &MnnConfig,
     tracer: Tracer<'_>,
     scratch: &mut QueryScratch<D>,
-) -> Result<AnnOutput>
+) -> QueryResult<AnnOutput>
+where
+    M: PruneMetric,
+    IR: SpatialIndex<D>,
+    IS: SpatialIndex<D>,
+{
+    mnn_guarded::<D, M, IR, IS>(ir, is, cfg, tracer, scratch, &QueryGuard::disabled())
+}
+
+/// [`mnn_traced_scratch`] under a [`QueryGuard`], consulted before every
+/// node read on either side. Aborts close the open spans, record a
+/// [`TraceEvent::QueryAborted`], and report the stats accumulated so far.
+pub fn mnn_guarded<const D: usize, M, IR, IS>(
+    ir: &IR,
+    is: &IS,
+    cfg: &MnnConfig,
+    tracer: Tracer<'_>,
+    scratch: &mut QueryScratch<D>,
+    guard: &QueryGuard<'_>,
+) -> QueryResult<AnnOutput>
 where
     M: PruneMetric,
     IR: SpatialIndex<D>,
     IS: SpatialIndex<D>,
 {
     if cfg.k == 0 {
+        guard.tick()?;
         return Ok(AnnOutput::default());
     }
     let mut out = AnnOutput::default();
@@ -96,8 +116,13 @@ where
         io
     };
     let span_q = tracer.span_enter(Phase::Query, io_now);
+    let abort_phase = std::cell::Cell::new(Phase::Query.name());
 
-    if ir.num_points() > 0 && is.num_points() > 0 {
+    let walk = (|out: &mut AnnOutput| -> QueryResult<()> {
+        guard.tick()?;
+        if ir.num_points() == 0 || is.num_points() == 0 {
+            return Ok(());
+        }
         tracer.event(|| TraceEvent::Root {
             side: Side::R,
             page: ir.root_page(),
@@ -107,32 +132,39 @@ where
             page: is.root_page(),
         });
         let span_j = tracer.span_enter(Phase::Join, io_now);
+        abort_phase.set(Phase::Join.name());
         let mut cutoff_total = 0u64;
         // Depth-first walk of I_R: queries in index (spatial) order.
         let mut stack = scratch.take_pages();
-        stack.push(ir.root_page());
-        while let Some(page) = stack.pop() {
-            let node = ir.read_node_cached(page)?;
-            out.stats.r_nodes_expanded += 1;
-            tracer.node_expanded(Side::R, page, &node.entries);
-            for e in &node.entries {
-                match e {
-                    Entry::Node(n) => stack.push(n.page),
-                    Entry::Object(o) => {
-                        knn_search::<D, M, IS>(
-                            is,
-                            o.oid,
-                            &o.point,
-                            cfg,
-                            &mut out,
-                            tracer,
-                            &mut cutoff_total,
-                            scratch,
-                        )?;
+        let join = (|| -> QueryResult<()> {
+            stack.push(ir.root_page());
+            while let Some(page) = stack.pop() {
+                guard.tick()?;
+                let node = ir.read_node_cached(page)?;
+                out.stats.r_nodes_expanded += 1;
+                tracer.node_expanded(Side::R, page, &node.entries);
+                for e in &node.entries {
+                    match e {
+                        Entry::Node(n) => stack.push(n.page),
+                        Entry::Object(o) => {
+                            knn_search::<D, M, IS>(
+                                is,
+                                o.oid,
+                                &o.point,
+                                cfg,
+                                out,
+                                tracer,
+                                &mut cutoff_total,
+                                scratch,
+                                guard,
+                            )?;
+                        }
                     }
                 }
             }
-        }
+            Ok(())
+        })();
+        stack.clear();
         scratch.put_pages(stack);
         if tracer.enabled() {
             for (reason, count) in [
@@ -149,7 +181,8 @@ where
             }
         }
         tracer.span_exit(Phase::Join, span_j, io_now);
-    }
+        join
+    })(&mut out);
     tracer.span_exit(Phase::Query, span_q, io_now);
 
     let mut io = ir.pool().stats().since(&io_r0);
@@ -157,7 +190,16 @@ where
         io = io.merge(&is.pool().stats().since(&io_s0));
     }
     out.stats.io = io;
-    Ok(out)
+    match walk {
+        Ok(()) => Ok(out),
+        Err(e) => {
+            tracer.event(|| TraceEvent::QueryAborted {
+                reason: e.reason(),
+                phase: abort_phase.get(),
+            });
+            Err(attach_partial_stats(e, &out.stats))
+        }
+    }
 }
 
 /// One best-first (Hjaltason-Samet) kNN search from `point` over `is`,
@@ -173,7 +215,8 @@ fn knn_search<const D: usize, M, IS>(
     tracer: Tracer<'_>,
     cutoff_total: &mut u64,
     scratch: &mut QueryScratch<D>,
-) -> Result<()>
+    guard: &QueryGuard<'_>,
+) -> QueryResult<()>
 where
     M: PruneMetric,
     IS: SpatialIndex<D>,
@@ -231,6 +274,7 @@ where
                 }
             }
             Entry::Node(n) => {
+                guard.tick()?;
                 let node = is.read_node_cached(n.page)?;
                 out.stats.s_nodes_expanded += 1;
                 tracer.node_expanded(Side::S, n.page, &node.entries);

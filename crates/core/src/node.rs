@@ -333,14 +333,27 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(array4(self.take(4)?)))
     }
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(array8(self.take(8)?)))
     }
     fn f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(array8(self.take(8)?)))
     }
+}
+
+/// First four bytes of `s` as an array (`s` is always at least that long
+/// at the call sites — the cursor checked).
+#[inline]
+fn array4(s: &[u8]) -> [u8; 4] {
+    [s[0], s[1], s[2], s[3]]
+}
+
+/// First eight bytes of `s` as an array.
+#[inline]
+fn array8(s: &[u8]) -> [u8; 8] {
+    [s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]
 }
 
 fn encode_mbr<const D: usize>(buf: &mut Vec<u8>, mbr: &Mbr<D>) {
@@ -431,12 +444,12 @@ pub fn write_node<const D: usize>(
         let existing_next = store.with_page(page, |bytes| {
             if is_first {
                 if bytes[0] == VERSION {
-                    u32::from_le_bytes(bytes[8..12].try_into().unwrap())
+                    u32::from_le_bytes(array4(&bytes[8..12]))
                 } else {
                     INVALID_PAGE
                 }
-            } else if u32::from_le_bytes(bytes[4..8].try_into().unwrap()) == CONT_MAGIC {
-                u32::from_le_bytes(bytes[0..4].try_into().unwrap())
+            } else if u32::from_le_bytes(array4(&bytes[4..8])) == CONT_MAGIC {
+                u32::from_le_bytes(array4(&bytes[0..4]))
             } else {
                 INVALID_PAGE
             }
@@ -484,8 +497,8 @@ pub fn read_node<const D: usize>(store: &impl PageStore, first_page: PageId) -> 
                 _ => return Err(StoreError::corrupt_page(first_page, "bad leaf flag")),
             };
             let aux = bytes[2];
-            let entry_count = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
-            let next = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+            let entry_count = u32::from_le_bytes(array4(&bytes[4..8])) as usize;
+            let next = u32::from_le_bytes(array4(&bytes[8..12]));
             let mut c = Cursor {
                 bytes,
                 at: FIRST_HEADER,
@@ -509,7 +522,7 @@ pub fn read_node<const D: usize>(store: &impl PageStore, first_page: PageId) -> 
             ));
         }
         next = store.with_page(next, |bytes| {
-            let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+            let n = u32::from_le_bytes(array4(&bytes[0..4]));
             let here = (total - stream.len()).min(PAGE_SIZE - CONT_HEADER);
             stream.extend_from_slice(&bytes[CONT_HEADER..CONT_HEADER + here]);
             n

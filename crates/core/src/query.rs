@@ -14,24 +14,53 @@
 //!
 //! ```no_run
 //! use ann_core::prelude::*;
-//! # fn demo<I: SpatialIndex<2> + Sync>(ir: &I, is: &I) -> ann_store::Result<()> {
+//! # fn demo<I: SpatialIndex<2> + Sync>(ir: &I, is: &I) -> ann_core::QueryResult<()> {
 //! let out = AnnRequest::new(Algorithm::mba())
 //!     .k(10)
 //!     .metric(MetricChoice::Nxn)
 //!     .run(Input::Index(ir), Input::Index(is))?;
 //! # let _ = out; Ok(()) }
 //! ```
+//!
+//! # Resilience
+//!
+//! A request also carries the query-resilience knobs: a deadline, a
+//! shareable [`CancelToken`], I/O and node-visit budgets, and a
+//! per-request transient-fault [`RetryPolicy`]. All of them default to
+//! off, in which case the traversals run their original fault-free fast
+//! path. See [`crate::resilience`] for the abort taxonomy and guarantees.
+//!
+//! ```no_run
+//! use ann_core::prelude::*;
+//! use std::time::Duration;
+//! # fn demo<I: SpatialIndex<2> + Sync>(ir: &I, is: &I) -> ann_core::QueryResult<()> {
+//! let cancel = CancelToken::new();
+//! let out = AnnRequest::new(Algorithm::mba())
+//!     .deadline_in(Duration::from_secs(30))
+//!     .cancel_token(cancel.clone()) // another thread may cancel() it
+//!     .io_budget(50_000)
+//!     .run(Input::Index(ir), Input::Index(is));
+//! match out {
+//!     Ok(out) => println!("{} pairs", out.results.len()),
+//!     Err(QueryError::DeadlineExceeded) => println!("too slow, shed"),
+//!     Err(e) => return Err(e),
+//! }
+//! # Ok(()) }
+//! ```
 
-use crate::bnn::{bnn_traced, BnnConfig};
-use crate::hnn::{hnn_traced, HnnConfig};
+use crate::bnn::{bnn_guarded, BnnConfig};
+use crate::hnn::{hnn_guarded, HnnConfig};
 use crate::index::{collect_objects, SpatialIndex};
-use crate::mba::{mba_parallel_traced, mba_traced, Expansion, MbaConfig, Traversal};
-use crate::mnn::{mnn_traced, MnnConfig};
+use crate::mba::{mba_guarded, mba_parallel_guarded, Expansion, MbaConfig, Traversal};
+use crate::mnn::{mnn_guarded, MnnConfig};
 use crate::node_cache::NodeCache;
+use crate::resilience::{CancelToken, QueryGuard, QueryResult, RetryOverride};
+use crate::scratch::QueryScratch;
 use crate::stats::AnnOutput;
 use crate::trace::{TraceSink, Tracer};
 use ann_geom::{MaxMaxDist, Mbr, NxnDist, Point, PruneMetric};
-use ann_store::{BufferPool, PageId, Result};
+use ann_store::{BufferPool, PageId, RetryPolicy};
+use std::time::{Duration, Instant};
 
 /// Which pruning metric bounds the search (Figure 3(a)'s comparison).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -170,7 +199,7 @@ impl<const D: usize> SpatialIndex<D> for NoIndex {
 ///
 /// Build with [`AnnRequest::new`] and the chained setters, then call
 /// [`run`](AnnRequest::run) (or the free function [`run`]).
-#[derive(Clone, Copy)]
+#[derive(Clone)]
 pub struct AnnRequest<'a> {
     /// Neighbors per query object (`1` = plain ANN).
     pub k: usize,
@@ -181,18 +210,36 @@ pub struct AnnRequest<'a> {
     pub metric: MetricChoice,
     /// Algorithm and its method-specific knobs.
     pub algorithm: Algorithm,
+    /// Abort with [`crate::QueryError::DeadlineExceeded`] once this
+    /// instant passes (checked at node-expansion granularity).
+    pub deadline: Option<Instant>,
+    /// Abort with [`crate::QueryError::BudgetExhausted`] after this many
+    /// physical page reads attributable to the query.
+    pub io_budget: Option<u64>,
+    /// Abort with [`crate::QueryError::BudgetExhausted`] after this many
+    /// node expansions.
+    pub visit_budget: Option<u64>,
+    /// Transient-fault retry policy applied to the touched pools for the
+    /// duration of the query (restored afterwards, error or not).
+    pub retry: Option<RetryPolicy>,
+    cancel: Option<CancelToken>,
     tracer: Tracer<'a>,
 }
 
 impl<'a> AnnRequest<'a> {
     /// A request for `algorithm` with `k = 1`, no self-exclusion,
-    /// NXNDIST, and tracing disabled.
+    /// NXNDIST, tracing disabled, and no resilience limits.
     pub fn new(algorithm: Algorithm) -> Self {
         AnnRequest {
             k: 1,
             exclude_self: false,
             metric: MetricChoice::default(),
             algorithm,
+            deadline: None,
+            io_budget: None,
+            visit_budget: None,
+            retry: None,
+            cancel: None,
             tracer: Tracer::disabled(),
         }
     }
@@ -222,6 +269,44 @@ impl<'a> AnnRequest<'a> {
         self
     }
 
+    /// Aborts the query once `deadline` passes.
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Aborts the query `timeout` from now — sugar for
+    /// [`deadline`](AnnRequest::deadline).
+    pub fn deadline_in(self, timeout: Duration) -> Self {
+        self.deadline(Instant::now() + timeout)
+    }
+
+    /// Attaches a cancellation token; keep a clone to cancel the running
+    /// query from another thread.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Caps the query's physical page reads.
+    pub fn io_budget(mut self, pages: u64) -> Self {
+        self.io_budget = Some(pages);
+        self
+    }
+
+    /// Caps the query's node expansions.
+    pub fn visit_budget(mut self, nodes: u64) -> Self {
+        self.visit_budget = Some(nodes);
+        self
+    }
+
+    /// Overrides the transient-fault retry policy on the pools this query
+    /// touches, for the duration of the query.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
     /// The tracer this request will thread through the algorithm.
     pub fn tracer(&self) -> Tracer<'a> {
         self.tracer
@@ -232,7 +317,7 @@ impl<'a> AnnRequest<'a> {
         &self,
         r: Input<'_, D, IR>,
         s: Input<'_, D, IS>,
-    ) -> Result<AnnOutput>
+    ) -> QueryResult<AnnOutput>
     where
         IR: SpatialIndex<D> + Sync,
         IS: SpatialIndex<D> + Sync,
@@ -248,6 +333,11 @@ impl std::fmt::Debug for AnnRequest<'_> {
             .field("exclude_self", &self.exclude_self)
             .field("metric", &self.metric)
             .field("algorithm", &self.algorithm)
+            .field("deadline", &self.deadline)
+            .field("cancellable", &self.cancel.is_some())
+            .field("io_budget", &self.io_budget)
+            .field("visit_budget", &self.visit_budget)
+            .field("retry", &self.retry)
             .field("traced", &self.tracer.enabled())
             .finish()
     }
@@ -275,7 +365,7 @@ pub fn run<const D: usize, IR, IS>(
     req: &AnnRequest<'_>,
     r: Input<'_, D, IR>,
     s: Input<'_, D, IS>,
-) -> Result<AnnOutput>
+) -> QueryResult<AnnOutput>
 where
     IR: SpatialIndex<D> + Sync,
     IS: SpatialIndex<D> + Sync,
@@ -290,13 +380,31 @@ fn run_with_metric<const D: usize, M, IR, IS>(
     req: &AnnRequest<'_>,
     r: Input<'_, D, IR>,
     s: Input<'_, D, IS>,
-) -> Result<AnnOutput>
+) -> QueryResult<AnnOutput>
 where
     M: PruneMetric,
     IR: SpatialIndex<D> + Sync,
     IS: SpatialIndex<D> + Sync,
 {
     let tracer = req.tracer;
+    // The pools the query will touch: the guard charges their physical
+    // reads against the I/O budget and the retry override applies there.
+    let mut pools: Vec<&BufferPool> = Vec::with_capacity(2);
+    if let Input::Index(ir) = &r {
+        pools.push(ir.pool());
+    }
+    if let Input::Index(is) = &s {
+        pools.push(is.pool());
+    }
+    let guard = QueryGuard::new(
+        req.cancel.clone(),
+        req.deadline,
+        req.visit_budget,
+        req.io_budget,
+        &pools,
+    );
+    guard.preflight()?;
+    let _retry = req.retry.map(|policy| RetryOverride::apply(&pools, policy));
     match req.algorithm {
         Algorithm::Mba {
             traversal,
@@ -316,9 +424,9 @@ where
                 exclude_self: req.exclude_self,
             };
             if threads == 1 {
-                mba_traced::<D, M, IR, IS>(ir, is, &cfg, tracer)
+                mba_guarded::<D, M, IR, IS>(ir, is, &cfg, tracer, &mut QueryScratch::new(), &guard)
             } else {
-                mba_parallel_traced::<D, M, IR, IS>(ir, is, &cfg, threads, tracer)
+                mba_parallel_guarded::<D, M, IR, IS>(ir, is, &cfg, threads, tracer, &guard)
             }
         }
         Algorithm::Bnn { group_size } => {
@@ -338,7 +446,7 @@ where
                     &collected
                 }
             };
-            bnn_traced::<D, M, IS>(r_pts, is, &cfg, tracer)
+            bnn_guarded::<D, M, IS>(r_pts, is, &cfg, tracer, &mut QueryScratch::new(), &guard)
         }
         Algorithm::Mnn => {
             let Input::Index(ir) = r else {
@@ -351,7 +459,7 @@ where
                 k: req.k,
                 exclude_self: req.exclude_self,
             };
-            mnn_traced::<D, M, IR, IS>(ir, is, &cfg, tracer)
+            mnn_guarded::<D, M, IR, IS>(ir, is, &cfg, tracer, &mut QueryScratch::new(), &guard)
         }
         Algorithm::Hnn { avg_cell_occupancy } => {
             let cfg = HnnConfig {
@@ -375,7 +483,7 @@ where
                     &s_collected
                 }
             };
-            Ok(hnn_traced(r_pts, s_pts, &cfg, tracer))
+            hnn_guarded(r_pts, s_pts, &cfg, tracer, &mut QueryScratch::new(), &guard)
         }
     }
 }

@@ -196,6 +196,16 @@ pub enum TraceEvent {
         /// Nodes the level contains.
         nodes: u64,
     },
+    /// The query aborted instead of completing: cancellation, deadline,
+    /// budget exhaustion, or a storage failure that survived the retry
+    /// policy. Emitted once by the traversal entrypoint, after closing
+    /// its open spans.
+    QueryAborted {
+        /// Stable abort label ([`crate::QueryError::reason`]).
+        reason: &'static str,
+        /// The phase the traversal was in when it aborted.
+        phase: &'static str,
+    },
 }
 
 /// Receiver of spans and events. Implementations must be cheap and
@@ -353,6 +363,7 @@ struct RecState {
     gorder_scanned: u64,
     gorder_skipped: u64,
     build_levels: BTreeMap<(Side, u32), u64>,
+    aborts: Vec<AbortReport>,
 }
 
 /// The built-in aggregating sink.
@@ -377,12 +388,12 @@ impl RecordingSink {
     /// Spans currently open (entered, not yet exited). Zero after a
     /// well-formed query.
     pub fn open_spans(&self) -> usize {
-        self.state.lock().unwrap().open.len()
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).open.len()
     }
 
     /// Total span enters and exits seen, for balance checks.
     pub fn span_counts(&self) -> (u64, u64) {
-        let st = self.state.lock().unwrap();
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let enters = st.phases.values().map(|a| a.enters).sum();
         let exits = st.phases.values().map(|a| a.exits).sum();
         (enters, exits)
@@ -391,7 +402,7 @@ impl RecordingSink {
     /// Renders everything recorded so far as an [`ExecutionReport`]
     /// labeled `label`. Does not reset the sink.
     pub fn report(&self, label: &str) -> ExecutionReport {
-        let st = self.state.lock().unwrap();
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         ExecutionReport {
             label: label.to_string(),
             phases: st
@@ -451,19 +462,20 @@ impl RecordingSink {
                     nodes,
                 })
                 .collect(),
+            aborts: st.aborts.clone(),
         }
     }
 }
 
 impl TraceSink for RecordingSink {
     fn span_enter(&self, phase: Phase) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         st.open.push((phase, Instant::now()));
         st.phases.entry(phase).or_default().enters += 1;
     }
 
     fn span_exit(&self, phase: Phase, io: IoSnapshot) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         // Close the innermost open span of this phase; tolerate (but
         // record) an unbalanced exit so tests can detect it.
         let wall = st
@@ -479,7 +491,7 @@ impl TraceSink for RecordingSink {
     }
 
     fn event(&self, event: &TraceEvent) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         match event {
             TraceEvent::Root { side, page } => {
                 st.page_level.insert((*side, *page), 0);
@@ -538,6 +550,9 @@ impl TraceSink for RecordingSink {
             }
             TraceEvent::IndexLevelBuilt { side, level, nodes } => {
                 *st.build_levels.entry((*side, *level)).or_insert(0) += nodes;
+            }
+            TraceEvent::QueryAborted { reason, phase } => {
+                st.aborts.push(AbortReport { reason, phase });
             }
         }
     }
@@ -622,6 +637,15 @@ pub struct BlockReport {
     pub inner_skipped: u64,
 }
 
+/// One recorded query abort ([`TraceEvent::QueryAborted`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AbortReport {
+    /// Stable abort label ([`crate::QueryError::reason`]).
+    pub reason: &'static str,
+    /// The phase the traversal was in when it aborted.
+    pub phase: &'static str,
+}
+
 /// Nodes written per level during a traced bulk build.
 #[derive(Clone, Debug)]
 pub struct BuildLevelReport {
@@ -655,6 +679,9 @@ pub struct ExecutionReport {
     pub gorder: BlockReport,
     /// Bulk-build level rows, ordered by (side, level).
     pub build_levels: Vec<BuildLevelReport>,
+    /// Query aborts observed, in occurrence order (empty for completed
+    /// runs).
+    pub aborts: Vec<AbortReport>,
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -693,7 +720,8 @@ fn json_io(io: &IoSnapshot) -> String {
     format!(
         "{{\"logical_reads\":{},\"physical_reads\":{},\"physical_writes\":{},\
          \"pool_hits\":{},\"pool_misses\":{},\"evictions\":{},\"retries\":{},\
-         \"checksum_failures\":{},\"lock_contention\":{}}}",
+         \"checksum_failures\":{},\"lock_contention\":{},\
+         \"quarantined_pages\":{},\"quarantine_hits\":{}}}",
         io.logical_reads,
         io.physical_reads,
         io.physical_writes,
@@ -703,6 +731,8 @@ fn json_io(io: &IoSnapshot) -> String {
         io.retries,
         io.checksum_failures,
         io.lock_contention,
+        io.quarantined_pages,
+        io.quarantine_hits,
     )
 }
 
@@ -782,6 +812,18 @@ impl ExecutionReport {
             out.push_str(&format!(
                 "{{\"side\":\"{}\",\"level\":{},\"nodes\":{}}}",
                 b.side, b.level, b.nodes,
+            ));
+        }
+        out.push_str("],");
+
+        out.push_str("\"aborts\":[");
+        for (i, a) in self.aborts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"reason\":\"{}\",\"phase\":\"{}\"}}",
+                a.reason, a.phase,
             ));
         }
         out.push_str("]}");

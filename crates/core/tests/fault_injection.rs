@@ -68,7 +68,7 @@ fn every_budget_point_errors_cleanly() {
             FaultyDisk::new(MemDisk::new(), budget),
             16, // small pool: evictions force mid-run disk traffic
         ));
-        let result = (|| -> ann_store::Result<usize> {
+        let result = (|| -> ann_core::QueryResult<usize> {
             let ir = Mbrqt::bulk_build(pool.clone(), &pts, &qt_cfg())?;
             let is = RStar::bulk_build(pool.clone(), &pts, &rs_cfg())?;
             let out = mba::<2, NxnDist, _, _>(&ir, &is, &MbaConfig::default())?;

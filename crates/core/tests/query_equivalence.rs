@@ -274,7 +274,7 @@ fn unified_entrypoint_is_counter_identical_to_legacy() {
         k,
         ..Default::default()
     };
-    let legacy_out = hnn(&r, &s, &h_cfg);
+    let legacy_out = hnn(&r, &s, &h_cfg).unwrap();
     let sink = RecordingSink::new();
     let traced_out = AnnRequest::new(Algorithm::hnn())
         .k(k)

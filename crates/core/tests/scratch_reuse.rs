@@ -154,9 +154,9 @@ fn hnn_steady_state_reallocates_nothing() {
         k: 2,
         ..Default::default()
     };
-    let want = hnn(&r, &s, &cfg);
+    let want = hnn(&r, &s, &cfg).unwrap();
     assert_steady_state("hnn", |scratch| {
-        let got = hnn_traced_scratch(&r, &s, &cfg, Tracer::disabled(), scratch);
+        let got = hnn_traced_scratch(&r, &s, &cfg, Tracer::disabled(), scratch).unwrap();
         assert_eq!(got.results, want.results);
         assert_eq!(got.stats.distance_computations, want.stats.distance_computations);
     });

@@ -41,8 +41,8 @@ use crate::checksum::{seal_frame, verify_frame};
 use crate::lru::LruList;
 use crate::{DiskBackend, IoSnapshot, IoStats, PageId, Result, StoreError, FRAME_SIZE, PAGE_SIZE};
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -56,6 +56,12 @@ pub const DEFAULT_CAPACITY: usize = 64;
 /// deterministic eviction/fault-injection schedule — is identical on every
 /// machine.
 pub const DEFAULT_SHARDS: usize = 8;
+
+/// The `what` string of the [`StoreError::Corrupt`] returned when an
+/// access is rejected because its page sits in the quarantine set, so
+/// callers can tell a fast-failed quarantined touch apart from a fresh
+/// checksum failure.
+pub const QUARANTINED: &str = "page is quarantined";
 
 /// How the pool reacts to transient physical-I/O failures (injected
 /// transient faults, interrupted/timed-out OS calls).
@@ -201,6 +207,16 @@ pub struct BufferPool {
     /// retries); folded into [`stats`](Self::stats) with the shard counters.
     stats: IoStats,
     retry: Mutex<RetryPolicy>,
+    /// Pages whose frames failed CRC verification: further touches fail
+    /// fast with [`StoreError::Corrupt`] (`what == `[`QUARANTINED`])
+    /// instead of re-reading known-bad media. `overwrite_page` heals —
+    /// a full-frame rewrite (the journal-recovery path) lifts the
+    /// quarantine.
+    quarantine: Mutex<HashSet<PageId>>,
+    /// Fast-path flag: `false` means the set is empty and reads skip the
+    /// quarantine lock entirely, keeping the fault-free path at one
+    /// relaxed load.
+    quarantine_nonempty: AtomicBool,
 }
 
 impl BufferPool {
@@ -233,6 +249,8 @@ impl BufferPool {
             capacity: AtomicUsize::new(capacity),
             stats: IoStats::new(),
             retry: Mutex::new(RetryPolicy::default()),
+            quarantine: Mutex::new(HashSet::new()),
+            quarantine_nonempty: AtomicBool::new(false),
         }
     }
 
@@ -268,6 +286,69 @@ impl BufferPool {
     /// Replaces the transient-fault retry policy.
     pub fn set_retry_policy(&self, policy: RetryPolicy) {
         *self.retry.lock() = policy;
+    }
+
+    /// Adds `id` to the quarantine set: until healed (see
+    /// [`overwrite_page`](Self::overwrite_page)) or
+    /// [`clear_quarantine`](Self::clear_quarantine)d, every read of the
+    /// page fails fast with [`StoreError::Corrupt`] whose `what` is
+    /// [`QUARANTINED`]. The pool quarantines automatically when a frame
+    /// fails CRC verification; this entry point lets higher layers
+    /// quarantine pages whose *decoded* contents proved corrupt.
+    pub fn quarantine(&self, id: PageId) {
+        if self.quarantine.lock().insert(id) {
+            self.stats.record_quarantined_page();
+            self.quarantine_nonempty.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether `id` is currently quarantined.
+    pub fn is_quarantined(&self, id: PageId) -> bool {
+        self.quarantine_nonempty.load(Ordering::Acquire) && self.quarantine.lock().contains(&id)
+    }
+
+    /// The currently quarantined pages, in ascending order.
+    pub fn quarantined_pages(&self) -> Vec<PageId> {
+        let mut ids: Vec<PageId> = self.quarantine.lock().iter().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Empties the quarantine set (e.g. after the media was repaired out
+    /// of band). The `quarantined_pages` counter keeps its history.
+    pub fn clear_quarantine(&self) {
+        let mut set = self.quarantine.lock();
+        set.clear();
+        self.quarantine_nonempty.store(false, Ordering::Release);
+    }
+
+    /// Rejects the access when `id` is quarantined, counting the fast
+    /// failure against `stats`.
+    #[inline]
+    fn check_quarantine(&self, id: PageId, stats: &IoStats) -> Result<()> {
+        if self.quarantine_nonempty.load(Ordering::Acquire) && self.quarantine.lock().contains(&id)
+        {
+            stats.record_quarantine_hit();
+            return Err(StoreError::corrupt_page(id, QUARANTINED));
+        }
+        Ok(())
+    }
+
+    /// Total pins held across all shards — zero whenever no page access is
+    /// in flight. Resilience tests use this to assert that a query aborted
+    /// mid-traversal released every frame it was loading.
+    pub fn pinned_frames(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .lock()
+                    .frames
+                    .iter()
+                    .map(|fr| fr.pins as usize)
+                    .sum::<usize>()
+            })
+            .sum()
     }
 
     /// Resizes the pool to `capacity` frames, evicting (and flushing) the
@@ -312,6 +393,7 @@ impl BufferPool {
         let _guard = ReentrancyGuard::enter(self);
         let shard = self.shard_of(id);
         shard.stats.record_logical_read();
+        self.check_quarantine(id, &shard.stats)?;
         loop {
             let mut inner = shard.lock();
             if let Some(&fi) = inner.map.get(&id) {
@@ -348,6 +430,12 @@ impl BufferPool {
                     Ok(()) => Ok(()),
                     Err(what) => {
                         shard.stats.record_checksum_failure();
+                        // Known-bad media: fail further touches fast
+                        // instead of re-reading and re-failing the CRC.
+                        if self.quarantine.lock().insert(id) {
+                            shard.stats.record_quarantined_page();
+                            self.quarantine_nonempty.store(true, Ordering::Release);
+                        }
                         Err(StoreError::corrupt_page(id, what))
                     }
                 });
@@ -417,6 +505,16 @@ impl BufferPool {
             }
             if inner.frames[fi as usize].pins == 0 {
                 inner.lru.touch(fi);
+            }
+            drop(inner);
+            // A full-frame rewrite replaces whatever was corrupt: lift the
+            // quarantine so recovery can put repaired pages back in service.
+            if self.quarantine_nonempty.load(Ordering::Acquire) {
+                let mut set = self.quarantine.lock();
+                set.remove(&id);
+                if set.is_empty() {
+                    self.quarantine_nonempty.store(false, Ordering::Release);
+                }
             }
             return Ok(());
         }
@@ -515,6 +613,17 @@ impl BufferPool {
             .iter()
             .fold(self.stats.snapshot(), |acc, shard| {
                 acc.merge(&shard.stats.snapshot())
+            })
+    }
+
+    /// Physical reads so far, summed across shards. Cheaper than
+    /// `stats()` — one relaxed load per shard instead of a full
+    /// snapshot fold — so I/O-budget guards can poll it per expansion.
+    pub fn physical_reads(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(self.stats.physical_reads(), |acc, shard| {
+                acc + shard.stats.physical_reads()
             })
     }
 
@@ -1048,5 +1157,112 @@ mod tests {
             p.overwrite_page(99, &payload),
             Err(StoreError::PageOutOfBounds(99))
         ));
+    }
+
+    /// Damages page `id` behind the pool's back so its next read fails CRC.
+    fn damage(mem: &MemDisk, id: PageId) {
+        let mut frame = vec![0u8; FRAME_SIZE];
+        mem.read_page(id, &mut frame).unwrap();
+        frame[100] ^= 0xFF;
+        mem.write_page(id, &frame).unwrap();
+    }
+
+    #[test]
+    fn corrupt_page_is_quarantined_and_fails_fast() {
+        let mem = Arc::new(MemDisk::new());
+        let p = BufferPool::new(Arc::clone(&mem), 4);
+        let id = p.allocate().unwrap();
+        p.with_page_mut(id, |b| b[0] = 1).unwrap();
+        p.clear().unwrap();
+        damage(&mem, id);
+
+        // First touch: CRC failure, page enters quarantine.
+        assert!(p.with_page(id, |_| ()).is_err());
+        assert!(p.is_quarantined(id));
+        assert_eq!(p.quarantined_pages(), vec![id]);
+        let after_first = p.stats();
+        assert_eq!(after_first.checksum_failures, 1);
+        assert_eq!(after_first.quarantined_pages, 1);
+        assert_eq!(after_first.quarantine_hits, 0);
+
+        // Second touch: fails fast without another physical read.
+        match p.with_page(id, |_| ()) {
+            Err(StoreError::Corrupt { page, what }) => {
+                assert_eq!(page, Some(id));
+                assert_eq!(what, QUARANTINED);
+            }
+            other => panic!("expected quarantine rejection, got {other:?}"),
+        }
+        let after_second = p.stats();
+        assert_eq!(after_second.checksum_failures, 1, "no re-read of bad media");
+        assert_eq!(after_second.quarantined_pages, 1, "quarantined only once");
+        assert_eq!(after_second.quarantine_hits, 1);
+
+        // Healthy pages are unaffected.
+        let fresh = p.allocate().unwrap();
+        p.with_page_mut(fresh, |b| b[0] = 2).unwrap();
+        assert_eq!(p.with_page(fresh, |b| b[0]).unwrap(), 2);
+
+        // clear_quarantine puts the page back in service (still corrupt on
+        // media, so the read fails CRC again and re-quarantines).
+        p.clear_quarantine();
+        assert!(!p.is_quarantined(id));
+        assert!(p.with_page(id, |_| ()).is_err());
+        assert_eq!(p.stats().checksum_failures, 2);
+        assert!(p.is_quarantined(id));
+    }
+
+    #[test]
+    fn overwrite_heals_quarantined_page() {
+        let mem = Arc::new(MemDisk::new());
+        let p = BufferPool::new(Arc::clone(&mem), 4);
+        let id = p.allocate().unwrap();
+        p.clear().unwrap();
+        damage(&mem, id);
+        assert!(p.with_page(id, |_| ()).is_err());
+        assert!(p.is_quarantined(id));
+
+        // A full-page rewrite (the journal-recovery path) lifts the
+        // quarantine and the page serves the new contents.
+        let payload = vec![0x5Au8; PAGE_SIZE];
+        p.overwrite_page(id, &payload).unwrap();
+        assert!(!p.is_quarantined(id));
+        assert_eq!(p.with_page(id, |b| b.to_vec()).unwrap(), payload);
+        p.flush_pages(&[id]).unwrap();
+        p.clear().unwrap();
+        assert_eq!(p.with_page(id, |b| b.to_vec()).unwrap(), payload);
+    }
+
+    #[test]
+    fn manual_quarantine_blocks_reads() {
+        let p = pool(4);
+        let id = p.allocate().unwrap();
+        p.with_page_mut(id, |b| b[0] = 9).unwrap();
+        p.quarantine(id);
+        assert!(matches!(
+            p.with_page(id, |_| ()),
+            Err(StoreError::Corrupt {
+                what: QUARANTINED,
+                ..
+            })
+        ));
+        assert_eq!(p.stats().quarantine_hits, 1);
+        p.clear_quarantine();
+        assert_eq!(p.with_page(id, |b| b[0]).unwrap(), 9);
+    }
+
+    #[test]
+    fn pins_return_to_zero_after_failed_read() {
+        let mem = Arc::new(MemDisk::new());
+        let p = BufferPool::new(Arc::clone(&mem), 4);
+        let id = p.allocate().unwrap();
+        p.clear().unwrap();
+        damage(&mem, id);
+        assert_eq!(p.pinned_frames(), 0);
+        assert!(p.with_page(id, |_| ()).is_err());
+        assert_eq!(p.pinned_frames(), 0, "failed load must release its pin");
+        p.clear_quarantine();
+        assert!(p.with_page(id, |_| ()).is_err());
+        assert_eq!(p.pinned_frames(), 0);
     }
 }

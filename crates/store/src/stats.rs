@@ -30,6 +30,8 @@ pub struct IoStats {
     pool_misses: AtomicU64,
     lock_contention: AtomicU64,
     evictions: AtomicU64,
+    quarantined_pages: AtomicU64,
+    quarantine_hits: AtomicU64,
 }
 
 impl IoStats {
@@ -74,6 +76,21 @@ impl IoStats {
         self.evictions.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_quarantined_page(&self) {
+        self.quarantined_pages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_quarantine_hit(&self) {
+        self.quarantine_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads just the physical-read counter, without folding a full
+    /// snapshot. Query guards poll this on every expansion when an I/O
+    /// budget is armed, so it must stay a single relaxed load.
+    pub fn physical_reads(&self) -> u64 {
+        self.physical_reads.load(Ordering::Relaxed)
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -86,6 +103,8 @@ impl IoStats {
             pool_misses: self.pool_misses.load(Ordering::Relaxed),
             lock_contention: self.lock_contention.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            quarantined_pages: self.quarantined_pages.load(Ordering::Relaxed),
+            quarantine_hits: self.quarantine_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -100,6 +119,8 @@ impl IoStats {
         self.pool_misses.store(0, Ordering::Relaxed);
         self.lock_contention.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+        self.quarantined_pages.store(0, Ordering::Relaxed);
+        self.quarantine_hits.store(0, Ordering::Relaxed);
     }
 }
 
@@ -126,6 +147,11 @@ pub struct IoSnapshot {
     /// Resident pages evicted to make room (dirty victims additionally
     /// count one `physical_writes`).
     pub evictions: u64,
+    /// Pages added to the corrupt-page quarantine set (each failed
+    /// verification quarantines its page exactly once).
+    pub quarantined_pages: u64,
+    /// Accesses rejected fast because the page was already quarantined.
+    pub quarantine_hits: u64,
 }
 
 impl IoSnapshot {
@@ -154,6 +180,8 @@ impl IoSnapshot {
             pool_misses: self.pool_misses - earlier.pool_misses,
             lock_contention: self.lock_contention - earlier.lock_contention,
             evictions: self.evictions - earlier.evictions,
+            quarantined_pages: self.quarantined_pages - earlier.quarantined_pages,
+            quarantine_hits: self.quarantine_hits - earlier.quarantine_hits,
         }
     }
 
@@ -170,6 +198,8 @@ impl IoSnapshot {
             pool_misses: self.pool_misses + other.pool_misses,
             lock_contention: self.lock_contention + other.lock_contention,
             evictions: self.evictions + other.evictions,
+            quarantined_pages: self.quarantined_pages + other.quarantined_pages,
+            quarantine_hits: self.quarantine_hits + other.quarantine_hits,
         }
     }
 }
@@ -191,6 +221,8 @@ mod tests {
         s.record_pool_miss();
         s.record_lock_contention();
         s.record_eviction();
+        s.record_quarantined_page();
+        s.record_quarantine_hit();
         let snap = s.snapshot();
         assert_eq!(snap.logical_reads, 2);
         assert_eq!(snap.physical_reads, 1);
@@ -201,6 +233,8 @@ mod tests {
         assert_eq!(snap.pool_misses, 1);
         assert_eq!(snap.lock_contention, 1);
         assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.quarantined_pages, 1);
+        assert_eq!(snap.quarantine_hits, 1);
         assert_eq!(snap.physical_total(), 2);
         assert_eq!(snap.hit_rate(), 0.5);
     }
@@ -225,12 +259,16 @@ mod tests {
         s.record_physical_read();
         s.record_retry();
         s.record_pool_miss();
+        s.record_quarantined_page();
+        s.record_quarantine_hit();
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.logical_reads, 1);
         assert_eq!(d.physical_reads, 1);
         assert_eq!(d.retries, 1);
         assert_eq!(d.pool_misses, 1);
+        assert_eq!(d.quarantined_pages, 1);
+        assert_eq!(d.quarantine_hits, 1);
     }
 
     #[test]
@@ -238,10 +276,14 @@ mod tests {
         let s = IoStats::new();
         s.record_logical_read();
         s.record_pool_hit();
+        s.record_quarantined_page();
+        s.record_quarantine_hit();
         let a = s.snapshot();
         let m = a.merge(&a);
         assert_eq!(m.logical_reads, 2);
         assert_eq!(m.pool_hits, 2);
         assert_eq!(m.physical_reads, 0);
+        assert_eq!(m.quarantined_pages, 2);
+        assert_eq!(m.quarantine_hits, 2);
     }
 }

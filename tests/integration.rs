@@ -110,7 +110,8 @@ fn all_six_methods_agree() {
             exclude_self: true,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     assert_agrees(&canonical(h_out.results), &truth, "HNN");
 }
 
