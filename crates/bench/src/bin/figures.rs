@@ -9,6 +9,8 @@
 //!   parallel-scaling    thread-scaling study (BENCH_parallel_scaling.json)
 //!   kernels             batched-kernel throughput study (BENCH_kernels.json)
 //!   robustness          resilience fault-free-overhead study (BENCH_robustness.json)
+//!   outofcore           streaming-build + prefetch sweep (BENCH_outofcore.json);
+//!                       honors --points N --pool-pages P --seed S overrides
 //!   all                 run every figure
 //!   list-datasets       print Table 2 (with the scaled cardinalities)
 //! ```
@@ -31,6 +33,7 @@ struct Args {
     fraction: f64,
     json_dir: Option<PathBuf>,
     trace_dir: Option<PathBuf>,
+    outofcore: ann_bench::figures::OutofcoreOpts,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,8 +42,36 @@ fn parse_args() -> Result<Args, String> {
     let mut fraction = 0.1;
     let mut json_dir = None;
     let mut trace_dir = None;
+    let mut outofcore = ann_bench::figures::OutofcoreOpts::default();
     while let Some(flag) = args.next() {
         match flag.as_str() {
+            "--points" => {
+                let v = args.next().ok_or("--points needs a value")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --points value {v:?}: {e}"))?;
+                if n == 0 {
+                    return Err("--points must be positive".to_string());
+                }
+                outofcore.points = Some(n);
+            }
+            "--pool-pages" => {
+                let v = args.next().ok_or("--pool-pages needs a value")?;
+                let p = v
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --pool-pages value {v:?}: {e}"))?;
+                if p == 0 {
+                    return Err("--pool-pages must be positive".to_string());
+                }
+                outofcore.pool_pages = Some(p);
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                outofcore.seed = Some(
+                    v.parse::<u64>()
+                        .map_err(|e| format!("bad --seed value {v:?}: {e}"))?,
+                );
+            }
             "--full" => fraction = 1.0,
             "--scale" => {
                 let v = args.next().ok_or("--scale needs a value")?;
@@ -67,14 +98,16 @@ fn parse_args() -> Result<Args, String> {
         fraction,
         json_dir,
         trace_dir,
+        outofcore,
     })
 }
 
 fn usage() -> String {
     "usage: figures <fig3a|fig3a-synthetic|fig3b|fig4|fig5|fig6|\
      ablation-traversal|ablation-mbr|ablation-packing|extra-mnn|extra-hnn|extra-parallel|\
-     parallel-scaling|kernels|robustness|all|list-datasets> \
-     [--scale F] [--full] [--json DIR] [--trace DIR]"
+     parallel-scaling|kernels|robustness|outofcore|all|list-datasets> \
+     [--scale F] [--full] [--json DIR] [--trace DIR] \
+     [--points N] [--pool-pages P] [--seed S]"
         .to_string()
 }
 
@@ -109,6 +142,16 @@ fn emit_kernels(rep: ann_bench::report::KernelsReport, json_dir: &Option<PathBuf
 }
 
 fn emit_robustness(rep: ann_bench::report::RobustnessReport, json_dir: &Option<PathBuf>) {
+    print!("{}", rep.render());
+    println!();
+    if let Some(dir) = json_dir {
+        if let Err(e) = rep.write_json(dir) {
+            eprintln!("warning: could not write JSON for {}: {e}", rep.id);
+        }
+    }
+}
+
+fn emit_outofcore(rep: ann_bench::report::OutofcoreReport, json_dir: &Option<PathBuf>) {
     print!("{}", rep.render());
     println!();
     if let Some(dir) = json_dir {
@@ -154,6 +197,7 @@ fn main() -> ExitCode {
         "parallel-scaling" => emit_scaling(figures::parallel_scaling(f), &args.json_dir),
         "kernels" => emit_kernels(figures::kernels_bench(f), &args.json_dir),
         "robustness" => emit_robustness(figures::robustness_bench(f), &args.json_dir),
+        "outofcore" => emit_outofcore(figures::outofcore(f, &args.outofcore), &args.json_dir),
         "all" => {
             for fig in figures::all(f) {
                 emit(fig, &args.json_dir);

@@ -340,6 +340,146 @@ impl RobustnessReport {
     }
 }
 
+/// One cell of the out-of-core sweep (`BENCH_outofcore`): an MBA
+/// self-join over two streamed-built MBRQT trees on a [`FileDisk`],
+/// cold pool, with the prefetcher off or on.
+///
+/// [`FileDisk`]: ann_store::FileDisk
+#[derive(Clone, Debug, Serialize)]
+pub struct OutofcoreRow {
+    /// Points per side of the self-join.
+    pub points: usize,
+    /// Buffer-pool frames during the query phase.
+    pub pool_pages: usize,
+    /// Pages the two trees occupy on disk (≥ 10× `pool_pages` on the
+    /// gated cold cell).
+    pub dataset_pages: u64,
+    /// Whether the pipelined leaf prefetcher was enabled.
+    pub prefetch: bool,
+    /// Streaming (external) build time for both trees, seconds.
+    pub build_seconds: f64,
+    /// Query-phase wall clock, seconds.
+    pub wall_seconds: f64,
+    /// Logical page reads during the query phase (must be identical
+    /// prefetch-on vs prefetch-off).
+    pub logical_reads: u64,
+    /// Physical page reads during the query phase (prefetch batches
+    /// these; demand faults shrink accordingly).
+    pub physical_reads: u64,
+    /// Pages the prefetcher read ahead of demand.
+    pub prefetch_issued: u64,
+    /// Prefetched frames later claimed by a demand access.
+    pub prefetch_hits: u64,
+    /// Prefetched frames evicted before any demand access claimed them.
+    pub prefetch_wasted: u64,
+    /// `prefetch_hits / prefetch_issued` (0 when nothing was issued).
+    pub prefetch_hit_rate: f64,
+    /// Result pairs produced.
+    pub result_pairs: usize,
+    /// Whether this row's sorted results and logical read count matched
+    /// its prefetch-off twin exactly (trivially `true` on the off rows;
+    /// must always be `true`).
+    pub identical_to_baseline: bool,
+}
+
+/// The ≥10⁷-point external-build validation row of `BENCH_outofcore`.
+#[derive(Clone, Debug, Serialize)]
+pub struct OutofcoreCensus {
+    /// Points streamed through the external build.
+    pub points: usize,
+    /// Sorter run budget (records held in memory at once).
+    pub run_budget: usize,
+    /// Streaming build wall clock, seconds.
+    pub build_seconds: f64,
+    /// [`validate`](ann_core::index::validate) wall clock, seconds.
+    pub validate_seconds: f64,
+    /// Full-census wall clock, seconds.
+    pub census_seconds: f64,
+    /// Objects the validated tree reported.
+    pub objects: u64,
+    /// Whether every input oid came back from the census exactly once.
+    pub census_complete: bool,
+}
+
+/// The out-of-core figure: streaming external builds plus the
+/// prefetch-off vs prefetch-on cold query sweep. Emitted as
+/// `BENCH_outofcore.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct OutofcoreReport {
+    /// Output id (`BENCH_outofcore` — also the JSON file stem).
+    pub id: String,
+    /// Human description of the workload.
+    pub workload: String,
+    /// Dataset seed (reproducibility).
+    pub seed: u64,
+    /// One row per (points, pool pages, prefetch) cell.
+    pub rows: Vec<OutofcoreRow>,
+    /// The large-scale external-build validation.
+    pub census: OutofcoreCensus,
+}
+
+impl OutofcoreReport {
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.workload));
+        out.push_str(&format!(
+            "{:<9} {:>6} {:>8} {:>8} {:>9} {:>9} {:>9} {:>8} {:>7} {:>7} {:>8} {:>9}\n",
+            "points",
+            "pool",
+            "ds-pages",
+            "prefetch",
+            "build(s)",
+            "wall(s)",
+            "logical",
+            "physical",
+            "issued",
+            "hits",
+            "hit-rate",
+            "identical"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<9} {:>6} {:>8} {:>8} {:>9.3} {:>9.3} {:>9} {:>8} {:>7} {:>7} {:>7.1}% {:>9}\n",
+                r.points,
+                r.pool_pages,
+                r.dataset_pages,
+                if r.prefetch { "on" } else { "off" },
+                r.build_seconds,
+                r.wall_seconds,
+                r.logical_reads,
+                r.physical_reads,
+                r.prefetch_issued,
+                r.prefetch_hits,
+                r.prefetch_hit_rate * 100.0,
+                if r.identical_to_baseline { "ok" } else { "DIFF" },
+            ));
+        }
+        let c = &self.census;
+        out.push_str(&format!(
+            "census: {} points, run budget {}, build {:.1}s, validate {:.1}s, \
+             census {:.1}s, {} objects, complete: {}\n",
+            c.points,
+            c.run_budget,
+            c.build_seconds,
+            c.validate_seconds,
+            c.census_seconds,
+            c.objects,
+            if c.census_complete { "ok" } else { "INCOMPLETE" },
+        ));
+        out
+    }
+
+    /// Writes the report as JSON under `dir/<id>.json`.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(path)?;
+        let body = serde_json::to_string_pretty(self).expect("serializable");
+        f.write_all(body.as_bytes())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

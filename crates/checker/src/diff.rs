@@ -10,7 +10,7 @@ use ann_core::prelude::*;
 use ann_core::stats::NeighborPair;
 use ann_mbrqt::{Mbrqt, MbrqtConfig};
 use ann_rstar::{RStar, RStarConfig};
-use ann_store::{BufferPool, MemDisk};
+use ann_store::{BufferPool, MemDisk, PrefetchConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -128,7 +128,10 @@ fn panic_text(e: Box<dyn std::any::Any + Send>) -> String {
 pub fn build_indexes<const D: usize>(case: &DiffCase<D>) -> (Mbrqt<D>, RStar<D>) {
     let pool = Arc::new(BufferPool::new(MemDisk::new(), 128));
     let ir = Mbrqt::bulk_build(pool.clone(), &case.r, &qt_cfg()).expect("build R index");
-    let is = RStar::bulk_build(pool, &case.s, &rs_cfg()).expect("build S index");
+    let is = RStar::bulk_build(pool.clone(), &case.s, &rs_cfg()).expect("build S index");
+    // Every diff case runs with readahead on: prefetching moves physical
+    // reads around but must never change a single byte of any answer.
+    pool.enable_prefetch(PrefetchConfig::default());
     (ir, is)
 }
 

@@ -272,6 +272,8 @@ where
     };
 
     let mut heap = scratch.take_group_heap();
+    let mut hints = scratch.take_hints();
+    let hinting = is.pool().prefetch_enabled();
     let root_mbr = is.bounds();
     out.stats.distance_computations += 1;
     let root_maxd = M::upper_sq(&gmbr, &root_mbr);
@@ -343,10 +345,26 @@ where
                             entry: *e,
                         });
                         out.stats.enqueued += 1;
+                        if hinting {
+                            if let Entry::Node(c) = e {
+                                // First touch only: a node-cached page is
+                                // served without a pool read, so hinting it
+                                // would be pure wasted disk I/O.
+                                if !is.node_is_cached(c.page) {
+                                    hints.push((
+                                        c.page,
+                                        crate::readahead::depth_priority(c.count),
+                                    ));
+                                }
+                            }
+                        }
                     } else {
                         out.stats.pruned_on_probe += 1;
                     }
                 }
+                // Readahead for the pages just pushed: changes only when
+                // their physical reads happen, never the group decisions.
+                crate::readahead::submit(is.pool(), &mut hints);
             }
         }
     }
@@ -376,6 +394,7 @@ where
         scratch.put_kbest(BinaryHeap::from(best));
     }
     scratch.put_group_heap(heap);
+    scratch.put_hints(hints);
     scratch.put_f64(gcols);
     scratch.put_f64(dist_buf);
     scratch.put_f64(mind_buf);

@@ -61,6 +61,17 @@ pub trait SpatialIndex<const D: usize> {
     /// read through this; structural validation and collection deliberately
     /// use the uncached [`read_node`](Self::read_node) so they observe the
     /// on-disk bytes.
+    /// Reports whether `page` is already held decoded in the node cache.
+    ///
+    /// A cached node is served by [`read_node_cached`](Self::read_node_cached)
+    /// without touching the buffer pool, so readahead hook sites skip
+    /// hinting such pages: prefetching them could only waste disk reads.
+    /// Indices without a node cache report `false` for every page.
+    fn node_is_cached(&self, page: PageId) -> bool {
+        self.node_cache()
+            .is_some_and(|cache| cache.contains(cache.epoch(), page))
+    }
+
     fn read_node_cached(&self, page: PageId) -> Result<Arc<DecodedNode<D>>> {
         let Some(cache) = self.node_cache() else {
             return Ok(Arc::new(DecodedNode::new(self.read_node(page)?)));

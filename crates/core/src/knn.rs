@@ -80,6 +80,8 @@ where
     let mut heap = scratch.take_best_first();
     let mut mind_buf = scratch.take_f64();
     let mut maxd_buf = scratch.take_f64();
+    let mut hints = scratch.take_hints();
+    let hinting = index.pool().prefetch_enabled();
 
     let root_mbr = index.bounds();
     let root = Entry::Node(crate::node::NodeEntry {
@@ -125,14 +127,31 @@ where
                             maxd_sq: maxd_buf[i],
                             entry: *e,
                         });
+                        if hinting {
+                            if let Entry::Node(c) = e {
+                                // First touch only: a node-cached page is
+                                // served without a pool read, so hinting it
+                                // would be pure wasted disk I/O.
+                                if !index.node_is_cached(c.page) {
+                                    hints.push((
+                                        c.page,
+                                        crate::readahead::depth_priority(c.count),
+                                    ));
+                                }
+                            }
+                        }
                     }
                 }
+                // Readahead for the pages just pushed: changes only when
+                // their physical reads happen, never the search decisions.
+                crate::readahead::submit(index.pool(), &mut hints);
             }
         }
     }
     scratch.put_best_first(heap);
     scratch.put_f64(mind_buf);
     scratch.put_f64(maxd_buf);
+    scratch.put_hints(hints);
     Ok(out)
 }
 

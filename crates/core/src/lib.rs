@@ -46,6 +46,7 @@
 pub mod bnn;
 pub mod brute;
 pub mod closest_pairs;
+pub mod extsort;
 pub mod hnn;
 pub mod index;
 pub mod knn;
@@ -56,11 +57,13 @@ pub mod node;
 pub mod node_cache;
 pub mod prelude;
 pub mod query;
+pub mod readahead;
 pub mod resilience;
 pub mod scratch;
 pub mod stats;
 pub mod trace;
 
+pub use extsort::{HilbertSorter, KeyedPoint, PointSpill, SortedStream};
 pub use index::SpatialIndex;
 pub use node::{DecodedNode, Entry, Node, NodeColumns, NodeEntry, ObjectEntry};
 pub use scratch::QueryScratch;

@@ -98,6 +98,9 @@ struct Ctx<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> {
     /// Checked-out kernel output buffers (returned by [`Ctx::finish`]).
     mind_buf: Vec<f64>,
     maxd_buf: Vec<f64>,
+    /// Checked-out readahead hint buffer: child pages a decision loop has
+    /// just committed to visit, handed to the `I_S` pool's prefetcher.
+    hint_buf: Vec<(ann_store::PageId, u32)>,
     _metric: std::marker::PhantomData<M>,
 }
 
@@ -105,6 +108,7 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
     fn new(is: &'a IS, cfg: &MbaConfig, tracer: Tracer<'a>, scratch: &'a mut QueryScratch<D>) -> Self {
         let mind_buf = scratch.take_f64();
         let maxd_buf = scratch.take_f64();
+        let hint_buf = scratch.take_hints();
         Ctx {
             is,
             cfg: *cfg,
@@ -115,6 +119,7 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
             scratch,
             mind_buf,
             maxd_buf,
+            hint_buf,
             _metric: std::marker::PhantomData,
         }
     }
@@ -125,11 +130,13 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
             scratch,
             mind_buf,
             maxd_buf,
+            hint_buf,
             out,
             ..
         } = self;
         scratch.put_f64(mind_buf);
         scratch.put_f64(maxd_buf);
+        scratch.put_hints(hint_buf);
         out
     }
 
@@ -176,6 +183,10 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
         let cols = node.soa_mbrs();
         kernels::min_min_dist_sq_batch(&om, &cols, &mut self.mind_buf);
         M::upper_sq_batch(&om, &cols, &mut self.maxd_buf);
+        // Readahead: accepted child pages are handed to the prefetcher
+        // after the loop. Hint collection reads no traversal state and
+        // mutates none — decisions and counters are identical either way.
+        let hinting = self.is.pool().prefetch_enabled();
         for (i, e) in node.entries.iter().enumerate() {
             self.out.stats.distance_computations += 1;
             // Same rejection `distances_within` performs, against the same
@@ -191,11 +202,23 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
             });
             if accepted {
                 self.out.stats.enqueued += 1;
+                if hinting {
+                    if let Entry::Node(n) = e {
+                        // First touch only: a node-cached page is served
+                        // without a pool read, so hinting it would be pure
+                        // wasted disk I/O.
+                        if !self.is.node_is_cached(n.page) {
+                            self.hint_buf
+                                .push((n.page, crate::readahead::depth_priority(n.count)));
+                        }
+                    }
+                }
             } else {
                 self.out.stats.pruned_on_probe += 1;
             }
             self.out.stats.pruned_in_queue += filtered;
         }
+        crate::readahead::submit(self.is.pool(), &mut self.hint_buf);
     }
 
     /// The Gather stage: `lpq.owner` is a data object; drain in `MIND`

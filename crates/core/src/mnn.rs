@@ -227,6 +227,8 @@ where
     let mut heap = scratch.take_best_first();
     let mut mind_buf = scratch.take_f64();
     let mut maxd_buf = scratch.take_f64();
+    let mut hints = scratch.take_hints();
+    let hinting = is.pool().prefetch_enabled();
     let root = Entry::Node(crate::node::NodeEntry {
         page: is.root_page(),
         count: is.num_points(),
@@ -294,15 +296,32 @@ where
                             entry: *e,
                         });
                         out.stats.enqueued += 1;
+                        if hinting {
+                            if let Entry::Node(c) = e {
+                                // First touch only: a node-cached page is
+                                // served without a pool read, so hinting it
+                                // would be pure wasted disk I/O.
+                                if !is.node_is_cached(c.page) {
+                                    hints.push((
+                                        c.page,
+                                        crate::readahead::depth_priority(c.count),
+                                    ));
+                                }
+                            }
+                        }
                     } else {
                         out.stats.pruned_on_probe += 1;
                     }
                 }
+                // Readahead for the pages just pushed: changes only when
+                // their physical reads happen, never the search decisions.
+                crate::readahead::submit(is.pool(), &mut hints);
             }
         }
     }
     scratch.put_best_first(heap);
     scratch.put_f64(mind_buf);
     scratch.put_f64(maxd_buf);
+    scratch.put_hints(hints);
     Ok(())
 }

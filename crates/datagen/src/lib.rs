@@ -90,16 +90,24 @@ fn normal(rng: &mut StdRng) -> f64 {
 
 /// `n` points uniform in the unit cube.
 pub fn uniform<const D: usize>(n: usize, seed: u64) -> Vec<(u64, Point<D>)> {
+    uniform_stream(n, seed).collect()
+}
+
+/// The exact sequence [`uniform`] materializes, as a lazy iterator: the
+/// streaming bulk builders consume this directly, so arbitrarily large
+/// datasets never exist in memory at once.
+pub fn uniform_stream<const D: usize>(
+    n: usize,
+    seed: u64,
+) -> impl Iterator<Item = (u64, Point<D>)> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|i| {
-            let mut c = [0.0; D];
-            for v in c.iter_mut() {
-                *v = rng.gen_range(0.0..1.0);
-            }
-            (i as u64, Point::new(c))
-        })
-        .collect()
+    (0..n).map(move |i| {
+        let mut c = [0.0; D];
+        for v in c.iter_mut() {
+            *v = rng.gen_range(0.0..1.0);
+        }
+        (i as u64, Point::new(c))
+    })
 }
 
 /// `n` points from a mixture of `clusters` spherical gaussians with the
@@ -288,6 +296,13 @@ mod tests {
         assert_eq!(tac_like(100, 7), tac_like(100, 7));
         assert_eq!(fc_like(100, 7), fc_like(100, 7));
         assert_ne!(uniform::<2>(100, 7), uniform::<2>(100, 8));
+    }
+
+    #[test]
+    fn uniform_stream_matches_materialized_uniform() {
+        let eager = uniform::<3>(500, 42);
+        let lazy: Vec<_> = uniform_stream::<3>(500, 42).collect();
+        assert_eq!(eager, lazy);
     }
 
     #[test]

@@ -244,6 +244,78 @@ mod tests {
     }
 
     #[test]
+    fn hilbert_at_full_bits_spans_the_whole_key_range() {
+        // 21 bits per dimension is the mapper's full 2-D resolution
+        // (42-bit keys). The curve starts at the origin, every key stays
+        // inside [0, 2^42), and the grid corners map to distinct keys.
+        let bits = 21;
+        let max = (1u32 << bits) - 1;
+        assert_eq!(hilbert(&[0u32, 0u32], bits), 0);
+        assert_eq!(z_order(&[max, max], bits), (1u128 << (2 * bits)) - 1);
+        let corners = [[0, 0], [max, 0], [0, max], [max, max]];
+        let mut keys: Vec<u128> = corners.iter().map(|c| hilbert(c, bits)).collect();
+        for &k in &keys {
+            assert!(k < 1u128 << (2 * bits));
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 4, "corner cells collide");
+        // Unit-step walks along opposite grid edges keep keys distinct —
+        // injectivity exercised at full resolution, far from the origin.
+        let mut seen = std::collections::HashSet::new();
+        for step in 0..1000u32 {
+            assert!(seen.insert(hilbert(&[max - step, max], bits)));
+            assert!(seen.insert(hilbert(&[0, step], bits)));
+        }
+    }
+
+    #[test]
+    fn hilbert_at_full_bits_in_3d() {
+        // 3-D also caps at 21 bits per dimension (63-bit keys).
+        let bits = super::bits_for::<3>();
+        assert_eq!(bits, 21);
+        let max = (1u32 << bits) - 1;
+        assert_eq!(hilbert(&[0u32, 0, 0], bits), 0);
+        let mut keys: Vec<u128> = [[max, 0, 0], [0, max, 0], [0, 0, max], [max, max, max]]
+            .iter()
+            .map(|c| hilbert(c, bits))
+            .collect();
+        for &k in &keys {
+            assert!(k < 1u128 << (3 * bits));
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 4);
+    }
+
+    #[test]
+    fn grid_mapper_survives_extreme_extents_at_full_bits() {
+        // A box spanning ~1e154 in every direction: the scale factor is
+        // tiny but finite, and the corners still land on the grid corners.
+        let g = GridMapper::new(Mbr::new([-1e154, -1e154], [1e154, 1e154]));
+        assert_eq!(g.bits(), 21);
+        let max = (1u64 << g.bits()) as u32 - 1;
+        assert_eq!(g.cell(&Point::new([-1e154, -1e154])), [0, 0]);
+        assert_eq!(g.cell(&Point::new([1e154, 1e154])), [max, max]);
+        assert_eq!(g.hilbert_key(&Point::new([-1e154, -1e154])), 0);
+        assert!(g.hilbert_key(&Point::new([1e154, 1e154])) < 1u128 << 42);
+
+        // A box of near-denormal extent: the scale factor is ~2e306, so
+        // the product overflows to ±infinity for far-away points and the
+        // saturating float→int cast must clamp to the grid, not wrap.
+        let g = GridMapper::new(Mbr::new([0.0, 0.0], [1e-300, 1e-300]));
+        assert_eq!(g.cell(&Point::new([0.0, 0.0])), [0, 0]);
+        assert_eq!(g.cell(&Point::new([1e-300, 1e-300])), [max, max]);
+        assert_eq!(g.cell(&Point::new([1.0, -1.0])), [max, 0]);
+
+        // Wildly asymmetric extents quantize each dimension independently.
+        let g = GridMapper::new(Mbr::new([0.0, 0.0], [1e300, 1e-12]));
+        let c = g.cell(&Point::new([5e299, 0.75e-12]));
+        assert!(c[0].abs_diff(1 << 20) <= 1, "mid-extent cell: {}", c[0]);
+        assert!(c[1].abs_diff(3 << 19) <= 1, "3/4-extent cell: {}", c[1]);
+    }
+
+    #[test]
     fn keys_sort_nearby_points_together() {
         // Points in the same quadrant should be contiguous under both curves
         // relative to a far-away point.

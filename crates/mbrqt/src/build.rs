@@ -1,6 +1,7 @@
 //! Top-down bulk construction of an MBRQT.
 
 use crate::{cell_of_point, cell_quadrant, Mbrqt, MbrqtConfig};
+use ann_core::extsort::PointSpill;
 use ann_core::node::{write_node, Entry, Node, NodeEntry, ObjectEntry};
 use ann_core::trace::{Phase, Side, TraceEvent, Tracer};
 use ann_geom::{Mbr, Point};
@@ -93,6 +94,175 @@ pub(crate) fn bulk_build<const D: usize>(
     txn.commit()?;
     tracer.span_exit(Phase::Build, span_b, io_now);
     Ok(tree)
+}
+
+/// Builds the tree from a point *stream*; see [`Mbrqt::bulk_build_stream`].
+///
+/// The quadtree's distribution partitioning externalizes naturally: the
+/// stream is consumed once into a raw spill on `scratch` (computing the
+/// bounds that fix the universe), and each oversized partition is split
+/// into per-cell child spills by one sequential scan. A partition that
+/// fits `memory_budget` records materializes and delegates to the
+/// in-memory [`Builder`] — from there down the tree is built by exactly
+/// the same decisions as [`bulk_build`], so the streaming build produces
+/// the *identical* tree structure for the same input set (partitioning by
+/// cell is order-preserving per cell, and `Builder::build` re-partitions
+/// the same cells the external pass did).
+pub(crate) fn bulk_build_stream<const D: usize>(
+    pool: Arc<BufferPool>,
+    scratch: Arc<BufferPool>,
+    points: impl IntoIterator<Item = (u64, Point<D>)>,
+    memory_budget: usize,
+    config: &MbrqtConfig,
+    side: Side,
+    tracer: Tracer<'_>,
+) -> Result<Mbrqt<D>> {
+    let io_now = || pool.stats();
+    let span_b = tracer.span_enter(Phase::Build, io_now);
+    // Pass 1: spill the stream, computing bounds (and the finite check).
+    let spill = PointSpill::consume(Arc::clone(&scratch), points)?;
+    let bounds = spill.bounds;
+    let universe = if spill.len == 0 {
+        Mbr::new([0.0; D], {
+            let mut hi = [0.0; D];
+            hi.iter_mut().for_each(|v| *v = 1.0);
+            hi
+        })
+    } else {
+        let mut u = bounds;
+        for d in 0..D {
+            if u.extent(d) <= 0.0 {
+                u.hi[d] = u.lo[d] + 1.0;
+            }
+        }
+        u
+    };
+
+    let meta_page = pool.allocate()?;
+    let journal = crate::create_journal_after_meta(&pool, meta_page)?;
+    let bucket_capacity = config.resolved_bucket_capacity::<D>();
+    let levels_per_node = config.resolved_levels_per_node::<D>();
+    let mut builder = Builder {
+        store: pool.as_ref(),
+        bucket_capacity,
+        levels_per_node,
+        max_depth: config.max_depth,
+        use_subtree_mbrs: config.use_subtree_mbrs,
+        level_tally: tracer.enabled().then(Vec::new),
+    };
+    // A budget below one bucket would materialize less than a leaf holds.
+    let budget = memory_budget.max(bucket_capacity).max(1);
+    let root_entry = build_external(&mut builder, &scratch, &spill, universe, 0, 0, budget)?;
+    if let Some(tally) = builder.level_tally.take() {
+        for (level, &nodes) in tally.iter().enumerate() {
+            if nodes > 0 {
+                tracer.event(|| TraceEvent::IndexLevelBuilt {
+                    side,
+                    level: level as u32,
+                    nodes,
+                });
+            }
+        }
+    }
+
+    let tree = Mbrqt {
+        pool: Arc::clone(&pool),
+        meta_page,
+        journal,
+        root: root_entry.page,
+        universe,
+        bounds,
+        num_points: spill.len,
+        bucket_capacity,
+        levels_per_node,
+        max_depth: config.max_depth,
+        use_subtree_mbrs: config.use_subtree_mbrs,
+        cache: ann_core::node_cache::NodeCache::default(),
+    };
+    pool.flush_all()?;
+    let txn = Txn::begin(&pool, journal);
+    tree.save_meta_to(&txn)?;
+    txn.commit()?;
+    tracer.span_exit(Phase::Build, span_b, io_now);
+    Ok(tree)
+}
+
+/// One step of the external distribution partitioning: materialize when
+/// the partition fits the budget (or the depth budget is exhausted —
+/// heavy duplicates stop making partitioning progress, exactly as in the
+/// in-memory build), otherwise split into per-cell spills and recurse.
+fn build_external<const D: usize, S: PageStore>(
+    builder: &mut Builder<'_, S>,
+    scratch: &Arc<BufferPool>,
+    part: &PointSpill<D>,
+    quadrant: Mbr<D>,
+    depth: usize,
+    level: u32,
+    budget: usize,
+) -> Result<NodeEntry<D>> {
+    if part.len as usize <= budget || depth >= builder.max_depth {
+        let mut pts: Vec<(u64, Point<D>)> = Vec::with_capacity(part.len as usize);
+        part.replay(|oid, p| {
+            pts.push((oid, p));
+            Ok(())
+        })?;
+        return builder.build(&mut pts, quadrant, depth, level);
+    }
+    if let Some(tally) = builder.level_tally.as_mut() {
+        let level = level as usize;
+        if tally.len() <= level {
+            tally.resize(level + 1, 0);
+        }
+        tally[level] += 1;
+    }
+    // Same cell decomposition `Builder::build` would pick at this node.
+    let levels = builder.pick_levels::<D>(part.len as usize, depth);
+    let mut parts: Vec<(usize, PointSpill<D>)> = Vec::new();
+    part.replay(|oid, p| {
+        let idx = cell_of_point(&quadrant, &p, levels);
+        match parts.binary_search_by_key(&idx, |(i, _)| *i) {
+            Ok(at) => parts[at].1.push(oid, p),
+            Err(at) => {
+                let mut child = PointSpill::create(Arc::clone(scratch))?;
+                child.push(oid, p)?;
+                parts.insert(at, (idx, child));
+                Ok(())
+            }
+        }
+    })?;
+    let mut node = Node {
+        is_leaf: false,
+        aux: 0,
+        mbr: Mbr::empty(),
+        entries: Vec::with_capacity(parts.len()),
+    };
+    for (idx, child) in parts {
+        let child_q = cell_quadrant(&quadrant, idx, levels);
+        let entry = build_external(
+            builder,
+            scratch,
+            &child,
+            child_q,
+            depth + levels,
+            level + 1,
+            budget,
+        )?;
+        node.entries.push(Entry::Node(entry));
+    }
+    node.recompute_mbr();
+    node.aux = levels as u8;
+    let count = node.count();
+    let page = builder.store.allocate()?;
+    write_node(builder.store, page, &node)?;
+    Ok(NodeEntry {
+        page,
+        count,
+        mbr: if builder.use_subtree_mbrs {
+            node.mbr
+        } else {
+            quadrant
+        },
+    })
 }
 
 pub(crate) struct Builder<'a, S: PageStore> {

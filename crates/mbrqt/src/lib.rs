@@ -198,6 +198,49 @@ impl<const D: usize> Mbrqt<D> {
         build::bulk_build(pool, points, config, side, tracer)
     }
 
+    /// Builds a tree from a point *stream*, keeping memory bounded by
+    /// `memory_budget` records: the stream spills to `scratch` (fixing
+    /// the universe from the computed bounds) and oversized partitions
+    /// split externally, cell by cell, until they fit the budget — from
+    /// there down construction delegates to the same in-memory builder as
+    /// [`bulk_build`](Self::bulk_build), so the resulting tree structure
+    /// is identical to what `bulk_build` would produce for the same
+    /// input.
+    ///
+    /// `scratch` holds only temporary spill pages — give it its own pool
+    /// so spill traffic cannot evict the tree's pages from `pool`.
+    pub fn bulk_build_stream(
+        pool: Arc<BufferPool>,
+        scratch: Arc<BufferPool>,
+        points: impl IntoIterator<Item = (u64, Point<D>)>,
+        memory_budget: usize,
+        config: &MbrqtConfig,
+    ) -> Result<Self> {
+        build::bulk_build_stream(
+            pool,
+            scratch,
+            points,
+            memory_budget,
+            config,
+            Side::R,
+            Tracer::disabled(),
+        )
+    }
+
+    /// [`bulk_build_stream`](Self::bulk_build_stream) with an attached
+    /// [`Tracer`] (build span + per-level node tallies).
+    pub fn bulk_build_stream_traced(
+        pool: Arc<BufferPool>,
+        scratch: Arc<BufferPool>,
+        points: impl IntoIterator<Item = (u64, Point<D>)>,
+        memory_budget: usize,
+        config: &MbrqtConfig,
+        side: Side,
+        tracer: Tracer<'_>,
+    ) -> Result<Self> {
+        build::bulk_build_stream(pool, scratch, points, memory_budget, config, side, tracer)
+    }
+
     /// Opens a previously built tree from its metadata page.
     ///
     /// Opening runs crash recovery first — a committed-but-unapplied

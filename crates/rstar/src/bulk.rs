@@ -6,6 +6,7 @@
 //! entries the same way into internal levels until one node remains.
 
 use crate::{RStar, RStarConfig};
+use ann_core::extsort::{HilbertSorter, PointSpill};
 use ann_core::node::{write_node, Entry, Node, NodeEntry, ObjectEntry};
 use ann_core::trace::{Phase, Side, TraceEvent, Tracer};
 use ann_geom::{Mbr, Point};
@@ -142,6 +143,171 @@ pub(crate) fn bulk_build<const D: usize>(
     if tracer.enabled() {
         // round 0 = leaves; report levels with 0 = root to match the
         // query-side per-level accounting.
+        for (round, &nodes) in round_nodes.iter().enumerate() {
+            let level = round_nodes.len() as u32 - 1 - round as u32;
+            tracer.event(|| TraceEvent::IndexLevelBuilt { side, level, nodes });
+        }
+    }
+    tracer.span_exit(Phase::Build, span_b, io_now);
+    Ok(tree)
+}
+
+/// Builds a packed tree from a point *stream*; see
+/// [`RStar::bulk_build_stream`].
+///
+/// Unlike [`bulk_build`], which materializes and tiles the whole dataset
+/// (STR), this keeps memory bounded by `run_budget` records regardless of
+/// input size:
+///
+/// 1. the stream is consumed once into a raw spill on `scratch`, which
+///    computes the dataset bounds the Hilbert grid needs up front;
+/// 2. the spill replays into a [`HilbertSorter`] (runs of `run_budget`
+///    records, spilled sorted, k-way merged);
+/// 3. leaves are packed *sequentially* from the merged `(hilbert_key,
+///    oid)` order — curve locality replaces STR's tiling — and internal
+///    levels chunk the previous level's entries in that same order.
+///
+/// The result is deterministic for a given input *set* (the `(key, oid)`
+/// order is total, so chunking of the input stream is immaterial) but is
+/// a different — Hilbert-packed rather than STR-packed — tree than
+/// [`bulk_build`] produces. All structural invariants
+/// ([`ann_core::index::validate`]) hold identically.
+pub(crate) fn bulk_build_stream<const D: usize>(
+    pool: Arc<BufferPool>,
+    scratch: Arc<BufferPool>,
+    points: impl IntoIterator<Item = (u64, Point<D>)>,
+    run_budget: usize,
+    config: &RStarConfig,
+    side: Side,
+    tracer: Tracer<'_>,
+) -> Result<RStar<D>> {
+    let io_now = || pool.stats();
+    let span_b = tracer.span_enter(Phase::Build, io_now);
+    let max_leaf = config.resolved_max::<D>(true);
+    let max_internal = config.resolved_max::<D>(false);
+
+    // Pass 1: stream to a raw spill (bounds + finite check).
+    let spill = PointSpill::consume(Arc::clone(&scratch), points)?;
+    // Pass 2: replay through the external sorter.
+    let mut sorter = HilbertSorter::new(Arc::clone(&scratch), spill.bounds, run_budget.max(1));
+    spill.replay(|oid, p| sorter.push(oid, p))?;
+    let mut stream = sorter.finish()?;
+
+    let meta_page = pool.allocate()?;
+    let journal = crate::create_journal_after_meta(&pool, meta_page)?;
+    let leaf_fill = ((max_leaf * 9) / 10).max(1);
+    let internal_fill = ((max_internal * 9) / 10).max(2);
+
+    // Pack leaves sequentially in merge order.
+    let mut current: Vec<Entry<D>> = Vec::new();
+    let mut height = 1u32;
+    let mut round_nodes: Vec<u64> = Vec::new();
+    let mut pending: Vec<Entry<D>> = Vec::with_capacity(leaf_fill);
+    loop {
+        let rec = stream.next_point()?;
+        if let Some(r) = &rec {
+            pending.push(Entry::Object(ObjectEntry {
+                oid: r.oid,
+                point: r.point,
+            }));
+        }
+        if pending.len() == leaf_fill || (rec.is_none() && !pending.is_empty()) {
+            let mut node = Node {
+                is_leaf: true,
+                aux: 0,
+                mbr: Mbr::empty(),
+                entries: std::mem::take(&mut pending),
+            };
+            node.recompute_mbr();
+            let page = pool.allocate()?;
+            write_node(&pool, page, &node)?;
+            current.push(Entry::Node(NodeEntry {
+                page,
+                count: node.entries.len() as u64,
+                mbr: node.mbr,
+            }));
+            pending = node.entries; // recycle the (moved-out) capacity
+            pending.clear();
+        }
+        if rec.is_none() {
+            break;
+        }
+    }
+
+    // Empty dataset: a single empty leaf as the root, exactly as in the
+    // in-memory build.
+    if current.is_empty() {
+        let page = pool.allocate()?;
+        write_node::<D>(&pool, page, &Node::empty_leaf())?;
+        let tree = RStar {
+            pool: Arc::clone(&pool),
+            meta_page,
+            journal,
+            root: page,
+            height: 1,
+            num_points: 0,
+            bounds: Mbr::empty(),
+            max_leaf,
+            max_internal,
+            min_fill_percent: config.min_fill_percent.clamp(10, 50),
+            reinsert_percent: config.reinsert_percent.min(45),
+            cache: ann_core::node_cache::NodeCache::default(),
+        };
+        commit_meta(&pool, &tree)?;
+        tracer.event(|| TraceEvent::IndexLevelBuilt {
+            side,
+            level: 0,
+            nodes: 1,
+        });
+        tracer.span_exit(Phase::Build, span_b, io_now);
+        return Ok(tree);
+    }
+    round_nodes.push(current.len() as u64);
+
+    // Internal levels: consecutive chunks of the previous level, which is
+    // already in Hilbert order — sequential chunking preserves locality.
+    while current.len() > 1 {
+        let mut next: Vec<Entry<D>> = Vec::with_capacity(current.len().div_ceil(internal_fill));
+        for chunk in current.chunks(internal_fill) {
+            let mut node = Node {
+                is_leaf: false,
+                aux: 0,
+                mbr: Mbr::empty(),
+                entries: chunk.to_vec(),
+            };
+            node.recompute_mbr();
+            let page = pool.allocate()?;
+            write_node(&pool, page, &node)?;
+            next.push(Entry::Node(NodeEntry {
+                page,
+                count: node.count(),
+                mbr: node.mbr,
+            }));
+        }
+        round_nodes.push(next.len() as u64);
+        current = next;
+        height += 1;
+    }
+
+    let Entry::Node(root_entry) = current[0] else {
+        unreachable!("packing produces node entries")
+    };
+    let tree = RStar {
+        pool: Arc::clone(&pool),
+        meta_page,
+        journal,
+        root: root_entry.page,
+        height,
+        num_points: spill.len,
+        bounds: spill.bounds,
+        max_leaf,
+        max_internal,
+        min_fill_percent: config.min_fill_percent.clamp(10, 50),
+        reinsert_percent: config.reinsert_percent.min(45),
+        cache: ann_core::node_cache::NodeCache::default(),
+    };
+    commit_meta(&pool, &tree)?;
+    if tracer.enabled() {
         for (round, &nodes) in round_nodes.iter().enumerate() {
             let level = round_nodes.len() as u32 - 1 - round as u32;
             tracer.event(|| TraceEvent::IndexLevelBuilt { side, level, nodes });

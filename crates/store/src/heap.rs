@@ -142,44 +142,51 @@ impl HeapFile {
 
     /// Visits the records `start .. start + count` in order, calling
     /// `f(index, bytes)`. Reads each touched page once.
+    ///
+    /// Each page is copied out of the pool before `f` runs, so the
+    /// callback may itself go through the same pool (e.g. appending to
+    /// another heap file) without deadlocking on a page latch.
     pub fn scan_range(&self, start: u64, count: u64, mut f: impl FnMut(u64, &[u8])) -> Result<()> {
         if start + count > self.len {
             return Err(StoreError::corrupt("heap scan range out of bounds"));
         }
         let rec_size = self.record_size;
+        let mut copy = vec![0u8; PAGE_SIZE];
         let mut idx = start;
         let end = start + count;
         while idx < end {
             let page = self.pages[idx as usize / self.per_page];
             let first_slot = idx as usize % self.per_page;
             let here = (self.per_page - first_slot).min((end - idx) as usize);
-            self.pool.with_page(page, |bytes| {
-                for s in 0..here {
-                    let at = HEADER + (first_slot + s) * rec_size;
-                    f(idx + s as u64, &bytes[at..at + rec_size]);
-                }
-            })?;
+            self.pool.with_page(page, |bytes| copy.copy_from_slice(bytes))?;
+            for s in 0..here {
+                let at = HEADER + (first_slot + s) * rec_size;
+                f(idx + s as u64, &copy[at..at + rec_size]);
+            }
             idx += here as u64;
         }
         Ok(())
     }
 
     /// Visits every record in order, calling `f(index, bytes)`.
+    ///
+    /// Each page is copied out of the pool before `f` runs, so the
+    /// callback may itself go through the same pool (e.g. appending to
+    /// another heap file) without deadlocking on a page latch.
     pub fn scan(&self, mut f: impl FnMut(u64, &[u8])) -> Result<()> {
         let mut page = self.first;
         let mut idx = 0u64;
         let rec_size = self.record_size;
+        let mut copy = vec![0u8; PAGE_SIZE];
         while page != INVALID_PAGE {
-            let next = self.pool.with_page(page, |bytes| {
-                let count = read_u32(bytes, 4) as usize;
-                for slot in 0..count {
-                    let at = HEADER + slot * rec_size;
-                    f(idx, &bytes[at..at + rec_size]);
-                    idx += 1;
-                }
-                read_u32(bytes, 0)
-            })?;
-            page = next;
+            self.pool.with_page(page, |bytes| copy.copy_from_slice(bytes))?;
+            let count = read_u32(&copy, 4) as usize;
+            for slot in 0..count {
+                let at = HEADER + slot * rec_size;
+                f(idx, &copy[at..at + rec_size]);
+                idx += 1;
+            }
+            page = read_u32(&copy, 0);
         }
         Ok(())
     }

@@ -67,7 +67,7 @@ pub use faulty::{splitmix64, FaultyDisk, InjectedFault};
 pub use heap::HeapFile;
 pub use journal::{Journal, Recovery};
 pub use page::{PageId, FRAME_SIZE, INVALID_PAGE, PAGE_SIZE, PAGE_TRAILER};
-pub use pool::{BufferPool, PageStore, RetryPolicy, QUARANTINED};
+pub use pool::{BufferPool, PageStore, PrefetchConfig, RetryPolicy, QUARANTINED};
 pub use stats::{IoSnapshot, IoStats};
 pub use txn::Txn;
 

@@ -83,6 +83,40 @@ impl LruList {
         self.len += 1;
     }
 
+    /// Inserts `idx` at the *cold* (least-recently-used) end if absent;
+    /// an index already in the list keeps its position. Prefetched frames
+    /// enter here so that speculative readahead can never push a demanded
+    /// page out of the hot end — a scan of never-demanded prefetches is
+    /// first-out (scan resistance).
+    pub(crate) fn push_cold(&mut self, idx: u32) {
+        if self.links[idx as usize].in_list {
+            return;
+        }
+        let link = &mut self.links[idx as usize];
+        link.prev = self.tail;
+        link.next = NIL;
+        link.in_list = true;
+        if self.tail != NIL {
+            self.links[self.tail as usize].next = idx;
+        }
+        self.tail = idx;
+        if self.head == NIL {
+            self.head = idx;
+        }
+        self.len += 1;
+    }
+
+    /// The least-recently-used index — the next eviction victim — without
+    /// removing it. The prefetch pump peeks here so it can stall rather
+    /// than evict one of its own not-yet-claimed frames.
+    pub(crate) fn peek_lru(&self) -> Option<u32> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some(self.tail)
+        }
+    }
+
     /// Removes and returns the least-recently-used index, if any.
     pub(crate) fn pop_lru(&mut self) -> Option<u32> {
         if self.tail == NIL {
@@ -181,6 +215,34 @@ mod tests {
         lru.touch(7);
         assert_eq!(lru.pop_lru(), Some(0));
         assert_eq!(lru.pop_lru(), Some(7));
+    }
+
+    #[test]
+    fn push_cold_inserts_at_lru_end() {
+        let mut lru = LruList::new(4);
+        lru.touch(0);
+        lru.touch(1); // order (MRU..LRU): 1, 0
+        lru.push_cold(2); // order: 1, 0, 2
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.pop_lru(), Some(2));
+        assert_eq!(lru.pop_lru(), Some(0));
+        assert_eq!(lru.pop_lru(), Some(1));
+        assert_eq!(lru.pop_lru(), None);
+    }
+
+    #[test]
+    fn push_cold_keeps_existing_position() {
+        let mut lru = LruList::new(4);
+        lru.touch(0);
+        lru.touch(1); // order: 1, 0
+        lru.push_cold(1); // 1 is resident at the head: position unchanged
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.pop_lru(), Some(0));
+        assert_eq!(lru.pop_lru(), Some(1));
+        // Into an empty list, push_cold is both head and tail.
+        lru.push_cold(3);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.pop_lru(), Some(3));
     }
 
     #[test]

@@ -19,6 +19,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// benchmark tracks). `evictions` counts resident pages pushed out to make
 /// room, which together with `pool_misses` shows whether a phase is
 /// thrashing the pool or merely cold.
+///
+/// The prefetcher keeps its own triple: `prefetch_issued` counts pages it
+/// physically read ahead of demand, `prefetch_hits` counts prefetched
+/// frames later claimed by a demand access, and `prefetch_wasted` counts
+/// prefetched frames evicted without ever being demanded. None of these
+/// feed `logical_reads` — readahead changes *when* a physical read
+/// happens, never whether a logical one does.
 #[derive(Default, Debug)]
 pub struct IoStats {
     logical_reads: AtomicU64,
@@ -32,6 +39,9 @@ pub struct IoStats {
     evictions: AtomicU64,
     quarantined_pages: AtomicU64,
     quarantine_hits: AtomicU64,
+    prefetch_issued: AtomicU64,
+    prefetch_hits: AtomicU64,
+    prefetch_wasted: AtomicU64,
 }
 
 impl IoStats {
@@ -84,6 +94,18 @@ impl IoStats {
         self.quarantine_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_prefetch_issued(&self) {
+        self.prefetch_issued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_prefetch_hit(&self) {
+        self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_prefetch_wasted(&self) {
+        self.prefetch_wasted.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reads just the physical-read counter, without folding a full
     /// snapshot. Query guards poll this on every expansion when an I/O
     /// budget is armed, so it must stay a single relaxed load.
@@ -105,6 +127,9 @@ impl IoStats {
             evictions: self.evictions.load(Ordering::Relaxed),
             quarantined_pages: self.quarantined_pages.load(Ordering::Relaxed),
             quarantine_hits: self.quarantine_hits.load(Ordering::Relaxed),
+            prefetch_issued: self.prefetch_issued.load(Ordering::Relaxed),
+            prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
+            prefetch_wasted: self.prefetch_wasted.load(Ordering::Relaxed),
         }
     }
 
@@ -121,6 +146,9 @@ impl IoStats {
         self.evictions.store(0, Ordering::Relaxed);
         self.quarantined_pages.store(0, Ordering::Relaxed);
         self.quarantine_hits.store(0, Ordering::Relaxed);
+        self.prefetch_issued.store(0, Ordering::Relaxed);
+        self.prefetch_hits.store(0, Ordering::Relaxed);
+        self.prefetch_wasted.store(0, Ordering::Relaxed);
     }
 }
 
@@ -152,6 +180,15 @@ pub struct IoSnapshot {
     pub quarantined_pages: u64,
     /// Accesses rejected fast because the page was already quarantined.
     pub quarantine_hits: u64,
+    /// Pages the prefetcher physically read ahead of demand (each also
+    /// counts one `physical_reads`; none counts a logical read).
+    pub prefetch_issued: u64,
+    /// Prefetched frames later claimed by a demand access — the read the
+    /// prefetcher turned from a stall into a pool hit.
+    pub prefetch_hits: u64,
+    /// Prefetched frames evicted before any demand access claimed them:
+    /// readahead bandwidth spent for nothing.
+    pub prefetch_wasted: u64,
 }
 
 impl IoSnapshot {
@@ -182,6 +219,9 @@ impl IoSnapshot {
             evictions: self.evictions - earlier.evictions,
             quarantined_pages: self.quarantined_pages - earlier.quarantined_pages,
             quarantine_hits: self.quarantine_hits - earlier.quarantine_hits,
+            prefetch_issued: self.prefetch_issued - earlier.prefetch_issued,
+            prefetch_hits: self.prefetch_hits - earlier.prefetch_hits,
+            prefetch_wasted: self.prefetch_wasted - earlier.prefetch_wasted,
         }
     }
 
@@ -200,6 +240,9 @@ impl IoSnapshot {
             evictions: self.evictions + other.evictions,
             quarantined_pages: self.quarantined_pages + other.quarantined_pages,
             quarantine_hits: self.quarantine_hits + other.quarantine_hits,
+            prefetch_issued: self.prefetch_issued + other.prefetch_issued,
+            prefetch_hits: self.prefetch_hits + other.prefetch_hits,
+            prefetch_wasted: self.prefetch_wasted + other.prefetch_wasted,
         }
     }
 }
@@ -223,6 +266,9 @@ mod tests {
         s.record_eviction();
         s.record_quarantined_page();
         s.record_quarantine_hit();
+        s.record_prefetch_issued();
+        s.record_prefetch_hit();
+        s.record_prefetch_wasted();
         let snap = s.snapshot();
         assert_eq!(snap.logical_reads, 2);
         assert_eq!(snap.physical_reads, 1);
@@ -235,6 +281,9 @@ mod tests {
         assert_eq!(snap.evictions, 1);
         assert_eq!(snap.quarantined_pages, 1);
         assert_eq!(snap.quarantine_hits, 1);
+        assert_eq!(snap.prefetch_issued, 1);
+        assert_eq!(snap.prefetch_hits, 1);
+        assert_eq!(snap.prefetch_wasted, 1);
         assert_eq!(snap.physical_total(), 2);
         assert_eq!(snap.hit_rate(), 0.5);
     }
@@ -261,6 +310,8 @@ mod tests {
         s.record_pool_miss();
         s.record_quarantined_page();
         s.record_quarantine_hit();
+        s.record_prefetch_issued();
+        s.record_prefetch_hit();
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.logical_reads, 1);
@@ -269,6 +320,9 @@ mod tests {
         assert_eq!(d.pool_misses, 1);
         assert_eq!(d.quarantined_pages, 1);
         assert_eq!(d.quarantine_hits, 1);
+        assert_eq!(d.prefetch_issued, 1);
+        assert_eq!(d.prefetch_hits, 1);
+        assert_eq!(d.prefetch_wasted, 0);
     }
 
     #[test]
@@ -278,6 +332,8 @@ mod tests {
         s.record_pool_hit();
         s.record_quarantined_page();
         s.record_quarantine_hit();
+        s.record_prefetch_issued();
+        s.record_prefetch_wasted();
         let a = s.snapshot();
         let m = a.merge(&a);
         assert_eq!(m.logical_reads, 2);
@@ -285,5 +341,8 @@ mod tests {
         assert_eq!(m.physical_reads, 0);
         assert_eq!(m.quarantined_pages, 2);
         assert_eq!(m.quarantine_hits, 2);
+        assert_eq!(m.prefetch_issued, 2);
+        assert_eq!(m.prefetch_hits, 0);
+        assert_eq!(m.prefetch_wasted, 2);
     }
 }

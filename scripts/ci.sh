@@ -97,6 +97,57 @@ print(f"validated {len(rep['rows'])} robustness rows, "
       f"max overhead {rep['max_overhead_percent']:.2f}%")
 EOF
 
+# Out-of-core gate (DESIGN.md §13): the checker classes above already run
+# with readahead enabled (diff proves decision-identity, faults proves
+# the trichotomy survives batched reads). The committed sweep artifact
+# must stay schema-valid, keep every prefetch-on row byte-identical to
+# its off twin with identical logical reads, and show the prefetcher
+# actually engaging (hits > 0) on the cold cells where the dataset is
+# ≥ 10× the pool. Regenerate with `figures outofcore --json results`
+# (offline: target/devcheck/bin/figures).
+python3 - results/BENCH_outofcore.json <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+assert rep["id"] == "BENCH_outofcore"
+req = {"points", "pool_pages", "dataset_pages", "prefetch", "build_seconds",
+       "wall_seconds", "logical_reads", "physical_reads", "prefetch_issued",
+       "prefetch_hits", "prefetch_wasted", "prefetch_hit_rate",
+       "result_pairs", "identical_to_baseline"}
+assert rep["rows"], "no rows"
+by_cell = {}
+for row in rep["rows"]:
+    assert req <= row.keys(), f"missing fields: {req - row.keys()}"
+    assert row["identical_to_baseline"] is True, f"row diverged: {row}"
+    by_cell.setdefault((row["points"], row["pool_pages"]), {})[row["prefetch"]] = row
+cold = []
+for (pts, pool), pair in by_cell.items():
+    assert set(pair) == {False, True}, f"unpaired cell {(pts, pool)}"
+    on, off = pair[True], pair[False]
+    assert on["logical_reads"] == off["logical_reads"], \
+        f"prefetch changed logical reads at {(pts, pool)}"
+    assert on["result_pairs"] == off["result_pairs"]
+    if on["dataset_pages"] >= 10 * pool:
+        cold.append(on)
+        assert on["prefetch_hits"] > 0, f"no prefetch hits at cold cell {(pts, pool)}"
+assert cold, "no cold (dataset >= 10x pool) cells in the sweep"
+largest = max(cold, key=lambda r: (r["points"], -r["pool_pages"]))
+pair = by_cell[(largest["points"], largest["pool_pages"])]
+assert pair[True]["wall_seconds"] < pair[False]["wall_seconds"], \
+    (f"prefetch loses at the largest cold cell: "
+     f"on {pair[True]['wall_seconds']:.3f}s vs off {pair[False]['wall_seconds']:.3f}s")
+c = rep["census"]
+assert c["census_complete"] is True, "external-build census incomplete"
+assert c["points"] >= 10_000_000, "census below 10^7 points"
+print(f"validated {len(rep['rows'])} outofcore rows, "
+      f"{len(cold)} cold cells, census n={c['points']}")
+EOF
+
+# External-build-then-query smoke at 10x pool pressure: a small live run
+# (fast even on a laptop) that streams the build to a real file and
+# re-checks decision-identity end to end.
+cargo run --release -p ann-bench --bin figures -- outofcore \
+  --scale 0.002 --points 20000 --pool-pages 16 > /dev/null
+
 # Trace-report smoke: a tiny figure run with --trace must emit one valid
 # JSON ExecutionReport per run.
 trace_dir=$(mktemp -d)
