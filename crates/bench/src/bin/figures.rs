@@ -11,6 +11,7 @@
 //!   robustness          resilience fault-free-overhead study (BENCH_robustness.json)
 //!   outofcore           streaming-build + prefetch sweep (BENCH_outofcore.json);
 //!                       honors --points N --pool-pages P --seed S overrides
+//!   serving             closed-loop HTTP front-end load sweep (BENCH_serving.json)
 //!   all                 run every figure
 //!   list-datasets       print Table 2 (with the scaled cardinalities)
 //! ```
@@ -161,6 +162,16 @@ fn emit_outofcore(rep: ann_bench::report::OutofcoreReport, json_dir: &Option<Pat
     }
 }
 
+fn emit_serving(rep: ann_bench::report::ServingReport, json_dir: &Option<PathBuf>) {
+    print!("{}", rep.render());
+    println!();
+    if let Some(dir) = json_dir {
+        if let Err(e) = rep.write_json(dir) {
+            eprintln!("warning: could not write JSON for {}: {e}", rep.id);
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -198,6 +209,7 @@ fn main() -> ExitCode {
         "kernels" => emit_kernels(figures::kernels_bench(f), &args.json_dir),
         "robustness" => emit_robustness(figures::robustness_bench(f), &args.json_dir),
         "outofcore" => emit_outofcore(figures::outofcore(f, &args.outofcore), &args.json_dir),
+        "serving" => emit_serving(figures::serving(f), &args.json_dir),
         "all" => {
             for fig in figures::all(f) {
                 emit(fig, &args.json_dir);
@@ -205,6 +217,7 @@ fn main() -> ExitCode {
             emit_scaling(figures::parallel_scaling(f), &args.json_dir);
             emit_kernels(figures::kernels_bench(f), &args.json_dir);
             emit_robustness(figures::robustness_bench(f), &args.json_dir);
+            emit_serving(figures::serving(f), &args.json_dir);
         }
         "list-datasets" => print!("{}", figures::table2(f)),
         other => {

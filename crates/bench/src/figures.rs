@@ -328,6 +328,9 @@ pub fn extra_hnn(fraction: f64) -> Figure {
 /// Extra: scaling of the parallel MBA extension over worker threads.
 /// Builds the indices once and measures the join at 1/2/4/8 threads plus
 /// the serial implementation as the baseline.
+// Drives the legacy per-algorithm entrypoints on purpose: the sweep
+// compares them head-to-head, bypassing the unified dispatch layer.
+#[allow(deprecated)]
 pub fn extra_parallel(fraction: f64) -> Figure {
     use ann_core::mba::{mba, mba_parallel, MbaConfig};
     use ann_geom::NxnDist;
@@ -401,6 +404,8 @@ pub fn extra_parallel(fraction: f64) -> Figure {
 /// buffer pool and against a single-shard pool (the seed's one-big-mutex
 /// design), with the pool hit/miss/contention and node-cache counters
 /// that explain the curves. Emitted as `BENCH_parallel_scaling.json`.
+// Same deliberate legacy-entrypoint use as `extra_parallel` above.
+#[allow(deprecated)]
 pub fn parallel_scaling(fraction: f64) -> crate::report::ScalingReport {
     use crate::report::{ScalingReport, ScalingRow};
     use ann_core::index::SpatialIndex;
@@ -1397,4 +1402,169 @@ mod tests {
             assert!(t.contains(name));
         }
     }
+}
+
+/// The serving load sweep (`BENCH_serving`): the zero-dep HTTP
+/// front-end under closed-loop load.
+///
+/// One in-process [`ann_serve::server::Server`] hosts a TAC-like 2-D
+/// collection; each level runs a fixed pool of concurrent keep-alive
+/// clients, every client issuing full AkNN self-join queries
+/// back-to-back over a real socket. Every response is checked
+/// byte-for-byte against the in-process [`run`](ann_core::query::run)
+/// reference (stats excluded — pool counters legitimately vary under
+/// concurrency), so the sweep doubles as the serving-identity gate:
+/// CI fails on any non-200 response or any result divergence.
+pub fn serving(fraction: f64) -> crate::report::ServingReport {
+    use ann_core::query::{run, Input};
+    use ann_core::stats::AnnStats;
+    use ann_core::wire::{QueryOutcome, QuerySpec};
+    use ann_mbrqt::{Mbrqt, MbrqtConfig};
+    use ann_serve::client::{Client, Conn};
+    use ann_serve::server::{Server, ServerConfig};
+    use ann_store::{BufferPool, MemDisk};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let n = scaled(20_000, fraction);
+    let k = 2;
+    let workers = 4;
+    let queue_depth = 64;
+
+    // The server assigns positional oids on create, so the library-side
+    // reference must be built over the same positional keying.
+    let data = ann_datagen::tac_like(n, SEED);
+    let points: Vec<(u64, Point<2>)> = data
+        .iter()
+        .enumerate()
+        .map(|(i, (_, p))| (i as u64, *p))
+        .collect();
+    let rows: Vec<[f64; 2]> = points.iter().map(|(_, p)| [p.0[0], p.0[1]]).collect();
+
+    let mut spec = QuerySpec::default();
+    spec.k = k;
+    spec.exclude_self = true;
+
+    // Library-side reference, canonicalized to "pairs only".
+    let pairs_only = |results: Vec<ann_core::stats::NeighborPair>| {
+        QueryOutcome {
+            results,
+            stats: AnnStats::default(),
+            report: None,
+        }
+        .to_json()
+    };
+    let pool = Arc::new(BufferPool::new(MemDisk::new(), 2_048));
+    let ir = Mbrqt::bulk_build(pool, &points, &MbrqtConfig::default()).expect("build reference");
+    let expected = Arc::new(pairs_only(
+        run(&spec.to_request(), Input::Index(&ir), Input::Index(&ir))
+            .expect("reference run")
+            .results,
+    ));
+
+    let data_dir = std::env::temp_dir().join(format!("ann-serve-bench-{}", std::process::id()));
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_depth,
+        data_dir: data_dir.clone(),
+        pool_frames: 2_048,
+    })
+    .expect("server starts");
+    let client = Client::new(server.addr().to_string());
+    let created = client
+        .create_collection("bench", "mbrqt", &rows)
+        .expect("create collection");
+    assert_eq!(created.status, 201, "create failed: {}", created.body);
+
+    let mut report = crate::report::ServingReport {
+        id: "BENCH_serving".into(),
+        workload: format!(
+            "TAC-like 2D self-join AkNN (k={k}, |R|=|S|={n}) over the HTTP \
+             front-end: closed-loop keep-alive clients, {workers} workers, \
+             queue depth {queue_depth}, every response checked against \
+             query::run"
+        ),
+        n,
+        k,
+        workers,
+        queue_depth,
+        rows: Vec::new(),
+    };
+
+    let spec_json = Arc::new(spec.to_json());
+    let addr = server.addr().to_string();
+    for clients in [1usize, 8, 32] {
+        let requests_per_client = (256 / clients).max(4);
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let addr = addr.clone();
+                let spec_json = Arc::clone(&spec_json);
+                let expected = Arc::clone(&expected);
+                std::thread::spawn(move || {
+                    let mut latencies = Vec::with_capacity(requests_per_client);
+                    let mut failed = 0usize;
+                    let mut identical = true;
+                    let mut conn = Conn::connect(&addr).expect("connect");
+                    for _ in 0..requests_per_client {
+                        let r0 = Instant::now();
+                        let resp = conn
+                            .request("POST", "/collections/bench/query", &spec_json)
+                            .expect("request");
+                        latencies.push(r0.elapsed().as_micros() as u64);
+                        if resp.status != 200 {
+                            failed += 1;
+                            continue;
+                        }
+                        let pairs = QueryOutcome::from_json(&resp.body)
+                            .map(|o| {
+                                QueryOutcome {
+                                    results: o.results,
+                                    stats: AnnStats::default(),
+                                    report: None,
+                                }
+                                .to_json()
+                            })
+                            .unwrap_or_default();
+                        identical &= pairs == *expected;
+                    }
+                    (latencies, failed, identical)
+                })
+            })
+            .collect();
+
+        let mut latencies = Vec::new();
+        let mut failed = 0usize;
+        let mut identical = true;
+        for h in handles {
+            let (l, f, i) = h.join().expect("client thread");
+            latencies.extend(l);
+            failed += f;
+            identical &= i;
+        }
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        latencies.sort_unstable();
+        let pct = |q: f64| -> f64 {
+            let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+            latencies[idx] as f64
+        };
+        let total = clients * requests_per_client;
+        report.rows.push(crate::report::ServingRow {
+            clients,
+            requests_per_client,
+            total_requests: total,
+            failed_requests: failed,
+            results_identical: identical,
+            wall_seconds,
+            throughput_qps: total as f64 / wall_seconds,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+        });
+    }
+
+    server.shutdown();
+    std::fs::remove_dir_all(&data_dir).ok();
+    report
 }

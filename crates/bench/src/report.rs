@@ -480,6 +480,91 @@ impl OutofcoreReport {
     }
 }
 
+/// One closed-loop serving load level (`BENCH_serving`): a fixed number
+/// of concurrent keep-alive clients, each issuing queries back-to-back
+/// against the in-process HTTP front-end.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServingRow {
+    /// Concurrent closed-loop clients at this level.
+    pub clients: usize,
+    /// Requests each client issued.
+    pub requests_per_client: usize,
+    /// Total queries completed (`clients * requests_per_client`).
+    pub total_requests: usize,
+    /// Requests that did not come back `200 OK` (gated to zero).
+    pub failed_requests: usize,
+    /// Whether every response's result set was byte-identical to the
+    /// in-process `query::run` path (gated to `true`).
+    pub results_identical: bool,
+    /// Wall-clock seconds for the whole level.
+    pub wall_seconds: f64,
+    /// Completed queries per second of wall clock.
+    pub throughput_qps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// The serving benchmark: the zero-dep HTTP front-end under a
+/// closed-loop load sweep, one row per concurrency level. Emitted as
+/// `BENCH_serving.json`; CI gates on zero failures and result identity
+/// at every level.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServingReport {
+    /// Output id (`BENCH_serving` — also the JSON file stem).
+    pub id: String,
+    /// Human description of the workload.
+    pub workload: String,
+    /// Points in the served collection.
+    pub n: usize,
+    /// Neighbors per point requested.
+    pub k: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Admission-control queue depth.
+    pub queue_depth: usize,
+    /// One row per concurrency level.
+    pub rows: Vec<ServingRow>,
+}
+
+impl ServingReport {
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.workload));
+        out.push_str(&format!(
+            "{:>7} {:>7} {:>6} {:>9} {:>10} {:>10} {:>10} {:>10}\n",
+            "clients", "reqs", "failed", "identical", "qps", "p50(us)", "p95(us)", "p99(us)"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>7} {:>7} {:>6} {:>9} {:>10.1} {:>10.0} {:>10.0} {:>10.0}\n",
+                r.clients,
+                r.total_requests,
+                r.failed_requests,
+                if r.results_identical { "ok" } else { "DIFF" },
+                r.throughput_qps,
+                r.p50_us,
+                r.p95_us,
+                r.p99_us,
+            ));
+        }
+        out
+    }
+
+    /// Writes the report as JSON under `dir/<id>.json`.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(path)?;
+        let body = serde_json::to_string_pretty(self).expect("serializable");
+        f.write_all(body.as_bytes())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,6 @@
 //! Seed-driven fuzz driver: `fuzz [--seed S] [--cases N] [--class C]`.
 //!
-//! `--class` is one of `diff`, `nxn`, `kernels`, `tree`, `recovery`, `faults`, or `all`
+//! `--class` is one of `diff`, `nxn`, `kernels`, `tree`, `recovery`, `faults`, `wire`, or `all`
 //! (default). Exits non-zero when any case fails; every failure prints a
 //! minimal reproducer (and, for differential failures, the diverging
 //! run's `ExecutionReport` JSON).
@@ -39,13 +39,13 @@ fn parse_args() -> Result<Args, String> {
                     classes = Class::ALL.to_vec();
                 } else {
                     classes = vec![Class::parse(&v).ok_or_else(|| {
-                        format!("unknown class {v:?} (diff|nxn|kernels|tree|recovery|faults|all)")
+                        format!("unknown class {v:?} (diff|nxn|kernels|tree|recovery|faults|wire|all)")
                     })?];
                 }
             }
             "--help" | "-h" => {
                 return Err("usage: fuzz [--seed S] [--cases N] \
-                            [--class diff|nxn|kernels|tree|recovery|faults|all]"
+                            [--class diff|nxn|kernels|tree|recovery|faults|wire|all]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),

@@ -472,3 +472,128 @@ pub fn check_recovery_case(rng: &mut Rng) -> Option<String> {
         }
     }
 }
+
+/// One wire-schema property case. Three sub-properties per case:
+///
+/// * a fuzz-generated [`QuerySpec`] survives `to_json → from_json` as the
+///   identity, and re-serializing is byte-stable;
+/// * a [`QueryOutcome`] whose distances are random *bit patterns*
+///   (excluding NaN) round-trips every `f64` bit-exactly;
+/// * a randomly corrupted spec document never panics the parser — it
+///   either parses (the corruption landed in a don't-care spot) or
+///   returns a structured [`WireError`].
+pub fn check_wire_case(rng: &mut Rng) -> Option<String> {
+    use ann_core::mba::{Expansion, Traversal};
+    use ann_core::stats::NeighborPair;
+    use ann_core::wire::{QueryOutcome, QuerySpec, WireError};
+
+    // -- spec round-trip --------------------------------------------------
+    let algorithm = match rng.range(0, 5) {
+        0 => Algorithm::mba(),
+        1 => Algorithm::Mba {
+            traversal: *rng.pick(&[Traversal::DepthFirst, Traversal::BreadthFirst]),
+            expansion: *rng.pick(&[Expansion::Bidirectional, Expansion::Unidirectional]),
+            threads: rng.range(0, 9),
+        },
+        2 => Algorithm::Bnn {
+            group_size: rng.range(1, 5000),
+        },
+        3 => Algorithm::Mnn,
+        _ => Algorithm::Hnn {
+            avg_cell_occupancy: rng.f64() * 16.0 + 1e-3,
+        },
+    };
+    let mut spec = QuerySpec::new(algorithm);
+    spec.k = rng.range(0, 1 << 20);
+    spec.exclude_self = rng.chance(0.5);
+    spec.metric = *rng.pick(&[MetricChoice::Nxn, MetricChoice::MaxMax]);
+    if rng.chance(0.4) {
+        spec.deadline_ms = Some(rng.next_u64() % 1_000_000);
+    }
+    if rng.chance(0.4) {
+        spec.io_budget = Some(rng.next_u64() % 1_000_000);
+    }
+    if rng.chance(0.4) {
+        spec.visit_budget = Some(rng.next_u64() % 1_000_000);
+    }
+    if rng.chance(0.3) {
+        spec.retry = Some(RetryPolicy {
+            max_attempts: rng.range(1, 8) as u32,
+            backoff: std::time::Duration::from_millis(rng.next_u64() % 500),
+        });
+    }
+    let json = spec.to_json();
+    match QuerySpec::from_json(&json) {
+        Ok(back) if back != spec => {
+            return Some(format!("spec round-trip changed the spec: {json}"));
+        }
+        Ok(back) if back.to_json() != json => {
+            return Some(format!("spec re-serialization not byte-stable: {json}"));
+        }
+        Ok(_) => {}
+        Err(e) => return Some(format!("spec failed to re-parse ({e}): {json}")),
+    }
+
+    // -- outcome f64 bit-exactness ----------------------------------------
+    let results: Vec<NeighborPair> = (0..rng.range(0, 24))
+        .map(|i| {
+            let dist = loop {
+                let candidate = f64::from_bits(rng.next_u64());
+                if !candidate.is_nan() {
+                    break candidate;
+                }
+            };
+            NeighborPair {
+                r_oid: i as u64,
+                s_oid: rng.next_u64(),
+                dist,
+            }
+        })
+        .collect();
+    let outcome = QueryOutcome {
+        results: results.clone(),
+        stats: AnnStats::default(),
+        report: None,
+    };
+    let outcome_json = outcome.to_json();
+    let back = match QueryOutcome::from_json(&outcome_json) {
+        Ok(b) => b,
+        Err(e) => return Some(format!("outcome failed to re-parse ({e}): {outcome_json}")),
+    };
+    if back.results.len() != results.len() {
+        return Some(format!(
+            "outcome round-trip changed pair count: {} != {}",
+            back.results.len(),
+            results.len()
+        ));
+    }
+    for (orig, parsed) in results.iter().zip(&back.results) {
+        if orig.dist.to_bits() != parsed.dist.to_bits()
+            || orig.r_oid != parsed.r_oid
+            || orig.s_oid != parsed.s_oid
+        {
+            return Some(format!(
+                "outcome pair drifted over the wire: {orig:?} != {parsed:?}"
+            ));
+        }
+    }
+
+    // -- parser robustness under corruption --------------------------------
+    // Splice random printable bytes into the valid document; the parser
+    // must return a structured error or a valid spec, never panic (a
+    // panic escapes to the fuzz driver's catch_unwind and is reported).
+    let mut corrupted: Vec<u8> = json.clone().into_bytes();
+    for _ in 0..rng.range(1, 6) {
+        let pos = rng.range(0, corrupted.len());
+        corrupted[pos] = b' ' + (rng.next_u64() % 95) as u8;
+    }
+    let corrupted = String::from_utf8(corrupted).expect("ascii splice keeps utf-8");
+    if let Err(e @ WireError::UnsupportedVersion(v)) = QuerySpec::from_json(&corrupted) {
+        // Corrupting the body must not smuggle in a *newer* version than
+        // the splice could have written (v is a single corrupted digit).
+        if v > 9 {
+            return Some(format!("corruption produced absurd version: {e}: {corrupted}"));
+        }
+    }
+    None
+}

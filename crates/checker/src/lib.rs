@@ -31,6 +31,12 @@
 //!   (`ann_core::QueryError`) with every pin released and a byte-identical
 //!   re-run, or a quarantined page that fails fast until healed — never a
 //!   panic, wrong answer, or poisoned pool.
+//! * [`Class::Wire`] — the serving wire schema (DESIGN.md §14):
+//!   fuzz-generated [`QuerySpec`](ann_core::QuerySpec)s round-trip
+//!   `to_json → from_json` as the identity and byte-stably,
+//!   [`QueryOutcome`](ann_core::QueryOutcome) distances survive JSON
+//!   bit-exactly for arbitrary non-NaN bit patterns, and a randomly
+//!   corrupted document never panics the hand-rolled parser.
 //!
 //! Run via `cargo run -p checker --bin fuzz -- --seed 1 --cases 200`.
 
@@ -55,16 +61,18 @@ pub enum Class {
     Tree,
     Recovery,
     Faults,
+    Wire,
 }
 
 impl Class {
-    pub const ALL: [Class; 6] = [
+    pub const ALL: [Class; 7] = [
         Class::Diff,
         Class::Nxn,
         Class::Kernels,
         Class::Tree,
         Class::Recovery,
         Class::Faults,
+        Class::Wire,
     ];
 
     pub fn name(self) -> &'static str {
@@ -75,6 +83,7 @@ impl Class {
             Class::Tree => "tree",
             Class::Recovery => "recovery",
             Class::Faults => "faults",
+            Class::Wire => "wire",
         }
     }
 
@@ -117,6 +126,8 @@ pub fn run_class(class: Class, seed: u64, cases: usize) -> Vec<Failure> {
             // Fault scheduling is op-index-based; the 2-D planar case
             // already exercises every pool-backed traversal.
             Class::Faults => invariant_one::<2>(class, case_seed, i),
+            // The wire schema is dimension-agnostic: oids and distances.
+            Class::Wire => invariant_one::<2>(class, case_seed, i),
         };
         failures.extend(f);
     }
@@ -141,6 +152,7 @@ fn splitmix_tag(class: Class) -> u64 {
         Class::Tree => 0x7EEE,
         Class::Recovery => 0x6EC0,
         Class::Faults => 0xFA17,
+        Class::Wire => 0x3133,
     }
 }
 
@@ -181,6 +193,7 @@ fn invariant_one<const D: usize>(class: Class, case_seed: u64, index: usize) -> 
             Class::Tree => invariants::check_tree_case::<D>(&mut rng),
             Class::Recovery => invariants::check_recovery_case(&mut rng),
             Class::Faults => faults::check_faults_case(&mut rng),
+            Class::Wire => invariants::check_wire_case(&mut rng),
             Class::Diff => unreachable!("diff has its own driver"),
         }
     }));

@@ -84,6 +84,10 @@ impl<const D: usize> PointState<D> {
 
 /// Evaluates AkNN for the points `r` (not necessarily indexed) against the
 /// indexed set `is`, with the batched traversal described above.
+#[deprecated(
+    since = "0.1.0",
+    note = "thin delegate kept for compatibility; use ann_core::query::run / run_scratch (or the *_guarded canonical path)"
+)]
 pub fn bnn<const D: usize, M, IS>(
     r: &[(u64, Point<D>)],
     is: &IS,
@@ -93,11 +97,22 @@ where
     M: PruneMetric,
     IS: SpatialIndex<D>,
 {
-    bnn_traced::<D, M, IS>(r, is, cfg, Tracer::disabled())
+    bnn_guarded::<D, M, IS>(
+        r,
+        is,
+        cfg,
+        Tracer::disabled(),
+        &mut QueryScratch::new(),
+        &QueryGuard::disabled(),
+    )
 }
 
 /// [`bnn`] with an attached [`Tracer`]. With `Tracer::disabled()` this is
 /// exactly [`bnn`]: all instrumentation sites are guarded.
+#[deprecated(
+    since = "0.1.0",
+    note = "thin delegate kept for compatibility; use ann_core::query::run / run_scratch (or the *_guarded canonical path)"
+)]
 pub fn bnn_traced<const D: usize, M, IS>(
     r: &[(u64, Point<D>)],
     is: &IS,
@@ -108,12 +123,16 @@ where
     M: PruneMetric,
     IS: SpatialIndex<D>,
 {
-    bnn_traced_scratch::<D, M, IS>(r, is, cfg, tracer, &mut QueryScratch::new())
+    bnn_guarded::<D, M, IS>(r, is, cfg, tracer, &mut QueryScratch::new(), &QueryGuard::disabled())
 }
 
 /// [`bnn_traced`] with a caller-owned [`QueryScratch`] — the group heap,
 /// per-point k-best heaps and kernel distance buffers are all recycled
 /// through the scratch from one group to the next.
+#[deprecated(
+    since = "0.1.0",
+    note = "thin delegate kept for compatibility; use ann_core::query::run / run_scratch (or the *_guarded canonical path)"
+)]
 pub fn bnn_traced_scratch<const D: usize, M, IS>(
     r: &[(u64, Point<D>)],
     is: &IS,

@@ -215,29 +215,48 @@ impl<const D: usize> Grid<D> {
 
 /// Evaluates AkNN without any index: spatial-hash `S`, ring-search per
 /// query point.
+#[deprecated(
+    since = "0.1.0",
+    note = "thin delegate kept for compatibility; use ann_core::query::run / run_scratch (or the *_guarded canonical path)"
+)]
 pub fn hnn<const D: usize>(
     r: &[(u64, Point<D>)],
     s: &[(u64, Point<D>)],
     cfg: &HnnConfig,
 ) -> QueryResult<AnnOutput> {
-    hnn_traced(r, s, cfg, Tracer::disabled())
+    hnn_guarded(
+        r,
+        s,
+        cfg,
+        Tracer::disabled(),
+        &mut QueryScratch::new(),
+        &QueryGuard::disabled(),
+    )
 }
 
 /// [`hnn`] with an attached [`Tracer`]. HNN reads no buffer pool, so its
 /// span I/O deltas are all-zero; the interesting signals are the phase
 /// wall times (grid build vs ring search) and the ring-cutoff prunes.
 /// With `Tracer::disabled()` this is exactly [`hnn`].
+#[deprecated(
+    since = "0.1.0",
+    note = "thin delegate kept for compatibility; use ann_core::query::run / run_scratch (or the *_guarded canonical path)"
+)]
 pub fn hnn_traced<const D: usize>(
     r: &[(u64, Point<D>)],
     s: &[(u64, Point<D>)],
     cfg: &HnnConfig,
     tracer: Tracer<'_>,
 ) -> QueryResult<AnnOutput> {
-    hnn_traced_scratch(r, s, cfg, tracer, &mut QueryScratch::new())
+    hnn_guarded(r, s, cfg, tracer, &mut QueryScratch::new(), &QueryGuard::disabled())
 }
 
 /// [`hnn_traced`] with a caller-owned [`QueryScratch`] — per-query k-best
 /// heaps and the cell distance buffer are recycled across query points.
+#[deprecated(
+    since = "0.1.0",
+    note = "thin delegate kept for compatibility; use ann_core::query::run / run_scratch (or the *_guarded canonical path)"
+)]
 pub fn hnn_traced_scratch<const D: usize>(
     r: &[(u64, Point<D>)],
     s: &[(u64, Point<D>)],
@@ -415,6 +434,9 @@ fn run_point<const D: usize>(
 }
 
 #[cfg(test)]
+// The deprecated `hnn` delegate is exercised on purpose: it must stay
+// identical to the guarded canonical path.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::brute::brute_force_aknn;

@@ -25,12 +25,11 @@
 //! # Quickstart
 //!
 //! ```no_run
-//! use ann_core::mba::{mba, MbaConfig};
-//! use ann_core::SpatialIndex;
-//! use ann_geom::NxnDist;
-//! # fn demo<I: SpatialIndex<2>>(ir: &I, is: &I) -> ann_store::Result<()> {
+//! use ann_core::prelude::*;
+//! # fn demo<I: SpatialIndex<2>>(ir: &I, is: &I) -> QueryResult<()> {
 //! // `ir` indexes the query set R, `is` the target set S.
-//! let output = mba::<2, NxnDist, _, _>(ir, is, &MbaConfig::default())?;
+//! let req = AnnRequest::new(Algorithm::mba());
+//! let output = run(&req, Input::Index(ir), Input::Index(is))?;
 //! for pair in &output.results {
 //!     println!("r#{} -> s#{} at distance {}", pair.r_oid, pair.s_oid, pair.dist);
 //! }
@@ -62,6 +61,7 @@ pub mod resilience;
 pub mod scratch;
 pub mod stats;
 pub mod trace;
+pub mod wire;
 
 pub use extsort::{HilbertSorter, KeyedPoint, PointSpill, SortedStream};
 pub use index::SpatialIndex;
@@ -72,3 +72,6 @@ pub use query::{Algorithm, AnnRequest, MetricChoice};
 pub use resilience::{BudgetKind, CancelToken, QueryError, QueryGuard, QueryResult};
 pub use stats::{AnnOutput, AnnStats, NeighborPair};
 pub use trace::{ExecutionReport, RecordingSink, TraceSink, Tracer};
+pub use wire::{
+    CollectionId, ErrorCode, JsonValue, QueryOutcome, QuerySpec, WireError, WIRE_SCHEMA_VERSION,
+};

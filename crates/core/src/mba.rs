@@ -417,18 +417,33 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
 /// With the default configuration this is the paper's MBA/RBA algorithm
 /// (depth-first, bi-directional); other [`Traversal`] × [`Expansion`]
 /// combinations reproduce the §3.3.2 design-space ablation.
+#[deprecated(
+    since = "0.1.0",
+    note = "thin delegate kept for compatibility; use ann_core::query::run / run_scratch (or the *_guarded canonical path)"
+)]
 pub fn mba<const D: usize, M, IR, IS>(ir: &IR, is: &IS, cfg: &MbaConfig) -> QueryResult<AnnOutput>
 where
     M: PruneMetric,
     IR: SpatialIndex<D>,
     IS: SpatialIndex<D>,
 {
-    mba_traced::<D, M, IR, IS>(ir, is, cfg, Tracer::disabled())
+    mba_guarded::<D, M, IR, IS>(
+        ir,
+        is,
+        cfg,
+        Tracer::disabled(),
+        &mut QueryScratch::new(),
+        &QueryGuard::disabled(),
+    )
 }
 
 /// [`mba`] with an attached [`Tracer`]. With `Tracer::disabled()` this is
 /// exactly [`mba`]: every instrumentation site is guarded, so decisions,
 /// counters and physical page-op order are identical.
+#[deprecated(
+    since = "0.1.0",
+    note = "thin delegate kept for compatibility; use ann_core::query::run / run_scratch (or the *_guarded canonical path)"
+)]
 pub fn mba_traced<const D: usize, M, IR, IS>(
     ir: &IR,
     is: &IS,
@@ -440,12 +455,23 @@ where
     IR: SpatialIndex<D>,
     IS: SpatialIndex<D>,
 {
-    mba_traced_scratch::<D, M, IR, IS>(ir, is, cfg, tracer, &mut QueryScratch::new())
+    mba_guarded::<D, M, IR, IS>(
+        ir,
+        is,
+        cfg,
+        tracer,
+        &mut QueryScratch::new(),
+        &QueryGuard::disabled(),
+    )
 }
 
 /// [`mba`] with a caller-owned [`QueryScratch`]: repeated queries through
 /// the same arena reach an allocation-free steady state. Results, stats
 /// and page-op order are identical to [`mba`].
+#[deprecated(
+    since = "0.1.0",
+    note = "thin delegate kept for compatibility; use ann_core::query::run / run_scratch (or the *_guarded canonical path)"
+)]
 pub fn mba_scratch<const D: usize, M, IR, IS>(
     ir: &IR,
     is: &IS,
@@ -457,11 +483,15 @@ where
     IR: SpatialIndex<D>,
     IS: SpatialIndex<D>,
 {
-    mba_traced_scratch::<D, M, IR, IS>(ir, is, cfg, Tracer::disabled(), scratch)
+    mba_guarded::<D, M, IR, IS>(ir, is, cfg, Tracer::disabled(), scratch, &QueryGuard::disabled())
 }
 
 /// [`mba_traced`] with a caller-owned [`QueryScratch`] — delegates to
 /// [`mba_guarded`] with resilience checks disabled.
+#[deprecated(
+    since = "0.1.0",
+    note = "thin delegate kept for compatibility; use ann_core::query::run / run_scratch (or the *_guarded canonical path)"
+)]
 pub fn mba_traced_scratch<const D: usize, M, IR, IS>(
     ir: &IR,
     is: &IS,
@@ -617,6 +647,10 @@ where
 /// on a 2007 laptop); it exists to show the algorithm parallelizes
 /// naturally, and by how much — see the `parallel_speedup` test and the
 /// bench harness.
+#[deprecated(
+    since = "0.1.0",
+    note = "thin delegate kept for compatibility; use ann_core::query::run / run_scratch (or the *_guarded canonical path)"
+)]
 pub fn mba_parallel<const D: usize, M, IR, IS>(
     ir: &IR,
     is: &IS,
@@ -628,13 +662,24 @@ where
     IR: SpatialIndex<D> + Sync,
     IS: SpatialIndex<D> + Sync,
 {
-    mba_parallel_traced::<D, M, IR, IS>(ir, is, cfg, threads, Tracer::disabled())
+    mba_parallel_guarded::<D, M, IR, IS>(
+        ir,
+        is,
+        cfg,
+        threads,
+        Tracer::disabled(),
+        &QueryGuard::disabled(),
+    )
 }
 
 /// [`mba_parallel`] with an attached [`Tracer`]. The sink is shared by all
 /// workers (hence the `Send + Sync` bound on [`crate::trace::TraceSink`]);
 /// per-worker prune summaries are emitted separately and summed by the
 /// sink. With `Tracer::disabled()` this is exactly [`mba_parallel`].
+#[deprecated(
+    since = "0.1.0",
+    note = "thin delegate kept for compatibility; use ann_core::query::run / run_scratch (or the *_guarded canonical path)"
+)]
 pub fn mba_parallel_traced<const D: usize, M, IR, IS>(
     ir: &IR,
     is: &IS,

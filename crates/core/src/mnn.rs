@@ -38,17 +38,32 @@ impl Default for MnnConfig {
 
 /// Evaluates AkNN by running an independent best-first kNN search on `is`
 /// for every object indexed by `ir`.
+#[deprecated(
+    since = "0.1.0",
+    note = "thin delegate kept for compatibility; use ann_core::query::run / run_scratch (or the *_guarded canonical path)"
+)]
 pub fn mnn<const D: usize, M, IR, IS>(ir: &IR, is: &IS, cfg: &MnnConfig) -> QueryResult<AnnOutput>
 where
     M: PruneMetric,
     IR: SpatialIndex<D>,
     IS: SpatialIndex<D>,
 {
-    mnn_traced::<D, M, IR, IS>(ir, is, cfg, Tracer::disabled())
+    mnn_guarded::<D, M, IR, IS>(
+        ir,
+        is,
+        cfg,
+        Tracer::disabled(),
+        &mut QueryScratch::new(),
+        &QueryGuard::disabled(),
+    )
 }
 
 /// [`mnn`] with an attached [`Tracer`]. With `Tracer::disabled()` this is
 /// exactly [`mnn`]: all instrumentation sites are guarded.
+#[deprecated(
+    since = "0.1.0",
+    note = "thin delegate kept for compatibility; use ann_core::query::run / run_scratch (or the *_guarded canonical path)"
+)]
 pub fn mnn_traced<const D: usize, M, IR, IS>(
     ir: &IR,
     is: &IS,
@@ -60,12 +75,16 @@ where
     IR: SpatialIndex<D>,
     IS: SpatialIndex<D>,
 {
-    mnn_traced_scratch::<D, M, IR, IS>(ir, is, cfg, tracer, &mut QueryScratch::new())
+    mnn_guarded::<D, M, IR, IS>(ir, is, cfg, tracer, &mut QueryScratch::new(), &QueryGuard::disabled())
 }
 
 /// [`mnn_traced`] with a caller-owned [`QueryScratch`] — every per-query
 /// best-first heap and batch distance buffer is recycled through the
 /// scratch, so the steady state of the R-side walk allocates nothing.
+#[deprecated(
+    since = "0.1.0",
+    note = "thin delegate kept for compatibility; use ann_core::query::run / run_scratch (or the *_guarded canonical path)"
+)]
 pub fn mnn_traced_scratch<const D: usize, M, IR, IS>(
     ir: &IR,
     is: &IS,

@@ -63,7 +63,12 @@ use ann_store::{BufferPool, PageId, RetryPolicy};
 use std::time::{Duration, Instant};
 
 /// Which pruning metric bounds the search (Figure 3(a)'s comparison).
+///
+/// Wire-facing (serialized by `ann_core::wire`): `#[non_exhaustive]`, so
+/// downstream matches keep a wildcard arm and a future metric variant is
+/// not a breaking change.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MetricChoice {
     /// `NXNDIST` — the paper's contributed tighter bound.
     #[default]
@@ -85,7 +90,12 @@ impl MetricChoice {
 /// Which join algorithm evaluates the request, with its method-specific
 /// knobs as payload. Construct via the [`Algorithm::mba`]-style helpers
 /// for the defaults each legacy `*Config` used.
+///
+/// Wire-facing (serialized by `ann_core::wire`): `#[non_exhaustive]`, so
+/// downstream matches keep a wildcard arm and the roadmap's future
+/// scenarios (reverse k-NN, aggregate NN, …) are not breaking changes.
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum Algorithm {
     /// The paper's MBA (over MBRQTs) / RBA (over R*-trees): depth-first
     /// bi-directional traversal with Three-Stage pruning. Requires
@@ -324,8 +334,29 @@ impl<'a> AnnRequest<'a> {
     {
         run(self, r, s)
     }
+
+    /// Evaluates the request through a caller-owned [`QueryScratch`] —
+    /// method-call sugar for the free [`run_scratch`].
+    pub fn run_scratch<const D: usize, IR, IS>(
+        &self,
+        r: Input<'_, D, IR>,
+        s: Input<'_, D, IS>,
+        scratch: &mut QueryScratch<D>,
+    ) -> QueryResult<AnnOutput>
+    where
+        IR: SpatialIndex<D> + Sync,
+        IS: SpatialIndex<D> + Sync,
+    {
+        run_scratch(self, r, s, scratch)
+    }
 }
 
+/// The `Debug` rendering is the server's request-log line, so it must
+/// cover *every* knob — the resilience fields included (a log that hides
+/// the deadline or budgets is useless for debugging shed requests). The
+/// deadline renders as the duration remaining (`deadline_in`), which is
+/// what a log reader actually wants; `None` means no deadline, and
+/// `Some(0ns)` means already expired.
 impl std::fmt::Debug for AnnRequest<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AnnRequest")
@@ -333,8 +364,17 @@ impl std::fmt::Debug for AnnRequest<'_> {
             .field("exclude_self", &self.exclude_self)
             .field("metric", &self.metric)
             .field("algorithm", &self.algorithm)
-            .field("deadline", &self.deadline)
+            .field(
+                "deadline_in",
+                &self
+                    .deadline
+                    .map(|d| d.saturating_duration_since(Instant::now())),
+            )
             .field("cancellable", &self.cancel.is_some())
+            .field(
+                "cancelled",
+                &self.cancel.as_ref().is_some_and(|c| c.is_cancelled()),
+            )
             .field("io_budget", &self.io_budget)
             .field("visit_budget", &self.visit_budget)
             .field("retry", &self.retry)
@@ -370,9 +410,32 @@ where
     IR: SpatialIndex<D> + Sync,
     IS: SpatialIndex<D> + Sync,
 {
+    run_scratch(req, r, s, &mut QueryScratch::new())
+}
+
+/// [`run`] through a caller-owned [`QueryScratch`] — **the** canonical
+/// execution path. Every other entrypoint (the free [`run`], the
+/// [`AnnRequest::run`] sugar, the deprecated per-algorithm wrappers, and
+/// the serving layer's `QuerySpec` path) funnels into this one function,
+/// so there is exactly one place where metric dispatch, guard setup, and
+/// algorithm selection happen.
+///
+/// A long-lived caller (a server worker, a benchmark loop) reuses one
+/// scratch arena across queries and reaches a zero-allocation steady
+/// state; results, stats, and page-op order are identical to [`run`].
+pub fn run_scratch<const D: usize, IR, IS>(
+    req: &AnnRequest<'_>,
+    r: Input<'_, D, IR>,
+    s: Input<'_, D, IS>,
+    scratch: &mut QueryScratch<D>,
+) -> QueryResult<AnnOutput>
+where
+    IR: SpatialIndex<D> + Sync,
+    IS: SpatialIndex<D> + Sync,
+{
     match req.metric {
-        MetricChoice::Nxn => run_with_metric::<D, NxnDist, IR, IS>(req, r, s),
-        MetricChoice::MaxMax => run_with_metric::<D, MaxMaxDist, IR, IS>(req, r, s),
+        MetricChoice::Nxn => run_with_metric::<D, NxnDist, IR, IS>(req, r, s, scratch),
+        MetricChoice::MaxMax => run_with_metric::<D, MaxMaxDist, IR, IS>(req, r, s, scratch),
     }
 }
 
@@ -380,6 +443,7 @@ fn run_with_metric<const D: usize, M, IR, IS>(
     req: &AnnRequest<'_>,
     r: Input<'_, D, IR>,
     s: Input<'_, D, IS>,
+    scratch: &mut QueryScratch<D>,
 ) -> QueryResult<AnnOutput>
 where
     M: PruneMetric,
@@ -424,7 +488,7 @@ where
                 exclude_self: req.exclude_self,
             };
             if threads == 1 {
-                mba_guarded::<D, M, IR, IS>(ir, is, &cfg, tracer, &mut QueryScratch::new(), &guard)
+                mba_guarded::<D, M, IR, IS>(ir, is, &cfg, tracer, scratch, &guard)
             } else {
                 mba_parallel_guarded::<D, M, IR, IS>(ir, is, &cfg, threads, tracer, &guard)
             }
@@ -446,7 +510,7 @@ where
                     &collected
                 }
             };
-            bnn_guarded::<D, M, IS>(r_pts, is, &cfg, tracer, &mut QueryScratch::new(), &guard)
+            bnn_guarded::<D, M, IS>(r_pts, is, &cfg, tracer, scratch, &guard)
         }
         Algorithm::Mnn => {
             let Input::Index(ir) = r else {
@@ -459,7 +523,7 @@ where
                 k: req.k,
                 exclude_self: req.exclude_self,
             };
-            mnn_guarded::<D, M, IR, IS>(ir, is, &cfg, tracer, &mut QueryScratch::new(), &guard)
+            mnn_guarded::<D, M, IR, IS>(ir, is, &cfg, tracer, scratch, &guard)
         }
         Algorithm::Hnn { avg_cell_occupancy } => {
             let cfg = HnnConfig {
@@ -483,7 +547,7 @@ where
                     &s_collected
                 }
             };
-            hnn_guarded(r_pts, s_pts, &cfg, tracer, &mut QueryScratch::new(), &guard)
+            hnn_guarded(r_pts, s_pts, &cfg, tracer, scratch, &guard)
         }
     }
 }

@@ -685,7 +685,7 @@ pub struct ExecutionReport {
 }
 
 /// Escapes a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -702,7 +702,9 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Formats a float as a JSON number (`null` for non-finite values).
-fn json_num(f: f64) -> String {
+/// `Display` for a finite f64 is the shortest string that parses back to
+/// the same bits, so a JSON round-trip through this is lossless.
+pub(crate) fn json_num(f: f64) -> String {
     if f.is_finite() {
         // `Display` for finite f64 is always a valid JSON number.
         let s = format!("{f}");
@@ -716,7 +718,7 @@ fn json_num(f: f64) -> String {
     }
 }
 
-fn json_io(io: &IoSnapshot) -> String {
+pub(crate) fn json_io(io: &IoSnapshot) -> String {
     format!(
         "{{\"logical_reads\":{},\"physical_reads\":{},\"physical_writes\":{},\
          \"pool_hits\":{},\"pool_misses\":{},\"evictions\":{},\"retries\":{},\

@@ -2,6 +2,11 @@
 //! on both index structures, with both pruning metrics, across k values
 //! and traversal variants.
 
+
+// The per-algorithm entrypoints these tests drive are deprecated thin
+// delegates now; exercising them here is the point (they must stay
+// identical to the canonical `query::run` path).
+#![allow(deprecated)]
 use ann_core::bnn::{bnn, BnnConfig};
 use ann_core::brute::brute_force_aknn;
 use ann_core::index::SpatialIndex;

@@ -1,6 +1,11 @@
 //! Deletion tests for both indices: structural invariants hold after
 //! arbitrary delete sequences, and queries over the remainder stay exact.
 
+
+// The per-algorithm entrypoints these tests drive are deprecated thin
+// delegates now; exercising them here is the point (they must stay
+// identical to the canonical `query::run` path).
+#![allow(deprecated)]
 use ann_core::brute::brute_force_aknn;
 use ann_core::index::{collect_objects, validate};
 use ann_core::mba::{mba, MbaConfig};

@@ -2,6 +2,11 @@
 //! errors as `Err` (never panic) when the disk dies mid-flight, and
 //! must never return silently-partial results.
 
+
+// The per-algorithm entrypoints these tests drive are deprecated thin
+// delegates now; exercising them here is the point (they must stay
+// identical to the canonical `query::run` path).
+#![allow(deprecated)]
 use ann_core::index::validate;
 use ann_core::mba::{mba, MbaConfig};
 use ann_geom::{NxnDist, Point};

@@ -1,6 +1,11 @@
 //! Tests for the parallel MBA extension: identical results to the serial
 //! algorithm, across thread counts, configurations and index types.
 
+
+// The per-algorithm entrypoints these tests drive are deprecated thin
+// delegates now; exercising them here is the point (they must stay
+// identical to the canonical `query::run` path).
+#![allow(deprecated)]
 use ann_core::brute::brute_force_aknn;
 use ann_core::mba::{mba, mba_parallel, MbaConfig};
 use ann_geom::{NxnDist, Point};

@@ -4,6 +4,11 @@
 //! counter-identical with a recording [`TraceSink`] attached (tracing
 //! observes; it never steers).
 
+
+// The per-algorithm entrypoints these tests drive are deprecated thin
+// delegates now; exercising them here is the point (they must stay
+// identical to the canonical `query::run` path).
+#![allow(deprecated)]
 use ann_core::bnn::{bnn, BnnConfig};
 use ann_core::brute::brute_force_aknn;
 use ann_core::hnn::{hnn, HnnConfig};

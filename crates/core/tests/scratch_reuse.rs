@@ -9,6 +9,11 @@
 //! Also asserts that the scratch-threaded entrypoints return exactly what
 //! the transient-scratch entrypoints return: pooling is invisible.
 
+
+// The per-algorithm entrypoints these tests drive are deprecated thin
+// delegates now; exercising them here is the point (they must stay
+// identical to the canonical `query::run` path).
+#![allow(deprecated)]
 use ann_core::bnn::{bnn, bnn_traced_scratch, BnnConfig};
 use ann_core::hnn::{hnn, hnn_traced_scratch, HnnConfig};
 use ann_core::knn::{knn, knn_scratch};

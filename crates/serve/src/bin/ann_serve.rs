@@ -1,0 +1,62 @@
+//! `ann-serve` — the ANN service binary.
+//!
+//! ```text
+//! ann-serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!           [--data-dir PATH] [--pool-frames N]
+//! ```
+//!
+//! Prints `listening on HOST:PORT` once ready (port 0 resolves to an
+//! ephemeral port, printed here — the CI smoke test scrapes it), then
+//! serves until `POST /admin/shutdown`.
+
+use std::process::ExitCode;
+
+use ann_serve::server::{Server, ServerConfig};
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = take("--addr"),
+            "--workers" => config.workers = parse(&take("--workers"), "--workers"),
+            "--queue" => config.queue_depth = parse(&take("--queue"), "--queue"),
+            "--data-dir" => config.data_dir = take("--data-dir").into(),
+            "--pool-frames" => config.pool_frames = parse(&take("--pool-frames"), "--pool-frames"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: ann-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--data-dir PATH] [--pool-frames N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => die(&format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("ann-serve: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    server.wait();
+    println!("shutdown complete");
+    ExitCode::SUCCESS
+}
+
+fn parse(s: &str, what: &str) -> usize {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("{what} expects a number, got {s:?}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("ann-serve: {msg}");
+    std::process::exit(2)
+}

@@ -1,0 +1,205 @@
+//! A minimal blocking HTTP client for the ANN service — enough for the
+//! integration tests, the CI smoke test, and the closed-loop load
+//! generator, without pulling in an HTTP dependency.
+//!
+//! [`Conn`] is one keep-alive connection (the closed-loop benchmark
+//! drives one per simulated client); [`Client`] wraps an address with
+//! request helpers that open a fresh connection per call.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use ann_core::wire::{QueryOutcome, QuerySpec, WireError};
+
+/// One HTTP response: status code and body bytes (always read fully).
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// The status code (200, 429, ...).
+    pub status: u16,
+    /// The response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Parses the body as a [`QueryOutcome`] (only meaningful on 200s).
+    pub fn outcome(&self) -> Result<QueryOutcome, WireError> {
+        QueryOutcome::from_json(&self.body)
+    }
+}
+
+/// A single keep-alive connection to the server.
+pub struct Conn {
+    stream: TcpStream,
+}
+
+impl Conn {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn { stream })
+    }
+
+    /// Sets the response-read timeout (`None` blocks indefinitely).
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one request and reads the full response.
+    pub fn request(&mut self, method: &str, target: &str, body: &str) -> io::Result<HttpResponse> {
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: ann-serve\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        read_response(&mut self.stream)
+    }
+
+    /// Sends a request and then *immediately drops the connection*
+    /// without reading the response — the disconnect-mid-query tests use
+    /// this to trigger server-side cancellation.
+    pub fn fire_and_hang_up(mut self, method: &str, target: &str, body: &str) -> io::Result<()> {
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: ann-serve\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        Ok(())
+        // Dropping `self.stream` here sends FIN; the server's poll sees
+        // a zero-byte peek and fires the query's CancelToken.
+    }
+}
+
+/// Address + convenience helpers; one fresh connection per call.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for `addr` (e.g. `"127.0.0.1:7071"`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    /// Opens a keep-alive connection for a request sequence.
+    pub fn conn(&self) -> io::Result<Conn> {
+        Conn::connect(&self.addr)
+    }
+
+    /// One-shot request on a fresh connection.
+    pub fn request(&self, method: &str, target: &str, body: &str) -> io::Result<HttpResponse> {
+        self.conn()?.request(method, target, body)
+    }
+
+    /// `GET /health`.
+    pub fn health(&self) -> io::Result<HttpResponse> {
+        self.request("GET", "/health", "")
+    }
+
+    /// Creates a collection from `[x, y]` points (oids are positions).
+    pub fn create_collection(
+        &self,
+        id: &str,
+        kind: &str,
+        points: &[[f64; 2]],
+    ) -> io::Result<HttpResponse> {
+        let mut body = format!("{{\"id\":\"{id}\",\"kind\":\"{kind}\",\"points\":[");
+        for (i, p) in points.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!("[{},{}]", p[0], p[1]));
+        }
+        body.push_str("]}");
+        self.request("POST", "/collections", &body)
+    }
+
+    /// Runs `spec` against collection `id` (self-join).
+    pub fn query(&self, id: &str, spec: &QuerySpec) -> io::Result<HttpResponse> {
+        self.request("POST", &format!("/collections/{id}/query"), &spec.to_json())
+    }
+
+    /// Drops collection `id`.
+    pub fn drop_collection(&self, id: &str) -> io::Result<HttpResponse> {
+        self.request("DELETE", &format!("/collections/{id}"), "")
+    }
+
+    /// `POST /admin/shutdown`.
+    pub fn shutdown_server(&self) -> io::Result<HttpResponse> {
+        self.request("POST", "/admin/shutdown", "")
+    }
+}
+
+/// Reads one `HTTP/1.1` response (status line, headers,
+/// `Content-Length` body).
+fn read_response(stream: &mut TcpStream) -> io::Result<HttpResponse> {
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 1024];
+    let split;
+    let spill;
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before response head",
+            ));
+        }
+        head.extend_from_slice(&buf[..n]);
+        if let Some(pos) = head.windows(4).position(|w| w == b"\r\n\r\n") {
+            split = pos + 4;
+            spill = head.split_off(split);
+            break;
+        }
+        if head.len() > 64 * 1024 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response head too large",
+            ));
+        }
+    }
+    let head_str = std::str::from_utf8(&head)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response head"))?;
+    let mut lines = head_str.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad length"))?;
+            }
+        }
+    }
+    let mut body = spill;
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(buf.len());
+        let n = stream.read(&mut buf[..want])?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+    Ok(HttpResponse { status, body })
+}

@@ -1,0 +1,238 @@
+//! Minimal HTTP/1.1 framing over a [`TcpStream`] — just enough protocol
+//! for the ANN service, hand-rolled in keeping with the repo's
+//! zero-dependency rule.
+//!
+//! Supported: request-line + header parsing, `Content-Length` bodies,
+//! keep-alive connection reuse, and fixed-status responses. Deliberately
+//! absent: chunked transfer encoding, multipart, compression, TLS — a
+//! production deployment would sit this behind a terminating proxy.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers). A head
+/// larger than this is rejected rather than buffered without bound.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// Upper bound on a request body. Collection creation ships the full
+/// point set inline, so this is sized for ~1M points of JSON rather
+/// than for queries (which are tiny).
+const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Path component, without the query string.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Raw body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of query parameter `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether boolean-ish query flag `key` is set (`1`, `true`, `yes`,
+    /// or present with no value).
+    pub fn query_flag(&self, key: &str) -> bool {
+        self.query_param(key)
+            .is_some_and(|v| v.is_empty() || v == "1" || v == "true" || v == "yes")
+    }
+
+    /// Body as UTF-8, or `None` if it is not valid UTF-8.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Reads one request from `stream`.
+///
+/// Returns `Ok(None)` on a clean EOF before any bytes of a new request
+/// (the client closed a keep-alive connection), and `Err` on a malformed
+/// or oversized request.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 1024];
+    let split; // index just past the \r\n\r\n terminator
+    let spill: Vec<u8>; // body bytes read together with the head
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            if head.is_empty() {
+                return Ok(None);
+            }
+            return Err(bad("connection closed mid-request"));
+        }
+        head.extend_from_slice(&buf[..n]);
+        if let Some(pos) = find_head_end(&head) {
+            split = pos;
+            spill = head.split_off(split);
+            head.truncate(split.saturating_sub(4) + 4);
+            break;
+        }
+        if head.len() > MAX_HEAD {
+            return Err(bad("request head too large"));
+        }
+    }
+
+    let head_str = std::str::from_utf8(&head[..split]).map_err(|_| bad("non-UTF-8 head"))?;
+    let mut lines = head_str.split("\r\n");
+    let request_line = lines.next().ok_or_else(|| bad("empty request"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or_else(|| bad("missing method"))?;
+    let target = parts.next().ok_or_else(|| bad("missing path"))?;
+    let version = parts.next().unwrap_or("HTTP/1.0");
+
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; only `Connection: close` opts out.
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad("malformed header line"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| bad("bad Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(bad("chunked bodies not supported"));
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(bad("request body too large"));
+    }
+
+    let mut body = spill;
+    if body.len() > content_length {
+        return Err(bad("body longer than Content-Length"));
+    }
+    let mut remaining = content_length - body.len();
+    body.reserve(remaining);
+    while remaining > 0 {
+        let want = remaining.min(buf.len());
+        let n = stream.read(&mut buf[..want])?;
+        if n == 0 {
+            return Err(bad("connection closed mid-body"));
+        }
+        body.extend_from_slice(&buf[..n]);
+        remaining -= n;
+    }
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+
+    Ok(Some(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+        body,
+        keep_alive,
+    }))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Canonical reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        499 => "Client Closed Request",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one `application/json` response. `keep_alive` echoes the
+/// request's connection preference back in the `Connection` header.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn reason_phrases_cover_error_codes() {
+        use ann_core::wire::ErrorCode;
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::Cancelled,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::VisitBudgetExhausted,
+            ErrorCode::IoBudgetExhausted,
+            ErrorCode::StorageFailed,
+            ErrorCode::CollectionNotFound,
+            ErrorCode::CollectionExists,
+            ErrorCode::InvalidCollection,
+            ErrorCode::Overloaded,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
+        ] {
+            assert_ne!(reason(code.http_status()), "Unknown", "{code:?}");
+        }
+    }
+}

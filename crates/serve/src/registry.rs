@@ -1,0 +1,340 @@
+//! Named on-disk collections behind a process-wide registry.
+//!
+//! A *collection* is one bulk-built spatial index (MBRQT or R*-tree) over
+//! a point set, persisted in its own [`FileDisk`] file with a JSON
+//! sidecar recording how to reopen it (index kind, metadata page, point
+//! count, pool size). The registry maps [`CollectionId`]s to live
+//! [`Collection`] handles, opening lazily on first use so a restarted
+//! server picks up everything a previous run created.
+//!
+//! Serving is fixed at `D = 2` ([`SERVE_DIMS`]) — the paper's primary
+//! dimensionality. Higher-D serving would need either monomorphized
+//! routes per D or a dynamic-D index, both out of scope here.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use ann_core::wire::{CollectionId, ErrorCode, JsonValue};
+use ann_geom::Point;
+use ann_mbrqt::{Mbrqt, MbrqtConfig};
+use ann_rstar::{RStar, RStarConfig};
+use ann_store::{BufferPool, FileDisk, StoreError};
+
+/// The fixed dimensionality served over the wire.
+pub const SERVE_DIMS: usize = 2;
+
+/// Sidecar schema version (bumped independently of the query wire
+/// schema; same rule — removals or meaning changes bump, additions of
+/// optional fields do not).
+const SIDECAR_VERSION: u64 = 1;
+
+/// A service-level error: the stable [`ErrorCode`] plus a human message.
+/// The HTTP layer renders it with [`ErrorCode::http_status`] and
+/// [`ErrorCode::error_json`].
+#[derive(Debug, Clone)]
+pub struct ApiError {
+    /// Stable numeric code (see [`ErrorCode`]).
+    pub code: ErrorCode,
+    /// Human-readable detail, safe to echo to the client.
+    pub message: String,
+}
+
+impl ApiError {
+    /// Builds an error from its code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ApiError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Maps a storage failure to its stable code.
+    pub fn from_store(e: &StoreError) -> Self {
+        ApiError::new(ErrorCode::from_store_error(e), e.to_string())
+    }
+}
+
+/// Which index structure backs a collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// MBR-quadtree ([`ann_mbrqt`]), the paper's primary structure.
+    Mbrqt,
+    /// R*-tree ([`ann_rstar`]), the paper's RBA host.
+    RStar,
+}
+
+impl IndexKind {
+    /// Wire name (`"mbrqt"` / `"rstar"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IndexKind::Mbrqt => "mbrqt",
+            IndexKind::RStar => "rstar",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Result<Self, ApiError> {
+        match s {
+            "mbrqt" => Ok(IndexKind::Mbrqt),
+            "rstar" => Ok(IndexKind::RStar),
+            other => Err(ApiError::new(
+                ErrorCode::BadRequest,
+                format!("unknown index kind {other:?} (expected \"mbrqt\" or \"rstar\")"),
+            )),
+        }
+    }
+}
+
+/// A live index handle, either structure behind one enum so collection
+/// storage stays homogeneous. Query dispatch matches on the variant.
+pub enum AnyIndex {
+    /// An open MBR-quadtree.
+    Mbrqt(Mbrqt<SERVE_DIMS>),
+    /// An open R*-tree.
+    RStar(RStar<SERVE_DIMS>),
+}
+
+/// One open collection: the index, its buffer pool, and its identity.
+pub struct Collection {
+    /// The registry name.
+    pub id: CollectionId,
+    /// Which structure backs it.
+    pub kind: IndexKind,
+    /// The open index.
+    pub index: AnyIndex,
+    /// The collection's private buffer pool (one pool per collection, so
+    /// hot collections cannot evict each other's pages).
+    pub pool: Arc<BufferPool>,
+    /// Number of indexed points.
+    pub num_points: u64,
+}
+
+/// The collection registry: a root directory plus the map of currently
+/// open collections.
+pub struct Registry {
+    root: PathBuf,
+    pool_frames: usize,
+    open: Mutex<BTreeMap<String, Arc<Collection>>>,
+}
+
+impl Registry {
+    /// Opens (creating if needed) a registry rooted at `root`. Existing
+    /// collections are *not* opened eagerly; [`Registry::get`] loads them
+    /// on first use.
+    pub fn open(root: impl Into<PathBuf>, pool_frames: usize) -> std::io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Registry {
+            root,
+            pool_frames: pool_frames.max(16),
+            open: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    fn disk_path(&self, id: &CollectionId) -> PathBuf {
+        self.root.join(format!("{id}.pages"))
+    }
+
+    fn meta_path(&self, id: &CollectionId) -> PathBuf {
+        self.root.join(format!("{id}.meta.json"))
+    }
+
+    /// Creates and bulk-builds a new collection over `points` (oids are
+    /// the input positions). Fails with `CollectionExists` if the name is
+    /// taken, either live or on disk.
+    pub fn create(
+        &self,
+        id: &CollectionId,
+        kind: IndexKind,
+        points: &[Point<SERVE_DIMS>],
+    ) -> Result<Arc<Collection>, ApiError> {
+        if points.is_empty() {
+            return Err(ApiError::new(
+                ErrorCode::BadRequest,
+                "a collection needs at least one point",
+            ));
+        }
+        let mut open = lock(&self.open);
+        if open.contains_key(id.as_str()) || self.meta_path(id).exists() {
+            return Err(ApiError::new(
+                ErrorCode::CollectionExists,
+                format!("collection {id:?} already exists"),
+            ));
+        }
+        let keyed: Vec<(u64, Point<SERVE_DIMS>)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u64, *p))
+            .collect();
+        let disk_path = self.disk_path(id);
+        let disk = FileDisk::create(&disk_path).map_err(|e| ApiError::from_store(&e))?;
+        let pool = Arc::new(BufferPool::new(disk, self.pool_frames));
+        let built = match kind {
+            IndexKind::Mbrqt => {
+                Mbrqt::bulk_build(Arc::clone(&pool), &keyed, &MbrqtConfig::default())
+                    .map(AnyIndex::Mbrqt)
+            }
+            IndexKind::RStar => {
+                RStar::bulk_build(Arc::clone(&pool), &keyed, &RStarConfig::default())
+                    .map(AnyIndex::RStar)
+            }
+        };
+        let index = match built {
+            Ok(index) => index,
+            Err(e) => {
+                // Failed build: drop the pool and remove the partial file
+                // so the name is reusable.
+                drop(pool);
+                let _ = std::fs::remove_file(&disk_path);
+                return Err(ApiError::from_store(&e));
+            }
+        };
+        pool.flush_all().map_err(|e| ApiError::from_store(&e))?;
+        let meta_page = match &index {
+            AnyIndex::Mbrqt(t) => t.meta_page(),
+            AnyIndex::RStar(t) => t.meta_page(),
+        };
+        let sidecar = format!(
+            "{{\"v\":{SIDECAR_VERSION},\"kind\":\"{}\",\"meta_page\":{},\"points\":{},\"pool_frames\":{}}}\n",
+            kind.as_str(),
+            meta_page,
+            keyed.len(),
+            self.pool_frames,
+        );
+        std::fs::write(self.meta_path(id), sidecar).map_err(|e| {
+            ApiError::new(ErrorCode::StorageFailed, format!("writing sidecar: {e}"))
+        })?;
+        let coll = Arc::new(Collection {
+            id: id.clone(),
+            kind,
+            index,
+            pool,
+            num_points: keyed.len() as u64,
+        });
+        open.insert(id.as_str().to_string(), Arc::clone(&coll));
+        Ok(coll)
+    }
+
+    /// Returns the live handle for `id`, opening it from disk on first
+    /// use. `CollectionNotFound` if it exists neither live nor on disk.
+    pub fn get(&self, id: &CollectionId) -> Result<Arc<Collection>, ApiError> {
+        let mut open = lock(&self.open);
+        if let Some(coll) = open.get(id.as_str()) {
+            return Ok(Arc::clone(coll));
+        }
+        let coll = self.load(id)?;
+        open.insert(id.as_str().to_string(), Arc::clone(&coll));
+        Ok(coll)
+    }
+
+    /// Opens a collection from its on-disk file + sidecar.
+    fn load(&self, id: &CollectionId) -> Result<Arc<Collection>, ApiError> {
+        let meta_path = self.meta_path(id);
+        let raw = std::fs::read_to_string(&meta_path).map_err(|_| {
+            ApiError::new(
+                ErrorCode::CollectionNotFound,
+                format!("no collection named {id:?}"),
+            )
+        })?;
+        let invalid = |what: &str| {
+            ApiError::new(
+                ErrorCode::InvalidCollection,
+                format!("sidecar {}: {what}", meta_path.display()),
+            )
+        };
+        let doc = JsonValue::parse(&raw).map_err(|e| invalid(&e.to_string()))?;
+        let v = doc
+            .get("v")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| invalid("missing version"))?;
+        if v > SIDECAR_VERSION {
+            return Err(invalid(&format!("unsupported sidecar version {v}")));
+        }
+        let kind = IndexKind::parse(
+            doc.get("kind")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| invalid("missing kind"))?,
+        )
+        .map_err(|e| invalid(&e.message))?;
+        let meta_page = doc
+            .get("meta_page")
+            .and_then(JsonValue::as_u64)
+            .and_then(|p| u32::try_from(p).ok())
+            .ok_or_else(|| invalid("missing or out-of-range meta_page"))?;
+        let num_points = doc
+            .get("points")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| invalid("missing points"))?;
+        let frames = doc
+            .get("pool_frames")
+            .and_then(JsonValue::as_usize)
+            .unwrap_or(self.pool_frames);
+        let disk = FileDisk::open(self.disk_path(id)).map_err(|e| ApiError::from_store(&e))?;
+        let pool = Arc::new(BufferPool::new(disk, frames.max(16)));
+        let index = match kind {
+            IndexKind::Mbrqt => Mbrqt::open(Arc::clone(&pool), meta_page)
+                .map(AnyIndex::Mbrqt)
+                .map_err(|e| ApiError::from_store(&e))?,
+            IndexKind::RStar => RStar::open(Arc::clone(&pool), meta_page)
+                .map(AnyIndex::RStar)
+                .map_err(|e| ApiError::from_store(&e))?,
+        };
+        Ok(Arc::new(Collection {
+            id: id.clone(),
+            kind,
+            index,
+            pool,
+            num_points,
+        }))
+    }
+
+    /// Drops a collection: unregisters the live handle and deletes its
+    /// files. In-flight queries holding the `Arc` finish normally — on
+    /// Unix the unlinked file stays readable until the last handle drops.
+    pub fn drop_collection(&self, id: &CollectionId) -> Result<(), ApiError> {
+        let mut open = lock(&self.open);
+        let was_open = open.remove(id.as_str()).is_some();
+        let meta = self.meta_path(id);
+        let on_disk = meta.exists();
+        if !was_open && !on_disk {
+            return Err(ApiError::new(
+                ErrorCode::CollectionNotFound,
+                format!("no collection named {id:?}"),
+            ));
+        }
+        let _ = std::fs::remove_file(meta);
+        let _ = std::fs::remove_file(self.disk_path(id));
+        Ok(())
+    }
+
+    /// All collection names, live or on disk, sorted.
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = lock(&self.open).keys().cloned().collect();
+        if let Ok(entries) = std::fs::read_dir(&self.root) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if let Some(stem) = name.strip_suffix(".meta.json") {
+                    if !names.iter().any(|n| n == stem) {
+                        names.push(stem.to_string());
+                    }
+                }
+            }
+        }
+        names.sort();
+        names
+    }
+
+    /// Number of currently open (live) collections.
+    pub fn open_count(&self) -> usize {
+        lock(&self.open).len()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A poisoned registry lock means a panic mid-create; the map itself
+    // is still structurally sound (inserts happen after the fallible
+    // work), so serving can continue.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}

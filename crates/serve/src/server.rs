@@ -1,0 +1,695 @@
+//! The ANN server: acceptor, per-connection threads, and the bounded
+//! query worker pool.
+//!
+//! # Threading model
+//!
+//! Three thread families (DESIGN.md §14):
+//!
+//! * **one acceptor** blocks on [`TcpListener::accept`] and spawns a
+//!   connection thread per client;
+//! * **one connection thread per client** parses HTTP, serves the cheap
+//!   control-plane routes inline, and *submits* queries to the worker
+//!   pool, then waits for the reply while polling its socket for
+//!   disconnect;
+//! * **N query workers** (the only threads that touch an index) each own
+//!   a [`QueryScratch`] reused across every query they run, so the
+//!   steady-state data plane allocates nothing per request.
+//!
+//! # Admission control
+//!
+//! The submit queue is bounded: when `queue_depth` queries are already
+//! waiting, new ones are rejected immediately with HTTP 429
+//! ([`ErrorCode::Overloaded`]) instead of building an unbounded backlog —
+//! the client owns the retry decision.
+//!
+//! # Cancellation on disconnect
+//!
+//! Every query gets a fresh [`CancelToken`] shared between the worker
+//! and the connection thread. While the worker runs, the connection
+//! thread `peek`s its socket every few milliseconds; a clean EOF there
+//! means the client is gone, so it fires the token and the traversal
+//! aborts at its next node expansion with all buffer-pool pins released
+//! (the PR 7 clean-abort contract, asserted by the disconnect test).
+
+use std::collections::VecDeque;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ann_core::query::{run_scratch, AnnRequest, Input};
+use ann_core::resilience::CancelToken;
+use ann_core::scratch::QueryScratch;
+use ann_core::stats::AnnOutput;
+use ann_core::trace::RecordingSink;
+use ann_core::wire::{CollectionId, ErrorCode, JsonValue, QueryOutcome, QuerySpec};
+use ann_core::QueryResult;
+use ann_geom::Point;
+
+use crate::http::{read_request, write_response, Request};
+use crate::metrics::Metrics;
+use crate::registry::{AnyIndex, ApiError, Collection, IndexKind, Registry, SERVE_DIMS};
+
+/// How often a waiting connection thread polls its socket for client
+/// disconnect (and re-checks the reply channel).
+const DISCONNECT_POLL: Duration = Duration::from_millis(10);
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Query worker threads (the data-plane parallelism).
+    pub workers: usize,
+    /// Maximum queries waiting for a worker before 429s start.
+    pub queue_depth: usize,
+    /// Directory holding collection files and sidecars.
+    pub data_dir: PathBuf,
+    /// Buffer-pool frames per collection.
+    pub pool_frames: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            data_dir: PathBuf::from("ann-serve-data"),
+            pool_frames: 256,
+        }
+    }
+}
+
+/// One queued query: everything a worker needs, plus the reply channel.
+struct Job {
+    r: Arc<Collection>,
+    s: Arc<Collection>,
+    spec: QuerySpec,
+    trace: bool,
+    cancel: CancelToken,
+    reply: mpsc::Sender<Result<String, ApiError>>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The bounded submit queue between connection threads and workers.
+struct WorkQueue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    cap: usize,
+}
+
+enum SubmitError {
+    Full,
+    Closed,
+}
+
+impl WorkQueue {
+    fn new(cap: usize) -> Self {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Non-blocking admission: `Full` is the 429 path.
+    fn try_submit(&self, job: Job) -> Result<(), (Job, SubmitError)> {
+        let mut st = lock(&self.state);
+        if st.closed {
+            return Err((job, SubmitError::Closed));
+        }
+        if st.jobs.len() >= self.cap {
+            return Err((job, SubmitError::Full));
+        }
+        st.jobs.push_back(job);
+        drop(st);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` means the queue is closed and
+    /// drained, i.e. the worker should exit.
+    fn pop(&self) -> Option<Job> {
+        let mut st = lock(&self.state);
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self
+                .cond
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: pending jobs are failed with `ShuttingDown`,
+    /// blocked workers wake and exit once drained.
+    fn close(&self) {
+        let drained: Vec<Job> = {
+            let mut st = lock(&self.state);
+            st.closed = true;
+            st.jobs.drain(..).collect()
+        };
+        self.cond.notify_all();
+        for job in drained {
+            let _ = job.reply.send(Err(ApiError::new(
+                ErrorCode::ShuttingDown,
+                "server is shutting down",
+            )));
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Shared server context, one `Arc` per thread.
+struct Ctx {
+    registry: Registry,
+    metrics: Metrics,
+    queue: WorkQueue,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A running server. Dropping the handle does *not* stop it; call
+/// [`shutdown`](Server::shutdown) (or POST `/admin/shutdown`) first.
+pub struct Server {
+    ctx: Arc<Ctx>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and acceptor, and returns
+    /// immediately. The bound address (with the resolved ephemeral port)
+    /// is [`addr`](Server::addr).
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let registry = Registry::open(&config.data_dir, config.pool_frames)?;
+        let ctx = Arc::new(Ctx {
+            registry,
+            metrics: Metrics::new(),
+            queue: WorkQueue::new(config.queue_depth),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let ctx = Arc::clone(&ctx);
+                std::thread::Builder::new()
+                    .name(format!("ann-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&ctx))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        let acceptor = {
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name("ann-serve-acceptor".to_string())
+                .spawn(move || acceptor_loop(listener, &ctx))?
+        };
+
+        Ok(Server {
+            ctx,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.ctx.addr
+    }
+
+    /// The collection registry (tests reach through this to assert pool
+    /// state, e.g. `pinned_frames() == 0` after a disconnect).
+    pub fn registry(&self) -> &Registry {
+        &self.ctx.registry
+    }
+
+    /// The server metrics block.
+    pub fn metrics(&self) -> &Metrics {
+        &self.ctx.metrics
+    }
+
+    /// Whether shutdown has been requested (by [`shutdown`](Server::shutdown)
+    /// or the `/admin/shutdown` route).
+    pub fn is_shutting_down(&self) -> bool {
+        self.ctx.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Initiates shutdown and joins the acceptor and workers. Pending
+    /// queued queries are failed with `ShuttingDown`; in-flight ones run
+    /// to completion. Connection threads exit as their clients hang up.
+    pub fn shutdown(mut self) {
+        initiate_shutdown(&self.ctx);
+        self.join();
+    }
+
+    /// Blocks until shutdown is triggered elsewhere (the
+    /// `/admin/shutdown` route) and the acceptor and workers have
+    /// exited. This is the binary's main-thread parking spot.
+    pub fn wait(mut self) {
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Sets the shutdown flag, closes the queue, and pokes the acceptor
+/// awake with a throwaway connection.
+fn initiate_shutdown(ctx: &Ctx) {
+    if ctx.shutdown.swap(true, Ordering::AcqRel) {
+        return; // already shutting down
+    }
+    ctx.queue.close();
+    let _ = TcpStream::connect(ctx.addr);
+}
+
+fn acceptor_loop(listener: TcpListener, ctx: &Arc<Ctx>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if ctx.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let ctx = Arc::clone(ctx);
+        // Connection threads are detached: they exit when their client
+        // hangs up (or after the post-shutdown response they serve).
+        let _ = std::thread::Builder::new()
+            .name("ann-serve-conn".to_string())
+            .spawn(move || connection_loop(stream, &ctx));
+    }
+}
+
+fn worker_loop(ctx: &Ctx) {
+    // The per-worker scratch: reused across every query this worker
+    // runs, so steady-state serving does not allocate per request.
+    let mut scratch = QueryScratch::<SERVE_DIMS>::new();
+    while let Some(job) = ctx.queue.pop() {
+        let result = execute(&job, &mut scratch, &ctx.metrics);
+        // A send error means the connection thread is gone (client
+        // disconnected and the handler returned); nothing to do.
+        let _ = job.reply.send(result);
+    }
+}
+
+/// Runs one query on a worker thread and serializes the outcome.
+fn execute(
+    job: &Job,
+    scratch: &mut QueryScratch<SERVE_DIMS>,
+    metrics: &Metrics,
+) -> Result<String, ApiError> {
+    let started = Instant::now();
+    let sink = RecordingSink::new();
+    let mut req: AnnRequest<'_> = job.spec.to_request();
+    req = req.cancel_token(job.cancel.clone());
+    if job.trace {
+        req = req.trace(&sink);
+    }
+    match run_pair(&job.r, &job.s, &req, scratch) {
+        Ok(out) => {
+            metrics.record_query(started.elapsed(), &out.stats);
+            let mut outcome = QueryOutcome::from(out);
+            if job.trace {
+                outcome = outcome.with_report(sink.report(&format!(
+                    "serve:{}:{}",
+                    job.r.id,
+                    job.spec.algorithm.name()
+                )));
+            }
+            Ok(outcome.to_json())
+        }
+        Err(e) => {
+            if job.cancel.is_cancelled() {
+                metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ApiError::new(ErrorCode::from_query_error(&e), e.to_string()))
+        }
+    }
+}
+
+/// Dispatches over the four index-kind combinations of the two sides.
+fn run_pair(
+    r: &Collection,
+    s: &Collection,
+    req: &AnnRequest<'_>,
+    scratch: &mut QueryScratch<SERVE_DIMS>,
+) -> QueryResult<AnnOutput> {
+    match (&r.index, &s.index) {
+        (AnyIndex::Mbrqt(ir), AnyIndex::Mbrqt(is)) => {
+            run_scratch(req, Input::Index(ir), Input::Index(is), scratch)
+        }
+        (AnyIndex::Mbrqt(ir), AnyIndex::RStar(is)) => {
+            run_scratch(req, Input::Index(ir), Input::Index(is), scratch)
+        }
+        (AnyIndex::RStar(ir), AnyIndex::Mbrqt(is)) => {
+            run_scratch(req, Input::Index(ir), Input::Index(is), scratch)
+        }
+        (AnyIndex::RStar(ir), AnyIndex::RStar(is)) => {
+            run_scratch(req, Input::Index(ir), Input::Index(is), scratch)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+/// What a route handler produced: status + JSON body, plus whether this
+/// response must close the connection regardless of keep-alive.
+struct Reply {
+    status: u16,
+    body: String,
+    close: bool,
+}
+
+impl Reply {
+    fn ok(body: impl Into<String>) -> Self {
+        Reply {
+            status: 200,
+            body: body.into(),
+            close: false,
+        }
+    }
+
+    fn status(status: u16, body: impl Into<String>) -> Self {
+        Reply {
+            status,
+            body: body.into(),
+            close: false,
+        }
+    }
+
+    fn err(e: &ApiError) -> Self {
+        Reply {
+            status: e.code.http_status(),
+            body: e.code.error_json(&e.message),
+            close: false,
+        }
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, ctx: &Ctx) {
+    loop {
+        let req = match read_request(&mut stream) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean close between requests
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                let body = ErrorCode::BadRequest.error_json(&e.to_string());
+                let _ = write_response(&mut stream, 400, &body, false);
+                return;
+            }
+            Err(_) => return, // socket error mid-request
+        };
+        ctx.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let keep_alive = req.keep_alive && !ctx.shutdown.load(Ordering::Acquire);
+        let reply = match route(&req, &mut stream, ctx) {
+            Some(reply) => reply,
+            None => {
+                // Client disconnected while its query ran; nothing to
+                // write and the handler already did the accounting.
+                return;
+            }
+        };
+        ctx.metrics.count_status(reply.status);
+        let keep = keep_alive && !reply.close;
+        if write_response(&mut stream, reply.status, &reply.body, keep).is_err() || !keep {
+            return;
+        }
+    }
+}
+
+/// Routes one request. `None` means the connection died mid-query and
+/// there is nobody left to answer.
+fn route(req: &Request, stream: &mut TcpStream, ctx: &Ctx) -> Option<Reply> {
+    let path = req.path.trim_matches('/').to_string();
+    let segs: Vec<&str> = if path.is_empty() {
+        Vec::new()
+    } else {
+        path.split('/').collect()
+    };
+    let reply = match (req.method.as_str(), segs.as_slice()) {
+        ("GET", ["health"]) => Reply::ok("{\"ok\":true}"),
+        ("GET", ["metrics"]) => Reply::ok(ctx.metrics.to_json()),
+        ("GET", ["collections"]) => {
+            let names = ctx.registry.list();
+            let items: Vec<String> = names.iter().map(|n| format!("\"{n}\"")).collect();
+            Reply::ok(format!("{{\"collections\":[{}]}}", items.join(",")))
+        }
+        ("POST", ["collections"]) => match create_collection(req, ctx) {
+            Ok(reply) => reply,
+            Err(e) => Reply::err(&e),
+        },
+        ("GET", ["collections", id]) => match describe_collection(id, ctx) {
+            Ok(reply) => reply,
+            Err(e) => Reply::err(&e),
+        },
+        ("DELETE", ["collections", id]) => match parse_id(id).and_then(|id| {
+            ctx.registry.drop_collection(&id)?;
+            Ok(Reply::ok(format!("{{\"dropped\":\"{id}\"}}")))
+        }) {
+            Ok(reply) => reply,
+            Err(e) => Reply::err(&e),
+        },
+        ("POST", ["collections", id, "query"]) => {
+            return query_route(id, req, stream, ctx);
+        }
+        ("POST", ["admin", "shutdown"]) => {
+            initiate_shutdown(ctx);
+            let mut reply = Reply::ok("{\"shutting_down\":true}");
+            reply.close = true;
+            reply
+        }
+        (_, ["health" | "metrics" | "collections" | "admin", ..]) => Reply::status(
+            405,
+            ErrorCode::BadRequest.error_json("method not allowed for this route"),
+        ),
+        _ => Reply::status(
+            404,
+            ErrorCode::BadRequest.error_json(&format!("no route for {} /{path}", req.method)),
+        ),
+    };
+    Some(reply)
+}
+
+fn parse_id(raw: &str) -> Result<CollectionId, ApiError> {
+    CollectionId::new(raw).map_err(|e| ApiError::new(ErrorCode::BadRequest, e.to_string()))
+}
+
+fn describe_collection(raw_id: &str, ctx: &Ctx) -> Result<Reply, ApiError> {
+    let id = parse_id(raw_id)?;
+    let coll = ctx.registry.get(&id)?;
+    Ok(Reply::ok(format!(
+        "{{\"id\":\"{}\",\"kind\":\"{}\",\"points\":{}}}",
+        coll.id,
+        coll.kind.as_str(),
+        coll.num_points
+    )))
+}
+
+/// `POST /collections` — body `{"id": "...", "kind": "mbrqt"|"rstar",
+/// "points": [[x, y], ...]}`; oids are the array positions.
+fn create_collection(req: &Request, ctx: &Ctx) -> Result<Reply, ApiError> {
+    let bad = |msg: &str| ApiError::new(ErrorCode::BadRequest, msg);
+    let body = req.body_str().ok_or_else(|| bad("body must be UTF-8"))?;
+    let doc = JsonValue::parse(body).map_err(|e| bad(&e.to_string()))?;
+    let id = parse_id(
+        doc.get("id")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| bad("missing string field \"id\""))?,
+    )?;
+    let kind = IndexKind::parse(
+        doc.get("kind")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("mbrqt"),
+    )?;
+    let raw_points = doc
+        .get("points")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| bad("missing array field \"points\""))?;
+    let mut points: Vec<Point<SERVE_DIMS>> = Vec::with_capacity(raw_points.len());
+    for (i, rp) in raw_points.iter().enumerate() {
+        let coords = rp
+            .as_arr()
+            .filter(|a| a.len() == SERVE_DIMS)
+            .ok_or_else(|| bad(&format!("point {i} must be [x, y]")))?;
+        let mut p = [0.0f64; SERVE_DIMS];
+        for (d, c) in coords.iter().enumerate() {
+            p[d] = c
+                .as_f64()
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| bad(&format!("point {i} coordinate {d} must be finite")))?;
+        }
+        points.push(Point(p));
+    }
+    let coll = ctx.registry.create(&id, kind, &points)?;
+    Ok(Reply::status(
+        201,
+        format!(
+            "{{\"id\":\"{}\",\"kind\":\"{}\",\"points\":{}}}",
+            coll.id,
+            coll.kind.as_str(),
+            coll.num_points
+        ),
+    ))
+}
+
+/// `POST /collections/{id}/query[?trace=1][&target={other}]` — body is a
+/// [`QuerySpec`] document. Queries `{id}` (as R) against `target` (as S,
+/// default: itself).
+fn query_route(raw_id: &str, req: &Request, stream: &mut TcpStream, ctx: &Ctx) -> Option<Reply> {
+    let submitted = match prepare_query(raw_id, req, ctx) {
+        Ok(parts) => parts,
+        Err(e) => return Some(Reply::err(&e)),
+    };
+    let (cancel, rx) = match submit_query(submitted, ctx) {
+        Ok(pair) => pair,
+        Err(e) => {
+            if e.code == ErrorCode::Overloaded {
+                ctx.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            return Some(Reply::err(&e));
+        }
+    };
+    await_reply(stream, &cancel, &rx)
+}
+
+struct PreparedQuery {
+    r: Arc<Collection>,
+    s: Arc<Collection>,
+    spec: QuerySpec,
+    trace: bool,
+}
+
+fn prepare_query(raw_id: &str, req: &Request, ctx: &Ctx) -> Result<PreparedQuery, ApiError> {
+    if ctx.shutdown.load(Ordering::Acquire) {
+        return Err(ApiError::new(
+            ErrorCode::ShuttingDown,
+            "server is shutting down",
+        ));
+    }
+    let id = parse_id(raw_id)?;
+    let body = req
+        .body_str()
+        .ok_or_else(|| ApiError::new(ErrorCode::BadRequest, "body must be UTF-8"))?;
+    let spec = QuerySpec::from_json(body)
+        .map_err(|e| ApiError::new(ErrorCode::BadRequest, e.to_string()))?;
+    let r = ctx.registry.get(&id)?;
+    let s = match req.query_param("target") {
+        Some(target) => ctx.registry.get(&parse_id(target)?)?,
+        None => Arc::clone(&r),
+    };
+    Ok(PreparedQuery {
+        r,
+        s,
+        spec,
+        trace: req.query_flag("trace"),
+    })
+}
+
+type ReplyRx = mpsc::Receiver<Result<String, ApiError>>;
+
+fn submit_query(q: PreparedQuery, ctx: &Ctx) -> Result<(CancelToken, ReplyRx), ApiError> {
+    let cancel = CancelToken::new();
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        r: q.r,
+        s: q.s,
+        spec: q.spec,
+        trace: q.trace,
+        cancel: cancel.clone(),
+        reply: tx,
+    };
+    match ctx.queue.try_submit(job) {
+        Ok(()) => Ok((cancel, rx)),
+        Err((_, SubmitError::Full)) => Err(ApiError::new(
+            ErrorCode::Overloaded,
+            "query queue is full, retry later",
+        )),
+        Err((_, SubmitError::Closed)) => Err(ApiError::new(
+            ErrorCode::ShuttingDown,
+            "server is shutting down",
+        )),
+    }
+}
+
+/// Waits for the worker's reply while watching the socket: a clean EOF
+/// while the query is still running fires the cancel token. Returns
+/// `None` when the client is gone (nothing to write back).
+fn await_reply(stream: &mut TcpStream, cancel: &CancelToken, rx: &ReplyRx) -> Option<Reply> {
+    let mut client_gone = false;
+    let result = loop {
+        match rx.recv_timeout(DISCONNECT_POLL) {
+            Ok(result) => break result,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if !client_gone && socket_disconnected(stream) {
+                    client_gone = true;
+                    cancel.cancel();
+                    // Keep looping: the worker's clean abort releases
+                    // the traversal's pins before it replies.
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Worker dropped the channel without a reply (shutdown
+                // drain already answered, or a worker panic).
+                break Err(ApiError::new(ErrorCode::Internal, "query lost"));
+            }
+        }
+    };
+    if client_gone {
+        return None;
+    }
+    Some(match result {
+        Ok(body) => Reply::ok(body),
+        Err(e) => Reply::err(&e),
+    })
+}
+
+/// True when the peer has closed its end: a zero-byte `peek`. Transient
+/// would-block/timeout states mean "still connected, nothing sent".
+fn socket_disconnected(stream: &TcpStream) -> bool {
+    let prev = stream.read_timeout().ok().flatten();
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(1)))
+        .is_err()
+    {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match stream.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) => !matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut),
+    };
+    let _ = stream.set_read_timeout(prev);
+    gone
+}

@@ -1,0 +1,540 @@
+//! End-to-end gates for the serving front-end (DESIGN.md §14):
+//!
+//! * control-plane CRUD + error surface over real sockets;
+//! * the serving-vs-library differential: for fuzz-generated workloads
+//!   (checker's generator), the bytes a client parses off the wire are
+//!   identical to what the in-process `query::run` path returns;
+//! * ≥ 32 concurrent closed-loop clients with zero failed requests and
+//!   byte-identical results (the acceptance criterion);
+//! * admission control: a saturated one-worker server answers 429;
+//! * cancellation-on-disconnect: a client that hangs up mid-query leaves
+//!   `pinned_frames() == 0` behind;
+//! * graceful shutdown and reopen-from-disk.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ann_core::query::{run, Algorithm, Input};
+use ann_core::stats::AnnStats;
+use ann_core::wire::{QueryOutcome, QuerySpec};
+use ann_geom::Point;
+use ann_mbrqt::{Mbrqt, MbrqtConfig};
+use ann_rstar::{RStar, RStarConfig};
+use ann_serve::client::{Client, Conn};
+use ann_serve::server::{Server, ServerConfig};
+use ann_store::{BufferPool, MemDisk};
+use checker::rng::Rng;
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ann-serve-test-{}-{}-{}",
+        std::process::id(),
+        tag,
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn start_server(tag: &str, workers: usize, queue_depth: usize, pool_frames: usize) -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_depth,
+        data_dir: temp_dir(tag),
+        pool_frames,
+    })
+    .expect("server starts")
+}
+
+/// Canonical comparison form: the outcome's pairs with stats zeroed, so
+/// equality means "byte-identical results" without coupling to pool
+/// counters (which legitimately vary under concurrency).
+fn pairs_json(results: Vec<ann_core::stats::NeighborPair>) -> String {
+    QueryOutcome {
+        results,
+        stats: AnnStats::default(),
+        report: None,
+    }
+    .to_json()
+}
+
+fn server_pairs(body: &str) -> String {
+    let outcome = QueryOutcome::from_json(body)
+        .unwrap_or_else(|e| panic!("server body must parse as QueryOutcome: {e}\n{body}"));
+    pairs_json(outcome.results)
+}
+
+/// Runs `spec` in-process over freshly built indices (MBRQT for R,
+/// optionally R*-tree for S) with positional oids — the library-side
+/// reference for the differential tests.
+fn library_pairs(
+    r_pts: &[Point<2>],
+    s_pts: Option<(&[Point<2>], bool)>, // (points, as_rstar)
+    spec: &QuerySpec,
+) -> String {
+    let keyed = |pts: &[Point<2>]| -> Vec<(u64, Point<2>)> {
+        pts.iter().enumerate().map(|(i, p)| (i as u64, *p)).collect()
+    };
+    let pool_r = Arc::new(BufferPool::new(MemDisk::new(), 256));
+    let ir = Mbrqt::bulk_build(pool_r, &keyed(r_pts), &MbrqtConfig::default()).expect("build R");
+    let req = spec.to_request();
+    let out = match s_pts {
+        None => run(&req, Input::Index(&ir), Input::Index(&ir)),
+        Some((s, true)) => {
+            let pool_s = Arc::new(BufferPool::new(MemDisk::new(), 256));
+            let is =
+                RStar::bulk_build(pool_s, &keyed(s), &RStarConfig::default()).expect("build S");
+            run(&req, Input::Index(&ir), Input::Index(&is))
+        }
+        Some((s, false)) => {
+            let pool_s = Arc::new(BufferPool::new(MemDisk::new(), 256));
+            let is =
+                Mbrqt::bulk_build(pool_s, &keyed(s), &MbrqtConfig::default()).expect("build S");
+            run(&req, Input::Index(&ir), Input::Index(&is))
+        }
+    }
+    .expect("library run");
+    pairs_json(out.results)
+}
+
+fn to_rows(pts: &[Point<2>]) -> Vec<[f64; 2]> {
+    pts.iter().map(|p| [p.0[0], p.0[1]]).collect()
+}
+
+/// Deterministic uniform points for the load tests.
+fn uniform_points(n: usize, seed: u64) -> Vec<Point<2>> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|_| Point([rng.f64() * 1000.0, rng.f64() * 1000.0]))
+        .collect()
+}
+
+#[test]
+fn crud_and_query_roundtrip() {
+    let server = start_server("crud", 2, 16, 256);
+    let client = Client::new(server.addr().to_string());
+
+    assert_eq!(client.health().expect("health").status, 200);
+
+    let resp = client
+        .create_collection("demo", "mbrqt", &[[0.0, 0.0], [1.0, 0.0], [5.0, 5.0]])
+        .expect("create");
+    assert_eq!(resp.status, 201, "{}", resp.body);
+
+    // Duplicate name → 409.
+    let dup = client
+        .create_collection("demo", "mbrqt", &[[0.0, 0.0]])
+        .expect("dup request");
+    assert_eq!(dup.status, 409, "{}", dup.body);
+
+    let listed = client.request("GET", "/collections", "").expect("list");
+    assert!(listed.body.contains("\"demo\""), "{}", listed.body);
+
+    let desc = client.request("GET", "/collections/demo", "").expect("describe");
+    assert_eq!(desc.status, 200);
+    assert!(desc.body.contains("\"points\":3"), "{}", desc.body);
+
+    let mut spec = QuerySpec::default();
+    spec.exclude_self = true;
+    let q = client.query("demo", &spec).expect("query");
+    assert_eq!(q.status, 200, "{}", q.body);
+    let outcome = q.outcome().expect("outcome parses");
+    assert_eq!(outcome.results.len(), 3);
+
+    // Traced query returns the report inline.
+    let traced = client
+        .request("POST", "/collections/demo/query?trace=1", &spec.to_json())
+        .expect("traced query");
+    assert_eq!(traced.status, 200);
+    assert!(traced.body.contains("\"trace\":"), "{}", traced.body);
+
+    // Unknown collection → 404; malformed body → 400; bad id → 400.
+    let missing = client.query("nope", &spec).expect("missing");
+    assert_eq!(missing.status, 404, "{}", missing.body);
+    let bad = client
+        .request("POST", "/collections/demo/query", "{not json")
+        .expect("bad body");
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    let bad_id = client
+        .request("POST", "/collections/b%d/query", &spec.to_json())
+        .expect("bad id");
+    assert_eq!(bad_id.status, 400, "{}", bad_id.body);
+    let no_route = client.request("GET", "/nothing/here", "").expect("404");
+    assert_eq!(no_route.status, 404);
+    let wrong_method = client.request("PUT", "/collections", "").expect("405");
+    assert_eq!(wrong_method.status, 405);
+
+    let metrics = client.request("GET", "/metrics", "").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body.contains("\"queries\":"), "{}", metrics.body);
+
+    let dropped = client.drop_collection("demo").expect("drop");
+    assert_eq!(dropped.status, 200, "{}", dropped.body);
+    let gone = client.query("demo", &spec).expect("query dropped");
+    assert_eq!(gone.status, 404, "{}", gone.body);
+
+    server.shutdown();
+}
+
+/// The serving differential: fuzz-generated workloads through the full
+/// socket path must return byte-identical results to `query::run`.
+#[test]
+fn server_results_match_library_for_fuzz_workloads() {
+    let server = start_server("diff", 2, 16, 256);
+    let client = Client::new(server.addr().to_string());
+    let mut rng = Rng::new(0x5E4E11);
+    let mut ran = 0usize;
+    let mut case_idx = 0usize;
+    while ran < 24 {
+        case_idx += 1;
+        let case = checker::gen::diff_case::<2>(&mut rng);
+        let r_pts: Vec<Point<2>> = case.r.iter().map(|(_, p)| *p).collect();
+        let s_pts: Vec<Point<2>> = case.s.iter().map(|(_, p)| *p).collect();
+        let self_join = case.exclude_self || r_pts == s_pts;
+        if r_pts.is_empty() || s_pts.is_empty() {
+            continue; // served collections hold at least one point
+        }
+        let mut spec = QuerySpec::new(match ran % 4 {
+            0 => Algorithm::mba(),
+            1 => Algorithm::Bnn {
+                group_size: case.group_size,
+            },
+            2 => Algorithm::Mnn,
+            _ => Algorithm::Hnn {
+                avg_cell_occupancy: case.avg_cell_occupancy,
+            },
+        });
+        spec.k = case.k.min(64);
+        spec.exclude_self = case.exclude_self;
+        if ran % 2 == 1 {
+            spec.metric = ann_core::query::MetricChoice::MaxMax;
+        }
+
+        let r_name = format!("diff-r-{case_idx}");
+        let created = client
+            .create_collection(&r_name, "mbrqt", &to_rows(&r_pts))
+            .expect("create R");
+        assert_eq!(created.status, 201, "{}", created.body);
+
+        let (target_query, expected) = if self_join {
+            (
+                format!("/collections/{r_name}/query"),
+                library_pairs(&r_pts, None, &spec),
+            )
+        } else {
+            let s_name = format!("diff-s-{case_idx}");
+            let created = client
+                .create_collection(&s_name, "rstar", &to_rows(&s_pts))
+                .expect("create S");
+            assert_eq!(created.status, 201, "{}", created.body);
+            (
+                format!("/collections/{r_name}/query?target={s_name}"),
+                library_pairs(&r_pts, Some((&s_pts, true)), &spec),
+            )
+        };
+
+        let resp = client
+            .request("POST", &target_query, &spec.to_json())
+            .expect("query");
+        assert_eq!(resp.status, 200, "case {case_idx}: {}", resp.body);
+        assert_eq!(
+            server_pairs(&resp.body),
+            expected,
+            "case {case_idx} ({:?}): server diverged from query::run",
+            spec.algorithm
+        );
+        ran += 1;
+    }
+    server.shutdown();
+}
+
+/// The acceptance criterion: ≥ 32 concurrent closed-loop clients, zero
+/// failed requests, every result byte-identical to the library path.
+#[test]
+fn sustains_32_concurrent_clients_with_identical_results() {
+    const CLIENTS: usize = 32;
+    const REQUESTS_PER_CLIENT: usize = 6;
+
+    let server = start_server("load", 4, 64, 256);
+    let client = Client::new(server.addr().to_string());
+    let points = uniform_points(2000, 0xA11CE);
+    let created = client
+        .create_collection("load", "mbrqt", &to_rows(&points))
+        .expect("create");
+    assert_eq!(created.status, 201, "{}", created.body);
+
+    let mut spec = QuerySpec::default();
+    spec.k = 2;
+    spec.exclude_self = true;
+    let expected = Arc::new(library_pairs(&points, None, &spec));
+    let addr = server.addr().to_string();
+    let spec_json = Arc::new(spec.to_json());
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            let spec_json = Arc::clone(&spec_json);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut conn = Conn::connect(&addr).expect("connect");
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    let resp = conn
+                        .request("POST", "/collections/load/query", &spec_json)
+                        .expect("query");
+                    assert_eq!(resp.status, 200, "failed request: {}", resp.body);
+                    assert_eq!(
+                        server_pairs(&resp.body),
+                        *expected,
+                        "concurrent result diverged"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let m = server.metrics();
+    assert_eq!(
+        m.queries.load(Ordering::Relaxed),
+        (CLIENTS * REQUESTS_PER_CLIENT) as u64
+    );
+    assert_eq!(m.rejected.load(Ordering::Relaxed), 0);
+    server.shutdown();
+}
+
+/// A deliberately tiny server (one worker, queue depth one) under
+/// overlapping slow queries must shed load with 429.
+#[test]
+fn saturated_server_answers_429() {
+    let server = start_server("overload", 1, 1, 16);
+    let client = Client::new(server.addr().to_string());
+    let points = uniform_points(30_000, 0xBEEF);
+    let created = client
+        .create_collection("big", "mbrqt", &to_rows(&points))
+        .expect("create");
+    assert_eq!(created.status, 201, "{}", created.body);
+
+    // Slow query, but deadline-bounded so the test always terminates.
+    let mut spec = QuerySpec::default();
+    spec.k = 8;
+    spec.exclude_self = true;
+    spec.deadline_ms = Some(10_000);
+    let spec_json = Arc::new(spec.to_json());
+    let addr = server.addr().to_string();
+
+    // Two closed-loop occupants hammer the 1-worker/1-slot server so the
+    // worker and the queue slot stay contended; they keep resubmitting
+    // (a single query is fast, and any one attempt can itself be bounced
+    // by a probe below) until the main thread has seen its 429.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let occupants: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            let spec_json = Arc::clone(&spec_json);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut conn = Conn::connect(&addr).expect("connect");
+                loop {
+                    let status = conn
+                        .request("POST", "/collections/big/query", &spec_json)
+                        .expect("slow query")
+                        .status;
+                    if stop.load(Ordering::Relaxed) {
+                        return status;
+                    }
+                }
+            })
+        })
+        .collect();
+    // Worker busy + queue full → admission control rejects.  On a loaded
+    // test machine the occupant threads may take a while to get their
+    // requests onto the wire, so poll rather than sleep a fixed amount.
+    // The probe spec carries a one-node visit budget: if a probe sneaks
+    // in before both occupants hold the server, it is bounced with 422
+    // almost immediately and frees its slot instead of starving them.
+    let mut probe = QuerySpec::default();
+    probe.k = 1;
+    probe.exclude_self = true;
+    probe.visit_budget = Some(1);
+    let probe_json = probe.to_json();
+    let probe_deadline = Instant::now() + Duration::from_secs(15);
+    let rejected = loop {
+        let resp = client
+            .request("POST", "/collections/big/query", &probe_json)
+            .expect("probe query");
+        if resp.status == 429 {
+            break resp;
+        }
+        assert!(
+            resp.status == 200 || resp.status == 422,
+            "probe should be rejected or admitted-and-budget-bounded, got {} {}",
+            resp.status,
+            resp.body
+        );
+        assert!(
+            Instant::now() < probe_deadline,
+            "never observed a 429 while both occupants held the 1-worker/1-slot server"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(rejected.body.contains("\"code\":3000"), "{}", rejected.body);
+    assert!(server.metrics().rejected.load(Ordering::Relaxed) >= 1);
+
+    stop.store(true, Ordering::Relaxed);
+    for h in occupants {
+        let status = h.join().expect("occupant thread");
+        assert!(
+            status == 200 || status == 429 || status == 504,
+            "occupant should complete, get bounced by a probe, or hit its \
+             deadline, got {status}"
+        );
+    }
+    server.shutdown();
+}
+
+/// Client disconnect mid-query cancels the traversal and releases every
+/// pinned frame (the PR 7 clean-abort contract, over a real socket).
+#[test]
+fn disconnect_mid_query_cancels_and_releases_pins() {
+    let server = start_server("disconnect", 1, 4, 16);
+    let client = Client::new(server.addr().to_string());
+    let points = uniform_points(30_000, 0xD15C);
+    let created = client
+        .create_collection("victim", "mbrqt", &to_rows(&points))
+        .expect("create");
+    assert_eq!(created.status, 201, "{}", created.body);
+
+    let mut spec = QuerySpec::default();
+    spec.k = 8;
+    spec.exclude_self = true;
+    let body = spec.to_json();
+
+    // Send the query by hand, give the worker time to get deep into the
+    // traversal, then hang up without reading the response.
+    {
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let head = format!(
+            "POST /collections/victim/query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).expect("write head");
+        stream.write_all(body.as_bytes()).expect("write body");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(300));
+        // Dropping the stream sends FIN: the connection thread's poll
+        // sees EOF and fires the CancelToken.
+    }
+
+    // The worker must observe the cancellation, abort cleanly, and
+    // release every pin.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let cancelled = server.metrics().cancelled.load(Ordering::Relaxed);
+        if cancelled >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "query was never cancelled after client disconnect"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let coll = server
+        .registry()
+        .get(&"victim".parse().expect("id"))
+        .expect("collection");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let pinned = coll.pool.pinned_frames();
+        if pinned == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cancelled query left {pinned} frames pinned"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The server keeps serving afterwards.
+    let mut quick = QuerySpec::default();
+    quick.k = 1;
+    quick.io_budget = Some(100_000);
+    let resp = client.query("victim", &quick).expect("follow-up query");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    server.shutdown();
+}
+
+/// Graceful shutdown over the wire: the endpoint answers, the server
+/// drains, and the port closes.
+#[test]
+fn shutdown_endpoint_stops_the_server() {
+    let server = start_server("shutdown", 2, 8, 64);
+    let addr = server.addr();
+    let client = Client::new(addr.to_string());
+    let created = client
+        .create_collection("tiny", "mbrqt", &[[0.0, 0.0], [1.0, 1.0]])
+        .expect("create");
+    assert_eq!(created.status, 201);
+
+    let resp = client.shutdown_server().expect("shutdown request");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(server.is_shutting_down());
+    server.wait();
+
+    // The listener is gone: a fresh connection must fail outright.
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "listener still accepting after shutdown"
+    );
+}
+
+/// Collections persist: a new server over the same data dir reopens them
+/// lazily and returns identical results.
+#[test]
+fn collections_reopen_from_disk_across_restarts() {
+    let dir = temp_dir("reopen");
+    let config = |dir: &PathBuf| ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 8,
+        data_dir: dir.clone(),
+        pool_frames: 64,
+    };
+    let points = uniform_points(500, 0x0DD);
+    let mut spec = QuerySpec::default();
+    spec.k = 3;
+    spec.exclude_self = true;
+
+    let first = Server::start(config(&dir)).expect("first server");
+    let client = Client::new(first.addr().to_string());
+    let created = client
+        .create_collection("persist", "rstar", &to_rows(&points))
+        .expect("create");
+    assert_eq!(created.status, 201, "{}", created.body);
+    let before = client.query("persist", &spec).expect("query before");
+    assert_eq!(before.status, 200);
+    first.shutdown();
+
+    let second = Server::start(config(&dir)).expect("second server");
+    let client = Client::new(second.addr().to_string());
+    let listed = client.request("GET", "/collections", "").expect("list");
+    assert!(listed.body.contains("\"persist\""), "{}", listed.body);
+    let after = client.query("persist", &spec).expect("query after");
+    assert_eq!(after.status, 200, "{}", after.body);
+    assert_eq!(
+        server_pairs(&after.body),
+        server_pairs(&before.body),
+        "reopened collection returned different results"
+    );
+    second.shutdown();
+}

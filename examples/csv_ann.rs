@@ -15,8 +15,7 @@
 //! change the `DIMS` constant and rebuild — dimensionality is a
 //! compile-time constant throughout the library.
 
-use allnn::core::mba::{mba, MbaConfig};
-use allnn::geom::NxnDist;
+use allnn::core::query::{run, Algorithm, AnnRequest, Input};
 use allnn::mbrqt::{Mbrqt, MbrqtConfig};
 use allnn::store::{BufferPool, MemDisk};
 use std::io::Write;
@@ -57,13 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let is = Mbrqt::bulk_build(pool, &s, &MbrqtConfig::default())?;
     eprintln!("indices built in {:.2?}", t0.elapsed());
 
-    let cfg = MbaConfig {
-        k,
-        exclude_self: self_join,
-        ..Default::default()
-    };
+    let req = AnnRequest::new(Algorithm::mba()).k(k).exclude_self(self_join);
     let t0 = Instant::now();
-    let mut out = mba::<DIMS, NxnDist, _, _>(&ir, &is, &cfg)?;
+    let mut out = run::<DIMS, _, _>(&req, Input::Index(&ir), Input::Index(&is))?;
     out.sort();
     eprintln!(
         "join done in {:.2?}: {} pairs, {} distance computations",

@@ -12,8 +12,7 @@
 //! cargo run --release --example friends_of_friends [num_particles]
 //! ```
 
-use allnn::core::mba::{mba, MbaConfig};
-use allnn::geom::NxnDist;
+use allnn::core::query::{run, Algorithm, AnnRequest, Input};
 use allnn::mbrqt::{Mbrqt, MbrqtConfig};
 use allnn::store::{BufferPool, MemDisk};
 use std::sync::Arc;
@@ -59,13 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pool = Arc::new(BufferPool::new(MemDisk::new(), 256));
     let index = Mbrqt::bulk_build(pool, &particles, &MbrqtConfig::default())?;
 
-    let cfg = MbaConfig {
-        k: 16,
-        exclude_self: true,
-        ..Default::default()
-    };
+    let req = AnnRequest::new(Algorithm::mba()).k(16).exclude_self(true);
     let t0 = Instant::now();
-    let output = mba::<3, NxnDist, _, _>(&index, &index, &cfg)?;
+    let output = run(&req, Input::Index(&index), Input::Index(&index))?;
     println!(
         "AkNN (k=16) over {n} particles in {:.2?}; linking length {:.4}",
         t0.elapsed(),

@@ -12,8 +12,7 @@
 //! cargo run --release --example jarvis_patrick [num_points]
 //! ```
 
-use allnn::core::mba::{mba, MbaConfig};
-use allnn::geom::NxnDist;
+use allnn::core::query::{run, Algorithm, AnnRequest, Input};
 use allnn::mbrqt::{Mbrqt, MbrqtConfig};
 use allnn::store::{BufferPool, MemDisk};
 use std::collections::HashMap;
@@ -59,13 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Step 1: AkNN via the paper's MBA algorithm.
     let pool = Arc::new(BufferPool::new(MemDisk::new(), 256));
     let index = Mbrqt::bulk_build(pool, &points, &MbrqtConfig::default())?;
-    let cfg = MbaConfig {
-        k: K,
-        exclude_self: true,
-        ..Default::default()
-    };
+    let req = AnnRequest::new(Algorithm::mba()).k(K).exclude_self(true);
     let t0 = Instant::now();
-    let output = mba::<2, NxnDist, _, _>(&index, &index, &cfg)?;
+    let output = run(&req, Input::Index(&index), Input::Index(&index))?;
     println!(
         "AkNN (k={K}) over {n} points in {:.2?} — {} neighbor pairs",
         t0.elapsed(),

@@ -9,9 +9,8 @@
 //! cargo run --release --example star_catalog [num_stars]
 //! ```
 
-use allnn::core::mba::{mba, MbaConfig};
+use allnn::core::query::{run, Algorithm, AnnRequest, Input};
 use allnn::core::SpatialIndex;
-use allnn::geom::NxnDist;
 use allnn::mbrqt::{Mbrqt, MbrqtConfig};
 use allnn::store::{BufferPool, MemDisk};
 use std::sync::Arc;
@@ -37,12 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pool.num_pages()
     );
 
-    let cfg = MbaConfig {
-        exclude_self: true,
-        ..Default::default()
-    };
+    let req = AnnRequest::new(Algorithm::mba()).exclude_self(true);
     let t0 = Instant::now();
-    let output = mba::<2, NxnDist, _, _>(&index, &index, &cfg)?;
+    let output = run(&req, Input::Index(&index), Input::Index(&index))?;
     println!(
         "all-nearest-neighbor self-join in {:.2?} ({} distance computations)",
         t0.elapsed(),

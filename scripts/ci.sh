@@ -167,3 +167,78 @@ rm -rf "$trace_dir"
 # demand (results/BENCH_*.json are committed artifacts). The metrics
 # bench carries the no-op-sink overhead comparison (trace/noop-sink).
 cargo bench --no-run
+
+# Serving wire gate (DESIGN.md §14): the QuerySpec/QueryOutcome schema
+# must round-trip as the identity, transit full-range u64 oids and f64
+# distances bit-exactly, and never panic on corrupted documents.
+# Independent seed for the same budget-isolation reason as above.
+cargo run --release -p checker --bin fuzz -- --class wire --seed 0x3133 --cases 300
+
+# Serving smoke: boot the real binary on an ephemeral port, drive the
+# full collection lifecycle plus a query through raw HTTP, and shut it
+# down cleanly over the wire.
+serve_dir=$(mktemp -d)
+cargo build --release -p ann-serve
+target/release/ann-serve --addr 127.0.0.1:0 --data-dir "$serve_dir" \
+  > "$serve_dir/serve.log" &
+serve_pid=$!
+for _ in $(seq 1 50); do
+  grep -q "listening on" "$serve_dir/serve.log" && break
+  sleep 0.1
+done
+serve_addr=$(sed -n 's/^listening on //p' "$serve_dir/serve.log" | head -1)
+test -n "$serve_addr" || { cat "$serve_dir/serve.log"; exit 1; }
+python3 - "$serve_addr" <<'EOF'
+import json, sys, urllib.request
+base = f"http://{sys.argv[1]}"
+def call(method, path, body=None):
+    data = body.encode() if body is not None else None
+    req = urllib.request.Request(base + path, data=data, method=method)
+    with urllib.request.urlopen(req) as r:
+        return r.status, r.read().decode()
+status, _ = call("GET", "/health")
+assert status == 200, f"health: {status}"
+points = [[float(i % 17), float(i % 23)] for i in range(200)]
+status, _ = call("POST", "/collections",
+                 json.dumps({"id": "smoke", "kind": "mbrqt", "points": points}))
+assert status == 201, f"create: {status}"
+spec = {"v": 1, "algorithm": {"name": "mba", "traversal": "depth-first",
+        "expansion": "bidirectional", "threads": 1},
+        "metric": "nxn", "k": 1, "exclude_self": True}
+status, body = call("POST", "/collections/smoke/query", json.dumps(spec))
+assert status == 200, f"query: {status}"
+out = json.loads(body)
+assert out["count"] == 200 and len(out["pairs"]) == 200, out["count"]
+status, _ = call("DELETE", "/collections/smoke")
+assert status == 200, f"drop: {status}"
+status, _ = call("POST", "/admin/shutdown")
+assert status == 200, f"shutdown: {status}"
+print("serving smoke OK")
+EOF
+wait "$serve_pid"
+rm -rf "$serve_dir"
+
+# The committed serving artifact must stay schema-valid, show a >=32-client
+# closed-loop level, and keep the two hard serving gates: zero failed
+# requests and results byte-identical to the in-process query::run path
+# at every level. Regenerate with `figures serving --json results`
+# (offline: target/devcheck/bin/figures serving --json results).
+python3 - results/BENCH_serving.json <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+assert rep["id"] == "BENCH_serving"
+assert rep["workers"] >= 1 and rep["queue_depth"] >= 1
+req = {"clients", "requests_per_client", "total_requests", "failed_requests",
+       "results_identical", "wall_seconds", "throughput_qps",
+       "p50_us", "p95_us", "p99_us"}
+assert rep["rows"], "no rows"
+for row in rep["rows"]:
+    assert req <= row.keys(), f"missing fields: {req - row.keys()}"
+    assert row["failed_requests"] == 0, f"failed requests: {row}"
+    assert row["results_identical"] is True, f"serving diverged from query::run: {row}"
+    assert row["p50_us"] <= row["p95_us"] <= row["p99_us"], f"quantile order: {row}"
+    assert row["throughput_qps"] > 0, f"no throughput: {row}"
+assert any(r["clients"] >= 32 for r in rep["rows"]), "no >=32-client level"
+print(f"validated {len(rep['rows'])} serving rows, "
+      f"max level {max(r['clients'] for r in rep['rows'])} clients")
+EOF

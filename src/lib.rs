@@ -5,6 +5,7 @@ pub use ann_geom as geom;
 pub use ann_gorder as gorder;
 pub use ann_mbrqt as mbrqt;
 pub use ann_rstar as rstar;
+pub use ann_serve as serve;
 pub use ann_store as store;
 
 /// The common-case imports: unified query API, tracing, and the

@@ -2,6 +2,11 @@
 //! both indices, every join algorithm — exercised together through the
 //! `allnn` facade.
 
+
+// The per-algorithm entrypoints these tests drive are deprecated thin
+// delegates now; exercising them here is the point (they must stay
+// identical to the canonical `query::run` path).
+#![allow(deprecated)]
 use allnn::core::bnn::{bnn, BnnConfig};
 use allnn::core::brute::brute_force_aknn;
 use allnn::core::hnn::{hnn, HnnConfig};
