@@ -12,6 +12,8 @@
 //!   outofcore           streaming-build + prefetch sweep (BENCH_outofcore.json);
 //!                       honors --points N --pool-pages P --seed S overrides
 //!   serving             closed-loop HTTP front-end load sweep (BENCH_serving.json)
+//!   mvcc                snapshot-reader latency with/without an active
+//!                       writer (BENCH_mvcc.json)
 //!   all                 run every figure
 //!   list-datasets       print Table 2 (with the scaled cardinalities)
 //! ```
@@ -106,7 +108,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: figures <fig3a|fig3a-synthetic|fig3b|fig4|fig5|fig6|\
      ablation-traversal|ablation-mbr|ablation-packing|extra-mnn|extra-hnn|extra-parallel|\
-     parallel-scaling|kernels|robustness|outofcore|all|list-datasets> \
+     parallel-scaling|kernels|robustness|outofcore|serving|mvcc|all|list-datasets> \
      [--scale F] [--full] [--json DIR] [--trace DIR] \
      [--points N] [--pool-pages P] [--seed S]"
         .to_string()
@@ -172,6 +174,16 @@ fn emit_serving(rep: ann_bench::report::ServingReport, json_dir: &Option<PathBuf
     }
 }
 
+fn emit_mvcc(rep: ann_bench::report::MvccReport, json_dir: &Option<PathBuf>) {
+    print!("{}", rep.render());
+    println!();
+    if let Some(dir) = json_dir {
+        if let Err(e) = rep.write_json(dir) {
+            eprintln!("warning: could not write JSON for {}: {e}", rep.id);
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -210,6 +222,7 @@ fn main() -> ExitCode {
         "robustness" => emit_robustness(figures::robustness_bench(f), &args.json_dir),
         "outofcore" => emit_outofcore(figures::outofcore(f, &args.outofcore), &args.json_dir),
         "serving" => emit_serving(figures::serving(f), &args.json_dir),
+        "mvcc" => emit_mvcc(figures::mvcc(f), &args.json_dir),
         "all" => {
             for fig in figures::all(f) {
                 emit(fig, &args.json_dir);
@@ -218,6 +231,7 @@ fn main() -> ExitCode {
             emit_kernels(figures::kernels_bench(f), &args.json_dir);
             emit_robustness(figures::robustness_bench(f), &args.json_dir);
             emit_serving(figures::serving(f), &args.json_dir);
+            emit_mvcc(figures::mvcc(f), &args.json_dir);
         }
         "list-datasets" => print!("{}", figures::table2(f)),
         other => {

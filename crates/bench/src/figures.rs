@@ -1451,6 +1451,7 @@ pub fn serving(fraction: f64) -> crate::report::ServingReport {
             results,
             stats: AnnStats::default(),
             report: None,
+            version: None,
         }
         .to_json()
     };
@@ -1523,6 +1524,7 @@ pub fn serving(fraction: f64) -> crate::report::ServingReport {
                                     results: o.results,
                                     stats: AnnStats::default(),
                                     report: None,
+                                    version: None,
                                 }
                                 .to_json()
                             })
@@ -1567,4 +1569,188 @@ pub fn serving(fraction: f64) -> crate::report::ServingReport {
     server.shutdown();
     std::fs::remove_dir_all(&data_dir).ok();
     report
+}
+
+/// The MVCC snapshot-isolation benchmark (`BENCH_mvcc`): reader latency
+/// over a versioned MBRQT with and without an active writer.
+///
+/// A pool of reader threads each pins a fresh snapshot per query
+/// ([`VersionedHandle::pin`](ann_core::snapshot::VersionedHandle::pin))
+/// and runs a full AkNN self-join against it — once on a quiescent
+/// store (`read_only`) and once while a writer thread commits versioned
+/// insert/delete transactions at a steady cadence (`with_writer`).
+/// The two modes alternate in short rounds rather than running as two
+/// monolithic blocks, so transient machine noise (CI runners are shared
+/// and small) lands on both modes evenly instead of skewing whichever
+/// block it happened to hit. Readers never take the writer's lock, so
+/// the two modes' p95 latencies should sit close together — CI gates
+/// `reader_p95_ratio` (with-writer p95 / read-only p95) at 1.25, the
+/// "readers are not blocked by writers" headline.
+pub fn mvcc(fraction: f64) -> crate::report::MvccReport {
+    use ann_core::query::{run as run_query, Input};
+    use ann_core::snapshot::VersionedHandle;
+    use ann_core::wire::QuerySpec;
+    use ann_mbrqt::{Mbrqt, MbrqtConfig};
+    use ann_store::{BufferPool, MemDisk, DEFAULT_KEEP};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let n = scaled(20_000, fraction);
+    let k = 2;
+    let readers = 2;
+    let rounds = 6;
+    let queries_per_reader = 8; // per reader per round; 96 total per mode
+
+    let data = ann_datagen::tac_like(n, SEED);
+    let points: Vec<(u64, Point<2>)> = data
+        .iter()
+        .enumerate()
+        .map(|(i, (_, p))| (i as u64, *p))
+        .collect();
+
+    let pool = Arc::new(BufferPool::new(MemDisk::new(), 4_096));
+    let mut tree =
+        Mbrqt::bulk_build(Arc::clone(&pool), &points, &MbrqtConfig::default()).expect("build");
+    tree.enable_versioning(DEFAULT_KEEP).expect("versioning");
+    let handle = tree.versioned_handle().expect("versioned handle");
+
+    let mut spec = QuerySpec::default();
+    spec.k = k;
+    spec.exclude_self = true;
+    let req = spec.to_request();
+
+    // Warm the buffer pool and the node cache for the current version.
+    {
+        let ctx = handle.pin(None).expect("warmup pin");
+        run_query(&req, Input::Index(&ctx), Input::Index(&ctx)).expect("warmup query");
+    }
+
+    // One reader phase: every query pins its own snapshot, runs the full
+    // self-join against it, and releases the pin. Returns the merged
+    // per-query latencies (µs) plus the failure count and wall time.
+    let reader_phase = |handle: &VersionedHandle<2>| -> (Vec<u64>, usize, f64) {
+        let t0 = Instant::now();
+        let mut latencies = Vec::new();
+        let mut failed = 0usize;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..readers)
+                .map(|_| {
+                    let handle = handle.clone();
+                    let req = &req;
+                    scope.spawn(move || {
+                        let mut lat = Vec::with_capacity(queries_per_reader);
+                        let mut fail = 0usize;
+                        for _ in 0..queries_per_reader {
+                            let q0 = Instant::now();
+                            let ok = handle.pin(None).ok().and_then(|ctx| {
+                                run_query(req, Input::Index(&ctx), Input::Index(&ctx)).ok()
+                            });
+                            lat.push(q0.elapsed().as_micros() as u64);
+                            if ok.is_none() {
+                                fail += 1;
+                            }
+                        }
+                        (lat, fail)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (lat, fail) = h.join().expect("reader thread");
+                latencies.extend(lat);
+                failed += fail;
+            }
+        });
+        (latencies, failed, t0.elapsed().as_secs_f64())
+    };
+
+    let pct = |latencies: &[u64], q: f64| -> f64 {
+        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[idx] as f64
+    };
+    let row = |mode: &str,
+               latencies: &mut Vec<u64>,
+               failed: usize,
+               commits: usize,
+               wall: f64|
+     -> crate::report::MvccRow {
+        latencies.sort_unstable();
+        crate::report::MvccRow {
+            mode: mode.into(),
+            readers,
+            queries: latencies.len(),
+            failed,
+            writer_commits: commits,
+            wall_seconds: wall,
+            throughput_qps: latencies.len() as f64 / wall,
+            p50_us: pct(latencies, 0.50),
+            p95_us: pct(latencies, 0.95),
+            p99_us: pct(latencies, 0.99),
+        }
+    };
+
+    // Alternate read-only and with-writer rounds. During a with-writer
+    // round the writer commits versioned insert+delete transactions at a
+    // steady ~50 Hz cadence. The pacing matters: the gate is about
+    // snapshot *blocking*, and a spinning writer on a small machine
+    // would instead measure raw CPU contention (CI runners can have a
+    // single core).
+    let (mut lat_ro, mut lat_w) = (Vec::new(), Vec::new());
+    let (mut failed_ro, mut failed_w) = (0usize, 0usize);
+    let (mut wall_ro, mut wall_w) = (0.0f64, 0.0f64);
+    let mut commits = 0usize;
+    let mut next_oid = n as u64;
+    for _ in 0..rounds {
+        let (lat, fail, wall) = reader_phase(&handle);
+        lat_ro.extend(lat);
+        failed_ro += fail;
+        wall_ro += wall;
+
+        let stop = AtomicBool::new(false);
+        let (lat, fail, wall) = std::thread::scope(|scope| {
+            let tree = &mut tree;
+            let points = &points;
+            let next_oid = &mut next_oid;
+            let stop = &stop;
+            let writer = scope.spawn(move || {
+                let mut done = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    // Reuse an existing coordinate so the insert always
+                    // lands inside the MBRQT's bulk-build universe.
+                    let p = points[*next_oid as usize % n].1;
+                    tree.insert(*next_oid, p).expect("writer insert");
+                    tree.delete(*next_oid, &p).expect("writer delete");
+                    *next_oid += 1;
+                    done += 2;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                done
+            });
+            let out = reader_phase(&handle);
+            stop.store(true, Ordering::Release);
+            commits += writer.join().expect("writer thread");
+            out
+        });
+        lat_w.extend(lat);
+        failed_w += fail;
+        wall_w += wall;
+    }
+    let row_ro = row("read_only", &mut lat_ro, failed_ro, 0, wall_ro);
+    let row_w = row("with_writer", &mut lat_w, failed_w, commits, wall_w);
+
+    let ratio = row_w.p95_us / row_ro.p95_us;
+    crate::report::MvccReport {
+        id: "BENCH_mvcc".into(),
+        workload: format!(
+            "TAC-like 2D self-join AkNN (k={k}, |R|=|S|={n}) over a \
+             versioned MBRQT: {readers} readers pinning a snapshot per \
+             query, read-only vs. concurrent writer committing versioned \
+             insert/delete transactions (history window {DEFAULT_KEEP})"
+        ),
+        n,
+        k,
+        keep: DEFAULT_KEEP,
+        rows: vec![row_ro, row_w],
+        reader_p95_ratio: ratio,
+    }
 }

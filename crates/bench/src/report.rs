@@ -565,6 +565,99 @@ impl ServingReport {
     }
 }
 
+/// One MVCC reader-latency phase (`BENCH_mvcc`): a fixed pool of reader
+/// threads, each pinning a snapshot per query and running a full AkNN
+/// self-join against it, either on a quiescent store (`read_only`) or
+/// while a writer thread commits versioned transactions back-to-back
+/// (`with_writer`).
+#[derive(Clone, Debug, Serialize)]
+pub struct MvccRow {
+    /// Phase name: `"read_only"` or `"with_writer"`.
+    pub mode: String,
+    /// Concurrent reader threads.
+    pub readers: usize,
+    /// Total queries completed across all readers.
+    pub queries: usize,
+    /// Queries that failed to pin or run (gated to zero).
+    pub failed: usize,
+    /// Versioned transactions the writer committed during the phase
+    /// (zero in the `read_only` phase).
+    pub writer_commits: usize,
+    /// Wall-clock seconds for the phase.
+    pub wall_seconds: f64,
+    /// Completed queries per second of wall clock.
+    pub throughput_qps: f64,
+    /// Median per-query latency (pin + run), microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile per-query latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile per-query latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// The MVCC snapshot-isolation benchmark: reader latency with an active
+/// writer vs. read-only, over the versioned page store. Emitted as
+/// `BENCH_mvcc.json`; CI gates on zero failed queries and on
+/// `reader_p95_ratio` staying within the readers-not-blocked bound.
+#[derive(Clone, Debug, Serialize)]
+pub struct MvccReport {
+    /// Output id (`BENCH_mvcc` — also the JSON file stem).
+    pub id: String,
+    /// Human description of the workload.
+    pub workload: String,
+    /// Points in the versioned collection at phase start.
+    pub n: usize,
+    /// Neighbors per point requested.
+    pub k: usize,
+    /// Snapshot history window (versions retained past the newest).
+    pub keep: u32,
+    /// One row per phase.
+    pub rows: Vec<MvccRow>,
+    /// `with_writer` p95 divided by `read_only` p95 — the
+    /// readers-not-blocked headline (CI gates this ≤ 1.25).
+    pub reader_p95_ratio: f64,
+}
+
+impl MvccReport {
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.workload));
+        out.push_str(&format!(
+            "{:>12} {:>7} {:>8} {:>6} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            "mode", "readers", "queries", "failed", "commits", "qps", "p50(us)", "p95(us)", "p99(us)"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>12} {:>7} {:>8} {:>6} {:>8} {:>10.1} {:>10.0} {:>10.0} {:>10.0}\n",
+                r.mode,
+                r.readers,
+                r.queries,
+                r.failed,
+                r.writer_commits,
+                r.throughput_qps,
+                r.p50_us,
+                r.p95_us,
+                r.p99_us,
+            ));
+        }
+        out.push_str(&format!(
+            "reader p95 with writer / read-only: {:.3}\n",
+            self.reader_p95_ratio
+        ));
+        out
+    }
+
+    /// Writes the report as JSON under `dir/<id>.json`.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(path)?;
+        let body = serde_json::to_string_pretty(self).expect("serializable");
+        f.write_all(body.as_bytes())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -554,6 +554,10 @@ pub fn check_wire_case(rng: &mut Rng) -> Option<String> {
         results: results.clone(),
         stats: AnnStats::default(),
         report: None,
+        version: match rng.next_u64() % 3 {
+            0 => None,
+            _ => Some((rng.next_u64() % 1000 + 1) as u32),
+        },
     };
     let outcome_json = outcome.to_json();
     let back = match QueryOutcome::from_json(&outcome_json) {
@@ -576,6 +580,31 @@ pub fn check_wire_case(rng: &mut Rng) -> Option<String> {
                 "outcome pair drifted over the wire: {orig:?} != {parsed:?}"
             ));
         }
+    }
+
+    // -- corpus: trailing bytes are a hard parse error ---------------------
+    // Anything non-whitespace after the top-level value must be rejected
+    // outright (a lenient parser here would let a concatenated or
+    // truncated-then-continued document smuggle in a second payload).
+    let suffix = *rng.pick(&["1", "{}", "null", "x", ",", "\"\"", "[]"]);
+    let trailing = format!("{json}{}{suffix}", if rng.chance(0.5) { " " } else { "" });
+    if QuerySpec::from_json(&trailing).is_ok() {
+        return Some(format!("parser accepted trailing bytes: {trailing}"));
+    }
+    if ann_core::wire::JsonValue::parse(&trailing).is_ok() {
+        return Some(format!("JsonValue accepted trailing bytes: {trailing}"));
+    }
+
+    // -- corpus: duplicate object keys are a hard parse error --------------
+    // Duplicating the leading "v" key of the valid document must fail
+    // (last-wins parsing would let an attacker shadow checked fields).
+    let dup = format!("{{\"v\":1,{}", &json[1..]);
+    if QuerySpec::from_json(&dup).is_ok() {
+        return Some(format!("parser accepted duplicate keys: {dup}"));
+    }
+    let dup_nested = "{\"a\":{\"x\":1,\"x\":2}}";
+    if ann_core::wire::JsonValue::parse(dup_nested).is_ok() {
+        return Some(format!("JsonValue accepted nested duplicate keys: {dup_nested}"));
     }
 
     // -- parser robustness under corruption --------------------------------

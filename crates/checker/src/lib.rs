@@ -35,14 +35,22 @@
 //!   fuzz-generated [`QuerySpec`](ann_core::QuerySpec)s round-trip
 //!   `to_json → from_json` as the identity and byte-stably,
 //!   [`QueryOutcome`](ann_core::QueryOutcome) distances survive JSON
-//!   bit-exactly for arbitrary non-NaN bit patterns, and a randomly
+//!   bit-exactly for arbitrary non-NaN bit patterns, trailing bytes and
+//!   duplicate object keys are hard parse errors, and a randomly
 //!   corrupted document never panics the hand-rolled parser.
+//! * [`Class::Interleave`] — MVCC snapshot isolation (DESIGN.md §15):
+//!   versioned commits racing pinned readers; every pinned snapshot's
+//!   census and ANN answers stay byte-identical to brute force over
+//!   exactly its version's point set, aborts and GC leave nothing
+//!   pinned, and threaded pin/census/release loops never see a torn
+//!   read.
 //!
 //! Run via `cargo run -p checker --bin fuzz -- --seed 1 --cases 200`.
 
 pub mod diff;
 pub mod faults;
 pub mod gen;
+pub mod interleave;
 pub mod invariants;
 pub mod report;
 pub mod rng;
@@ -62,10 +70,11 @@ pub enum Class {
     Recovery,
     Faults,
     Wire,
+    Interleave,
 }
 
 impl Class {
-    pub const ALL: [Class; 7] = [
+    pub const ALL: [Class; 8] = [
         Class::Diff,
         Class::Nxn,
         Class::Kernels,
@@ -73,6 +82,7 @@ impl Class {
         Class::Recovery,
         Class::Faults,
         Class::Wire,
+        Class::Interleave,
     ];
 
     pub fn name(self) -> &'static str {
@@ -84,6 +94,7 @@ impl Class {
             Class::Recovery => "recovery",
             Class::Faults => "faults",
             Class::Wire => "wire",
+            Class::Interleave => "interleave",
         }
     }
 
@@ -128,6 +139,9 @@ pub fn run_class(class: Class, seed: u64, cases: usize) -> Vec<Failure> {
             Class::Faults => invariant_one::<2>(class, case_seed, i),
             // The wire schema is dimension-agnostic: oids and distances.
             Class::Wire => invariant_one::<2>(class, case_seed, i),
+            // MVCC versioning is dimension-agnostic (it lives below the
+            // node layer); the planar case exercises every code path.
+            Class::Interleave => invariant_one::<2>(class, case_seed, i),
         };
         failures.extend(f);
     }
@@ -153,6 +167,7 @@ fn splitmix_tag(class: Class) -> u64 {
         Class::Recovery => 0x6EC0,
         Class::Faults => 0xFA17,
         Class::Wire => 0x3133,
+        Class::Interleave => 0x171E,
     }
 }
 
@@ -194,6 +209,7 @@ fn invariant_one<const D: usize>(class: Class, case_seed: u64, index: usize) -> 
             Class::Recovery => invariants::check_recovery_case(&mut rng),
             Class::Faults => faults::check_faults_case(&mut rng),
             Class::Wire => invariants::check_wire_case(&mut rng),
+            Class::Interleave => interleave::check_interleave_case(&mut rng),
             Class::Diff => unreachable!("diff has its own driver"),
         }
     }));

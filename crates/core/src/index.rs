@@ -42,12 +42,36 @@ pub trait SpatialIndex<const D: usize> {
 
     /// The index's decoded-node cache, when it keeps one.
     ///
-    /// Indices that return `Some` must bump the cache's epoch on every
-    /// structural mutation, so
+    /// Indices that return `Some` must either bump the cache's epoch on
+    /// every structural mutation (the default, epoch-keyed scheme) or key
+    /// the cache by MVCC version via [`cache_key`](Self::cache_key), so
     /// [`read_node_cached`](Self::read_node_cached) can never serve a
-    /// pre-mutation node.
+    /// node from a different tree state than the one being traversed.
     fn node_cache(&self) -> Option<&NodeCache<D>> {
         None
+    }
+
+    /// The invalidation key this view caches nodes under.
+    ///
+    /// Defaults to the node cache's current epoch (whole-cache
+    /// invalidation on mutation). Snapshot views over a versioned store
+    /// override this with their pinned version, so entries cached for
+    /// older snapshots stay valid and shareable instead of being thrown
+    /// away on every commit.
+    fn cache_key(&self) -> u64 {
+        self.node_cache().map_or(0, |cache| cache.epoch())
+    }
+
+    /// Reports whether `page` is already held decoded in the node cache.
+    ///
+    /// A cached node is served by [`read_node_cached`](Self::read_node_cached)
+    /// without touching the buffer pool, so readahead hook sites skip
+    /// hinting such pages: prefetching them could only waste disk reads.
+    /// Indices without a node cache report `false` for every page.
+    fn node_is_cached(&self, page: PageId) -> bool {
+        let key = self.cache_key();
+        self.node_cache()
+            .is_some_and(|cache| cache.contains(key, page))
     }
 
     /// Reads the node starting at `page` through the decoded-node cache:
@@ -61,30 +85,20 @@ pub trait SpatialIndex<const D: usize> {
     /// read through this; structural validation and collection deliberately
     /// use the uncached [`read_node`](Self::read_node) so they observe the
     /// on-disk bytes.
-    /// Reports whether `page` is already held decoded in the node cache.
-    ///
-    /// A cached node is served by [`read_node_cached`](Self::read_node_cached)
-    /// without touching the buffer pool, so readahead hook sites skip
-    /// hinting such pages: prefetching them could only waste disk reads.
-    /// Indices without a node cache report `false` for every page.
-    fn node_is_cached(&self, page: PageId) -> bool {
-        self.node_cache()
-            .is_some_and(|cache| cache.contains(cache.epoch(), page))
-    }
-
     fn read_node_cached(&self, page: PageId) -> Result<Arc<DecodedNode<D>>> {
         let Some(cache) = self.node_cache() else {
             return Ok(Arc::new(DecodedNode::new(self.read_node(page)?)));
         };
-        // Snapshot the epoch before the pool read: if a mutation lands in
-        // between, the insert goes under the superseded epoch and stays
-        // invisible instead of poisoning the new one.
-        let epoch = cache.epoch();
-        if let Some(node) = cache.get(epoch, page) {
+        // Snapshot the key before the pool read: if a mutation lands in
+        // between, the insert goes under the superseded key and is
+        // dropped at the cache's retired floor instead of poisoning the
+        // new one.
+        let key = self.cache_key();
+        if let Some(node) = cache.get(key, page) {
             return Ok(node);
         }
         let node = Arc::new(DecodedNode::new(self.read_node(page)?));
-        cache.insert(epoch, page, Arc::clone(&node));
+        cache.insert(key, page, Arc::clone(&node));
         Ok(node)
     }
 }

@@ -59,6 +59,7 @@ pub mod query;
 pub mod readahead;
 pub mod resilience;
 pub mod scratch;
+pub mod snapshot;
 pub mod stats;
 pub mod trace;
 pub mod wire;
@@ -67,6 +68,7 @@ pub use extsort::{HilbertSorter, KeyedPoint, PointSpill, SortedStream};
 pub use index::SpatialIndex;
 pub use node::{DecodedNode, Entry, Node, NodeColumns, NodeEntry, ObjectEntry};
 pub use scratch::QueryScratch;
+pub use snapshot::{MetaFields, MetaReader, ReadContext, VersionedHandle};
 pub use node_cache::{NodeCache, NodeCacheStats};
 pub use query::{Algorithm, AnnRequest, MetricChoice};
 pub use resilience::{BudgetKind, CancelToken, QueryError, QueryGuard, QueryResult};

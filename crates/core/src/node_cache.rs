@@ -11,11 +11,26 @@
 //!
 //! # Invalidation
 //!
-//! Entries are keyed by `(epoch, PageId)`. Structural mutation (MBRQT /
+//! Entries are keyed by `(key, PageId)`, where `key` is either a tree
+//! epoch or an MVCC version (see below). Structural mutation (MBRQT /
 //! R*-tree insert and delete) bumps the tree's epoch, which atomically
 //! invalidates every cached node: stale entries can never match a post-bump
-//! lookup, and the bump also drops them eagerly to free memory. Bulk-built
-//! trees never mutate, so their caches stay hot for the life of the tree.
+//! lookup, and the bump also drops them eagerly to free memory. The cache
+//! additionally maintains a **retired floor**: inserts under a key below
+//! the floor are dropped on arrival, so a lookup/insert pair racing a bump
+//! can never park an unreachable entry in a shard ([`NodeCache::stale_len`]
+//! counts any that slip through, and stays zero). Bulk-built trees never
+//! mutate, so their caches stay hot for the life of the tree.
+//!
+//! # Versioned trees
+//!
+//! An index backed by an [`ann_store::VersionedStore`] keys the cache by
+//! **version** instead of epoch (via `SpatialIndex::cache_key`). Commits
+//! then never clear the cache: entries cached under version `v` stay
+//! valid and shareable for every reader pinning `v`, while readers of
+//! `v+1` simply miss and fill their own entries. When the store's GC
+//! floor advances, [`NodeCache::retire_below`] drops entries for
+//! versions no snapshot can pin anymore.
 //!
 //! Cache hits bypass the buffer pool entirely, so a traversal over a hot
 //! node cache charges *no* logical or physical page reads for the cached
@@ -67,6 +82,9 @@ pub struct NodeCache<const D: usize> {
     shards: Box<[Mutex<HashMap<(u64, PageId), Slot<D>>>]>,
     per_shard_capacity: usize,
     epoch: AtomicU64,
+    /// Keys strictly below this floor are retired: inserts under them are
+    /// dropped and resident entries are purged when the floor advances.
+    floor: AtomicU64,
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -87,6 +105,7 @@ impl<const D: usize> NodeCache<D> {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             per_shard_capacity: (capacity / shards).max(1),
             epoch: AtomicU64::new(0),
+            floor: AtomicU64::new(0),
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -108,13 +127,52 @@ impl<const D: usize> NodeCache<D> {
     /// Invalidates every cached node: future lookups miss until re-filled
     /// under the new epoch. Called by the owning tree on structural
     /// mutation (insert/delete).
+    ///
+    /// The new epoch also becomes the retired floor, so an insert racing
+    /// this bump (its key snapshotted pre-bump) is dropped on arrival
+    /// instead of lingering invisibly in a shard until LRU pressure.
     pub fn bump_epoch(&self) {
-        self.epoch.fetch_add(1, Ordering::AcqRel);
+        let new_epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        self.floor.fetch_max(new_epoch, Ordering::AcqRel);
         // Eager drop: stale epochs can never be read again, so free them
         // now rather than waiting for capacity eviction to find them.
         for shard in self.shards.iter() {
             shard.lock().unwrap_or_else(|e| e.into_inner()).clear();
         }
+    }
+
+    /// Retires every key strictly below `floor`: resident entries under
+    /// retired keys are purged and future inserts under them are dropped.
+    /// Versioned indexes call this when the store's GC floor advances;
+    /// the floor never moves backwards.
+    pub fn retire_below(&self, floor: u64) {
+        let prev = self.floor.fetch_max(floor, Ordering::AcqRel);
+        if prev >= floor {
+            return;
+        }
+        for shard in self.shards.iter() {
+            shard
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .retain(|(key, _), _| *key >= floor);
+        }
+    }
+
+    /// Number of resident entries keyed below the retired floor. The
+    /// insert-side floor check keeps this at zero; mutation paths assert
+    /// it to catch any regression in the invalidation protocol.
+    pub fn stale_len(&self) -> usize {
+        let floor = self.floor.load(Ordering::Acquire);
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .keys()
+                    .filter(|(key, _)| *key < floor)
+                    .count()
+            })
+            .sum()
     }
 
     #[inline]
@@ -152,9 +210,13 @@ impl<const D: usize> NodeCache<D> {
 
     /// Caches `node` for `page` under `epoch`, evicting the shard's
     /// least-recently-stamped slot if the shard is full. Inserts under a
-    /// superseded epoch are harmless: they can never match a lookup and
-    /// are evicted like any other slot.
+    /// retired key (below the floor set by [`NodeCache::bump_epoch`] /
+    /// [`NodeCache::retire_below`]) are dropped: they could never match a
+    /// lookup, and admitting them would waste slots until LRU pressure.
     pub fn insert(&self, epoch: u64, page: PageId, node: Arc<DecodedNode<D>>) {
+        if epoch < self.floor.load(Ordering::Acquire) {
+            return;
+        }
         let mut shard = self.shard(page).lock().unwrap_or_else(|e| e.into_inner());
         if shard.len() >= self.per_shard_capacity && !shard.contains_key(&(epoch, page)) {
             if let Some(victim) = shard
@@ -261,12 +323,47 @@ mod tests {
     }
 
     #[test]
-    fn stale_epoch_insert_is_invisible() {
+    fn stale_epoch_insert_is_invisible_and_dropped() {
         let c: NodeCache<2> = NodeCache::new(8);
         let old = c.epoch();
         c.bump_epoch();
         c.insert(old, 5, leaf(9)); // raced with the bump
         assert!(c.get(c.epoch(), 5).is_none());
+        // The raced insert must not occupy a slot either: it is dropped
+        // at the floor check, not parked until LRU pressure finds it.
+        assert!(c.is_empty());
+        assert_eq!(c.stale_len(), 0);
+    }
+
+    #[test]
+    fn retire_below_purges_old_versions_and_keeps_new() {
+        let c: NodeCache<2> = NodeCache::new(16);
+        for v in 1..=4u64 {
+            c.insert(v, 10 + v as PageId, leaf(v as u8));
+        }
+        c.retire_below(3);
+        assert!(c.get(1, 11).is_none());
+        assert!(c.get(2, 12).is_none());
+        assert_eq!(c.get(3, 13).unwrap().aux, 3);
+        assert_eq!(c.get(4, 14).unwrap().aux, 4);
+        assert_eq!(c.stale_len(), 0);
+        // Late insert under a retired version is dropped.
+        c.insert(2, 12, leaf(2));
+        assert!(c.get(2, 12).is_none());
+        assert_eq!(c.stale_len(), 0);
+        // The floor never regresses.
+        c.retire_below(1);
+        assert_eq!(c.get(4, 14).unwrap().aux, 4);
+    }
+
+    #[test]
+    fn versioned_keys_coexist_without_invalidation() {
+        let c: NodeCache<2> = NodeCache::new(16);
+        c.insert(1, 7, leaf(1));
+        c.insert(2, 7, leaf(2));
+        // Same page cached under two versions: both remain servable.
+        assert_eq!(c.get(1, 7).unwrap().aux, 1);
+        assert_eq!(c.get(2, 7).unwrap().aux, 2);
     }
 
     #[test]

@@ -232,6 +232,13 @@ pub struct AnnRequest<'a> {
     /// Transient-fault retry policy applied to the touched pools for the
     /// duration of the query (restored afterwards, error or not).
     pub retry: Option<RetryPolicy>,
+    /// Snapshot version to evaluate against, for time-travel queries over
+    /// versioned indexes. The core algorithms don't interpret this — the
+    /// layer that owns the index (e.g. the serving registry) pins the
+    /// version and hands the resulting [`crate::ReadContext`] in as the
+    /// [`Input`]; the field rides along so one request value carries the
+    /// full query description across the wire and into logs.
+    pub version: Option<u32>,
     cancel: Option<CancelToken>,
     tracer: Tracer<'a>,
 }
@@ -249,9 +256,18 @@ impl<'a> AnnRequest<'a> {
             io_budget: None,
             visit_budget: None,
             retry: None,
+            version: None,
             cancel: None,
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// Pins the query to snapshot `version` of a versioned index
+    /// (time-travel). Resolution happens in the index-owning layer; see
+    /// the [`version`](AnnRequest::version) field docs.
+    pub fn at_version(mut self, version: u32) -> Self {
+        self.version = Some(version);
+        self
     }
 
     /// Sets the neighbors-per-object count.
@@ -378,6 +394,7 @@ impl std::fmt::Debug for AnnRequest<'_> {
             .field("io_budget", &self.io_budget)
             .field("visit_budget", &self.visit_budget)
             .field("retry", &self.retry)
+            .field("version", &self.version)
             .field("traced", &self.tracer.enabled())
             .finish()
     }

@@ -43,6 +43,12 @@ use std::time::{Duration, Instant};
 /// misreads a v2 request. New [`Algorithm`] / [`MetricChoice`] variants
 /// ride on the existing version: unknown names are a schema error, which
 /// is exactly the signal an old server should give for a too-new request.
+///
+/// Additions under this rule so far (no bump, all optional):
+/// * `"version"` on [`QuerySpec`] — pin the query to an MVCC snapshot
+///   version of a versioned collection (absent ⇒ latest);
+/// * `"version"` on [`QueryOutcome`] — the snapshot version the query
+///   actually ran against (absent ⇒ the collection is unversioned).
 pub const WIRE_SCHEMA_VERSION: u64 = 1;
 
 // ---------------------------------------------------------------------------
@@ -263,6 +269,14 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_ws();
             let key = self.string()?;
+            // Duplicate keys are a wire-compat hazard: RFC 8259 leaves the
+            // behavior unspecified, so one parser's "first wins" is another
+            // parser's "last wins" — e.g. a smuggled second "version" field
+            // could pin a different snapshot than an auditing proxy saw.
+            // Hard-reject instead of silently picking one.
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate object key {key:?}")));
+            }
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
@@ -585,6 +599,9 @@ impl ErrorCode {
     /// creating or loading a collection).
     pub fn from_store_error(e: &StoreError) -> Self {
         match e {
+            // Asking for a version outside the retained history window is
+            // a client-side mistake, not a storage fault.
+            StoreError::VersionNotRetained(_) => ErrorCode::BadRequest,
             StoreError::Corrupt { .. } => ErrorCode::StorageFailed,
             _ => ErrorCode::StorageFailed,
         }
@@ -637,6 +654,9 @@ pub struct QuerySpec {
     pub visit_budget: Option<u64>,
     /// Transient-fault retry policy.
     pub retry: Option<RetryPolicy>,
+    /// Snapshot version to query (time-travel over a versioned
+    /// collection); absent means the latest version.
+    pub version: Option<u32>,
 }
 
 impl Default for QuerySpec {
@@ -660,6 +680,7 @@ impl QuerySpec {
             io_budget: None,
             visit_budget: None,
             retry: None,
+            version: None,
         }
     }
 
@@ -681,6 +702,7 @@ impl QuerySpec {
             io_budget: req.io_budget,
             visit_budget: req.visit_budget,
             retry: req.retry,
+            version: req.version,
         }
     }
 
@@ -703,6 +725,9 @@ impl QuerySpec {
         }
         if let Some(policy) = self.retry {
             req = req.retry(policy);
+        }
+        if let Some(version) = self.version {
+            req = req.at_version(version);
         }
         req
     }
@@ -762,6 +787,9 @@ impl QuerySpec {
                 policy.max_attempts,
                 policy.backoff.as_millis()
             ));
+        }
+        if let Some(version) = self.version {
+            out.push_str(&format!(",\"version\":{version}"));
         }
         out.push('}');
         out
@@ -922,6 +950,17 @@ impl QuerySpec {
                 })
             }
         };
+        let version = match opt_u64("version")? {
+            None => None,
+            Some(0) => {
+                return Err(WireError::Schema(
+                    "\"version\" must be a positive integer".into(),
+                ))
+            }
+            Some(v) => Some(u32::try_from(v).map_err(|_| {
+                WireError::Schema("\"version\" must fit in 32 bits".into())
+            })?),
+        };
         Ok(QuerySpec {
             k,
             exclude_self,
@@ -931,6 +970,7 @@ impl QuerySpec {
             io_budget: opt_u64("io_budget")?,
             visit_budget: opt_u64("visit_budget")?,
             retry,
+            version,
         })
     }
 }
@@ -1011,6 +1051,10 @@ pub struct QueryOutcome {
     pub stats: AnnStats,
     /// The execution trace, when one was recorded.
     pub report: Option<ExecutionReport>,
+    /// The snapshot version the query ran against, when the collection
+    /// is versioned. Reported even when the client did not pin one, so a
+    /// follow-up time-travel query can name exactly what it saw.
+    pub version: Option<u32>,
 }
 
 impl From<AnnOutput> for QueryOutcome {
@@ -1019,6 +1063,7 @@ impl From<AnnOutput> for QueryOutcome {
             results: out.results,
             stats: out.stats,
             report: None,
+            version: None,
         }
     }
 }
@@ -1027,6 +1072,13 @@ impl QueryOutcome {
     /// Attaches an execution report (builder-style).
     pub fn with_report(mut self, report: ExecutionReport) -> Self {
         self.report = Some(report);
+        self
+    }
+
+    /// Records the snapshot version the query ran against
+    /// (builder-style).
+    pub fn with_version(mut self, version: u32) -> Self {
+        self.version = Some(version);
         self
     }
 
@@ -1053,6 +1105,9 @@ impl QueryOutcome {
         }
         out.push_str("],\"stats\":");
         out.push_str(&stats_json(&self.stats));
+        if let Some(version) = self.version {
+            out.push_str(&format!(",\"version\":{version}"));
+        }
         if let Some(report) = &self.report {
             out.push_str(",\"trace\":");
             out.push_str(&report.to_json());
@@ -1097,10 +1152,21 @@ impl QueryOutcome {
             Some(st) => stats_from_value(st)?,
             None => AnnStats::default(),
         };
+        let version = match doc.get("version") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or_else(|| {
+                        WireError::Schema("\"version\" must be a 32-bit integer".into())
+                    })?,
+            ),
+        };
         Ok(QueryOutcome {
             results,
             stats,
             report: None,
+            version,
         })
     }
 }
@@ -1192,6 +1258,73 @@ mod tests {
     }
 
     #[test]
+    fn json_value_rejects_trailing_data() {
+        for bad in ["1 2", "{} {}", "null,", "[1]x", "true false", "\"a\"\"b\""] {
+            assert!(
+                matches!(
+                    JsonValue::parse(bad),
+                    Err(WireError::Parse { what, .. }) if what.contains("trailing")
+                        || what.contains("expected"),
+                ),
+                "accepted trailing bytes in {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_value_rejects_duplicate_object_keys() {
+        for bad in [
+            r#"{"a":1,"a":2}"#,
+            r#"{"a":1,"b":2,"a":3}"#,
+            r#"{"v":1,"k":1,"version":2,"version":3}"#,
+            r#"{"outer":{"x":1,"x":2}}"#,
+        ] {
+            let e = JsonValue::parse(bad).unwrap_err();
+            assert!(
+                matches!(&e, WireError::Parse { what, .. } if what.contains("duplicate")),
+                "accepted duplicate keys in {bad:?}: {e:?}"
+            );
+        }
+        // Same key at *different* nesting levels is fine.
+        assert!(JsonValue::parse(r#"{"a":{"a":1},"b":[{"a":2}]}"#).is_ok());
+    }
+
+    #[test]
+    fn spec_version_field_parses_and_validates() {
+        let spec =
+            QuerySpec::from_json(r#"{"v":1,"algorithm":{"name":"mnn"},"k":1,"version":7}"#)
+                .unwrap();
+        assert_eq!(spec.version, Some(7));
+        // Absent means latest; zero and out-of-range are schema errors.
+        let spec = QuerySpec::from_json(r#"{"v":1,"algorithm":{"name":"mnn"},"k":1}"#).unwrap();
+        assert_eq!(spec.version, None);
+        assert!(
+            QuerySpec::from_json(r#"{"v":1,"algorithm":{"name":"mnn"},"k":1,"version":0}"#)
+                .is_err()
+        );
+        assert!(QuerySpec::from_json(
+            r#"{"v":1,"algorithm":{"name":"mnn"},"k":1,"version":4294967296}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn outcome_version_field_round_trips() {
+        let outcome = QueryOutcome {
+            version: Some(5),
+            ..QueryOutcome::default()
+        };
+        let json = outcome.to_json();
+        assert!(json.contains("\"version\":5"));
+        let back = QueryOutcome::from_json(&json).unwrap();
+        assert_eq!(back.version, Some(5));
+        // Unversioned outcomes omit the field entirely.
+        let json = QueryOutcome::default().to_json();
+        assert!(!json.contains("version"));
+        assert_eq!(QueryOutcome::from_json(&json).unwrap().version, None);
+    }
+
+    #[test]
     fn as_u64_rejects_fractions_negatives_and_huge() {
         assert_eq!(JsonValue::Num(3.0).as_u64(), Some(3));
         assert_eq!(JsonValue::Num(3.5).as_u64(), None);
@@ -1241,6 +1374,7 @@ mod tests {
                 max_attempts: 4,
                 backoff: Duration::from_millis(2),
             }),
+            version: Some(12),
         };
         let json = spec.to_json();
         let back = QuerySpec::from_json(&json).unwrap();
@@ -1280,6 +1414,7 @@ mod tests {
                 max_attempts: 2,
                 backoff: Duration::ZERO,
             }),
+            version: Some(4),
         };
         let req = spec.to_request();
         assert_eq!(req.k, 3);
@@ -1287,6 +1422,7 @@ mod tests {
         assert_eq!(req.io_budget, Some(5));
         assert_eq!(req.visit_budget, Some(6));
         assert_eq!(req.retry, spec.retry);
+        assert_eq!(req.version, Some(4));
         assert!(req.deadline.is_some());
         let back = QuerySpec::from_request(&req);
         // The deadline re-bases through "remaining ms", which only ever
@@ -1325,6 +1461,7 @@ mod tests {
                 ..Default::default()
             },
             report: None,
+            version: None,
         };
         let back = QueryOutcome::from_json(&outcome.to_json()).unwrap();
         assert_eq!(back.results.len(), 2);

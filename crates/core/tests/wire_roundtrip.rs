@@ -77,6 +77,9 @@ fn arbitrary_spec(rng: &mut Rng) -> QuerySpec {
             backoff: Duration::from_millis(rng.next() % 500),
         });
     }
+    if rng.chance(40) {
+        spec.version = Some((rng.next() % 10_000 + 1) as u32);
+    }
     spec
 }
 
@@ -199,6 +202,7 @@ fn outcome_distances_survive_json_bit_exactly() {
             .collect(),
         stats: AnnStats::default(),
         report: None,
+        version: Some(3),
     };
     let json = outcome.to_json();
     let back = QueryOutcome::from_json(&json).expect("outcome parses");

@@ -84,7 +84,8 @@ pub(crate) fn bulk_build<const D: usize>(
         levels_per_node,
         max_depth: config.max_depth,
         use_subtree_mbrs: config.use_subtree_mbrs,
-        cache: ann_core::node_cache::NodeCache::default(),
+        cache: Arc::new(ann_core::node_cache::NodeCache::default()),
+        versions: None,
     };
     // Make every node page durable before the meta page can point at
     // them, then commit the meta page through the journal.
@@ -177,7 +178,8 @@ pub(crate) fn bulk_build_stream<const D: usize>(
         levels_per_node,
         max_depth: config.max_depth,
         use_subtree_mbrs: config.use_subtree_mbrs,
-        cache: ann_core::node_cache::NodeCache::default(),
+        cache: Arc::new(ann_core::node_cache::NodeCache::default()),
+        versions: None,
     };
     pool.flush_all()?;
     let txn = Txn::begin(&pool, journal);

@@ -27,7 +27,13 @@ pub(crate) fn delete<const D: usize>(
     // rewrites, collapses and the meta update land atomically or not at
     // all.
     let pool = Arc::clone(&tree.pool);
-    let txn = Txn::begin(&pool, tree.journal);
+    let vstore = tree.versions.clone();
+    let txn = match vstore.as_ref() {
+        // Versioned mode: see `insert` — reads translate through the
+        // latest snapshot, the commit publishes a new version.
+        Some(store) => Txn::begin_versioned(store)?,
+        None => Txn::begin(&pool, tree.journal),
+    };
     let root = tree.root;
     let universe = tree.universe;
     let (saved_points, saved_bounds) = (tree.num_points, tree.bounds);

@@ -20,7 +20,13 @@ pub(crate) fn insert<const D: usize>(tree: &mut Mbrqt<D>, oid: u64, point: Point
         return Err(StoreError::corrupt("point lies outside the universe"));
     }
     let pool = Arc::clone(&tree.pool);
-    let txn = Txn::begin(&pool, tree.journal);
+    let vstore = tree.versions.clone();
+    let txn = match vstore.as_ref() {
+        // Versioned mode: reads translate through the latest snapshot and
+        // the commit produces a new immutable version (copy-on-write).
+        Some(store) => Txn::begin_versioned(store)?,
+        None => Txn::begin(&pool, tree.journal),
+    };
     let root = tree.root;
     let universe = tree.universe;
     let (saved_points, saved_bounds) = (tree.num_points, tree.bounds);

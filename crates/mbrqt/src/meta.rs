@@ -1,8 +1,9 @@
 //! Metadata-page persistence for [`Mbrqt`].
 
 use crate::Mbrqt;
+use ann_core::snapshot::MetaFields;
 use ann_geom::Mbr;
-use ann_store::{BufferPool, Journal, PageId, PageStore, Result, StoreError};
+use ann_store::{BufferPool, Journal, PageId, PageStore, Result, Snapshot, StoreError};
 use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"MBRQTv1\0";
@@ -40,76 +41,110 @@ pub(crate) fn save_to<const D: usize>(tree: &Mbrqt<D>, store: &impl PageStore) -
     })
 }
 
+/// Everything the meta page records, decoded.
+pub(crate) struct ParsedMeta<const D: usize> {
+    pub root: PageId,
+    pub num_points: u64,
+    pub bucket_capacity: usize,
+    pub levels_per_node: usize,
+    pub max_depth: usize,
+    pub use_subtree_mbrs: bool,
+    pub universe: Mbr<D>,
+    pub bounds: Mbr<D>,
+}
+
+/// Decodes the meta page bytes (the inverse of [`save_to`]).
+fn parse<const D: usize>(bytes: &[u8]) -> Result<ParsedMeta<D>> {
+    if &bytes[0..8] != MAGIC {
+        return Err(StoreError::corrupt("not an MBRQT meta page"));
+    }
+    let mut at = 8usize;
+    let mut take = |n: usize| {
+        let s = &bytes[at..at + n];
+        at += n;
+        s
+    };
+    let dim = u32::from_le_bytes(take(4).try_into().unwrap());
+    if dim as usize != D {
+        return Err(StoreError::corrupt("dimensionality mismatch"));
+    }
+    let root = u32::from_le_bytes(take(4).try_into().unwrap());
+    let num_points = u64::from_le_bytes(take(8).try_into().unwrap());
+    let bucket_capacity = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+    let levels_per_node = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+    let max_depth = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+    let use_subtree_mbrs = take(4)[0] != 0;
+    let mut mbrs = [Mbr::<D>::empty(), Mbr::<D>::empty()];
+    for m in mbrs.iter_mut() {
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for v in lo.iter_mut() {
+            *v = f64::from_le_bytes(take(8).try_into().unwrap());
+        }
+        for v in hi.iter_mut() {
+            *v = f64::from_le_bytes(take(8).try_into().unwrap());
+        }
+        *m = Mbr { lo, hi };
+    }
+    Ok(ParsedMeta {
+        root,
+        num_points,
+        bucket_capacity,
+        levels_per_node,
+        max_depth,
+        use_subtree_mbrs,
+        universe: mbrs[0],
+        bounds: mbrs[1],
+    })
+}
+
+/// Loads a tree, reading the meta page through `store` — the raw pool for
+/// plain trees, a pinned [`Snapshot`] for versioned ones (where the
+/// on-disk copy at `meta_page` itself is stale after COW commits).
+pub(crate) fn load_via<const D: usize>(
+    store: &impl PageStore,
+    pool: Arc<BufferPool>,
+    meta_page: PageId,
+    journal: Journal,
+) -> Result<Mbrqt<D>> {
+    let meta = store.with_page(meta_page, |bytes| parse::<D>(bytes))??;
+    Ok(Mbrqt {
+        pool,
+        meta_page,
+        journal,
+        root: meta.root,
+        universe: meta.universe,
+        bounds: meta.bounds,
+        num_points: meta.num_points,
+        bucket_capacity: meta.bucket_capacity,
+        levels_per_node: meta.levels_per_node,
+        max_depth: meta.max_depth,
+        use_subtree_mbrs: meta.use_subtree_mbrs,
+        cache: Arc::new(ann_core::node_cache::NodeCache::default()),
+        versions: None,
+    })
+}
+
 /// Loads a tree from its meta page; see [`Mbrqt::open`].
 pub(crate) fn load<const D: usize>(
     pool: Arc<BufferPool>,
     meta_page: PageId,
     journal: Journal,
 ) -> Result<Mbrqt<D>> {
-    let (
-        root,
-        num_points,
-        bucket_capacity,
-        levels_per_node,
-        max_depth,
-        use_subtree_mbrs,
-        universe,
-        bounds,
-    ) = pool.with_page(meta_page, |bytes| -> Result<_> {
-        if &bytes[0..8] != MAGIC {
-            return Err(StoreError::corrupt("not an MBRQT meta page"));
-        }
-        let mut at = 8usize;
-        let mut take = |n: usize| {
-            let s = &bytes[at..at + n];
-            at += n;
-            s
-        };
-        let dim = u32::from_le_bytes(take(4).try_into().unwrap());
-        if dim as usize != D {
-            return Err(StoreError::corrupt("dimensionality mismatch"));
-        }
-        let root = u32::from_le_bytes(take(4).try_into().unwrap());
-        let num_points = u64::from_le_bytes(take(8).try_into().unwrap());
-        let bucket_capacity = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
-        let levels_per_node = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
-        let max_depth = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
-        let use_subtree_mbrs = take(4)[0] != 0;
-        let mut mbrs = [Mbr::<D>::empty(), Mbr::<D>::empty()];
-        for m in mbrs.iter_mut() {
-            let mut lo = [0.0; D];
-            let mut hi = [0.0; D];
-            for v in lo.iter_mut() {
-                *v = f64::from_le_bytes(take(8).try_into().unwrap());
-            }
-            for v in hi.iter_mut() {
-                *v = f64::from_le_bytes(take(8).try_into().unwrap());
-            }
-            *m = Mbr { lo, hi };
-        }
-        Ok((
-            root,
-            num_points,
-            bucket_capacity,
-            levels_per_node,
-            max_depth,
-            use_subtree_mbrs,
-            mbrs[0],
-            mbrs[1],
-        ))
-    })??;
-    Ok(Mbrqt {
-        pool,
-        meta_page,
-        journal,
-        root,
-        universe,
-        bounds,
-        num_points,
-        bucket_capacity,
-        levels_per_node,
-        max_depth,
-        use_subtree_mbrs,
-        cache: ann_core::node_cache::NodeCache::default(),
+    let direct = Arc::clone(&pool);
+    load_via(direct.as_ref(), pool, meta_page, journal)
+}
+
+/// [`ann_core::snapshot::MetaReader`] for MBRQT: parses the version-pinned
+/// meta fields through a snapshot's translation table.
+pub(crate) fn snapshot_meta_fields<const D: usize>(
+    snap: &Snapshot,
+    meta_page: PageId,
+) -> Result<MetaFields<D>> {
+    let meta = snap.with_page(meta_page, |bytes| parse::<D>(bytes))??;
+    Ok(MetaFields {
+        root: meta.root,
+        num_points: meta.num_points,
+        bounds: meta.bounds,
     })
 }

@@ -81,7 +81,8 @@ pub(crate) fn bulk_build<const D: usize>(
             max_internal,
             min_fill_percent: config.min_fill_percent.clamp(10, 50),
             reinsert_percent: config.reinsert_percent.min(45),
-            cache: ann_core::node_cache::NodeCache::default(),
+            cache: Arc::new(ann_core::node_cache::NodeCache::default()),
+            versions: None,
         };
         commit_meta(&pool, &tree)?;
         tracer.event(|| TraceEvent::IndexLevelBuilt {
@@ -137,7 +138,8 @@ pub(crate) fn bulk_build<const D: usize>(
         max_internal,
         min_fill_percent: config.min_fill_percent.clamp(10, 50),
         reinsert_percent: config.reinsert_percent.min(45),
-        cache: ann_core::node_cache::NodeCache::default(),
+        cache: Arc::new(ann_core::node_cache::NodeCache::default()),
+        versions: None,
     };
     commit_meta(&pool, &tree)?;
     if tracer.enabled() {
@@ -251,7 +253,8 @@ pub(crate) fn bulk_build_stream<const D: usize>(
             max_internal,
             min_fill_percent: config.min_fill_percent.clamp(10, 50),
             reinsert_percent: config.reinsert_percent.min(45),
-            cache: ann_core::node_cache::NodeCache::default(),
+            cache: Arc::new(ann_core::node_cache::NodeCache::default()),
+            versions: None,
         };
         commit_meta(&pool, &tree)?;
         tracer.event(|| TraceEvent::IndexLevelBuilt {
@@ -304,7 +307,8 @@ pub(crate) fn bulk_build_stream<const D: usize>(
         max_internal,
         min_fill_percent: config.min_fill_percent.clamp(10, 50),
         reinsert_percent: config.reinsert_percent.min(45),
-        cache: ann_core::node_cache::NodeCache::default(),
+        cache: Arc::new(ann_core::node_cache::NodeCache::default()),
+        versions: None,
     };
     commit_meta(&pool, &tree)?;
     if tracer.enabled() {

@@ -25,7 +25,13 @@ pub(crate) fn delete<const D: usize>(
     // re-insertions, root shrinking and the meta update — runs inside one
     // [`Txn`] so it lands atomically or not at all.
     let pool = Arc::clone(&tree.pool);
-    let txn = Txn::begin(&pool, tree.journal);
+    let vstore = tree.versions.clone();
+    let txn = match vstore.as_ref() {
+        // Versioned mode: see `insert` — reads translate through the
+        // latest snapshot, the commit publishes a new version.
+        Some(store) => Txn::begin_versioned(store)?,
+        None => Txn::begin(&pool, tree.journal),
+    };
     let saved = (tree.root, tree.height, tree.num_points, tree.bounds);
     let result = (|| -> Result<bool> {
         // Orphaned entries to re-insert, each with its target level.

@@ -18,7 +18,13 @@ pub(crate) fn insert<const D: usize>(tree: &mut RStar<D>, oid: u64, point: Point
         return Err(StoreError::corrupt("points must have finite coordinates"));
     }
     let pool = Arc::clone(&tree.pool);
-    let txn = Txn::begin(&pool, tree.journal);
+    let vstore = tree.versions.clone();
+    let txn = match vstore.as_ref() {
+        // Versioned mode: reads translate through the latest snapshot and
+        // the commit produces a new immutable version (copy-on-write).
+        Some(store) => Txn::begin_versioned(store)?,
+        None => Txn::begin(&pool, tree.journal),
+    };
     let saved = (tree.root, tree.height, tree.num_points, tree.bounds);
     let result = (|| -> Result<()> {
         let entry = Entry::Object(ann_core::node::ObjectEntry { oid, point });

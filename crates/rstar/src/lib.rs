@@ -47,9 +47,12 @@ mod meta;
 use ann_core::index::SpatialIndex;
 use ann_core::node_cache::NodeCache;
 use ann_core::node::Node;
+use ann_core::snapshot::VersionedHandle;
 use ann_core::trace::{Side, Tracer};
 use ann_geom::{Mbr, Point};
-use ann_store::{BufferPool, Journal, PageId, PageStore, Result, StoreError, Txn};
+use ann_store::{
+    BufferPool, Journal, PageId, PageStore, Result, StoreError, Txn, VersionedStore,
+};
 use std::sync::Arc;
 
 /// Tuning knobs for [`RStar`].
@@ -108,9 +111,13 @@ pub struct RStar<const D: usize> {
     pub(crate) max_internal: usize,
     pub(crate) min_fill_percent: usize,
     pub(crate) reinsert_percent: usize,
-    /// Decoded-node cache for query traversals; its epoch is bumped on
-    /// every structural mutation (insert/delete).
-    pub(crate) cache: NodeCache<D>,
+    /// Decoded-node cache for query traversals. Epoch-keyed (bumped on
+    /// every structural mutation) until versioning is enabled; keyed by
+    /// snapshot version afterwards (shared with [`VersionedHandle`]s).
+    pub(crate) cache: Arc<NodeCache<D>>,
+    /// MVCC mode: when set, every mutation commits a new immutable
+    /// snapshot version instead of updating pages in place.
+    pub(crate) versions: Option<Arc<VersionedStore>>,
 }
 
 impl<const D: usize> RStar<D> {
@@ -133,7 +140,8 @@ impl<const D: usize> RStar<D> {
             max_internal: config.resolved_max::<D>(false),
             min_fill_percent: config.min_fill_percent.clamp(10, 50),
             reinsert_percent: config.reinsert_percent.min(45),
-            cache: NodeCache::default(),
+            cache: Arc::new(NodeCache::default()),
+            versions: None,
         };
         tree.save_meta_to(&txn)?;
         txn.commit()?;
@@ -250,7 +258,7 @@ impl<const D: usize> RStar<D> {
     /// Inserts one point (R\* insertion with forced reinsertion).
     pub fn insert(&mut self, oid: u64, point: Point<D>) -> Result<()> {
         insert::insert(self, oid, point)?;
-        self.cache.bump_epoch();
+        self.note_mutation();
         Ok(())
     }
 
@@ -261,14 +269,93 @@ impl<const D: usize> RStar<D> {
     pub fn delete(&mut self, oid: u64, point: &Point<D>) -> Result<bool> {
         let existed = delete::delete(self, oid, point)?;
         if existed {
-            self.cache.bump_epoch();
+            self.note_mutation();
         }
         Ok(existed)
+    }
+
+    /// Switches the tree into MVCC snapshot mode: from here on every
+    /// insert/delete commits an immutable new version (copy-on-write
+    /// pages) instead of updating pages in place, and concurrent readers
+    /// pin versions through [`versioned_handle`](Self::versioned_handle)
+    /// without ever blocking on the writer.
+    ///
+    /// `keep` bounds the history window (see [`ann_store::DEFAULT_KEEP`]).
+    /// Returns the manifest head page the caller must persist to reopen
+    /// the tree with [`open_versioned`](Self::open_versioned) — after the
+    /// first versioned commit the meta page is copy-on-write and its
+    /// original physical page goes stale, so the manifest (not the meta
+    /// page alone) is the durable root of a versioned tree.
+    pub fn enable_versioning(&mut self, keep: u32) -> Result<PageId> {
+        if self.versions.is_some() {
+            return Err(StoreError::corrupt("versioning is already enabled"));
+        }
+        let store = VersionedStore::create(Arc::clone(&self.pool), self.journal, keep)?;
+        let head = store.manifest_head();
+        // Fresh cache: version numbers live in their own key space, which
+        // must not collide with the retired epoch counter's.
+        self.cache = Arc::new(NodeCache::default());
+        self.versions = Some(store);
+        Ok(head)
+    }
+
+    /// Opens a versioned tree from its meta page and the manifest head
+    /// returned by [`enable_versioning`](Self::enable_versioning). Runs
+    /// journal crash recovery, loads the version manifest, and reads the
+    /// meta fields *through* the latest snapshot (the on-disk meta page
+    /// itself is stale once copy-on-write commits exist).
+    pub fn open_versioned(
+        pool: Arc<BufferPool>,
+        meta_page: PageId,
+        manifest_head: PageId,
+    ) -> Result<Self> {
+        let (journal, _recovery) = Journal::open(&pool, meta_page + 1)?;
+        let store = VersionedStore::open(Arc::clone(&pool), journal, manifest_head)?;
+        let snap = store.pin(None)?;
+        let mut tree = meta::load_via(&snap, Arc::clone(&pool), meta_page, journal)?;
+        drop(snap);
+        tree.versions = Some(store);
+        ann_core::index::validate(&tree)?;
+        Ok(tree)
+    }
+
+    /// The tree's versioned store, when versioning is enabled.
+    pub fn versioned_store(&self) -> Option<&Arc<VersionedStore>> {
+        self.versions.as_ref()
+    }
+
+    /// A cloneable, thread-safe factory of pinned read views ([`None`]
+    /// until [`enable_versioning`](Self::enable_versioning)). The handle
+    /// shares this tree's node cache, so snapshot readers and the writer
+    /// populate one cache keyed by `(version, page)`.
+    pub fn versioned_handle(&self) -> Option<VersionedHandle<D>> {
+        let store = self.versions.as_ref()?;
+        Some(VersionedHandle::new(
+            Arc::clone(store),
+            Arc::clone(&self.cache),
+            self.meta_page,
+            meta::snapshot_meta_fields::<D>,
+        ))
     }
 
     /// Writes all dirty pages through to the backing disk.
     pub fn flush(&self) -> Result<()> {
         self.pool.flush_all()
+    }
+
+    /// Post-mutation cache upkeep. Non-versioned trees invalidate the
+    /// whole cache (epoch bump); versioned trees keep old-version entries
+    /// live for pinned readers and only purge keys below the GC floor.
+    fn note_mutation(&self) {
+        match &self.versions {
+            Some(store) => self.cache.retire_below(u64::from(store.version_floor())),
+            None => self.cache.bump_epoch(),
+        }
+        debug_assert_eq!(
+            self.cache.stale_len(),
+            0,
+            "node cache holds stale entries after a mutation"
+        );
     }
 
     pub(crate) fn save_meta_to(&self, store: &impl PageStore) -> Result<()> {
@@ -316,7 +403,79 @@ impl<const D: usize> SpatialIndex<D> for RStar<D> {
         self.bounds
     }
 
+    fn read_node(&self, page: PageId) -> Result<Node<D>> {
+        match &self.versions {
+            // A versioned tree's logical pages are remapped by COW
+            // commits; direct tree reads go through the latest snapshot.
+            Some(store) => ann_core::node::read_node(&store.pin(None)?, page),
+            None => ann_core::node::read_node(self.pool.as_ref(), page),
+        }
+    }
+
     fn node_cache(&self) -> Option<&NodeCache<D>> {
-        Some(&self.cache)
+        Some(self.cache.as_ref())
+    }
+
+    fn cache_key(&self) -> u64 {
+        match &self.versions {
+            // Share entries with ReadContexts pinned at the same version.
+            Some(store) => u64::from(store.latest()),
+            None => self.cache.epoch(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versioned_mutations_preserve_pinned_snapshots() {
+        let pool = Arc::new(BufferPool::new(ann_store::MemDisk::new(), 256));
+        let mut tree = RStar::<2>::create(pool, &RStarConfig::default()).unwrap();
+        tree.insert(0, Point::new([1.0, 1.0])).unwrap();
+        tree.enable_versioning(8).unwrap();
+
+        let handle = tree.versioned_handle().unwrap();
+        let old = handle.pin(None).unwrap();
+        assert_eq!(SpatialIndex::num_points(&old), 1);
+
+        tree.insert(1, Point::new([2.0, 2.0])).unwrap();
+        tree.insert(2, Point::new([60.0, 60.0])).unwrap();
+        assert!(tree.delete(0, &Point::new([1.0, 1.0])).unwrap());
+
+        // The writer sees the newest state; the pinned reader still sees
+        // exactly the point set from before the mutations.
+        assert_eq!(SpatialIndex::num_points(&tree), 2);
+        let old_objs = ann_core::index::collect_objects(&old).unwrap();
+        assert_eq!(old_objs, vec![(0, Point::new([1.0, 1.0]))]);
+        ann_core::index::validate(&old).unwrap();
+        ann_core::index::validate(&tree).unwrap();
+
+        let new = handle.pin(None).unwrap();
+        assert_eq!(ann_core::index::collect_objects(&new).unwrap().len(), 2);
+        assert!(new.version() > old.version());
+        drop((old, new));
+        assert_eq!(handle.store().pinned_readers(), 0);
+    }
+
+    #[test]
+    fn versioned_tree_reopens_from_manifest() {
+        let pool = Arc::new(BufferPool::new(ann_store::MemDisk::new(), 256));
+        let mut tree = RStar::<2>::create(Arc::clone(&pool), &RStarConfig::default()).unwrap();
+        let meta_page = tree.meta_page();
+        let head = tree.enable_versioning(4).unwrap();
+        for i in 0..40u64 {
+            tree.insert(i, Point::new([(i % 10) as f64, (i / 10) as f64]))
+                .unwrap();
+        }
+        tree.flush().unwrap();
+        drop(tree);
+
+        let tree = RStar::<2>::open_versioned(pool, meta_page, head).unwrap();
+        assert_eq!(SpatialIndex::num_points(&tree), 40);
+        let handle = tree.versioned_handle().unwrap();
+        let ctx = handle.pin(None).unwrap();
+        assert_eq!(ann_core::index::collect_objects(&ctx).unwrap().len(), 40);
     }
 }

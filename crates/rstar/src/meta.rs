@@ -1,8 +1,9 @@
 //! Metadata-page persistence for [`RStar`].
 
 use crate::RStar;
+use ann_core::snapshot::MetaFields;
 use ann_geom::Mbr;
-use ann_store::{BufferPool, Journal, PageId, PageStore, Result, StoreError};
+use ann_store::{BufferPool, Journal, PageId, PageStore, Result, Snapshot, StoreError};
 use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"RSTARv1\0";
@@ -35,65 +36,107 @@ pub(crate) fn save_to<const D: usize>(tree: &RStar<D>, store: &impl PageStore) -
     })
 }
 
+/// Everything the meta page records, decoded.
+pub(crate) struct ParsedMeta<const D: usize> {
+    pub root: PageId,
+    pub height: u32,
+    pub num_points: u64,
+    pub max_leaf: usize,
+    pub max_internal: usize,
+    pub min_fill_percent: usize,
+    pub reinsert_percent: usize,
+    pub bounds: Mbr<D>,
+}
+
+/// Decodes the meta page bytes (the inverse of [`save_to`]).
+fn parse<const D: usize>(bytes: &[u8]) -> Result<ParsedMeta<D>> {
+    if &bytes[0..8] != MAGIC {
+        return Err(StoreError::corrupt("not an R*-tree meta page"));
+    }
+    let mut at = 8usize;
+    let mut take = |n: usize| {
+        let s = &bytes[at..at + n];
+        at += n;
+        s
+    };
+    let dim = u32::from_le_bytes(take(4).try_into().unwrap());
+    if dim as usize != D {
+        return Err(StoreError::corrupt("dimensionality mismatch"));
+    }
+    let root = u32::from_le_bytes(take(4).try_into().unwrap());
+    let height = u32::from_le_bytes(take(4).try_into().unwrap());
+    let num_points = u64::from_le_bytes(take(8).try_into().unwrap());
+    let max_leaf = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+    let max_internal = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+    let min_fill_percent = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+    let reinsert_percent = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+    let mut lo = [0.0; D];
+    let mut hi = [0.0; D];
+    for v in lo.iter_mut() {
+        *v = f64::from_le_bytes(take(8).try_into().unwrap());
+    }
+    for v in hi.iter_mut() {
+        *v = f64::from_le_bytes(take(8).try_into().unwrap());
+    }
+    Ok(ParsedMeta {
+        root,
+        height,
+        num_points,
+        max_leaf,
+        max_internal,
+        min_fill_percent,
+        reinsert_percent,
+        bounds: Mbr { lo, hi },
+    })
+}
+
+/// Loads a tree, reading the meta page through `store` — the raw pool for
+/// plain trees, a pinned [`Snapshot`] for versioned ones (where the
+/// on-disk copy at `meta_page` itself is stale after COW commits).
+pub(crate) fn load_via<const D: usize>(
+    store: &impl PageStore,
+    pool: Arc<BufferPool>,
+    meta_page: PageId,
+    journal: Journal,
+) -> Result<RStar<D>> {
+    let meta = store.with_page(meta_page, |bytes| parse::<D>(bytes))??;
+    Ok(RStar {
+        pool,
+        meta_page,
+        journal,
+        root: meta.root,
+        height: meta.height,
+        num_points: meta.num_points,
+        bounds: meta.bounds,
+        max_leaf: meta.max_leaf,
+        max_internal: meta.max_internal,
+        min_fill_percent: meta.min_fill_percent,
+        reinsert_percent: meta.reinsert_percent,
+        cache: Arc::new(ann_core::node_cache::NodeCache::default()),
+        versions: None,
+    })
+}
+
 /// Loads a tree from its meta page; see [`RStar::open`].
 pub(crate) fn load<const D: usize>(
     pool: Arc<BufferPool>,
     meta_page: PageId,
     journal: Journal,
 ) -> Result<RStar<D>> {
-    let (root, height, num_points, max_leaf, max_internal, min_fill, reinsert, bounds) = pool
-        .with_page(meta_page, |bytes| -> Result<_> {
-            if &bytes[0..8] != MAGIC {
-                return Err(StoreError::corrupt("not an R*-tree meta page"));
-            }
-            let mut at = 8usize;
-            let mut take = |n: usize| {
-                let s = &bytes[at..at + n];
-                at += n;
-                s
-            };
-            let dim = u32::from_le_bytes(take(4).try_into().unwrap());
-            if dim as usize != D {
-                return Err(StoreError::corrupt("dimensionality mismatch"));
-            }
-            let root = u32::from_le_bytes(take(4).try_into().unwrap());
-            let height = u32::from_le_bytes(take(4).try_into().unwrap());
-            let num_points = u64::from_le_bytes(take(8).try_into().unwrap());
-            let max_leaf = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
-            let max_internal = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
-            let min_fill = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
-            let reinsert = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
-            let mut lo = [0.0; D];
-            let mut hi = [0.0; D];
-            for v in lo.iter_mut() {
-                *v = f64::from_le_bytes(take(8).try_into().unwrap());
-            }
-            for v in hi.iter_mut() {
-                *v = f64::from_le_bytes(take(8).try_into().unwrap());
-            }
-            Ok((
-                root,
-                height,
-                num_points,
-                max_leaf,
-                max_internal,
-                min_fill,
-                reinsert,
-                Mbr { lo, hi },
-            ))
-        })??;
-    Ok(RStar {
-        pool,
-        meta_page,
-        journal,
-        root,
-        height,
-        num_points,
-        bounds,
-        max_leaf,
-        max_internal,
-        min_fill_percent: min_fill,
-        reinsert_percent: reinsert,
-        cache: ann_core::node_cache::NodeCache::default(),
+    let direct = Arc::clone(&pool);
+    load_via(direct.as_ref(), pool, meta_page, journal)
+}
+
+/// [`ann_core::snapshot::MetaReader`] for the R*-tree: parses the
+/// version-pinned meta fields through a snapshot's translation table.
+pub(crate) fn snapshot_meta_fields<const D: usize>(
+    snap: &Snapshot,
+    meta_page: PageId,
+) -> Result<MetaFields<D>> {
+    let meta = snap.with_page(meta_page, |bytes| parse::<D>(bytes))??;
+    Ok(MetaFields {
+        root: meta.root,
+        num_points: meta.num_points,
+        bounds: meta.bounds,
     })
 }

@@ -125,6 +125,30 @@ impl Client {
         self.request("POST", &format!("/collections/{id}/query"), &spec.to_json())
     }
 
+    /// Runs `spec` against the snapshot `version` of collection `id`
+    /// (time travel; the version must still be in the history window).
+    pub fn query_at(&self, id: &str, version: u32, spec: &QuerySpec) -> io::Result<HttpResponse> {
+        self.request(
+            "POST",
+            &format!("/collections/{id}/query?version={version}"),
+            &spec.to_json(),
+        )
+    }
+
+    /// Appends `[x, y]` points to a versioned collection; oids continue
+    /// from the current count.
+    pub fn insert_points(&self, id: &str, points: &[[f64; 2]]) -> io::Result<HttpResponse> {
+        let mut body = "{\"points\":[".to_string();
+        for (i, p) in points.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!("[{},{}]", p[0], p[1]));
+        }
+        body.push_str("]}");
+        self.request("POST", &format!("/collections/{id}/insert"), &body)
+    }
+
     /// Drops collection `id`.
     pub fn drop_collection(&self, id: &str) -> io::Result<HttpResponse> {
         self.request("DELETE", &format!("/collections/{id}"), "")

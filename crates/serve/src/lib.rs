@@ -47,7 +47,8 @@
 //! | `POST /collections` | create + bulk-build (`{"id", "kind", "points"}`) |
 //! | `GET /collections/{id}` | describe |
 //! | `DELETE /collections/{id}` | drop (files deleted) |
-//! | `POST /collections/{id}/query[?trace=1][&target=other]` | run a [`QuerySpec`] |
+//! | `POST /collections/{id}/insert` | append points (`{"points": [[x,y],...]}`), returns the new version |
+//! | `POST /collections/{id}/query[?trace=1][&target=other][&version=N]` | run a [`QuerySpec`], optionally against pinned snapshot `N` |
 //! | `POST /admin/shutdown` | graceful shutdown |
 
 #![warn(missing_docs)]
@@ -62,7 +63,7 @@ pub mod server;
 
 pub use client::{Client, Conn, HttpResponse};
 pub use metrics::Metrics;
-pub use registry::{AnyIndex, ApiError, Collection, IndexKind, Registry, SERVE_DIMS};
+pub use registry::{AnyIndex, ApiError, Backing, Collection, IndexKind, Registry, SERVE_DIMS};
 pub use server::{Server, ServerConfig};
 
 // The wire types the service speaks, re-exported so client code can

@@ -3,9 +3,32 @@
 //! A *collection* is one bulk-built spatial index (MBRQT or R*-tree) over
 //! a point set, persisted in its own [`FileDisk`] file with a JSON
 //! sidecar recording how to reopen it (index kind, metadata page, point
-//! count, pool size). The registry maps [`CollectionId`]s to live
-//! [`Collection`] handles, opening lazily on first use so a restarted
-//! server picks up everything a previous run created.
+//! count, pool size, and — for versioned collections — the MVCC manifest
+//! head). The registry maps [`CollectionId`]s to live [`Collection`]
+//! handles, opening lazily on first use so a restarted server picks up
+//! everything a previous run created.
+//!
+//! # Open serialization
+//!
+//! The registry is two locking levels: a global map of per-collection
+//! *slots*, and a per-slot mutex guarding that collection's open state.
+//! The global lock is held only to look up or insert a slot (never during
+//! disk I/O), so opening one slow collection cannot stall requests for
+//! others; the per-slot lock serializes concurrent first-touch opens of
+//! the *same* name, so racing `get`s produce exactly one [`BufferPool`]
+//! and every racer receives the same handle. (An earlier design held the
+//! global lock across `load`, which was correct but made every lazy open
+//! a registry-wide stall.)
+//!
+//! # Versioning
+//!
+//! Collections created by this registry are *versioned*: after the bulk
+//! build the tree switches to MVCC snapshot mode
+//! ([`ann_mbrqt::Mbrqt::enable_versioning`]), so queries pin immutable
+//! snapshot versions through a [`VersionedHandle`] and never block on (or
+//! observe a torn state from) concurrent [`Collection::insert_points`]
+//! writers. Collections written by older builds (sidecars without
+//! `versions_head`) still open, as read-only [`Backing::Plain`] handles.
 //!
 //! Serving is fixed at `D = 2` ([`SERVE_DIMS`]) — the paper's primary
 //! dimensionality. Higher-D serving would need either monomorphized
@@ -13,20 +36,23 @@
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use ann_core::snapshot::{ReadContext, VersionedHandle};
 use ann_core::wire::{CollectionId, ErrorCode, JsonValue};
 use ann_geom::Point;
 use ann_mbrqt::{Mbrqt, MbrqtConfig};
 use ann_rstar::{RStar, RStarConfig};
-use ann_store::{BufferPool, FileDisk, StoreError};
+use ann_store::{BufferPool, FileDisk, PageId, StoreError, DEFAULT_KEEP};
 
 /// The fixed dimensionality served over the wire.
 pub const SERVE_DIMS: usize = 2;
 
 /// Sidecar schema version (bumped independently of the query wire
 /// schema; same rule — removals or meaning changes bump, additions of
-/// optional fields do not).
+/// optional fields do not). The `versions_head` field rides under this
+/// rule: v1 sidecars without it open as plain (non-versioned) handles.
 const SIDECAR_VERSION: u64 = 1;
 
 /// A service-level error: the stable [`ErrorCode`] plus a human message.
@@ -95,27 +121,154 @@ pub enum AnyIndex {
     RStar(RStar<SERVE_DIMS>),
 }
 
+impl AnyIndex {
+    /// The tree's metadata page.
+    pub fn meta_page(&self) -> PageId {
+        match self {
+            AnyIndex::Mbrqt(t) => t.meta_page(),
+            AnyIndex::RStar(t) => t.meta_page(),
+        }
+    }
+
+    fn enable_versioning(&mut self, keep: u32) -> ann_store::Result<PageId> {
+        match self {
+            AnyIndex::Mbrqt(t) => t.enable_versioning(keep),
+            AnyIndex::RStar(t) => t.enable_versioning(keep),
+        }
+    }
+
+    fn versioned_handle(&self) -> Option<VersionedHandle<SERVE_DIMS>> {
+        match self {
+            AnyIndex::Mbrqt(t) => t.versioned_handle(),
+            AnyIndex::RStar(t) => t.versioned_handle(),
+        }
+    }
+
+    fn insert(&mut self, oid: u64, point: Point<SERVE_DIMS>) -> ann_store::Result<()> {
+        match self {
+            AnyIndex::Mbrqt(t) => t.insert(oid, point),
+            AnyIndex::RStar(t) => t.insert(oid, point),
+        }
+    }
+}
+
+/// How a collection's index is held, which decides how queries reach it.
+pub enum Backing {
+    /// A pre-versioning collection: immutable after open, queried by
+    /// direct shared reference (mutation requests are rejected).
+    Plain(AnyIndex),
+    /// A versioned collection: the writer handle lives behind a mutex
+    /// (mutations are serialized), while readers pin MVCC snapshots
+    /// through the handle and never take the writer lock.
+    Versioned {
+        /// The mutable tree, locked only by writers.
+        writer: Mutex<AnyIndex>,
+        /// Lock-free snapshot factory shared with every reader.
+        handle: VersionedHandle<SERVE_DIMS>,
+        /// Manifest head page recorded in the sidecar.
+        versions_head: PageId,
+    },
+}
+
 /// One open collection: the index, its buffer pool, and its identity.
 pub struct Collection {
     /// The registry name.
     pub id: CollectionId,
     /// Which structure backs it.
     pub kind: IndexKind,
-    /// The open index.
-    pub index: AnyIndex,
+    /// How the index is held (see [`Backing`]).
+    pub backing: Backing,
     /// The collection's private buffer pool (one pool per collection, so
     /// hot collections cannot evict each other's pages).
     pub pool: Arc<BufferPool>,
-    /// Number of indexed points.
-    pub num_points: u64,
+    /// Number of indexed points (grows under [`Collection::insert_points`]).
+    num_points: AtomicU64,
 }
 
-/// The collection registry: a root directory plus the map of currently
-/// open collections.
+impl Collection {
+    /// Number of indexed points.
+    pub fn num_points(&self) -> u64 {
+        self.num_points.load(Ordering::Acquire)
+    }
+
+    /// The latest committed snapshot version, or `None` for plain
+    /// (non-versioned) collections.
+    pub fn latest_version(&self) -> Option<u32> {
+        match &self.backing {
+            Backing::Plain(_) => None,
+            Backing::Versioned { handle, .. } => Some(handle.latest()),
+        }
+    }
+
+    /// The MVCC snapshot factory, when this collection is versioned.
+    pub fn versioned_handle(&self) -> Option<&VersionedHandle<SERVE_DIMS>> {
+        match &self.backing {
+            Backing::Plain(_) => None,
+            Backing::Versioned { handle, .. } => Some(handle),
+        }
+    }
+
+    /// Pins a query-ready snapshot of `version` (latest when `None`).
+    /// Fails with `BadRequest` when a version is requested on a plain
+    /// collection or has aged out of the history window.
+    pub fn pin(&self, version: Option<u32>) -> Result<ReadContext<SERVE_DIMS>, ApiError> {
+        match &self.backing {
+            Backing::Plain(_) => Err(ApiError::new(
+                ErrorCode::BadRequest,
+                format!("collection {:?} is not versioned", self.id.as_str()),
+            )),
+            Backing::Versioned { handle, .. } => {
+                handle.pin(version).map_err(|e| ApiError::from_store(&e))
+            }
+        }
+    }
+
+    /// Appends `points` (oids continue from the current count) under the
+    /// writer lock; concurrent queries keep reading their pinned
+    /// snapshots throughout. Returns `(first_oid, latest_version)`.
+    ///
+    /// Each point commits its own snapshot version, so a mid-batch
+    /// failure (e.g. an MBRQT point outside the fixed universe) leaves
+    /// the successfully inserted prefix committed and the count accurate.
+    pub fn insert_points(
+        &self,
+        points: &[Point<SERVE_DIMS>],
+    ) -> Result<(u64, u32), ApiError> {
+        let Backing::Versioned { writer, handle, .. } = &self.backing else {
+            return Err(ApiError::new(
+                ErrorCode::BadRequest,
+                format!(
+                    "collection {:?} predates versioning and is read-only",
+                    self.id.as_str()
+                ),
+            ));
+        };
+        let mut index = lock(writer);
+        let first = self.num_points.load(Ordering::Acquire);
+        for (i, p) in points.iter().enumerate() {
+            if let Err(e) = index.insert(first + i as u64, *p) {
+                self.num_points.store(first + i as u64, Ordering::Release);
+                return Err(ApiError::from_store(&e));
+            }
+        }
+        self.num_points
+            .store(first + points.len() as u64, Ordering::Release);
+        Ok((first, handle.latest()))
+    }
+}
+
+/// One registry slot: the lazily opened state of a single collection
+/// name. The slot-level mutex is what serializes racing first-touch
+/// opens without blocking the whole registry.
+struct Slot {
+    state: Mutex<Option<Arc<Collection>>>,
+}
+
+/// The collection registry: a root directory plus the map of slots.
 pub struct Registry {
     root: PathBuf,
     pool_frames: usize,
-    open: Mutex<BTreeMap<String, Arc<Collection>>>,
+    open: Mutex<BTreeMap<String, Arc<Slot>>>,
 }
 
 impl Registry {
@@ -140,9 +293,38 @@ impl Registry {
         self.root.join(format!("{id}.meta.json"))
     }
 
+    /// The slot for `id`, inserting an empty one if absent. The global
+    /// map lock is held only for this lookup — never across disk I/O.
+    fn slot(&self, id: &CollectionId) -> Arc<Slot> {
+        let mut open = lock(&self.open);
+        Arc::clone(open.entry(id.as_str().to_string()).or_insert_with(|| {
+            Arc::new(Slot {
+                state: Mutex::new(None),
+            })
+        }))
+    }
+
+    /// Removes `id`'s slot if it is still empty (a failed open or create
+    /// left it behind). `try_lock` keeps the map→slot lock order: a slot
+    /// busy with another opener is simply left alone.
+    fn gc_empty_slot(&self, id: &CollectionId) {
+        let mut open = lock(&self.open);
+        let empty = open.get(id.as_str()).is_some_and(|slot| {
+            slot.state
+                .try_lock()
+                .map(|state| state.is_none())
+                .unwrap_or(false)
+        });
+        if empty {
+            open.remove(id.as_str());
+        }
+    }
+
     /// Creates and bulk-builds a new collection over `points` (oids are
-    /// the input positions). Fails with `CollectionExists` if the name is
-    /// taken, either live or on disk.
+    /// the input positions), versioned from birth. Fails with
+    /// `CollectionExists` if the name is taken, either live or on disk.
+    /// Only this name's slot is locked during the build; other
+    /// collections stay fully available.
     pub fn create(
         &self,
         id: &CollectionId,
@@ -155,13 +337,38 @@ impl Registry {
                 "a collection needs at least one point",
             ));
         }
-        let mut open = lock(&self.open);
-        if open.contains_key(id.as_str()) || self.meta_path(id).exists() {
+        let slot = self.slot(id);
+        let mut state = lock(&slot.state);
+        if state.is_some() || self.meta_path(id).exists() {
+            drop(state);
+            self.gc_empty_slot(id);
             return Err(ApiError::new(
                 ErrorCode::CollectionExists,
                 format!("collection {id:?} already exists"),
             ));
         }
+        let result = self.build(id, kind, points);
+        match result {
+            Ok(coll) => {
+                *state = Some(Arc::clone(&coll));
+                Ok(coll)
+            }
+            Err(e) => {
+                drop(state);
+                self.gc_empty_slot(id);
+                Err(e)
+            }
+        }
+    }
+
+    /// The fallible middle of [`Registry::create`]: bulk build, switch to
+    /// versioned mode, persist the sidecar.
+    fn build(
+        &self,
+        id: &CollectionId,
+        kind: IndexKind,
+        points: &[Point<SERVE_DIMS>],
+    ) -> Result<Arc<Collection>, ApiError> {
         let keyed: Vec<(u64, Point<SERVE_DIMS>)> = points
             .iter()
             .enumerate()
@@ -170,18 +377,23 @@ impl Registry {
         let disk_path = self.disk_path(id);
         let disk = FileDisk::create(&disk_path).map_err(|e| ApiError::from_store(&e))?;
         let pool = Arc::new(BufferPool::new(disk, self.pool_frames));
-        let built = match kind {
-            IndexKind::Mbrqt => {
-                Mbrqt::bulk_build(Arc::clone(&pool), &keyed, &MbrqtConfig::default())
-                    .map(AnyIndex::Mbrqt)
-            }
-            IndexKind::RStar => {
-                RStar::bulk_build(Arc::clone(&pool), &keyed, &RStarConfig::default())
-                    .map(AnyIndex::RStar)
-            }
-        };
-        let index = match built {
-            Ok(index) => index,
+        let built = (|| -> ann_store::Result<(AnyIndex, PageId)> {
+            let mut index = match kind {
+                IndexKind::Mbrqt => {
+                    Mbrqt::bulk_build(Arc::clone(&pool), &keyed, &MbrqtConfig::default())
+                        .map(AnyIndex::Mbrqt)?
+                }
+                IndexKind::RStar => {
+                    RStar::bulk_build(Arc::clone(&pool), &keyed, &RStarConfig::default())
+                        .map(AnyIndex::RStar)?
+                }
+            };
+            let versions_head = index.enable_versioning(DEFAULT_KEEP)?;
+            pool.flush_all()?;
+            Ok((index, versions_head))
+        })();
+        let (index, versions_head) = match built {
+            Ok(pair) => pair,
             Err(e) => {
                 // Failed build: drop the pool and remove the partial file
                 // so the name is reusable.
@@ -190,42 +402,56 @@ impl Registry {
                 return Err(ApiError::from_store(&e));
             }
         };
-        pool.flush_all().map_err(|e| ApiError::from_store(&e))?;
-        let meta_page = match &index {
-            AnyIndex::Mbrqt(t) => t.meta_page(),
-            AnyIndex::RStar(t) => t.meta_page(),
-        };
         let sidecar = format!(
-            "{{\"v\":{SIDECAR_VERSION},\"kind\":\"{}\",\"meta_page\":{},\"points\":{},\"pool_frames\":{}}}\n",
+            "{{\"v\":{SIDECAR_VERSION},\"kind\":\"{}\",\"meta_page\":{},\"points\":{},\"pool_frames\":{},\"versions_head\":{}}}\n",
             kind.as_str(),
-            meta_page,
+            index.meta_page(),
             keyed.len(),
             self.pool_frames,
+            versions_head,
         );
         std::fs::write(self.meta_path(id), sidecar).map_err(|e| {
             ApiError::new(ErrorCode::StorageFailed, format!("writing sidecar: {e}"))
         })?;
-        let coll = Arc::new(Collection {
+        let handle = index
+            .versioned_handle()
+            .ok_or_else(|| ApiError::new(ErrorCode::Internal, "versioning did not take"))?;
+        Ok(Arc::new(Collection {
             id: id.clone(),
             kind,
-            index,
+            backing: Backing::Versioned {
+                writer: Mutex::new(index),
+                handle,
+                versions_head,
+            },
             pool,
-            num_points: keyed.len() as u64,
-        });
-        open.insert(id.as_str().to_string(), Arc::clone(&coll));
-        Ok(coll)
+            num_points: AtomicU64::new(keyed.len() as u64),
+        }))
     }
 
     /// Returns the live handle for `id`, opening it from disk on first
     /// use. `CollectionNotFound` if it exists neither live nor on disk.
+    ///
+    /// Concurrent first-touch `get`s of the same name serialize on the
+    /// slot lock: exactly one performs the open, the rest receive clones
+    /// of the same [`Collection`] (one pool per collection, ever).
     pub fn get(&self, id: &CollectionId) -> Result<Arc<Collection>, ApiError> {
-        let mut open = lock(&self.open);
-        if let Some(coll) = open.get(id.as_str()) {
+        let slot = self.slot(id);
+        let mut state = lock(&slot.state);
+        if let Some(coll) = state.as_ref() {
             return Ok(Arc::clone(coll));
         }
-        let coll = self.load(id)?;
-        open.insert(id.as_str().to_string(), Arc::clone(&coll));
-        Ok(coll)
+        match self.load(id) {
+            Ok(coll) => {
+                *state = Some(Arc::clone(&coll));
+                Ok(coll)
+            }
+            Err(e) => {
+                drop(state);
+                self.gc_empty_slot(id);
+                Err(e)
+            }
+        }
     }
 
     /// Opens a collection from its on-disk file + sidecar.
@@ -270,22 +496,53 @@ impl Registry {
             .get("pool_frames")
             .and_then(JsonValue::as_usize)
             .unwrap_or(self.pool_frames);
+        // Optional (additive, no sidecar version bump): MVCC manifest head.
+        let versions_head = match doc.get("versions_head") {
+            None => None,
+            Some(h) => Some(
+                h.as_u64()
+                    .and_then(|p| u32::try_from(p).ok())
+                    .ok_or_else(|| invalid("out-of-range versions_head"))?,
+            ),
+        };
         let disk = FileDisk::open(self.disk_path(id)).map_err(|e| ApiError::from_store(&e))?;
         let pool = Arc::new(BufferPool::new(disk, frames.max(16)));
-        let index = match kind {
-            IndexKind::Mbrqt => Mbrqt::open(Arc::clone(&pool), meta_page)
-                .map(AnyIndex::Mbrqt)
-                .map_err(|e| ApiError::from_store(&e))?,
-            IndexKind::RStar => RStar::open(Arc::clone(&pool), meta_page)
-                .map(AnyIndex::RStar)
-                .map_err(|e| ApiError::from_store(&e))?,
+        let open_index = |head: Option<PageId>| -> ann_store::Result<AnyIndex> {
+            match (kind, head) {
+                (IndexKind::Mbrqt, None) => {
+                    Mbrqt::open(Arc::clone(&pool), meta_page).map(AnyIndex::Mbrqt)
+                }
+                (IndexKind::Mbrqt, Some(h)) => {
+                    Mbrqt::open_versioned(Arc::clone(&pool), meta_page, h).map(AnyIndex::Mbrqt)
+                }
+                (IndexKind::RStar, None) => {
+                    RStar::open(Arc::clone(&pool), meta_page).map(AnyIndex::RStar)
+                }
+                (IndexKind::RStar, Some(h)) => {
+                    RStar::open_versioned(Arc::clone(&pool), meta_page, h).map(AnyIndex::RStar)
+                }
+            }
+        };
+        let index = open_index(versions_head).map_err(|e| ApiError::from_store(&e))?;
+        let backing = match versions_head {
+            None => Backing::Plain(index),
+            Some(versions_head) => {
+                let handle = index
+                    .versioned_handle()
+                    .ok_or_else(|| invalid("versioned open produced a plain tree"))?;
+                Backing::Versioned {
+                    writer: Mutex::new(index),
+                    handle,
+                    versions_head,
+                }
+            }
         };
         Ok(Arc::new(Collection {
             id: id.clone(),
             kind,
-            index,
+            backing,
             pool,
-            num_points,
+            num_points: AtomicU64::new(num_points),
         }))
     }
 
@@ -293,8 +550,8 @@ impl Registry {
     /// files. In-flight queries holding the `Arc` finish normally — on
     /// Unix the unlinked file stays readable until the last handle drops.
     pub fn drop_collection(&self, id: &CollectionId) -> Result<(), ApiError> {
-        let mut open = lock(&self.open);
-        let was_open = open.remove(id.as_str()).is_some();
+        let removed = lock(&self.open).remove(id.as_str());
+        let was_open = removed.is_some_and(|slot| lock(&slot.state).take().is_some());
         let meta = self.meta_path(id);
         let on_disk = meta.exists();
         if !was_open && !on_disk {
@@ -310,7 +567,20 @@ impl Registry {
 
     /// All collection names, live or on disk, sorted.
     pub fn list(&self) -> Vec<String> {
-        let mut names: Vec<String> = lock(&self.open).keys().cloned().collect();
+        let mut names: Vec<String> = {
+            let open = lock(&self.open);
+            open.iter()
+                .filter(|(_, slot)| {
+                    // A busy slot is mid-open of a collection that exists
+                    // on disk anyway; count unlockable empties out.
+                    slot.state
+                        .try_lock()
+                        .map(|state| state.is_some())
+                        .unwrap_or(true)
+                })
+                .map(|(name, _)| name.clone())
+                .collect()
+        };
         if let Ok(entries) = std::fs::read_dir(&self.root) {
             for entry in entries.flatten() {
                 let name = entry.file_name();
@@ -328,13 +598,22 @@ impl Registry {
 
     /// Number of currently open (live) collections.
     pub fn open_count(&self) -> usize {
-        lock(&self.open).len()
+        lock(&self.open)
+            .values()
+            .filter(|slot| {
+                slot.state
+                    .try_lock()
+                    .map(|state| state.is_some())
+                    // A busy slot is being opened right now; count it.
+                    .unwrap_or(true)
+            })
+            .count()
     }
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    // A poisoned registry lock means a panic mid-create; the map itself
-    // is still structurally sound (inserts happen after the fallible
-    // work), so serving can continue.
+    // A poisoned lock means a panic mid-create; the structures themselves
+    // are still sound (publishes happen after the fallible work), so
+    // serving can continue.
     m.lock().unwrap_or_else(|e| e.into_inner())
 }

@@ -44,6 +44,7 @@ use std::time::{Duration, Instant};
 use ann_core::query::{run_scratch, AnnRequest, Input};
 use ann_core::resilience::CancelToken;
 use ann_core::scratch::QueryScratch;
+use ann_core::snapshot::ReadContext;
 use ann_core::stats::AnnOutput;
 use ann_core::trace::RecordingSink;
 use ann_core::wire::{CollectionId, ErrorCode, JsonValue, QueryOutcome, QuerySpec};
@@ -52,7 +53,7 @@ use ann_geom::Point;
 
 use crate::http::{read_request, write_response, Request};
 use crate::metrics::Metrics;
-use crate::registry::{AnyIndex, ApiError, Collection, IndexKind, Registry, SERVE_DIMS};
+use crate::registry::{AnyIndex, ApiError, Backing, Collection, IndexKind, Registry, SERVE_DIMS};
 
 /// How often a waiting connection thread polls its socket for client
 /// disconnect (and re-checks the reply channel).
@@ -323,6 +324,13 @@ fn worker_loop(ctx: &Ctx) {
 }
 
 /// Runs one query on a worker thread and serializes the outcome.
+///
+/// Versioned collections are queried through pinned [`ReadContext`]s:
+/// the R side pins `spec.version` (latest when unset), the S side pins
+/// latest — except for a self-join, which *shares* R's pin so both sides
+/// observe the same version even while a writer commits mid-query. Plain
+/// (pre-versioning) collections are queried directly and reject explicit
+/// version requests.
 fn execute(
     job: &Job,
     scratch: &mut QueryScratch<SERVE_DIMS>,
@@ -335,10 +343,32 @@ fn execute(
     if job.trace {
         req = req.trace(&sink);
     }
-    match run_pair(&job.r, &job.s, &req, scratch) {
+    let r_pin = match &job.r.backing {
+        Backing::Versioned { .. } => Some(job.r.pin(job.spec.version)?),
+        // `pin` on a plain collection produces the "not versioned"
+        // BadRequest; only reach it when a version was actually asked.
+        Backing::Plain(_) if job.spec.version.is_some() => {
+            return Err(job.r.pin(job.spec.version).expect_err("plain pin fails"))
+        }
+        Backing::Plain(_) => None,
+    };
+    let self_join = Arc::ptr_eq(&job.r, &job.s);
+    let s_pin = match &job.s.backing {
+        Backing::Versioned { .. } if !self_join => Some(job.s.pin(None)?),
+        _ => None,
+    };
+    let served_version = r_pin.as_ref().map(ReadContext::version);
+    let r_side = side_of(&job.r, r_pin.as_ref());
+    let s_side = if self_join {
+        r_side
+    } else {
+        side_of(&job.s, s_pin.as_ref())
+    };
+    match run_sides(r_side, s_side, &req, scratch) {
         Ok(out) => {
             metrics.record_query(started.elapsed(), &out.stats);
             let mut outcome = QueryOutcome::from(out);
+            outcome.version = served_version;
             if job.trace {
                 outcome = outcome.with_report(sink.report(&format!(
                     "serve:{}:{}",
@@ -357,26 +387,49 @@ fn execute(
     }
 }
 
-/// Dispatches over the four index-kind combinations of the two sides.
-fn run_pair(
-    r: &Collection,
-    s: &Collection,
+/// One side of a query as the worker sees it: a direct index reference
+/// (plain collections) or a pinned snapshot view (versioned ones).
+#[derive(Clone, Copy)]
+enum SideRef<'a> {
+    Mbrqt(&'a ann_mbrqt::Mbrqt<SERVE_DIMS>),
+    RStar(&'a ann_rstar::RStar<SERVE_DIMS>),
+    Snap(&'a ReadContext<SERVE_DIMS>),
+}
+
+fn side_of<'a>(
+    coll: &'a Collection,
+    pin: Option<&'a ReadContext<SERVE_DIMS>>,
+) -> SideRef<'a> {
+    match (pin, &coll.backing) {
+        (Some(ctx), _) => SideRef::Snap(ctx),
+        (None, Backing::Plain(AnyIndex::Mbrqt(t))) => SideRef::Mbrqt(t),
+        (None, Backing::Plain(AnyIndex::RStar(t))) => SideRef::RStar(t),
+        // execute() pins every versioned side before building SideRefs.
+        (None, Backing::Versioned { .. }) => {
+            unreachable!("versioned side reached dispatch without a pin")
+        }
+    }
+}
+
+/// Dispatches over the side-type combinations (each arm monomorphizes
+/// `run_scratch` for its pair of [`SpatialIndex`] impls).
+fn run_sides(
+    r: SideRef<'_>,
+    s: SideRef<'_>,
     req: &AnnRequest<'_>,
     scratch: &mut QueryScratch<SERVE_DIMS>,
 ) -> QueryResult<AnnOutput> {
-    match (&r.index, &s.index) {
-        (AnyIndex::Mbrqt(ir), AnyIndex::Mbrqt(is)) => {
-            run_scratch(req, Input::Index(ir), Input::Index(is), scratch)
-        }
-        (AnyIndex::Mbrqt(ir), AnyIndex::RStar(is)) => {
-            run_scratch(req, Input::Index(ir), Input::Index(is), scratch)
-        }
-        (AnyIndex::RStar(ir), AnyIndex::Mbrqt(is)) => {
-            run_scratch(req, Input::Index(ir), Input::Index(is), scratch)
-        }
-        (AnyIndex::RStar(ir), AnyIndex::RStar(is)) => {
-            run_scratch(req, Input::Index(ir), Input::Index(is), scratch)
-        }
+    use SideRef::{Mbrqt, RStar, Snap};
+    match (r, s) {
+        (Mbrqt(ir), Mbrqt(is)) => run_scratch(req, Input::Index(ir), Input::Index(is), scratch),
+        (Mbrqt(ir), RStar(is)) => run_scratch(req, Input::Index(ir), Input::Index(is), scratch),
+        (Mbrqt(ir), Snap(is)) => run_scratch(req, Input::Index(ir), Input::Index(is), scratch),
+        (RStar(ir), Mbrqt(is)) => run_scratch(req, Input::Index(ir), Input::Index(is), scratch),
+        (RStar(ir), RStar(is)) => run_scratch(req, Input::Index(ir), Input::Index(is), scratch),
+        (RStar(ir), Snap(is)) => run_scratch(req, Input::Index(ir), Input::Index(is), scratch),
+        (Snap(ir), Mbrqt(is)) => run_scratch(req, Input::Index(ir), Input::Index(is), scratch),
+        (Snap(ir), RStar(is)) => run_scratch(req, Input::Index(ir), Input::Index(is), scratch),
+        (Snap(ir), Snap(is)) => run_scratch(req, Input::Index(ir), Input::Index(is), scratch),
     }
 }
 
@@ -483,6 +536,10 @@ fn route(req: &Request, stream: &mut TcpStream, ctx: &Ctx) -> Option<Reply> {
         ("POST", ["collections", id, "query"]) => {
             return query_route(id, req, stream, ctx);
         }
+        ("POST", ["collections", id, "insert"]) => match insert_route(id, req, ctx) {
+            Ok(reply) => reply,
+            Err(e) => Reply::err(&e),
+        },
         ("POST", ["admin", "shutdown"]) => {
             initiate_shutdown(ctx);
             let mut reply = Reply::ok("{\"shutting_down\":true}");
@@ -508,11 +565,15 @@ fn parse_id(raw: &str) -> Result<CollectionId, ApiError> {
 fn describe_collection(raw_id: &str, ctx: &Ctx) -> Result<Reply, ApiError> {
     let id = parse_id(raw_id)?;
     let coll = ctx.registry.get(&id)?;
+    let version = match coll.latest_version() {
+        Some(v) => format!(",\"versioned\":true,\"latest_version\":{v}"),
+        None => ",\"versioned\":false".to_string(),
+    };
     Ok(Reply::ok(format!(
-        "{{\"id\":\"{}\",\"kind\":\"{}\",\"points\":{}}}",
+        "{{\"id\":\"{}\",\"kind\":\"{}\",\"points\":{}{version}}}",
         coll.id,
         coll.kind.as_str(),
-        coll.num_points
+        coll.num_points()
     )))
 }
 
@@ -532,6 +593,22 @@ fn create_collection(req: &Request, ctx: &Ctx) -> Result<Reply, ApiError> {
             .and_then(JsonValue::as_str)
             .unwrap_or("mbrqt"),
     )?;
+    let points = parse_points(&doc)?;
+    let coll = ctx.registry.create(&id, kind, &points)?;
+    Ok(Reply::status(
+        201,
+        format!(
+            "{{\"id\":\"{}\",\"kind\":\"{}\",\"points\":{}}}",
+            coll.id,
+            coll.kind.as_str(),
+            coll.num_points()
+        ),
+    ))
+}
+
+/// Parses the `"points"` array of a create/insert body.
+fn parse_points(doc: &JsonValue) -> Result<Vec<Point<SERVE_DIMS>>, ApiError> {
+    let bad = |msg: &str| ApiError::new(ErrorCode::BadRequest, msg);
     let raw_points = doc
         .get("points")
         .and_then(JsonValue::as_arr)
@@ -551,16 +628,38 @@ fn create_collection(req: &Request, ctx: &Ctx) -> Result<Reply, ApiError> {
         }
         points.push(Point(p));
     }
-    let coll = ctx.registry.create(&id, kind, &points)?;
-    Ok(Reply::status(
-        201,
-        format!(
-            "{{\"id\":\"{}\",\"kind\":\"{}\",\"points\":{}}}",
-            coll.id,
-            coll.kind.as_str(),
-            coll.num_points
-        ),
-    ))
+    Ok(points)
+}
+
+/// `POST /collections/{id}/insert` — body `{"points": [[x, y], ...]}`.
+/// Appends to a versioned collection; oids continue from the current
+/// point count and each point commits its own snapshot version.
+///
+/// Runs inline on the connection thread: inserts go through the
+/// collection's writer lock anyway, so routing them through the query
+/// worker pool would only let a slow writer starve readers of workers —
+/// the one thing MVCC is here to prevent.
+fn insert_route(raw_id: &str, req: &Request, ctx: &Ctx) -> Result<Reply, ApiError> {
+    if ctx.shutdown.load(Ordering::Acquire) {
+        return Err(ApiError::new(
+            ErrorCode::ShuttingDown,
+            "server is shutting down",
+        ));
+    }
+    let bad = |msg: &str| ApiError::new(ErrorCode::BadRequest, msg);
+    let id = parse_id(raw_id)?;
+    let body = req.body_str().ok_or_else(|| bad("body must be UTF-8"))?;
+    let doc = JsonValue::parse(body).map_err(|e| bad(&e.to_string()))?;
+    let points = parse_points(&doc)?;
+    if points.is_empty() {
+        return Err(bad("\"points\" must be non-empty"));
+    }
+    let coll = ctx.registry.get(&id)?;
+    let (first_oid, version) = coll.insert_points(&points)?;
+    Ok(Reply::ok(format!(
+        "{{\"inserted\":{},\"first_oid\":{first_oid},\"version\":{version}}}",
+        points.len()
+    )))
 }
 
 /// `POST /collections/{id}/query[?trace=1][&target={other}]` — body is a
@@ -601,8 +700,19 @@ fn prepare_query(raw_id: &str, req: &Request, ctx: &Ctx) -> Result<PreparedQuery
     let body = req
         .body_str()
         .ok_or_else(|| ApiError::new(ErrorCode::BadRequest, "body must be UTF-8"))?;
-    let spec = QuerySpec::from_json(body)
+    let mut spec = QuerySpec::from_json(body)
         .map_err(|e| ApiError::new(ErrorCode::BadRequest, e.to_string()))?;
+    // `?version=` overrides the spec's optional version field, so
+    // time-travel reads work without re-serializing the body.
+    if let Some(raw) = req.query_param("version") {
+        let v = raw.parse::<u32>().ok().filter(|v| *v > 0).ok_or_else(|| {
+            ApiError::new(
+                ErrorCode::BadRequest,
+                "version must be a positive integer",
+            )
+        })?;
+        spec.version = Some(v);
+    }
     let r = ctx.registry.get(&id)?;
     let s = match req.query_param("target") {
         Some(target) => ctx.registry.get(&parse_id(target)?)?,

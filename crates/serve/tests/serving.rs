@@ -53,14 +53,16 @@ fn start_server(tag: &str, workers: usize, queue_depth: usize, pool_frames: usiz
     .expect("server starts")
 }
 
-/// Canonical comparison form: the outcome's pairs with stats zeroed, so
-/// equality means "byte-identical results" without coupling to pool
-/// counters (which legitimately vary under concurrency).
+/// Canonical comparison form: the outcome's pairs with stats zeroed and
+/// the version stripped, so equality means "byte-identical results"
+/// without coupling to pool counters (which legitimately vary under
+/// concurrency) or to which snapshot version served the query.
 fn pairs_json(results: Vec<ann_core::stats::NeighborPair>) -> String {
     QueryOutcome {
         results,
         stats: AnnStats::default(),
         report: None,
+        version: None,
     }
     .to_json()
 }
@@ -496,6 +498,174 @@ fn shutdown_endpoint_stops_the_server() {
         TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
         "listener still accepting after shutdown"
     );
+}
+
+/// Time travel over the wire: every committed snapshot version stays
+/// queryable (byte-identically) until it ages out of the history window,
+/// and an aged-out version is a client error, not a storage fault.
+#[test]
+fn time_travel_queries_pin_old_versions() {
+    let server = start_server("timetravel", 2, 16, 256);
+    let client = Client::new(server.addr().to_string());
+    // Corners first: MBRQT's universe is the bulk-build bounding box, so
+    // later inserts must land inside it.
+    let created = client
+        .create_collection(
+            "tt",
+            "mbrqt",
+            &[[0.0, 0.0], [1000.0, 1000.0], [10.0, 10.0]],
+        )
+        .expect("create");
+    assert_eq!(created.status, 201, "{}", created.body);
+
+    let mut spec = QuerySpec::default();
+    spec.k = 1;
+    spec.exclude_self = true;
+
+    // The version the bulk build committed.
+    let before = client.query("tt", &spec).expect("query v1");
+    assert_eq!(before.status, 200, "{}", before.body);
+    let v1 = before
+        .outcome()
+        .expect("outcome")
+        .version
+        .expect("versioned collection stamps outcomes");
+    assert_eq!(before.outcome().expect("outcome").results.len(), 3);
+
+    let ins = client
+        .insert_points("tt", &[[500.0, 500.0], [501.0, 500.0]])
+        .expect("insert");
+    assert_eq!(ins.status, 200, "{}", ins.body);
+    assert!(ins.body.contains("\"inserted\":2"), "{}", ins.body);
+
+    // Latest now sees five points; the pinned v1 read is byte-identical
+    // to the pre-insert response.
+    let after = client.query("tt", &spec).expect("query latest");
+    assert_eq!(after.status, 200, "{}", after.body);
+    let after_outcome = after.outcome().expect("outcome");
+    assert_eq!(after_outcome.results.len(), 5);
+    assert!(after_outcome.version.expect("stamped") > v1);
+    let pinned = client.query_at("tt", v1, &spec).expect("query at v1");
+    assert_eq!(pinned.status, 200, "{}", pinned.body);
+    assert_eq!(
+        pinned.outcome().expect("outcome").version,
+        Some(v1),
+        "{}",
+        pinned.body
+    );
+    assert_eq!(
+        server_pairs(&pinned.body),
+        server_pairs(&before.body),
+        "time-travel read diverged from the original v1 response"
+    );
+
+    // Describe surfaces versioning; a never-committed future version and
+    // (after enough commits) an aged-out one are client errors.
+    let desc = client.request("GET", "/collections/tt", "").expect("describe");
+    assert!(desc.body.contains("\"versioned\":true"), "{}", desc.body);
+    let future = client.query_at("tt", 10_000, &spec).expect("future version");
+    assert_eq!(future.status, 400, "{}", future.body);
+    for _ in 0..12 {
+        // Push v1 out of the bounded history window (keep = 8).
+        let ins = client
+            .insert_points("tt", &[[499.0, 499.0]])
+            .expect("filler insert");
+        assert_eq!(ins.status, 200, "{}", ins.body);
+    }
+    let aged = client.query_at("tt", v1, &spec).expect("aged version");
+    assert_eq!(aged.status, 400, "{}", aged.body);
+    server.shutdown();
+}
+
+/// The MVCC + registry race gate: over a restarted server (so the first
+/// touch is a lazy open), many clients race first-touch gets and queries
+/// against a writer committing inserts on the same collection. Exactly
+/// one open happens, zero requests fail, and when the dust settles no
+/// buffer frame is left pinned.
+#[test]
+fn parallel_first_touch_and_writer_commits_leave_nothing_pinned() {
+    const READERS: usize = 8;
+    const QUERIES_PER_READER: usize = 12;
+    const WRITER_BATCHES: usize = 20;
+
+    let dir = temp_dir("race");
+    let config = |dir: &PathBuf| ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        queue_depth: 64,
+        data_dir: dir.clone(),
+        pool_frames: 256,
+    };
+
+    // Build the collection on a first server, then restart so the racing
+    // requests below all hit a cold registry.
+    let mut points = vec![Point([0.0, 0.0]), Point([1000.0, 1000.0])];
+    points.extend(uniform_points(1500, 0xFACE));
+    let first = Server::start(config(&dir)).expect("first server");
+    let client = Client::new(first.addr().to_string());
+    let created = client
+        .create_collection("race", "mbrqt", &to_rows(&points))
+        .expect("create");
+    assert_eq!(created.status, 201, "{}", created.body);
+    first.shutdown();
+
+    let server = Server::start(config(&dir)).expect("second server");
+    let addr = server.addr().to_string();
+    let mut spec = QuerySpec::default();
+    spec.k = 1;
+    spec.exclude_self = true;
+    let spec_json = Arc::new(spec.to_json());
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let addr = addr.clone();
+            let spec_json = Arc::clone(&spec_json);
+            std::thread::spawn(move || {
+                let mut conn = Conn::connect(&addr).expect("connect");
+                for _ in 0..QUERIES_PER_READER {
+                    let resp = conn
+                        .request("POST", "/collections/race/query", &spec_json)
+                        .expect("query");
+                    assert_eq!(resp.status, 200, "reader failed: {}", resp.body);
+                    let outcome = QueryOutcome::from_json(&resp.body).expect("outcome parses");
+                    // Whatever version was pinned, the result set is one
+                    // neighbor per point of that snapshot.
+                    assert!(outcome.results.len() >= 1502, "{}", resp.body);
+                    assert!(outcome.version.is_some(), "{}", resp.body);
+                }
+            })
+        })
+        .collect();
+    let writer = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let client = Client::new(addr);
+            let mut rng = Rng::new(0xD0C5);
+            for _ in 0..WRITER_BATCHES {
+                let batch: Vec<[f64; 2]> = (0..3)
+                    .map(|_| [rng.f64() * 1000.0, rng.f64() * 1000.0])
+                    .collect();
+                let resp = client.insert_points("race", &batch).expect("insert");
+                assert_eq!(resp.status, 200, "writer failed: {}", resp.body);
+            }
+        })
+    };
+    for h in readers {
+        h.join().expect("reader thread");
+    }
+    writer.join().expect("writer thread");
+
+    // All those racing first touches opened the collection exactly once.
+    assert_eq!(server.registry().open_count(), 1);
+    let a = server.registry().get(&"race".parse().expect("id")).expect("get");
+    let b = server.registry().get(&"race".parse().expect("id")).expect("get");
+    assert!(Arc::ptr_eq(&a, &b), "registry handed out distinct handles");
+
+    // Every request completed, so no reader pin (or writer txn) survives.
+    assert_eq!(a.pool.pinned_frames(), 0, "frames left pinned after the race");
+    let final_count = 1502 + (WRITER_BATCHES as u64) * 3;
+    assert_eq!(a.num_points(), final_count);
+    server.shutdown();
 }
 
 /// Collections persist: a new server over the same data dir reopens them

@@ -61,6 +61,7 @@ pub mod pool;
 pub mod slotted;
 mod stats;
 pub mod txn;
+pub mod versioned;
 
 pub use disk::{DiskBackend, FileDisk, MemDisk};
 pub use faulty::{splitmix64, FaultyDisk, InjectedFault};
@@ -70,6 +71,7 @@ pub use page::{PageId, FRAME_SIZE, INVALID_PAGE, PAGE_SIZE, PAGE_TRAILER};
 pub use pool::{BufferPool, PageStore, PrefetchConfig, RetryPolicy, QUARANTINED};
 pub use stats::{IoSnapshot, IoStats};
 pub use txn::Txn;
+pub use versioned::{Snapshot, VersionInfo, VersionedStore, DEFAULT_KEEP};
 
 /// Errors surfaced by the storage layer.
 #[derive(Debug)]
@@ -99,6 +101,17 @@ pub enum StoreError {
     Injected {
         /// Whether a retry can succeed.
         transient: bool,
+    },
+    /// A snapshot pin requested a version that has aged out of the
+    /// bounded history window (or never existed).
+    VersionNotRetained(u32),
+    /// A versioned commit raced another writer: the transaction read
+    /// through `base` but `latest` has moved on since.
+    WriteConflict {
+        /// Version the losing transaction was based on.
+        base: u32,
+        /// Latest committed version at commit time.
+        latest: u32,
     },
 }
 
@@ -151,6 +164,13 @@ impl std::fmt::Display for StoreError {
             StoreError::Corrupt { page: None, what } => write!(f, "corrupt page data: {what}"),
             StoreError::Injected { transient: true } => write!(f, "injected transient fault"),
             StoreError::Injected { transient: false } => write!(f, "injected permanent fault"),
+            StoreError::VersionNotRetained(v) => {
+                write!(f, "snapshot version {v} is no longer retained")
+            }
+            StoreError::WriteConflict { base, latest } => write!(
+                f,
+                "write conflict: transaction based on version {base} but latest is {latest}"
+            ),
         }
     }
 }

@@ -17,15 +17,35 @@
 
 use crate::journal::Journal;
 use crate::pool::PageStore;
-use crate::{BufferPool, PageId, Result, PAGE_SIZE};
+use crate::versioned::{VersionInfo, VersionedStore};
+use crate::{BufferPool, PageId, Result, StoreError, PAGE_SIZE};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// How the transaction's batch reaches disk at commit.
+enum Mode {
+    /// Direct journal commit: images overwrite their home pages.
+    Plain(Journal),
+    /// MVCC commit through a [`VersionedStore`]: mutated pages are
+    /// copied-on-write to fresh physical pages and published as the next
+    /// version; reads translate through `base`, the latest version at
+    /// begin time.
+    Versioned {
+        store: Arc<VersionedStore>,
+        base: Arc<VersionInfo>,
+    },
+}
 
 /// An uncommitted batch of page writes against a pool.
 pub struct Txn<'p> {
     pool: &'p BufferPool,
-    journal: Journal,
+    mode: Mode,
     writes: Mutex<HashMap<PageId, Box<[u8]>>>,
+    /// Pages allocated inside this transaction. Only consulted by the
+    /// versioned commit path (fresh pages are written in place: no older
+    /// version can reference them).
+    fresh: Mutex<HashSet<PageId>>,
 }
 
 impl<'p> Txn<'p> {
@@ -33,9 +53,26 @@ impl<'p> Txn<'p> {
     pub fn begin(pool: &'p BufferPool, journal: Journal) -> Txn<'p> {
         Txn {
             pool,
-            journal,
+            mode: Mode::Plain(journal),
             writes: Mutex::new(HashMap::new()),
+            fresh: Mutex::new(HashSet::new()),
         }
+    }
+
+    /// Starts an empty transaction against a [`VersionedStore`]. Reads
+    /// translate through the latest version at begin time; commit
+    /// publishes the batch as the next version via copy-on-write.
+    pub fn begin_versioned(store: &'p Arc<VersionedStore>) -> Result<Txn<'p>> {
+        let base = store.latest_info();
+        Ok(Txn {
+            pool: store.pool(),
+            mode: Mode::Versioned {
+                store: Arc::clone(store),
+                base,
+            },
+            writes: Mutex::new(HashMap::new()),
+            fresh: Mutex::new(HashSet::new()),
+        })
     }
 
     /// Number of distinct pages written so far.
@@ -43,17 +80,59 @@ impl<'p> Txn<'p> {
         self.writes.lock().len()
     }
 
-    /// Atomically applies every buffered write via the journal. On `Ok`
-    /// the batch is durable; on `Err` the on-disk state is either fully
-    /// rolled forward by the next [`Journal::open`] or untouched.
-    pub fn commit(self) -> Result<()> {
-        let writes = self.writes.into_inner();
-        if writes.is_empty() {
-            return Ok(());
+    /// The version this transaction reads through, when versioned.
+    pub fn base_version(&self) -> Option<u32> {
+        match &self.mode {
+            Mode::Plain(_) => None,
+            Mode::Versioned { base, .. } => Some(base.version()),
         }
-        let mut batch: Vec<(PageId, Box<[u8]>)> = writes.into_iter().collect();
-        batch.sort_by_key(|(page, _)| *page);
-        self.journal.commit(self.pool, &batch)
+    }
+
+    /// Atomically applies every buffered write. Plain transactions go
+    /// through the journal's all-or-nothing protocol onto their home
+    /// pages; versioned transactions publish a new version (see
+    /// [`Txn::commit_versioned`] to learn its number).
+    pub fn commit(self) -> Result<()> {
+        match self.mode {
+            Mode::Plain(journal) => {
+                let writes = self.writes.into_inner();
+                if writes.is_empty() {
+                    return Ok(());
+                }
+                let mut batch: Vec<(PageId, Box<[u8]>)> = writes.into_iter().collect();
+                batch.sort_by_key(|(page, _)| *page);
+                journal.commit(self.pool, &batch)
+            }
+            Mode::Versioned { store, base } => store
+                .commit_txn(
+                    self.writes.into_inner(),
+                    &self.fresh.into_inner(),
+                    base.version(),
+                )
+                .map(|_| ()),
+        }
+    }
+
+    /// Like [`Txn::commit`], but returns the committed version number.
+    /// Errors on a plain (unversioned) transaction.
+    pub fn commit_versioned(self) -> Result<u32> {
+        match self.mode {
+            Mode::Plain(_) => Err(StoreError::corrupt("transaction is not versioned")),
+            Mode::Versioned { store, base } => store.commit_txn(
+                self.writes.into_inner(),
+                &self.fresh.into_inner(),
+                base.version(),
+            ),
+        }
+    }
+
+    /// Physical page backing `id` for this transaction's reads: the
+    /// base-version translation when versioned, identity otherwise.
+    fn read_page(&self, id: PageId) -> PageId {
+        match &self.mode {
+            Mode::Plain(_) => id,
+            Mode::Versioned { base, .. } => base.translate(id),
+        }
     }
 }
 
@@ -64,7 +143,7 @@ impl PageStore for Txn<'_> {
             return Ok(f(image));
         }
         drop(writes);
-        self.pool.with_page(id, f)
+        self.pool.with_page(self.read_page(id), f)
     }
 
     fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
@@ -74,7 +153,9 @@ impl PageStore for Txn<'_> {
         }
         // Copy-on-write: pull the current image from the pool, mutate the
         // private copy.
-        let mut image = self.pool.with_page(id, |b| b.to_vec().into_boxed_slice())?;
+        let mut image = self
+            .pool
+            .with_page(self.read_page(id), |b| b.to_vec().into_boxed_slice())?;
         let out = f(&mut image);
         writes.insert(id, image);
         Ok(out)
@@ -85,6 +166,7 @@ impl PageStore for Txn<'_> {
         self.writes
             .lock()
             .insert(id, vec![0u8; PAGE_SIZE].into_boxed_slice());
+        self.fresh.lock().insert(id);
         Ok(id)
     }
 }

@@ -242,3 +242,42 @@ assert any(r["clients"] >= 32 for r in rep["rows"]), "no >=32-client level"
 print(f"validated {len(rep['rows'])} serving rows, "
       f"max level {max(r['clients'] for r in rep['rows'])} clients")
 EOF
+
+# MVCC gate (DESIGN.md §15): scripted and threaded interleavings of
+# versioned insert/delete commits against concurrently pinned snapshot
+# readers. Every pinned reader must stay byte-identical to brute force
+# over its snapshot's point set, aborts must leave nothing pinned, and
+# aged-out versions must fail pin with the typed error. Independent seed
+# for the same budget-isolation reason as the classes above.
+cargo run --release -p checker --bin fuzz -- --class interleave --seed 0x171E --cases 200
+
+# The committed MVCC artifact must stay schema-valid, keep both phases
+# failure-free, and keep the readers-not-blocked headline: reader p95
+# with an active writer within 25% of the read-only p95 (the two modes
+# run interleaved, so machine noise lands on both evenly). Regenerate
+# with `figures mvcc --json results` (offline:
+# target/devcheck/bin/figures mvcc --json results).
+python3 - results/BENCH_mvcc.json <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+assert rep["id"] == "BENCH_mvcc"
+assert rep["n"] >= 1 and rep["k"] >= 1 and rep["keep"] >= 1
+req = {"mode", "readers", "queries", "failed", "writer_commits",
+       "wall_seconds", "throughput_qps", "p50_us", "p95_us", "p99_us"}
+modes = {}
+assert rep["rows"], "no rows"
+for row in rep["rows"]:
+    assert req <= row.keys(), f"missing fields: {req - row.keys()}"
+    assert row["failed"] == 0, f"failed snapshot queries: {row}"
+    assert row["queries"] > 0 and row["readers"] > 0, f"empty phase: {row}"
+    assert row["p50_us"] <= row["p95_us"] <= row["p99_us"], f"quantile order: {row}"
+    modes[row["mode"]] = row
+assert set(modes) == {"read_only", "with_writer"}, f"modes: {set(modes)}"
+assert modes["with_writer"]["writer_commits"] > 0, "writer never committed"
+ratio = rep["reader_p95_ratio"]
+assert abs(ratio - modes["with_writer"]["p95_us"] / modes["read_only"]["p95_us"]) < 1e-9
+assert ratio <= 1.25, \
+    f"readers blocked by writer: p95 ratio {ratio:.3f} > 1.25"
+print(f"validated MVCC rows: {modes['with_writer']['writer_commits']} commits "
+      f"during reads, p95 ratio {ratio:.3f}")
+EOF
