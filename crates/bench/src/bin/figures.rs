@@ -7,6 +7,9 @@
 //!   fig3a | fig3a-synthetic | fig3b | fig4 | fig5 | fig6
 //!   ablation-traversal | ablation-mbr | extra-mnn
 //!   parallel-scaling    thread-scaling study (BENCH_parallel_scaling.json)
+//!   parallel-join       morsel-engine sweep: every algorithm x threads
+//!                       {1,2,4,8} x uniform/clustered, byte-diffed vs
+//!                       serial (BENCH_parallel_join.json)
 //!   kernels             batched-kernel throughput study (BENCH_kernels.json)
 //!   robustness          resilience fault-free-overhead study (BENCH_robustness.json)
 //!   outofcore           streaming-build + prefetch sweep (BENCH_outofcore.json);
@@ -108,7 +111,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: figures <fig3a|fig3a-synthetic|fig3b|fig4|fig5|fig6|\
      ablation-traversal|ablation-mbr|ablation-packing|extra-mnn|extra-hnn|extra-parallel|\
-     parallel-scaling|kernels|robustness|outofcore|serving|mvcc|all|list-datasets> \
+     parallel-scaling|parallel-join|kernels|robustness|outofcore|serving|mvcc|all|list-datasets> \
      [--scale F] [--full] [--json DIR] [--trace DIR] \
      [--points N] [--pool-pages P] [--seed S]"
         .to_string()
@@ -125,6 +128,16 @@ fn emit(fig: Figure, json_dir: &Option<PathBuf>) {
 }
 
 fn emit_scaling(rep: ann_bench::report::ScalingReport, json_dir: &Option<PathBuf>) {
+    print!("{}", rep.render());
+    println!();
+    if let Some(dir) = json_dir {
+        if let Err(e) = rep.write_json(dir) {
+            eprintln!("warning: could not write JSON for {}: {e}", rep.id);
+        }
+    }
+}
+
+fn emit_parallel_join(rep: ann_bench::report::ParallelJoinReport, json_dir: &Option<PathBuf>) {
     print!("{}", rep.render());
     println!();
     if let Some(dir) = json_dir {
@@ -218,6 +231,7 @@ fn main() -> ExitCode {
         "ablation-packing" => emit(figures::ablation_packing(f), &args.json_dir),
         "extra-parallel" => emit(figures::extra_parallel(f), &args.json_dir),
         "parallel-scaling" => emit_scaling(figures::parallel_scaling(f), &args.json_dir),
+        "parallel-join" => emit_parallel_join(figures::parallel_join(f), &args.json_dir),
         "kernels" => emit_kernels(figures::kernels_bench(f), &args.json_dir),
         "robustness" => emit_robustness(figures::robustness_bench(f), &args.json_dir),
         "outofcore" => emit_outofcore(figures::outofcore(f, &args.outofcore), &args.json_dir),
@@ -228,6 +242,7 @@ fn main() -> ExitCode {
                 emit(fig, &args.json_dir);
             }
             emit_scaling(figures::parallel_scaling(f), &args.json_dir);
+            emit_parallel_join(figures::parallel_join(f), &args.json_dir);
             emit_kernels(figures::kernels_bench(f), &args.json_dir);
             emit_robustness(figures::robustness_bench(f), &args.json_dir);
             emit_serving(figures::serving(f), &args.json_dir);

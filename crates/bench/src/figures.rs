@@ -499,6 +499,102 @@ pub fn parallel_scaling(fraction: f64) -> crate::report::ScalingReport {
     report
 }
 
+/// The morsel-engine scaling study (`BENCH_parallel_join.json`): every
+/// algorithm variant through the unified [`AnnRequest`] entrypoint with
+/// [`threads`](ann_core::query::AnnRequest::threads) at 1/2/4/8, on a
+/// uniform and a clustered dataset, each row byte-diffed against its own
+/// single-thread run. The identity bit is the load-bearing output: the
+/// work-stealing engine must produce the exact serial pair set at every
+/// thread count, on every workload shape. CI validates the schema and
+/// the identity bits unconditionally, and the 4-thread speedup only when
+/// `ANN_ASSERT_SPEEDUP=1` (wall clock is meaningless on 1-core hosts).
+///
+/// [`AnnRequest`]: ann_core::query::AnnRequest
+pub fn parallel_join(fraction: f64) -> crate::report::ParallelJoinReport {
+    use crate::report::{ParallelJoinReport, ParallelJoinRow};
+    use ann_core::prelude::*;
+    use ann_mbrqt::{Mbrqt, MbrqtConfig};
+    use ann_rstar::{RStar, RStarConfig};
+    use ann_store::{BufferPool, MemDisk};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let n = scaled(40_000, fraction);
+    let k = 2;
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let mut report = ParallelJoinReport {
+        id: "BENCH_parallel_join".into(),
+        workload: format!(
+            "2D self-join AkNN (k={k}, |R|=|S|={n}, warm pool): every \
+             algorithm at 1/2/4/8 request threads, byte-diffed vs serial"
+        ),
+        host_cores: cores,
+        k,
+        rows: Vec::new(),
+    };
+
+    // Canonical pair bytes: the engine's guarantee is about the result
+    // set, not the timing-dependent I/O counters.
+    let canon = |out: &AnnOutput| -> Vec<(u64, u64, u64)> {
+        let mut o = out.clone();
+        o.sort();
+        o.results
+            .iter()
+            .map(|p| (p.r_oid, p.s_oid, p.dist.to_bits()))
+            .collect()
+    };
+
+    let datasets: Vec<(&str, Vec<(u64, ann_geom::Point<2>)>)> = vec![
+        ("uniform", ann_datagen::uniform::<2>(n, SEED)),
+        ("clustered", ann_datagen::gaussian_clusters::<2>(n, 24, 0.02, SEED)),
+    ];
+    let variants: Vec<(&str, Algorithm)> = vec![
+        ("mba", Algorithm::mba()),
+        ("bnn", Algorithm::Bnn { group_size: 256 }),
+        ("mnn", Algorithm::Mnn),
+        ("hnn", Algorithm::hnn()),
+    ];
+
+    for (ds_name, data) in &datasets {
+        let pool = Arc::new(BufferPool::new(MemDisk::new(), 4_096));
+        let ir = Mbrqt::bulk_build(pool.clone(), data, &MbrqtConfig::default()).expect("build R");
+        let is = RStar::bulk_build(pool, data, &RStarConfig::default()).expect("build S");
+        for (name, alg) in &variants {
+            let run_one = |threads: usize| -> (AnnOutput, f64) {
+                let t0 = Instant::now();
+                let out = AnnRequest::new(*alg)
+                    .k(k)
+                    .exclude_self(true)
+                    .threads(threads)
+                    .run(Input::Index(&ir), Input::Index(&is))
+                    .expect("fault-free run");
+                (out, t0.elapsed().as_secs_f64())
+            };
+            // Warm every cache before anything is timed.
+            let (warm, _) = run_one(1);
+            let reference = canon(&warm);
+            let mut wall_1t = None;
+            for threads in [1usize, 2, 4, 8] {
+                let (out, wall) = run_one(threads);
+                let wall_1t = *wall_1t.get_or_insert(wall);
+                report.rows.push(ParallelJoinRow {
+                    algorithm: name.to_string(),
+                    dataset: ds_name.to_string(),
+                    n,
+                    threads,
+                    wall_seconds: wall,
+                    speedup_vs_serial: wall_1t / wall,
+                    result_pairs: out.results.len(),
+                    byte_identical: canon(&out) == reference,
+                });
+            }
+        }
+    }
+    report
+}
+
 /// SplitMix64 step — a tiny deterministic generator so the kernels study
 /// (and its offline mirror under `target/devcheck`) needs no RNG crate.
 fn splitmix_next(state: &mut u64) -> u64 {
@@ -1445,8 +1541,14 @@ pub fn serving(fraction: f64) -> crate::report::ServingReport {
     spec.k = k;
     spec.exclude_self = true;
 
-    // Library-side reference, canonicalized to "pairs only".
-    let pairs_only = |results: Vec<ann_core::stats::NeighborPair>| {
+    // Library-side reference, canonicalized to "pairs only" in the
+    // server's canonical `(r_oid, dist, s_oid)` wire order.
+    let pairs_only = |mut results: Vec<ann_core::stats::NeighborPair>| {
+        results.sort_by(|a, b| {
+            (a.r_oid, a.dist, a.s_oid)
+                .partial_cmp(&(b.r_oid, b.dist, b.s_oid))
+                .expect("distances are finite")
+        });
         QueryOutcome {
             results,
             stats: AnnStats::default(),
@@ -1470,6 +1572,7 @@ pub fn serving(fraction: f64) -> crate::report::ServingReport {
         queue_depth,
         data_dir: data_dir.clone(),
         pool_frames: 2_048,
+        compute_tokens: 0,
     })
     .expect("server starts");
     let client = Client::new(server.addr().to_string());

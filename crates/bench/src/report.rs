@@ -565,6 +565,86 @@ impl ServingReport {
     }
 }
 
+/// One cell of the morsel-engine scaling study (`BENCH_parallel_join`):
+/// one algorithm variant on one dataset at one thread count, always
+/// diffed against its own single-thread run.
+#[derive(Clone, Debug, Serialize)]
+pub struct ParallelJoinRow {
+    /// Algorithm variant (`"mba"`, `"bnn"`, `"mnn"`, `"hnn"`, ...).
+    pub algorithm: String,
+    /// Dataset family: `"uniform"` or `"clustered"`.
+    pub dataset: String,
+    /// Points per side of the self-join.
+    pub n: usize,
+    /// Worker threads requested via `AnnRequest::threads`.
+    pub threads: usize,
+    /// Wall-clock seconds for the join (best of the timed repeats).
+    pub wall_seconds: f64,
+    /// Wall(1 thread, same variant+dataset) / wall(this row).
+    pub speedup_vs_serial: f64,
+    /// Result pairs produced (sanity: identical on every row of a
+    /// variant+dataset group).
+    pub result_pairs: usize,
+    /// Whether this row's sorted `(r_oid, s_oid, dist-bits)` output
+    /// matched the single-thread run exactly (must always be `true`;
+    /// trivially so on the 1-thread rows).
+    pub byte_identical: bool,
+}
+
+/// The morsel-driven parallel-join figure: every algorithm variant
+/// through the unified entrypoint at 1/2/4/8 worker threads on uniform
+/// and clustered data, each row byte-diffed against its serial twin.
+/// Emitted as `BENCH_parallel_join.json`; CI gates on the identity bit
+/// on every row and (opt-in) on the 4-thread speedup.
+#[derive(Clone, Debug, Serialize)]
+pub struct ParallelJoinReport {
+    /// Output id (`BENCH_parallel_join` — also the JSON file stem).
+    pub id: String,
+    /// Human description of the workload.
+    pub workload: String,
+    /// Cores the host reported; speedup flattens beyond this.
+    pub host_cores: usize,
+    /// Neighbors per point requested.
+    pub k: usize,
+    /// One row per (algorithm, dataset, thread count).
+    pub rows: Vec<ParallelJoinRow>,
+}
+
+impl ParallelJoinReport {
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.workload));
+        out.push_str(&format!(
+            "{:<8} {:<10} {:>8} {:>7} {:>9} {:>8} {:>8} {:>9}\n",
+            "variant", "dataset", "n", "threads", "wall(s)", "speedup", "pairs", "identical"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<8} {:<10} {:>8} {:>7} {:>9.3} {:>7.2}x {:>8} {:>9}\n",
+                r.algorithm,
+                r.dataset,
+                r.n,
+                r.threads,
+                r.wall_seconds,
+                r.speedup_vs_serial,
+                r.result_pairs,
+                if r.byte_identical { "ok" } else { "DIFF" },
+            ));
+        }
+        out
+    }
+
+    /// Writes the report as JSON under `dir/<id>.json`.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(path)?;
+        let body = serde_json::to_string_pretty(self).expect("serializable");
+        f.write_all(body.as_bytes())
+    }
+}
+
 /// One MVCC reader-latency phase (`BENCH_mvcc`): a fixed pool of reader
 /// threads, each pinning a snapshot per query and running a full AkNN
 /// self-join against it, either on a quiescent store (`read_only`) or
@@ -716,6 +796,35 @@ mod tests {
             serde_json::from_str(&serde_json::to_string_pretty(&rep).unwrap()).unwrap();
         assert_eq!(parsed["rows"][0]["speedup"], 2.0);
         assert_eq!(parsed["rows"][0]["bit_identical"], true);
+    }
+
+    #[test]
+    fn parallel_join_report_renders_and_serializes() {
+        let rep = ParallelJoinReport {
+            id: "BENCH_parallel_join".into(),
+            workload: "test".into(),
+            host_cores: 4,
+            k: 2,
+            rows: vec![ParallelJoinRow {
+                algorithm: "mba".into(),
+                dataset: "clustered".into(),
+                n: 10_000,
+                threads: 4,
+                wall_seconds: 0.25,
+                speedup_vs_serial: 3.1,
+                result_pairs: 20_000,
+                byte_identical: true,
+            }],
+        };
+        let text = rep.render();
+        assert!(text.contains("BENCH_parallel_join"));
+        assert!(text.contains("clustered"));
+        assert!(text.contains("3.10x"));
+        let parsed: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string_pretty(&rep).unwrap()).unwrap();
+        assert_eq!(parsed["rows"][0]["threads"], 4);
+        assert_eq!(parsed["rows"][0]["byte_identical"], true);
+        assert_eq!(parsed["rows"][0]["speedup_vs_serial"], 3.1);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Seed-driven fuzz driver: `fuzz [--seed S] [--cases N] [--class C]`.
 //!
 //! `--class` is one of `diff`, `nxn`, `kernels`, `tree`, `recovery`, `faults`,
-//! `wire`, `interleave`, or `all`
+//! `wire`, `interleave`, `parallel`, or `all`
 //! (default). Exits non-zero when any case fails; every failure prints a
 //! minimal reproducer (and, for differential failures, the diverging
 //! run's `ExecutionReport` JSON).
@@ -40,13 +40,13 @@ fn parse_args() -> Result<Args, String> {
                     classes = Class::ALL.to_vec();
                 } else {
                     classes = vec![Class::parse(&v).ok_or_else(|| {
-                        format!("unknown class {v:?} (diff|nxn|kernels|tree|recovery|faults|wire|interleave|all)")
+                        format!("unknown class {v:?} (diff|nxn|kernels|tree|recovery|faults|wire|interleave|parallel|all)")
                     })?];
                 }
             }
             "--help" | "-h" => {
                 return Err("usage: fuzz [--seed S] [--cases N] \
-                            [--class diff|nxn|kernels|tree|recovery|faults|wire|interleave|all]"
+                            [--class diff|nxn|kernels|tree|recovery|faults|wire|interleave|parallel|all]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),

@@ -31,6 +31,13 @@
 //!   (`ann_core::QueryError`) with every pin released and a byte-identical
 //!   re-run, or a quarantined page that fails fast until healed — never a
 //!   panic, wrong answer, or poisoned pool.
+//! * [`Class::Parallel`] — the morsel-driven parallel engine (DESIGN.md
+//!   §16) is answer-invisible: every algorithm variant at
+//!   `threads ∈ {2, 3, 8}` reproduces its serial run byte-for-byte on
+//!   adversarial workloads, and a parallel query hit mid-flight by a
+//!   cancel, deadline, exhausted budget, or injected storage fault lands
+//!   in a typed [`QueryError`](ann_core::QueryError) with zero leaked
+//!   pins and a byte-identical cold re-run.
 //! * [`Class::Wire`] — the serving wire schema (DESIGN.md §14):
 //!   fuzz-generated [`QuerySpec`](ann_core::QuerySpec)s round-trip
 //!   `to_json → from_json` as the identity and byte-stably,
@@ -52,6 +59,7 @@ pub mod faults;
 pub mod gen;
 pub mod interleave;
 pub mod invariants;
+pub mod parallel;
 pub mod report;
 pub mod rng;
 pub mod shrink;
@@ -71,10 +79,11 @@ pub enum Class {
     Faults,
     Wire,
     Interleave,
+    Parallel,
 }
 
 impl Class {
-    pub const ALL: [Class; 8] = [
+    pub const ALL: [Class; 9] = [
         Class::Diff,
         Class::Nxn,
         Class::Kernels,
@@ -83,6 +92,7 @@ impl Class {
         Class::Faults,
         Class::Wire,
         Class::Interleave,
+        Class::Parallel,
     ];
 
     pub fn name(self) -> &'static str {
@@ -95,6 +105,7 @@ impl Class {
             Class::Faults => "faults",
             Class::Wire => "wire",
             Class::Interleave => "interleave",
+            Class::Parallel => "parallel",
         }
     }
 
@@ -142,6 +153,9 @@ pub fn run_class(class: Class, seed: u64, cases: usize) -> Vec<Failure> {
             // MVCC versioning is dimension-agnostic (it lives below the
             // node layer); the planar case exercises every code path.
             Class::Interleave => invariant_one::<2>(class, case_seed, i),
+            // Parallel dispatch is dimension-agnostic (morsels wrap the
+            // same traversals); the planar case covers every engine path.
+            Class::Parallel => invariant_one::<2>(class, case_seed, i),
         };
         failures.extend(f);
     }
@@ -168,6 +182,7 @@ fn splitmix_tag(class: Class) -> u64 {
         Class::Faults => 0xFA17,
         Class::Wire => 0x3133,
         Class::Interleave => 0x171E,
+        Class::Parallel => 0x9A7A,
     }
 }
 
@@ -210,6 +225,7 @@ fn invariant_one<const D: usize>(class: Class, case_seed: u64, index: usize) -> 
             Class::Faults => faults::check_faults_case(&mut rng),
             Class::Wire => invariants::check_wire_case(&mut rng),
             Class::Interleave => interleave::check_interleave_case(&mut rng),
+            Class::Parallel => parallel::check_parallel_case(&mut rng),
             Class::Diff => unreachable!("diff has its own driver"),
         }
     }));

@@ -241,6 +241,130 @@ where
     }
 }
 
+/// [`bnn_guarded`] with the group loop fanned out over the shared morsel
+/// engine ([`crate::par::run_workers`]).
+///
+/// Morsels are index ranges over the Hilbert-sorted query list with
+/// exactly the boundaries `slice::chunks(group_size)` would produce, so
+/// every parallel group is one of the serial groups: each group's
+/// traversal, heaps and bounds are fully self-contained in
+/// [`run_group`], which makes per-group results independent of
+/// scheduling. The engine's canonical merge then renders the output
+/// byte-identical to (sorted) serial at any thread count.
+pub fn bnn_parallel_guarded<const D: usize, M, IS>(
+    r: &[(u64, Point<D>)],
+    is: &IS,
+    cfg: &BnnConfig,
+    threads: usize,
+    tracer: Tracer<'_>,
+    guard: &QueryGuard<'_>,
+) -> QueryResult<AnnOutput>
+where
+    M: PruneMetric,
+    IS: SpatialIndex<D> + Sync,
+{
+    assert!(cfg.group_size >= 1, "group size must be at least 1");
+    if cfg.k == 0 {
+        guard.tick()?;
+        return Ok(AnnOutput::default());
+    }
+    let threads = crate::morsel::resolve_threads(threads);
+    if threads <= 1 {
+        let mut out =
+            bnn_guarded::<D, M, IS>(r, is, cfg, tracer, &mut QueryScratch::new(), guard)?;
+        out.sort();
+        return Ok(out);
+    }
+    let mut out = AnnOutput::default();
+    let io0 = is.pool().stats();
+    let io_now = || is.pool().stats();
+    let span_q = tracer.span_enter(Phase::Query, io_now);
+    let abort_phase = std::cell::Cell::new(Phase::Query.name());
+
+    let walk = (|out: &mut AnnOutput| -> QueryResult<()> {
+        guard.tick()?;
+        if r.is_empty() || is.num_points() == 0 {
+            return Ok(());
+        }
+        // The Hilbert sort stays serial (it is a tiny fraction of the
+        // join and its order defines the group boundaries).
+        let span_sort = tracer.span_enter(Phase::Sort, io_now);
+        let bounds = Mbr::from_points(r.iter().map(|(_, p)| p));
+        let mapper = GridMapper::new(bounds);
+        let mut sorted: Vec<&(u64, Point<D>)> = r.iter().collect();
+        sorted.sort_by_key(|(_, p)| mapper.hilbert_key(p));
+        tracer.span_exit(Phase::Sort, span_sort, io_now);
+
+        tracer.event(|| TraceEvent::Root {
+            side: Side::S,
+            page: is.root_page(),
+        });
+        let span_j = tracer.span_enter(Phase::Join, io_now);
+        abort_phase.set(Phase::Join.name());
+        let seeds = crate::morsel::chunk_ranges(sorted.len(), cfg.group_size);
+        let sorted = &sorted;
+        let (pout, err) = crate::par::run_workers(threads, seeds, tracer, |h| {
+            let mut scratch = QueryScratch::new();
+            let mut wout = AnnOutput::default();
+            let mut cutoff_total = 0u64;
+            let wt = h.tracer();
+            let join = (|| -> QueryResult<()> {
+                while let Some(range) = h.pop() {
+                    let group = run_group::<D, M, IS>(
+                        &sorted[range],
+                        is,
+                        cfg,
+                        &mut wout,
+                        wt,
+                        &mut cutoff_total,
+                        &mut scratch,
+                        guard,
+                    );
+                    h.complete();
+                    group?;
+                }
+                Ok(())
+            })();
+            // Per-worker prune summary: the sink sums the counts, so the
+            // merged totals equal the serial end-of-run summary.
+            if wt.enabled() {
+                for (reason, count) in [
+                    (PruneReason::OnProbe, wout.stats.pruned_on_probe),
+                    (PruneReason::HeapCutoff, cutoff_total),
+                ] {
+                    if count > 0 {
+                        wt.event(|| TraceEvent::Pruned {
+                            metric: M::NAME,
+                            reason,
+                            count,
+                        });
+                    }
+                }
+            }
+            (wout, join)
+        });
+        *out = pout;
+        tracer.span_exit(Phase::Join, span_j, io_now);
+        match err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    })(&mut out);
+    tracer.span_exit(Phase::Query, span_q, io_now);
+
+    out.stats.io = is.pool().stats().since(&io0);
+    match walk {
+        Ok(()) => Ok(out),
+        Err(e) => {
+            tracer.event(|| TraceEvent::QueryAborted {
+                reason: e.reason(),
+                phase: abort_phase.get(),
+            });
+            Err(attach_partial_stats(e, &out.stats))
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_group<const D: usize, M, IS>(
     group: &[&(u64, Point<D>)],

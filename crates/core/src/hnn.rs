@@ -342,6 +342,110 @@ pub fn hnn_guarded<const D: usize>(
     }
 }
 
+/// [`hnn_guarded`] with the per-point ring searches fanned out over the
+/// shared morsel engine ([`crate::par::run_workers`]).
+///
+/// The grid build stays serial (one pass over `S`, shared read-only by
+/// every worker); morsels are [`crate::morsel::POINT_MORSEL`]-sized
+/// slices of `R`. Each point's ring search touches only its own heap and
+/// buffers, so per-point results are independent of scheduling and the
+/// engine's canonical merge makes the output byte-identical to (sorted)
+/// serial at any thread count.
+pub fn hnn_parallel_guarded<const D: usize>(
+    r: &[(u64, Point<D>)],
+    s: &[(u64, Point<D>)],
+    cfg: &HnnConfig,
+    threads: usize,
+    tracer: Tracer<'_>,
+    guard: &QueryGuard<'_>,
+) -> QueryResult<AnnOutput> {
+    assert!(cfg.avg_cell_occupancy > 0.0);
+    let mut out = AnnOutput::default();
+    if cfg.k == 0 || r.is_empty() || s.is_empty() {
+        guard.tick()?;
+        return Ok(out);
+    }
+    let threads = crate::morsel::resolve_threads(threads);
+    if threads <= 1 {
+        let mut out = hnn_guarded(r, s, cfg, tracer, &mut QueryScratch::new(), guard)?;
+        out.sort();
+        return Ok(out);
+    }
+    let span_q = tracer.span_enter(Phase::Query, IoSnapshot::default);
+    let abort_phase = std::cell::Cell::new(Phase::Query.name());
+    let walk = (|out: &mut AnnOutput| -> QueryResult<()> {
+        guard.tick()?;
+        let span_b = tracer.span_enter(Phase::Build, IoSnapshot::default);
+        abort_phase.set(Phase::Build.name());
+        let grid = Grid::build(s, cfg.avg_cell_occupancy);
+        tracer.span_exit(Phase::Build, span_b, IoSnapshot::default);
+        let k_eff = cfg.k + usize::from(cfg.exclude_self);
+        let span_j = tracer.span_enter(Phase::Join, IoSnapshot::default);
+        abort_phase.set(Phase::Join.name());
+        let seeds = crate::morsel::chunk_ranges(r.len(), crate::morsel::POINT_MORSEL);
+        let grid = &grid;
+        let (pout, err) = crate::par::run_workers(threads, seeds, tracer, |h| {
+            let mut scratch = QueryScratch::new();
+            let mut wout = AnnOutput::default();
+            let mut rings_cut_total = 0u64;
+            let mut dist_buf = scratch.take_f64();
+            let wt = h.tracer();
+            let join = (|| -> QueryResult<()> {
+                while let Some(range) = h.pop() {
+                    let step = (|| -> QueryResult<()> {
+                        for &(r_oid, r_pt) in &r[range.clone()] {
+                            guard.tick()?;
+                            run_point(
+                                r_oid,
+                                r_pt,
+                                s,
+                                cfg,
+                                k_eff,
+                                grid,
+                                &mut wout,
+                                wt,
+                                &mut rings_cut_total,
+                                &mut dist_buf,
+                                &mut scratch,
+                            );
+                        }
+                        Ok(())
+                    })();
+                    h.complete();
+                    step?;
+                }
+                Ok(())
+            })();
+            scratch.put_f64(dist_buf);
+            if rings_cut_total > 0 {
+                wt.event(|| TraceEvent::Pruned {
+                    metric: "euclidean",
+                    reason: PruneReason::RingCutoff,
+                    count: rings_cut_total,
+                });
+            }
+            (wout, join)
+        });
+        *out = pout;
+        tracer.span_exit(Phase::Join, span_j, IoSnapshot::default);
+        match err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    })(&mut out);
+    tracer.span_exit(Phase::Query, span_q, IoSnapshot::default);
+    match walk {
+        Ok(()) => Ok(out),
+        Err(e) => {
+            tracer.event(|| TraceEvent::QueryAborted {
+                reason: e.reason(),
+                phase: abort_phase.get(),
+            });
+            Err(attach_partial_stats(e, &out.stats))
+        }
+    }
+}
+
 /// The ring search for one query point (the body of the [`hnn`] join
 /// loop, factored out so the guarded entrypoint stays readable).
 #[allow(clippy::too_many_arguments)]

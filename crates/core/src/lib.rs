@@ -52,8 +52,10 @@ pub mod knn;
 pub mod lpq;
 pub mod mba;
 pub mod mnn;
+pub mod morsel;
 pub mod node;
 pub mod node_cache;
+pub mod par;
 pub mod prelude;
 pub mod query;
 pub mod readahead;
@@ -69,7 +71,9 @@ pub use index::SpatialIndex;
 pub use node::{DecodedNode, Entry, Node, NodeColumns, NodeEntry, ObjectEntry};
 pub use scratch::QueryScratch;
 pub use snapshot::{MetaFields, MetaReader, ReadContext, VersionedHandle};
+pub use morsel::MorselPool;
 pub use node_cache::{NodeCache, NodeCacheStats};
+pub use par::{run_workers, WorkerHandle};
 pub use query::{Algorithm, AnnRequest, MetricChoice};
 pub use resilience::{BudgetKind, CancelToken, QueryError, QueryGuard, QueryResult};
 pub use stats::{AnnOutput, AnnStats, NeighborPair};

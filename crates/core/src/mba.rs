@@ -26,7 +26,7 @@ use crate::lpq::{distances_within, Lpq, QueuedEntry};
 use crate::node::{DecodedNode, Entry, NodeEntry};
 use crate::resilience::{attach_partial_stats, QueryError, QueryGuard, QueryResult};
 use crate::scratch::QueryScratch;
-use crate::stats::{AnnOutput, AtomicAnnStats, NeighborPair};
+use crate::stats::{AnnOutput, NeighborPair};
 use crate::trace::{Phase, PruneReason, Side, TraceEvent, Tracer};
 use ann_geom::{kernels, PruneMetric};
 use std::collections::VecDeque;
@@ -386,6 +386,35 @@ impl<'a, const D: usize, M: PruneMetric, IS: SpatialIndex<D>> Ctx<'a, D, M, IS> 
         walk
     }
 
+    /// One parallel morsel: object-owned LPQs and small node-owned
+    /// subtrees are finished inline with the exact serial recursion
+    /// ([`Ctx::dfbi`]); a large node-owned subtree is split by one
+    /// `ExpandAndPrune` step, its child LPQs published to the pool as
+    /// fresh stealable morsels. Each child inherits the parent's bound at
+    /// creation and never reads shared mutable state afterwards, so its
+    /// results are identical no matter which worker runs it, or when.
+    fn morsel_step<IR: SpatialIndex<D>>(
+        &mut self,
+        ir: &IR,
+        guard: &QueryGuard<'_>,
+        lpq: Lpq<D>,
+        children: &mut VecDeque<Lpq<D>>,
+        h: &crate::par::WorkerHandle<'_, Lpq<D>>,
+    ) -> QueryResult<()> {
+        let split = match lpq.owner {
+            Entry::Object(_) => false,
+            Entry::Node(n) => n.count > crate::morsel::INLINE_SUBTREE_OBJECTS,
+        };
+        if !split {
+            return self.dfbi(ir, guard, lpq);
+        }
+        self.expand_and_prune(ir, guard, lpq, children)?;
+        for child in children.drain(..) {
+            h.push(child);
+        }
+        Ok(())
+    }
+
     /// Emits this context's prune-reason breakdown. Safe to call from
     /// several worker contexts sharing one sink: the sink sums the counts.
     fn emit_prune_summary(&self) {
@@ -695,14 +724,24 @@ where
     mba_parallel_guarded::<D, M, IR, IS>(ir, is, cfg, threads, tracer, &QueryGuard::disabled())
 }
 
-/// [`mba_parallel_traced`] under a [`QueryGuard`].
+/// [`mba_parallel_traced`] under a [`QueryGuard`] — a thin delegate onto
+/// the shared morsel engine ([`crate::par::run_workers`]).
+///
+/// The engine is seeded with the single root LPQ; workers split
+/// node-owned subtrees on demand, one `ExpandAndPrune` step at a time,
+/// publishing child LPQs as stealable morsels until a subtree falls at or
+/// under [`crate::morsel::INLINE_SUBTREE_OBJECTS`] objects and is
+/// finished inline with the exact serial recursion. Skewed data
+/// therefore rebalances continuously instead of depending on the top
+/// tree levels being uniform (the old static `threads * 16` seeding
+/// split, which this replaces).
 ///
 /// The guard's counters are interior atomics, so the one guard is shared
 /// by every worker: a deadline, cancellation or budget trip observed by
-/// any worker is observed by all of them within one node expansion. The
-/// first error (in worker index order) is the one reported; its partial
-/// stats cover the seeding phase plus every worker that completed or
-/// aborted cleanly enough to fold its tallies.
+/// any worker aborts the pool and is observed by all of them within one
+/// morsel step. The first error (in worker index order) is the one
+/// reported; its partial stats cover the seeding probe plus every worker
+/// that folded its tallies before unwinding.
 pub fn mba_parallel_guarded<const D: usize, M, IR, IS>(
     ir: &IR,
     is: &IS,
@@ -720,13 +759,15 @@ where
         guard.tick()?;
         return Ok(AnnOutput::default());
     }
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    };
+    let threads = crate::morsel::resolve_threads(threads);
+    if threads <= 1 {
+        let mut out =
+            mba_guarded::<D, M, IR, IS>(ir, is, cfg, tracer, &mut QueryScratch::new(), guard)?;
+        // The parallel contract promises canonical output order; the
+        // serial traversal emits in discovery order.
+        out.sort();
+        return Ok(out);
+    }
 
     let io_r0 = ir.pool().stats();
     let shared_pool = std::ptr::eq(
@@ -757,15 +798,12 @@ where
         });
         let span_seed = tracer.span_enter(Phase::Seed, io_now);
         abort_phase.set(Phase::Seed.name());
-        // Serial seeding phase: expand breadth-first until there are
-        // enough independent LPQ subtrees to keep the workers busy.
-        // Spatial data is heavy-tailed (a few dense cells own most of the
-        // points), so a single root expansion rarely yields balanced
-        // units; descending a couple of levels does.
+        // Serial seeding is now minimal: one root LPQ, probed with the
+        // I_S root. All further splitting happens dynamically inside the
+        // workers, so skew rebalances continuously via stealing.
         let mut seed_scratch = QueryScratch::new();
         let mut ctx: Ctx<D, M, IS> = Ctx::new(is, cfg, tracer, &mut seed_scratch);
-        let mut queue = VecDeque::new();
-        let seeded = (|ctx: &mut Ctx<D, M, IS>| -> QueryResult<()> {
+        let seeded = (|ctx: &mut Ctx<D, M, IS>| -> QueryResult<Lpq<D>> {
             guard.tick()?;
             let root_owner = Entry::Node(NodeEntry {
                 page: ir.root_page(),
@@ -783,112 +821,47 @@ where
                     mbr: is.bounds(),
                 }),
             );
-            let target_units = threads * 16;
-            queue.push_back(root_lpq);
-            while queue.len() < target_units {
-                // Only node-owned LPQs can be expanded into more units.
-                let Some(at) = queue.iter().position(|l| matches!(l.owner, Entry::Node(_)))
-                else {
-                    break;
-                };
-                let Some(lpq) = queue.remove(at) else { break };
-                ctx.expand_and_prune(ir, guard, lpq, &mut queue)?;
-            }
-            Ok(())
+            Ok(root_lpq)
         })(&mut ctx);
         ctx.emit_prune_summary();
         tracer.span_exit(Phase::Seed, span_seed, io_now);
-        // Per-thread counters fold into one set of relaxed atomics —
-        // workers tally locally (no synchronization in the traversal) and
-        // add their totals on exit, the seeding phase included.
-        let shared_stats = AtomicAnnStats::new();
         let seed_out = ctx.finish();
-        shared_stats.add(&seed_out.stats);
         let seed_stats = seed_out.stats;
         out.results = seed_out.results;
 
         match seeded {
             Err(e) => {
-                drop(queue);
                 out.stats = seed_stats;
                 failure = Some(e);
             }
-            Ok(()) => {
+            Ok(root_lpq) => {
                 let span_j = tracer.span_enter(Phase::Join, io_now);
                 abort_phase.set(Phase::Join.name());
-                // Dynamic scheduling: workers pull the next unit from a
-                // shared queue, so one dense subtree cannot starve the rest.
-                let work = std::sync::Mutex::new(queue);
-                let shared_stats = &shared_stats;
-                let results: Vec<
-                    QueryResult<(Vec<crate::stats::NeighborPair>, crate::stats::AnnStats)>,
-                > = crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..threads)
-                        .map(|_| {
-                            scope.spawn(
-                                |_| -> QueryResult<(
-                                    Vec<crate::stats::NeighborPair>,
-                                    crate::stats::AnnStats,
-                                )> {
-                                    let mut scratch = QueryScratch::new();
-                                    let mut ctx: Ctx<D, M, IS> =
-                                        Ctx::new(is, cfg, tracer, &mut scratch);
-                                    let walk = loop {
-                                        let unit = work
-                                            .lock()
-                                            .unwrap_or_else(|e| e.into_inner())
-                                            .pop_front();
-                                        match unit {
-                                            Some(lpq) => {
-                                                if let Err(e) = ctx.dfbi(ir, guard, lpq) {
-                                                    break Err(e);
-                                                }
-                                            }
-                                            None => break Ok(()),
-                                        }
-                                    };
-                                    // Even an aborting worker folds its tallies
-                                    // and emits its prune summary, so partial
-                                    // stats account for all work actually done.
-                                    ctx.emit_prune_summary();
-                                    let wout = ctx.finish();
-                                    shared_stats.add(&wout.stats);
-                                    walk.map(|()| (wout.results, wout.stats))
-                                },
-                            )
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("worker thread panicked"))
-                        .collect()
-                })
-                .expect("crossbeam scope");
-
-                // The atomic fold and the per-worker returns are two accounts
-                // of the same work; they must agree exactly (the seeding phase
-                // and the workers never race on a counter they both own).
-                let mut per_worker_sum = seed_stats;
-                let mut complete = true;
-                for r in results {
-                    match r {
-                        Ok((pairs, worker_stats)) => {
-                            out.results.extend(pairs);
-                            per_worker_sum.merge(&worker_stats);
-                        }
-                        Err(e) => {
-                            complete = false;
-                            if failure.is_none() {
-                                failure = Some(e);
+                let (pout, err) =
+                    crate::par::run_workers(threads, vec![root_lpq], tracer, |h| {
+                        let mut scratch = QueryScratch::new();
+                        let mut ctx: Ctx<D, M, IS> = Ctx::new(is, cfg, h.tracer(), &mut scratch);
+                        let mut children = VecDeque::new();
+                        let walk = (|| -> QueryResult<()> {
+                            while let Some(lpq) = h.pop() {
+                                let step = ctx.morsel_step(ir, guard, lpq, &mut children, &h);
+                                h.complete();
+                                step?;
                             }
+                            Ok(())
+                        })();
+                        // On abort unpublished children recycle into the
+                        // worker's arena before the tallies fold.
+                        for lpq in children.drain(..) {
+                            ctx.scratch.put_entries(lpq.into_storage());
                         }
-                    }
-                }
-                out.stats = shared_stats.load();
-                debug_assert!(
-                    !complete || out.stats == per_worker_sum,
-                    "atomic fold diverged from the sum of per-worker stats"
-                );
+                        ctx.emit_prune_summary();
+                        (ctx.finish(), walk)
+                    });
+                out.results.extend(pout.results);
+                out.stats = pout.stats;
+                out.stats.merge(&seed_stats);
+                failure = err;
                 tracer.span_exit(Phase::Join, span_j, io_now);
             }
         }

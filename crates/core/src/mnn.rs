@@ -221,6 +221,220 @@ where
     }
 }
 
+/// [`mnn_guarded`] with the `I_R` walk fanned out over the shared morsel
+/// engine ([`crate::par::run_workers`]).
+///
+/// A morsel is one `I_R` subtree, `(page, object count)`. Subtrees at or
+/// under [`crate::morsel::INLINE_SUBTREE_OBJECTS`] objects are walked
+/// inline exactly like the serial loop; larger ones expand one node and
+/// publish each child subtree as a stealable morsel, running the node's
+/// object entries' kNN searches in place. Every per-object search is
+/// self-contained (own heap, own bound), so results are independent of
+/// scheduling and the engine's canonical merge makes the output
+/// byte-identical to (sorted) serial at any thread count.
+pub fn mnn_parallel_guarded<const D: usize, M, IR, IS>(
+    ir: &IR,
+    is: &IS,
+    cfg: &MnnConfig,
+    threads: usize,
+    tracer: Tracer<'_>,
+    guard: &QueryGuard<'_>,
+) -> QueryResult<AnnOutput>
+where
+    M: PruneMetric,
+    IR: SpatialIndex<D> + Sync,
+    IS: SpatialIndex<D> + Sync,
+{
+    if cfg.k == 0 {
+        guard.tick()?;
+        return Ok(AnnOutput::default());
+    }
+    let threads = crate::morsel::resolve_threads(threads);
+    if threads <= 1 {
+        let mut out =
+            mnn_guarded::<D, M, IR, IS>(ir, is, cfg, tracer, &mut QueryScratch::new(), guard)?;
+        out.sort();
+        return Ok(out);
+    }
+    let mut out = AnnOutput::default();
+    let io_r0 = ir.pool().stats();
+    let shared_pool = std::ptr::eq(
+        ir.pool() as *const _ as *const u8,
+        is.pool() as *const _ as *const u8,
+    );
+    let io_s0 = is.pool().stats();
+    let io_now = || {
+        let mut io = ir.pool().stats();
+        if !shared_pool {
+            io = io.merge(&is.pool().stats());
+        }
+        io
+    };
+    let span_q = tracer.span_enter(Phase::Query, io_now);
+    let abort_phase = std::cell::Cell::new(Phase::Query.name());
+
+    let walk = (|out: &mut AnnOutput| -> QueryResult<()> {
+        guard.tick()?;
+        if ir.num_points() == 0 || is.num_points() == 0 {
+            return Ok(());
+        }
+        tracer.event(|| TraceEvent::Root {
+            side: Side::R,
+            page: ir.root_page(),
+        });
+        tracer.event(|| TraceEvent::Root {
+            side: Side::S,
+            page: is.root_page(),
+        });
+        let span_j = tracer.span_enter(Phase::Join, io_now);
+        abort_phase.set(Phase::Join.name());
+        let seeds = vec![(ir.root_page(), ir.num_points())];
+        let (pout, err) = crate::par::run_workers(threads, seeds, tracer, |h| {
+            let mut scratch = QueryScratch::new();
+            let mut wout = AnnOutput::default();
+            let mut cutoff_total = 0u64;
+            let wt = h.tracer();
+            let join = (|| -> QueryResult<()> {
+                while let Some((page, count)) = h.pop() {
+                    let step = (|| -> QueryResult<()> {
+                        if count <= crate::morsel::INLINE_SUBTREE_OBJECTS {
+                            return mnn_subtree::<D, M, IR, IS>(
+                                ir,
+                                is,
+                                page,
+                                cfg,
+                                &mut wout,
+                                wt,
+                                &mut cutoff_total,
+                                &mut scratch,
+                                guard,
+                            );
+                        }
+                        guard.tick()?;
+                        let node = ir.read_node_cached(page)?;
+                        wout.stats.r_nodes_expanded += 1;
+                        wt.node_expanded(Side::R, page, &node.entries);
+                        for e in &node.entries {
+                            match e {
+                                Entry::Node(n) => h.push((n.page, n.count)),
+                                Entry::Object(o) => {
+                                    knn_search::<D, M, IS>(
+                                        is,
+                                        o.oid,
+                                        &o.point,
+                                        cfg,
+                                        &mut wout,
+                                        wt,
+                                        &mut cutoff_total,
+                                        &mut scratch,
+                                        guard,
+                                    )?;
+                                }
+                            }
+                        }
+                        Ok(())
+                    })();
+                    h.complete();
+                    step?;
+                }
+                Ok(())
+            })();
+            if wt.enabled() {
+                for (reason, count) in [
+                    (PruneReason::OnProbe, wout.stats.pruned_on_probe),
+                    (PruneReason::HeapCutoff, cutoff_total),
+                ] {
+                    if count > 0 {
+                        wt.event(|| TraceEvent::Pruned {
+                            metric: M::NAME,
+                            reason,
+                            count,
+                        });
+                    }
+                }
+            }
+            (wout, join)
+        });
+        *out = pout;
+        tracer.span_exit(Phase::Join, span_j, io_now);
+        match err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    })(&mut out);
+    tracer.span_exit(Phase::Query, span_q, io_now);
+
+    let mut io = ir.pool().stats().since(&io_r0);
+    if !shared_pool {
+        io = io.merge(&is.pool().stats().since(&io_s0));
+    }
+    out.stats.io = io;
+    match walk {
+        Ok(()) => Ok(out),
+        Err(e) => {
+            tracer.event(|| TraceEvent::QueryAborted {
+                reason: e.reason(),
+                phase: abort_phase.get(),
+            });
+            Err(attach_partial_stats(e, &out.stats))
+        }
+    }
+}
+
+/// The serial depth-first walk of one `I_R` subtree — the inline tail of
+/// a small MNN morsel, byte-identical per object to [`mnn_guarded`]'s
+/// outer loop restricted to that subtree.
+#[allow(clippy::too_many_arguments)]
+fn mnn_subtree<const D: usize, M, IR, IS>(
+    ir: &IR,
+    is: &IS,
+    root: ann_store::PageId,
+    cfg: &MnnConfig,
+    out: &mut AnnOutput,
+    tracer: Tracer<'_>,
+    cutoff_total: &mut u64,
+    scratch: &mut QueryScratch<D>,
+    guard: &QueryGuard<'_>,
+) -> QueryResult<()>
+where
+    M: PruneMetric,
+    IR: SpatialIndex<D>,
+    IS: SpatialIndex<D>,
+{
+    let mut stack = scratch.take_pages();
+    let join = (|| -> QueryResult<()> {
+        stack.push(root);
+        while let Some(page) = stack.pop() {
+            guard.tick()?;
+            let node = ir.read_node_cached(page)?;
+            out.stats.r_nodes_expanded += 1;
+            tracer.node_expanded(Side::R, page, &node.entries);
+            for e in &node.entries {
+                match e {
+                    Entry::Node(n) => stack.push(n.page),
+                    Entry::Object(o) => {
+                        knn_search::<D, M, IS>(
+                            is,
+                            o.oid,
+                            &o.point,
+                            cfg,
+                            out,
+                            tracer,
+                            cutoff_total,
+                            scratch,
+                            guard,
+                        )?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    })();
+    stack.clear();
+    scratch.put_pages(stack);
+    join
+}
+
 /// One best-first (Hjaltason-Samet) kNN search from `point` over `is`,
 /// with the pruning-metric upper bound tightening the search exactly as
 /// the LPQ bound does in MBA.

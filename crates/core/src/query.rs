@@ -48,11 +48,11 @@
 //! # Ok(()) }
 //! ```
 
-use crate::bnn::{bnn_guarded, BnnConfig};
-use crate::hnn::{hnn_guarded, HnnConfig};
+use crate::bnn::{bnn_guarded, bnn_parallel_guarded, BnnConfig};
+use crate::hnn::{hnn_guarded, hnn_parallel_guarded, HnnConfig};
 use crate::index::{collect_objects, SpatialIndex};
 use crate::mba::{mba_guarded, mba_parallel_guarded, Expansion, MbaConfig, Traversal};
-use crate::mnn::{mnn_guarded, MnnConfig};
+use crate::mnn::{mnn_guarded, mnn_parallel_guarded, MnnConfig};
 use crate::node_cache::NodeCache;
 use crate::resilience::{CancelToken, QueryGuard, QueryResult, RetryOverride};
 use crate::scratch::QueryScratch;
@@ -239,6 +239,14 @@ pub struct AnnRequest<'a> {
     /// [`Input`]; the field rides along so one request value carries the
     /// full query description across the wire and into logs.
     pub version: Option<u32>,
+    /// Intra-query worker threads: `1` (the default) runs the untouched
+    /// serial path, `0` means one worker per available core, and any
+    /// other value fans the join out over that many workers through the
+    /// morsel engine ([`crate::par`]) with output byte-identical to
+    /// serial under the canonical `(r_oid, dist, s_oid)` order. For
+    /// [`Algorithm::Mba`] this overrides the variant's own `threads`
+    /// knob unless left at `1`.
+    pub threads: usize,
     cancel: Option<CancelToken>,
     tracer: Tracer<'a>,
 }
@@ -257,9 +265,18 @@ impl<'a> AnnRequest<'a> {
             visit_budget: None,
             retry: None,
             version: None,
+            threads: 1,
             cancel: None,
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// Sets the intra-query worker-thread count (see the
+    /// [`threads`](AnnRequest::threads) field docs; `1` = serial, `0` =
+    /// one per core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Pins the query to snapshot `version` of a versioned index
@@ -395,6 +412,7 @@ impl std::fmt::Debug for AnnRequest<'_> {
             .field("visit_budget", &self.visit_budget)
             .field("retry", &self.retry)
             .field("version", &self.version)
+            .field("threads", &self.threads)
             .field("traced", &self.tracer.enabled())
             .finish()
     }
@@ -504,6 +522,14 @@ where
                 expansion,
                 exclude_self: req.exclude_self,
             };
+            // The request-level knob wins unless left at its serial
+            // default; the variant's own `threads` remains for wire
+            // compatibility and the legacy parallel entrypoints.
+            let threads = if req.threads == 1 {
+                threads
+            } else {
+                req.threads
+            };
             if threads == 1 {
                 mba_guarded::<D, M, IR, IS>(ir, is, &cfg, tracer, scratch, &guard)
             } else {
@@ -527,7 +553,11 @@ where
                     &collected
                 }
             };
-            bnn_guarded::<D, M, IS>(r_pts, is, &cfg, tracer, scratch, &guard)
+            if req.threads == 1 {
+                bnn_guarded::<D, M, IS>(r_pts, is, &cfg, tracer, scratch, &guard)
+            } else {
+                bnn_parallel_guarded::<D, M, IS>(r_pts, is, &cfg, req.threads, tracer, &guard)
+            }
         }
         Algorithm::Mnn => {
             let Input::Index(ir) = r else {
@@ -540,7 +570,11 @@ where
                 k: req.k,
                 exclude_self: req.exclude_self,
             };
-            mnn_guarded::<D, M, IR, IS>(ir, is, &cfg, tracer, scratch, &guard)
+            if req.threads == 1 {
+                mnn_guarded::<D, M, IR, IS>(ir, is, &cfg, tracer, scratch, &guard)
+            } else {
+                mnn_parallel_guarded::<D, M, IR, IS>(ir, is, &cfg, req.threads, tracer, &guard)
+            }
         }
         Algorithm::Hnn { avg_cell_occupancy } => {
             let cfg = HnnConfig {
@@ -564,7 +598,11 @@ where
                     &s_collected
                 }
             };
-            hnn_guarded(r_pts, s_pts, &cfg, tracer, scratch, &guard)
+            if req.threads == 1 {
+                hnn_guarded(r_pts, s_pts, &cfg, tracer, scratch, &guard)
+            } else {
+                hnn_parallel_guarded(r_pts, s_pts, &cfg, req.threads, tracer, &guard)
+            }
         }
     }
 }

@@ -48,7 +48,9 @@ use std::time::{Duration, Instant};
 /// * `"version"` on [`QuerySpec`] — pin the query to an MVCC snapshot
 ///   version of a versioned collection (absent ⇒ latest);
 /// * `"version"` on [`QueryOutcome`] — the snapshot version the query
-///   actually ran against (absent ⇒ the collection is unversioned).
+///   actually ran against (absent ⇒ the collection is unversioned);
+/// * `"threads"` on [`QuerySpec`] — intra-query worker threads (absent ⇒
+///   `1`, the serial path; emitted only when not `1`).
 pub const WIRE_SCHEMA_VERSION: u64 = 1;
 
 // ---------------------------------------------------------------------------
@@ -657,6 +659,12 @@ pub struct QuerySpec {
     /// Snapshot version to query (time-travel over a versioned
     /// collection); absent means the latest version.
     pub version: Option<u32>,
+    /// Intra-query worker threads (`1` = serial, `0` = one per core).
+    /// Additive optional field: omitted on the wire when `1`, so older
+    /// peers and documents are unaffected (no schema bump — same rule as
+    /// `"version"`). The server clamps the effective value to its
+    /// compute-token capacity.
+    pub threads: usize,
 }
 
 impl Default for QuerySpec {
@@ -681,6 +689,7 @@ impl QuerySpec {
             visit_budget: None,
             retry: None,
             version: None,
+            threads: 1,
         }
     }
 
@@ -703,6 +712,7 @@ impl QuerySpec {
             visit_budget: req.visit_budget,
             retry: req.retry,
             version: req.version,
+            threads: req.threads,
         }
     }
 
@@ -729,7 +739,7 @@ impl QuerySpec {
         if let Some(version) = self.version {
             req = req.at_version(version);
         }
-        req
+        req.threads(self.threads)
     }
 
     /// Serializes to the versioned JSON wire form. Deterministic: equal
@@ -790,6 +800,9 @@ impl QuerySpec {
         }
         if let Some(version) = self.version {
             out.push_str(&format!(",\"version\":{version}"));
+        }
+        if self.threads != 1 {
+            out.push_str(&format!(",\"threads\":{}", self.threads));
         }
         out.push('}');
         out
@@ -961,6 +974,12 @@ impl QuerySpec {
                 WireError::Schema("\"version\" must fit in 32 bits".into())
             })?),
         };
+        let threads = match doc.get("threads") {
+            None | Some(JsonValue::Null) => 1,
+            Some(t) => t
+                .as_usize()
+                .ok_or_else(|| WireError::Schema("\"threads\" must be an integer".into()))?,
+        };
         Ok(QuerySpec {
             k,
             exclude_self,
@@ -971,6 +990,7 @@ impl QuerySpec {
             visit_budget: opt_u64("visit_budget")?,
             retry,
             version,
+            threads,
         })
     }
 }
@@ -1325,6 +1345,52 @@ mod tests {
     }
 
     #[test]
+    fn spec_threads_field_round_trips_without_schema_bump() {
+        // Absent means serial; the field is additive under WIRE_SCHEMA_VERSION 1.
+        let spec = QuerySpec::from_json(r#"{"v":1,"algorithm":{"name":"mnn"},"k":1}"#).unwrap();
+        assert_eq!(spec.threads, 1);
+        assert!(!spec.to_json().contains("threads"));
+
+        let spec =
+            QuerySpec::from_json(r#"{"v":1,"algorithm":{"name":"mnn"},"k":1,"threads":4}"#)
+                .unwrap();
+        assert_eq!(spec.threads, 4);
+        let json = spec.to_json();
+        assert!(json.contains("\"threads\":4"));
+        assert!(json.contains("\"v\":1"), "threads must not bump the schema version");
+        let back = QuerySpec::from_json(&json).unwrap();
+        assert_eq!(back.threads, 4);
+
+        // 0 is valid on the wire: "one worker per core".
+        let spec =
+            QuerySpec::from_json(r#"{"v":1,"algorithm":{"name":"mnn"},"k":1,"threads":0}"#)
+                .unwrap();
+        assert_eq!(spec.threads, 0);
+        assert!(spec.to_json().contains("\"threads\":0"));
+
+        // Null is treated as absent; fractions are schema errors.
+        let spec =
+            QuerySpec::from_json(r#"{"v":1,"algorithm":{"name":"mnn"},"k":1,"threads":null}"#)
+                .unwrap();
+        assert_eq!(spec.threads, 1);
+        assert!(QuerySpec::from_json(
+            r#"{"v":1,"algorithm":{"name":"mnn"},"k":1,"threads":2.5}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn spec_threads_survives_request_conversion() {
+        let spec =
+            QuerySpec::from_json(r#"{"v":1,"algorithm":{"name":"bnn","group_size":64},"k":2,"threads":3}"#)
+                .unwrap();
+        let req = spec.to_request();
+        assert_eq!(req.threads, 3);
+        let back = QuerySpec::from_request(&req);
+        assert_eq!(back.threads, 3);
+    }
+
+    #[test]
     fn as_u64_rejects_fractions_negatives_and_huge() {
         assert_eq!(JsonValue::Num(3.0).as_u64(), Some(3));
         assert_eq!(JsonValue::Num(3.5).as_u64(), None);
@@ -1375,6 +1441,7 @@ mod tests {
                 backoff: Duration::from_millis(2),
             }),
             version: Some(12),
+            threads: 2,
         };
         let json = spec.to_json();
         let back = QuerySpec::from_json(&json).unwrap();
@@ -1415,6 +1482,7 @@ mod tests {
                 backoff: Duration::ZERO,
             }),
             version: Some(4),
+            threads: 1,
         };
         let req = spec.to_request();
         assert_eq!(req.k, 3);

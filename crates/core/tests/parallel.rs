@@ -152,3 +152,174 @@ fn parallel_speedup_on_large_input() {
     }
     eprintln!("serial {t_serial:?}, parallel {t_par:?}");
 }
+
+// ---- the shared morsel engine, via AnnRequest::threads ----
+
+use ann_core::query::{Algorithm, AnnRequest, Input, NoIndex};
+use ann_core::{CancelToken, QueryError};
+
+fn triples(mut out: ann_core::stats::AnnOutput) -> Vec<(u64, u64, u64)> {
+    out.sort();
+    out.results
+        .into_iter()
+        .map(|p| (p.r_oid, p.s_oid, p.dist.to_bits()))
+        .collect()
+}
+
+/// Every algorithm must produce byte-identical (canonicalized) output at
+/// every thread count, on clustered data that stresses work stealing.
+#[test]
+fn request_threads_identical_across_algorithms() {
+    let r = ann_datagen::tac_like(2500, 46);
+    let s = ann_datagen::tac_like(2700, 47);
+    let p = pool(1024);
+    let ir = Mbrqt::bulk_build(p.clone(), &r, &MbrqtConfig::default()).unwrap();
+    let is = Mbrqt::bulk_build(p, &s, &MbrqtConfig::default()).unwrap();
+    for algorithm in [
+        Algorithm::mba(),
+        Algorithm::bnn(),
+        Algorithm::Mnn,
+        Algorithm::hnn(),
+    ] {
+        let base = AnnRequest::new(algorithm).k(3);
+        let serial = triples(
+            base.clone()
+                .run(Input::Index(&ir), Input::Index(&is))
+                .unwrap(),
+        );
+        for threads in [0usize, 2, 3, 8] {
+            let par = triples(
+                base.clone()
+                    .threads(threads)
+                    .run(Input::Index(&ir), Input::Index(&is))
+                    .unwrap(),
+            );
+            assert_eq!(
+                par,
+                serial,
+                "algorithm={} threads={threads}",
+                algorithm.name()
+            );
+        }
+    }
+}
+
+/// Work counters are scheduling-invariant sums for every parallel path.
+#[test]
+fn request_threads_counters_match_serial() {
+    let pts = ann_datagen::gaussian_clusters::<2>(3000, 12, 0.02, 48);
+    let p = pool(2048);
+    let tree = Mbrqt::bulk_build(p, &pts, &MbrqtConfig::default()).unwrap();
+    for algorithm in [Algorithm::mba(), Algorithm::bnn(), Algorithm::Mnn] {
+        let base = AnnRequest::new(algorithm).k(2).exclude_self(true);
+        let serial = base
+            .clone()
+            .run(Input::Index(&tree), Input::Index(&tree))
+            .unwrap()
+            .stats;
+        let par = base
+            .clone()
+            .threads(3)
+            .run(Input::Index(&tree), Input::Index(&tree))
+            .unwrap()
+            .stats;
+        let name = algorithm.name();
+        assert_eq!(
+            serial.distance_computations, par.distance_computations,
+            "{name}"
+        );
+        assert_eq!(serial.enqueued, par.enqueued, "{name}");
+        assert_eq!(serial.pruned_on_probe, par.pruned_on_probe, "{name}");
+        assert_eq!(serial.r_nodes_expanded, par.r_nodes_expanded, "{name}");
+        assert_eq!(serial.s_nodes_expanded, par.s_nodes_expanded, "{name}");
+    }
+}
+
+/// HNN's parallel path accepts plain point inputs (no index anywhere).
+#[test]
+fn hnn_parallel_over_plain_points() {
+    let r = random_points::<2>(1200, 49);
+    let s = random_points::<2>(1300, 50);
+    let req = AnnRequest::new(Algorithm::hnn()).k(2);
+    let serial = triples(
+        req.clone()
+            .run(
+                Input::<2, NoIndex>::Points(&r),
+                Input::<2, NoIndex>::Points(&s),
+            )
+            .unwrap(),
+    );
+    let par = triples(
+        req.threads(4)
+            .run(
+                Input::<2, NoIndex>::Points(&r),
+                Input::<2, NoIndex>::Points(&s),
+            )
+            .unwrap(),
+    );
+    assert_eq!(par, serial);
+}
+
+/// A pre-cancelled token aborts every worker with the typed error, and no
+/// buffer-pool pin survives the abort at any thread count.
+#[test]
+fn parallel_cancel_aborts_all_workers_and_leaks_no_pins() {
+    let pts = random_points::<2>(4000, 51);
+    let p = pool(1024);
+    let tree = Mbrqt::bulk_build(p.clone(), &pts, &MbrqtConfig::default()).unwrap();
+    for algorithm in [
+        Algorithm::mba(),
+        Algorithm::bnn(),
+        Algorithm::Mnn,
+        Algorithm::hnn(),
+    ] {
+        let token = CancelToken::new();
+        token.cancel();
+        let err = AnnRequest::new(algorithm)
+            .threads(4)
+            .cancel_token(token)
+            .run(Input::Index(&tree), Input::Index(&tree))
+            .unwrap_err();
+        assert!(
+            matches!(err, QueryError::Cancelled),
+            "algorithm={} err={err:?}",
+            algorithm.name()
+        );
+        assert_eq!(p.pinned_frames(), 0, "algorithm={}", algorithm.name());
+    }
+}
+
+/// A tiny visit budget trips mid-join inside the workers; the typed error
+/// surfaces, pins are released, and a cold rerun without the budget is
+/// identical to serial (aborts leave no residue).
+#[test]
+fn parallel_budget_abort_then_identical_rerun() {
+    let pts = ann_datagen::tac_like(3000, 52);
+    let p = pool(1024);
+    let tree = Mbrqt::bulk_build(p.clone(), &pts, &MbrqtConfig::default()).unwrap();
+    for algorithm in [Algorithm::mba(), Algorithm::bnn(), Algorithm::Mnn] {
+        let err = AnnRequest::new(algorithm)
+            .threads(3)
+            .visit_budget(5)
+            .run(Input::Index(&tree), Input::Index(&tree))
+            .unwrap_err();
+        assert!(
+            matches!(err, QueryError::BudgetExhausted { .. }),
+            "algorithm={} err={err:?}",
+            algorithm.name()
+        );
+        assert_eq!(p.pinned_frames(), 0);
+        let serial = triples(
+            AnnRequest::new(algorithm)
+                .run(Input::Index(&tree), Input::Index(&tree))
+                .unwrap(),
+        );
+        let rerun = triples(
+            AnnRequest::new(algorithm)
+                .threads(3)
+                .run(Input::Index(&tree), Input::Index(&tree))
+                .unwrap(),
+        );
+        assert_eq!(rerun, serial, "algorithm={}", algorithm.name());
+    }
+}

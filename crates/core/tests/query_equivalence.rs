@@ -323,6 +323,41 @@ fn recording_sink_sees_balanced_spans() {
     }
 }
 
+/// The morsel engine is answer-invisible through the unified entrypoint:
+/// every variant at every requested thread count (including `0` = one
+/// worker per core) matches brute force — and therefore the serial run —
+/// byte-for-byte, with and without a recording sink attached.
+#[test]
+fn every_variant_matches_brute_force_with_request_threads() {
+    let r = random_points::<2>(300, 121);
+    let s = random_points::<2>(320, 132);
+    let k = 3;
+    let truth = truth_sorted(&r, &s, k, false);
+    let p = pool(256);
+    let ir = Mbrqt::bulk_build(p.clone(), &r, &mbrqt_cfg()).unwrap();
+    let is = RStar::bulk_build(p, &s, &rstar_cfg()).unwrap();
+    for alg in algorithms() {
+        for threads in [0usize, 2, 3, 8] {
+            let label = format!("{} threads={threads}", alg.name());
+            let out = AnnRequest::new(alg)
+                .k(k)
+                .threads(threads)
+                .run(Input::Index(&ir), Input::Index(&is))
+                .unwrap();
+            assert_matches_truth(out, &truth, &label);
+            // Tracing a parallel run observes, never steers.
+            let sink = RecordingSink::new();
+            let traced = AnnRequest::new(alg)
+                .k(k)
+                .threads(threads)
+                .trace(&sink)
+                .run(Input::Index(&ir), Input::Index(&is))
+                .unwrap();
+            assert_matches_truth(traced, &truth, &format!("{label} traced"));
+        }
+    }
+}
+
 #[test]
 #[should_panic(expected = "requires Input::Index")]
 fn mba_rejects_point_inputs() {

@@ -2,7 +2,16 @@
 //!
 //! ```text
 //! ann-serve [--addr HOST:PORT] [--workers N] [--queue N]
-//!           [--data-dir PATH] [--pool-frames N]
+//!           [--data-dir PATH] [--pool-frames N] [--compute-tokens N]
+//! ```
+//!
+//! `--compute-tokens` bounds intra-query parallelism (`?threads=` /
+//! `"threads"` in the spec) across the whole process: each worker owns
+//! one implicit token and a query takes up to `threads - 1` extra
+//! tokens if available, degrading toward serial under load. `0` (the
+//! default) sizes the pool to `available cores - workers`.
+//!
+//! ```text
 //! ```
 //!
 //! Prints `listening on HOST:PORT` once ready (port 0 resolves to an
@@ -27,10 +36,13 @@ fn main() -> ExitCode {
             "--queue" => config.queue_depth = parse(&take("--queue"), "--queue"),
             "--data-dir" => config.data_dir = take("--data-dir").into(),
             "--pool-frames" => config.pool_frames = parse(&take("--pool-frames"), "--pool-frames"),
+            "--compute-tokens" => {
+                config.compute_tokens = parse(&take("--compute-tokens"), "--compute-tokens")
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: ann-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--data-dir PATH] [--pool-frames N]"
+                     [--data-dir PATH] [--pool-frames N] [--compute-tokens N]"
                 );
                 return ExitCode::SUCCESS;
             }

@@ -125,6 +125,23 @@ impl Client {
         self.request("POST", &format!("/collections/{id}/query"), &spec.to_json())
     }
 
+    /// Runs `spec` against collection `id` with up to `threads`
+    /// intra-query worker threads (`0` = one per core). The server
+    /// clamps the grant to its global compute-token budget, so this is
+    /// a request, not a guarantee — results are identical either way.
+    pub fn query_threads(
+        &self,
+        id: &str,
+        threads: usize,
+        spec: &QuerySpec,
+    ) -> io::Result<HttpResponse> {
+        self.request(
+            "POST",
+            &format!("/collections/{id}/query?threads={threads}"),
+            &spec.to_json(),
+        )
+    }
+
     /// Runs `spec` against the snapshot `version` of collection `id`
     /// (time travel; the version must still be in the history window).
     pub fn query_at(&self, id: &str, version: u32, spec: &QuerySpec) -> io::Result<HttpResponse> {

@@ -48,7 +48,7 @@
 //! | `GET /collections/{id}` | describe |
 //! | `DELETE /collections/{id}` | drop (files deleted) |
 //! | `POST /collections/{id}/insert` | append points (`{"points": [[x,y],...]}`), returns the new version |
-//! | `POST /collections/{id}/query[?trace=1][&target=other][&version=N]` | run a [`QuerySpec`], optionally against pinned snapshot `N` |
+//! | `POST /collections/{id}/query[?trace=1][&target=other][&version=N][&threads=T]` | run a [`QuerySpec`], optionally against pinned snapshot `N`, with up to `T` intra-query threads (compute-token capped) |
 //! | `POST /admin/shutdown` | graceful shutdown |
 
 #![warn(missing_docs)]
@@ -64,7 +64,7 @@ pub mod server;
 pub use client::{Client, Conn, HttpResponse};
 pub use metrics::Metrics;
 pub use registry::{AnyIndex, ApiError, Backing, Collection, IndexKind, Registry, SERVE_DIMS};
-pub use server::{Server, ServerConfig};
+pub use server::{ComputeTokenStats, Server, ServerConfig};
 
 // The wire types the service speaks, re-exported so client code can
 // depend on `ann_serve` alone.

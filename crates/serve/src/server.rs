@@ -35,7 +35,7 @@ use std::collections::VecDeque;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -72,6 +72,13 @@ pub struct ServerConfig {
     pub data_dir: PathBuf,
     /// Buffer-pool frames per collection.
     pub pool_frames: usize,
+    /// Extra intra-query compute tokens shared by every worker. A worker
+    /// always owns one implicit token for the query it runs; a query
+    /// asking for `threads = n` grabs up to `n - 1` extras from this
+    /// global pool (non-blocking — whatever it gets bounds its fan-out),
+    /// so `workers × threads` can never oversubscribe the box. `0` means
+    /// auto: whatever `available_parallelism` leaves beyond `workers`.
+    pub compute_tokens: usize,
 }
 
 impl Default for ServerConfig {
@@ -82,8 +89,77 @@ impl Default for ServerConfig {
             queue_depth: 64,
             data_dir: PathBuf::from("ann-serve-data"),
             pool_frames: 256,
+            compute_tokens: 0,
         }
     }
+}
+
+/// Global intra-query compute budget (DESIGN.md §16).
+///
+/// Counts the *extra* worker threads (beyond the query worker itself)
+/// currently granted to in-flight queries. Admission is non-blocking:
+/// a query wanting `n` threads takes `min(n - 1, available)` extras and
+/// runs with what it got — degrading toward serial under load instead
+/// of queueing, so a burst of `threads=8` requests cannot stack up
+/// `workers × 8` runnable threads.
+struct ComputeTokens {
+    total: usize,
+    avail: AtomicUsize,
+    /// High-water mark of simultaneously granted tokens (test
+    /// observability: asserts the cap was never pierced).
+    high_water: AtomicUsize,
+}
+
+impl ComputeTokens {
+    fn new(total: usize) -> Self {
+        ComputeTokens {
+            total,
+            avail: AtomicUsize::new(total),
+            high_water: AtomicUsize::new(0),
+        }
+    }
+
+    /// Takes up to `want` tokens, returning how many were granted
+    /// (possibly zero). Never blocks.
+    fn try_take(&self, want: usize) -> usize {
+        let mut cur = self.avail.load(Ordering::Relaxed);
+        loop {
+            let take = cur.min(want);
+            if take == 0 {
+                return 0;
+            }
+            match self.avail.compare_exchange_weak(
+                cur,
+                cur - take,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.high_water
+                        .fetch_max(self.total - (cur - take), Ordering::AcqRel);
+                    return take;
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn put(&self, n: usize) {
+        if n > 0 {
+            self.avail.fetch_add(n, Ordering::AcqRel);
+        }
+    }
+}
+
+/// A point-in-time view of the compute-token pool (for tests and ops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputeTokenStats {
+    /// Pool capacity (extra threads beyond the worker pool).
+    pub total: usize,
+    /// Tokens currently available.
+    pub available: usize,
+    /// Most tokens ever granted simultaneously.
+    pub high_water: usize,
 }
 
 /// One queued query: everything a worker needs, plus the reply channel.
@@ -185,6 +261,7 @@ struct Ctx {
     registry: Registry,
     metrics: Metrics,
     queue: WorkQueue,
+    compute: ComputeTokens,
     shutdown: AtomicBool,
     addr: SocketAddr,
 }
@@ -205,15 +282,24 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let registry = Registry::open(&config.data_dir, config.pool_frames)?;
+        let workers_n = config.workers.max(1);
+        let tokens = if config.compute_tokens == 0 {
+            std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get)
+                .saturating_sub(workers_n)
+        } else {
+            config.compute_tokens
+        };
         let ctx = Arc::new(Ctx {
             registry,
             metrics: Metrics::new(),
             queue: WorkQueue::new(config.queue_depth),
+            compute: ComputeTokens::new(tokens),
             shutdown: AtomicBool::new(false),
             addr,
         });
 
-        let workers = (0..config.workers.max(1))
+        let workers = (0..workers_n)
             .map(|i| {
                 let ctx = Arc::clone(&ctx);
                 std::thread::Builder::new()
@@ -250,6 +336,17 @@ impl Server {
     /// The server metrics block.
     pub fn metrics(&self) -> &Metrics {
         &self.ctx.metrics
+    }
+
+    /// A snapshot of the intra-query compute-token pool (tests assert
+    /// the high-water mark never exceeds the configured cap and that
+    /// every grant is returned).
+    pub fn compute_token_stats(&self) -> ComputeTokenStats {
+        ComputeTokenStats {
+            total: self.ctx.compute.total,
+            available: self.ctx.compute.avail.load(Ordering::Acquire),
+            high_water: self.ctx.compute.high_water.load(Ordering::Acquire),
+        }
     }
 
     /// Whether shutdown has been requested (by [`shutdown`](Server::shutdown)
@@ -316,7 +413,7 @@ fn worker_loop(ctx: &Ctx) {
     // runs, so steady-state serving does not allocate per request.
     let mut scratch = QueryScratch::<SERVE_DIMS>::new();
     while let Some(job) = ctx.queue.pop() {
-        let result = execute(&job, &mut scratch, &ctx.metrics);
+        let result = execute(&job, &mut scratch, ctx);
         // A send error means the connection thread is gone (client
         // disconnected and the handler returned); nothing to do.
         let _ = job.reply.send(result);
@@ -334,8 +431,9 @@ fn worker_loop(ctx: &Ctx) {
 fn execute(
     job: &Job,
     scratch: &mut QueryScratch<SERVE_DIMS>,
-    metrics: &Metrics,
+    ctx: &Ctx,
 ) -> Result<String, ApiError> {
+    let metrics = &ctx.metrics;
     let started = Instant::now();
     let sink = RecordingSink::new();
     let mut req: AnnRequest<'_> = job.spec.to_request();
@@ -364,9 +462,32 @@ fn execute(
     } else {
         side_of(&job.s, s_pin.as_ref())
     };
-    match run_sides(r_side, s_side, &req, scratch) {
-        Ok(out) => {
+    // Intra-query parallelism rides on compute tokens: this worker is
+    // one implicit token, and the spec's `threads` asks for extras from
+    // the global pool. Whatever the pool grants bounds the fan-out —
+    // under contention a query silently degrades toward serial rather
+    // than oversubscribing the box. Grabbed after the pin fallible
+    // section so every early return above cannot strand a grant.
+    let wanted = match job.spec.threads {
+        1 => 1,
+        n => ann_core::morsel::resolve_threads(n),
+    };
+    let extra = if wanted > 1 {
+        ctx.compute.try_take(wanted - 1)
+    } else {
+        0
+    };
+    req = req.threads(1 + extra);
+    let ran = run_sides(r_side, s_side, &req, scratch);
+    ctx.compute.put(extra);
+    match ran {
+        Ok(mut out) => {
             metrics.record_query(started.elapsed(), &out.stats);
+            // Canonical wire order: the serial paths emit traversal
+            // order while the morsel engine merges pre-sorted, so
+            // without this the response bytes would vary with the
+            // granted thread count.
+            out.sort();
             let mut outcome = QueryOutcome::from(out);
             outcome.version = served_version;
             if job.trace {
@@ -712,6 +833,17 @@ fn prepare_query(raw_id: &str, req: &Request, ctx: &Ctx) -> Result<PreparedQuery
             )
         })?;
         spec.version = Some(v);
+    }
+    // `?threads=` overrides the spec's threads field the same way —
+    // `0` is "one worker per core", subject to the compute-token cap.
+    if let Some(raw) = req.query_param("threads") {
+        let t = raw.parse::<usize>().map_err(|_| {
+            ApiError::new(
+                ErrorCode::BadRequest,
+                "threads must be a non-negative integer",
+            )
+        })?;
+        spec.threads = t;
     }
     let r = ctx.registry.get(&id)?;
     let s = match req.query_param("target") {

@@ -43,12 +43,23 @@ fn temp_dir(tag: &str) -> PathBuf {
 }
 
 fn start_server(tag: &str, workers: usize, queue_depth: usize, pool_frames: usize) -> Server {
+    start_server_tokens(tag, workers, queue_depth, pool_frames, 0)
+}
+
+fn start_server_tokens(
+    tag: &str,
+    workers: usize,
+    queue_depth: usize,
+    pool_frames: usize,
+    compute_tokens: usize,
+) -> Server {
     Server::start(ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers,
         queue_depth,
         data_dir: temp_dir(tag),
         pool_frames,
+        compute_tokens,
     })
     .expect("server starts")
 }
@@ -57,7 +68,15 @@ fn start_server(tag: &str, workers: usize, queue_depth: usize, pool_frames: usiz
 /// the version stripped, so equality means "byte-identical results"
 /// without coupling to pool counters (which legitimately vary under
 /// concurrency) or to which snapshot version served the query.
-fn pairs_json(results: Vec<ann_core::stats::NeighborPair>) -> String {
+fn pairs_json(mut results: Vec<ann_core::stats::NeighborPair>) -> String {
+    // The server serializes canonical `(r_oid, dist, s_oid)` order;
+    // library-side references arrive in traversal order and must be
+    // canonicalized the same way before the byte compare.
+    results.sort_by(|a, b| {
+        (a.r_oid, a.dist, a.s_oid)
+            .partial_cmp(&(b.r_oid, b.dist, b.s_oid))
+            .expect("distances are finite")
+    });
     QueryOutcome {
         results,
         stats: AnnStats::default(),
@@ -595,6 +614,7 @@ fn parallel_first_touch_and_writer_commits_leave_nothing_pinned() {
         queue_depth: 64,
         data_dir: dir.clone(),
         pool_frames: 256,
+        compute_tokens: 0,
     };
 
     // Build the collection on a first server, then restart so the racing
@@ -679,6 +699,7 @@ fn collections_reopen_from_disk_across_restarts() {
         queue_depth: 8,
         data_dir: dir.clone(),
         pool_frames: 64,
+        compute_tokens: 0,
     };
     let points = uniform_points(500, 0x0DD);
     let mut spec = QuerySpec::default();
@@ -707,4 +728,210 @@ fn collections_reopen_from_disk_across_restarts() {
         "reopened collection returned different results"
     );
     second.shutdown();
+}
+
+/// Intra-query parallelism over the wire: `?threads=` and the spec's
+/// additive `threads` field both reach the engine, results stay
+/// byte-identical to the serial path, the schema version is unchanged,
+/// and every granted compute token comes back.
+#[test]
+fn threads_round_trip_matches_serial_without_schema_bump() {
+    let server = start_server_tokens("threads", 2, 16, 256, 8);
+    let client = Client::new(server.addr().to_string());
+    let points = uniform_points(1200, 0x7188);
+    let created = client
+        .create_collection("par", "mbrqt", &to_rows(&points))
+        .expect("create");
+    assert_eq!(created.status, 201, "{}", created.body);
+
+    let mut spec = QuerySpec::default();
+    spec.k = 2;
+    spec.exclude_self = true;
+
+    let serial = client.query("par", &spec).expect("serial query");
+    assert_eq!(serial.status, 200, "{}", serial.body);
+    let expected = library_pairs(&points, None, &spec);
+    assert_eq!(server_pairs(&serial.body), expected);
+
+    // `?threads=` path (overrides the body).
+    for threads in [0usize, 2, 4, 8] {
+        let resp = client
+            .query_threads("par", threads, &spec)
+            .expect("threaded query");
+        assert_eq!(resp.status, 200, "threads={threads}: {}", resp.body);
+        assert_eq!(
+            server_pairs(&resp.body),
+            expected,
+            "threads={threads}: parallel result diverged from serial over the wire"
+        );
+    }
+
+    // Spec-field path: same wire version byte (`"v":1`), no schema bump.
+    let mut spec_t = spec.clone();
+    spec_t.threads = 3;
+    let body = spec_t.to_json();
+    assert!(body.contains("\"v\":1"), "{body}");
+    assert!(body.contains("\"threads\":3"), "{body}");
+    let resp = client
+        .request("POST", "/collections/par/query", &body)
+        .expect("spec-threads query");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(server_pairs(&resp.body), expected);
+
+    // Garbage is a 400, not a crash.
+    let bad = client
+        .request("POST", "/collections/par/query?threads=lots", &spec.to_json())
+        .expect("bad threads");
+    assert_eq!(bad.status, 400, "{}", bad.body);
+
+    // Every extra token was returned and the cap held throughout.
+    let tokens = server.compute_token_stats();
+    assert_eq!(tokens.total, 8);
+    assert_eq!(tokens.available, 8, "leaked compute tokens: {tokens:?}");
+    assert!(tokens.high_water >= 1, "no grant ever happened: {tokens:?}");
+    assert!(tokens.high_water <= tokens.total);
+    server.shutdown();
+}
+
+/// The oversubscription gate: 32 concurrent clients all demanding
+/// `threads=8` against a tiny token budget. Results stay identical,
+/// nothing fails, the grant high-water never pierces the cap, and the
+/// pool refills completely once the burst drains.
+#[test]
+fn compute_token_cap_holds_under_32_concurrent_clients() {
+    const CLIENTS: usize = 32;
+    const REQUESTS_PER_CLIENT: usize = 3;
+    const TOKENS: usize = 3;
+
+    let server = start_server_tokens("tokencap", 4, 64, 256, TOKENS);
+    let client = Client::new(server.addr().to_string());
+    let points = uniform_points(1500, 0xCAB);
+    let created = client
+        .create_collection("cap", "mbrqt", &to_rows(&points))
+        .expect("create");
+    assert_eq!(created.status, 201, "{}", created.body);
+
+    let mut spec = QuerySpec::default();
+    spec.k = 2;
+    spec.exclude_self = true;
+    let expected = Arc::new(library_pairs(&points, None, &spec));
+    let spec_json = Arc::new(spec.to_json());
+    let addr = server.addr().to_string();
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            let spec_json = Arc::clone(&spec_json);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut conn = Conn::connect(&addr).expect("connect");
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    let resp = conn
+                        .request("POST", "/collections/cap/query?threads=8", &spec_json)
+                        .expect("query");
+                    assert_eq!(resp.status, 200, "failed request: {}", resp.body);
+                    assert_eq!(
+                        server_pairs(&resp.body),
+                        *expected,
+                        "token-clamped result diverged"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let tokens = server.compute_token_stats();
+    assert_eq!(tokens.total, TOKENS);
+    assert_eq!(
+        tokens.available, TOKENS,
+        "burst left tokens unreturned: {tokens:?}"
+    );
+    assert!(
+        tokens.high_water <= TOKENS,
+        "workers × threads pierced the compute cap: {tokens:?}"
+    );
+    assert_eq!(
+        server.metrics().queries.load(Ordering::Relaxed),
+        (CLIENTS * REQUESTS_PER_CLIENT) as u64
+    );
+    server.shutdown();
+}
+
+/// Disconnect-mid-query with intra-query parallelism: the fired cancel
+/// token must reach every morsel worker, the whole fan-out must abort,
+/// and no pin or compute token may leak.
+#[test]
+fn disconnect_cancels_parallel_query_and_releases_everything() {
+    let server = start_server_tokens("par-disconnect", 1, 4, 16, 8);
+    let client = Client::new(server.addr().to_string());
+    let points = uniform_points(30_000, 0xF1F0);
+    let created = client
+        .create_collection("victim", "mbrqt", &to_rows(&points))
+        .expect("create");
+    assert_eq!(created.status, 201, "{}", created.body);
+
+    let mut spec = QuerySpec::default();
+    spec.k = 8;
+    spec.exclude_self = true;
+    let body = spec.to_json();
+
+    {
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let head = format!(
+            "POST /collections/victim/query?threads=4 HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).expect("write head");
+        stream.write_all(body.as_bytes()).expect("write body");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(300));
+        // FIN → connection thread fires the CancelToken; the engine's
+        // abort flag stops every worker at its next pop/tick.
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if server.metrics().cancelled.load(Ordering::Relaxed) >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "parallel query was never cancelled after client disconnect"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let coll = server
+        .registry()
+        .get(&"victim".parse().expect("id"))
+        .expect("collection");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let pinned = coll.pool.pinned_frames();
+        if pinned == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cancelled parallel query left {pinned} frames pinned"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let tokens = server.compute_token_stats();
+    assert_eq!(
+        tokens.available, tokens.total,
+        "aborted query leaked compute tokens: {tokens:?}"
+    );
+
+    // The server keeps serving afterwards — in parallel, even.
+    let mut quick = QuerySpec::default();
+    quick.k = 1;
+    quick.io_budget = Some(100_000);
+    let resp = client
+        .query_threads("victim", 2, &quick)
+        .expect("follow-up query");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    server.shutdown();
 }

@@ -25,6 +25,51 @@ env -u RUST_TEST_THREADS ANN_ASSERT_SPEEDUP=1 \
 env -u RUST_TEST_THREADS ANN_ASSERT_SPEEDUP=1 \
   cargo test -q -p ann-core --test parallel
 
+# Morsel-engine gate (DESIGN.md §16): every Algorithm variant through the
+# work-stealing engine at 2/3/8 threads must be byte-identical to serial,
+# mid-query cancel/deadline/budget must land as the typed error with zero
+# leaked pins and a byte-identical rerun, and injected crash faults must
+# keep the resilience trichotomy under parallel execution. Independent
+# seed for the same budget-isolation reason as the classes below.
+cargo run --release -p checker --bin fuzz -- --class parallel --seed 0x9A7A --cases 200
+
+# The committed parallel-join artifact must stay schema-valid, cover the
+# full threads sweep per (algorithm, dataset) group, and keep every row's
+# byte-identity bit — the engine's core guarantee. The 4-thread speedup
+# headline on the heavy variants (MBA, BNN, clustered) is asserted only
+# when ANN_ASSERT_SPEEDUP=1 (CI runners have real cores; 1-core dev boxes
+# cannot speed up). Regenerate with `figures parallel-join --json results`
+# (offline: target/devcheck/bin/figures parallel-join --json results).
+python3 - results/BENCH_parallel_join.json <<'EOF'
+import json, os, sys
+rep = json.load(open(sys.argv[1]))
+assert rep["id"] == "BENCH_parallel_join"
+assert rep["host_cores"] >= 1 and rep["k"] >= 1
+req = {"algorithm", "dataset", "n", "threads", "wall_seconds",
+       "speedup_vs_serial", "result_pairs", "byte_identical"}
+assert rep["rows"], "no rows"
+groups = {}
+for row in rep["rows"]:
+    assert req <= row.keys(), f"missing fields: {req - row.keys()}"
+    assert row["byte_identical"] is True, f"parallel diverged from serial: {row}"
+    g = groups.setdefault((row["algorithm"], row["dataset"]), {})
+    g[row["threads"]] = row
+for (alg, ds), rows in groups.items():
+    assert set(rows) == {1, 2, 4, 8}, f"incomplete threads sweep for {(alg, ds)}"
+    pairs = {r["result_pairs"] for r in rows.values()}
+    assert len(pairs) == 1, f"pair count varies with threads for {(alg, ds)}: {pairs}"
+algs = {a for a, _ in groups}
+dsets = {d for _, d in groups}
+assert {"mba", "bnn", "mnn", "hnn"} <= algs, f"missing algorithms: {algs}"
+assert {"uniform", "clustered"} <= dsets, f"missing datasets: {dsets}"
+if os.environ.get("ANN_ASSERT_SPEEDUP") == "1":
+    for alg in ("mba", "bnn"):
+        s = groups[(alg, "clustered")][4]["speedup_vs_serial"]
+        assert s >= 1.5, f"{alg} clustered 4-thread speedup {s:.2f}x < 1.5x"
+print(f"validated {len(rep['rows'])} parallel-join rows across "
+      f"{len(groups)} (algorithm, dataset) groups")
+EOF
+
 # Observability gate: every Algorithm variant through the unified
 # entrypoint must match brute force, stay counter-identical to the
 # legacy entrypoints, and stay counter-identical with a recording
