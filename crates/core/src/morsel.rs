@@ -18,6 +18,16 @@
 //! being processed ([`MorselPool::complete`]) or because the pool aborted
 //! and the remaining units became unreachable by construction.
 //!
+//! An idle worker spins through a few steal rounds and then *parks* on a
+//! condvar instead of busy-waiting: during a long morsel (an inline walk
+//! of a 512-object subtree, the tail of a skewed query) the blocked
+//! siblings consume no CPU, so granted-but-idle workers do not
+//! oversubscribe the box under concurrent serving load. Every event that
+//! can unblock a sleeper — a push, the in-flight counter reaching zero,
+//! an abort — bumps a wake epoch under the condvar's lock and notifies;
+//! a would-be sleeper snapshots the epoch *before* scanning the deques
+//! and only parks while it is unchanged, so no wakeup can be lost.
+//!
 //! Determinism note: morsel boundaries never depend on the worker count —
 //! they are fixed by the input (tree structure, group size, point order).
 //! Which worker processes which morsel *does* vary run to run; every
@@ -28,12 +38,18 @@
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// Subtrees holding at most this many objects are processed inline
 /// (serial recursion) instead of being split into child morsels: below
 /// this size the deque traffic costs more than the imbalance it fixes.
 pub const INLINE_SUBTREE_OBJECTS: u64 = 512;
+
+/// Failed pop-and-steal rounds an idle worker burns (yielding between
+/// rounds) before parking on the pool's condvar. A short spin covers the
+/// common case where a sibling splits a subtree within microseconds; the
+/// park covers long morsels where spinning would waste whole cores.
+const SPIN_ROUNDS: u32 = 32;
 
 /// Points per object-batch morsel for poolless per-point algorithms
 /// (HNN). Small enough that a skewed hot cell cannot hide a multi-second
@@ -80,6 +96,11 @@ pub struct MorselPool<T> {
     /// worker will produce further work.
     in_flight: AtomicUsize,
     aborted: AtomicBool,
+    /// Wake epoch for parked workers: bumped under the lock by every
+    /// event that can unblock a sleeper (push, in-flight reaching zero,
+    /// abort). See the module docs for the lost-wakeup argument.
+    wake: Mutex<u64>,
+    wake_cv: Condvar,
 }
 
 impl<T> MorselPool<T> {
@@ -95,7 +116,16 @@ impl<T> MorselPool<T> {
             deques: deques.into_iter().map(Mutex::new).collect(),
             in_flight: AtomicUsize::new(in_flight),
             aborted: AtomicBool::new(false),
+            wake: Mutex::new(0),
+            wake_cv: Condvar::new(),
         }
+    }
+
+    /// Bumps the wake epoch and wakes every parked worker. Called by
+    /// every event a sleeper's park condition depends on.
+    fn notify(&self) {
+        *self.wake.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        self.wake_cv.notify_all();
     }
 
     /// Adds a morsel to `worker`'s own deque (newest end).
@@ -105,18 +135,25 @@ impl<T> MorselPool<T> {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .push_back(unit);
+        self.notify();
     }
 
     /// Takes the next morsel for `worker`: its own newest first, then a
-    /// steal of the oldest unit from a sibling. Blocks (yielding) while
-    /// other workers are still processing — they may push more work —
-    /// and returns `None` once all work is done or the pool aborted.
+    /// steal of the oldest unit from a sibling. Blocks while other
+    /// workers are still processing — they may push more work — spinning
+    /// briefly and then parking; returns `None` once all work is done or
+    /// the pool aborted.
     pub fn pop(&self, worker: usize) -> Option<T> {
         let n = self.deques.len();
+        let mut spins = 0u32;
         loop {
             if self.aborted.load(Ordering::Acquire) {
                 return None;
             }
+            // Snapshot the wake epoch before scanning: any push /
+            // final-complete / abort racing with the scan bumps it and
+            // forbids the park below, so the event cannot be missed.
+            let epoch = *self.wake.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(unit) = self.deques[worker]
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
@@ -137,7 +174,23 @@ impl<T> MorselPool<T> {
             if self.in_flight.load(Ordering::SeqCst) == 0 {
                 return None;
             }
-            std::thread::yield_now();
+            if spins < SPIN_ROUNDS {
+                spins += 1;
+                std::thread::yield_now();
+                continue;
+            }
+            let mut guard = self.wake.lock().unwrap_or_else(|e| e.into_inner());
+            while *guard == epoch
+                && !self.aborted.load(Ordering::Acquire)
+                && self.in_flight.load(Ordering::SeqCst) != 0
+            {
+                guard = self
+                    .wake_cv
+                    .wait(guard)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            drop(guard);
+            spins = 0;
         }
     }
 
@@ -145,13 +198,16 @@ impl<T> MorselPool<T> {
     /// *after* pushing any child morsels the unit produced, so the
     /// in-flight counter can never be zero while work remains.
     pub fn complete(&self) {
-        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        if self.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.notify();
+        }
     }
 
     /// Aborts the pool: every pending and future [`pop`](Self::pop)
     /// returns `None` promptly, regardless of queued work.
     pub fn abort(&self) {
         self.aborted.store(true, Ordering::Release);
+        self.notify();
     }
 
     /// Whether [`abort`](Self::abort) has been called.
@@ -212,6 +268,53 @@ mod tests {
         pool.abort();
         assert!(pool.is_aborted());
         assert_eq!(pool.pop(0), None, "aborted pools hand out no work");
+    }
+
+    #[test]
+    fn parked_worker_wakes_on_push() {
+        use std::sync::Arc;
+        // Worker 0 holds the only unit, so worker 1's pop must block
+        // (eventually parking) until a child is published.
+        let pool = Arc::new(MorselPool::new(2, vec![0u32]));
+        assert_eq!(pool.pop(0), Some(0));
+        let stealer = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.pop(1))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        pool.push(0, 7);
+        assert_eq!(stealer.join().unwrap(), Some(7));
+        pool.complete();
+        pool.complete();
+        assert_eq!(pool.pop(1), None);
+    }
+
+    #[test]
+    fn parked_worker_wakes_on_abort() {
+        use std::sync::Arc;
+        let pool = Arc::new(MorselPool::new(2, vec![0u32]));
+        assert_eq!(pool.pop(0), Some(0));
+        let stealer = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.pop(1))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        pool.abort();
+        assert_eq!(stealer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn parked_worker_wakes_on_final_complete() {
+        use std::sync::Arc;
+        let pool = Arc::new(MorselPool::new(2, vec![0u32]));
+        assert_eq!(pool.pop(0), Some(0));
+        let stealer = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.pop(1))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        pool.complete();
+        assert_eq!(stealer.join().unwrap(), None);
     }
 
     #[test]

@@ -36,8 +36,17 @@
 //! ([`crate::resilience::attach_partial_stats`] plus the `QueryAborted`
 //! trace event stay the caller's job, exactly as on the serial paths).
 //!
+//! Panic propagation: each worker closure runs under `catch_unwind`. A
+//! panicking worker popped a morsel it will never `complete()`, so
+//! without intervention its siblings would wait on the in-flight counter
+//! forever and `run_workers` would never return. The unwind guard aborts
+//! the pool instead — siblings drain within one morsel step, the scoped
+//! join finishes — and the engine re-raises the first panic payload to
+//! the caller, matching what the same panic would do on the serial path.
+//!
 //! [`RecordingSink`]: crate::trace::RecordingSink
 
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -136,6 +145,7 @@ where
         .collect();
     let shared_stats = AtomicAnnStats::new();
 
+    let mut panicked: Option<Box<dyn std::any::Any + Send>> = None;
     let results: Vec<(AnnOutput, QueryResult<()>)> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|index| {
@@ -150,25 +160,49 @@ where
                     } else {
                         Tracer::disabled()
                     };
-                    let (out, status) = worker(WorkerHandle {
-                        index,
-                        pool,
-                        tracer: wtracer,
-                    });
-                    if status.is_err() {
-                        pool.abort();
+                    let ran = panic::catch_unwind(AssertUnwindSafe(|| {
+                        worker(WorkerHandle {
+                            index,
+                            pool,
+                            tracer: wtracer,
+                        })
+                    }));
+                    match &ran {
+                        Ok((out, status)) => {
+                            if status.is_err() {
+                                pool.abort();
+                            }
+                            shared_stats.add(&out.stats);
+                        }
+                        // The panicking worker popped a morsel it will
+                        // never complete; abort so siblings drain
+                        // instead of waiting on the in-flight counter
+                        // forever (which would also wedge the join).
+                        Err(_) => pool.abort(),
                     }
-                    shared_stats.add(&out.stats);
-                    (out, status)
+                    ran
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
+        let mut results = Vec::with_capacity(threads);
+        for h in handles {
+            match h.join().expect("parallel worker crashed outside catch_unwind") {
+                Ok(pair) => results.push(pair),
+                Err(payload) => {
+                    if panicked.is_none() {
+                        panicked = Some(payload);
+                    }
+                }
+            }
+        }
+        results
     })
     .expect("parallel scope failed");
+    if let Some(payload) = panicked {
+        // Re-raise on the calling thread, exactly as the serial path
+        // would have; all siblings have already drained and joined.
+        panic::resume_unwind(payload);
+    }
 
     let mut out = AnnOutput::default();
     let mut sequential_fold = AnnStats::default();
@@ -283,6 +317,30 @@ mod tests {
             "abort drained the pool early: {}",
             out.stats.enqueued
         );
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_hanging() {
+        // Before the unwind guard, a panicking worker left its popped
+        // morsel in-flight forever: siblings waited on the counter and
+        // run_workers never returned. Now the pool aborts, siblings
+        // drain, and the panic re-raises on the calling thread.
+        let caught = std::panic::catch_unwind(|| {
+            run_workers(4, (0..1000u64).collect(), Tracer::disabled(), |h| {
+                let mut out = AnnOutput::default();
+                while let Some(unit) = h.pop() {
+                    if unit == 3 {
+                        panic!("injected worker panic");
+                    }
+                    out.stats.enqueued += 1;
+                    h.complete();
+                }
+                (out, Ok(()))
+            })
+        });
+        let payload = caught.expect_err("panic must propagate, not hang");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "injected worker panic");
     }
 
     #[test]

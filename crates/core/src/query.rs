@@ -239,11 +239,13 @@ pub struct AnnRequest<'a> {
     /// [`Input`]; the field rides along so one request value carries the
     /// full query description across the wire and into logs.
     pub version: Option<u32>,
-    /// Intra-query worker threads: `1` (the default) runs the untouched
-    /// serial path, `0` means one worker per available core, and any
-    /// other value fans the join out over that many workers through the
-    /// morsel engine ([`crate::par`]) with output byte-identical to
-    /// serial under the canonical `(r_oid, dist, s_oid)` order. For
+    /// Intra-query worker threads: `1` (the default) runs the serial
+    /// path, `0` means one worker per available core, and any other
+    /// value fans the join out over that many workers through the
+    /// morsel engine ([`crate::par`]). The unified entrypoint returns
+    /// canonical `(r_oid, dist, s_oid)` order at *every* thread count
+    /// (serial traversal output is sorted on the way out), so results
+    /// are byte-identical regardless of this knob. For
     /// [`Algorithm::Mba`] this overrides the variant's own `threads`
     /// knob unless left at `1`.
     pub threads: usize,
@@ -504,7 +506,7 @@ where
     );
     guard.preflight()?;
     let _retry = req.retry.map(|policy| RetryOverride::apply(&pools, policy));
-    match req.algorithm {
+    let ran = match req.algorithm {
         Algorithm::Mba {
             traversal,
             expansion,
@@ -604,5 +606,14 @@ where
                 hnn_parallel_guarded(r_pts, s_pts, &cfg, req.threads, tracer, &guard)
             }
         }
-    }
+    };
+    // Canonical `(r_oid, dist, s_oid)` order on every path: the morsel
+    // engine already merges into it, but the serial algorithms emit
+    // traversal order — sorting here makes the unified entrypoint's
+    // output byte-identical at *any* thread count, including 1, so
+    // library callers never see ordering flip between threads=1 and
+    // threads=2. (Near-free on the parallel paths: already sorted.)
+    let mut out = ran?;
+    out.sort();
+    Ok(out)
 }

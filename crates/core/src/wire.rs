@@ -50,8 +50,17 @@ use std::time::{Duration, Instant};
 /// * `"version"` on [`QueryOutcome`] — the snapshot version the query
 ///   actually ran against (absent ⇒ the collection is unversioned);
 /// * `"threads"` on [`QuerySpec`] — intra-query worker threads (absent ⇒
-///   `1`, the serial path; emitted only when not `1`).
+///   `1`, the serial path; emitted only when not `1`; bounded by
+///   [`MAX_WIRE_THREADS`], as is the MBA variant's own knob).
 pub const WIRE_SCHEMA_VERSION: u64 = 1;
+
+/// Largest thread count accepted from the wire, for both the
+/// request-level `"threads"` field and the MBA variant's own knob. `0`
+/// ("one worker per core") and `1..=MAX_WIRE_THREADS` are valid; larger
+/// values are a schema error. No real box has more cores than this, and
+/// an unbounded value would otherwise reach `resolve_threads` verbatim
+/// and translate into an attempt to spawn that many OS threads.
+pub const MAX_WIRE_THREADS: usize = 1024;
 
 // ---------------------------------------------------------------------------
 // Errors
@@ -850,9 +859,7 @@ impl QuerySpec {
                 }
                 let threads = match alg.get("threads") {
                     None => 1,
-                    Some(t) => t
-                        .as_usize()
-                        .ok_or_else(|| WireError::Schema("\"threads\" must be an integer".into()))?,
+                    Some(t) => wire_threads(t)?,
                 };
                 Algorithm::Mba {
                     traversal,
@@ -976,9 +983,7 @@ impl QuerySpec {
         };
         let threads = match doc.get("threads") {
             None | Some(JsonValue::Null) => 1,
-            Some(t) => t
-                .as_usize()
-                .ok_or_else(|| WireError::Schema("\"threads\" must be an integer".into()))?,
+            Some(t) => wire_threads(t)?,
         };
         Ok(QuerySpec {
             k,
@@ -1005,6 +1010,22 @@ impl From<&QuerySpec> for AnnRequest<'static> {
     fn from(spec: &QuerySpec) -> Self {
         spec.to_request()
     }
+}
+
+/// Parses and bounds a wire-level thread count (see
+/// [`MAX_WIRE_THREADS`]). Shared by the request-level `"threads"` field
+/// and the MBA variant's knob so neither can smuggle an unbounded value
+/// past validation.
+fn wire_threads(t: &JsonValue) -> Result<usize, WireError> {
+    let threads = t
+        .as_usize()
+        .ok_or_else(|| WireError::Schema("\"threads\" must be an integer".into()))?;
+    if threads > MAX_WIRE_THREADS {
+        return Err(WireError::Schema(format!(
+            "\"threads\" must be at most {MAX_WIRE_THREADS}"
+        )));
+    }
+    Ok(threads)
 }
 
 fn traversal_name(t: crate::mba::Traversal) -> &'static str {
@@ -1377,6 +1398,42 @@ mod tests {
             r#"{"v":1,"algorithm":{"name":"mnn"},"k":1,"threads":2.5}"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn wire_threads_are_bounded_at_both_sites() {
+        // Request-level field: the cap is inclusive.
+        let at_cap = format!(
+            r#"{{"v":1,"algorithm":{{"name":"mnn"}},"k":1,"threads":{MAX_WIRE_THREADS}}}"#
+        );
+        assert_eq!(
+            QuerySpec::from_json(&at_cap).unwrap().threads,
+            MAX_WIRE_THREADS
+        );
+        let over = format!(
+            r#"{{"v":1,"algorithm":{{"name":"mnn"}},"k":1,"threads":{}}}"#,
+            MAX_WIRE_THREADS + 1
+        );
+        assert!(QuerySpec::from_json(&over).is_err());
+
+        // The MBA variant's own knob goes through the same validation —
+        // it must not smuggle an unbounded spawn count past the schema.
+        let over_mba = format!(
+            r#"{{"v":1,"algorithm":{{"name":"mba","threads":{}}},"k":1}}"#,
+            MAX_WIRE_THREADS + 1
+        );
+        assert!(QuerySpec::from_json(&over_mba).is_err());
+        let ok_mba = format!(
+            r#"{{"v":1,"algorithm":{{"name":"mba","threads":{MAX_WIRE_THREADS}}},"k":1}}"#
+        );
+        let spec = QuerySpec::from_json(&ok_mba).unwrap();
+        assert!(matches!(
+            spec.algorithm,
+            Algorithm::Mba {
+                threads: MAX_WIRE_THREADS,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -237,7 +237,11 @@ fn unified_entrypoint_is_counter_identical_to_legacy() {
 
     for (name, alg, legacy) in variants {
         let (ir, is) = fresh_indexes(&r, &s);
-        let legacy_out = legacy(&ir, &is);
+        // The unified entrypoint returns canonical (r_oid, dist, s_oid)
+        // order at every thread count; the legacy entrypoints emit
+        // traversal order. Canonicalize before comparing content.
+        let mut legacy_out = legacy(&ir, &is);
+        legacy_out.sort();
 
         let (ir, is) = fresh_indexes(&r, &s);
         let req = AnnRequest::new(alg).k(k);
@@ -279,7 +283,8 @@ fn unified_entrypoint_is_counter_identical_to_legacy() {
         k,
         ..Default::default()
     };
-    let legacy_out = hnn(&r, &s, &h_cfg).unwrap();
+    let mut legacy_out = hnn(&r, &s, &h_cfg).unwrap();
+    legacy_out.sort();
     let sink = RecordingSink::new();
     let traced_out = AnnRequest::new(Algorithm::hnn())
         .k(k)

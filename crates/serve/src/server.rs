@@ -41,7 +41,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ann_core::query::{run_scratch, AnnRequest, Input};
+use ann_core::query::{run_scratch, Algorithm, AnnRequest, Input};
 use ann_core::resilience::CancelToken;
 use ann_core::scratch::QueryScratch;
 use ann_core::snapshot::ReadContext;
@@ -468,7 +468,20 @@ fn execute(
     // under contention a query silently degrades toward serial rather
     // than oversubscribing the box. Grabbed after the pin fallible
     // section so every early return above cannot strand a grant.
-    let wanted = match job.spec.threads {
+    //
+    // The MBA variant carries its own wire-level `threads` knob that the
+    // core falls back to whenever the request-level value is 1, so fold
+    // it into the ask and overwrite it with the grant below — otherwise
+    // a body like {"algorithm":{"name":"mba",...,"threads":N}} with no
+    // top-level field would bypass the compute-token clamp entirely.
+    let asked = match job.spec.threads {
+        1 => match job.spec.algorithm {
+            Algorithm::Mba { threads, .. } => threads,
+            _ => 1,
+        },
+        n => n,
+    };
+    let wanted = match asked {
         1 => 1,
         n => ann_core::morsel::resolve_threads(n),
     };
@@ -477,17 +490,33 @@ fn execute(
     } else {
         0
     };
-    req = req.threads(1 + extra);
-    let ran = run_sides(r_side, s_side, &req, scratch);
+    let granted = 1 + extra;
+    req = req.threads(granted);
+    if let Algorithm::Mba { ref mut threads, .. } = req.algorithm {
+        *threads = granted;
+    }
+    // A panic inside the traversal must not kill this worker thread
+    // (workers are never respawned) or strand the granted tokens; the
+    // unwind surfaces to the client as a typed internal error instead.
+    let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_sides(r_side, s_side, &req, scratch)
+    }));
     ctx.compute.put(extra);
+    let ran = match ran {
+        Ok(ran) => ran,
+        Err(_) => {
+            return Err(ApiError::new(
+                ErrorCode::Internal,
+                "query execution panicked; the worker recovered",
+            ))
+        }
+    };
     match ran {
-        Ok(mut out) => {
+        Ok(out) => {
             metrics.record_query(started.elapsed(), &out.stats);
-            // Canonical wire order: the serial paths emit traversal
-            // order while the morsel engine merges pre-sorted, so
-            // without this the response bytes would vary with the
-            // granted thread count.
-            out.sort();
+            // The unified entrypoint returns canonical (r_oid, dist,
+            // s_oid) order at every thread count, so the response bytes
+            // are already independent of the granted fan-out.
             let mut outcome = QueryOutcome::from(out);
             outcome.version = served_version;
             if job.trace {
@@ -836,13 +865,22 @@ fn prepare_query(raw_id: &str, req: &Request, ctx: &Ctx) -> Result<PreparedQuery
     }
     // `?threads=` overrides the spec's threads field the same way —
     // `0` is "one worker per core", subject to the compute-token cap.
+    // Bounded like the body field (wire::MAX_WIRE_THREADS) so the
+    // query-param path cannot smuggle an unbounded value either.
     if let Some(raw) = req.query_param("threads") {
-        let t = raw.parse::<usize>().map_err(|_| {
-            ApiError::new(
-                ErrorCode::BadRequest,
-                "threads must be a non-negative integer",
-            )
-        })?;
+        let t = raw
+            .parse::<usize>()
+            .ok()
+            .filter(|t| *t <= ann_core::wire::MAX_WIRE_THREADS)
+            .ok_or_else(|| {
+                ApiError::new(
+                    ErrorCode::BadRequest,
+                    format!(
+                        "threads must be an integer between 0 and {}",
+                        ann_core::wire::MAX_WIRE_THREADS
+                    ),
+                )
+            })?;
         spec.threads = t;
     }
     let r = ctx.registry.get(&id)?;

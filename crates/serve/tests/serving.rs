@@ -793,6 +793,62 @@ fn threads_round_trip_matches_serial_without_schema_bump() {
     server.shutdown();
 }
 
+/// The MBA variant's own wire-level `threads` knob must not bypass the
+/// compute-token clamp: a body with no top-level `threads` field but a
+/// big algorithm-level fan-out used to sail past the grant (the core
+/// falls back to the variant knob whenever the request level is 1) and
+/// spawn that many OS threads per query. The server now folds the knob
+/// into the ask and overwrites it with the grant; values beyond the
+/// wire cap are rejected outright.
+#[test]
+fn mba_variant_threads_cannot_bypass_compute_cap() {
+    const TOKENS: usize = 2;
+    let server = start_server_tokens("mbacap", 2, 16, 256, TOKENS);
+    let client = Client::new(server.addr().to_string());
+    let points = uniform_points(1000, 0xB1A5);
+    let created = client
+        .create_collection("mbacap", "mbrqt", &to_rows(&points))
+        .expect("create");
+    assert_eq!(created.status, 201, "{}", created.body);
+
+    let mut spec = QuerySpec::default();
+    spec.k = 2;
+    spec.exclude_self = true;
+    let expected = library_pairs(&points, None, &spec);
+
+    // No top-level `threads`; the variant asks for a 64-way fan-out.
+    let body = r#"{"v":1,"algorithm":{"name":"mba","traversal":"depth-first","expansion":"bidirectional","threads":64},"k":2,"exclude_self":true}"#;
+    let resp = client
+        .request("POST", "/collections/mbacap/query", body)
+        .expect("variant-threads query");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(server_pairs(&resp.body), expected);
+
+    let tokens = server.compute_token_stats();
+    assert_eq!(tokens.total, TOKENS);
+    assert_eq!(tokens.available, TOKENS, "leaked compute tokens: {tokens:?}");
+    assert!(
+        tokens.high_water <= TOKENS,
+        "variant knob pierced the compute cap: {tokens:?}"
+    );
+
+    // Beyond the wire bound the request never reaches the engine.
+    let huge = r#"{"v":1,"algorithm":{"name":"mba","traversal":"depth-first","expansion":"bidirectional","threads":100000},"k":2}"#;
+    let resp = client
+        .request("POST", "/collections/mbacap/query", huge)
+        .expect("over-cap variant threads");
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    let resp = client
+        .request(
+            "POST",
+            "/collections/mbacap/query?threads=100000",
+            &spec.to_json(),
+        )
+        .expect("over-cap query param");
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    server.shutdown();
+}
+
 /// The oversubscription gate: 32 concurrent clients all demanding
 /// `threads=8` against a tiny token budget. Results stay identical,
 /// nothing fails, the grant high-water never pierces the cap, and the
